@@ -1,0 +1,50 @@
+"""Ablation — effect of the virtual-channel buffer depth.
+
+The paper lists the buffer length among its simulator parameters but never
+varies it in the published figures.  This ablation sweeps the per-VC buffer
+depth at a moderately loaded operating point and records the latency: deeper
+buffers reduce head-of-line blocking slightly, with quickly diminishing
+returns — which is why wormhole routers keep buffers shallow.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_scale
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.topology.torus import TorusTopology
+
+DEPTHS = (1, 2, 4, 8)
+
+
+def test_ablation_buffer_depth(run_once, benchmark):
+    scale = get_scale()
+    topology = TorusTopology(radix=8, dimensions=2)
+
+    def sweep():
+        out = {}
+        for depth in DEPTHS:
+            config = SimulationConfig(
+                topology=topology,
+                routing="swbased-deterministic",
+                num_virtual_channels=4,
+                buffer_depth=depth,
+                message_length=32,
+                injection_rate=0.01,
+                warmup_messages=scale.warmup_messages,
+                measure_messages=scale.measure_messages,
+                seed=8,
+                metadata={"ablation": "buffer-depth", "depth": str(depth)},
+            )
+            out[depth] = run_simulation(config)
+        return out
+
+    results = run_once(sweep)
+    latencies = {depth: result.mean_latency for depth, result in results.items()}
+    # Deeper buffers never make things (meaningfully) worse.
+    assert latencies[8] <= latencies[1] * 1.15
+
+    benchmark.extra_info["ablation"] = "buffer_depth"
+    benchmark.extra_info["latency_by_depth"] = {
+        str(depth): round(lat, 1) for depth, lat in latencies.items()
+    }

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+These are conventional pytest-benchmark microbenchmarks (multiple rounds)
+measuring the cost of the routing functions and of one engine cycle at a
+loaded operating point.  They exist to keep the pure-Python simulator honest:
+a regression here multiplies the runtime of every figure reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.core.swbased_nd import SoftwareBasedRouting
+from repro.faults.injection import random_node_faults
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_engine
+from repro.topology.torus import TorusTopology
+
+
+def test_micro_dimension_order_route(benchmark):
+    topo = TorusTopology(radix=8, dimensions=3)
+    routing = DimensionOrderRouting(topo, num_virtual_channels=4)
+    pairs = [(s, (s * 37 + 11) % topo.num_nodes) for s in range(0, topo.num_nodes, 7)]
+    headers = [routing.initial_header(s, d) for s, d in pairs if s != d]
+    nodes = [s for s, d in pairs if s != d]
+
+    def route_all():
+        for node, header in zip(nodes, headers):
+            routing.route(node, header)
+
+    benchmark(route_all)
+    benchmark.extra_info["routes_per_call"] = len(nodes)
+
+
+def test_micro_duato_route(benchmark):
+    topo = TorusTopology(radix=8, dimensions=3)
+    routing = DuatoRouting(topo, num_virtual_channels=6)
+    pairs = [(s, (s * 41 + 3) % topo.num_nodes) for s in range(0, topo.num_nodes, 7)]
+    headers = [routing.initial_header(s, d) for s, d in pairs if s != d]
+    nodes = [s for s, d in pairs if s != d]
+
+    def route_all():
+        for node, header in zip(nodes, headers):
+            routing.route(node, header)
+
+    benchmark(route_all)
+    benchmark.extra_info["routes_per_call"] = len(nodes)
+
+
+def test_micro_software_rewrite(benchmark):
+    topo = TorusTopology(radix=8, dimensions=2)
+    faults = random_node_faults(topo, 6, rng=3)
+    routing = SoftwareBasedRouting.deterministic(topo, faults=faults, num_virtual_channels=2)
+    healthy = [n for n in topo.nodes() if not faults.is_node_faulty(n)]
+    cases = [(healthy[i], healthy[-(i + 1)]) for i in range(0, len(healthy) // 2, 3)]
+
+    def rewrite_all():
+        for src, dst in cases:
+            if src == dst:
+                continue
+            header = routing.initial_header(src, dst)
+            header.absorptions = 1
+            routing.rewrite_after_absorption(src, header)
+
+    benchmark(rewrite_all)
+    benchmark.extra_info["rewrites_per_call"] = len(cases)
+
+
+def test_micro_engine_cycle_under_load(benchmark):
+    config = SimulationConfig(
+        topology=TorusTopology(radix=8, dimensions=2),
+        routing="swbased-adaptive",
+        num_virtual_channels=4,
+        message_length=16,
+        injection_rate=0.01,
+        warmup_messages=0,
+        measure_messages=10_000,
+        seed=4,
+    )
+    engine = build_engine(config)
+    for _ in range(400):  # reach a loaded steady state before measuring
+        engine.step()
+
+    benchmark(engine.step)
+    benchmark.extra_info["active_flit_transfers"] = engine.flit_transfers

@@ -1,0 +1,24 @@
+"""Fig. 1 — build and render every coalesced fault-region shape.
+
+This benchmark is cheap; it mostly documents that the region builders and the
+renderer scale to the full 16-ary 2-cube used later in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig1_regions
+
+
+def test_fig1_build_and_render_regions(run_once, benchmark):
+    results = run_once(fig1_regions.run, radix=16)
+    assert set(results) == set(fig1_regions.SHAPES)
+    benchmark.extra_info["figure"] = "fig1"
+    benchmark.extra_info["region_sizes"] = {
+        name: info["num_faults"] for name, info in results.items()
+    }
+    benchmark.extra_info["convex"] = [
+        name for name, info in results.items() if info["convex"]
+    ]
+    benchmark.extra_info["concave"] = [
+        name for name, info in results.items() if not info["convex"]
+    ]

@@ -1,0 +1,52 @@
+"""Fig. 3 — mean message latency vs traffic rate, 8-ary 2-cube.
+
+One benchmark per routing flavour (two of the paper's six panels at the
+default scale; pass larger ``virtual_channels``/``message_lengths`` through
+the experiment module to regenerate all panels).  The asserted properties are
+the paper's qualitative findings: latency increases with the number of faulty
+nodes, and faulty configurations saturate no later than fault-free ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.saturation import estimate_saturation_rate
+from repro.experiments import fig3_latency_2d
+
+
+def _check_trends(results, fault_counts):
+    """Latency at the lowest common rate must be non-decreasing in n_f."""
+    base_label = [label for label in results if f"nf={fault_counts[0]}" in label][0]
+    base = results[base_label]
+    lowest_rate_latency = {}
+    for label, sweep in results.items():
+        lowest_rate_latency[label] = sweep.latencies[0]
+    for count in fault_counts[1:]:
+        label = base_label.replace(f"nf={fault_counts[0]}", f"nf={count}")
+        assert lowest_rate_latency[label] >= lowest_rate_latency[base_label] * 0.95
+    return base
+
+
+@pytest.mark.parametrize("routing", ["swbased-deterministic", "swbased-adaptive"])
+def test_fig3_latency_vs_rate(run_once, benchmark, routing):
+    fault_counts = (0, 3, 5)
+    results = run_once(
+        fig3_latency_2d.run,
+        routings=(routing,),
+        virtual_channels=(4,),
+        message_lengths=(32,),
+        fault_counts=fault_counts,
+    )
+    assert len(results) == len(fault_counts)
+    _check_trends(results, fault_counts)
+
+    benchmark.extra_info["figure"] = "fig3"
+    benchmark.extra_info["routing"] = routing
+    for label, sweep in results.items():
+        benchmark.extra_info[label] = {
+            "rates": [round(r, 5) for r in sweep.rates],
+            "latency": [round(latency, 1) for latency in sweep.latencies],
+            "saturated": sweep.saturated,
+            "saturation_rate": estimate_saturation_rate(sweep),
+        }

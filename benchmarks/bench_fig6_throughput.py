@@ -1,0 +1,32 @@
+"""Fig. 6 — throughput vs number of random faulty nodes, 16-ary 2-cube.
+
+The paper's findings asserted here: the throughput achieved under heavy load
+is "not seriously affected" by the number of failures (we allow a 35 % drop
+from 0 to the largest fault count at the scaled-down run length), and the
+software layer absorbs messages only when faults are present.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_throughput
+
+
+def test_fig6_throughput_vs_faults(run_once, benchmark):
+    results = run_once(
+        fig6_throughput.run,
+        routings=("swbased-deterministic", "swbased-adaptive"),
+        fault_counts=(0, 4, 8),
+    )
+    series = fig6_throughput.throughput_series(results)
+    for routing, per_count in series.items():
+        counts = sorted(per_count)
+        assert all(per_count[c] > 0 for c in counts)
+        # Throughput is not seriously affected by the presence of failures.
+        assert per_count[counts[-1]] >= 0.65 * per_count[0]
+
+    benchmark.extra_info["figure"] = "fig6"
+    benchmark.extra_info["offered_load"] = fig6_throughput.MEASUREMENT_RATE
+    benchmark.extra_info["throughput"] = {
+        routing: {str(k): round(v, 5) for k, v in per.items()}
+        for routing, per in series.items()
+    }

@@ -1,0 +1,39 @@
+"""Fig. 7 — messages queued (absorbed) vs number of faulty nodes, 8-ary 3-cube.
+
+The paper's findings asserted here: the number of messages absorbed by the
+software layer grows with the number of faulty nodes, and it is much larger
+for deterministic than for adaptive Software-Based routing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_messages_queued
+
+
+def test_fig7_messages_queued_vs_faults(run_once, benchmark):
+    results = run_once(
+        fig7_messages_queued.run,
+        routings=("swbased-deterministic", "swbased-adaptive"),
+        generation_rates=("70", "100"),
+        fault_counts=(0, 6, 12),
+    )
+    series = fig7_messages_queued.queued_series(results)
+
+    for label, per_count in series.items():
+        counts = sorted(per_count)
+        assert per_count[0] == 0, "no absorptions without faults"
+        assert per_count[counts[-1]] > 0, "faults must produce absorptions"
+        assert per_count[counts[-1]] >= per_count[counts[1]] * 0.8  # grows with n_f
+
+    for rate_label in ("70", "100"):
+        det = series[f"deterministic @{rate_label}"]
+        adpt = series[f"adaptive @{rate_label}"]
+        worst = max(k for k in det)
+        assert det[worst] > adpt[worst], (
+            "deterministic routing must absorb more messages than adaptive routing"
+        )
+
+    benchmark.extra_info["figure"] = "fig7"
+    benchmark.extra_info["messages_queued"] = {
+        label: {str(k): round(v, 1) for k, v in per.items()} for label, per in series.items()
+    }

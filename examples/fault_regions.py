@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Fault regions: convex vs concave shapes and their effect on latency.
+
+Reproduces the spirit of Fig. 1 and Fig. 5 of the paper on a small scale:
+
+1. builds the five fault regions the paper evaluates (rectangular, T, +, L and
+   U shaped) on an 8-ary 2-cube and renders them as ASCII maps;
+2. runs a short simulation for each region with deterministic and adaptive
+   Software-Based routing and compares the mean latency, showing that concave
+   regions (U, T, +, L) cost more than the convex rectangle even though the
+   rectangle contains more faulty nodes.
+
+Run with::
+
+    python examples/fault_regions.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, TorusTopology, paper_fig5_regions, run_simulation
+from repro.analysis.plotting import render_fault_region
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    topology = TorusTopology(radix=8, dimensions=2)
+    regions = paper_fig5_regions(topology)
+
+    print("The paper's Fig. 5 fault regions (X = faulty node):\n")
+    for label, region in regions.items():
+        kind = "convex" if region.convex else "concave"
+        print(f"{label}-shaped region ({kind}, n_f = {region.num_faults}):")
+        print(render_fault_region(topology, region))
+        print()
+
+    rows = []
+    for label, region in regions.items():
+        for routing in ("swbased-deterministic", "swbased-adaptive"):
+            config = SimulationConfig(
+                topology=topology,
+                routing=routing,
+                num_virtual_channels=10,
+                message_length=32,
+                injection_rate=0.006,
+                faults=region.to_fault_set(),
+                warmup_messages=60,
+                measure_messages=500,
+                seed=11,
+            )
+            result = run_simulation(config)
+            rows.append(
+                {
+                    "region": label,
+                    "convex": region.convex,
+                    "faults": region.num_faults,
+                    "routing": "deterministic" if "deterministic" in routing else "adaptive",
+                    "mean_latency": result.mean_latency,
+                    "messages_absorbed": result.messages_queued,
+                }
+            )
+
+    print(
+        format_table(
+            rows,
+            columns=["region", "convex", "faults", "routing", "mean_latency",
+                     "messages_absorbed"],
+            title="Latency by fault-region shape (8-ary 2-cube, M=32, V=10, lambda=0.006)",
+        )
+    )
+    print(
+        "\nNote how the concave regions produce more absorptions per faulty node than\n"
+        "the convex rectangle, and how adaptive routing cuts both the latency and the\n"
+        "number of absorbed messages — the observations behind the paper's Fig. 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

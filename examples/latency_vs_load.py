@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Latency-vs-load curves: a miniature of the paper's Fig. 3.
+
+Sweeps the injection rate for an 8-ary 2-cube with 0 and 5 random faulty
+nodes under deterministic and adaptive Software-Based routing, then renders
+the four latency curves as an ASCII chart and reports the estimated
+saturation point of each configuration.
+
+Run with::
+
+    python examples/latency_vs_load.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FaultSet,
+    SimulationConfig,
+    TorusTopology,
+    injection_rate_sweep,
+    random_node_faults,
+)
+from repro.analysis.plotting import ascii_multi_series
+from repro.analysis.saturation import estimate_saturation_rate, zero_load_latency
+from repro.experiments.common import rate_grid
+
+
+def main() -> None:
+    topology = TorusTopology(radix=8, dimensions=2)
+    faults5 = random_node_faults(topology, 5, rng=3)
+    rates = rate_grid(0.016, points=6)
+
+    sweeps = []
+    for routing in ("swbased-deterministic", "swbased-adaptive"):
+        for label, faults in (("nf=0", FaultSet.empty()), ("nf=5", faults5)):
+            kind = "det" if "deterministic" in routing else "adpt"
+            config = SimulationConfig(
+                topology=topology,
+                routing=routing,
+                num_virtual_channels=6,
+                message_length=32,
+                faults=faults,
+                warmup_messages=80,
+                measure_messages=600,
+                seed=17,
+            )
+            sweep = injection_rate_sweep(config, rates, label=f"{kind} {label}")
+            sweeps.append(sweep)
+
+    print("Mean message latency vs injection rate (8-ary 2-cube, M=32, V=6):\n")
+    print(
+        ascii_multi_series(
+            [(s.label, s.rates, s.latencies) for s in sweeps],
+            width=64,
+            height=18,
+            x_label="injection rate (messages/node/cycle)",
+        )
+    )
+
+    zero_load = zero_load_latency(topology, 32)
+    print(f"\nAnalytical zero-load latency: {zero_load:.1f} cycles")
+    for sweep in sweeps:
+        sat = estimate_saturation_rate(sweep, zero_load=zero_load)
+        sat_text = f"{sat:.4f}" if sat is not None else "not reached in this sweep"
+        print(f"  {sweep.label:12s} estimated saturation rate: {sat_text}")
+
+    print(
+        "\nAs in the paper's Fig. 3, latency rises with the number of faulty nodes and\n"
+        "the faulty configurations saturate at lower traffic rates, while the adaptive\n"
+        "flavour tolerates a higher load before saturating."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: simulate Software-Based fault-tolerant routing on an 8-ary 2-cube.
+
+This example mirrors the basic experiment of the paper: an 8x8 torus with a
+few random node failures, wormhole switching with virtual channels, Poisson
+traffic with uniform destinations, and the Software-Based fault-tolerant
+routing algorithm in both its deterministic and adaptive flavours.  It prints
+the mean message latency, the throughput and the number of messages absorbed
+by the software layer for each flavour.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SimulationConfig,
+    TorusTopology,
+    random_node_faults,
+    run_simulation,
+)
+
+
+def main() -> None:
+    # The paper's workhorse network: the 8-ary 2-cube (64 nodes).
+    topology = TorusTopology(radix=8, dimensions=2)
+
+    # Three random node failures; the injector guarantees the healthy network
+    # stays connected (paper assumption (h)).
+    faults = random_node_faults(topology, count=3, rng=42)
+    print(f"Faulty nodes: {sorted(faults.nodes)}")
+
+    for routing in ("swbased-deterministic", "swbased-adaptive"):
+        config = SimulationConfig(
+            topology=topology,
+            routing=routing,
+            num_virtual_channels=4,     # V
+            message_length=32,          # M, flits
+            injection_rate=0.004,       # lambda, messages/node/cycle
+            faults=faults,
+            warmup_messages=100,
+            measure_messages=800,
+            seed=7,
+        )
+        result = run_simulation(config)
+        m = result.metrics
+        print(
+            f"{routing:24s}  latency = {m.mean_latency:6.1f} cycles   "
+            f"throughput = {m.throughput_messages:.5f} msg/node/cycle   "
+            f"messages absorbed = {m.messages_absorbed_total}"
+        )
+
+    print(
+        "\nThe adaptive flavour absorbs far fewer messages (it only falls back to\n"
+        "the software layer when every profitable channel is faulty), which is the\n"
+        "paper's core observation in Figs. 6 and 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

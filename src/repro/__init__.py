@@ -1,0 +1,121 @@
+"""repro — Software-Based fault-tolerant routing in multi-dimensional networks.
+
+A reproduction of F. Safaei et al., *"Software-Based Fault-Tolerant Routing
+Algorithm in Multi-Dimensional Networks"* (IPDPS 2006): a flit-level wormhole
+network simulator for k-ary n-cubes with virtual channels, the deterministic
+(e-cube) and adaptive (Duato's Protocol) baselines, and the Software-Based
+fault-tolerant routing algorithm in its 2-D and n-D forms, together with the
+fault models, traffic generators, metrics and experiment harness needed to
+regenerate every figure of the paper.
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, TorusTopology, run_simulation
+>>> from repro import random_node_faults
+>>> topo = TorusTopology(radix=8, dimensions=2)
+>>> cfg = SimulationConfig(
+...     topology=topo,
+...     routing="swbased-adaptive",
+...     num_virtual_channels=4,
+...     message_length=32,
+...     injection_rate=0.002,
+...     faults=random_node_faults(topo, 3, rng=42),
+...     warmup_messages=50,
+...     measure_messages=300,
+... )
+>>> result = run_simulation(cfg)
+>>> result.mean_latency > 0
+True
+"""
+
+from repro.core import (
+    LivelockGuard,
+    PlanarRerouter,
+    ReroutingTables,
+    SoftwareBasedRouting,
+    SWBased2DRouting,
+    build_channel_dependency_graph,
+    is_deadlock_free,
+)
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    LivelockError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+from repro.faults import (
+    FaultRegion,
+    FaultSet,
+    make_fault_region,
+    paper_fig5_regions,
+    random_link_faults,
+    random_node_faults,
+)
+from repro.metrics import NetworkMetrics
+from repro.routing import (
+    DimensionOrderRouting,
+    DuatoRouting,
+    available_routing_algorithms,
+    make_routing,
+)
+from repro.sim import (
+    LoadSweepResult,
+    SimulationConfig,
+    SimulationResult,
+    build_engine,
+    fault_count_sweep,
+    injection_rate_sweep,
+    run_simulation,
+)
+from repro.topology import MeshTopology, TorusTopology
+from repro.traffic import PoissonTraffic, make_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # topology
+    "TorusTopology",
+    "MeshTopology",
+    # faults
+    "FaultSet",
+    "FaultRegion",
+    "make_fault_region",
+    "paper_fig5_regions",
+    "random_node_faults",
+    "random_link_faults",
+    # routing
+    "DimensionOrderRouting",
+    "DuatoRouting",
+    "SoftwareBasedRouting",
+    "SWBased2DRouting",
+    "PlanarRerouter",
+    "ReroutingTables",
+    "make_routing",
+    "available_routing_algorithms",
+    # verification
+    "build_channel_dependency_graph",
+    "is_deadlock_free",
+    "LivelockGuard",
+    # traffic
+    "PoissonTraffic",
+    "make_pattern",
+    # simulation
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "build_engine",
+    "injection_rate_sweep",
+    "fault_count_sweep",
+    "LoadSweepResult",
+    "NetworkMetrics",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "RoutingError",
+    "DeadlockError",
+    "LivelockError",
+    "SimulationError",
+]

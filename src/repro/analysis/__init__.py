@@ -1,0 +1,34 @@
+"""Post-processing: saturation detection, reporting, plotting and the analytical model.
+
+* :mod:`repro.analysis.saturation` — zero-load latency and saturation-point
+  estimation from load sweeps;
+* :mod:`repro.analysis.tables` — tabular/CSV reporting of simulation results;
+* :mod:`repro.analysis.plotting` — dependency-free ASCII rendering of latency
+  curves and fault regions (Fig. 1 of the paper);
+* :mod:`repro.analysis.analytical` — an approximate analytical latency model
+  for wormhole-switched k-ary n-cubes, the "next objective" the paper lists as
+  future work (Section 6), provided here as an extension.
+"""
+
+from repro.analysis.analytical import AnalyticalLatencyModel
+from repro.analysis.plotting import ascii_curve, ascii_multi_series, render_fault_region
+from repro.analysis.saturation import (
+    estimate_saturation_rate,
+    theoretical_capacity,
+    zero_load_latency,
+)
+from repro.analysis.tables import format_table, results_to_rows, series_table, write_csv
+
+__all__ = [
+    "zero_load_latency",
+    "theoretical_capacity",
+    "estimate_saturation_rate",
+    "results_to_rows",
+    "format_table",
+    "series_table",
+    "write_csv",
+    "ascii_curve",
+    "ascii_multi_series",
+    "render_fault_region",
+    "AnalyticalLatencyModel",
+]

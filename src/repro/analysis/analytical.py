@@ -1,0 +1,147 @@
+"""Approximate analytical latency model for wormhole-switched k-ary n-cubes.
+
+The paper closes with "our next object is to develop an analytical modeling
+approach to investigate the performance behavior of Software-Based
+fault-tolerant routing" (Section 6).  This module provides that extension: a
+closed-form approximation of the mean message latency under uniform Poisson
+traffic, in the spirit of the classical M/G/1-based wormhole models
+(Draper & Ghosh; Ould-Khaoua), extended with a first-order correction for the
+software re-routing overhead.
+
+The model is deliberately simple — it is meant for sanity-checking simulation
+trends and for choosing sweep ranges, not for absolute accuracy:
+
+* messages have fixed length ``M`` flits and travel ``d̄`` hops on average;
+* each of the ``2n`` outgoing channels of a node receives
+  ``λ·d̄ / (2n)`` messages per cycle;
+* a message holds a channel for approximately ``M`` cycles, so the channel
+  utilisation is ``ρ = λ_c · M``;
+* the mean waiting time per hop follows the M/G/1 approximation
+  ``W = ρ·M / (2·(1-ρ))`` damped by the number of virtual channels;
+* faults add, per message, ``p_abs`` absorptions on average, each costing one
+  extra source-queueing pass plus the detour distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.saturation import average_distance
+from repro.faults.model import FaultSet
+from repro.topology.base import Topology
+
+__all__ = ["AnalyticalLatencyModel"]
+
+
+@dataclass
+class AnalyticalLatencyModel:
+    """Mean-latency estimator for a given network configuration.
+
+    Parameters
+    ----------
+    topology:
+        The k-ary n-cube being modelled.
+    message_length:
+        Message length ``M`` in flits.
+    num_virtual_channels:
+        Virtual channels per physical channel; more virtual channels soften
+        head-of-line blocking, which the model captures with a ``1/V`` damping
+        of the per-hop waiting time (the classical first-order correction).
+    faults:
+        Static fault set; only its size enters the model.
+    adaptive:
+        Adaptive routing spreads traffic over the profitable dimensions, which
+        the model reflects by halving the effective per-hop waiting time and by
+        using a much smaller absorption probability (adaptive messages are
+        absorbed only when *every* profitable channel is faulty).
+    """
+
+    topology: Topology
+    message_length: int
+    num_virtual_channels: int = 4
+    faults: FaultSet = None  # type: ignore[assignment]
+    adaptive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.message_length < 1:
+            raise ValueError("message_length must be at least 1 flit")
+        if self.num_virtual_channels < 1:
+            raise ValueError("num_virtual_channels must be at least 1")
+        if self.faults is None:
+            self.faults = FaultSet.empty()
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_distance(self) -> float:
+        """Average hop count ``d̄`` under uniform traffic."""
+        return average_distance(self.topology)
+
+    def channel_rate(self, injection_rate: float) -> float:
+        """Messages per cycle offered to one outgoing channel of a node."""
+        return injection_rate * self.mean_distance / (2 * self.topology.dimensions)
+
+    def channel_utilisation(self, injection_rate: float) -> float:
+        """Utilisation ``ρ`` of a physical channel (flit-slots in use)."""
+        return self.channel_rate(injection_rate) * self.message_length
+
+    def saturation_rate(self) -> float:
+        """Injection rate at which the modelled channel utilisation reaches 1."""
+        return 2 * self.topology.dimensions / (self.mean_distance * self.message_length)
+
+    def absorption_probability(self) -> float:
+        """Probability that a message is absorbed at least once on its way.
+
+        For deterministic routing a message is absorbed whenever any of the
+        ``d̄`` routers it visits would forward it into a faulty component;
+        with ``f`` faulty nodes out of ``N`` the per-hop probability is
+        approximately ``f / N``.  Adaptive routing only absorbs when all of
+        its (on average ``n``) profitable channels are faulty, which the model
+        approximates with ``(f / N)**n``.
+        """
+        n_nodes = self.topology.num_nodes
+        f = self.faults.num_faulty_nodes
+        if f == 0:
+            return 0.0
+        per_hop = min(1.0, f / n_nodes)
+        if self.adaptive:
+            per_hop = per_hop ** self.topology.dimensions
+        return min(1.0, per_hop * self.mean_distance)
+
+    # ------------------------------------------------------------------ #
+    # the model
+    # ------------------------------------------------------------------ #
+    def mean_latency(self, injection_rate: float, reinjection_delay: int = 0) -> float:
+        """Predicted mean message latency (cycles) at the given injection rate.
+
+        Returns ``inf`` at or beyond the modelled saturation rate.
+        """
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be non-negative")
+        d_bar = self.mean_distance
+        m = self.message_length
+        rho = self.channel_utilisation(injection_rate)
+        if rho >= 1.0:
+            return float("inf")
+
+        base = d_bar + m
+        # M/G/1-style per-hop blocking, damped by virtual channels (and by the
+        # path diversity of adaptive routing).
+        wait_per_hop = (rho * m) / (2.0 * (1.0 - rho))
+        wait_per_hop /= max(1, self.num_virtual_channels - 1)
+        if self.adaptive:
+            wait_per_hop /= 2.0
+        blocking = d_bar * wait_per_hop
+
+        # Software re-routing overhead: each absorption re-serialises the
+        # message (another M cycles), adds the re-injection delay and a short
+        # detour (2 extra hops on average).
+        p_abs = self.absorption_probability()
+        rerouting = p_abs * (m + reinjection_delay + 2.0)
+
+        return base + blocking + rerouting
+
+    def latency_curve(self, injection_rates) -> list:
+        """Vectorised convenience wrapper over :meth:`mean_latency`."""
+        return [self.mean_latency(rate) for rate in injection_rates]

@@ -1,0 +1,147 @@
+"""Dependency-free ASCII plotting.
+
+The evaluation figures of the paper are line charts (latency/throughput vs a
+swept parameter) and a schematic of fault-region shapes (Fig. 1).  To keep the
+library runnable in headless, offline environments the reproduction renders
+both as plain text: good enough to eyeball the shape of a curve in a terminal
+or a log file, and trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.faults.model import FaultSet
+from repro.faults.regions import FaultRegion
+from repro.topology.base import Topology
+
+__all__ = ["ascii_curve", "ascii_multi_series", "render_fault_region"]
+
+_SERIES_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(pos * (cells - 1)))))
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "o",
+) -> str:
+    """Render one series as an ASCII scatter/line chart."""
+    return ascii_multi_series([(y_label, xs, ys)], width=width, height=height,
+                              x_label=x_label, markers=marker)
+
+
+def ascii_multi_series(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    markers: Optional[str] = None,
+) -> str:
+    """Render several (label, xs, ys) series in one ASCII chart.
+
+    Each series gets a distinct marker; a legend is appended below the chart.
+    Points with NaN values are skipped.
+    """
+    cleaned: List[Tuple[str, List[float], List[float]]] = []
+    for label, xs, ys in series:
+        pts = [(x, y) for x, y in zip(xs, ys) if y == y and x == x]
+        if pts:
+            cleaned.append((label, [p[0] for p in pts], [p[1] for p in pts]))
+    if not cleaned:
+        return "(no data to plot)"
+
+    all_x = [x for _, xs, _ in cleaned for x in xs]
+    all_y = [y for _, _, ys in cleaned for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    marker_cycle = markers if markers else _SERIES_MARKERS
+    for idx, (label, xs, ys) in enumerate(cleaned):
+        mark = marker_cycle[idx % len(marker_cycle)]
+        for x, y in zip(xs, ys):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = mark
+
+    lines = []
+    lines.append(f"{y_hi:>10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    lines.append(" " * 12 + f"{x_lo:<.4g}".ljust(width - 10) + f"{x_hi:>.4g}")
+    lines.append(" " * 12 + x_label)
+    legend = []
+    for idx, (label, _, _) in enumerate(cleaned):
+        legend.append(f"  {marker_cycle[idx % len(marker_cycle)]} = {label}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_fault_region(
+    topology: Topology,
+    faults: FaultSet | FaultRegion,
+    plane: Tuple[int, int] = (0, 1),
+    fixed: Optional[Sequence[int]] = None,
+) -> str:
+    """Render the faulty/healthy nodes of a 2-D plane of the network (Fig. 1).
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    faults:
+        Either a :class:`FaultSet` or a :class:`FaultRegion`.
+    plane:
+        The two dimensions ``(x_dim, y_dim)`` to draw.
+    fixed:
+        Coordinates used for every other dimension (defaults to the anchor of
+        a :class:`FaultRegion`, or all zeros for a plain fault set).
+
+    Returns
+    -------
+    str
+        A grid of characters: ``X`` marks a faulty node, ``.`` a healthy one.
+        Row 0 is printed at the bottom so the rendering matches the usual
+        Cartesian orientation of the paper's Fig. 1.
+    """
+    if isinstance(faults, FaultRegion):
+        fault_set = faults.to_fault_set()
+        if fixed is None:
+            fixed = faults.anchor
+    else:
+        fault_set = faults
+    x_dim, y_dim = plane
+    if fixed is None:
+        fixed = [0] * topology.dimensions
+    base = list(fixed)
+    kx = topology.radices[x_dim]
+    ky = topology.radices[y_dim]
+
+    rows: List[str] = []
+    for y in range(ky - 1, -1, -1):
+        cells = []
+        for x in range(kx):
+            coords = list(base)
+            coords[x_dim] = x
+            coords[y_dim] = y
+            node = topology.node_id(coords)
+            cells.append("X" if fault_set.is_node_faulty(node) else ".")
+        rows.append(f"{y:>3} " + " ".join(cells))
+    footer_axis = "    " + " ".join(f"{x % 10}" for x in range(kx))
+    rows.append(footer_axis)
+    return "\n".join(rows)

@@ -1,0 +1,99 @@
+"""Zero-load latency, theoretical capacity and saturation-point estimation.
+
+The paper's latency figures (Figs. 3-5) all share the same shape: a flat
+region near the zero-load latency followed by a steep rise as the offered load
+approaches the saturation throughput.  The helpers in this module compute the
+two anchors of that shape analytically (zero-load latency and capacity) and
+estimate the empirical saturation rate from a measured load sweep, which the
+experiment harness uses both to choose sensible sweep ranges and to report the
+"who saturates first" ordering that the paper's conclusions rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.sweep import LoadSweepResult
+from repro.topology.base import Topology
+
+__all__ = ["zero_load_latency", "theoretical_capacity", "estimate_saturation_rate"]
+
+
+def average_distance(topology: Topology) -> float:
+    """Mean minimal hop distance between distinct nodes under uniform traffic.
+
+    For a k-ary n-cube this is ``n * k / 4`` for even ``k`` and
+    ``n * (k - 1/k) / 4`` for odd ``k``; the generic implementation simply
+    averages per-dimension ring distances, which also covers meshes and
+    mixed-radix networks.
+    """
+    total = 0.0
+    for k in topology.radices:
+        if topology.wraparound:
+            # Average distance on a k-node ring (uniform over all pairs
+            # including the zero-offset pair, excluded globally below).
+            if k % 2 == 0:
+                ring = k / 4.0
+            else:
+                ring = (k * k - 1) / (4.0 * k)
+        else:
+            ring = (k * k - 1) / (3.0 * k)  # mean |i - j| over a path graph
+        total += ring
+    # The per-dimension averages above include the source node itself; for the
+    # usual "destination != source" convention the correction factor is
+    # N/(N-1), negligible for the network sizes of interest but kept exact.
+    n_nodes = topology.num_nodes
+    return total * n_nodes / (n_nodes - 1)
+
+
+def zero_load_latency(topology: Topology, message_length: int) -> float:
+    """Latency of a message that never blocks (cycles).
+
+    Under wormhole switching the header pipeline and the message serialisation
+    overlap: the last flit arrives ``average distance + message length`` cycles
+    after the header leaves the source (with single-cycle routers and ``Td=0``).
+    """
+    if message_length < 1:
+        raise ValueError("message_length must be at least 1 flit")
+    return average_distance(topology) + message_length
+
+
+def theoretical_capacity(topology: Topology, message_length: int) -> float:
+    """Upper bound on the deliverable load, in messages/node/cycle.
+
+    Each delivered message occupies ``average distance`` channels for
+    ``message_length`` cycles; the network offers ``2n`` outgoing channels per
+    node with one flit per channel per cycle.  Wormhole networks saturate well
+    below this bound (typically at 30-60 % of it), but the bound is the right
+    normaliser when comparing configurations with different ``V`` and ``M``.
+    """
+    if message_length < 1:
+        raise ValueError("message_length must be at least 1 flit")
+    channels_per_node = 2 * topology.dimensions
+    return channels_per_node / (average_distance(topology) * message_length)
+
+
+def estimate_saturation_rate(
+    sweep: LoadSweepResult,
+    latency_factor: float = 3.0,
+    zero_load: Optional[float] = None,
+) -> Optional[float]:
+    """Estimate the saturation injection rate from a measured load sweep.
+
+    The saturation point is taken as the smallest injection rate at which
+    either (a) the engine declared the run saturated, or (b) the measured mean
+    latency exceeds ``latency_factor`` times the zero-load latency (the first
+    point of the sweep when ``zero_load`` is not supplied).  Returns ``None``
+    when the sweep never saturates.
+    """
+    if not sweep.rates:
+        return None
+    baseline = zero_load if zero_load is not None else sweep.latencies[0]
+    if baseline <= 0:
+        baseline = min(lat for lat in sweep.latencies if lat > 0)
+    for rate, latency, saturated in zip(sweep.rates, sweep.latencies, sweep.saturated):
+        if saturated:
+            return rate
+        if latency > latency_factor * baseline:
+            return rate
+    return None

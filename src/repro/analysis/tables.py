@@ -1,0 +1,114 @@
+"""Tabular reporting of simulation results.
+
+The paper presents its results as figures; the reproduction additionally
+prints the underlying numbers as aligned ASCII tables and CSV files so that
+EXPERIMENTS.md can record paper-vs-measured comparisons and so the benchmark
+harness has machine-readable output.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.runner import SimulationResult
+from repro.sim.sweep import LoadSweepResult
+
+__all__ = ["results_to_rows", "format_table", "series_table", "write_csv"]
+
+
+def results_to_rows(results: Iterable[SimulationResult]) -> List[Dict[str, object]]:
+    """Flatten simulation results into dictionaries for tabular output."""
+    return [result.as_row() for result in results]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.4g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Dictionaries sharing (a superset of) the requested columns.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in cols]]
+    for row in rows:
+        table.append([_format_value(row.get(c, "")) for c in cols])
+    widths = [max(len(line[i]) for line in table) for i in range(len(cols))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(name.ljust(width) for name, width in zip(table[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in table[1:]:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def series_table(sweeps: Sequence[LoadSweepResult], metric: str = "latency") -> str:
+    """Render several load sweeps side by side (one column per series).
+
+    ``metric`` selects ``"latency"`` or ``"throughput"``.  Rates that appear in
+    any sweep form the row index; missing points are left blank, and saturated
+    points are marked with a trailing ``*`` as in the EXPERIMENTS.md notation.
+    """
+    if metric not in ("latency", "throughput"):
+        raise ValueError("metric must be 'latency' or 'throughput'")
+    all_rates = sorted({rate for sweep in sweeps for rate in sweep.rates})
+    rows: List[Dict[str, object]] = []
+    for rate in all_rates:
+        row: Dict[str, object] = {"rate": f"{rate:g}"}
+        for sweep in sweeps:
+            value = ""
+            for r, lat, thr, sat in zip(
+                sweep.rates, sweep.latencies, sweep.throughputs, sweep.saturated
+            ):
+                if abs(r - rate) < 1e-12:
+                    base = lat if metric == "latency" else thr
+                    value = f"{base:.3f}" + ("*" if sat else "")
+                    break
+            row[sweep.label] = value
+        rows.append(row)
+    columns = ["rate"] + [sweep.label for sweep in sweeps]
+    return format_table(rows, columns=columns, title=f"mean {metric} vs injection rate")
+
+
+def write_csv(rows: Sequence[Dict[str, object]], path: str) -> None:
+    """Write rows to ``path`` as CSV (columns = union of keys, insertion order)."""
+    if not rows:
+        with open(path, "w", newline="") as fh:
+            fh.write("")
+        return
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Exposes the most common workflows without writing Python:
+
+* ``python -m repro simulate`` — run one simulation and print its metrics;
+* ``python -m repro sweep`` — run a latency-vs-load sweep and print the curve;
+* ``python -m repro experiment`` — regenerate one of the paper's figures;
+* ``python -m repro regions`` — render the fault-region shapes of Fig. 1.
+
+The CLI is a thin veneer over the public library API (``repro.SimulationConfig``
+/ ``repro.run_simulation`` / ``repro.experiments``); anything it can do can
+also be done programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.plotting import ascii_multi_series
+from repro.analysis.tables import format_table
+from repro.experiments import EXPERIMENTS
+from repro.experiments import fig1_regions
+from repro.faults.injection import random_node_faults
+from repro.faults.model import FaultSet
+from repro.faults.regions import REGION_SHAPES, make_fault_region
+from repro.routing.registry import available_routing_algorithms
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import injection_rate_sweep
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--radix", type=int, default=8, help="nodes per dimension (k)")
+    parser.add_argument("--dimensions", type=int, default=2, help="number of dimensions (n)")
+    parser.add_argument("--mesh", action="store_true", help="use a mesh instead of a torus")
+    parser.add_argument(
+        "--routing",
+        default="swbased-deterministic",
+        choices=available_routing_algorithms(),
+        help="routing algorithm",
+    )
+    parser.add_argument("--virtual-channels", type=int, default=4, help="V per physical channel")
+    parser.add_argument("--buffer-depth", type=int, default=2, help="flits per VC buffer")
+    parser.add_argument("--message-length", type=int, default=32, help="M in flits")
+    parser.add_argument("--faults", type=int, default=0, help="number of random faulty nodes")
+    parser.add_argument(
+        "--fault-region",
+        choices=sorted(REGION_SHAPES),
+        help="use a coalesced fault region of this shape instead of random faults",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument("--warmup", type=int, default=100, help="warm-up messages")
+    parser.add_argument("--messages", type=int, default=1000, help="measured messages")
+    parser.add_argument(
+        "--reinjection-delay", type=int, default=0, help="software re-injection overhead Δ"
+    )
+
+
+def _build_config(args: argparse.Namespace, injection_rate: float) -> SimulationConfig:
+    topology_cls = MeshTopology if args.mesh else TorusTopology
+    topology = topology_cls(radix=args.radix, dimensions=args.dimensions)
+    if args.fault_region:
+        faults = make_fault_region(topology, args.fault_region).to_fault_set()
+    elif args.faults > 0:
+        faults = random_node_faults(topology, args.faults, rng=args.seed)
+    else:
+        faults = FaultSet.empty()
+    return SimulationConfig(
+        topology=topology,
+        routing=args.routing,
+        num_virtual_channels=args.virtual_channels,
+        buffer_depth=args.buffer_depth,
+        message_length=args.message_length,
+        injection_rate=injection_rate,
+        faults=faults,
+        warmup_messages=args.warmup,
+        measure_messages=args.messages,
+        reinjection_delay=args.reinjection_delay,
+        seed=args.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Software-Based fault-tolerant routing in multi-dimensional networks "
+            "(reproduction of Safaei et al., IPDPS 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one simulation and print its metrics")
+    _add_network_arguments(simulate)
+    simulate.add_argument("--rate", type=float, default=0.004, help="injection rate (lambda)")
+
+    sweep = sub.add_parser("sweep", help="latency/throughput vs injection rate")
+    _add_network_arguments(sweep)
+    sweep.add_argument("--max-rate", type=float, default=0.016, help="largest injection rate")
+    sweep.add_argument("--points", type=int, default=6, help="number of sweep points")
+    sweep.add_argument("--plot", action="store_true", help="render an ASCII latency curve")
+
+    experiment = sub.add_parser("experiment", help="regenerate one of the paper's figures")
+    experiment.add_argument("figure", choices=sorted(EXPERIMENTS), help="figure id (e.g. fig3)")
+
+    regions = sub.add_parser("regions", help="render the Fig. 1 fault-region shapes")
+    regions.add_argument("--radix", type=int, default=8, help="radix of the 2-D torus to draw")
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _build_config(args, args.rate)
+    result = run_simulation(config)
+    rows = [result.as_row()]
+    print(
+        format_table(
+            rows,
+            columns=[
+                "routing", "injection_rate", "faulty_nodes", "mean_latency",
+                "throughput_messages", "messages_absorbed_total", "saturated",
+            ],
+            title=config.describe(),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _build_config(args, args.max_rate)
+    rates = [args.max_rate * (i + 1) / args.points for i in range(args.points)]
+    sweep = injection_rate_sweep(config, rates, label=config.describe())
+    rows = [
+        {
+            "rate": rate,
+            "mean_latency": latency,
+            "throughput": throughput,
+            "saturated": saturated,
+        }
+        for rate, latency, throughput, saturated in zip(
+            sweep.rates, sweep.latencies, sweep.throughputs, sweep.saturated
+        )
+    ]
+    print(format_table(rows, title=sweep.label))
+    if args.plot:
+        print()
+        print(
+            ascii_multi_series(
+                [(sweep.label, sweep.rates, sweep.latencies)],
+                x_label="injection rate (messages/node/cycle)",
+            )
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = EXPERIMENTS[args.figure]
+    results = module.run()
+    print(module.summarize(results))
+    return 0
+
+
+def _cmd_regions(args: argparse.Namespace) -> int:
+    print(fig1_regions.summarize(fig1_regions.run(radix=args.radix)))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
+    "experiment": _cmd_experiment,
+    "regions": _cmd_regions,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: Software-Based fault-tolerant routing in n-D tori.
+
+This package implements:
+
+* the **re-routing tables** consulted by the software messaging layer when a
+  message is absorbed (:mod:`repro.core.rerouting_tables`);
+* the **planar (2-D) Software-Based re-routing policy** of Suh et al. — the
+  scheme the paper extends (:mod:`repro.core.swbased2d`);
+* the **n-dimensional Software-Based routing algorithm** ``SW-Based-nD`` of
+  Fig. 2 of the paper, in both its deterministic (e-cube based) and adaptive
+  (Duato's-Protocol based) flavours (:mod:`repro.core.swbased_nd`);
+* machine-checked **deadlock-freedom** evidence via channel-dependency-graph
+  acyclicity (:mod:`repro.core.deadlock`);
+* **livelock** accounting and bounds (:mod:`repro.core.livelock`).
+"""
+
+from repro.core.deadlock import (
+    build_channel_dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.core.livelock import LivelockGuard, absorption_bound
+from repro.core.rerouting_tables import (
+    DetourKind,
+    ReroutingAction,
+    ReroutingDecision,
+    ReroutingTables,
+)
+from repro.core.swbased2d import PlanarRerouter, partner_dimension
+from repro.core.swbased_nd import SoftwareBasedRouting, SWBased2DRouting
+
+__all__ = [
+    "ReroutingTables",
+    "ReroutingAction",
+    "ReroutingDecision",
+    "DetourKind",
+    "PlanarRerouter",
+    "partner_dimension",
+    "SWBased2DRouting",
+    "SoftwareBasedRouting",
+    "build_channel_dependency_graph",
+    "is_deadlock_free",
+    "find_dependency_cycle",
+    "LivelockGuard",
+    "absorption_bound",
+]

@@ -1,0 +1,174 @@
+"""Channel-dependency-graph construction and deadlock-freedom checking.
+
+The paper's deadlock-freedom argument (Section 4) rests on the acyclicity of
+the channel dependency graph (CDG) of the underlying deterministic routing
+restriction: e-cube order plus the Dally–Seitz dateline virtual-channel
+classes on the torus, with absorbed messages removed from the network before
+their headers are modified.  For the adaptive flavour, Duato's theory only
+requires the *escape* sub-network's extended CDG to be acyclic.
+
+This module builds that dependency graph for a concrete topology, fault set
+and routing algorithm by enumerating source/destination pairs and walking the
+deterministic (escape) path each message would follow, including — optionally
+— the non-minimal paths taken by messages whose direction was reversed by the
+software layer.  The graph nodes are virtual channels ``(router, output port,
+virtual channel)`` and an edge ``a → b`` means "a message holding ``a`` may
+next request ``b``".
+
+The construction is exact but quadratic in the number of nodes, so it is meant
+for the small networks used in tests (e.g. 4-ary and 5-ary 2-/3-cubes); the
+simulation engine never calls it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.routing.base import DETERMINISTIC_MODE, RoutingAlgorithm, RoutingHeader
+from repro.topology.channels import MINUS, PLUS
+
+__all__ = [
+    "build_channel_dependency_graph",
+    "is_deadlock_free",
+    "find_dependency_cycle",
+]
+
+#: A CDG vertex: (router id, output port index, virtual channel index).
+ChannelVC = Tuple[int, int, int]
+
+
+def _escape_header(routing: RoutingAlgorithm, source: int, destination: int) -> RoutingHeader:
+    """A header forced onto the deterministic / escape path."""
+    header = routing.initial_header(source, destination)
+    header.routing_mode = DETERMINISTIC_MODE
+    return header
+
+
+def _walk_path(
+    routing: RoutingAlgorithm,
+    source: int,
+    header: RoutingHeader,
+    max_hops: int,
+) -> List[List[ChannelVC]]:
+    """The sequence of virtual-channel sets a deterministic message acquires.
+
+    Each element of the returned list is the set of CDG vertices the header
+    may occupy for one hop (all virtual channels of the allowed class on the
+    selected physical channel).  The walk stops at delivery, at absorption
+    (the message leaves the network, so no further dependencies arise) or when
+    ``max_hops`` is exceeded (which indicates a routing bug and raises).
+    """
+    topology = routing.topology
+    node = source
+    hops: List[List[ChannelVC]] = []
+    for _ in range(max_hops):
+        decision = routing.route(node, header)
+        if decision.deliver or decision.absorb:
+            return hops
+        if not decision.candidates:
+            raise RoutingError(
+                f"routing produced no candidates and no terminal decision at node {node}"
+            )
+        # Deterministic/escape routing yields exactly one candidate.
+        candidate = decision.candidates[0]
+        hops.append([(node, candidate.port, vc) for vc in candidate.virtual_channels])
+        next_node = topology.neighbor_via_port(node, candidate.port)
+        if next_node is None:  # pragma: no cover - defensive
+            raise RoutingError(f"candidate port {candidate.port} leaves the network at {node}")
+        node = next_node
+    raise RoutingError(
+        f"deterministic walk from {source} towards {header.target} exceeded {max_hops} hops"
+    )
+
+
+def build_channel_dependency_graph(
+    routing: RoutingAlgorithm,
+    include_reversed_overrides: bool = True,
+    sources: Optional[Iterable[int]] = None,
+    destinations: Optional[Iterable[int]] = None,
+) -> nx.DiGraph:
+    """Build the (escape) channel dependency graph of ``routing``.
+
+    Parameters
+    ----------
+    routing:
+        The routing algorithm under analysis.  For adaptive algorithms the
+        escape network is analysed (which is what Duato's theorem requires).
+    include_reversed_overrides:
+        Also walk, for every dimension, the non-minimal path of a message
+        whose direction in that dimension was reversed by the Software-Based
+        re-routing policy.  This covers the paper's claim that re-routed
+        messages keep the dependency graph acyclic.
+    sources, destinations:
+        Restrict the enumeration (defaults to all healthy nodes).  Useful to
+        keep test runtimes low on larger networks.
+    """
+    topology = routing.topology
+    faults = routing.faults
+    healthy = [n for n in topology.nodes() if not faults.is_node_faulty(n)]
+    src_list = list(sources) if sources is not None else healthy
+    dst_list = list(destinations) if destinations is not None else healthy
+    max_hops = sum(topology.radices) * max(2, topology.dimensions)
+
+    graph = nx.DiGraph()
+    for src in src_list:
+        if faults.is_node_faulty(src):
+            continue
+        for dst in dst_list:
+            if dst == src or faults.is_node_faulty(dst):
+                continue
+            headers = [_escape_header(routing, src, dst)]
+            if include_reversed_overrides:
+                offsets = topology.offsets(src, dst)
+                for dim, off in enumerate(offsets):
+                    if off == 0:
+                        continue
+                    reversed_header = _escape_header(routing, src, dst)
+                    minimal_dir = PLUS if off > 0 else MINUS
+                    reversed_header.direction_overrides[dim] = -minimal_dir
+                    reversed_header.reversed_dimensions.add(dim)
+                    headers.append(reversed_header)
+            for header in headers:
+                try:
+                    hops = _walk_path(routing, src, header, max_hops)
+                except RoutingError:
+                    # A walk interrupted by absorption contributes the prefix
+                    # of dependencies it produced; walks that cannot even be
+                    # performed (e.g. the destination became unreachable for a
+                    # reversed header) contribute nothing.
+                    continue
+                for vcs in hops:
+                    graph.add_nodes_from(vcs)
+                for prev, curr in zip(hops, hops[1:]):
+                    for a in prev:
+                        for b in curr:
+                            graph.add_edge(a, b)
+    return graph
+
+
+def is_deadlock_free(
+    routing: RoutingAlgorithm,
+    include_reversed_overrides: bool = True,
+    sources: Optional[Iterable[int]] = None,
+    destinations: Optional[Iterable[int]] = None,
+) -> bool:
+    """True when the (escape) channel dependency graph of ``routing`` is acyclic."""
+    graph = build_channel_dependency_graph(
+        routing, include_reversed_overrides, sources, destinations
+    )
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def find_dependency_cycle(graph: nx.DiGraph) -> Optional[List[Tuple[ChannelVC, ChannelVC]]]:
+    """A cycle of the dependency graph, or ``None`` if the graph is acyclic.
+
+    Returned as a list of edges, which makes failing tests print the offending
+    dependency chain directly.
+    """
+    try:
+        return list(nx.find_cycle(graph, orientation="original"))
+    except nx.NetworkXNoCycle:
+        return None

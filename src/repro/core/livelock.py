@@ -1,0 +1,104 @@
+"""Livelock accounting for Software-Based re-routing.
+
+Unlike deadlocked messages, livelocked messages keep moving but never reach
+their destination.  The Software-Based scheme can misroute messages (reversal
+sends them the long way around a dimension; detours add orthogonal hops), so
+the paper argues (Section 4) that the number of re-routing steps per fault
+region is bounded by the region's extent, which bounds the total number of
+absorptions of any message as long as fault regions are finite and the healthy
+network stays connected.
+
+The simulation engine enforces that argument operationally through a
+:class:`LivelockGuard`: every absorption of a message is checked against a
+bound derived from the topology and fault set; exceeding the bound raises
+:class:`~repro.errors.LivelockError`, which in practice flags either a routing
+bug or a fault pattern outside the algorithm's guarantees (e.g. a disconnected
+network).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import LivelockError
+from repro.faults.model import FaultSet
+from repro.topology.base import Topology
+
+__all__ = ["absorption_bound", "LivelockGuard"]
+
+
+def absorption_bound(topology: Topology, faults: FaultSet, slack: int = 8) -> int:
+    """A conservative upper bound on per-message absorptions.
+
+    The bound follows the paper's livelock argument: a message can be absorbed
+
+    * at most twice per dimension for same-dimension reversals (once per
+      direction), and
+    * at most once per faulty node while stepping orthogonally around the
+      fault regions (a detour makes one hop of progress along the region
+      boundary per absorption, and a region of ``f`` faulty nodes has a
+      boundary of at most ``2n·f`` channels).
+
+    ``slack`` extra absorptions account for absorptions at intermediate target
+    nodes (which the engine also counts as software deliveries).  The bound is
+    intentionally loose — it is a safety net, not a performance parameter.
+    """
+    n = topology.dimensions
+    region_term = 2 * n * max(1, faults.num_faulty_nodes + faults.num_faulty_links)
+    return 2 * n + region_term + slack
+
+
+class LivelockGuard:
+    """Tracks per-message absorption counts against the livelock bound.
+
+    Parameters
+    ----------
+    max_absorptions:
+        Hard bound; ``None`` derives it from :func:`absorption_bound`.
+    topology, faults:
+        Used only when ``max_absorptions`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        max_absorptions: Optional[int] = None,
+        topology: Optional[Topology] = None,
+        faults: Optional[FaultSet] = None,
+    ) -> None:
+        if max_absorptions is None:
+            if topology is None:
+                raise ValueError("either max_absorptions or a topology must be provided")
+            max_absorptions = absorption_bound(
+                topology, faults if faults is not None else FaultSet.empty()
+            )
+        if max_absorptions <= 0:
+            raise ValueError("max_absorptions must be positive")
+        self._max_absorptions = int(max_absorptions)
+        self._worst_seen = 0
+
+    @property
+    def max_absorptions(self) -> int:
+        """The enforced bound."""
+        return self._max_absorptions
+
+    @property
+    def worst_seen(self) -> int:
+        """Largest absorption count observed so far (for reporting)."""
+        return self._worst_seen
+
+    def check(self, message_id: int, absorptions: int) -> None:
+        """Record an absorption and enforce the bound.
+
+        Raises
+        ------
+        LivelockError
+            When ``absorptions`` exceeds the configured bound.
+        """
+        if absorptions > self._worst_seen:
+            self._worst_seen = absorptions
+        if absorptions > self._max_absorptions:
+            raise LivelockError(
+                f"message {message_id} was absorbed {absorptions} times, exceeding the "
+                f"livelock bound of {self._max_absorptions}; the fault pattern likely "
+                f"violates the connectivity assumption or a routing bug is present"
+            )

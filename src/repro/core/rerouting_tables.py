@@ -1,0 +1,200 @@
+"""The three re-routing tables consulted by the Software-Based messaging layer.
+
+When a message is absorbed at a node because the outgoing channel(s) it needs
+lead to faulty components, the node's message-passing software decides how to
+modify the header before re-injecting the message.  The original 2-D
+Software-Based algorithm (Suh et al., IEEE TPDS 2000) encodes that decision in
+three tables; the 2006 paper summarises their intent:
+
+    "When a message encounters a fault, it is first re-routed in the same
+    dimension in the opposite direction.  If another fault is encountered, the
+    message is routed in an orthogonal dimension in an attempt to route around
+    the faulty regions."
+
+Suh et al.'s exact table contents are not reprinted in the 2006 paper, so this
+module reconstructs them from that description (see DESIGN.md, "Substitutions
+and scale").  The three tables are:
+
+* **reversal table** — for the first fault a message meets in a dimension:
+  reverse the travel direction within that dimension (non-minimal, using the
+  torus wrap-around);
+* **detour table** — for a fault met after the dimension has already been
+  reversed (or when the opposite direction is also faulty): step into an
+  orthogonal dimension of the active dimension pair; the table also encodes
+  *how* the intermediate node address is formed, which differs depending on
+  whether the detour dimension is routed before or after the blocked dimension
+  by e-cube order;
+* **resume table** — for a message absorbed at an intermediate target node:
+  re-target the final destination and continue.
+
+The tables are exhaustive over their (small, discrete) input domain, which
+makes them directly testable: every possible state maps to exactly one action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+__all__ = [
+    "ReroutingAction",
+    "DetourKind",
+    "ReroutingDecision",
+    "ReroutingTables",
+]
+
+
+class ReroutingAction(Enum):
+    """High-level action the software layer applies to an absorbed message."""
+
+    #: Reverse the travel direction within the blocked dimension.
+    REVERSE = "reverse"
+    #: Step into an orthogonal dimension via an intermediate node address.
+    DETOUR = "detour"
+    #: The message was absorbed at an intermediate target: aim at the final
+    #: destination again.
+    RESUME = "resume"
+
+
+class DetourKind(Enum):
+    """How the intermediate node address of a detour is formed.
+
+    ``SINGLE_HOP``
+        The intermediate node is the neighbour one hop away in the detour
+        dimension.  Used when the detour dimension is routed *after* the
+        blocked dimension by e-cube order, so that the path towards the
+        intermediate node does not re-enter the blocked dimension.
+
+    ``COLUMN``
+        The intermediate node is one hop away in the detour dimension *and*
+        carries the target coordinate of the blocked dimension, i.e. the
+        message crosses the fault region in the adjacent column before coming
+        back.  Used when the detour dimension is routed *before* the blocked
+        dimension, where a single-hop detour would be undone immediately by
+        minimal routing (ping-pong livelock).
+    """
+
+    SINGLE_HOP = "single-hop"
+    COLUMN = "column"
+
+
+@dataclass(frozen=True)
+class ReroutingDecision:
+    """The decision returned by :meth:`ReroutingTables.decide`."""
+
+    action: ReroutingAction
+    detour_kind: DetourKind | None = None
+
+
+# State of the blocked message as seen by the tables:
+#   (already_reversed, opposite_direction_faulty)
+_ReversalKey = Tuple[bool, bool]
+# Relationship of the chosen detour dimension to the blocked dimension:
+#   True  -> detour dimension is routed after the blocked one (higher index)
+#   False -> detour dimension is routed before the blocked one (lower index)
+_DetourKey = bool
+# Whether the intermediate target equals the final destination (always False
+# when the resume table is consulted, kept for exhaustiveness).
+_ResumeKey = bool
+
+
+class ReroutingTables:
+    """Exhaustive decision tables for the Software-Based re-routing policy.
+
+    The tables are built once per routing-algorithm instance; they are pure
+    data (no topology knowledge) so that the planar rerouter in
+    :mod:`repro.core.swbased2d` remains the single place where node addresses
+    are computed.
+    """
+
+    def __init__(self) -> None:
+        self._reversal_table: Dict[_ReversalKey, ReroutingAction] = {
+            # First fault in this dimension and the opposite direction is
+            # healthy: reverse within the dimension.
+            (False, False): ReroutingAction.REVERSE,
+            # First fault but the opposite direction is also blocked at this
+            # node: reversing is pointless, detour orthogonally.
+            (False, True): ReroutingAction.DETOUR,
+            # Already reversed once: a second fault in the same dimension
+            # always triggers the orthogonal detour.
+            (True, False): ReroutingAction.DETOUR,
+            (True, True): ReroutingAction.DETOUR,
+        }
+        self._detour_table: Dict[_DetourKey, DetourKind] = {
+            # Detour dimension routed after the blocked dimension (e.g. detour
+            # in Y while X is blocked): a single orthogonal hop suffices.
+            True: DetourKind.SINGLE_HOP,
+            # Detour dimension routed before the blocked dimension (e.g. detour
+            # in X while Y is blocked): carry the blocked dimension's target
+            # coordinate so minimal routing does not undo the detour.
+            False: DetourKind.COLUMN,
+        }
+        self._resume_table: Dict[_ResumeKey, ReroutingAction] = {
+            False: ReroutingAction.RESUME,
+            True: ReroutingAction.RESUME,
+        }
+
+    # ------------------------------------------------------------------ #
+    # table lookups
+    # ------------------------------------------------------------------ #
+    def decide(
+        self,
+        already_reversed: bool,
+        opposite_direction_faulty: bool,
+        detour_dimension_is_higher: bool,
+    ) -> ReroutingDecision:
+        """Decision for a message absorbed because of a fault.
+
+        Parameters
+        ----------
+        already_reversed:
+            Whether the same-dimension reversal was already applied to the
+            blocked dimension for this message.
+        opposite_direction_faulty:
+            Whether the channel in the opposite direction of the blocked
+            dimension is itself faulty at the absorbing node.
+        detour_dimension_is_higher:
+            Whether the orthogonal dimension that would be used for a detour
+            is routed after the blocked dimension by e-cube order.  Only
+            consulted when the action is a detour.
+        """
+        action = self._reversal_table[(already_reversed, opposite_direction_faulty)]
+        if action is ReroutingAction.REVERSE:
+            return ReroutingDecision(action=action)
+        kind = self._detour_table[detour_dimension_is_higher]
+        return ReroutingDecision(action=ReroutingAction.DETOUR, detour_kind=kind)
+
+    def decide_resume(self, target_is_final: bool) -> ReroutingDecision:
+        """Decision for a message absorbed at an intermediate target node."""
+        return ReroutingDecision(action=self._resume_table[target_is_final])
+
+    # ------------------------------------------------------------------ #
+    # introspection (used by tests and documentation)
+    # ------------------------------------------------------------------ #
+    @property
+    def reversal_table(self) -> Dict[_ReversalKey, ReroutingAction]:
+        """The raw reversal table (state → action)."""
+        return dict(self._reversal_table)
+
+    @property
+    def detour_table(self) -> Dict[_DetourKey, DetourKind]:
+        """The raw detour table (detour-dimension relation → intermediate kind)."""
+        return dict(self._detour_table)
+
+    @property
+    def resume_table(self) -> Dict[_ResumeKey, ReroutingAction]:
+        """The raw resume table."""
+        return dict(self._resume_table)
+
+    def is_exhaustive(self) -> bool:
+        """True when every reachable state has an entry in its table."""
+        reversal_ok = set(self._reversal_table) == {
+            (False, False),
+            (False, True),
+            (True, False),
+            (True, True),
+        }
+        detour_ok = set(self._detour_table) == {True, False}
+        resume_ok = set(self._resume_table) == {True, False}
+        return reversal_ok and detour_ok and resume_ok

@@ -1,0 +1,307 @@
+"""Planar (2-D) Software-Based re-routing policy.
+
+This module implements the software side of ``detRouting2D`` /
+``adapRouting2D`` from Fig. 2 of the paper: what the message-passing layer of
+a node does to the header of a message that was absorbed because its required
+outgoing channel(s) lead to faults.  The policy operates on the message's
+*active dimension pair* — the blocked dimension and its partner in the
+SW-Based-nD pairing — and consults the three re-routing tables of
+:mod:`repro.core.rerouting_tables`:
+
+1. *reversal*: force the opposite direction within the blocked dimension (the
+   torus wrap-around provides the alternative path);
+2. *detour*: install an intermediate node address one step away in an
+   orthogonal dimension; the exact form of the intermediate address depends on
+   whether the detour dimension is routed before or after the blocked one
+   (see :class:`~repro.core.rerouting_tables.DetourKind`);
+3. *resume*: a message absorbed at an intermediate target is simply aimed at
+   its final destination again.
+
+The class is topology- and fault-aware but completely independent of the
+simulation engine, so it can be unit-tested exhaustively on hand-crafted fault
+patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.rerouting_tables import DetourKind, ReroutingAction, ReroutingTables
+from repro.errors import RoutingError
+from repro.faults.model import FaultSet
+from repro.routing.base import RoutingHeader
+from repro.topology.base import Topology
+from repro.topology.channels import MINUS, PLUS
+
+__all__ = ["partner_dimension", "PlanarRerouter"]
+
+
+def partner_dimension(dimension: int, dimensions: int) -> int:
+    """The partner of ``dimension`` in the SW-Based-nD dimension pairing.
+
+    The algorithm of Fig. 2 routes messages through consecutive dimension
+    pairs ``(i, i+1)``; the partner of dimension ``i`` is therefore ``i+1``,
+    except for the highest dimension, whose pair is ``(n-2, n-1)``.
+    """
+    if dimensions < 2:
+        raise ValueError("the Software-Based pairing needs at least two dimensions")
+    if not 0 <= dimension < dimensions:
+        raise ValueError(f"dimension {dimension} out of range for {dimensions} dimensions")
+    if dimension + 1 < dimensions:
+        return dimension + 1
+    return dimension - 1
+
+
+class PlanarRerouter:
+    """Software re-routing policy applied by the messaging layer on absorption."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        faults: Optional[FaultSet] = None,
+        tables: Optional[ReroutingTables] = None,
+    ) -> None:
+        if topology.dimensions < 2:
+            raise ValueError("Software-Based routing requires at least a 2-D network")
+        self._topology = topology
+        self._faults = faults if faults is not None else FaultSet.empty()
+        self._tables = tables if tables is not None else ReroutingTables()
+
+    @property
+    def tables(self) -> ReroutingTables:
+        """The re-routing tables consulted by this policy."""
+        return self._tables
+
+    @property
+    def topology(self) -> Topology:
+        """The network this policy operates on."""
+        return self._topology
+
+    @property
+    def faults(self) -> FaultSet:
+        """The static fault set known to the policy."""
+        return self._faults
+
+    # ------------------------------------------------------------------ #
+    # header-state helpers (mirror RoutingAlgorithm's override semantics)
+    # ------------------------------------------------------------------ #
+    def _remaining_offset(self, node: int, header: RoutingHeader, dimension: int) -> int:
+        topo = self._topology
+        current = topo.coords(node)[dimension]
+        target = topo.coords(header.target)[dimension]
+        if current == target:
+            return 0
+        override = header.direction_overrides.get(dimension)
+        if override is None or not topo.wraparound:
+            return topo.offsets(node, header.target)[dimension]
+        k = topo.radices[dimension]
+        if override == PLUS:
+            return (target - current) % k
+        return -((current - target) % k)
+
+    def _channel_is_faulty(self, node: int, dimension: int, direction: int) -> bool:
+        neighbour = self._topology.neighbor(node, dimension, direction)
+        if neighbour is None:
+            return True
+        return self._faults.is_link_faulty(node, neighbour)
+
+    def blocked_dimension(self, node: int, header: RoutingHeader) -> Optional[Tuple[int, int]]:
+        """The dimension/direction e-cube order would route next, or ``None``.
+
+        This is the dimension the re-routing decision reasons about.  It is
+        recomputed from the header state (rather than plumbed through the
+        absorption machinery) so the policy is self-contained.
+        """
+        for dim in range(self._topology.dimensions):
+            offset = self._remaining_offset(node, header, dim)
+            if offset != 0:
+                direction = PLUS if offset > 0 else MINUS
+                return dim, direction
+        return None
+
+    # ------------------------------------------------------------------ #
+    # the policy
+    # ------------------------------------------------------------------ #
+    def rewrite(self, node: int, header: RoutingHeader) -> ReroutingAction:
+        """Mutate ``header`` so that re-injection at ``node`` makes progress.
+
+        Returns the action that was applied (useful for statistics and tests).
+
+        Raises
+        ------
+        RoutingError
+            If no healthy outgoing direction exists at ``node`` (the node is
+            isolated, contradicting the paper's connectivity assumption), or
+            if the header targets a faulty node.
+        """
+        if self._faults.is_node_faulty(header.final_destination):
+            raise RoutingError(
+                f"message destined to faulty node {header.final_destination} "
+                f"cannot be re-routed"
+            )
+
+        blocked = self.blocked_dimension(node, header)
+        if blocked is None:
+            # Absorbed exactly at its target: behave like the resume table.
+            decision = self._tables.decide_resume(not header.is_intermediate)
+            header.retarget(header.final_destination)
+            return decision.action
+
+        dim, direction = blocked
+        already_reversed = dim in header.reversed_dimensions
+        opposite_faulty = self._channel_is_faulty(node, dim, -direction)
+        # Probe the detour dimension that would be used, so the table lookup
+        # can select the intermediate-address form.
+        detour_probe = self._select_detour(node, header, dim, probe_only=True)
+        detour_is_higher = detour_probe[0] > dim if detour_probe is not None else True
+
+        decision = self._tables.decide(already_reversed, opposite_faulty, detour_is_higher)
+
+        if decision.action is ReroutingAction.REVERSE:
+            self._apply_reversal(header, dim, direction)
+            return decision.action
+
+        # DETOUR
+        if detour_probe is None:
+            # No orthogonal channel is available at this node.  If the opposite
+            # direction within the blocked dimension is healthy, fall back to a
+            # (repeated) reversal — it is the only remaining way to make
+            # progress.  Otherwise the node really is cut off, which violates
+            # the paper's connectivity assumption (h).
+            if not opposite_faulty:
+                self._apply_reversal(header, dim, direction)
+                return ReroutingAction.REVERSE
+            if not self._channel_is_faulty(node, dim, direction):
+                # Spurious absorption: the channel the message was waiting for
+                # is actually healthy (possible when the software layer is
+                # invoked conservatively).  Re-inject with an unchanged header.
+                return ReroutingAction.RESUME
+            raise RoutingError(
+                f"node {node} has no healthy outgoing channel at all; "
+                f"the fault set isolates it (violates assumption (h))"
+            )
+        detour_dim, detour_dir = detour_probe
+        self._apply_detour(node, header, dim, detour_dim, detour_dir, decision.detour_kind)
+        return decision.action
+
+    def resume(self, header: RoutingHeader) -> ReroutingAction:
+        """Handle absorption at an intermediate target: aim at the destination again."""
+        decision = self._tables.decide_resume(not header.is_intermediate)
+        header.retarget(header.final_destination)
+        return decision.action
+
+    # ------------------------------------------------------------------ #
+    # actions
+    # ------------------------------------------------------------------ #
+    def _apply_reversal(self, header: RoutingHeader, dim: int, direction: int) -> None:
+        header.direction_overrides[dim] = -direction
+        header.reversed_dimensions.add(dim)
+        header.misroutes += 1
+
+    def _apply_detour(
+        self,
+        node: int,
+        header: RoutingHeader,
+        blocked_dim: int,
+        detour_dim: int,
+        detour_dir: int,
+        kind: Optional[DetourKind],
+    ) -> None:
+        topo = self._topology
+        step_neighbour = topo.neighbor(node, detour_dim, detour_dir)
+        assert step_neighbour is not None  # _select_detour only returns healthy channels
+
+        if kind is DetourKind.COLUMN:
+            intermediate = self._column_intermediate(node, header, blocked_dim, step_neighbour)
+        else:
+            intermediate = step_neighbour
+
+        header.detour_directions[detour_dim] = detour_dir
+        header.retarget(intermediate)
+        header.misroutes += 1
+
+    def _column_intermediate(
+        self, node: int, header: RoutingHeader, blocked_dim: int, step_neighbour: int
+    ) -> int:
+        """Intermediate address for a COLUMN detour.
+
+        The intermediate node lies in the detour column (the coordinates of
+        ``step_neighbour``) and carries the blocked dimension's target
+        coordinate, so that the message crosses the fault region in the
+        adjacent column before coming back.  If that exact node is faulty, the
+        blocked-dimension coordinate is walked back towards the current
+        coordinate until a healthy node is found; the walk terminates because
+        ``step_neighbour`` itself is healthy.
+        """
+        topo = self._topology
+        faults = self._faults
+        column = list(topo.coords(step_neighbour))
+        target_coord = topo.coords(header.target)[blocked_dim]
+        current_coord = column[blocked_dim]
+        k = topo.radices[blocked_dim]
+
+        # Direction of travel within the blocked dimension (override-aware).
+        override = header.direction_overrides.get(blocked_dim)
+        if override is not None:
+            travel_dir = override
+        else:
+            offset = self._remaining_offset(node, header, blocked_dim)
+            travel_dir = PLUS if offset > 0 else MINUS
+
+        # Candidate coordinates from the target coordinate back towards the
+        # current coordinate, walking against the travel direction.
+        coord = target_coord
+        while True:
+            column[blocked_dim] = coord
+            candidate = topo.node_id(column)
+            if not faults.is_node_faulty(candidate):
+                return candidate
+            if coord == current_coord:
+                # Fully degenerated to the plain orthogonal step.
+                return step_neighbour
+            if topo.wraparound:
+                coord = (coord - travel_dir) % k
+            else:
+                coord = coord - travel_dir
+                if not 0 <= coord < k:  # pragma: no cover - defensive for meshes
+                    return step_neighbour
+
+    # ------------------------------------------------------------------ #
+    # detour selection
+    # ------------------------------------------------------------------ #
+    def _select_detour(
+        self, node: int, header: RoutingHeader, blocked_dim: int, probe_only: bool = False
+    ) -> Optional[Tuple[int, int]]:
+        """Choose the orthogonal dimension and direction for a detour.
+
+        Preference order for the dimension: the SW-Based-nD pair partner of the
+        blocked dimension first, then the remaining dimensions.  Preference
+        order for the direction within a dimension: the message's sticky
+        detour direction (to avoid oscillating around a region), then the
+        minimal direction towards the final destination, then ``+``/``-``.
+        Only healthy channels are returned.
+        """
+        topo = self._topology
+        n = topo.dimensions
+        preferred = [partner_dimension(blocked_dim, n)]
+        for dim in range(n):
+            if dim != blocked_dim and dim not in preferred:
+                preferred.append(dim)
+
+        final_offsets = topo.offsets(node, header.final_destination)
+        for dim in preferred:
+            directions: List[int] = []
+            sticky = header.detour_directions.get(dim)
+            if sticky is not None:
+                directions.append(sticky)
+            if final_offsets[dim] > 0 and PLUS not in directions:
+                directions.append(PLUS)
+            elif final_offsets[dim] < 0 and MINUS not in directions:
+                directions.append(MINUS)
+            for fallback in (PLUS, MINUS):
+                if fallback not in directions:
+                    directions.append(fallback)
+            for direction in directions:
+                if not self._channel_is_faulty(node, dim, direction):
+                    return dim, direction
+        return None

@@ -1,0 +1,231 @@
+"""SW-Based-nD: Software-Based fault-tolerant routing for n-dimensional tori.
+
+This is the paper's contribution (Fig. 2).  The algorithm comes in two
+flavours:
+
+* **deterministic** — in the absence of faults it is identical to
+  dimension-order (e-cube) routing; when a message's required outgoing channel
+  is faulty, the message is absorbed by the local node's software layer, its
+  header is rewritten by the planar re-routing policy
+  (:class:`~repro.core.swbased2d.PlanarRerouter`) and it is re-injected;
+* **adaptive** — in the absence of faults it is identical to Duato's Protocol
+  fully adaptive routing; a message is absorbed only when *every* profitable
+  outgoing channel at its current router is faulty, after which it is routed
+  deterministically for the rest of its journey
+  (``routing_type := Deterministic`` in Fig. 2).
+
+The n-dimensional structure of the paper — messages traverse consecutive
+dimension *pairs* ``(i, i+1)`` and the fault-handling subroutines only ever
+reason about two dimensions at a time — is reflected here by the planar
+rerouter: the re-routing decision for a fault in dimension ``i`` detours
+through the pair partner ``i+1`` (or ``i-1`` for the last dimension) before
+considering any other dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.rerouting_tables import ReroutingAction, ReroutingTables
+from repro.core.swbased2d import PlanarRerouter, partner_dimension
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.routing.base import (
+    ADAPTIVE_MODE,
+    DETERMINISTIC_MODE,
+    RoutingAlgorithm,
+    RoutingDecision,
+    RoutingHeader,
+)
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoRouting
+from repro.topology.base import Topology
+
+__all__ = ["SoftwareBasedRouting", "SWBased2DRouting"]
+
+
+class SoftwareBasedRouting(RoutingAlgorithm):
+    """The SW-Based-nD routing algorithm (deterministic or adaptive flavour).
+
+    Parameters
+    ----------
+    topology:
+        A k-ary n-cube (or mesh) with at least two dimensions.
+    faults:
+        The static fault set.  The network induced by healthy components must
+        remain connected (assumption (h)); use
+        :func:`repro.faults.assert_faults_keep_network_connected` to verify.
+    num_virtual_channels:
+        Virtual channels per physical channel (``V``).  The deterministic
+        flavour needs ``V >= 2``; the adaptive flavour needs ``V >= 3``.
+    mode:
+        ``"deterministic"`` or ``"adaptive"``.
+    valve_period:
+        Robustness valve: after this many absorptions of the same message its
+        reversal state is cleared so the search for a path restarts from the
+        message's current position.  This guards against pathological
+        multi-region configurations; it never triggers for the fault patterns
+        the paper evaluates.  Set to 0 to disable.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        faults: Optional[FaultSet] = None,
+        num_virtual_channels: int = 2,
+        mode: str = DETERMINISTIC_MODE,
+        valve_period: int = 12,
+        tables: Optional[ReroutingTables] = None,
+    ) -> None:
+        if mode not in (DETERMINISTIC_MODE, ADAPTIVE_MODE):
+            raise ConfigurationError(f"unknown Software-Based mode {mode!r}")
+        if topology.dimensions < 2:
+            raise ConfigurationError(
+                "Software-Based routing requires a network with at least 2 dimensions"
+            )
+        self._mode = mode
+        super().__init__(topology, faults, num_virtual_channels)
+        self.name = f"swbased-{mode}"
+        if mode == ADAPTIVE_MODE:
+            self._inner: RoutingAlgorithm = DuatoRouting(
+                topology, self._faults, num_virtual_channels
+            )
+        else:
+            self._inner = DimensionOrderRouting(topology, self._faults, num_virtual_channels)
+        self._tables = tables if tables is not None else ReroutingTables()
+        self._rerouter = PlanarRerouter(topology, self._faults, self._tables)
+        self._valve_period = int(valve_period)
+
+    # ------------------------------------------------------------------ #
+    # constructors used by the registry
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def deterministic(
+        cls,
+        topology: Topology,
+        faults: Optional[FaultSet] = None,
+        num_virtual_channels: int = 2,
+        **kwargs,
+    ) -> "SoftwareBasedRouting":
+        """The deterministic flavour (e-cube when fault free)."""
+        return cls(topology, faults, num_virtual_channels, mode=DETERMINISTIC_MODE, **kwargs)
+
+    @classmethod
+    def adaptive(
+        cls,
+        topology: Topology,
+        faults: Optional[FaultSet] = None,
+        num_virtual_channels: int = 3,
+        **kwargs,
+    ) -> "SoftwareBasedRouting":
+        """The adaptive flavour (Duato's Protocol when fault free)."""
+        return cls(topology, faults, num_virtual_channels, mode=ADAPTIVE_MODE, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def mode(self) -> str:
+        """``"deterministic"`` or ``"adaptive"``."""
+        return self._mode
+
+    @property
+    def uses_adaptive_channels(self) -> bool:
+        return self._mode == ADAPTIVE_MODE
+
+    @property
+    def is_fault_tolerant(self) -> bool:
+        return True
+
+    @property
+    def tables(self) -> ReroutingTables:
+        """The re-routing tables used by the software layer."""
+        return self._tables
+
+    @property
+    def rerouter(self) -> PlanarRerouter:
+        """The planar re-routing policy (exposed for tests and analysis)."""
+        return self._rerouter
+
+    @property
+    def valve_period(self) -> int:
+        """Absorptions after which a message's reversal state is reset (0 = never)."""
+        return self._valve_period
+
+    # ------------------------------------------------------------------ #
+    # the routing function (network side)
+    # ------------------------------------------------------------------ #
+    def initial_header(self, source: int, destination: int) -> RoutingHeader:
+        mode = ADAPTIVE_MODE if self._mode == ADAPTIVE_MODE else DETERMINISTIC_MODE
+        return RoutingHeader(
+            final_destination=destination,
+            target=destination,
+            routing_mode=mode,
+        )
+
+    def route(self, node: int, header: RoutingHeader) -> RoutingDecision:
+        return self._inner.route(node, header)
+
+    # ------------------------------------------------------------------ #
+    # the software side (messaging layer callbacks)
+    # ------------------------------------------------------------------ #
+    def rewrite_after_absorption(self, node: int, header: RoutingHeader) -> ReroutingAction:
+        """Software re-routing of a message absorbed at ``node`` because of a fault.
+
+        Once a message encounters a fault it is routed deterministically for
+        the rest of its journey (Fig. 2 of the paper), so the routing mode is
+        downgraded here before the planar policy rewrites the header.
+        """
+        header.routing_mode = DETERMINISTIC_MODE
+        if (
+            self._valve_period > 0
+            and header.absorptions > 0
+            and header.absorptions % self._valve_period == 0
+        ):
+            header.reversed_dimensions.clear()
+            header.direction_overrides.clear()
+        return self._rerouter.rewrite(node, header)
+
+    def on_intermediate_target_reached(self, node: int, header: RoutingHeader) -> None:
+        """A message reached an intermediate target: aim it at its destination again."""
+        self._rerouter.resume(header)
+
+    # ------------------------------------------------------------------ #
+    # the paper's dimension-pair structure (for analysis and tests)
+    # ------------------------------------------------------------------ #
+    def active_pair(self, node: int, header: RoutingHeader) -> Optional[Tuple[int, int]]:
+        """The dimension pair ``(i, partner)`` the message is currently working in.
+
+        ``i`` is the lowest dimension whose offset towards the current target
+        is non-zero; the partner follows the SW-Based-nD pairing.  Returns
+        ``None`` when the message has reached its target.
+        """
+        for dim in range(self._topology.dimensions):
+            if self.remaining_offset(node, header, dim) != 0:
+                return dim, partner_dimension(dim, self._topology.dimensions)
+        return None
+
+
+class SWBased2DRouting(SoftwareBasedRouting):
+    """Convenience wrapper for the original 2-D algorithm of Suh et al.
+
+    ``SW-Based-2D`` is exactly ``SW-Based-nD`` instantiated on a 2-dimensional
+    torus; this subclass simply enforces the dimensionality so that tests and
+    examples reproducing the original algorithm cannot accidentally use a
+    higher-dimensional network.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        faults: Optional[FaultSet] = None,
+        num_virtual_channels: int = 2,
+        mode: str = DETERMINISTIC_MODE,
+        **kwargs,
+    ) -> None:
+        if topology.dimensions != 2:
+            raise ConfigurationError(
+                f"SW-Based-2D requires a 2-dimensional network, got {topology.dimensions}-D"
+            )
+        super().__init__(topology, faults, num_virtual_channels, mode=mode, **kwargs)
+        self.name = f"swbased2d-{mode}"

@@ -1,0 +1,46 @@
+"""Exception hierarchy shared across the library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "RoutingError",
+    "DeadlockError",
+    "LivelockError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulation or experiment configuration was supplied."""
+
+
+class RoutingError(ReproError):
+    """A routing function reached a state it cannot handle.
+
+    Typical causes: a message targeted at a faulty node, or a node whose every
+    outgoing channel is faulty (which contradicts the connectivity assumption
+    (h) of the paper).
+    """
+
+
+class DeadlockError(ReproError):
+    """The simulation made no progress for longer than the watchdog interval.
+
+    With the deadlock-free algorithms implemented here this indicates a bug
+    (or an intentionally mis-configured experiment); the error message reports
+    the cycle and the number of in-flight messages to aid debugging.
+    """
+
+
+class LivelockError(ReproError):
+    """A message exceeded the configured bound on fault-induced absorptions."""
+
+
+class SimulationError(ReproError):
+    """Generic failure inside the simulation engine."""

@@ -1,0 +1,38 @@
+"""Experiment harness: one module per figure of the paper.
+
+Every module exposes
+
+* ``PANELS`` / ``SERIES`` — the parameter combinations the paper plots,
+* ``run(...)`` — regenerate the figure's data (scaled down by default, see
+  :mod:`repro.experiments.common`), and
+* ``summarize(...)`` — an ASCII rendering of the regenerated series.
+
+The benchmark suite under ``benchmarks/`` simply calls these ``run`` functions
+so that the same code path serves interactive use, tests and benchmarking.
+"""
+
+from repro.experiments import fig1_regions, fig3_latency_2d, fig4_latency_3d
+from repro.experiments import fig5_fault_regions, fig6_throughput, fig7_messages_queued
+from repro.experiments.common import ExperimentScale, get_scale
+
+#: Registry mapping experiment ids to their module.
+EXPERIMENTS = {
+    "fig1": fig1_regions,
+    "fig3": fig3_latency_2d,
+    "fig4": fig4_latency_3d,
+    "fig5": fig5_fault_regions,
+    "fig6": fig6_throughput,
+    "fig7": fig7_messages_queued,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentScale",
+    "get_scale",
+    "fig1_regions",
+    "fig3_latency_2d",
+    "fig4_latency_3d",
+    "fig5_fault_regions",
+    "fig6_throughput",
+    "fig7_messages_queued",
+]

@@ -1,0 +1,95 @@
+"""Shared scaffolding for the figure-reproduction experiments.
+
+The paper derives 100,000 messages per configuration (statistics inhibited for
+the first 10,000) on a compiled simulator.  A pure-Python flit-level simulator
+cannot afford that for every point of every panel, so the harness runs a
+scaled-down version by default and exposes one knob to scale back up:
+
+* the environment variable ``REPRO_SCALE`` multiplies the number of measured
+  and warm-up messages as well as the number of sweep points (``REPRO_SCALE=25``
+  approaches the paper's message counts);
+* every ``run()`` function also accepts an explicit
+  :class:`ExperimentScale`, which takes precedence over the environment.
+
+EXPERIMENTS.md records which scale was used for the committed results.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ExperimentScale", "get_scale", "rate_grid", "DEFAULT_SCALE"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size of one experiment run.
+
+    Attributes
+    ----------
+    measure_messages:
+        Messages measured per simulated point (the paper uses 90,000).
+    warmup_messages:
+        Messages excluded from statistics (the paper uses 10,000).
+    rate_points:
+        Number of injection-rate points per latency curve.
+    fault_trials:
+        Independent random fault sets per fault count (Figs. 6 and 7).
+    max_cycles:
+        Cap on simulated cycles per point.
+    """
+
+    measure_messages: int = 400
+    warmup_messages: int = 60
+    rate_points: int = 5
+    fault_trials: int = 1
+    max_cycles: int = 150_000
+
+    def scaled(self, factor: float) -> "ExperimentScale":
+        """This scale with message counts and sweep resolution multiplied."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            measure_messages=max(50, int(round(self.measure_messages * factor))),
+            warmup_messages=max(10, int(round(self.warmup_messages * factor))),
+            rate_points=max(3, int(round(self.rate_points * min(factor, 3.0)))),
+            fault_trials=max(1, int(round(self.fault_trials * min(factor, 5.0)))),
+            max_cycles=int(self.max_cycles * max(1.0, factor)),
+        )
+
+
+#: The default (benchmark-friendly) scale.
+DEFAULT_SCALE = ExperimentScale()
+
+
+def get_scale(scale: Optional[ExperimentScale] = None) -> ExperimentScale:
+    """Resolve the experiment scale from an argument or the environment."""
+    if scale is not None:
+        return scale
+    factor = os.environ.get("REPRO_SCALE")
+    if factor:
+        try:
+            return DEFAULT_SCALE.scaled(float(factor))
+        except ValueError as exc:
+            raise ValueError(f"invalid REPRO_SCALE value {factor!r}") from exc
+    return DEFAULT_SCALE
+
+
+def rate_grid(max_rate: float, points: int, min_rate: Optional[float] = None) -> List[float]:
+    """Evenly spaced injection rates, mirroring the paper's x axes.
+
+    The paper's curves start near zero load and end just past saturation; the
+    grid therefore runs from ``max_rate / points`` (or ``min_rate``) to
+    ``max_rate`` inclusive.
+    """
+    if max_rate <= 0:
+        raise ValueError("max_rate must be positive")
+    if points < 2:
+        raise ValueError("need at least two points")
+    lo = min_rate if min_rate is not None else max_rate / points
+    return [float(r) for r in np.linspace(lo, max_rate, points)]

@@ -1,0 +1,67 @@
+"""Fig. 1 — examples of coalesced fault regions in a 2-D torus.
+
+The original figure is a schematic; the reproduction builds each of the shapes
+it names (``|``, ``||``, rectangular, L, U, T, +, H) as an actual
+:class:`~repro.faults.regions.FaultRegion` on an 8-ary 2-cube and renders them
+as ASCII grids.  The same regions are reused (with the paper's exact fault
+counts) by the Fig. 5 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.plotting import render_fault_region
+from repro.faults.regions import FaultRegion, make_fault_region
+from repro.topology.torus import TorusTopology
+
+__all__ = ["SHAPES", "build_regions", "run", "summarize"]
+
+#: Shape name -> builder keyword arguments used for the illustration.
+SHAPES = {
+    "column": {"length": 3},
+    "double-column": {"length": 3, "gap": 1},
+    "rect": {"width": 3, "height": 2},
+    "L": {"vertical": 4, "horizontal": 4},
+    "U": {"width": 4, "height": 3},
+    "T": {"top": 5, "stem": 3},
+    "plus": {"horizontal": 5, "vertical": 5},
+    "H": {"height": 5, "span": 2},
+}
+
+
+def build_regions(radix: int = 8) -> Dict[str, FaultRegion]:
+    """One embedded region per shape of Fig. 1, on a ``radix``-ary 2-cube."""
+    topology = TorusTopology(radix=radix, dimensions=2)
+    return {
+        name: make_fault_region(topology, name, **kwargs) for name, kwargs in SHAPES.items()
+    }
+
+
+def run(radix: int = 8) -> Dict[str, Dict[str, object]]:
+    """Regenerate the Fig. 1 data: each region's nodes, size and convexity."""
+    topology = TorusTopology(radix=radix, dimensions=2)
+    regions = build_regions(radix)
+    out: Dict[str, Dict[str, object]] = {}
+    for name, region in regions.items():
+        out[name] = {
+            "shape": name,
+            "num_faults": region.num_faults,
+            "convex": region.convex,
+            "nodes": sorted(region.nodes),
+            "rendering": render_fault_region(topology, region),
+        }
+    return out
+
+
+def summarize(results: Optional[Dict[str, Dict[str, object]]] = None) -> str:
+    """ASCII rendering of every region, convex shapes first (as in Fig. 1)."""
+    if results is None:
+        results = run()
+    parts = []
+    for name, info in sorted(results.items(), key=lambda kv: (not kv[1]["convex"], kv[0])):
+        kind = "convex" if info["convex"] else "concave"
+        parts.append(f"{name}-shaped region ({kind}, {info['num_faults']} faulty nodes):")
+        parts.append(str(info["rendering"]))
+        parts.append("")
+    return "\n".join(parts)

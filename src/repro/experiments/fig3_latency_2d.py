@@ -1,0 +1,107 @@
+"""Fig. 3 — mean message latency vs traffic rate in an 8-ary 2-cube.
+
+The paper's Fig. 3 has six panels: deterministic and adaptive Software-Based
+routing with V = 4, 6 and 10 virtual channels per physical channel.  Each
+panel contains six curves: message lengths M = 32 and 64 flits combined with
+n_f = 0, 3 and 5 random faulty nodes.  The reproduction regenerates any subset
+of those curves; the defaults pick the V = 4 panels with M = 32, which is
+enough to exhibit every trend the paper reports (latency grows with n_f and
+with M, the network saturates earlier with more faults, adaptive routing
+saturates later than deterministic routing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.tables import series_table
+from repro.experiments.common import ExperimentScale, get_scale, rate_grid
+from repro.faults.injection import random_node_faults
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.sim.sweep import LoadSweepResult, injection_rate_sweep
+from repro.topology.torus import TorusTopology
+
+__all__ = ["PANEL_MAX_RATES", "PAPER_SERIES", "run", "summarize"]
+
+#: Largest injection rate plotted by the paper for each (routing, V) panel.
+PANEL_MAX_RATES = {
+    ("swbased-deterministic", 4): 0.014,
+    ("swbased-deterministic", 6): 0.016,
+    ("swbased-deterministic", 10): 0.020,
+    ("swbased-adaptive", 4): 0.018,
+    ("swbased-adaptive", 6): 0.021,
+    ("swbased-adaptive", 10): 0.024,
+}
+
+#: The full set of curves shown in the paper's Fig. 3.
+PAPER_SERIES = {
+    "routings": ("swbased-deterministic", "swbased-adaptive"),
+    "virtual_channels": (4, 6, 10),
+    "message_lengths": (32, 64),
+    "fault_counts": (0, 3, 5),
+}
+
+#: Radix/dimensionality of the figure's network (the 8-ary 2-cube).
+RADIX = 8
+DIMENSIONS = 2
+
+
+def _series_label(routing: str, vcs: int, length: int, faults: int) -> str:
+    kind = "det" if routing.endswith("deterministic") else "adpt"
+    return f"{kind} V={vcs} M={length} nf={faults}"
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    routings: Sequence[str] = ("swbased-deterministic", "swbased-adaptive"),
+    virtual_channels: Sequence[int] = (4,),
+    message_lengths: Sequence[int] = (32,),
+    fault_counts: Sequence[int] = (0, 3, 5),
+    seed: int = 2006,
+) -> Dict[str, LoadSweepResult]:
+    """Regenerate (a subset of) the Fig. 3 latency curves.
+
+    Returns a mapping from series label to the measured
+    :class:`~repro.sim.sweep.LoadSweepResult`.  Deterministic and adaptive
+    runs with the same fault count share the same random fault set so the two
+    flavours are compared on identical failure patterns.
+    """
+    scale = get_scale(scale)
+    topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
+    fault_sets: Dict[int, FaultSet] = {}
+    for count in fault_counts:
+        if count == 0:
+            fault_sets[count] = FaultSet.empty()
+        else:
+            fault_sets[count] = random_node_faults(topology, count, rng=seed + count)
+
+    results: Dict[str, LoadSweepResult] = {}
+    for routing in routings:
+        for vcs in virtual_channels:
+            max_rate = PANEL_MAX_RATES[(routing, vcs)]
+            rates = rate_grid(max_rate, scale.rate_points)
+            for length in message_lengths:
+                for count in fault_counts:
+                    label = _series_label(routing, vcs, length, count)
+                    config = SimulationConfig(
+                        topology=topology,
+                        routing=routing,
+                        num_virtual_channels=vcs,
+                        message_length=length,
+                        faults=fault_sets[count],
+                        warmup_messages=scale.warmup_messages,
+                        measure_messages=scale.measure_messages,
+                        max_cycles=scale.max_cycles,
+                        seed=seed,
+                        metadata={"figure": "fig3", "series": label},
+                    )
+                    results[label] = injection_rate_sweep(config, rates, label=label)
+    return results
+
+
+def summarize(results: Optional[Dict[str, LoadSweepResult]] = None) -> str:
+    """Latency-vs-rate table for the regenerated curves (one column per series)."""
+    if results is None:
+        results = run()
+    return series_table(list(results.values()), metric="latency")

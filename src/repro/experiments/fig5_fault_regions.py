@@ -1,0 +1,78 @@
+"""Fig. 5 — latency vs traffic rate for convex and concave fault regions.
+
+The paper compares deterministic and adaptive Software-Based routing in an
+8-ary 2-cube (M = 32, V = 10) under five coalesced fault regions: a
+rectangular block of 20 faults, a T-shaped region of 10, a +-shaped region of
+16, an L-shaped region of 9 and a U-shaped region of 8 faults.  The headline
+observations are that concave regions cost more latency than convex ones
+(despite containing fewer faults) and that adaptive routing stays well below
+deterministic routing throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.tables import series_table
+from repro.experiments.common import ExperimentScale, get_scale, rate_grid
+from repro.faults.regions import paper_fig5_regions
+from repro.sim.config import SimulationConfig
+from repro.sim.sweep import LoadSweepResult, injection_rate_sweep
+from repro.topology.torus import TorusTopology
+
+__all__ = ["REGION_LABELS", "run", "summarize"]
+
+#: Region label -> paper fault count, for reference and testing.
+REGION_LABELS = {"rect": 20, "T": 10, "plus": 16, "L": 9, "U": 8}
+
+RADIX = 8
+DIMENSIONS = 2
+MESSAGE_LENGTH = 32
+VIRTUAL_CHANNELS = 10
+MAX_RATE = 0.02
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    routings: Sequence[str] = ("swbased-deterministic", "swbased-adaptive"),
+    regions: Sequence[str] = ("rect", "T", "plus", "L", "U"),
+    virtual_channels: int = VIRTUAL_CHANNELS,
+    message_length: int = MESSAGE_LENGTH,
+    seed: int = 2006,
+) -> Dict[str, LoadSweepResult]:
+    """Regenerate (a subset of) the Fig. 5 latency curves."""
+    scale = get_scale(scale)
+    topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
+    all_regions = paper_fig5_regions(topology)
+    unknown = set(regions) - set(all_regions)
+    if unknown:
+        raise ValueError(f"unknown Fig. 5 region labels: {sorted(unknown)}")
+    rates = rate_grid(MAX_RATE, scale.rate_points)
+
+    results: Dict[str, LoadSweepResult] = {}
+    for routing in routings:
+        kind = "det" if routing.endswith("deterministic") else "adpt"
+        for label in regions:
+            region = all_regions[label]
+            series = f"{kind} {label} nf={region.num_faults}"
+            config = SimulationConfig(
+                topology=topology,
+                routing=routing,
+                num_virtual_channels=virtual_channels,
+                message_length=message_length,
+                faults=region.to_fault_set(),
+                warmup_messages=scale.warmup_messages,
+                measure_messages=scale.measure_messages,
+                max_cycles=scale.max_cycles,
+                seed=seed,
+                metadata={"figure": "fig5", "series": series, "region": label},
+            )
+            results[series] = injection_rate_sweep(config, rates, label=series)
+    return results
+
+
+def summarize(results: Optional[Dict[str, LoadSweepResult]] = None) -> str:
+    """Latency-vs-rate table for the regenerated curves."""
+    if results is None:
+        results = run()
+    return series_table(list(results.values()), metric="latency")

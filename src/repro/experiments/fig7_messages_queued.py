@@ -1,0 +1,119 @@
+"""Fig. 7 — number of messages queued (absorbed) vs number of faulty nodes.
+
+The paper counts, in an 8-ary 3-cube with M = 32 and V = 10, how many messages
+are delivered to the local queues of intermediate nodes (i.e. absorbed by the
+software layer) as the number of random faulty nodes grows from 0 to 14, for
+two traffic generation rates labelled "70" and "100".  A message contributes
+once per absorption.  The findings: the count grows with the number of faults,
+and it is much larger for deterministic than for adaptive routing (adaptive
+messages are only absorbed when every profitable path is faulty).
+
+The paper does not give units for the generation rates "70" and "100"; the
+reproduction interprets them as a percentage of the configuration's saturation
+load (see DESIGN.md, "Substitutions and scale").
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.saturation import theoretical_capacity
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentScale, get_scale
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import SimulationResult
+from repro.sim.sweep import fault_count_sweep
+from repro.topology.torus import TorusTopology
+
+__all__ = ["run", "summarize", "DEFAULT_FAULT_COUNTS", "GENERATION_RATE_LABELS"]
+
+RADIX = 8
+DIMENSIONS = 3
+MESSAGE_LENGTH = 32
+VIRTUAL_CHANNELS = 10
+#: The paper's two generation-rate labels, interpreted as a fraction of the
+#: wormhole saturation load (taken as 45 % of the theoretical capacity).
+GENERATION_RATE_LABELS = {"70": 0.70, "100": 1.00}
+_SATURATION_FRACTION = 0.45
+#: Fault counts of the paper's x axis (0 .. 14); the default subset keeps the
+#: benchmark affordable while spanning the full range.  Pass
+#: ``fault_counts=range(15)`` to reproduce every point of the paper.
+DEFAULT_FAULT_COUNTS = (0, 6, 12)
+
+
+def _injection_rate(label: str) -> float:
+    topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
+    capacity = theoretical_capacity(topology, MESSAGE_LENGTH)
+    return capacity * _SATURATION_FRACTION * GENERATION_RATE_LABELS[label]
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    routings: Sequence[str] = ("swbased-deterministic", "swbased-adaptive"),
+    generation_rates: Sequence[str] = ("70", "100"),
+    fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
+    seed: int = 2006,
+) -> Dict[str, List[SimulationResult]]:
+    """Regenerate the Fig. 7 messages-queued series.
+
+    Returns a mapping from series label (e.g. ``"deterministic @100"``) to the
+    list of per-fault-count simulation results.
+    """
+    scale = get_scale(scale)
+    topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
+    results: Dict[str, List[SimulationResult]] = {}
+    for routing in routings:
+        kind = "deterministic" if routing.endswith("deterministic") else "adaptive"
+        for rate_label in generation_rates:
+            if rate_label not in GENERATION_RATE_LABELS:
+                raise ValueError(f"unknown generation-rate label {rate_label!r}")
+            series = f"{kind} @{rate_label}"
+            config = SimulationConfig(
+                topology=topology,
+                routing=routing,
+                num_virtual_channels=VIRTUAL_CHANNELS,
+                message_length=MESSAGE_LENGTH,
+                injection_rate=_injection_rate(rate_label),
+                warmup_messages=scale.warmup_messages,
+                measure_messages=scale.measure_messages,
+                max_cycles=scale.max_cycles,
+                seed=seed,
+                metadata={"figure": "fig7", "series": series},
+            )
+            results[series] = fault_count_sweep(
+                config, fault_counts, trials_per_count=scale.fault_trials, seed=seed
+            )
+    return results
+
+
+def queued_series(results: Dict[str, List[SimulationResult]]) -> Dict[str, Dict[int, float]]:
+    """Average messages-queued count per fault count for each series."""
+    out: Dict[str, Dict[int, float]] = {}
+    for series, runs in results.items():
+        per_count: Dict[int, List[int]] = {}
+        for result in runs:
+            count = int(result.config.metadata["fault_count"])
+            per_count.setdefault(count, []).append(result.messages_queued)
+        out[series] = {count: mean(values) for count, values in sorted(per_count.items())}
+    return out
+
+
+def summarize(results: Optional[Dict[str, List[SimulationResult]]] = None) -> str:
+    """Messages-queued table, one column per (routing, generation-rate) series."""
+    if results is None:
+        results = run()
+    series = queued_series(results)
+    counts = sorted({c for per in series.values() for c in per})
+    rows = []
+    for count in counts:
+        row: Dict[str, object] = {"faulty_nodes": count}
+        for label, per in series.items():
+            if count in per:
+                row[label] = per[count]
+        rows.append(row)
+    return format_table(
+        rows,
+        columns=["faulty_nodes"] + list(series.keys()),
+        title="messages queued (absorptions) vs number of random faulty nodes",
+    )

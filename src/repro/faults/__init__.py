@@ -1,0 +1,64 @@
+"""Fault models and fault patterns (paper Section 3).
+
+The package models permanent static component failures of two kinds:
+
+* **node failures** — the PE and its router fail; every physical link and
+  virtual channel incident on the node is marked faulty at the adjacent
+  routers;
+* **link failures** — a single physical (bidirectional) link fails.
+
+Faults may be injected at random locations or coalesced into *fault regions*
+of convex (block, ``|``, ``||``, rectangle) or concave (L, U, T, +, H) shape,
+matching Fig. 1 of the paper.  A connectivity guard checks the paper's
+assumption (h) that faults never disconnect the network.  A dynamic-fault
+process (MTBF/MTTR) is provided as an extension for the static model.
+"""
+
+from repro.faults.connectivity import (
+    healthy_subgraph,
+    is_connected_without_faults,
+    assert_faults_keep_network_connected,
+)
+from repro.faults.dynamic import DynamicFaultEvent, DynamicFaultProcess
+from repro.faults.injection import (
+    random_link_faults,
+    random_node_faults,
+)
+from repro.faults.model import FaultSet
+from repro.faults.regions import (
+    REGION_SHAPES,
+    FaultRegion,
+    make_fault_region,
+    paper_fig5_regions,
+    region_block,
+    region_column,
+    region_double_column,
+    region_h_shape,
+    region_l_shape,
+    region_plus_shape,
+    region_t_shape,
+    region_u_shape,
+)
+
+__all__ = [
+    "FaultSet",
+    "FaultRegion",
+    "REGION_SHAPES",
+    "make_fault_region",
+    "region_block",
+    "region_column",
+    "region_double_column",
+    "region_l_shape",
+    "region_u_shape",
+    "region_t_shape",
+    "region_plus_shape",
+    "region_h_shape",
+    "paper_fig5_regions",
+    "random_node_faults",
+    "random_link_faults",
+    "healthy_subgraph",
+    "is_connected_without_faults",
+    "assert_faults_keep_network_connected",
+    "DynamicFaultProcess",
+    "DynamicFaultEvent",
+]

@@ -1,0 +1,56 @@
+"""Connectivity guard for fault sets (paper assumption (h)).
+
+The paper assumes that "faults do not disconnect the network".  The helpers
+here verify that assumption for a concrete fault set: the subgraph induced by
+healthy nodes and healthy channels must remain (strongly) connected so that
+every pair of healthy nodes can still communicate.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.faults.model import FaultSet
+from repro.topology.base import Topology
+
+__all__ = [
+    "healthy_subgraph",
+    "is_connected_without_faults",
+    "assert_faults_keep_network_connected",
+]
+
+
+def healthy_subgraph(topology: Topology, faults: FaultSet) -> nx.DiGraph:
+    """Directed graph of healthy nodes and usable channels.
+
+    Nodes that failed are removed entirely; channels are removed when either
+    endpoint failed or when the link itself failed.
+    """
+    g = nx.DiGraph()
+    for node in topology.nodes():
+        if not faults.is_node_faulty(node):
+            g.add_node(node)
+    for ch in topology.channels():
+        if not faults.is_link_faulty(ch.src, ch.dst):
+            g.add_edge(ch.src, ch.dst)
+    return g
+
+
+def is_connected_without_faults(topology: Topology, faults: FaultSet) -> bool:
+    """True when every pair of healthy nodes can still reach each other.
+
+    An empty or single-node healthy set is considered connected.
+    """
+    g = healthy_subgraph(topology, faults)
+    if g.number_of_nodes() <= 1:
+        return True
+    return nx.is_strongly_connected(g)
+
+
+def assert_faults_keep_network_connected(topology: Topology, faults: FaultSet) -> None:
+    """Raise :class:`ValueError` if the fault set violates assumption (h)."""
+    if not is_connected_without_faults(topology, faults):
+        raise ValueError(
+            f"fault set with {faults.num_faulty_nodes} faulty nodes and "
+            f"{faults.num_faulty_links} faulty links disconnects {topology!r}"
+        )

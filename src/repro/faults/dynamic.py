@@ -1,0 +1,164 @@
+"""Dynamic (MTBF/MTTR) fault process — an extension of the static fault model.
+
+The paper targets "commercial multiprocessors where the mean time to repair
+(MTTR) is much smaller than the mean time between failures (MTBF)"
+(Section 4), but its experiments use static fault sets.  This module provides
+the dynamic counterpart: a marked point process of failure and repair events
+that can be replayed against a simulation timeline or sampled to obtain a
+static :class:`~repro.faults.model.FaultSet` snapshot at a given time.
+
+It is exercised by the ablation benchmarks and the test suite; the figure
+reproductions use static faults exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set
+
+import numpy as np
+
+from repro.faults.model import FaultSet
+from repro.topology.base import Topology
+
+__all__ = ["DynamicFaultEvent", "DynamicFaultProcess"]
+
+
+@dataclass(frozen=True)
+class DynamicFaultEvent:
+    """A single failure or repair event.
+
+    Attributes
+    ----------
+    time:
+        Simulation cycle at which the event takes effect.
+    node:
+        Flat id of the node affected.
+    failed:
+        True for a failure event, False for a repair (the node returns to
+        service).
+    """
+
+    time: float
+    node: int
+    failed: bool
+
+
+class DynamicFaultProcess:
+    """Exponential MTBF/MTTR failure–repair process over the nodes of a network.
+
+    Each node independently alternates between an *up* period with mean
+    ``mtbf`` cycles and a *down* period with mean ``mttr`` cycles, both
+    exponentially distributed.  Consistent with the paper's setting,
+    ``mttr`` should normally be much smaller than ``mtbf``.
+
+    Parameters
+    ----------
+    topology:
+        The network whose nodes may fail.
+    mtbf:
+        Mean time between failures, in cycles (per node).
+    mttr:
+        Mean time to repair, in cycles (per node).
+    rng:
+        Generator or seed for reproducibility.
+    protected:
+        Node ids that never fail.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        mtbf: float,
+        mttr: float,
+        rng: Optional[np.random.Generator | int] = None,
+        protected: Optional[Set[int]] = None,
+    ) -> None:
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        if mttr >= mtbf:
+            raise ValueError(
+                "the Software-Based scheme targets MTTR << MTBF; got mttr >= mtbf"
+            )
+        self._topology = topology
+        self._mtbf = float(mtbf)
+        self._mttr = float(mttr)
+        # The process is deterministic per instance: the same event trace is
+        # produced by every call to :meth:`events`, so snapshots at different
+        # times are mutually consistent.
+        if isinstance(rng, np.random.Generator):
+            self._seed = int(rng.integers(2**63))
+        else:
+            self._seed = rng if rng is not None else 0
+        self._protected = set(protected or ())
+
+    @property
+    def mtbf(self) -> float:
+        """Mean time between failures (cycles)."""
+        return self._mtbf
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to repair (cycles)."""
+        return self._mttr
+
+    def events(self, horizon: float) -> List[DynamicFaultEvent]:
+        """All failure/repair events in ``[0, horizon)`` sorted by time."""
+        if horizon <= 0:
+            return []
+        rng = np.random.default_rng(self._seed)
+        out: List[DynamicFaultEvent] = []
+        for node in self._topology.nodes():
+            if node in self._protected:
+                continue
+            t = 0.0
+            up = True
+            while True:
+                mean = self._mtbf if up else self._mttr
+                t += float(rng.exponential(mean))
+                if t >= horizon:
+                    break
+                out.append(DynamicFaultEvent(time=t, node=node, failed=up))
+                up = not up
+        out.sort(key=lambda e: (e.time, e.node))
+        return out
+
+    def snapshot(self, time: float, horizon: Optional[float] = None) -> FaultSet:
+        """The static fault set in effect at ``time``.
+
+        ``horizon`` defaults to ``time`` (events after the snapshot instant are
+        irrelevant); providing a larger horizon allows reusing a single event
+        trace for several snapshots.
+        """
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        failed: Set[int] = set()
+        for event in self.events(horizon if horizon is not None else time + 1.0):
+            if event.time > time:
+                break
+            if event.failed:
+                failed.add(event.node)
+            else:
+                failed.discard(event.node)
+        return FaultSet.from_nodes(failed)
+
+    def iter_snapshots(self, times: List[float]) -> Iterator[FaultSet]:
+        """Yield a snapshot per requested time (times need not be sorted)."""
+        if not times:
+            return
+        horizon = max(times) + 1.0
+        events = self.events(horizon)
+        for t in times:
+            failed: Set[int] = set()
+            for event in events:
+                if event.time > t:
+                    break
+                if event.failed:
+                    failed.add(event.node)
+                else:
+                    failed.discard(event.node)
+            yield FaultSet.from_nodes(failed)
+
+    def expected_unavailability(self) -> float:
+        """Long-run fraction of time a node spends failed: ``mttr / (mtbf + mttr)``."""
+        return self._mttr / (self._mtbf + self._mttr)

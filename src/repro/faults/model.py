@@ -1,0 +1,183 @@
+"""The static fault set consulted by routers and routing functions.
+
+A :class:`FaultSet` is an immutable value object recording which nodes and
+which directed physical channels are faulty.  Following the paper (Section 3
+and Section 5.2):
+
+* a *node failure* implies that every physical link incident on that node is
+  also faulty as seen from the adjacent routers;
+* a *link failure* can equivalently be modelled by failing the two nodes it
+  connects; the paper therefore evaluates node failures only, but the model
+  here supports standalone link failures as well so that both modes can be
+  exercised and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["FaultSet"]
+
+LinkKey = Tuple[int, int]
+
+
+def _normalise_links(links: Iterable[LinkKey]) -> FrozenSet[LinkKey]:
+    """Expand an iterable of directed (src, dst) pairs to include both directions.
+
+    The paper treats a physical link failure as bidirectional (the connector or
+    the cable fails); we therefore store both directed channels.
+    """
+    out: Set[LinkKey] = set()
+    for u, v in links:
+        out.add((int(u), int(v)))
+        out.add((int(v), int(u)))
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """Immutable set of faulty nodes and faulty directed channels.
+
+    Parameters
+    ----------
+    nodes:
+        Flat ids of faulty nodes.
+    links:
+        Pairs ``(u, v)`` of adjacent node ids whose connecting physical link is
+        faulty.  Each pair is stored in both directions.
+
+    Notes
+    -----
+    The class does not hold a reference to the topology, so the same fault set
+    can be reused across topologies of equal size (useful in tests).  Use
+    :meth:`validate` to check consistency against a concrete topology.
+    """
+
+    nodes: FrozenSet[int] = field(default_factory=frozenset)
+    links: FrozenSet[LinkKey] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "FaultSet":
+        """A fault-free network."""
+        return FaultSet(frozenset(), frozenset())
+
+    @staticmethod
+    def from_nodes(nodes: Iterable[int]) -> "FaultSet":
+        """Fault set containing only node failures."""
+        return FaultSet(frozenset(int(n) for n in nodes), frozenset())
+
+    @staticmethod
+    def from_links(links: Iterable[LinkKey]) -> "FaultSet":
+        """Fault set containing only (bidirectional) link failures."""
+        return FaultSet(frozenset(), _normalise_links(links))
+
+    @staticmethod
+    def build(
+        nodes: Optional[Iterable[int]] = None,
+        links: Optional[Iterable[LinkKey]] = None,
+    ) -> "FaultSet":
+        """General constructor normalising both kinds of faults."""
+        return FaultSet(
+            frozenset(int(n) for n in (nodes or ())),
+            _normalise_links(links or ()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def is_node_faulty(self, node: int) -> bool:
+        """True if the PE/router at ``node`` has failed."""
+        return node in self.nodes
+
+    def is_link_faulty(self, src: int, dst: int) -> bool:
+        """True if the directed channel ``src -> dst`` cannot be used.
+
+        A channel is unusable if the link itself failed or if either endpoint
+        node failed (a failed node takes all incident channels with it).
+        """
+        if src in self.nodes or dst in self.nodes:
+            return True
+        return (src, dst) in self.links
+
+    def is_channel_usable(self, src: int, dst: Optional[int]) -> bool:
+        """Convenience negation of :meth:`is_link_faulty` handling mesh edges.
+
+        ``dst`` may be ``None`` (mesh boundary), in which case the channel does
+        not exist and is reported unusable.
+        """
+        if dst is None:
+            return False
+        return not self.is_link_faulty(src, dst)
+
+    @property
+    def num_faulty_nodes(self) -> int:
+        """Number of failed nodes."""
+        return len(self.nodes)
+
+    @property
+    def num_faulty_links(self) -> int:
+        """Number of failed bidirectional links (excluding those implied by node faults)."""
+        return len(self.links) // 2
+
+    def is_empty(self) -> bool:
+        """True when no component is faulty."""
+        return not self.nodes and not self.links
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "FaultSet") -> "FaultSet":
+        """Fault set containing the faults of both operands."""
+        return FaultSet(self.nodes | other.nodes, self.links | other.links)
+
+    def with_nodes(self, nodes: Iterable[int]) -> "FaultSet":
+        """A copy with additional failed nodes."""
+        return FaultSet(self.nodes | frozenset(int(n) for n in nodes), self.links)
+
+    def with_links(self, links: Iterable[LinkKey]) -> "FaultSet":
+        """A copy with additional failed links."""
+        return FaultSet(self.nodes, self.links | _normalise_links(links))
+
+    def without_nodes(self, nodes: Iterable[int]) -> "FaultSet":
+        """A copy with the given nodes repaired."""
+        return FaultSet(self.nodes - frozenset(int(n) for n in nodes), self.links)
+
+    # ------------------------------------------------------------------ #
+    # validation / export
+    # ------------------------------------------------------------------ #
+    def validate(self, topology: Topology) -> None:
+        """Raise :class:`ValueError` if the fault set is inconsistent with ``topology``.
+
+        Checks that every faulty node id exists and that every faulty link
+        connects adjacent nodes.
+        """
+        for node in self.nodes:
+            if not 0 <= node < topology.num_nodes:
+                raise ValueError(f"faulty node {node} does not exist in {topology!r}")
+        for u, v in self.links:
+            if not (0 <= u < topology.num_nodes and 0 <= v < topology.num_nodes):
+                raise ValueError(f"faulty link ({u}, {v}) references a missing node")
+            if all(nid != v for _, _, nid in topology.neighbors(u)):
+                raise ValueError(f"faulty link ({u}, {v}) does not connect adjacent nodes")
+
+    def faulty_neighbor_ports(self, topology: Topology, node: int) -> Tuple[int, ...]:
+        """Flat indices of the network ports of ``node`` that lead to a fault."""
+        ports = []
+        for dim, direction, nid in topology.neighbors(node):
+            if self.is_link_faulty(node, nid):
+                from repro.topology.channels import port_index
+
+                ports.append(port_index(dim, direction))
+        return tuple(sorted(ports))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"FaultSet(nodes={sorted(self.nodes)}, "
+            f"links={sorted(self.links)})"
+        )

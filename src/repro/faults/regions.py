@@ -1,0 +1,351 @@
+"""Coalesced fault regions (paper Fig. 1 and Fig. 5).
+
+Adjacent faulty nodes coalesce into *fault regions*.  The paper distinguishes
+convex regions (also called block faults): ``|``-shaped, ``||``-shaped and
+rectangular (``□``) regions — and concave regions: ``L``-, ``U``-, ``T``-,
+``+``- and ``H``-shaped.  Concave regions are harder to route around because a
+message can enter the "pocket" of the region and must back out of it, which is
+exactly what Fig. 5 of the paper measures.
+
+Every builder in this module produces a set of **relative 2-D cell offsets**
+(the canonical shape); :func:`make_fault_region` embeds a shape into two chosen
+dimensions of an n-dimensional topology at a given anchor coordinate, yielding
+a :class:`FaultRegion` (and, through it, a :class:`~repro.faults.model.FaultSet`).
+
+The exact region sizes used by the paper's Fig. 5 (rectangular with 20 faults,
+T with 10, + with 16, L with 9, U with 8) are available from
+:func:`paper_fig5_regions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.faults.model import FaultSet
+from repro.topology.base import Topology
+
+__all__ = [
+    "FaultRegion",
+    "REGION_SHAPES",
+    "region_block",
+    "region_column",
+    "region_double_column",
+    "region_l_shape",
+    "region_u_shape",
+    "region_t_shape",
+    "region_plus_shape",
+    "region_h_shape",
+    "make_fault_region",
+    "paper_fig5_regions",
+]
+
+Cell = Tuple[int, int]
+
+
+# --------------------------------------------------------------------------- #
+# canonical 2-D shapes (sets of (row, col) offsets, row = second dimension)
+# --------------------------------------------------------------------------- #
+def region_block(width: int = 2, height: int = 2) -> FrozenSet[Cell]:
+    """Convex rectangular block of ``width × height`` faulty nodes."""
+    _require_positive(width=width, height=height)
+    return frozenset((r, c) for r in range(height) for c in range(width))
+
+
+def region_column(length: int = 3) -> FrozenSet[Cell]:
+    """Convex ``|``-shaped region: a single column of ``length`` nodes."""
+    _require_positive(length=length)
+    return frozenset((r, 0) for r in range(length))
+
+
+def region_double_column(length: int = 3, gap: int = 0) -> FrozenSet[Cell]:
+    """Convex ``||``-shaped region: two parallel columns of ``length`` nodes.
+
+    ``gap`` healthy columns may separate the two faulty columns; with
+    ``gap=0`` the region degenerates into a 2-wide block.
+    """
+    _require_positive(length=length)
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    cells = {(r, 0) for r in range(length)}
+    cells |= {(r, 1 + gap) for r in range(length)}
+    return frozenset(cells)
+
+
+def region_l_shape(vertical: int = 5, horizontal: int = 5, thickness: int = 1) -> FrozenSet[Cell]:
+    """Concave ``L``-shaped region.
+
+    A vertical arm of ``vertical`` cells and a horizontal arm of ``horizontal``
+    cells share the corner cell, so the total count is
+    ``vertical + horizontal - thickness**2`` for ``thickness=1``.
+    """
+    _require_positive(vertical=vertical, horizontal=horizontal, thickness=thickness)
+    cells: Set[Cell] = set()
+    for r in range(vertical):
+        for t in range(thickness):
+            cells.add((r, t))
+    for c in range(horizontal):
+        for t in range(thickness):
+            cells.add((t, c))
+    return frozenset(cells)
+
+
+def region_u_shape(width: int = 4, height: int = 3, thickness: int = 1) -> FrozenSet[Cell]:
+    """Concave ``U``-shaped region (opening upwards).
+
+    A bottom bar of ``width`` cells plus two side walls rising to ``height``.
+    With ``thickness=1`` the count is ``width + 2*(height-1)``.
+    """
+    _require_positive(width=width, height=height, thickness=thickness)
+    if width < 2 * thickness + 1:
+        raise ValueError("width too small to leave a concave pocket in the U shape")
+    cells: Set[Cell] = set()
+    for t in range(thickness):
+        for c in range(width):
+            cells.add((t, c))  # bottom bar
+    for r in range(thickness, height):
+        for t in range(thickness):
+            cells.add((r, t))  # left wall
+            cells.add((r, width - 1 - t))  # right wall
+    return frozenset(cells)
+
+
+def region_t_shape(top: int = 5, stem: int = 5, thickness: int = 1) -> FrozenSet[Cell]:
+    """Concave ``T``-shaped region.
+
+    A horizontal top bar of ``top`` cells with a vertical stem of ``stem``
+    cells hanging from its centre.  With ``thickness=1`` the count is
+    ``top + stem`` (the stem starts one row below the bar).
+    """
+    _require_positive(top=top, stem=stem, thickness=thickness)
+    cells: Set[Cell] = set()
+    for t in range(thickness):
+        for c in range(top):
+            cells.add((t, c))
+    centre = (top - thickness) // 2
+    for r in range(thickness, thickness + stem):
+        for t in range(thickness):
+            cells.add((r, centre + t))
+    return frozenset(cells)
+
+
+def region_plus_shape(
+    horizontal: int = 3, vertical: int = 3, thickness: int = 1
+) -> FrozenSet[Cell]:
+    """Concave ``+``-shaped region.
+
+    A horizontal bar (``thickness × horizontal``) and a vertical bar
+    (``vertical × thickness``) crossing at their centres; the count is
+    ``thickness*horizontal + thickness*vertical - thickness**2``.
+    """
+    _require_positive(horizontal=horizontal, vertical=vertical, thickness=thickness)
+    if horizontal < thickness or vertical < thickness:
+        raise ValueError("bars must be at least as long as the thickness")
+    cells: Set[Cell] = set()
+    v_centre = (vertical - thickness) // 2
+    h_centre = (horizontal - thickness) // 2
+    for r in range(v_centre, v_centre + thickness):
+        for c in range(horizontal):
+            cells.add((r, c))
+    for r in range(vertical):
+        for c in range(h_centre, h_centre + thickness):
+            cells.add((r, c))
+    return frozenset(cells)
+
+
+def region_h_shape(height: int = 5, span: int = 3, thickness: int = 1) -> FrozenSet[Cell]:
+    """Concave ``H``-shaped region.
+
+    Two vertical bars of ``height`` cells joined by a horizontal crossbar of
+    ``span`` cells at mid height.  With ``thickness=1`` the count is
+    ``2*height + span``.
+    """
+    _require_positive(height=height, span=span, thickness=thickness)
+    cells: Set[Cell] = set()
+    right_col = thickness + span
+    for r in range(height):
+        for t in range(thickness):
+            cells.add((r, t))
+            cells.add((r, right_col + t))
+    mid = (height - thickness) // 2
+    for r in range(mid, mid + thickness):
+        for c in range(thickness, thickness + span):
+            cells.add((r, c))
+    return frozenset(cells)
+
+
+def _require_positive(**kwargs: int) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+#: Registry mapping shape names to their canonical builders.  The names match
+#: the paper's terminology ("rect", "L", "U", "T", "plus", ...).
+REGION_SHAPES: Dict[str, Callable[..., FrozenSet[Cell]]] = {
+    "block": region_block,
+    "rect": region_block,
+    "column": region_column,
+    "double-column": region_double_column,
+    "L": region_l_shape,
+    "U": region_u_shape,
+    "T": region_t_shape,
+    "plus": region_plus_shape,
+    "H": region_h_shape,
+}
+
+#: Shapes the paper classifies as convex (block faults).
+CONVEX_SHAPES = frozenset({"block", "rect", "column", "double-column"})
+
+
+# --------------------------------------------------------------------------- #
+# embedding a shape into a topology
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultRegion:
+    """A fault region embedded into a concrete topology.
+
+    Attributes
+    ----------
+    shape:
+        Name of the canonical shape (key of :data:`REGION_SHAPES`).
+    nodes:
+        Flat ids of the faulty nodes.
+    convex:
+        True for convex (block) regions, False for concave regions.
+    anchor:
+        Coordinate of the shape's (0, 0) cell in the embedding.
+    plane:
+        The two topology dimensions the 2-D shape spans.
+    """
+
+    shape: str
+    nodes: FrozenSet[int]
+    convex: bool
+    anchor: Tuple[int, ...]
+    plane: Tuple[int, int]
+
+    @property
+    def num_faults(self) -> int:
+        """Number of faulty nodes in the region (the paper's ``n_f``)."""
+        return len(self.nodes)
+
+    def to_fault_set(self) -> FaultSet:
+        """The :class:`FaultSet` induced by this region (node failures only)."""
+        return FaultSet.from_nodes(self.nodes)
+
+
+def make_fault_region(
+    topology: Topology,
+    shape: str,
+    anchor: Optional[Sequence[int]] = None,
+    plane: Tuple[int, int] = (0, 1),
+    wrap: bool = True,
+    **shape_kwargs: int,
+) -> FaultRegion:
+    """Embed a canonical 2-D fault-region shape into ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        Target network; must have at least two dimensions.
+    shape:
+        A key of :data:`REGION_SHAPES` (``"rect"``, ``"L"``, ``"U"``, ``"T"``,
+        ``"plus"``, ``"H"``, ``"column"``, ``"double-column"``, ``"block"``).
+    anchor:
+        Coordinates of the cell (0, 0) of the canonical shape.  Defaults to the
+        centre of the network so that typical shapes avoid straddling the
+        wrap-around seam.
+    plane:
+        The pair of dimensions ``(col_dim, row_dim)`` the shape spans; the
+        canonical shape's column offset is applied to ``plane[0]`` and its row
+        offset to ``plane[1]``.
+    wrap:
+        Whether offsets may wrap around the torus.  For a mesh topology this
+        must effectively be False: cells falling outside raise ``ValueError``.
+    **shape_kwargs:
+        Forwarded to the shape builder (e.g. ``width=4, height=5``).
+
+    Returns
+    -------
+    FaultRegion
+        The embedded region.  ``region.to_fault_set()`` gives the fault set.
+
+    Raises
+    ------
+    ValueError
+        If the shape name is unknown, the topology has fewer than two
+        dimensions, or a cell falls outside a non-wrapping network.
+    """
+    if shape not in REGION_SHAPES:
+        raise ValueError(f"unknown fault-region shape {shape!r}; known: {sorted(REGION_SHAPES)}")
+    if topology.dimensions < 2:
+        raise ValueError("fault regions require a topology with at least 2 dimensions")
+    col_dim, row_dim = plane
+    if col_dim == row_dim:
+        raise ValueError("plane dimensions must differ")
+    for d in plane:
+        if not 0 <= d < topology.dimensions:
+            raise ValueError(f"plane dimension {d} out of range for {topology!r}")
+
+    cells = REGION_SHAPES[shape](**shape_kwargs)
+    if anchor is None:
+        anchor_list = [k // 4 for k in topology.radices]
+    else:
+        anchor_list = list(anchor)
+        if len(anchor_list) != topology.dimensions:
+            raise ValueError("anchor arity does not match the topology dimensionality")
+
+    allow_wrap = wrap and topology.wraparound
+    nodes: Set[int] = set()
+    for row, col in cells:
+        coords = list(anchor_list)
+        coords[col_dim] = coords[col_dim] + col
+        coords[row_dim] = coords[row_dim] + row
+        for d in (col_dim, row_dim):
+            k = topology.radices[d]
+            if allow_wrap:
+                coords[d] %= k
+            elif not 0 <= coords[d] < k:
+                raise ValueError(
+                    f"cell {(row, col)} of shape {shape!r} falls outside the network "
+                    f"(coordinate {coords[d]} in dimension {d}, radix {k})"
+                )
+        nodes.add(topology.node_id(coords))
+
+    return FaultRegion(
+        shape=shape,
+        nodes=frozenset(nodes),
+        convex=shape in CONVEX_SHAPES,
+        anchor=tuple(anchor_list),
+        plane=plane,
+    )
+
+
+def paper_fig5_regions(topology: Topology) -> Dict[str, FaultRegion]:
+    """The five fault regions evaluated in the paper's Fig. 5.
+
+    Fig. 5 uses an 8-ary 2-cube with a rectangular region of 20 faults, a
+    T-shaped region of 10 faults, a +-shaped region of 16 faults, an L-shaped
+    region of 9 faults and a U-shaped region of 8 faults.  The exact anchors
+    are not given in the paper; we centre each region in the network.
+
+    Returns a mapping from region label (``"rect"``, ``"T"``, ``"plus"``,
+    ``"L"``, ``"U"``) to the embedded :class:`FaultRegion`, each with exactly
+    the fault count reported in the paper.
+    """
+    regions = {
+        "rect": make_fault_region(topology, "rect", width=5, height=4),
+        "T": make_fault_region(topology, "T", top=5, stem=5),
+        "plus": make_fault_region(topology, "plus", horizontal=6, vertical=4, thickness=2),
+        "L": make_fault_region(topology, "L", vertical=5, horizontal=5),
+        "U": make_fault_region(topology, "U", width=4, height=3),
+    }
+    expected = {"rect": 20, "T": 10, "plus": 16, "L": 9, "U": 8}
+    for label, region in regions.items():
+        if region.num_faults != expected[label]:  # pragma: no cover - defensive
+            raise AssertionError(
+                f"paper_fig5_regions produced {region.num_faults} faults for {label}, "
+                f"expected {expected[label]}"
+            )
+    return regions

@@ -1,0 +1,31 @@
+"""Performance metrics: latency, throughput and absorption accounting.
+
+The paper reports three quantities (Section 5.2):
+
+* **mean message latency** — time from the generation of a message until its
+  last data flit reaches the local PE at the destination node;
+* **throughput** — rate at which messages are delivered by the network,
+  measured per node per cycle over the measurement interval;
+* **number of messages queued** — the number of messages absorbed by the
+  software layer because of faults (a message counts once per absorption).
+
+Statistics gathering is inhibited during a warm-up prefix of messages to avoid
+start-up transients, exactly as in the paper (the paper skips the first
+10,000 of 100,000 messages).
+"""
+
+from repro.metrics.collectors import MessageRecord, MetricsCollector, NetworkMetrics
+from repro.metrics.statistics import (
+    RunningStats,
+    batch_means_confidence_interval,
+    confidence_interval,
+)
+
+__all__ = [
+    "RunningStats",
+    "confidence_interval",
+    "batch_means_confidence_interval",
+    "MessageRecord",
+    "MetricsCollector",
+    "NetworkMetrics",
+]

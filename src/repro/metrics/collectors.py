@@ -1,0 +1,278 @@
+"""Per-message accounting and aggregate network metrics.
+
+The collector receives one event per delivered message from the simulation
+engine and produces the aggregate quantities reported by the paper: mean
+message latency, throughput and the number of messages queued (absorbed) by
+the software messaging layer.  Warm-up messages are excluded from the latency
+and throughput statistics, mirroring the paper's methodology (statistics
+gathering "inhibited for the first 10,000 messages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.statistics import RunningStats
+
+__all__ = ["MessageRecord", "NetworkMetrics", "MetricsCollector"]
+
+
+@dataclass
+class MessageRecord:
+    """Lifecycle record of a single delivered message.
+
+    Attributes
+    ----------
+    message_id:
+        Sequential id assigned at generation time (defines warm-up ordering).
+    source, destination:
+        Flat node ids of the original endpoints.
+    length:
+        Message length in flits.
+    created:
+        Cycle at which the message was generated at the source PE.
+    injected:
+        Cycle at which its header first entered the network.
+    delivered:
+        Cycle at which the last data flit reached the destination PE.
+    hops:
+        Number of channels traversed (across all injection attempts).
+    absorptions:
+        Number of times the message was absorbed by an intermediate node's
+        software layer because of a fault.
+    """
+
+    message_id: int
+    source: int
+    destination: int
+    length: int
+    created: int
+    injected: int
+    delivered: int
+    hops: int = 0
+    absorptions: int = 0
+
+    @property
+    def latency(self) -> int:
+        """Paper definition: generation to last-flit ejection, in cycles."""
+        return self.delivered - self.created
+
+    @property
+    def network_latency(self) -> int:
+        """Latency excluding the source queueing delay (injection to ejection)."""
+        return self.delivered - self.injected
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregate metrics of one simulation run.
+
+    All averages are computed over *measured* (post-warm-up) messages only;
+    the absorption counters additionally report totals over every message so
+    that Fig. 7 (messages queued) can be reproduced either way.
+    """
+
+    mean_latency: float
+    latency_stddev: float
+    max_latency: float
+    mean_network_latency: float
+    mean_hops: float
+    delivered_messages: int
+    measured_messages: int
+    generated_messages: int
+    measurement_cycles: int
+    total_cycles: int
+    num_nodes: int
+    message_length: int
+    throughput_messages: float
+    throughput_flits: float
+    messages_absorbed_total: int
+    messages_absorbed_measured: int
+    absorbed_message_fraction: float
+    mean_absorptions_per_message: float
+    offered_load: float
+    saturated: bool = False
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by the CSV/ASCII reporting helpers."""
+        out = {
+            "mean_latency": self.mean_latency,
+            "latency_stddev": self.latency_stddev,
+            "max_latency": self.max_latency,
+            "mean_network_latency": self.mean_network_latency,
+            "mean_hops": self.mean_hops,
+            "delivered_messages": self.delivered_messages,
+            "measured_messages": self.measured_messages,
+            "generated_messages": self.generated_messages,
+            "measurement_cycles": self.measurement_cycles,
+            "total_cycles": self.total_cycles,
+            "throughput_messages": self.throughput_messages,
+            "throughput_flits": self.throughput_flits,
+            "messages_absorbed_total": self.messages_absorbed_total,
+            "messages_absorbed_measured": self.messages_absorbed_measured,
+            "absorbed_message_fraction": self.absorbed_message_fraction,
+            "mean_absorptions_per_message": self.mean_absorptions_per_message,
+            "offered_load": self.offered_load,
+            "saturated": float(self.saturated),
+        }
+        out.update(self.extras)
+        return out
+
+
+class MetricsCollector:
+    """Accumulates per-message records and produces :class:`NetworkMetrics`.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes of the simulated network (for per-node rates).
+    warmup_messages:
+        Messages with a generation index smaller than this are excluded from
+        latency/throughput statistics (they still count towards the global
+        absorption total, as in the paper's Fig. 7 counter).
+    keep_records:
+        When True every :class:`MessageRecord` is retained (useful for tests
+        and post-processing); when False only streaming statistics are kept,
+        which is the memory-friendly default for long benchmark runs.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        warmup_messages: int = 0,
+        keep_records: bool = False,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if warmup_messages < 0:
+            raise ValueError("warmup_messages must be non-negative")
+        self._num_nodes = num_nodes
+        self._warmup_messages = warmup_messages
+        self._keep_records = keep_records
+        self._records: List[MessageRecord] = []
+        self._latency = RunningStats()
+        self._network_latency = RunningStats()
+        self._hops = RunningStats()
+        self._absorptions_measured = RunningStats()
+        self._delivered = 0
+        self._measured = 0
+        self._generated = 0
+        self._absorption_events_total = 0
+        self._absorption_events_measured = 0
+        self._absorbed_messages_measured = 0
+        self._measurement_start_cycle: Optional[int] = None
+        self._last_delivery_cycle = 0
+        self._measured_flits = 0
+
+    # ------------------------------------------------------------------ #
+    # event intake
+    # ------------------------------------------------------------------ #
+    def message_generated(self) -> int:
+        """Register a newly generated message; returns its sequential id."""
+        mid = self._generated
+        self._generated += 1
+        return mid
+
+    def message_absorbed(self, message_id: int) -> None:
+        """Register one absorption (software re-routing) event."""
+        self._absorption_events_total += 1
+        if message_id >= self._warmup_messages:
+            self._absorption_events_measured += 1
+
+    def message_delivered(self, record: MessageRecord) -> None:
+        """Register a delivered message."""
+        self._delivered += 1
+        self._last_delivery_cycle = max(self._last_delivery_cycle, record.delivered)
+        if self._keep_records:
+            self._records.append(record)
+        if record.message_id < self._warmup_messages:
+            return
+        if self._measurement_start_cycle is None:
+            self._measurement_start_cycle = record.delivered
+        else:
+            self._measurement_start_cycle = min(self._measurement_start_cycle, record.delivered)
+        self._measured += 1
+        self._measured_flits += record.length
+        self._latency.add(record.latency)
+        self._network_latency.add(record.network_latency)
+        self._hops.add(record.hops)
+        self._absorptions_measured.add(record.absorptions)
+        if record.absorptions > 0:
+            self._absorbed_messages_measured += 1
+
+    # ------------------------------------------------------------------ #
+    # properties used while the simulation is still running
+    # ------------------------------------------------------------------ #
+    @property
+    def delivered_messages(self) -> int:
+        """Messages delivered so far (including warm-up)."""
+        return self._delivered
+
+    @property
+    def measured_messages(self) -> int:
+        """Post-warm-up messages delivered so far."""
+        return self._measured
+
+    @property
+    def generated_messages(self) -> int:
+        """Messages generated so far."""
+        return self._generated
+
+    @property
+    def records(self) -> List[MessageRecord]:
+        """Retained per-message records (empty unless ``keep_records=True``)."""
+        return self._records
+
+    @property
+    def running_mean_latency(self) -> float:
+        """Mean latency of measured messages delivered so far."""
+        return self._latency.mean
+
+    # ------------------------------------------------------------------ #
+    # finalisation
+    # ------------------------------------------------------------------ #
+    def finalize(
+        self,
+        total_cycles: int,
+        message_length: int,
+        offered_load: float,
+        saturated: bool = False,
+    ) -> NetworkMetrics:
+        """Produce the aggregate :class:`NetworkMetrics` for the finished run."""
+        if self._measurement_start_cycle is None or self._measured == 0:
+            measurement_cycles = 0
+            throughput_msgs = 0.0
+            throughput_flits = 0.0
+        else:
+            measurement_cycles = max(1, self._last_delivery_cycle - self._measurement_start_cycle + 1)
+            throughput_msgs = self._measured / (measurement_cycles * self._num_nodes)
+            throughput_flits = self._measured_flits / (measurement_cycles * self._num_nodes)
+        absorbed_fraction = (
+            self._absorbed_messages_measured / self._measured if self._measured else 0.0
+        )
+        return NetworkMetrics(
+            mean_latency=self._latency.mean,
+            latency_stddev=self._latency.stddev,
+            max_latency=self._latency.maximum if self._latency.count else float("nan"),
+            mean_network_latency=self._network_latency.mean,
+            mean_hops=self._hops.mean,
+            delivered_messages=self._delivered,
+            measured_messages=self._measured,
+            generated_messages=self._generated,
+            measurement_cycles=measurement_cycles,
+            total_cycles=total_cycles,
+            num_nodes=self._num_nodes,
+            message_length=message_length,
+            throughput_messages=throughput_msgs,
+            throughput_flits=throughput_flits,
+            messages_absorbed_total=self._absorption_events_total,
+            messages_absorbed_measured=self._absorption_events_measured,
+            absorbed_message_fraction=absorbed_fraction,
+            mean_absorptions_per_message=(
+                self._absorptions_measured.mean if self._measured else 0.0
+            ),
+            offered_load=offered_load,
+            saturated=saturated,
+        )

@@ -1,0 +1,166 @@
+"""Streaming statistics helpers used by the metrics collector and the harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["RunningStats", "confidence_interval", "batch_means_confidence_interval"]
+
+# Two-sided 95% critical values of Student's t distribution for small degrees
+# of freedom, falling back to the normal quantile (1.96) for df >= 30.  Kept as
+# a table so the core library does not require SciPy at runtime.
+_T_TABLE_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145,
+    15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060, 26: 2.056,
+    27: 2.052, 28: 2.048, 29: 2.045,
+}
+
+
+def _t_critical_95(df: int) -> float:
+    if df <= 0:
+        return float("nan")
+    return _T_TABLE_95.get(df, 1.96)
+
+
+class RunningStats:
+    """Numerically stable streaming mean/variance (Welford's algorithm).
+
+    Tracks count, mean, variance, minimum and maximum of a stream of values
+    without storing them, which keeps per-message accounting cheap inside the
+    simulation hot loop.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the statistics."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the statistics."""
+        for v in values:
+            self.add(v)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self._count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for fewer than two observations)."""
+        if self._count < 2:
+            return float("nan")
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else float("nan")
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (inf when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (-inf when empty)."""
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two independent statistics (parallel Welford merge)."""
+        merged = RunningStats()
+        if self._count == 0:
+            merged._copy_from(other)
+            return merged
+        if other._count == 0:
+            merged._copy_from(self)
+            return merged
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = total
+        merged._mean = self._mean + delta * other._count / total
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._count * other._count / total
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def _copy_from(self, other: "RunningStats") -> None:
+        self._count = other._count
+        self._mean = other._mean
+        self._m2 = other._m2
+        self._min = other._min
+        self._max = other._max
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"RunningStats(count={self._count}, mean={self.mean:.4g}, "
+            f"stddev={self.stddev:.4g})"
+        )
+
+
+def confidence_interval(values: Sequence[float], level: float = 0.95) -> Tuple[float, float]:
+    """Two-sided confidence interval of the mean of ``values``.
+
+    Only the 95 % level is supported without SciPy; other levels raise.
+    Returns ``(mean, half_width)``; the half width is NaN for fewer than two
+    observations.
+    """
+    if abs(level - 0.95) > 1e-9:
+        raise ValueError("only the 95% confidence level is supported")
+    stats = RunningStats()
+    stats.extend(values)
+    n = stats.count
+    if n == 0:
+        return float("nan"), float("nan")
+    if n == 1:
+        return stats.mean, float("nan")
+    half = _t_critical_95(n - 1) * stats.stddev / math.sqrt(n)
+    return stats.mean, half
+
+
+def batch_means_confidence_interval(
+    values: Sequence[float], batches: int = 10, level: float = 0.95
+) -> Tuple[float, float]:
+    """Batch-means confidence interval for correlated simulation output.
+
+    Message latencies produced by a single simulation run are autocorrelated;
+    the classical remedy is to split the measurement stream into ``batches``
+    contiguous batches and build the interval from the batch means.  Returns
+    ``(mean, half_width)``.
+    """
+    if batches < 2:
+        raise ValueError("need at least two batches")
+    n = len(values)
+    if n < batches:
+        return confidence_interval(values, level)
+    batch_size = n // batches
+    means: List[float] = []
+    for b in range(batches):
+        chunk = values[b * batch_size : (b + 1) * batch_size]
+        means.append(sum(chunk) / len(chunk))
+    return confidence_interval(means, level)

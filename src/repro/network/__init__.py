@@ -1,0 +1,35 @@
+"""Flit-level wormhole-switched network model and simulation engine.
+
+This package is the substrate the paper's evaluation runs on: a cycle-driven,
+flit-level simulator of a wormhole-switched direct network with virtual
+channels (Section 2 and the assumptions of Section 5.1).  The pieces are:
+
+* :mod:`repro.network.flit` / :mod:`repro.network.message` — flits and
+  messages (packets);
+* :mod:`repro.network.virtual_channel` — input virtual channels and the
+  injection channels that stream a message's flits into its router;
+* :mod:`repro.network.router` — one router: its input VCs, injection channels
+  and the bookkeeping shared by the allocation stages;
+* :mod:`repro.network.messaging_layer` — the per-node software messaging
+  layer: the new-message queue and the re-injection queue used by
+  Software-Based re-routing (absorbed messages have priority);
+* :mod:`repro.network.engine` — the cycle loop: routing computation, virtual
+  channel allocation, switch traversal, ejection/absorption and statistics.
+"""
+
+from repro.network.engine import SimulationEngine
+from repro.network.flit import Flit
+from repro.network.message import Message
+from repro.network.messaging_layer import MessagingLayer
+from repro.network.router import Router
+from repro.network.virtual_channel import InjectionChannel, VirtualChannel
+
+__all__ = [
+    "Flit",
+    "Message",
+    "VirtualChannel",
+    "InjectionChannel",
+    "Router",
+    "MessagingLayer",
+    "SimulationEngine",
+]

@@ -1,0 +1,639 @@
+"""The cycle-driven, flit-level wormhole simulation engine.
+
+The engine implements the network model of Section 2 and the simulation
+methodology of Section 5 of the paper:
+
+* wormhole switching with ``V`` virtual channels per physical channel and
+  credit-style backpressure (a flit advances only when the downstream buffer
+  has space — assumption (g));
+* one flit per physical channel per cycle (virtual channels time-multiplex the
+  link bandwidth);
+* routing decision, virtual-channel allocation and switch traversal all happen
+  within a cycle (the paper sets the router decision time ``Td`` to zero);
+* messages whose required outgoing channels are faulty are absorbed by the
+  local node's software messaging layer, which rewrites the header using the
+  routing algorithm's re-routing policy and re-injects the message after Δ
+  cycles, with priority over new traffic (assumption (i));
+* messages are consumed immediately upon arrival at their destination
+  (assumption (d)), and the mean latency counts generation to last-flit
+  ejection.
+
+Each simulation cycle runs five stages::
+
+    generate -> inject -> route/allocate -> transfer -> drain
+
+``generate`` draws Poisson arrivals, ``inject`` moves queued messages into
+free injection channels, ``route/allocate`` performs routing computation and
+virtual-channel allocation for waiting header flits, ``transfer`` moves at
+most one flit per output physical channel, and ``drain`` consumes flits at
+ejecting/absorbing routers and finalises deliveries and absorptions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.livelock import LivelockGuard
+from repro.errors import ConfigurationError, DeadlockError, RoutingError
+from repro.faults.model import FaultSet
+from repro.metrics.collectors import MessageRecord, MetricsCollector, NetworkMetrics
+from repro.network.message import Message
+from repro.network.messaging_layer import MessagingLayer
+from repro.network.router import Router
+from repro.network.virtual_channel import (
+    SINK_FAULT,
+    SINK_FINAL,
+    SINK_INTERMEDIATE,
+    SINK_NONE,
+    InjectionChannel,
+    VirtualChannel,
+)
+from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.topology.base import Topology
+from repro.topology.channels import opposite_port
+from repro.traffic.generators import TrafficGenerator
+from repro.traffic.patterns import DestinationPattern
+
+__all__ = ["SimulationEngine"]
+
+_Channel = Union[VirtualChannel, InjectionChannel]
+
+
+class _OrderedSet:
+    """Insertion-ordered set of channels.
+
+    The engine iterates its active-channel collections every cycle; a plain
+    ``set`` of objects would iterate in address order, which differs between
+    otherwise identical runs and would break seed-for-seed reproducibility of
+    the random allocation decisions.  A dict-backed ordered set keeps the
+    iteration order a pure function of the simulation history.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: Dict[object, None] = {}
+
+    def add(self, item) -> None:
+        self._items.setdefault(item, None)
+
+    def discard(self, item) -> None:
+        self._items.pop(item, None)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+
+class SimulationEngine:
+    """Flit-level simulator of one network configuration.
+
+    Parameters
+    ----------
+    topology:
+        The k-ary n-cube or mesh being simulated.
+    routing:
+        The routing algorithm (must have been constructed with the same
+        topology and fault set).
+    traffic:
+        The arrival process (rate in messages/node/cycle).
+    pattern:
+        Destination pattern; faulty nodes must be excluded from it.
+    faults:
+        Static fault set (defaults to fault free).
+    message_length:
+        Message length ``M`` in flits.
+    buffer_depth:
+        Flit capacity of every input virtual-channel buffer.
+    warmup_messages / measure_messages:
+        The first ``warmup_messages`` generated messages are excluded from the
+        statistics; the run stops once ``warmup_messages + measure_messages``
+        messages have been delivered (or saturation/max-cycles kicks in).
+    max_cycles:
+        Hard cap on simulated cycles; reaching it marks the run as saturated.
+    reinjection_delay:
+        The software re-injection overhead Δ (cycles); the paper uses 0.
+    seed:
+        Seed for both the traffic and the allocation randomness.
+    livelock_guard:
+        Bound on per-message absorptions; defaults to the bound derived from
+        the topology and fault set.
+    saturation_queue_limit:
+        Average pending new messages per node above which the network is
+        declared saturated and the run stops early (keeps sweeps past the
+        saturation point affordable).  ``None`` disables the early stop.
+    keep_records:
+        Retain every delivered message's :class:`MessageRecord` (tests).
+    """
+
+    #: Cycles without any flit movement or delivery before a deadlock is declared.
+    DEADLOCK_WATCHDOG = 10_000
+    #: How often (in cycles) the saturation early-stop condition is evaluated.
+    SATURATION_CHECK_PERIOD = 200
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        traffic: TrafficGenerator,
+        pattern: DestinationPattern,
+        faults: Optional[FaultSet] = None,
+        message_length: int = 32,
+        buffer_depth: int = 2,
+        warmup_messages: int = 100,
+        measure_messages: int = 1000,
+        max_cycles: int = 200_000,
+        reinjection_delay: int = 0,
+        seed: int = 1,
+        livelock_guard: Optional[LivelockGuard] = None,
+        saturation_queue_limit: Optional[float] = 25.0,
+        keep_records: bool = False,
+    ) -> None:
+        if message_length < 1:
+            raise ConfigurationError("message_length must be at least 1 flit")
+        if buffer_depth < 1:
+            raise ConfigurationError("buffer_depth must be at least 1 flit")
+        if measure_messages < 1:
+            raise ConfigurationError("measure_messages must be positive")
+        self._topology = topology
+        self._routing = routing
+        self._traffic = traffic
+        self._pattern = pattern
+        self._faults = faults if faults is not None else FaultSet.empty()
+        self._message_length = message_length
+        self._buffer_depth = buffer_depth
+        self._warmup_messages = warmup_messages
+        self._measure_messages = measure_messages
+        self._max_cycles = max_cycles
+        self._seed = seed
+        self._saturation_queue_limit = saturation_queue_limit
+        self._num_vcs = routing.num_virtual_channels
+
+        self._rng = np.random.default_rng(seed)
+        self._rand = random.Random(seed ^ 0x5EED)
+
+        self._healthy_nodes: List[int] = [
+            n for n in topology.nodes() if not self._faults.is_node_faulty(n)
+        ]
+        if len(self._healthy_nodes) < 2:
+            raise ConfigurationError("at least two healthy nodes are required")
+
+        self._routers: List[Router] = [
+            Router(
+                node,
+                topology.num_network_ports,
+                self._num_vcs,
+                buffer_depth,
+                faulty=self._faults.is_node_faulty(node),
+            )
+            for node in topology.nodes()
+        ]
+        self._layers: List[MessagingLayer] = [
+            MessagingLayer(node, reinjection_delay) for node in topology.nodes()
+        ]
+        self._streams = {
+            node: traffic.make_source(np.random.default_rng(self._rng.integers(2**63)))
+            for node in self._healthy_nodes
+        }
+        self._collector = MetricsCollector(
+            num_nodes=len(self._healthy_nodes),
+            warmup_messages=warmup_messages,
+            keep_records=keep_records,
+        )
+        self._livelock = livelock_guard if livelock_guard is not None else LivelockGuard(
+            topology=topology, faults=self._faults
+        )
+
+        self._active_vcs = _OrderedSet()
+        self._active_injection = _OrderedSet()
+        self._pending_nodes: Set[int] = set()
+
+        self._cycle = 0
+        self._last_progress_cycle = 0
+        self._saturated = False
+        self._flit_transfers = 0
+        self._stop_generation = False
+
+    # ------------------------------------------------------------------ #
+    # public interface
+    # ------------------------------------------------------------------ #
+    @property
+    def cycle(self) -> int:
+        """The current simulation cycle."""
+        return self._cycle
+
+    @property
+    def collector(self) -> MetricsCollector:
+        """The metrics collector (live view of statistics)."""
+        return self._collector
+
+    @property
+    def routers(self) -> List[Router]:
+        """Per-node routers (for tests and white-box inspection)."""
+        return self._routers
+
+    @property
+    def messaging_layers(self) -> List[MessagingLayer]:
+        """Per-node software messaging layers."""
+        return self._layers
+
+    @property
+    def saturated(self) -> bool:
+        """True once the engine has declared the network saturated."""
+        return self._saturated
+
+    @property
+    def flit_transfers(self) -> int:
+        """Total number of flit-link traversals simulated so far."""
+        return self._flit_transfers
+
+    def inject_message(self, source: int, destination: int) -> Message:
+        """Hand-inject a message (used by tests and the examples).
+
+        The message is queued at ``source`` exactly as if the PE had generated
+        it this cycle; it is *not* exempt from warm-up accounting.
+        """
+        if self._faults.is_node_faulty(source):
+            raise ConfigurationError(f"source node {source} is faulty")
+        if self._faults.is_node_faulty(destination):
+            raise ConfigurationError(f"destination node {destination} is faulty")
+        message = self._new_message(source, destination)
+        self._layers[source].enqueue_new(message)
+        self._pending_nodes.add(source)
+        return message
+
+    def run(self) -> NetworkMetrics:
+        """Run the simulation to completion and return the aggregate metrics."""
+        target = self._warmup_messages + self._measure_messages
+        while self._collector.delivered_messages < target and self._cycle < self._max_cycles:
+            self.step()
+            if self._saturated:
+                break
+            if self._idle() and self._traffic.rate <= 0:
+                break
+        if self._collector.delivered_messages < target and not self._saturated:
+            # Ran out of cycles before delivering the requested messages.
+            self._saturated = self._cycle >= self._max_cycles
+        return self._collector.finalize(
+            total_cycles=self._cycle,
+            message_length=self._message_length,
+            offered_load=self._traffic.rate,
+            saturated=self._saturated,
+        )
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        self._cycle += 1
+        cycle = self._cycle
+        if not self._stop_generation:
+            self._generate_traffic(cycle)
+        self._inject(cycle)
+        self._route_and_allocate(cycle)
+        self._transfer(cycle)
+        self._drain(cycle)
+        self._check_watchdog(cycle)
+        if (
+            self._saturation_queue_limit is not None
+            and cycle % self.SATURATION_CHECK_PERIOD == 0
+        ):
+            self._check_saturation()
+
+    def drain(self, max_cycles: int = 50_000) -> None:
+        """Stop traffic generation and run until the network is empty.
+
+        Used by tests and examples that inject a fixed set of messages by hand
+        and want every one of them delivered.
+        """
+        self._stop_generation = True
+        deadline = self._cycle + max_cycles
+        while not self._idle() and self._cycle < deadline:
+            self.step()
+        self._stop_generation = False
+
+    # ------------------------------------------------------------------ #
+    # stage 1: traffic generation
+    # ------------------------------------------------------------------ #
+    def _new_message(self, source: int, destination: int) -> Message:
+        header = self._routing.initial_header(source, destination)
+        message_id = self._collector.message_generated()
+        return Message(
+            message_id=message_id,
+            source=source,
+            destination=destination,
+            length=self._message_length,
+            created=self._cycle,
+            header=header,
+        )
+
+    def _generate_traffic(self, cycle: int) -> None:
+        if self._traffic.rate <= 0:
+            return
+        for node in self._healthy_nodes:
+            arrivals = self._streams[node].arrivals_until(cycle)
+            if not arrivals:
+                continue
+            layer = self._layers[node]
+            for _ in range(arrivals):
+                destination = self._pattern.pick(node, self._rng)
+                if destination is None or self._faults.is_node_faulty(destination):
+                    continue
+                layer.enqueue_new(self._new_message(node, destination))
+            self._pending_nodes.add(node)
+
+    # ------------------------------------------------------------------ #
+    # stage 2: injection-channel assignment
+    # ------------------------------------------------------------------ #
+    def _inject(self, cycle: int) -> None:
+        if not self._pending_nodes:
+            return
+        satisfied: List[int] = []
+        for node in self._pending_nodes:
+            layer = self._layers[node]
+            router = self._routers[node]
+            while layer.peek_ready(cycle):
+                channel = router.free_injection_channel()
+                if channel is None:
+                    break
+                message = layer.next_message(cycle)
+                if message is None:  # pragma: no cover - peek_ready guards this
+                    break
+                channel.load(message)
+                if message.injected < 0:
+                    message.injected = cycle
+                self._active_injection.add(channel)
+                self._last_progress_cycle = cycle
+            if not layer.pending_total:
+                satisfied.append(node)
+        for node in satisfied:
+            self._pending_nodes.discard(node)
+
+    # ------------------------------------------------------------------ #
+    # stage 3: routing computation and virtual-channel allocation
+    # ------------------------------------------------------------------ #
+    def _route_and_allocate(self, cycle: int) -> None:
+        # Injection channels first: re-injected messages already had priority
+        # when they were queued, so plain iteration order is fine here.
+        for channel in list(self._active_injection):
+            if not channel.needs_routing:
+                continue
+            self._route_injection_channel(channel, cycle)
+        for vc in list(self._active_vcs):
+            if not vc.needs_routing:
+                continue
+            self._route_network_vc(vc, cycle)
+
+    def _route_injection_channel(self, channel: InjectionChannel, cycle: int) -> None:
+        message = channel.message
+        assert message is not None
+        header = message.header
+        node = channel.node
+
+        if node == header.target:
+            # The only way a message can target its own source is through an
+            # intermediate address installed by the software layer; resume.
+            if header.is_intermediate:
+                self._routing.on_intermediate_target_reached(node, header)
+            return
+
+        decision = self._routing.route(node, header)
+        if decision.deliver:  # pragma: no cover - target check above covers this
+            return
+        if decision.absorb:
+            # The message never entered the network: the software layer
+            # handles it immediately (still counted as an absorption).
+            channel.release()
+            self._active_injection.discard(channel)
+            self._register_absorption(message, node, fault=True)
+            self._routing.rewrite_after_absorption(node, header)
+            self._layers[node].enqueue_reinjection(message, cycle)
+            self._pending_nodes.add(node)
+            return
+        allocation = self._allocate(node, decision, message)
+        if allocation is not None:
+            channel.assign_output(*allocation)
+
+    def _route_network_vc(self, vc: VirtualChannel, cycle: int) -> None:
+        head = vc.head_flit
+        assert head is not None
+        message = head.message
+        header = message.header
+        node = vc.node
+
+        if node == header.target:
+            vc.sink = SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
+            return
+
+        decision = self._routing.route(node, header)
+        if decision.deliver:  # pragma: no cover - target check above covers this
+            vc.sink = SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
+            return
+        if decision.absorb:
+            vc.sink = SINK_FAULT
+            return
+        allocation = self._allocate(node, decision, message)
+        if allocation is not None:
+            vc.assign_output(*allocation)
+
+    def _allocate(
+        self, node: int, decision: RoutingDecision, message: Message
+    ) -> Optional[Tuple[int, int, int]]:
+        """Try to acquire a downstream virtual channel for a routed header.
+
+        Candidates are grouped by priority (adaptive channels before the
+        escape channel for Duato's Protocol); within a group the physical
+        channel and the virtual channel are chosen uniformly at random among
+        the free options, matching assumption (e) of the paper.
+
+        Returns ``(downstream node, output port, virtual channel)`` or ``None``
+        when every candidate VC is currently owned.
+        """
+        candidates = sorted(decision.candidates, key=lambda c: c.priority)
+        index = 0
+        while index < len(candidates):
+            # Slice out one priority group.
+            priority = candidates[index].priority
+            group = []
+            while index < len(candidates) and candidates[index].priority == priority:
+                group.append(candidates[index])
+                index += 1
+            self._rand.shuffle(group)
+            for candidate in group:
+                down_node = self._topology.neighbor_via_port(node, candidate.port)
+                if down_node is None:
+                    continue
+                down_router = self._routers[down_node]
+                if down_router.faulty:
+                    raise RoutingError(
+                        f"routing offered a candidate through faulty node {down_node} "
+                        f"from node {node}"
+                    )
+                down_port = opposite_port(candidate.port)
+                free = [
+                    v
+                    for v in candidate.virtual_channels
+                    if down_router.input_vcs[down_port][v].is_free
+                ]
+                if not free:
+                    continue
+                chosen = free[self._rand.randrange(len(free))]
+                down_router.input_vcs[down_port][chosen].reserve(message)
+                return down_node, candidate.port, chosen
+        return None
+
+    # ------------------------------------------------------------------ #
+    # stage 4: switch allocation and flit transfer
+    # ------------------------------------------------------------------ #
+    def _transfer(self, cycle: int) -> None:
+        requests: Dict[Tuple[int, int], List[_Channel]] = {}
+
+        for channel in self._active_injection:
+            if not channel.has_output or channel.flits_remaining <= 0:
+                continue
+            if self._downstream_has_space(channel):
+                requests.setdefault((channel.node, channel.out_port), []).append(channel)
+
+        for vc in self._active_vcs:
+            if not vc.has_output or not vc.buffer:
+                continue
+            head = vc.buffer[0]
+            if head.moved_cycle == cycle:
+                continue
+            if self._downstream_has_space(vc):
+                requests.setdefault((vc.node, vc.out_port), []).append(vc)
+
+        for (_node, _port), contenders in requests.items():
+            winner = (
+                contenders[0]
+                if len(contenders) == 1
+                else contenders[self._rand.randrange(len(contenders))]
+            )
+            self._move_one_flit(winner, cycle)
+
+    def _downstream_has_space(self, channel: _Channel) -> bool:
+        down_router = self._routers[channel.out_node]
+        down_port = opposite_port(channel.out_port)
+        return down_router.input_vcs[down_port][channel.out_vc].has_space
+
+    def _move_one_flit(self, channel: _Channel, cycle: int) -> None:
+        down_router = self._routers[channel.out_node]
+        down_port = opposite_port(channel.out_port)
+        down_vc = down_router.input_vcs[down_port][channel.out_vc]
+
+        if isinstance(channel, InjectionChannel):
+            message = channel.message
+            assert message is not None
+            flit = channel.next_flit()
+        else:
+            flit = channel.pop()
+            message = flit.message
+
+        flit.moved_cycle = cycle
+        down_vc.push(flit)
+        self._active_vcs.add(down_vc)
+        self._flit_transfers += 1
+        self._last_progress_cycle = cycle
+
+        if flit.is_head:
+            message.hops += 1
+        if flit.is_tail:
+            if isinstance(channel, InjectionChannel):
+                channel.release()
+                self._active_injection.discard(channel)
+            else:
+                channel.release()
+                self._active_vcs.discard(channel)
+
+    # ------------------------------------------------------------------ #
+    # stage 5: ejection / absorption drain
+    # ------------------------------------------------------------------ #
+    def _drain(self, cycle: int) -> None:
+        finished: List[VirtualChannel] = []
+        for vc in self._active_vcs:
+            if vc.sink == SINK_NONE or not vc.buffer:
+                continue
+            tail_seen = False
+            while vc.buffer:
+                flit = vc.pop()
+                if flit.is_tail:
+                    tail_seen = True
+            self._last_progress_cycle = cycle
+            if tail_seen:
+                finished.append(vc)
+
+        for vc in finished:
+            message = vc.owner
+            assert message is not None
+            node = vc.node
+            sink = vc.sink
+            vc.release()
+            self._active_vcs.discard(vc)
+
+            if sink == SINK_FINAL:
+                self._collector.message_delivered(
+                    MessageRecord(
+                        message_id=message.message_id,
+                        source=message.source,
+                        destination=message.destination,
+                        length=message.length,
+                        created=message.created,
+                        injected=message.injected,
+                        delivered=cycle,
+                        hops=message.hops,
+                        absorptions=message.absorptions,
+                    )
+                )
+            elif sink == SINK_INTERMEDIATE:
+                self._register_absorption(message, node, fault=False)
+                self._routing.on_intermediate_target_reached(node, message.header)
+                self._layers[node].enqueue_reinjection(message, cycle)
+                self._pending_nodes.add(node)
+            elif sink == SINK_FAULT:
+                self._register_absorption(message, node, fault=True)
+                self._routing.rewrite_after_absorption(node, message.header)
+                self._layers[node].enqueue_reinjection(message, cycle)
+                self._pending_nodes.add(node)
+
+    def _register_absorption(self, message: Message, node: int, fault: bool) -> None:
+        message.absorptions += 1
+        message.header.absorptions += 1
+        self._collector.message_absorbed(message.message_id)
+        self._livelock.check(message.message_id, message.absorptions)
+
+    # ------------------------------------------------------------------ #
+    # termination conditions
+    # ------------------------------------------------------------------ #
+    def _idle(self) -> bool:
+        """True when no message is queued, injecting or travelling."""
+        return (
+            not self._active_vcs
+            and not self._active_injection
+            and not self._pending_nodes
+        )
+
+    def _check_watchdog(self, cycle: int) -> None:
+        if self._idle():
+            self._last_progress_cycle = cycle
+            return
+        if cycle - self._last_progress_cycle > self.DEADLOCK_WATCHDOG:
+            in_flight = len(self._active_vcs) + len(self._active_injection)
+            raise DeadlockError(
+                f"no flit moved for {self.DEADLOCK_WATCHDOG} cycles at cycle {cycle} "
+                f"with {in_flight} channels still occupied; this indicates a protocol "
+                f"bug or an unsupported configuration"
+            )
+
+    def _check_saturation(self) -> None:
+        limit = self._saturation_queue_limit
+        if limit is None:
+            return
+        pending = sum(self._layers[node].pending_new for node in self._healthy_nodes)
+        if pending / len(self._healthy_nodes) > limit:
+            self._saturated = True

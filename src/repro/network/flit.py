@@ -1,0 +1,49 @@
+"""Flow-control digits (flits).
+
+Wormhole switching breaks each message into flits: a header flit carrying the
+routing information, followed by data flits and a tail flit, all of which
+follow the header in a pipelined fashion (paper Section 2).  Flit objects are
+created once per injection attempt of a message and physically move between
+virtual-channel buffers; they are deliberately tiny (``__slots__`` only) since
+hundreds of thousands of them are created during a benchmark run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.network.message import Message
+
+__all__ = ["Flit"]
+
+
+class Flit:
+    """One flow-control digit of a message.
+
+    Attributes
+    ----------
+    message:
+        The message this flit belongs to.
+    index:
+        Position within the message (0 = header flit).
+    is_head / is_tail:
+        Role markers; a single-flit message is both head and tail.
+    moved_cycle:
+        Cycle at which the flit last traversed a physical channel.  The engine
+        uses it to guarantee that a flit advances at most one hop per cycle
+        regardless of the order routers are visited in.
+    """
+
+    __slots__ = ("message", "index", "is_head", "is_tail", "moved_cycle")
+
+    def __init__(self, message: "Message", index: int, is_head: bool, is_tail: bool) -> None:
+        self.message = message
+        self.index = index
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.moved_cycle = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "H" if self.is_head else ("T" if self.is_tail else "D")
+        return f"Flit(msg={self.message.message_id}, {role}{self.index})"

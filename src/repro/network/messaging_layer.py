@@ -1,0 +1,105 @@
+"""The per-node software messaging layer.
+
+The Software-Based scheme relies on each node's message-passing software
+(assumption (i) of the paper): a message whose path is blocked by faults is
+removed from the network by the local router and delivered to this layer,
+which rewrites the header and re-injects the message after a configurable
+overhead of Δ cycles.  Absorbed messages have priority over newly generated
+messages to prevent starvation (Section 4).
+
+The layer therefore keeps two queues per node:
+
+* the **new-message queue**, fed by the local PE's traffic generator, and
+* the **re-injection queue**, fed by absorptions; entries become eligible
+  Δ cycles after the absorption completed and are always served first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.network.message import Message
+
+__all__ = ["MessagingLayer"]
+
+
+class MessagingLayer:
+    """Software queues of one node.
+
+    Parameters
+    ----------
+    node:
+        Flat id of the node this layer belongs to.
+    reinjection_delay:
+        The Δ overhead (in cycles) between the completion of an absorption and
+        the earliest re-injection of the message.  The paper's experiments use
+        Δ = 0.
+    """
+
+    __slots__ = ("node", "reinjection_delay", "_new_queue", "_reinjection_queue")
+
+    def __init__(self, node: int, reinjection_delay: int = 0) -> None:
+        if reinjection_delay < 0:
+            raise ValueError("the re-injection delay must be non-negative")
+        self.node = node
+        self.reinjection_delay = reinjection_delay
+        self._new_queue: Deque[Message] = deque()
+        self._reinjection_queue: Deque[Tuple[int, Message]] = deque()
+
+    # ------------------------------------------------------------------ #
+    # enqueue
+    # ------------------------------------------------------------------ #
+    def enqueue_new(self, message: Message) -> None:
+        """Queue a freshly generated message behind earlier local traffic."""
+        self._new_queue.append(message)
+
+    def enqueue_reinjection(self, message: Message, absorbed_at_cycle: int) -> None:
+        """Queue an absorbed message; it becomes eligible after Δ cycles."""
+        ready = absorbed_at_cycle + self.reinjection_delay
+        self._reinjection_queue.append((ready, message))
+
+    # ------------------------------------------------------------------ #
+    # dequeue
+    # ------------------------------------------------------------------ #
+    def next_message(self, cycle: int) -> Optional[Message]:
+        """Pop the next message eligible for injection at ``cycle``.
+
+        Re-injected (absorbed) messages have strict priority over new
+        messages; within each queue the order is FIFO.
+        """
+        if self._reinjection_queue and self._reinjection_queue[0][0] <= cycle:
+            return self._reinjection_queue.popleft()[1]
+        if self._new_queue:
+            return self._new_queue.popleft()
+        return None
+
+    def peek_ready(self, cycle: int) -> bool:
+        """True when :meth:`next_message` would return a message at ``cycle``."""
+        if self._reinjection_queue and self._reinjection_queue[0][0] <= cycle:
+            return True
+        return bool(self._new_queue)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_new(self) -> int:
+        """Number of generated messages still waiting at the source."""
+        return len(self._new_queue)
+
+    @property
+    def pending_reinjection(self) -> int:
+        """Number of absorbed messages waiting to be re-injected."""
+        return len(self._reinjection_queue)
+
+    @property
+    def pending_total(self) -> int:
+        """Total queued messages at this node."""
+        return len(self._new_queue) + len(self._reinjection_queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MessagingLayer(node={self.node}, new={len(self._new_queue)}, "
+            f"reinject={len(self._reinjection_queue)})"
+        )

@@ -1,0 +1,106 @@
+"""One router of the direct network.
+
+A router owns the input virtual channels of its ``2n`` network ports and the
+``V`` injection channels fed by the local processing element.  It is a plain
+container: the allocation and traversal logic lives in the simulation engine
+so that the per-cycle hot loop stays flat, but the router exposes the
+convenience queries used by the engine, the tests and the analysis helpers
+(free VCs per port, occupancy, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.message import Message
+from repro.network.virtual_channel import InjectionChannel, VirtualChannel
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Input-buffered wormhole router with ``V`` virtual channels per port.
+
+    Parameters
+    ----------
+    node:
+        Flat node id of the router.
+    num_network_ports:
+        ``2n`` for an n-dimensional network.
+    num_virtual_channels:
+        ``V``, virtual channels per physical channel (network and injection).
+    buffer_depth:
+        Flit capacity of each input virtual-channel buffer.
+    faulty:
+        True when the node itself has failed; a faulty router holds no
+        channels and never participates in the simulation.
+    """
+
+    __slots__ = ("node", "num_network_ports", "num_virtual_channels", "buffer_depth",
+                 "faulty", "input_vcs", "injection_channels")
+
+    def __init__(
+        self,
+        node: int,
+        num_network_ports: int,
+        num_virtual_channels: int,
+        buffer_depth: int,
+        faulty: bool = False,
+    ) -> None:
+        self.node = node
+        self.num_network_ports = num_network_ports
+        self.num_virtual_channels = num_virtual_channels
+        self.buffer_depth = buffer_depth
+        self.faulty = faulty
+        if faulty:
+            self.input_vcs: List[List[VirtualChannel]] = []
+            self.injection_channels: List[InjectionChannel] = []
+        else:
+            self.input_vcs = [
+                [
+                    VirtualChannel(node, port, vc, buffer_depth)
+                    for vc in range(num_virtual_channels)
+                ]
+                for port in range(num_network_ports)
+            ]
+            self.injection_channels = [
+                InjectionChannel(node, vc) for vc in range(num_virtual_channels)
+            ]
+
+    # ------------------------------------------------------------------ #
+    # queries used by the engine and the tests
+    # ------------------------------------------------------------------ #
+    def input_vc(self, port: int, vc: int) -> VirtualChannel:
+        """The input virtual channel ``vc`` of network port ``port``."""
+        return self.input_vcs[port][vc]
+
+    def free_input_vcs(self, port: int) -> List[int]:
+        """Indices of the currently unowned input VCs of ``port``."""
+        return [vc.index for vc in self.input_vcs[port] if vc.is_free]
+
+    def free_injection_channel(self) -> Optional[InjectionChannel]:
+        """An idle injection channel, or ``None`` when all are busy."""
+        for channel in self.injection_channels:
+            if channel.is_free:
+                return channel
+        return None
+
+    def occupancy(self) -> int:
+        """Total number of flits buffered in this router's input VCs."""
+        return sum(vc.occupancy for port in self.input_vcs for vc in port)
+
+    def messages_in_flight(self) -> List[Message]:
+        """Distinct messages currently owning a VC or injection channel here."""
+        seen = {}
+        for port in self.input_vcs:
+            for vc in port:
+                if vc.owner is not None:
+                    seen[vc.owner.message_id] = vc.owner
+        for channel in self.injection_channels:
+            if channel.message is not None:
+                seen[channel.message.message_id] = channel.message
+        return list(seen.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "faulty" if self.faulty else f"occupancy={self.occupancy()}"
+        return f"Router(node={self.node}, {state})"

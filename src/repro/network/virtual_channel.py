@@ -1,0 +1,259 @@
+"""Virtual channels and injection channels.
+
+Each physical channel of the network is associated with ``V`` virtual
+channels; a virtual channel has its own flit queue but shares the physical
+channel's bandwidth with the other virtual channels in a time-multiplexed
+fashion (paper Section 2, citing Dally's virtual-channel flow control).  The
+model here keeps, per router, one :class:`VirtualChannel` object per
+*input* virtual channel: the buffer lives at the downstream end of the
+physical link, and the upstream router holds a reference to it through the
+output assignment of the virtual channel currently forwarding a message.
+
+The :class:`InjectionChannel` plays the role of the injection physical channel
+from the local PE: it streams the flits of one message into the router at one
+flit per cycle, subject to the same allocation rules as a network virtual
+channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.network.flit import Flit
+from repro.network.message import Message
+
+__all__ = ["SINK_NONE", "SINK_FINAL", "SINK_INTERMEDIATE", "SINK_FAULT",
+           "VirtualChannel", "InjectionChannel"]
+
+#: The virtual channel is forwarding normally (no ejection in progress).
+SINK_NONE = 0
+#: The message is being ejected at its final destination.
+SINK_FINAL = 1
+#: The message is being ejected at an intermediate target node.
+SINK_INTERMEDIATE = 2
+#: The message is being absorbed because its path is blocked by faults.
+SINK_FAULT = 3
+
+
+class VirtualChannel:
+    """One input virtual channel of a router.
+
+    Attributes
+    ----------
+    node:
+        Router this input VC belongs to.
+    port:
+        Input-port index the VC is attached to.
+    index:
+        Virtual-channel index within the physical channel (0 .. V-1).
+    capacity:
+        Buffer depth in flits.
+    owner:
+        Message currently holding the VC (wormhole: from header acquisition
+        until the tail flit has left), or ``None``.
+    out_node, out_port, out_vc:
+        Output assignment: the downstream router, the output port at *this*
+        router, and the downstream input VC index the message was allocated.
+    sink:
+        One of the ``SINK_*`` constants; non-zero while the message is being
+        ejected/absorbed at this router.
+    """
+
+    __slots__ = (
+        "node",
+        "port",
+        "index",
+        "capacity",
+        "buffer",
+        "owner",
+        "out_node",
+        "out_port",
+        "out_vc",
+        "sink",
+    )
+
+    def __init__(self, node: int, port: int, index: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("virtual-channel buffer capacity must be at least one flit")
+        self.node = node
+        self.port = port
+        self.index = index
+        self.capacity = capacity
+        self.buffer: Deque[Flit] = deque()
+        self.owner: Optional[Message] = None
+        self.out_node = -1
+        self.out_port = -1
+        self.out_vc = -1
+        self.sink = SINK_NONE
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_free(self) -> bool:
+        """True when no message owns this VC (a header may acquire it)."""
+        return self.owner is None
+
+    @property
+    def occupancy(self) -> int:
+        """Number of flits currently buffered."""
+        return len(self.buffer)
+
+    @property
+    def has_space(self) -> bool:
+        """True when at least one more flit fits into the buffer."""
+        return len(self.buffer) < self.capacity
+
+    @property
+    def head_flit(self) -> Optional[Flit]:
+        """The flit at the head of the buffer, if any."""
+        return self.buffer[0] if self.buffer else None
+
+    @property
+    def needs_routing(self) -> bool:
+        """True when a header flit waits at the buffer head without an output."""
+        if self.sink != SINK_NONE or self.out_port >= 0 or not self.buffer:
+            return False
+        return self.buffer[0].is_head
+
+    @property
+    def has_output(self) -> bool:
+        """True when the VC holds a valid output assignment."""
+        return self.out_port >= 0
+
+    # ------------------------------------------------------------------ #
+    # state transitions
+    # ------------------------------------------------------------------ #
+    def reserve(self, message: Message) -> None:
+        """Reserve this (downstream) VC for an incoming message."""
+        if self.owner is not None:
+            raise RuntimeError(
+                f"virtual channel ({self.node}, port {self.port}, vc {self.index}) is "
+                f"already owned by message {self.owner.message_id}"
+            )
+        self.owner = message
+
+    def assign_output(self, out_node: int, out_port: int, out_vc: int) -> None:
+        """Record the output the header was routed and allocated to."""
+        self.out_node = out_node
+        self.out_port = out_port
+        self.out_vc = out_vc
+
+    def push(self, flit: Flit) -> None:
+        """Accept a flit arriving over the physical channel."""
+        if len(self.buffer) >= self.capacity:
+            raise RuntimeError(
+                f"buffer overflow on virtual channel ({self.node}, port {self.port}, "
+                f"vc {self.index})"
+            )
+        self.buffer.append(flit)
+
+    def pop(self) -> Flit:
+        """Remove and return the flit at the buffer head."""
+        return self.buffer.popleft()
+
+    def release(self) -> None:
+        """Free the VC after the tail flit has left (or been consumed)."""
+        self.owner = None
+        self.out_node = -1
+        self.out_port = -1
+        self.out_vc = -1
+        self.sink = SINK_NONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self.owner.message_id if self.owner else None
+        return (
+            f"VC(node={self.node}, port={self.port}, vc={self.index}, "
+            f"owner={owner}, occ={len(self.buffer)}/{self.capacity}, sink={self.sink})"
+        )
+
+
+class InjectionChannel:
+    """The injection channel streaming one message's flits into its router.
+
+    Unlike a network :class:`VirtualChannel` it does not buffer flits — the PE
+    is assumed to hold the message until the network has accepted it — but it
+    obeys the same bandwidth rule: at most one flit enters the network per
+    cycle per injection channel.
+    """
+
+    __slots__ = ("node", "index", "message", "flits_sent", "out_node", "out_port", "out_vc")
+
+    def __init__(self, node: int, index: int) -> None:
+        self.node = node
+        self.index = index
+        self.message: Optional[Message] = None
+        self.flits_sent = 0
+        self.out_node = -1
+        self.out_port = -1
+        self.out_vc = -1
+
+    @property
+    def is_free(self) -> bool:
+        """True when no message is currently being injected through this channel."""
+        return self.message is None
+
+    @property
+    def needs_routing(self) -> bool:
+        """True when the header flit has not been routed yet."""
+        return self.message is not None and self.flits_sent == 0 and self.out_port < 0
+
+    @property
+    def has_output(self) -> bool:
+        """True when the header has been routed and allocated a downstream VC."""
+        return self.out_port >= 0
+
+    @property
+    def flits_remaining(self) -> int:
+        """Flits of the current message still waiting to enter the network."""
+        return 0 if self.message is None else self.message.length - self.flits_sent
+
+    def load(self, message: Message) -> None:
+        """Attach a message for injection."""
+        if self.message is not None:
+            raise RuntimeError(
+                f"injection channel {self.index} of node {self.node} is busy with "
+                f"message {self.message.message_id}"
+            )
+        self.message = message
+        self.flits_sent = 0
+        self.out_node = -1
+        self.out_port = -1
+        self.out_vc = -1
+
+    def assign_output(self, out_node: int, out_port: int, out_vc: int) -> None:
+        """Record the output the header was routed and allocated to."""
+        self.out_node = out_node
+        self.out_port = out_port
+        self.out_vc = out_vc
+
+    def next_flit(self) -> Flit:
+        """Create and account for the next flit entering the network."""
+        if self.message is None:
+            raise RuntimeError("injection channel has no message loaded")
+        message = self.message
+        index = self.flits_sent
+        flit = Flit(
+            message,
+            index,
+            is_head=(index == 0),
+            is_tail=(index == message.length - 1),
+        )
+        self.flits_sent += 1
+        return flit
+
+    def release(self) -> None:
+        """Detach the fully injected (or software-recalled) message."""
+        self.message = None
+        self.flits_sent = 0
+        self.out_node = -1
+        self.out_port = -1
+        self.out_vc = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mid = self.message.message_id if self.message else None
+        return (
+            f"InjectionChannel(node={self.node}, idx={self.index}, message={mid}, "
+            f"sent={self.flits_sent})"
+        )

@@ -1,0 +1,43 @@
+"""Routing functions: baselines and the shared routing-algorithm interface.
+
+The paper builds on two classical routing algorithms (Section 2):
+
+* **dimension-order (e-cube) routing** [Dally & Seitz 1987] — the deterministic
+  baseline.  On a torus, deadlock freedom additionally requires splitting each
+  physical channel's virtual channels into two *dateline classes* (the
+  Dally–Seitz construction), which is implemented here.
+* **Duato's Protocol (DP)** [Duato 1993] — the fully adaptive baseline: most
+  virtual channels may be used adaptively on any minimal direction, while a
+  small set of *escape* virtual channels follows e-cube and keeps the network
+  deadlock free.
+
+The Software-Based fault-tolerant algorithms of the paper are layered on top
+of these functions and live in :mod:`repro.core`.
+"""
+
+from repro.routing.base import (
+    ADAPTIVE_MODE,
+    DETERMINISTIC_MODE,
+    OutputCandidate,
+    RoutingAlgorithm,
+    RoutingDecision,
+    RoutingHeader,
+    VirtualChannelClasses,
+)
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoRouting
+from repro.routing.registry import available_routing_algorithms, make_routing
+
+__all__ = [
+    "RoutingHeader",
+    "RoutingDecision",
+    "OutputCandidate",
+    "RoutingAlgorithm",
+    "VirtualChannelClasses",
+    "DETERMINISTIC_MODE",
+    "ADAPTIVE_MODE",
+    "DimensionOrderRouting",
+    "DuatoRouting",
+    "make_routing",
+    "available_routing_algorithms",
+]

@@ -1,0 +1,401 @@
+"""Shared routing-algorithm interface.
+
+A routing algorithm is a per-hop *routing function* plus, for the
+Software-Based algorithms, a *software re-routing policy* executed by the
+messaging layer when a message is absorbed.  The simulation engine only talks
+to the interfaces defined here:
+
+* :class:`RoutingHeader` — the mutable per-message routing state carried in the
+  header flit (current target, routing mode, direction overrides written by
+  the software layer, misroute/absorption accounting);
+* :class:`RoutingDecision` — the outcome of one routing computation at one
+  router: deliver here, absorb to software, or a prioritised list of
+  :class:`OutputCandidate` ports with the virtual channels the header may
+  acquire on each;
+* :class:`RoutingAlgorithm` — the strategy object implementing the routing
+  function and (optionally) the software re-routing policy;
+* :class:`VirtualChannelClasses` — the split of the ``V`` virtual channels of a
+  physical channel into Dally–Seitz escape classes and adaptive channels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.model import FaultSet
+from repro.topology.base import Topology
+from repro.topology.channels import MINUS, PLUS
+
+__all__ = [
+    "DETERMINISTIC_MODE",
+    "ADAPTIVE_MODE",
+    "RoutingHeader",
+    "OutputCandidate",
+    "RoutingDecision",
+    "VirtualChannelClasses",
+    "RoutingAlgorithm",
+]
+
+#: Routing mode used by messages following fixed dimension-order paths.
+DETERMINISTIC_MODE = "deterministic"
+#: Routing mode used by messages still routed fully adaptively (Duato's DP).
+ADAPTIVE_MODE = "adaptive"
+
+
+@dataclass
+class RoutingHeader:
+    """Mutable routing state carried in a message's header flit.
+
+    The network-layer routing function reads this state; only the software
+    messaging layer (on absorption) and the header-arrival handling of the
+    engine mutate it.
+
+    Attributes
+    ----------
+    final_destination:
+        The node the message must ultimately reach.
+    target:
+        The node the message is currently routed towards.  Equal to
+        ``final_destination`` unless the software layer installed an
+        intermediate node address (paper assumption (i), option ii).
+    routing_mode:
+        :data:`ADAPTIVE_MODE` or :data:`DETERMINISTIC_MODE`.  Adaptive messages
+        switch to deterministic after their first fault-induced absorption
+        (Fig. 2 of the paper: ``routing_type := Deterministic``).
+    direction_overrides:
+        Mapping ``dimension -> direction`` forcing non-minimal travel in that
+        dimension (the "re-route in the same dimension in the opposite
+        direction" rule).  An override stays active until the message's
+        coordinate equals the target coordinate in that dimension.
+    reversed_dimensions:
+        Dimensions in which the same-dimension reversal has already been
+        applied; a second fault in such a dimension triggers an orthogonal
+        detour instead.
+    detour_directions:
+        Sticky orthogonal detour direction per dimension, so that successive
+        detours around the same fault region always step the same way
+        (prevents livelock by oscillation).
+    absorptions:
+        Number of times the message has been absorbed because of faults or
+        intermediate targets.
+    misroutes:
+        Number of non-minimal hops introduced by re-routing decisions
+        (used by the livelock accounting).
+    """
+
+    final_destination: int
+    target: int
+    routing_mode: str = ADAPTIVE_MODE
+    direction_overrides: Dict[int, int] = field(default_factory=dict)
+    reversed_dimensions: set = field(default_factory=set)
+    detour_directions: Dict[int, int] = field(default_factory=dict)
+    absorptions: int = 0
+    misroutes: int = 0
+
+    @property
+    def is_intermediate(self) -> bool:
+        """True when the current target is an intermediate node, not the destination."""
+        return self.target != self.final_destination
+
+    def clear_override(self, dimension: int) -> None:
+        """Drop the direction override of ``dimension`` (offset satisfied)."""
+        self.direction_overrides.pop(dimension, None)
+
+    def retarget(self, node: int) -> None:
+        """Point the header at a new target node."""
+        self.target = node
+
+
+@dataclass(frozen=True)
+class OutputCandidate:
+    """One output option for a header at a router.
+
+    Attributes
+    ----------
+    port:
+        Flat output-port index (see :mod:`repro.topology.channels`).
+    virtual_channels:
+        Indices of the virtual channels of that physical channel the header is
+        allowed to acquire (already restricted to the proper Dally–Seitz /
+        adaptive class).
+    priority:
+        Smaller numbers are tried first by the engine's VC allocator.  Duato's
+        Protocol places adaptive channels at priority 0 and the escape channel
+        at priority 1.
+    dimension, direction:
+        The hop this candidate performs (for statistics and debugging).
+    """
+
+    port: int
+    virtual_channels: Tuple[int, ...]
+    priority: int = 0
+    dimension: int = -1
+    direction: int = 0
+
+
+@dataclass
+class RoutingDecision:
+    """Outcome of one routing computation.
+
+    Exactly one of the following holds:
+
+    * ``deliver`` — the message has reached its current target and must be
+      ejected to the local PE (the engine decides whether that means final
+      delivery or a software "resume" at an intermediate target);
+    * ``absorb`` — the message cannot make progress because the required
+      outgoing channel(s) lead to faults; the engine ejects it to the local
+      messaging layer, which will rewrite the header (Software-Based
+      behaviour);
+    * otherwise ``candidates`` lists the outputs the header may take, in
+      priority order.
+    """
+
+    candidates: List[OutputCandidate] = field(default_factory=list)
+    deliver: bool = False
+    absorb: bool = False
+    blocked_dimension: int = -1
+    blocked_direction: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deliver and self.absorb:
+            raise ValueError("a routing decision cannot both deliver and absorb")
+        if (self.deliver or self.absorb) and self.candidates:
+            raise ValueError("deliver/absorb decisions must not carry candidates")
+
+
+class VirtualChannelClasses:
+    """Partition of the ``V`` virtual channels of a physical channel.
+
+    Two layouts are used:
+
+    * ``deterministic`` — every virtual channel is an escape (e-cube) channel;
+      the set is split into a *low* and a *high* Dally–Seitz dateline class.
+    * ``adaptive`` (Duato's Protocol) — virtual channels 0 and 1 are the low
+      and high escape channels; the remaining ``V - 2`` channels are fully
+      adaptive.
+
+    Parameters
+    ----------
+    num_virtual_channels:
+        ``V``, the number of virtual channels per physical channel.
+    adaptive:
+        Choose the Duato layout (requires ``V >= 3``); otherwise the
+        deterministic layout is used (requires ``V >= 2`` on a torus).
+    """
+
+    def __init__(self, num_virtual_channels: int, adaptive: bool) -> None:
+        if num_virtual_channels < 1:
+            raise ValueError("need at least one virtual channel")
+        self._num_vcs = num_virtual_channels
+        self._adaptive = adaptive
+        if adaptive:
+            if num_virtual_channels < 3:
+                raise ValueError(
+                    "Duato's Protocol needs at least 3 virtual channels per physical "
+                    f"channel (2 escape + 1 adaptive); got {num_virtual_channels}"
+                )
+            self._escape_low: Tuple[int, ...] = (0,)
+            self._escape_high: Tuple[int, ...] = (1,)
+            self._adaptive_vcs: Tuple[int, ...] = tuple(range(2, num_virtual_channels))
+        else:
+            if num_virtual_channels < 2:
+                raise ValueError(
+                    "deterministic torus routing needs at least 2 virtual channels "
+                    "per physical channel for the Dally-Seitz dateline classes"
+                )
+            half = num_virtual_channels // 2
+            self._escape_low = tuple(range(half))
+            self._escape_high = tuple(range(half, num_virtual_channels))
+            self._adaptive_vcs = ()
+
+    @property
+    def num_virtual_channels(self) -> int:
+        """Total number of virtual channels per physical channel."""
+        return self._num_vcs
+
+    @property
+    def is_adaptive_layout(self) -> bool:
+        """True for the Duato layout (escape + adaptive split)."""
+        return self._adaptive
+
+    @property
+    def adaptive_channels(self) -> Tuple[int, ...]:
+        """Virtual channels usable adaptively on any minimal direction."""
+        return self._adaptive_vcs
+
+    def escape_channels(self, high: bool) -> Tuple[int, ...]:
+        """Escape channels of the requested Dally–Seitz class."""
+        return self._escape_high if high else self._escape_low
+
+    def all_escape_channels(self) -> Tuple[int, ...]:
+        """Every escape channel regardless of class."""
+        return self._escape_low + self._escape_high
+
+
+def dateline_class_is_high(
+    current_coord: int, target_coord: int, direction: int
+) -> bool:
+    """Dally–Seitz dateline class for a hop along one torus dimension.
+
+    A message travelling in ``direction`` from coordinate ``current_coord``
+    towards ``target_coord`` uses the *high* class while its remaining path in
+    this dimension does not cross the wrap-around link, and the *low* class
+    while the wrap-around crossing still lies ahead.  This is the classical
+    comparison-based assignment (Dally & Seitz 1987) and keeps the extended
+    channel dependency graph acyclic; see
+    :mod:`repro.core.deadlock` for the machine-checked argument.
+    """
+    if direction == PLUS:
+        return target_coord > current_coord
+    if direction == MINUS:
+        return target_coord < current_coord
+    raise ValueError(f"direction must be +1 or -1, got {direction}")
+
+
+class RoutingAlgorithm(ABC):
+    """Strategy object implementing a routing function.
+
+    Subclasses implement :meth:`route`; fault-tolerant algorithms additionally
+    override :meth:`rewrite_after_absorption`, which is invoked by the software
+    messaging layer when the engine absorbs a message.
+    """
+
+    #: Short machine-readable name (used by the registry and in reports).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        topology: Topology,
+        faults: Optional[FaultSet] = None,
+        num_virtual_channels: int = 2,
+    ) -> None:
+        self._topology = topology
+        self._faults = faults if faults is not None else FaultSet.empty()
+        self._num_vcs = num_virtual_channels
+        self._vc_classes = VirtualChannelClasses(
+            num_virtual_channels, adaptive=self.uses_adaptive_channels
+        )
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def topology(self) -> Topology:
+        """The network this routing function operates on."""
+        return self._topology
+
+    @property
+    def faults(self) -> FaultSet:
+        """The static fault set known to the routing function."""
+        return self._faults
+
+    @property
+    def num_virtual_channels(self) -> int:
+        """Number of virtual channels per physical channel."""
+        return self._num_vcs
+
+    @property
+    def vc_classes(self) -> VirtualChannelClasses:
+        """The virtual-channel class layout used by this algorithm."""
+        return self._vc_classes
+
+    @property
+    def uses_adaptive_channels(self) -> bool:
+        """True when the algorithm needs the Duato escape/adaptive VC layout."""
+        return False
+
+    @property
+    def is_fault_tolerant(self) -> bool:
+        """True when the algorithm implements software re-routing."""
+        return False
+
+    # ------------------------------------------------------------------ #
+    # per-message interface used by the engine
+    # ------------------------------------------------------------------ #
+    def initial_header(self, source: int, destination: int) -> RoutingHeader:
+        """The routing header a freshly generated message starts with."""
+        mode = ADAPTIVE_MODE if self.uses_adaptive_channels else DETERMINISTIC_MODE
+        return RoutingHeader(
+            final_destination=destination,
+            target=destination,
+            routing_mode=mode,
+        )
+
+    @abstractmethod
+    def route(self, node: int, header: RoutingHeader) -> RoutingDecision:
+        """Routing computation for a header whose flit is at ``node``."""
+
+    def rewrite_after_absorption(self, node: int, header: RoutingHeader) -> None:
+        """Software re-routing policy (Software-Based algorithms only).
+
+        Called by the messaging layer after the whole message has been
+        absorbed at ``node``.  Implementations mutate ``header`` so that
+        re-injection makes progress around the fault.  Baseline algorithms do
+        not support absorption and raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not fault-tolerant: a message was absorbed at "
+            f"node {node} but the algorithm defines no software re-routing policy"
+        )
+
+    def on_intermediate_target_reached(self, node: int, header: RoutingHeader) -> None:
+        """Called when a message is absorbed at an *intermediate* target node.
+
+        The default behaviour — sufficient for the Software-Based algorithms —
+        is to point the header back at the final destination; subclasses may
+        refine this (e.g. to chain several intermediate targets).
+        """
+        header.retarget(header.final_destination)
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by concrete algorithms
+    # ------------------------------------------------------------------ #
+    def remaining_offset(self, node: int, header: RoutingHeader, dimension: int) -> int:
+        """Signed remaining offset in ``dimension`` towards the current target.
+
+        Respects a direction override: when the software layer forced
+        direction ``s`` in this dimension, the returned offset is the hop count
+        in that (possibly non-minimal) direction with sign ``s``.
+        """
+        topo = self._topology
+        current = topo.coords(node)[dimension]
+        target = topo.coords(header.target)[dimension]
+        if current == target:
+            return 0
+        override = header.direction_overrides.get(dimension)
+        if override is None or not topo.wraparound:
+            return topo.offsets(node, header.target)[dimension]
+        k = topo.radices[dimension]
+        if override == PLUS:
+            return (target - current) % k
+        return -((current - target) % k)
+
+    def remaining_offsets(self, node: int, header: RoutingHeader) -> Tuple[int, ...]:
+        """Per-dimension remaining offsets (override-aware)."""
+        return tuple(
+            self.remaining_offset(node, header, d) for d in range(self._topology.dimensions)
+        )
+
+    def escape_channels_for_hop(
+        self, node: int, header: RoutingHeader, dimension: int, direction: int
+    ) -> Tuple[int, ...]:
+        """Escape virtual channels allowed for a hop, honouring dateline classes.
+
+        On a mesh (no wrap-around) both classes are safe, so the union is
+        returned to maximise channel utilisation.
+        """
+        if not self._topology.wraparound:
+            return self._vc_classes.all_escape_channels()
+        current = self._topology.coords(node)[dimension]
+        target = self._topology.coords(header.target)[dimension]
+        high = dateline_class_is_high(current, target, direction)
+        return self._vc_classes.escape_channels(high)
+
+    def channel_is_faulty(self, node: int, dimension: int, direction: int) -> bool:
+        """True when the outgoing channel of ``node`` along the hop is unusable."""
+        neighbour = self._topology.neighbor(node, dimension, direction)
+        if neighbour is None:
+            return True
+        return self._faults.is_link_faulty(node, neighbour)

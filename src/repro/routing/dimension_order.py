@@ -1,0 +1,80 @@
+"""Dimension-order (e-cube) routing for k-ary n-cubes and meshes.
+
+This is the deterministic baseline of the paper: a message nullifies its
+offset in dimension 0 first, then dimension 1, and so on, always taking the
+minimal direction (unless a Software-Based direction override is installed in
+the header).  On a torus the virtual channels of each physical channel are
+split into the two Dally–Seitz dateline classes to keep the algorithm deadlock
+free despite the wrap-around links.
+
+The class is *fault-oblivious*: when the single required outgoing channel is
+faulty it reports an ``absorb`` decision but provides no software re-routing
+policy — that policy is what the Software-Based algorithms in
+:mod:`repro.core` add on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.routing.base import (
+    DETERMINISTIC_MODE,
+    OutputCandidate,
+    RoutingAlgorithm,
+    RoutingDecision,
+    RoutingHeader,
+)
+from repro.topology.channels import MINUS, PLUS, port_index
+
+__all__ = ["DimensionOrderRouting"]
+
+
+class DimensionOrderRouting(RoutingAlgorithm):
+    """Deterministic e-cube routing with Dally–Seitz dateline VC classes."""
+
+    name = "dimension-order"
+
+    @property
+    def uses_adaptive_channels(self) -> bool:
+        return False
+
+    def initial_header(self, source: int, destination: int) -> RoutingHeader:
+        header = super().initial_header(source, destination)
+        header.routing_mode = DETERMINISTIC_MODE
+        return header
+
+    # ------------------------------------------------------------------ #
+    # routing function
+    # ------------------------------------------------------------------ #
+    def next_dimension(self, node: int, header: RoutingHeader) -> Optional[int]:
+        """Lowest dimension whose offset towards the current target is non-zero."""
+        for dim in range(self._topology.dimensions):
+            if self.remaining_offset(node, header, dim) != 0:
+                return dim
+        return None
+
+    def route(self, node: int, header: RoutingHeader) -> RoutingDecision:
+        if node == header.target:
+            return RoutingDecision(deliver=True)
+
+        dim = self.next_dimension(node, header)
+        if dim is None:  # pragma: no cover - target check above covers this
+            return RoutingDecision(deliver=True)
+
+        offset = self.remaining_offset(node, header, dim)
+        direction = PLUS if offset > 0 else MINUS
+
+        if self.channel_is_faulty(node, dim, direction):
+            return RoutingDecision(
+                absorb=True, blocked_dimension=dim, blocked_direction=direction
+            )
+
+        vcs = self.escape_channels_for_hop(node, header, dim, direction)
+        candidate = OutputCandidate(
+            port=port_index(dim, direction),
+            virtual_channels=vcs,
+            priority=0,
+            dimension=dim,
+            direction=direction,
+        )
+        return RoutingDecision(candidates=[candidate])

@@ -1,0 +1,140 @@
+"""Duato's Protocol (DP) fully adaptive routing.
+
+Duato's Protocol [Duato 1993] is the adaptive baseline of the paper: most
+virtual channels of every physical channel may be used adaptively on *any*
+minimal (profitable) direction, while two escape virtual channels per physical
+channel follow dimension-order routing with Dally–Seitz dateline classes.
+Because a blocked header can always eventually fall back to the escape
+network, whose extended channel dependency graph is acyclic, the protocol is
+deadlock free.
+
+Fault behaviour (used by the adaptive Software-Based algorithm): a header is
+reported as needing absorption only when *every* profitable physical channel
+is faulty — as long as one healthy minimal direction remains, the message can
+keep moving inside the network and "is not suffering the big software
+overhead" (paper Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.routing.base import (
+    ADAPTIVE_MODE,
+    DETERMINISTIC_MODE,
+    OutputCandidate,
+    RoutingAlgorithm,
+    RoutingDecision,
+    RoutingHeader,
+)
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.topology.channels import MINUS, PLUS, port_index
+
+__all__ = ["DuatoRouting"]
+
+
+class DuatoRouting(RoutingAlgorithm):
+    """Fully adaptive routing with an e-cube escape network (Duato's Protocol)."""
+
+    name = "duato"
+
+    @property
+    def uses_adaptive_channels(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------ #
+    # routing function
+    # ------------------------------------------------------------------ #
+    def route(self, node: int, header: RoutingHeader) -> RoutingDecision:
+        if node == header.target:
+            return RoutingDecision(deliver=True)
+
+        if header.routing_mode == DETERMINISTIC_MODE:
+            return self._route_deterministic(node, header)
+        return self._route_adaptive(node, header)
+
+    # -- adaptive phase ------------------------------------------------- #
+    def _route_adaptive(self, node: int, header: RoutingHeader) -> RoutingDecision:
+        offsets = self.remaining_offsets(node, header)
+        profitable = [
+            (dim, PLUS if off > 0 else MINUS)
+            for dim, off in enumerate(offsets)
+            if off != 0
+        ]
+        if not profitable:  # pragma: no cover - covered by the target check
+            return RoutingDecision(deliver=True)
+
+        candidates: List[OutputCandidate] = []
+        healthy_dims: List[tuple] = []
+        for dim, direction in profitable:
+            if self.channel_is_faulty(node, dim, direction):
+                continue
+            healthy_dims.append((dim, direction))
+            adaptive_vcs = self._vc_classes.adaptive_channels
+            if adaptive_vcs:
+                candidates.append(
+                    OutputCandidate(
+                        port=port_index(dim, direction),
+                        virtual_channels=adaptive_vcs,
+                        priority=0,
+                        dimension=dim,
+                        direction=direction,
+                    )
+                )
+
+        if not healthy_dims:
+            # Every profitable physical channel is faulty: the message must be
+            # absorbed by the local node's software layer.
+            blocked_dim, blocked_dir = profitable[0]
+            return RoutingDecision(
+                absorb=True, blocked_dimension=blocked_dim, blocked_direction=blocked_dir
+            )
+
+        # Escape candidate: the e-cube hop (lowest non-zero dimension), only if
+        # that particular channel is healthy.  It is tried after the adaptive
+        # channels (priority 1).
+        escape_dim, escape_dir = profitable[0]
+        if not self.channel_is_faulty(node, escape_dim, escape_dir):
+            escape_vcs = self.escape_channels_for_hop(node, header, escape_dim, escape_dir)
+            candidates.append(
+                OutputCandidate(
+                    port=port_index(escape_dim, escape_dir),
+                    virtual_channels=escape_vcs,
+                    priority=1,
+                    dimension=escape_dim,
+                    direction=escape_dir,
+                )
+            )
+
+        return RoutingDecision(candidates=candidates)
+
+    # -- deterministic phase (after a fault absorbed the message) -------- #
+    def _route_deterministic(self, node: int, header: RoutingHeader) -> RoutingDecision:
+        """e-cube routing restricted to the escape channels.
+
+        Messages that already encountered a fault are routed deterministically
+        (Fig. 2 of the paper).  They use only the escape virtual channels so
+        the deadlock-freedom argument of the escape network keeps applying.
+        """
+        for dim in range(self._topology.dimensions):
+            offset = self.remaining_offset(node, header, dim)
+            if offset == 0:
+                continue
+            direction = PLUS if offset > 0 else MINUS
+            if self.channel_is_faulty(node, dim, direction):
+                return RoutingDecision(
+                    absorb=True, blocked_dimension=dim, blocked_direction=direction
+                )
+            vcs = self.escape_channels_for_hop(node, header, dim, direction)
+            return RoutingDecision(
+                candidates=[
+                    OutputCandidate(
+                        port=port_index(dim, direction),
+                        virtual_channels=vcs,
+                        priority=0,
+                        dimension=dim,
+                        direction=direction,
+                    )
+                ]
+            )
+        return RoutingDecision(deliver=True)  # pragma: no cover - defensive

@@ -1,0 +1,77 @@
+"""Registry mapping configuration names to routing-algorithm classes.
+
+The simulation configuration refers to routing algorithms by short string
+names (e.g. ``"swbased-deterministic"``); this module resolves those names to
+concrete :class:`~repro.routing.base.RoutingAlgorithm` instances.  The
+Software-Based classes are imported lazily to avoid an import cycle between
+:mod:`repro.routing` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.model import FaultSet
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoRouting
+from repro.topology.base import Topology
+
+__all__ = ["make_routing", "available_routing_algorithms"]
+
+
+def _algorithm_factories() -> Dict[str, type]:
+    """Name → class mapping, resolved lazily to avoid circular imports."""
+    from repro.core.swbased_nd import SoftwareBasedRouting
+    from repro.routing.turn_model import NegativeFirstRouting
+
+    return {
+        # Baselines (fault-oblivious).
+        "dimension-order": DimensionOrderRouting,
+        "ecube": DimensionOrderRouting,
+        "duato": DuatoRouting,
+        "fully-adaptive": DuatoRouting,
+        "negative-first": NegativeFirstRouting,
+        # The paper's algorithms.
+        "swbased-deterministic": SoftwareBasedRouting.deterministic,
+        "swbased-adaptive": SoftwareBasedRouting.adaptive,
+    }
+
+
+def available_routing_algorithms() -> List[str]:
+    """Names accepted by :func:`make_routing`, sorted alphabetically."""
+    return sorted(_algorithm_factories())
+
+
+def make_routing(
+    name: str,
+    topology: Topology,
+    faults: Optional[FaultSet] = None,
+    num_virtual_channels: int = 2,
+    **kwargs,
+) -> RoutingAlgorithm:
+    """Instantiate a routing algorithm by configuration name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_routing_algorithms` (case-insensitive).
+    topology, faults, num_virtual_channels:
+        Forwarded to the algorithm constructor.
+    **kwargs:
+        Extra keyword arguments forwarded verbatim (e.g. ``max_absorptions``
+        for the Software-Based algorithms).
+    """
+    factories = _algorithm_factories()
+    key = name.lower()
+    if key not in factories:
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; known: {sorted(factories)}"
+        )
+    factory = factories[key]
+    return factory(
+        topology=topology,
+        faults=faults,
+        num_virtual_channels=num_virtual_channels,
+        **kwargs,
+    )

@@ -1,0 +1,85 @@
+"""Turn-model partially adaptive routing (negative-first) for meshes.
+
+The paper's related work ([9] Boppana & Chalasani and the turn-model family)
+compares fault-tolerant schemes against partially adaptive algorithms obtained
+by prohibiting turns.  The *negative-first* algorithm is the n-dimensional
+member of that family: a message first makes every hop it needs in the
+negative directions (in any order, fully adaptively), and only then the hops in
+the positive directions.  Because no turn from a positive direction into a
+negative direction ever occurs, the channel dependency graph is acyclic on a
+mesh without needing virtual-channel classes.
+
+The algorithm is provided as an additional baseline for mesh experiments and
+for the deadlock-checker's test suite; it is *not* part of the paper's
+evaluation (which uses tori), and it is fault-oblivious like the other
+baselines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.routing.base import (
+    DETERMINISTIC_MODE,
+    OutputCandidate,
+    RoutingAlgorithm,
+    RoutingDecision,
+    RoutingHeader,
+)
+from repro.topology.channels import MINUS, PLUS, port_index
+
+__all__ = ["NegativeFirstRouting"]
+
+
+class NegativeFirstRouting(RoutingAlgorithm):
+    """Negative-first turn-model routing on an n-dimensional mesh."""
+
+    name = "negative-first"
+
+    def __init__(self, topology, faults=None, num_virtual_channels: int = 2) -> None:
+        if topology.wraparound:
+            raise ConfigurationError(
+                "negative-first routing is deadlock-free on meshes only; "
+                "use dimension-order or Duato's Protocol on tori"
+            )
+        super().__init__(topology, faults, num_virtual_channels)
+
+    @property
+    def uses_adaptive_channels(self) -> bool:
+        return False
+
+    def initial_header(self, source: int, destination: int) -> RoutingHeader:
+        header = super().initial_header(source, destination)
+        header.routing_mode = DETERMINISTIC_MODE
+        return header
+
+    def route(self, node: int, header: RoutingHeader) -> RoutingDecision:
+        if node == header.target:
+            return RoutingDecision(deliver=True)
+
+        offsets = self.remaining_offsets(node, header)
+        negative = [dim for dim, off in enumerate(offsets) if off < 0]
+        positive = [dim for dim, off in enumerate(offsets) if off > 0]
+        phase_dims = negative if negative else positive
+        direction = MINUS if negative else PLUS
+
+        candidates: List[OutputCandidate] = []
+        blocked_dim = phase_dims[0]
+        for dim in phase_dims:
+            if self.channel_is_faulty(node, dim, direction):
+                continue
+            candidates.append(
+                OutputCandidate(
+                    port=port_index(dim, direction),
+                    virtual_channels=tuple(range(self._num_vcs)),
+                    priority=0,
+                    dimension=dim,
+                    direction=direction,
+                )
+            )
+        if not candidates:
+            return RoutingDecision(
+                absorb=True, blocked_dimension=blocked_dim, blocked_direction=direction
+            )
+        return RoutingDecision(candidates=candidates)

@@ -1,0 +1,28 @@
+"""Simulation configuration, runner and parameter-sweep harness.
+
+This is the high-level public API most users interact with: build a
+:class:`~repro.sim.config.SimulationConfig`, call
+:func:`~repro.sim.runner.run_simulation`, and read the returned metrics.  The
+sweep helpers iterate a configuration over injection rates or fault counts,
+which is how every figure of the paper is produced.
+"""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import SimulationResult, build_engine, run_simulation
+from repro.sim.sweep import (
+    LoadSweepResult,
+    fault_count_sweep,
+    injection_rate_sweep,
+    latency_throughput_curve,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "build_engine",
+    "LoadSweepResult",
+    "injection_rate_sweep",
+    "latency_throughput_curve",
+    "fault_count_sweep",
+]

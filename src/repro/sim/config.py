@@ -1,0 +1,168 @@
+"""Simulation configuration.
+
+A :class:`SimulationConfig` bundles every parameter listed in Section 5 of the
+paper ("It accepts several parameters including network size, message length,
+number of virtual channels, buffer length, message generation rate, number of
+faulty components, router decision time, delay overhead for re-routing and
+many other parameters") plus the reproduction-specific controls (warm-up and
+measurement sizes, saturation early-stop, RNG seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.faults.connectivity import is_connected_without_faults
+from repro.faults.model import FaultSet
+from repro.topology.base import Topology
+from repro.topology.torus import TorusTopology
+
+__all__ = ["SimulationConfig"]
+
+#: Traffic processes accepted by ``traffic_process``.
+_TRAFFIC_PROCESSES = ("poisson", "bernoulli", "periodic")
+#: Routing algorithms that implement software re-routing.
+_FAULT_TOLERANT_ROUTINGS = ("swbased-deterministic", "swbased-adaptive")
+
+
+@dataclass
+class SimulationConfig:
+    """Complete description of one simulation run.
+
+    Attributes
+    ----------
+    topology:
+        The network (defaults to the paper's 8-ary 2-cube).
+    routing:
+        Routing-algorithm name; see
+        :func:`repro.routing.available_routing_algorithms`.  The paper's two
+        algorithms are ``"swbased-deterministic"`` and ``"swbased-adaptive"``.
+    num_virtual_channels:
+        Virtual channels per physical channel (``V``).
+    buffer_depth:
+        Flit capacity of each virtual-channel buffer.
+    message_length:
+        Message length ``M`` in flits.
+    injection_rate:
+        Traffic generation rate λ in messages/node/cycle.
+    traffic_process:
+        ``"poisson"`` (the paper's process), ``"bernoulli"`` or ``"periodic"``.
+    traffic_pattern:
+        Destination pattern name (``"uniform"`` in the paper).
+    faults:
+        Static fault set; must keep the healthy network connected.
+    warmup_messages / measure_messages:
+        Statistics are gathered only for messages generated after the first
+        ``warmup_messages`` ones; the run ends once
+        ``warmup_messages + measure_messages`` messages have been delivered.
+    max_cycles:
+        Hard cap on the simulated cycles.
+    reinjection_delay:
+        Software re-injection overhead Δ in cycles (0 in the paper).
+    router_decision_time:
+        The paper's ``Td``; kept for completeness.  Only ``Td = 0`` (the value
+        used in all of the paper's experiments) is currently supported.
+    seed:
+        Master RNG seed.
+    saturation_queue_limit:
+        Average backlog (new messages per node) above which the run is marked
+        saturated and stopped early; ``None`` disables the early stop.
+    keep_records:
+        Retain per-message records in the result (memory-hungry; tests only).
+    metadata:
+        Free-form labels propagated into reports (e.g. figure/series names).
+    """
+
+    topology: Topology = field(default_factory=lambda: TorusTopology(radix=8, dimensions=2))
+    routing: str = "swbased-deterministic"
+    num_virtual_channels: int = 4
+    buffer_depth: int = 2
+    message_length: int = 32
+    injection_rate: float = 0.001
+    traffic_process: str = "poisson"
+    traffic_pattern: str = "uniform"
+    faults: FaultSet = field(default_factory=FaultSet.empty)
+    warmup_messages: int = 100
+    measure_messages: int = 1000
+    max_cycles: int = 200_000
+    reinjection_delay: int = 0
+    router_decision_time: int = 0
+    seed: int = 1
+    saturation_queue_limit: Optional[float] = 25.0
+    keep_records: bool = False
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # validation and derived quantities
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on any inconsistent setting."""
+        if self.num_virtual_channels < 1:
+            raise ConfigurationError("num_virtual_channels must be at least 1")
+        if self.routing in ("swbased-adaptive", "duato", "fully-adaptive"):
+            if self.num_virtual_channels < 3:
+                raise ConfigurationError(
+                    "adaptive routing requires at least 3 virtual channels "
+                    "(2 escape + 1 adaptive)"
+                )
+        elif self.num_virtual_channels < 2 and self.topology.wraparound:
+            raise ConfigurationError(
+                "deterministic torus routing requires at least 2 virtual channels "
+                "for the Dally-Seitz dateline classes"
+            )
+        if self.buffer_depth < 1:
+            raise ConfigurationError("buffer_depth must be at least 1")
+        if self.message_length < 1:
+            raise ConfigurationError("message_length must be at least 1 flit")
+        if self.injection_rate < 0:
+            raise ConfigurationError("injection_rate must be non-negative")
+        if self.traffic_process not in _TRAFFIC_PROCESSES:
+            raise ConfigurationError(
+                f"unknown traffic process {self.traffic_process!r}; "
+                f"known: {_TRAFFIC_PROCESSES}"
+            )
+        if self.warmup_messages < 0 or self.measure_messages < 1:
+            raise ConfigurationError("invalid warm-up / measurement message counts")
+        if self.max_cycles < 1:
+            raise ConfigurationError("max_cycles must be positive")
+        if self.reinjection_delay < 0:
+            raise ConfigurationError("reinjection_delay must be non-negative")
+        if self.router_decision_time != 0:
+            raise ConfigurationError(
+                "only router_decision_time = 0 is supported (the value used by the paper)"
+            )
+        try:
+            self.faults.validate(self.topology)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        if not self.faults.is_empty():
+            if self.routing not in _FAULT_TOLERANT_ROUTINGS:
+                raise ConfigurationError(
+                    f"routing {self.routing!r} is not fault tolerant but the fault set "
+                    f"contains {self.faults.num_faulty_nodes} faulty nodes / "
+                    f"{self.faults.num_faulty_links} faulty links"
+                )
+            if not is_connected_without_faults(self.topology, self.faults):
+                raise ConfigurationError(
+                    "the fault set disconnects the network (violates assumption (h))"
+                )
+
+    @property
+    def total_messages(self) -> int:
+        """Messages to deliver before the run stops (warm-up + measured)."""
+        return self.warmup_messages + self.measure_messages
+
+    def with_updates(self, **changes) -> "SimulationConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        topo = self.topology
+        return (
+            f"{topo.radices[0]}-ary {topo.dimensions}-cube, routing={self.routing}, "
+            f"V={self.num_virtual_channels}, M={self.message_length}, "
+            f"lambda={self.injection_rate:g}, faults={self.faults.num_faulty_nodes}"
+        )

@@ -1,0 +1,153 @@
+"""Parameter sweeps: the workhorse behind every figure of the paper.
+
+Two sweep axes cover all of the paper's experiments:
+
+* **injection-rate sweeps** (Figs. 3, 4, 5) — latency/throughput as a function
+  of the traffic generation rate λ for a fixed fault set;
+* **fault-count sweeps** (Figs. 6, 7) — throughput or absorption counts as a
+  function of the number of random faulty nodes at a fixed load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.injection import random_node_faults
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import SimulationResult, run_simulation
+
+__all__ = [
+    "LoadSweepResult",
+    "injection_rate_sweep",
+    "latency_throughput_curve",
+    "fault_count_sweep",
+]
+
+
+@dataclass
+class LoadSweepResult:
+    """Latency/throughput series produced by an injection-rate sweep.
+
+    The series are aligned: ``latencies[i]`` and ``throughputs[i]`` belong to
+    ``rates[i]``.  ``saturated[i]`` marks points where the network saturated
+    before delivering the requested number of messages (the paper plots these
+    as the near-vertical part of the latency curves).
+    """
+
+    label: str
+    rates: List[float] = field(default_factory=list)
+    latencies: List[float] = field(default_factory=list)
+    throughputs: List[float] = field(default_factory=list)
+    saturated: List[bool] = field(default_factory=list)
+    results: List[SimulationResult] = field(default_factory=list)
+
+    def append(self, result: SimulationResult) -> None:
+        """Add one finished run to the series."""
+        self.rates.append(result.config.injection_rate)
+        self.latencies.append(result.mean_latency)
+        self.throughputs.append(result.throughput)
+        self.saturated.append(result.saturated)
+        self.results.append(result)
+
+    @property
+    def saturation_rate(self) -> Optional[float]:
+        """The smallest injection rate at which the network saturated, if any."""
+        for rate, sat in zip(self.rates, self.saturated):
+            if sat:
+                return rate
+        return None
+
+    def non_saturated_latencies(self) -> List[float]:
+        """Latency values of the points below saturation."""
+        return [lat for lat, sat in zip(self.latencies, self.saturated) if not sat]
+
+
+def injection_rate_sweep(
+    base_config: SimulationConfig,
+    rates: Sequence[float],
+    label: Optional[str] = None,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+    stop_after_saturation: int = 1,
+) -> LoadSweepResult:
+    """Run ``base_config`` at each injection rate and collect the series.
+
+    Parameters
+    ----------
+    base_config:
+        Configuration shared by every point of the sweep (the injection rate
+        field is overridden per point).
+    rates:
+        Injection rates λ to simulate, in ascending order.
+    label:
+        Series label (defaults to the configuration summary).
+    progress:
+        Optional callback invoked after every finished point.
+    stop_after_saturation:
+        Stop the sweep after this many consecutive saturated points; the paper
+        plots one or two points beyond saturation, and simulating deep into
+        saturation is expensive without adding information.  Use 0 to run
+        every requested rate regardless.
+    """
+    sweep = LoadSweepResult(label=label or base_config.describe())
+    consecutive_saturated = 0
+    for rate in rates:
+        config = base_config.with_updates(injection_rate=float(rate))
+        result = run_simulation(config)
+        sweep.append(result)
+        if progress is not None:
+            progress(result)
+        if result.saturated:
+            consecutive_saturated += 1
+            if stop_after_saturation and consecutive_saturated >= stop_after_saturation:
+                break
+        else:
+            consecutive_saturated = 0
+    return sweep
+
+
+def latency_throughput_curve(
+    base_config: SimulationConfig,
+    rates: Sequence[float],
+    label: Optional[str] = None,
+) -> LoadSweepResult:
+    """Alias of :func:`injection_rate_sweep` kept for readability in benches."""
+    return injection_rate_sweep(base_config, rates, label=label)
+
+
+def fault_count_sweep(
+    base_config: SimulationConfig,
+    fault_counts: Sequence[int],
+    trials_per_count: int = 1,
+    seed: int = 7,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+) -> List[SimulationResult]:
+    """Run ``base_config`` for each number of random faulty nodes.
+
+    For every entry of ``fault_counts`` the sweep samples ``trials_per_count``
+    independent random fault sets (mirroring the paper: "we have run
+    simulations for each number of failures, each of them corresponding to a
+    different randomly selected failures") and returns the flat list of
+    results, tagged through ``config.metadata['fault_trial']``.
+    """
+    rng = np.random.default_rng(seed)
+    results: List[SimulationResult] = []
+    for count in fault_counts:
+        for trial in range(trials_per_count):
+            if count == 0:
+                faults = FaultSet.empty()
+            else:
+                faults = random_node_faults(
+                    base_config.topology, count, rng=rng, ensure_connected=True
+                )
+            metadata = dict(base_config.metadata)
+            metadata.update({"fault_count": str(count), "fault_trial": str(trial)})
+            config = base_config.with_updates(faults=faults, metadata=metadata)
+            result = run_simulation(config)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+    return results

@@ -1,0 +1,52 @@
+"""Topology substrate: k-ary n-cube (torus) and n-dimensional mesh networks.
+
+This package provides the direct-network topologies used by the paper
+(Section 2): the k-ary n-cube ("torus") and, as a supporting baseline, the
+n-dimensional mesh.  It also defines the node-address algebra (mixed-radix
+coordinates) and the port/channel enumeration shared by the router model and
+the routing functions.
+"""
+
+from repro.topology.address import (
+    coords_to_id,
+    id_to_coords,
+    manhattan_offsets,
+    wrap_offset,
+)
+from repro.topology.base import Topology
+from repro.topology.channels import (
+    EJECTION_PORT_NAME,
+    INJECTION_PORT_NAME,
+    MINUS,
+    PLUS,
+    Channel,
+    Port,
+    opposite_direction,
+    port_direction,
+    port_dimension,
+    port_index,
+    port_name,
+)
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+__all__ = [
+    "Topology",
+    "TorusTopology",
+    "MeshTopology",
+    "Channel",
+    "Port",
+    "PLUS",
+    "MINUS",
+    "INJECTION_PORT_NAME",
+    "EJECTION_PORT_NAME",
+    "port_index",
+    "port_dimension",
+    "port_direction",
+    "port_name",
+    "opposite_direction",
+    "coords_to_id",
+    "id_to_coords",
+    "wrap_offset",
+    "manhattan_offsets",
+]

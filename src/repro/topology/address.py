@@ -1,0 +1,139 @@
+"""Node-address algebra for mixed-radix direct networks.
+
+A node of a k-ary n-cube is identified either by an integer id in
+``[0, k**n)`` or by an n-digit radix-k coordinate tuple ``(a_{n-1}, ..., a_0)``.
+Throughout this code base coordinates are stored **little-endian**: index 0 of
+the tuple is dimension 0.  Dimension 0 is the lowest dimension and is the first
+dimension corrected by dimension-order (e-cube) routing.
+
+These helpers are deliberately free functions (rather than methods on the
+topology classes) so that routing code and tests can manipulate addresses
+without holding a topology object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "coords_to_id",
+    "id_to_coords",
+    "wrap_offset",
+    "manhattan_offsets",
+    "validate_coords",
+]
+
+
+def coords_to_id(coords: Sequence[int], radices: Sequence[int]) -> int:
+    """Convert a coordinate tuple into a flat node id.
+
+    Parameters
+    ----------
+    coords:
+        Per-dimension coordinates, little-endian (``coords[0]`` is dimension 0).
+    radices:
+        Per-dimension radix ``k_d``; must have the same length as ``coords``.
+
+    Returns
+    -------
+    int
+        The mixed-radix integer ``sum_d coords[d] * prod_{j<d} radices[j]``.
+
+    Raises
+    ------
+    ValueError
+        If the lengths disagree or a coordinate lies outside ``[0, k_d)``.
+    """
+    if len(coords) != len(radices):
+        raise ValueError(
+            f"coordinate arity {len(coords)} does not match radix arity {len(radices)}"
+        )
+    node = 0
+    stride = 1
+    for dim, (c, k) in enumerate(zip(coords, radices)):
+        if not 0 <= c < k:
+            raise ValueError(f"coordinate {c} out of range [0, {k}) in dimension {dim}")
+        node += c * stride
+        stride *= k
+    return node
+
+
+def id_to_coords(node: int, radices: Sequence[int]) -> Tuple[int, ...]:
+    """Convert a flat node id back into a little-endian coordinate tuple.
+
+    Inverse of :func:`coords_to_id`.
+    """
+    total = 1
+    for k in radices:
+        total *= k
+    if not 0 <= node < total:
+        raise ValueError(f"node id {node} out of range [0, {total})")
+    coords = []
+    for k in radices:
+        coords.append(node % k)
+        node //= k
+    return tuple(coords)
+
+
+def validate_coords(coords: Sequence[int], radices: Sequence[int]) -> None:
+    """Raise :class:`ValueError` if ``coords`` is not a valid address."""
+    coords_to_id(coords, radices)
+
+
+def wrap_offset(src: int, dst: int, radix: int) -> int:
+    """Signed minimal offset from ``src`` to ``dst`` along one torus dimension.
+
+    The returned value ``o`` satisfies ``(src + o) mod radix == dst`` and
+    ``|o| <= radix // 2``.  When the two directions are equidistant (possible
+    only for even ``radix``), the positive direction is preferred — the same
+    tie-break the paper's simulator uses for minimal routing on a torus.
+
+    Examples
+    --------
+    >>> wrap_offset(0, 3, 8)
+    3
+    >>> wrap_offset(0, 6, 8)
+    -2
+    >>> wrap_offset(1, 5, 8)   # tie: distance 4 both ways, prefer +
+    4
+    """
+    if radix <= 0:
+        raise ValueError("radix must be positive")
+    if not (0 <= src < radix and 0 <= dst < radix):
+        raise ValueError(f"coordinates must lie in [0, {radix})")
+    forward = (dst - src) % radix
+    backward = forward - radix  # negative or zero
+    if forward == 0:
+        return 0
+    if forward <= -backward:  # forward <= radix - forward
+        return forward
+    return backward
+
+
+def mesh_offset(src: int, dst: int) -> int:
+    """Signed offset from ``src`` to ``dst`` along one mesh dimension."""
+    return dst - src
+
+
+def manhattan_offsets(
+    src: Sequence[int],
+    dst: Sequence[int],
+    radices: Sequence[int],
+    wraparound: bool = True,
+) -> Tuple[int, ...]:
+    """Per-dimension signed minimal offsets from ``src`` to ``dst``.
+
+    With ``wraparound=True`` each offset is the torus-minimal signed offset
+    (see :func:`wrap_offset`); with ``wraparound=False`` the plain difference
+    is returned (mesh behaviour).
+    """
+    if not (len(src) == len(dst) == len(radices)):
+        raise ValueError("src, dst and radices must have the same arity")
+    if wraparound:
+        return tuple(wrap_offset(s, d, k) for s, d, k in zip(src, dst, radices))
+    return tuple(mesh_offset(s, d) for s, d in zip(src, dst))
+
+
+def hop_distance(offsets: Iterable[int]) -> int:
+    """Total number of hops implied by a tuple of per-dimension offsets."""
+    return sum(abs(o) for o in offsets)

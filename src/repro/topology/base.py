@@ -1,0 +1,236 @@
+"""Abstract base class shared by the torus and mesh topologies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.topology.address import coords_to_id, id_to_coords
+from repro.topology.channels import MINUS, PLUS, Channel, port_index
+
+__all__ = ["Topology"]
+
+
+class Topology(ABC):
+    """A direct network of ``N`` nodes arranged in an n-dimensional grid.
+
+    Concrete subclasses (:class:`~repro.topology.torus.TorusTopology`,
+    :class:`~repro.topology.mesh.MeshTopology`) decide whether dimensions wrap
+    around.  The class owns:
+
+    * the address algebra (node id ⟷ coordinate conversions),
+    * neighbour/channel enumeration, and
+    * minimal-offset computation used by every routing function.
+
+    Instances are immutable and hashable; they are freely shared between the
+    simulator, the routing functions and the fault model.
+    """
+
+    def __init__(self, radix: int | Sequence[int], dimensions: int) -> None:
+        if dimensions <= 0:
+            raise ValueError(f"dimensions must be positive, got {dimensions}")
+        if isinstance(radix, int):
+            radices: Tuple[int, ...] = tuple([radix] * dimensions)
+        else:
+            radices = tuple(int(k) for k in radix)
+            if len(radices) != dimensions:
+                raise ValueError(
+                    f"got {len(radices)} radices for {dimensions} dimensions"
+                )
+        for k in radices:
+            if k < 2:
+                raise ValueError(f"every radix must be >= 2, got {k}")
+        self._radices = radices
+        self._dimensions = dimensions
+        self._num_nodes = 1
+        for k in radices:
+            self._num_nodes *= k
+        # Neighbour table: _neighbors[node][port] -> neighbour id or -1.
+        self._neighbors: List[List[int]] = self._build_neighbor_table()
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensions(self) -> int:
+        """Number of dimensions ``n``."""
+        return self._dimensions
+
+    @property
+    def radices(self) -> Tuple[int, ...]:
+        """Per-dimension radix ``k_d`` (little-endian, index = dimension)."""
+        return self._radices
+
+    @property
+    def radix(self) -> int:
+        """The common radix ``k`` (raises if the network is mixed-radix)."""
+        first = self._radices[0]
+        if any(k != first for k in self._radices):
+            raise ValueError("topology is mixed-radix; use .radices instead")
+        return first
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ``N``."""
+        return self._num_nodes
+
+    @property
+    def num_network_ports(self) -> int:
+        """Number of network (non PE) ports per router: ``2n``."""
+        return 2 * self._dimensions
+
+    @property
+    @abstractmethod
+    def wraparound(self) -> bool:
+        """True for tori (k-ary n-cubes), False for meshes."""
+
+    # ------------------------------------------------------------------ #
+    # address algebra
+    # ------------------------------------------------------------------ #
+    def coords(self, node: int) -> Tuple[int, ...]:
+        """Coordinate tuple of node ``node``."""
+        return id_to_coords(node, self._radices)
+
+    def node_id(self, coords: Sequence[int]) -> int:
+        """Flat node id of the node at ``coords``."""
+        return coords_to_id(coords, self._radices)
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(range(self._num_nodes))
+
+    def contains(self, coords: Sequence[int]) -> bool:
+        """True if ``coords`` is a valid address of this network."""
+        if len(coords) != self._dimensions:
+            return False
+        return all(0 <= c < k for c, k in zip(coords, self._radices))
+
+    # ------------------------------------------------------------------ #
+    # neighbours and channels
+    # ------------------------------------------------------------------ #
+    def _build_neighbor_table(self) -> List[List[int]]:
+        table: List[List[int]] = []
+        for node in range(self._num_nodes):
+            coords = id_to_coords(node, self._radices)
+            row: List[int] = []
+            for dim in range(self._dimensions):
+                for direction in (PLUS, MINUS):
+                    neighbour = self._neighbor_coords(coords, dim, direction)
+                    row_index = port_index(dim, direction)
+                    # Ports are visited in index order (PLUS, MINUS per dim),
+                    # so appending keeps row[port_index] consistent.
+                    assert row_index == len(row)
+                    if neighbour is None:
+                        row.append(-1)
+                    else:
+                        row.append(coords_to_id(neighbour, self._radices))
+            table.append(row)
+        return table
+
+    @abstractmethod
+    def _neighbor_coords(
+        self, coords: Tuple[int, ...], dimension: int, direction: int
+    ) -> Optional[Tuple[int, ...]]:
+        """Coordinates of the neighbour in ``(dimension, direction)``, or None."""
+
+    def neighbor(self, node: int, dimension: int, direction: int) -> Optional[int]:
+        """Neighbour of ``node`` along ``(dimension, direction)``.
+
+        Returns ``None`` when the mesh boundary is reached (never for a torus).
+        """
+        if not 0 <= dimension < self._dimensions:
+            raise ValueError(f"dimension {dimension} out of range")
+        nid = self._neighbors[node][port_index(dimension, direction)]
+        return None if nid < 0 else nid
+
+    def neighbor_via_port(self, node: int, port: int) -> Optional[int]:
+        """Neighbour reached by leaving ``node`` through network port ``port``."""
+        nid = self._neighbors[node][port]
+        return None if nid < 0 else nid
+
+    def neighbors(self, node: int) -> List[Tuple[int, int, int]]:
+        """All neighbours of ``node`` as ``(dimension, direction, neighbour_id)``."""
+        out: List[Tuple[int, int, int]] = []
+        for dim in range(self._dimensions):
+            for direction in (PLUS, MINUS):
+                nid = self._neighbors[node][port_index(dim, direction)]
+                if nid >= 0:
+                    out.append((dim, direction, nid))
+        return out
+
+    def channel(self, node: int, dimension: int, direction: int) -> Optional[Channel]:
+        """The directed physical channel leaving ``node`` along ``(dimension, direction)``."""
+        dst = self.neighbor(node, dimension, direction)
+        if dst is None:
+            return None
+        coords = self.coords(node)
+        k = self._radices[dimension]
+        wrap = self.wraparound and (
+            (direction == PLUS and coords[dimension] == k - 1)
+            or (direction == MINUS and coords[dimension] == 0)
+        )
+        return Channel(src=node, dst=dst, dimension=dimension, direction=direction, wraparound=wrap)
+
+    def channels(self) -> Iterator[Channel]:
+        """Iterate over every directed physical channel of the network."""
+        for node in range(self._num_nodes):
+            for dim in range(self._dimensions):
+                for direction in (PLUS, MINUS):
+                    ch = self.channel(node, dim, direction)
+                    if ch is not None:
+                        yield ch
+
+    # ------------------------------------------------------------------ #
+    # distances and offsets
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def offsets(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Per-dimension signed minimal offsets from ``src`` to ``dst``."""
+
+    def distance(self, src: int, dst: int) -> int:
+        """Minimal hop distance between two nodes."""
+        return sum(abs(o) for o in self.offsets(src, dst))
+
+    def minimal_directions(self, src: int, dst: int) -> Dict[int, int]:
+        """Profitable directions per dimension.
+
+        Returns a mapping ``dimension -> direction`` containing only the
+        dimensions in which ``src`` and ``dst`` differ; the direction is the
+        minimal-path direction (ties on an even-radix torus resolve to +1,
+        matching :func:`repro.topology.address.wrap_offset`).
+        """
+        out: Dict[int, int] = {}
+        for dim, off in enumerate(self.offsets(src, dst)):
+            if off > 0:
+                out[dim] = PLUS
+            elif off < 0:
+                out[dim] = MINUS
+        return out
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.DiGraph:
+        """Directed graph of nodes and physical channels (for analysis/tests)."""
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self._num_nodes))
+        for ch in self.channels():
+            g.add_edge(ch.src, ch.dst, dimension=ch.dimension, direction=ch.direction,
+                       wraparound=ch.wraparound)
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Topology)
+            and type(self) is type(other)
+            and self._radices == other._radices
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._radices))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        kind = "torus" if self.wraparound else "mesh"
+        return f"{type(self).__name__}(radices={self._radices}, {kind})"

@@ -1,0 +1,182 @@
+"""Port and channel enumeration shared by routers and routing functions.
+
+Every router of an n-dimensional direct network has ``2n`` *network* ports —
+one per (dimension, direction) pair — plus one injection port (from the local
+processing element, PE) and one ejection port (to the local PE).  The paper's
+router model (Section 2) is exactly this: a ``(2n+1)·V``-way input /
+``(2n+1)·V``-way output crossbar once V virtual channels are attached to each
+physical channel.
+
+Port numbering convention
+-------------------------
+* Network port for dimension ``d`` in the positive direction: ``2*d``.
+* Network port for dimension ``d`` in the negative direction: ``2*d + 1``.
+* Injection port: ``2*n``  (only meaningful as an *input* port of the router).
+* Ejection port: ``2*n + 1`` (only meaningful as an *output* port).
+
+A *physical channel* (here called :class:`Channel`) is the directed link that
+leaves node ``src`` through network port ``port`` and enters its neighbour
+``dst`` through the opposite port.  Virtual channels are modelled by the
+network layer (:mod:`repro.network.virtual_channel`); topologically they all
+share the same :class:`Channel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "PLUS",
+    "MINUS",
+    "Port",
+    "Channel",
+    "port_index",
+    "port_dimension",
+    "port_direction",
+    "opposite_port",
+    "opposite_direction",
+    "injection_port",
+    "ejection_port",
+    "port_name",
+    "INJECTION_PORT_NAME",
+    "EJECTION_PORT_NAME",
+]
+
+#: Positive ("increasing coordinate") direction along a dimension.
+PLUS: int = +1
+#: Negative ("decreasing coordinate") direction along a dimension.
+MINUS: int = -1
+
+#: Human-readable name used for injection ports in dumps and error messages.
+INJECTION_PORT_NAME = "inject"
+#: Human-readable name used for ejection ports in dumps and error messages.
+EJECTION_PORT_NAME = "eject"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A (dimension, direction) network port of a router.
+
+    ``direction`` is :data:`PLUS` or :data:`MINUS`.  The flat integer index of
+    the port (used as a list index by the router model) is given by
+    :func:`port_index`.
+    """
+
+    dimension: int
+    direction: int
+
+    def __post_init__(self) -> None:
+        if self.direction not in (PLUS, MINUS):
+            raise ValueError(f"direction must be +1 or -1, got {self.direction}")
+        if self.dimension < 0:
+            raise ValueError(f"dimension must be non-negative, got {self.dimension}")
+
+    @property
+    def index(self) -> int:
+        """Flat index of this port (see :func:`port_index`)."""
+        return port_index(self.dimension, self.direction)
+
+    def opposite(self) -> "Port":
+        """The port pointing the other way along the same dimension."""
+        return Port(self.dimension, -self.direction)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        sign = "+" if self.direction == PLUS else "-"
+        return f"d{self.dimension}{sign}"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed physical channel between two adjacent routers.
+
+    Attributes
+    ----------
+    src, dst:
+        Flat node ids of the upstream and downstream routers.
+    dimension, direction:
+        The dimension the channel spans and the direction of travel
+        (:data:`PLUS` or :data:`MINUS`) as seen from ``src``.
+    wraparound:
+        True when the channel is a torus wrap-around link (i.e. it connects
+        coordinate ``k-1`` to ``0`` or vice versa).  Routing functions use this
+        to assign Dally–Seitz virtual-channel classes.
+    """
+
+    src: int
+    dst: int
+    dimension: int
+    direction: int
+    wraparound: bool = False
+
+    @property
+    def port(self) -> int:
+        """Output-port index at ``src`` through which this channel leaves."""
+        return port_index(self.dimension, self.direction)
+
+    def key(self) -> Tuple[int, int]:
+        """Hashable key ``(src, output-port index)`` identifying the channel."""
+        return (self.src, self.port)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        sign = "+" if self.direction == PLUS else "-"
+        wrap = "~" if self.wraparound else ""
+        return f"{self.src}->{self.dst}(d{self.dimension}{sign}{wrap})"
+
+
+def port_index(dimension: int, direction: int) -> int:
+    """Flat index of the network port ``(dimension, direction)``.
+
+    Positive direction maps to even indices, negative to odd indices.
+    """
+    if direction == PLUS:
+        return 2 * dimension
+    if direction == MINUS:
+        return 2 * dimension + 1
+    raise ValueError(f"direction must be +1 or -1, got {direction}")
+
+
+def port_dimension(port: int) -> int:
+    """Dimension spanned by the network port with flat index ``port``."""
+    if port < 0:
+        raise ValueError("port index must be non-negative")
+    return port // 2
+
+
+def port_direction(port: int) -> int:
+    """Direction (:data:`PLUS`/:data:`MINUS`) of the network port ``port``."""
+    if port < 0:
+        raise ValueError("port index must be non-negative")
+    return PLUS if port % 2 == 0 else MINUS
+
+
+def opposite_port(port: int) -> int:
+    """Flat index of the port pointing the opposite way along the same dimension."""
+    return port ^ 1
+
+
+def opposite_direction(direction: int) -> int:
+    """The reverse of ``direction`` (+1 ↔ -1)."""
+    if direction not in (PLUS, MINUS):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    return -direction
+
+
+def injection_port(dimensions: int) -> int:
+    """Flat index of the injection port for an n-dimensional router."""
+    return 2 * dimensions
+
+
+def ejection_port(dimensions: int) -> int:
+    """Flat index of the ejection port for an n-dimensional router."""
+    return 2 * dimensions + 1
+
+
+def port_name(port: int, dimensions: int) -> str:
+    """Human-readable name of a port index for diagnostics."""
+    if port == injection_port(dimensions):
+        return INJECTION_PORT_NAME
+    if port == ejection_port(dimensions):
+        return EJECTION_PORT_NAME
+    sign = "+" if port_direction(port) == PLUS else "-"
+    return f"d{port_dimension(port)}{sign}"

@@ -1,0 +1,55 @@
+"""n-dimensional mesh topology.
+
+The mesh is not the paper's primary topology, but it is the natural substrate
+for several of the fault-tolerant routing baselines cited in the related work
+(e.g. Boppana & Chalasani's fault rings) and for channel-dependency-graph
+sanity checks where wrap-around cycles are absent.  It shares the address and
+port conventions of :class:`~repro.topology.torus.TorusTopology`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.topology.address import manhattan_offsets
+from repro.topology.base import Topology
+from repro.topology.channels import MINUS, PLUS
+
+__all__ = ["MeshTopology"]
+
+
+class MeshTopology(Topology):
+    """An n-dimensional mesh: like a torus but without wrap-around links.
+
+    Boundary nodes simply lack the neighbour in the outward direction;
+    :meth:`neighbor` returns ``None`` there and routing functions must not
+    select that port.
+    """
+
+    def __init__(self, radix: int | Sequence[int] = 8, dimensions: int = 2) -> None:
+        super().__init__(radix, dimensions)
+
+    @property
+    def wraparound(self) -> bool:
+        return False
+
+    def _neighbor_coords(
+        self, coords: Tuple[int, ...], dimension: int, direction: int
+    ) -> Optional[Tuple[int, ...]]:
+        k = self.radices[dimension]
+        c = list(coords)
+        if direction == PLUS:
+            if c[dimension] == k - 1:
+                return None
+            c[dimension] += 1
+        elif direction == MINUS:
+            if c[dimension] == 0:
+                return None
+            c[dimension] -= 1
+        else:  # pragma: no cover - guarded elsewhere
+            raise ValueError(f"direction must be +1 or -1, got {direction}")
+        return tuple(c)
+
+    def offsets(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Plain signed per-dimension offsets (no wrap-around)."""
+        return manhattan_offsets(self.coords(src), self.coords(dst), self.radices, wraparound=False)

@@ -1,0 +1,79 @@
+"""k-ary n-cube (torus) topology.
+
+The k-ary n-cube is the topology the paper evaluates (Section 2): ``N = k**n``
+nodes arranged in an n-dimensional cube with ``k`` nodes along each dimension,
+every node connected to the two neighbours that differ by ±1 (mod k) in exactly
+one coordinate.  The network is regular and edge-symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.topology.address import manhattan_offsets
+from repro.topology.base import Topology
+from repro.topology.channels import MINUS, PLUS
+
+__all__ = ["TorusTopology"]
+
+
+class TorusTopology(Topology):
+    """A k-ary n-cube with wrap-around links in every dimension.
+
+    Parameters
+    ----------
+    radix:
+        Nodes per dimension ``k`` (or a per-dimension sequence for a
+        mixed-radix torus).
+    dimensions:
+        Number of dimensions ``n``.
+
+    Examples
+    --------
+    >>> t = TorusTopology(radix=8, dimensions=2)   # the paper's 8-ary 2-cube
+    >>> t.num_nodes
+    64
+    >>> t.neighbor(t.node_id((7, 0)), dimension=0, direction=+1)  # wraps to x=0
+    0
+    """
+
+    def __init__(self, radix: int | Sequence[int] = 8, dimensions: int = 2) -> None:
+        super().__init__(radix, dimensions)
+
+    @property
+    def wraparound(self) -> bool:
+        return True
+
+    def _neighbor_coords(
+        self, coords: Tuple[int, ...], dimension: int, direction: int
+    ) -> Optional[Tuple[int, ...]]:
+        k = self.radices[dimension]
+        c = list(coords)
+        if direction == PLUS:
+            c[dimension] = (c[dimension] + 1) % k
+        elif direction == MINUS:
+            c[dimension] = (c[dimension] - 1) % k
+        else:  # pragma: no cover - guarded by Port validation elsewhere
+            raise ValueError(f"direction must be +1 or -1, got {direction}")
+        return tuple(c)
+
+    def offsets(self, src: int, dst: int) -> Tuple[int, ...]:
+        """Torus-minimal signed offsets (each ``|o_d| <= k_d // 2``)."""
+        return manhattan_offsets(self.coords(src), self.coords(dst), self.radices, wraparound=True)
+
+    def non_minimal_offset(self, src: int, dst: int, dimension: int) -> int:
+        """The signed offset going the *long* way around ``dimension``.
+
+        Software-Based re-routing reverses direction within a dimension; on a
+        torus the reversed path still reaches the destination coordinate by
+        travelling ``k - |minimal offset|`` hops the other way.  This helper
+        returns that signed non-minimal offset (0 if the coordinates already
+        agree).
+        """
+        minimal = self.offsets(src, dst)[dimension]
+        if minimal == 0:
+            return 0
+        k = self.radices[dimension]
+        if minimal > 0:
+            return minimal - k
+        return minimal + k

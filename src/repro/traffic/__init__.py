@@ -1,0 +1,40 @@
+"""Traffic generation: arrival processes and destination patterns.
+
+The paper's workload (assumptions (a)–(c) in Section 5.1) is a Poisson arrival
+process per node with rate λ messages/node/cycle, fixed message length and
+uniformly distributed destinations.  This package implements that workload and
+a set of standard synthetic patterns (transpose, bit-complement, bit-reversal,
+hotspot, nearest-neighbour) used by the extension benchmarks.
+"""
+
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    BitReversalPattern,
+    DestinationPattern,
+    HotspotPattern,
+    NearestNeighborPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+)
+from repro.traffic.generators import (
+    BernoulliTraffic,
+    PeriodicTraffic,
+    PoissonTraffic,
+    TrafficGenerator,
+)
+
+__all__ = [
+    "DestinationPattern",
+    "UniformPattern",
+    "TransposePattern",
+    "BitComplementPattern",
+    "BitReversalPattern",
+    "HotspotPattern",
+    "NearestNeighborPattern",
+    "make_pattern",
+    "TrafficGenerator",
+    "PoissonTraffic",
+    "BernoulliTraffic",
+    "PeriodicTraffic",
+]

@@ -1,0 +1,175 @@
+"""Arrival processes (paper assumption (a)).
+
+Nodes generate traffic independently of each other following a Poisson process
+with mean rate λ messages/node/cycle.  The generators in this module produce,
+per node, the cycle numbers at which new messages are created; the simulation
+engine then enqueues the messages at the source's injection queue.
+
+Besides the Poisson process used by the paper, a Bernoulli process (one
+arrival per cycle with probability λ — the discrete-time approximation many
+simulators use) and a deterministic periodic process (useful for tests where
+exact arrival times matter) are provided.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "TrafficGenerator",
+    "PoissonTraffic",
+    "BernoulliTraffic",
+    "PeriodicTraffic",
+]
+
+
+class TrafficGenerator(ABC):
+    """Per-node arrival process.
+
+    A generator is instantiated once per simulation with the injection rate,
+    then :meth:`make_source` is called once per node to obtain an independent
+    arrival stream (so that "nodes generate traffic independently of each
+    other", assumption (a)).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"injection rate must be non-negative, got {rate}")
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        """Mean injection rate λ in messages/node/cycle."""
+        return self._rate
+
+    @abstractmethod
+    def make_source(self, rng: np.random.Generator) -> "ArrivalStream":
+        """A fresh, independent arrival stream for one node."""
+
+    def with_rate(self, rate: float) -> "TrafficGenerator":
+        """A copy of this generator with a different injection rate.
+
+        Used by the sweep harness, which varies λ while keeping the process
+        type fixed.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        clone._rate = float(rate)
+        return clone
+
+    @property
+    def name(self) -> str:
+        """Short name of the process (``poisson``, ``bernoulli``, ``periodic``)."""
+        return type(self).__name__.replace("Traffic", "").lower()
+
+
+class ArrivalStream(ABC):
+    """Stream of arrival cycle numbers for a single node."""
+
+    @abstractmethod
+    def arrivals_until(self, cycle: int) -> int:
+        """Number of new messages generated at (i.e. up to and including) ``cycle``.
+
+        The engine calls this once per cycle with monotonically increasing
+        cycle numbers; implementations keep their own position.
+        """
+
+
+class _ExponentialStream(ArrivalStream):
+    """Poisson process realised through exponential inter-arrival times."""
+
+    __slots__ = ("_rate", "_rng", "_next_arrival")
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        self._rate = rate
+        self._rng = rng
+        self._next_arrival = self._draw_gap() if rate > 0 else float("inf")
+
+    def _draw_gap(self) -> float:
+        return float(self._rng.exponential(1.0 / self._rate))
+
+    def arrivals_until(self, cycle: int) -> int:
+        if self._rate <= 0:
+            return 0
+        count = 0
+        while self._next_arrival <= cycle:
+            count += 1
+            self._next_arrival += self._draw_gap()
+        return count
+
+
+class _BernoulliStream(ArrivalStream):
+    """At most one arrival per cycle, with probability λ."""
+
+    __slots__ = ("_rate", "_rng")
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if rate > 1.0:
+            raise ValueError("a Bernoulli process cannot have rate > 1 message/cycle")
+        self._rate = rate
+        self._rng = rng
+
+    def arrivals_until(self, cycle: int) -> int:
+        if self._rate <= 0:
+            return 0
+        return 1 if self._rng.random() < self._rate else 0
+
+
+class _PeriodicStream(ArrivalStream):
+    """Deterministic arrivals every ``1/λ`` cycles (first arrival at the phase)."""
+
+    __slots__ = ("_period", "_next_arrival")
+
+    def __init__(self, rate: float, phase: float) -> None:
+        self._period = float("inf") if rate <= 0 else 1.0 / rate
+        self._next_arrival = phase if rate > 0 else float("inf")
+
+    def arrivals_until(self, cycle: int) -> int:
+        count = 0
+        while self._next_arrival <= cycle:
+            count += 1
+            if self._period == float("inf"):
+                self._next_arrival = float("inf")
+            else:
+                self._next_arrival += self._period
+        return count
+
+
+class PoissonTraffic(TrafficGenerator):
+    """The paper's arrival process: Poisson with rate λ messages/node/cycle."""
+
+    def make_source(self, rng: np.random.Generator) -> ArrivalStream:
+        return _ExponentialStream(self._rate, rng)
+
+
+class BernoulliTraffic(TrafficGenerator):
+    """Discrete-time approximation: one arrival per cycle with probability λ."""
+
+    def make_source(self, rng: np.random.Generator) -> ArrivalStream:
+        return _BernoulliStream(self._rate, rng)
+
+
+class PeriodicTraffic(TrafficGenerator):
+    """Deterministic arrivals every ``1/λ`` cycles.
+
+    Parameters
+    ----------
+    rate:
+        Injection rate λ; the inter-arrival gap is ``1/λ`` cycles.
+    phase:
+        Cycle of the first arrival (default 0, i.e. a message is generated in
+        the very first cycle).  Useful in unit tests that need exact control
+        over the workload.
+    """
+
+    def __init__(self, rate: float, phase: float = 0.0) -> None:
+        super().__init__(rate)
+        if phase < 0:
+            raise ValueError("phase must be non-negative")
+        self._phase = float(phase)
+
+    def make_source(self, rng: np.random.Generator) -> ArrivalStream:
+        return _PeriodicStream(self._rate, self._phase)

@@ -1,0 +1,208 @@
+"""Destination patterns for synthetic traffic.
+
+A destination pattern maps a source node to the destination of the next
+message generated there.  The paper uses the uniform pattern only; the other
+classical patterns (transpose, bit-complement, bit-reversal, hotspot,
+nearest-neighbour) are provided because they stress routing algorithms in
+different ways and are used by the extension benchmarks.
+
+All patterns avoid selecting a faulty destination or the source itself when
+given the relevant exclusion sets, since the paper measures latency only for
+messages exchanged between healthy nodes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.topology.base import Topology
+
+__all__ = [
+    "DestinationPattern",
+    "UniformPattern",
+    "TransposePattern",
+    "BitComplementPattern",
+    "BitReversalPattern",
+    "HotspotPattern",
+    "NearestNeighborPattern",
+    "make_pattern",
+]
+
+
+class DestinationPattern(ABC):
+    """Strategy object choosing the destination of each generated message."""
+
+    def __init__(self, topology: Topology, excluded: Iterable[int] = ()) -> None:
+        self._topology = topology
+        self._excluded: FrozenSet[int] = frozenset(int(n) for n in excluded)
+
+    @property
+    def topology(self) -> Topology:
+        """The network the pattern addresses."""
+        return self._topology
+
+    @property
+    def excluded(self) -> FrozenSet[int]:
+        """Nodes that are never chosen as destinations (e.g. faulty nodes)."""
+        return self._excluded
+
+    def with_excluded(self, excluded: Iterable[int]) -> "DestinationPattern":
+        """A copy of this pattern that never targets the given nodes."""
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
+        clone._excluded = frozenset(int(n) for n in excluded)
+        return clone
+
+    @abstractmethod
+    def _candidate(self, source: int, rng: np.random.Generator) -> int:
+        """Propose a destination (may coincide with source or an excluded node)."""
+
+    def pick(self, source: int, rng: np.random.Generator) -> Optional[int]:
+        """Destination for a message generated at ``source``.
+
+        Falls back to uniform re-sampling when the deterministic candidate is
+        the source itself or an excluded node; returns ``None`` only if no
+        valid destination exists at all.
+        """
+        candidate = self._candidate(source, rng)
+        if candidate != source and candidate not in self._excluded:
+            return candidate
+        valid = [
+            n
+            for n in range(self._topology.num_nodes)
+            if n != source and n not in self._excluded
+        ]
+        if not valid:
+            return None
+        return int(valid[int(rng.integers(len(valid)))])
+
+    @property
+    def name(self) -> str:
+        """Short human-readable pattern name."""
+        return type(self).__name__.replace("Pattern", "").lower()
+
+
+class UniformPattern(DestinationPattern):
+    """Uniformly random destinations (the paper's workload)."""
+
+    def _candidate(self, source: int, rng: np.random.Generator) -> int:
+        return int(rng.integers(self._topology.num_nodes))
+
+
+class TransposePattern(DestinationPattern):
+    """Matrix-transpose permutation: coordinates are rotated by half the arity.
+
+    For a 2-D network node ``(x, y)`` sends to ``(y, x)``; in higher dimensions
+    the coordinate vector is rotated by ``n // 2`` positions, the usual
+    generalisation.
+    """
+
+    def _candidate(self, source: int, rng: np.random.Generator) -> int:
+        coords = self._topology.coords(source)
+        n = len(coords)
+        shift = max(1, n // 2)
+        rotated = tuple(coords[(i + shift) % n] for i in range(n))
+        clipped = tuple(min(c, k - 1) for c, k in zip(rotated, self._topology.radices))
+        return self._topology.node_id(clipped)
+
+
+class BitComplementPattern(DestinationPattern):
+    """Each coordinate is complemented: ``a_d -> k_d - 1 - a_d``."""
+
+    def _candidate(self, source: int, rng: np.random.Generator) -> int:
+        coords = self._topology.coords(source)
+        complemented = tuple(k - 1 - c for c, k in zip(coords, self._topology.radices))
+        return self._topology.node_id(complemented)
+
+
+class BitReversalPattern(DestinationPattern):
+    """The binary representation of the node id is reversed.
+
+    Only meaningful for power-of-two network sizes; other sizes fall back to
+    reversing the id's bits within ``ceil(log2(N))`` bits modulo ``N``.
+    """
+
+    def _candidate(self, source: int, rng: np.random.Generator) -> int:
+        n = self._topology.num_nodes
+        bits = max(1, (n - 1).bit_length())
+        reversed_id = int(f"{source:0{bits}b}"[::-1], 2)
+        return reversed_id % n
+
+
+class HotspotPattern(DestinationPattern):
+    """A fraction of traffic targets a single hotspot node, the rest is uniform.
+
+    Parameters
+    ----------
+    hotspot:
+        Flat id of the hotspot node.
+    fraction:
+        Probability that a message targets the hotspot (0 < fraction <= 1).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        hotspot: int,
+        fraction: float = 0.1,
+        excluded: Iterable[int] = (),
+    ) -> None:
+        super().__init__(topology, excluded)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not 0 <= hotspot < topology.num_nodes:
+            raise ValueError(f"hotspot node {hotspot} does not exist")
+        self._hotspot = int(hotspot)
+        self._fraction = float(fraction)
+
+    @property
+    def hotspot(self) -> int:
+        """The hotspot node id."""
+        return self._hotspot
+
+    def _candidate(self, source: int, rng: np.random.Generator) -> int:
+        if rng.random() < self._fraction:
+            return self._hotspot
+        return int(rng.integers(self._topology.num_nodes))
+
+
+class NearestNeighborPattern(DestinationPattern):
+    """Messages target a uniformly chosen physical neighbour of the source."""
+
+    def _candidate(self, source: int, rng: np.random.Generator) -> int:
+        neighbours = [nid for _, _, nid in self._topology.neighbors(source)]
+        return int(neighbours[int(rng.integers(len(neighbours)))])
+
+
+#: Pattern registry keyed by the names accepted in configuration files.
+_PATTERNS = {
+    "uniform": UniformPattern,
+    "transpose": TransposePattern,
+    "bit-complement": BitComplementPattern,
+    "bit-reversal": BitReversalPattern,
+    "nearest-neighbor": NearestNeighborPattern,
+}
+
+
+def make_pattern(
+    name: str,
+    topology: Topology,
+    excluded: Iterable[int] = (),
+    **kwargs,
+) -> DestinationPattern:
+    """Instantiate a destination pattern by name.
+
+    ``"hotspot"`` additionally requires the ``hotspot`` keyword (node id) and
+    accepts ``fraction``.
+    """
+    key = name.lower()
+    if key == "hotspot":
+        return HotspotPattern(topology, excluded=excluded, **kwargs)
+    if key not in _PATTERNS:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; known: {sorted(_PATTERNS) + ['hotspot']}"
+        )
+    return _PATTERNS[key](topology, excluded=excluded, **kwargs)

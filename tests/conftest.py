@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+
+@pytest.fixture
+def torus_4x4() -> TorusTopology:
+    """A small 4-ary 2-cube (16 nodes) used by most unit tests."""
+    return TorusTopology(radix=4, dimensions=2)
+
+
+@pytest.fixture
+def torus_8x8() -> TorusTopology:
+    """The paper's 8-ary 2-cube (64 nodes)."""
+    return TorusTopology(radix=8, dimensions=2)
+
+
+@pytest.fixture
+def torus_4x4x4() -> TorusTopology:
+    """A 4-ary 3-cube (64 nodes) for n-dimensional tests."""
+    return TorusTopology(radix=4, dimensions=3)
+
+
+@pytest.fixture
+def mesh_4x4() -> MeshTopology:
+    """A 4x4 mesh."""
+    return MeshTopology(radix=4, dimensions=2)
+
+
+@pytest.fixture
+def small_config(torus_4x4) -> SimulationConfig:
+    """A fast-running simulation configuration for engine/integration tests."""
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        faults=FaultSet.empty(),
+        warmup_messages=10,
+        measure_messages=80,
+        max_cycles=30_000,
+        seed=3,
+    )

@@ -1,0 +1,109 @@
+"""Tests for the approximate analytical latency model (extension)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.analytical import AnalyticalLatencyModel
+from repro.analysis.saturation import zero_load_latency
+from repro.faults.model import FaultSet
+from repro.topology.torus import TorusTopology
+
+
+@pytest.fixture
+def model(torus_8x8):
+    return AnalyticalLatencyModel(topology=torus_8x8, message_length=32,
+                                  num_virtual_channels=4)
+
+
+class TestModelStructure:
+    def test_zero_load_limit_matches_zero_load_latency(self, model, torus_8x8):
+        assert model.mean_latency(0.0) == pytest.approx(zero_load_latency(torus_8x8, 32))
+
+    def test_latency_is_monotone_in_load(self, model):
+        rates = [0.0, 0.002, 0.004, 0.008, 0.012]
+        latencies = model.latency_curve(rates)
+        assert latencies == sorted(latencies)
+
+    def test_latency_diverges_at_saturation(self, model):
+        saturation = model.saturation_rate()
+        assert math.isinf(model.mean_latency(saturation))
+        assert math.isfinite(model.mean_latency(saturation * 0.9))
+
+    def test_longer_messages_cost_more(self, torus_8x8):
+        short = AnalyticalLatencyModel(torus_8x8, message_length=32)
+        long = AnalyticalLatencyModel(torus_8x8, message_length=64)
+        assert long.mean_latency(0.004) > short.mean_latency(0.004)
+
+    def test_more_virtual_channels_reduce_blocking(self, torus_8x8):
+        few = AnalyticalLatencyModel(torus_8x8, message_length=32, num_virtual_channels=2)
+        many = AnalyticalLatencyModel(torus_8x8, message_length=32, num_virtual_channels=10)
+        assert many.mean_latency(0.01) < few.mean_latency(0.01)
+
+    def test_adaptive_flag_reduces_latency(self, torus_8x8):
+        det = AnalyticalLatencyModel(torus_8x8, message_length=32, adaptive=False)
+        adpt = AnalyticalLatencyModel(torus_8x8, message_length=32, adaptive=True)
+        assert adpt.mean_latency(0.01) < det.mean_latency(0.01)
+
+    def test_invalid_parameters(self, torus_8x8):
+        with pytest.raises(ValueError):
+            AnalyticalLatencyModel(torus_8x8, message_length=0)
+        with pytest.raises(ValueError):
+            AnalyticalLatencyModel(torus_8x8, message_length=8, num_virtual_channels=0)
+        model = AnalyticalLatencyModel(torus_8x8, message_length=8)
+        with pytest.raises(ValueError):
+            model.mean_latency(-0.1)
+
+
+class TestFaultTerm:
+    def test_no_faults_no_absorptions(self, model):
+        assert model.absorption_probability() == 0.0
+
+    def test_absorption_probability_grows_with_faults(self, torus_8x8):
+        few = AnalyticalLatencyModel(torus_8x8, 32, faults=FaultSet.from_nodes([1]))
+        many = AnalyticalLatencyModel(torus_8x8, 32, faults=FaultSet.from_nodes(range(1, 9)))
+        assert many.absorption_probability() > few.absorption_probability()
+
+    def test_adaptive_absorbs_much_less_often(self, torus_8x8):
+        faults = FaultSet.from_nodes(range(1, 6))
+        det = AnalyticalLatencyModel(torus_8x8, 32, faults=faults, adaptive=False)
+        adpt = AnalyticalLatencyModel(torus_8x8, 32, faults=faults, adaptive=True)
+        assert adpt.absorption_probability() < det.absorption_probability() / 5
+
+    def test_faults_increase_latency(self, torus_8x8):
+        healthy = AnalyticalLatencyModel(torus_8x8, 32)
+        faulty = AnalyticalLatencyModel(torus_8x8, 32, faults=FaultSet.from_nodes(range(1, 6)))
+        assert faulty.mean_latency(0.004) > healthy.mean_latency(0.004)
+
+    def test_reinjection_delay_adds_cost_only_with_faults(self, torus_8x8):
+        faults = FaultSet.from_nodes([1, 2, 3])
+        model = AnalyticalLatencyModel(torus_8x8, 32, faults=faults)
+        assert model.mean_latency(0.004, reinjection_delay=50) > model.mean_latency(0.004)
+        healthy = AnalyticalLatencyModel(torus_8x8, 32)
+        assert healthy.mean_latency(0.004, reinjection_delay=50) == pytest.approx(
+            healthy.mean_latency(0.004)
+        )
+
+
+class TestAgainstSimulation:
+    def test_model_tracks_simulation_at_low_load(self, torus_8x8):
+        """At 20 % of capacity the model should be within ~35 % of the simulator."""
+        from repro.sim.config import SimulationConfig
+        from repro.sim.runner import run_simulation
+
+        rate = 0.2 * AnalyticalLatencyModel(torus_8x8, 16).saturation_rate()
+        config = SimulationConfig(
+            topology=torus_8x8,
+            routing="swbased-deterministic",
+            num_virtual_channels=4,
+            message_length=16,
+            injection_rate=rate,
+            warmup_messages=30,
+            measure_messages=300,
+            seed=9,
+        )
+        simulated = run_simulation(config).mean_latency
+        predicted = AnalyticalLatencyModel(torus_8x8, 16, num_virtual_channels=4).mean_latency(rate)
+        assert predicted == pytest.approx(simulated, rel=0.35)

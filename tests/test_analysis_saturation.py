@@ -1,0 +1,96 @@
+"""Tests for zero-load latency, capacity and saturation estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.saturation import (
+    average_distance,
+    estimate_saturation_rate,
+    theoretical_capacity,
+    zero_load_latency,
+)
+from repro.sim.sweep import LoadSweepResult
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+
+class TestAverageDistance:
+    def test_matches_exact_average_on_small_torus(self, torus_4x4):
+        exact = sum(
+            torus_4x4.distance(a, b)
+            for a in torus_4x4.nodes()
+            for b in torus_4x4.nodes()
+            if a != b
+        ) / (16 * 15)
+        assert average_distance(torus_4x4) == pytest.approx(exact, rel=1e-9)
+
+    def test_matches_exact_average_on_odd_radix_torus(self):
+        topo = TorusTopology(radix=5, dimensions=2)
+        exact = sum(
+            topo.distance(a, b) for a in topo.nodes() for b in topo.nodes() if a != b
+        ) / (25 * 24)
+        assert average_distance(topo) == pytest.approx(exact, rel=1e-9)
+
+    def test_matches_exact_average_on_mesh(self):
+        mesh = MeshTopology(radix=4, dimensions=2)
+        exact = sum(
+            mesh.distance(a, b) for a in mesh.nodes() for b in mesh.nodes() if a != b
+        ) / (16 * 15)
+        assert average_distance(mesh) == pytest.approx(exact, rel=1e-9)
+
+    def test_eight_ary_two_cube_value(self, torus_8x8):
+        # n * k / 4 = 4, with the N/(N-1) correction for excluding self-traffic.
+        assert average_distance(torus_8x8) == pytest.approx(4.0 * 64 / 63)
+
+
+class TestZeroLoadAndCapacity:
+    def test_zero_load_latency_formula(self, torus_8x8):
+        assert zero_load_latency(torus_8x8, 32) == pytest.approx(
+            average_distance(torus_8x8) + 32
+        )
+
+    def test_zero_load_latency_rejects_bad_length(self, torus_8x8):
+        with pytest.raises(ValueError):
+            zero_load_latency(torus_8x8, 0)
+
+    def test_capacity_decreases_with_message_length(self, torus_8x8):
+        assert theoretical_capacity(torus_8x8, 64) < theoretical_capacity(torus_8x8, 32)
+
+    def test_capacity_increases_with_dimensionality(self):
+        t2 = TorusTopology(radix=8, dimensions=2)
+        t3 = TorusTopology(radix=8, dimensions=3)
+        assert theoretical_capacity(t3, 32) > theoretical_capacity(t2, 32) * 0.9
+
+    def test_capacity_rejects_bad_length(self, torus_8x8):
+        with pytest.raises(ValueError):
+            theoretical_capacity(torus_8x8, -1)
+
+
+class TestSaturationEstimate:
+    def _sweep(self, rates, latencies, saturated=None):
+        sweep = LoadSweepResult(label="test")
+        sweep.rates = list(rates)
+        sweep.latencies = list(latencies)
+        sweep.throughputs = [0.0] * len(sweep.rates)
+        sweep.saturated = list(saturated) if saturated else [False] * len(sweep.rates)
+        return sweep
+
+    def test_empty_sweep_returns_none(self):
+        assert estimate_saturation_rate(self._sweep([], [])) is None
+
+    def test_no_saturation_detected_for_flat_curve(self):
+        sweep = self._sweep([0.001, 0.002, 0.003], [40, 42, 44])
+        assert estimate_saturation_rate(sweep) is None
+
+    def test_latency_blowup_detected(self):
+        sweep = self._sweep([0.001, 0.002, 0.003, 0.004], [40, 45, 60, 200])
+        assert estimate_saturation_rate(sweep) == 0.004
+
+    def test_engine_saturation_flag_wins(self):
+        sweep = self._sweep([0.001, 0.002], [40, 41], saturated=[False, True])
+        assert estimate_saturation_rate(sweep) == 0.002
+
+    def test_explicit_zero_load_baseline(self):
+        sweep = self._sweep([0.001, 0.002], [100, 130])
+        assert estimate_saturation_rate(sweep, latency_factor=3.0, zero_load=40) == 0.002

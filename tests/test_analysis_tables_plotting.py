@@ -1,0 +1,138 @@
+"""Tests for tabular reporting and ASCII plotting."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.plotting import ascii_curve, ascii_multi_series, render_fault_region
+from repro.analysis.tables import format_table, results_to_rows, series_table, write_csv
+from repro.faults.model import FaultSet
+from repro.faults.regions import make_fault_region
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import LoadSweepResult
+
+
+def _sweep(label, rates, latencies, saturated=None):
+    sweep = LoadSweepResult(label=label)
+    sweep.rates = list(rates)
+    sweep.latencies = list(latencies)
+    sweep.throughputs = [lat / 1000 for lat in latencies]
+    sweep.saturated = list(saturated) if saturated else [False] * len(rates)
+    return sweep
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        text = format_table(rows, columns=["a", "b"], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_boolean_and_nan_rendering(self):
+        rows = [{"ok": True, "x": float("nan")}]
+        text = format_table(rows)
+        assert "yes" in text
+        assert "nan" in text
+
+    def test_missing_column_left_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text.count("|") >= 3
+
+
+class TestSeriesTable:
+    def test_one_row_per_distinct_rate(self):
+        s1 = _sweep("det", [0.001, 0.002], [40, 50])
+        s2 = _sweep("adpt", [0.002, 0.003], [38, 45])
+        text = series_table([s1, s2], metric="latency")
+        assert text.count("\n") >= 5  # title + header + separator + 3 rate rows
+        assert "det" in text and "adpt" in text
+
+    def test_saturated_points_are_starred(self):
+        s1 = _sweep("det", [0.001], [400], saturated=[True])
+        assert "*" in series_table([s1])
+
+    def test_throughput_metric(self):
+        s1 = _sweep("det", [0.001], [40])
+        assert "throughput" in series_table([s1], metric="throughput")
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            series_table([], metric="jitter")
+
+
+class TestCsvAndRows:
+    def test_results_to_rows_and_write_csv(self, tmp_path, torus_4x4):
+        config = SimulationConfig(
+            topology=torus_4x4,
+            routing="swbased-deterministic",
+            num_virtual_channels=2,
+            message_length=4,
+            injection_rate=0.02,
+            warmup_messages=5,
+            measure_messages=40,
+            seed=1,
+        )
+        results = [run_simulation(config)]
+        rows = results_to_rows(results)
+        assert rows[0]["radix"] == 4
+        path = tmp_path / "out.csv"
+        write_csv(rows, str(path))
+        with open(path) as fh:
+            parsed = list(csv.DictReader(fh))
+        assert len(parsed) == 1
+        assert float(parsed[0]["mean_latency"]) > 0
+
+    def test_write_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], str(path))
+        assert path.read_text() == ""
+
+
+class TestAsciiPlots:
+    def test_single_curve_contains_markers_and_labels(self):
+        text = ascii_curve([0, 1, 2, 3], [10, 12, 20, 50], x_label="load", y_label="latency")
+        assert "o" in text
+        assert "load" in text
+        assert "latency" in text
+
+    def test_multi_series_legend(self):
+        text = ascii_multi_series(
+            [("det", [0, 1], [10, 20]), ("adpt", [0, 1], [9, 15])], width=30, height=8
+        )
+        assert "det" in text and "adpt" in text
+        assert "o = det" in text
+
+    def test_nan_points_are_skipped(self):
+        text = ascii_multi_series([("s", [0, 1, 2], [1.0, float("nan"), 3.0])])
+        assert "(no data to plot)" not in text
+
+    def test_all_nan_series(self):
+        assert "(no data to plot)" in ascii_multi_series([("s", [0], [float("nan")])])
+
+    def test_render_fault_region_marks_faulty_nodes(self, torus_8x8):
+        region = make_fault_region(torus_8x8, "rect", width=2, height=2, anchor=(1, 1))
+        text = render_fault_region(torus_8x8, region)
+        assert text.count("X") == 4
+        assert text.count(".") == 60
+
+    def test_render_fault_region_accepts_plain_fault_set(self, torus_4x4):
+        text = render_fault_region(torus_4x4, FaultSet.from_nodes([0]))
+        assert text.count("X") == 1
+
+    def test_render_respects_fixed_coordinates_in_3d(self, torus_4x4x4):
+        faults = FaultSet.from_nodes([torus_4x4x4.node_id((1, 1, 2))])
+        plane_with_fault = render_fault_region(
+            torus_4x4x4, faults, plane=(0, 1), fixed=(0, 0, 2)
+        )
+        plane_without = render_fault_region(torus_4x4x4, faults, plane=(0, 1), fixed=(0, 0, 0))
+        assert plane_with_fault.count("X") == 1
+        assert plane_without.count("X") == 0

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.radix == 8
+        assert args.routing == "swbased-deterministic"
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--routing", "hot-potato"])
+
+    def test_experiment_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_simulate_prints_metrics(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--radix", "4", "--dimensions", "2",
+                "--message-length", "4",
+                "--virtual-channels", "2",
+                "--rate", "0.02",
+                "--warmup", "10", "--messages", "60",
+                "--faults", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_latency" in out
+        assert "swbased-deterministic" in out
+
+    def test_simulate_with_fault_region(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--radix", "8",
+                "--message-length", "4",
+                "--virtual-channels", "2",
+                "--rate", "0.004",
+                "--warmup", "5", "--messages", "50",
+                "--fault-region", "U",
+            ]
+        )
+        assert code == 0
+        assert "mean_latency" in capsys.readouterr().out
+
+    def test_sweep_prints_curve_and_plot(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--radix", "4",
+                "--message-length", "4",
+                "--virtual-channels", "2",
+                "--max-rate", "0.02", "--points", "2",
+                "--warmup", "5", "--messages", "40",
+                "--plot",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "injection rate" in out
+
+    def test_regions_renders_shapes(self, capsys):
+        assert main(["regions", "--radix", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "U-shaped" in out
+        assert "X" in out

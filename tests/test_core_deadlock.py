@@ -1,0 +1,97 @@
+"""Tests for the channel-dependency-graph deadlock-freedom evidence."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.deadlock import (
+    build_channel_dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.core.swbased_nd import SoftwareBasedRouting
+from repro.faults.injection import random_node_faults
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoRouting
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+
+class TestChannelDependencyGraph:
+    def test_graph_nodes_are_virtual_channels(self, torus_4x4):
+        routing = DimensionOrderRouting(torus_4x4, num_virtual_channels=2)
+        graph = build_channel_dependency_graph(routing, include_reversed_overrides=False)
+        assert graph.number_of_nodes() > 0
+        node = next(iter(graph.nodes))
+        assert len(node) == 3
+        router, port, vc = node
+        assert 0 <= router < 16
+        assert 0 <= port < 4
+        assert vc in (0, 1)
+
+    def test_graph_has_edges_for_multi_hop_paths(self, torus_4x4):
+        routing = DimensionOrderRouting(torus_4x4, num_virtual_channels=2)
+        graph = build_channel_dependency_graph(routing, include_reversed_overrides=False)
+        assert graph.number_of_edges() > 0
+
+    def test_restricting_sources_limits_the_enumeration(self, torus_4x4):
+        routing = DimensionOrderRouting(torus_4x4, num_virtual_channels=2)
+        small = build_channel_dependency_graph(routing, sources=[0], destinations=[5, 10])
+        full = build_channel_dependency_graph(routing)
+        assert small.number_of_edges() <= full.number_of_edges()
+
+
+class TestDeadlockFreedom:
+    def test_ecube_on_torus_is_deadlock_free(self, torus_4x4):
+        routing = DimensionOrderRouting(torus_4x4, num_virtual_channels=2)
+        assert is_deadlock_free(routing)
+
+    def test_ecube_on_mesh_is_deadlock_free(self):
+        routing = DimensionOrderRouting(MeshTopology(4, 2), num_virtual_channels=2)
+        assert is_deadlock_free(routing)
+
+    def test_duato_escape_network_is_deadlock_free(self, torus_4x4):
+        routing = DuatoRouting(torus_4x4, num_virtual_channels=4)
+        assert is_deadlock_free(routing)
+
+    def test_swbased_deterministic_is_deadlock_free(self, torus_4x4):
+        routing = SoftwareBasedRouting.deterministic(torus_4x4, num_virtual_channels=2)
+        assert is_deadlock_free(routing)
+
+    def test_swbased_adaptive_is_deadlock_free(self, torus_4x4):
+        routing = SoftwareBasedRouting.adaptive(torus_4x4, num_virtual_channels=4)
+        assert is_deadlock_free(routing)
+
+    def test_swbased_is_deadlock_free_with_faults_and_reversals(self, torus_4x4):
+        for seed in range(5):
+            faults = random_node_faults(torus_4x4, 3, rng=seed)
+            routing = SoftwareBasedRouting.deterministic(
+                torus_4x4, faults=faults, num_virtual_channels=2
+            )
+            assert is_deadlock_free(routing, include_reversed_overrides=True)
+
+    def test_swbased_three_dimensions_sampled(self):
+        topo = TorusTopology(radix=3, dimensions=3)
+        routing = SoftwareBasedRouting.deterministic(topo, num_virtual_channels=2)
+        sample = list(range(0, 27, 2))
+        assert is_deadlock_free(routing, sources=sample, destinations=sample)
+
+    def test_single_dateline_class_would_deadlock(self, torus_4x4):
+        """Negative control: collapsing the two Dally–Seitz classes into one
+        reintroduces the wrap-around cycle, and the checker must find it."""
+        routing = DimensionOrderRouting(torus_4x4, num_virtual_channels=2)
+        graph = build_channel_dependency_graph(routing, include_reversed_overrides=False)
+        collapsed = nx.DiGraph()
+        for (a_node, a_port, _), (b_node, b_port, _) in graph.edges():
+            collapsed.add_edge((a_node, a_port), (b_node, b_port))
+        assert not nx.is_directed_acyclic_graph(collapsed)
+
+    def test_find_dependency_cycle_reports_edges(self, torus_4x4):
+        graph = nx.DiGraph([(1, 2), (2, 3), (3, 1)])
+        cycle = find_dependency_cycle(graph)
+        assert cycle is not None and len(cycle) == 3
+
+    def test_find_dependency_cycle_none_for_acyclic(self):
+        graph = nx.DiGraph([(1, 2), (2, 3)])
+        assert find_dependency_cycle(graph) is None

@@ -1,0 +1,67 @@
+"""Tests for the livelock guard and absorption bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.livelock import LivelockGuard, absorption_bound
+from repro.errors import LivelockError
+from repro.faults.model import FaultSet
+from repro.topology.torus import TorusTopology
+
+
+class TestAbsorptionBound:
+    def test_fault_free_bound_is_small_but_positive(self, torus_8x8):
+        bound = absorption_bound(torus_8x8, FaultSet.empty())
+        assert bound >= 2 * torus_8x8.dimensions
+        assert bound < 64
+
+    def test_bound_grows_with_fault_count(self, torus_8x8):
+        small = absorption_bound(torus_8x8, FaultSet.from_nodes([1]))
+        large = absorption_bound(torus_8x8, FaultSet.from_nodes(range(1, 11)))
+        assert large > small
+
+    def test_bound_grows_with_dimensionality(self):
+        faults = FaultSet.from_nodes([1, 2, 3])
+        bound2 = absorption_bound(TorusTopology(4, 2), faults)
+        bound3 = absorption_bound(TorusTopology(4, 3), faults)
+        assert bound3 > bound2
+
+    def test_link_faults_contribute(self, torus_8x8):
+        node_only = absorption_bound(torus_8x8, FaultSet.from_nodes([1]))
+        with_link = absorption_bound(torus_8x8, FaultSet.build(nodes=[1], links=[(2, 3)]))
+        assert with_link > node_only
+
+
+class TestLivelockGuard:
+    def test_explicit_bound(self):
+        guard = LivelockGuard(max_absorptions=3)
+        guard.check(0, 1)
+        guard.check(0, 3)
+        with pytest.raises(LivelockError):
+            guard.check(0, 4)
+
+    def test_derived_bound_from_topology(self, torus_8x8):
+        faults = FaultSet.from_nodes([5])
+        guard = LivelockGuard(topology=torus_8x8, faults=faults)
+        assert guard.max_absorptions == absorption_bound(torus_8x8, faults)
+
+    def test_requires_bound_or_topology(self):
+        with pytest.raises(ValueError):
+            LivelockGuard()
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            LivelockGuard(max_absorptions=0)
+
+    def test_worst_seen_is_tracked(self):
+        guard = LivelockGuard(max_absorptions=10)
+        guard.check(1, 2)
+        guard.check(2, 7)
+        guard.check(3, 4)
+        assert guard.worst_seen == 7
+
+    def test_error_message_names_the_message(self):
+        guard = LivelockGuard(max_absorptions=1)
+        with pytest.raises(LivelockError, match="message 42"):
+            guard.check(42, 2)

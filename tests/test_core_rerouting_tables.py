@@ -1,0 +1,88 @@
+"""Unit tests for the three Software-Based re-routing tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rerouting_tables import (
+    DetourKind,
+    ReroutingAction,
+    ReroutingDecision,
+    ReroutingTables,
+)
+
+
+@pytest.fixture
+def tables():
+    return ReroutingTables()
+
+
+class TestReversalTable:
+    def test_first_fault_with_healthy_opposite_reverses(self, tables):
+        decision = tables.decide(
+            already_reversed=False, opposite_direction_faulty=False,
+            detour_dimension_is_higher=True,
+        )
+        assert decision.action is ReroutingAction.REVERSE
+        assert decision.detour_kind is None
+
+    def test_first_fault_with_blocked_opposite_detours(self, tables):
+        decision = tables.decide(
+            already_reversed=False, opposite_direction_faulty=True,
+            detour_dimension_is_higher=True,
+        )
+        assert decision.action is ReroutingAction.DETOUR
+
+    def test_second_fault_always_detours(self, tables):
+        for opposite_faulty in (False, True):
+            decision = tables.decide(
+                already_reversed=True, opposite_direction_faulty=opposite_faulty,
+                detour_dimension_is_higher=True,
+            )
+            assert decision.action is ReroutingAction.DETOUR
+
+    def test_raw_table_is_the_paper_policy(self, tables):
+        table = tables.reversal_table
+        assert table[(False, False)] is ReroutingAction.REVERSE
+        assert table[(False, True)] is ReroutingAction.DETOUR
+        assert table[(True, False)] is ReroutingAction.DETOUR
+        assert table[(True, True)] is ReroutingAction.DETOUR
+
+
+class TestDetourTable:
+    def test_higher_detour_dimension_uses_single_hop(self, tables):
+        decision = tables.decide(True, False, detour_dimension_is_higher=True)
+        assert decision.detour_kind is DetourKind.SINGLE_HOP
+
+    def test_lower_detour_dimension_uses_column_intermediate(self, tables):
+        decision = tables.decide(True, False, detour_dimension_is_higher=False)
+        assert decision.detour_kind is DetourKind.COLUMN
+
+    def test_raw_table(self, tables):
+        assert tables.detour_table == {
+            True: DetourKind.SINGLE_HOP,
+            False: DetourKind.COLUMN,
+        }
+
+
+class TestResumeTable:
+    def test_resume_always_resumes(self, tables):
+        for flag in (True, False):
+            decision = tables.decide_resume(flag)
+            assert decision.action is ReroutingAction.RESUME
+            assert decision.detour_kind is None
+
+
+class TestExhaustiveness:
+    def test_tables_cover_every_state(self, tables):
+        assert tables.is_exhaustive()
+
+    def test_every_state_has_exactly_one_decision(self, tables):
+        decisions = set()
+        for reversed_flag in (False, True):
+            for opposite in (False, True):
+                for higher in (False, True):
+                    decision = tables.decide(reversed_flag, opposite, higher)
+                    assert isinstance(decision, ReroutingDecision)
+                    decisions.add((reversed_flag, opposite, higher, decision.action))
+        assert len(decisions) == 8

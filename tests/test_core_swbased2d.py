@@ -1,0 +1,200 @@
+"""Unit tests for the planar Software-Based re-routing policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rerouting_tables import ReroutingAction
+from repro.core.swbased2d import PlanarRerouter, partner_dimension
+from repro.errors import RoutingError
+from repro.faults.model import FaultSet
+from repro.routing.base import RoutingHeader
+from repro.topology.channels import MINUS, PLUS
+from repro.topology.torus import TorusTopology
+
+
+def _header(topo, src, dst):
+    return RoutingHeader(final_destination=dst, target=dst)
+
+
+class TestPartnerDimension:
+    def test_pairing_follows_the_paper(self):
+        assert partner_dimension(0, 2) == 1
+        assert partner_dimension(1, 2) == 0
+        assert partner_dimension(0, 3) == 1
+        assert partner_dimension(1, 3) == 2
+        assert partner_dimension(2, 3) == 1
+        assert partner_dimension(3, 5) == 4
+        assert partner_dimension(4, 5) == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partner_dimension(0, 1)
+        with pytest.raises(ValueError):
+            partner_dimension(3, 3)
+
+
+class TestReversal:
+    def test_first_fault_reverses_direction(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 0))
+        blocker = torus_8x8.node_id((1, 0))
+        rerouter = PlanarRerouter(torus_8x8, FaultSet.from_nodes([blocker]))
+        header = _header(torus_8x8, src, dst)
+        action = rerouter.rewrite(src, header)
+        assert action is ReroutingAction.REVERSE
+        assert header.direction_overrides == {0: MINUS}
+        assert header.reversed_dimensions == {0}
+        assert header.target == dst  # reversal does not retarget
+        assert header.misroutes == 1
+
+    def test_reversal_in_higher_dimension(self, torus_8x8):
+        src = torus_8x8.node_id((3, 0))
+        dst = torus_8x8.node_id((3, 3))
+        blocker = torus_8x8.node_id((3, 1))
+        rerouter = PlanarRerouter(torus_8x8, FaultSet.from_nodes([blocker]))
+        header = _header(torus_8x8, src, dst)
+        assert rerouter.rewrite(src, header) is ReroutingAction.REVERSE
+        assert header.direction_overrides == {1: MINUS}
+
+    def test_blocked_dimension_recomputed_from_header(self, torus_8x8):
+        src = torus_8x8.node_id((2, 2))
+        dst = torus_8x8.node_id((5, 6))
+        rerouter = PlanarRerouter(torus_8x8, FaultSet.empty())
+        header = _header(torus_8x8, src, dst)
+        assert rerouter.blocked_dimension(src, header) == (0, PLUS)
+        header.direction_overrides[0] = MINUS
+        assert rerouter.blocked_dimension(src, header) == (0, MINUS)
+        assert rerouter.blocked_dimension(dst, header) is None
+
+
+class TestDetour:
+    def test_second_fault_in_lowest_dimension_steps_orthogonally(self, torus_8x8):
+        # Both +x and -x are blocked at the source: detour one hop in y.
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 0))
+        east = torus_8x8.node_id((1, 0))
+        west = torus_8x8.node_id((7, 0))
+        rerouter = PlanarRerouter(torus_8x8, FaultSet.from_nodes([east, west]))
+        header = _header(torus_8x8, src, dst)
+        action = rerouter.rewrite(src, header)
+        assert action is ReroutingAction.DETOUR
+        assert header.is_intermediate
+        target_coords = torus_8x8.coords(header.target)
+        assert target_coords[0] == 0          # did not move in the blocked dimension
+        assert target_coords[1] in (1, 7)     # one hop in the orthogonal dimension
+        assert header.detour_directions  # sticky detour direction recorded
+
+    def test_detour_after_reversal_uses_column_intermediate(self, torus_8x8):
+        # Dimension 1 is blocked and already reversed; the detour dimension (0)
+        # is lower, so the intermediate carries the target's y coordinate.
+        src = torus_8x8.node_id((3, 2))
+        dst = torus_8x8.node_id((3, 5))
+        north = torus_8x8.node_id((3, 3))
+        rerouter = PlanarRerouter(torus_8x8, FaultSet.from_nodes([north]))
+        header = _header(torus_8x8, src, dst)
+        header.reversed_dimensions.add(1)
+        action = rerouter.rewrite(src, header)
+        assert action is ReroutingAction.DETOUR
+        coords = torus_8x8.coords(header.target)
+        assert coords[1] == 5                  # carries the blocked dimension's target
+        assert coords[0] in (2, 4)             # one hop sideways in dimension 0
+
+    def test_column_intermediate_avoids_faulty_landing_node(self, torus_8x8):
+        src = torus_8x8.node_id((3, 2))
+        dst = torus_8x8.node_id((3, 5))
+        north = torus_8x8.node_id((3, 3))
+        landing_east = torus_8x8.node_id((4, 5))
+        landing_west = torus_8x8.node_id((2, 5))
+        rerouter = PlanarRerouter(
+            torus_8x8, FaultSet.from_nodes([north, landing_east, landing_west])
+        )
+        header = _header(torus_8x8, src, dst)
+        header.reversed_dimensions.add(1)
+        rerouter.rewrite(src, header)
+        assert not rerouter.faults.is_node_faulty(header.target)
+
+    def test_sticky_detour_direction_is_reused(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 0))
+        east = torus_8x8.node_id((1, 0))
+        west = torus_8x8.node_id((7, 0))
+        rerouter = PlanarRerouter(torus_8x8, FaultSet.from_nodes([east, west]))
+        header = _header(torus_8x8, src, dst)
+        header.detour_directions[1] = MINUS
+        rerouter.rewrite(src, header)
+        assert torus_8x8.coords(header.target)[1] == 7  # stepped in the sticky direction
+
+    def test_detour_prefers_pair_partner_in_three_dimensions(self, torus_4x4x4):
+        # Blocked in dimension 0 with the opposite direction also faulty: the
+        # detour must use dimension 1 (the pair partner), not dimension 2.
+        src = torus_4x4x4.node_id((0, 0, 0))
+        dst = torus_4x4x4.node_id((2, 0, 0))
+        east = torus_4x4x4.node_id((1, 0, 0))
+        west = torus_4x4x4.node_id((3, 0, 0))
+        rerouter = PlanarRerouter(torus_4x4x4, FaultSet.from_nodes([east, west]))
+        header = _header(torus_4x4x4, src, dst)
+        rerouter.rewrite(src, header)
+        coords = torus_4x4x4.coords(header.target)
+        assert coords[2] == 0
+        assert coords[1] != 0
+
+    def test_detour_falls_back_to_other_dimensions(self, torus_4x4x4):
+        # Partner dimension is entirely blocked at this node: fall back to dim 2.
+        src = torus_4x4x4.node_id((0, 0, 0))
+        dst = torus_4x4x4.node_id((2, 0, 0))
+        faults = FaultSet.from_nodes(
+            [
+                torus_4x4x4.node_id((1, 0, 0)),
+                torus_4x4x4.node_id((3, 0, 0)),
+                torus_4x4x4.node_id((0, 1, 0)),
+                torus_4x4x4.node_id((0, 3, 0)),
+            ]
+        )
+        rerouter = PlanarRerouter(torus_4x4x4, faults)
+        header = _header(torus_4x4x4, src, dst)
+        rerouter.rewrite(src, header)
+        assert torus_4x4x4.coords(header.target)[2] in (1, 3)
+
+
+class TestErrorsAndResume:
+    def test_isolated_node_raises(self):
+        # 3-ary 2-cube: failing every neighbour of the source isolates it,
+        # which violates assumption (h) and must raise.
+        topo = TorusTopology(radix=3, dimensions=2)
+        src = topo.node_id((0, 0))
+        neighbours = {nid for _, _, nid in topo.neighbors(src)}
+        rerouter = PlanarRerouter(topo, FaultSet.from_nodes(neighbours))
+        header = _header(topo, src, topo.node_id((2, 2)))
+        with pytest.raises(RoutingError):
+            rerouter.rewrite(src, header)
+
+    def test_faulty_destination_raises(self, torus_8x8):
+        dst = torus_8x8.node_id((3, 0))
+        rerouter = PlanarRerouter(torus_8x8, FaultSet.from_nodes([dst]))
+        header = _header(torus_8x8, 0, dst)
+        with pytest.raises(RoutingError):
+            rerouter.rewrite(0, header)
+
+    def test_resume_retargets_final_destination(self, torus_8x8):
+        dst = torus_8x8.node_id((3, 3))
+        rerouter = PlanarRerouter(torus_8x8)
+        header = _header(torus_8x8, 0, dst)
+        header.retarget(torus_8x8.node_id((1, 1)))
+        action = rerouter.resume(header)
+        assert action is ReroutingAction.RESUME
+        assert header.target == dst
+
+    def test_rewrite_at_target_behaves_like_resume(self, torus_8x8):
+        dst = torus_8x8.node_id((2, 2))
+        rerouter = PlanarRerouter(torus_8x8)
+        header = _header(torus_8x8, 0, dst)
+        header.retarget(torus_8x8.node_id((1, 1)))
+        action = rerouter.rewrite(torus_8x8.node_id((1, 1)), header)
+        assert action is ReroutingAction.RESUME
+        assert header.target == dst
+
+    def test_one_dimensional_topology_rejected(self):
+        topo = TorusTopology(radix=8, dimensions=1)
+        with pytest.raises(ValueError):
+            PlanarRerouter(topo)

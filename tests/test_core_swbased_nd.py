@@ -1,0 +1,207 @@
+"""Unit tests for the SW-Based-nD routing algorithm (the paper's contribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rerouting_tables import ReroutingAction
+from repro.core.swbased_nd import SoftwareBasedRouting, SWBased2DRouting
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.routing.base import ADAPTIVE_MODE, DETERMINISTIC_MODE
+from repro.topology.channels import MINUS, PLUS, port_dimension
+from repro.topology.torus import TorusTopology
+
+
+class TestConstruction:
+    def test_deterministic_flavour(self, torus_8x8):
+        routing = SoftwareBasedRouting.deterministic(torus_8x8, num_virtual_channels=2)
+        assert routing.mode == "deterministic"
+        assert routing.name == "swbased-deterministic"
+        assert not routing.uses_adaptive_channels
+        assert routing.is_fault_tolerant
+
+    def test_adaptive_flavour(self, torus_8x8):
+        routing = SoftwareBasedRouting.adaptive(torus_8x8, num_virtual_channels=4)
+        assert routing.mode == "adaptive"
+        assert routing.name == "swbased-adaptive"
+        assert routing.uses_adaptive_channels
+
+    def test_invalid_mode_rejected(self, torus_8x8):
+        with pytest.raises(ConfigurationError):
+            SoftwareBasedRouting(torus_8x8, mode="oblivious")
+
+    def test_one_dimensional_topology_rejected(self):
+        topo = TorusTopology(radix=8, dimensions=1)
+        with pytest.raises(ConfigurationError):
+            SoftwareBasedRouting.deterministic(topo)
+
+    def test_tables_are_exhaustive(self, torus_8x8):
+        routing = SoftwareBasedRouting.deterministic(torus_8x8)
+        assert routing.tables.is_exhaustive()
+
+    def test_2d_wrapper_enforces_dimensionality(self, torus_8x8, torus_4x4x4):
+        wrapper = SWBased2DRouting(torus_8x8, num_virtual_channels=2)
+        assert wrapper.name == "swbased2d-deterministic"
+        with pytest.raises(ConfigurationError):
+            SWBased2DRouting(torus_4x4x4, num_virtual_channels=2)
+
+
+class TestFaultFreeEquivalence:
+    def test_deterministic_equals_ecube_in_fault_free_network(self, torus_8x8):
+        """Paper: "in a fault-free network ... deterministic Software-Based
+        routing is identical to dimension-order (e-cube) routing"."""
+        from repro.routing.dimension_order import DimensionOrderRouting
+
+        sw = SoftwareBasedRouting.deterministic(torus_8x8, num_virtual_channels=4)
+        ecube = DimensionOrderRouting(torus_8x8, num_virtual_channels=4)
+        for src in range(0, 64, 11):
+            for dst in range(0, 64, 7):
+                if src == dst:
+                    continue
+                h1 = sw.initial_header(src, dst)
+                h2 = ecube.initial_header(src, dst)
+                d1 = sw.route(src, h1)
+                d2 = ecube.route(src, h2)
+                assert [c.port for c in d1.candidates] == [c.port for c in d2.candidates]
+                assert [c.virtual_channels for c in d1.candidates] == [
+                    c.virtual_channels for c in d2.candidates
+                ]
+
+    def test_adaptive_equals_duato_in_fault_free_network(self, torus_8x8):
+        """Paper: adaptive Software-Based routing behaves like Duato's Protocol."""
+        from repro.routing.duato import DuatoRouting
+
+        sw = SoftwareBasedRouting.adaptive(torus_8x8, num_virtual_channels=4)
+        dp = DuatoRouting(torus_8x8, num_virtual_channels=4)
+        for src in range(0, 64, 13):
+            for dst in range(0, 64, 9):
+                if src == dst:
+                    continue
+                d1 = sw.route(src, sw.initial_header(src, dst))
+                d2 = dp.route(src, dp.initial_header(src, dst))
+                assert {(c.port, c.priority) for c in d1.candidates} == {
+                    (c.port, c.priority) for c in d2.candidates
+                }
+
+    def test_initial_header_mode_matches_flavour(self, torus_8x8):
+        det = SoftwareBasedRouting.deterministic(torus_8x8)
+        adpt = SoftwareBasedRouting.adaptive(torus_8x8)
+        assert det.initial_header(0, 5).routing_mode == DETERMINISTIC_MODE
+        assert adpt.initial_header(0, 5).routing_mode == ADAPTIVE_MODE
+
+
+class TestAbsorptionPolicy:
+    def test_deterministic_absorbs_at_first_fault(self, torus_8x8):
+        east = torus_8x8.node_id((1, 0))
+        routing = SoftwareBasedRouting.deterministic(
+            torus_8x8, faults=FaultSet.from_nodes([east]), num_virtual_channels=2
+        )
+        header = routing.initial_header(
+            torus_8x8.node_id((0, 0)), torus_8x8.node_id((3, 0))
+        )
+        assert routing.route(torus_8x8.node_id((0, 0)), header).absorb
+
+    def test_adaptive_only_absorbs_when_all_profitable_paths_faulty(self, torus_8x8):
+        east = torus_8x8.node_id((1, 0))
+        north = torus_8x8.node_id((0, 1))
+        dst = torus_8x8.node_id((3, 3))
+        src = torus_8x8.node_id((0, 0))
+        partially_blocked = SoftwareBasedRouting.adaptive(
+            torus_8x8, faults=FaultSet.from_nodes([east]), num_virtual_channels=4
+        )
+        assert not partially_blocked.route(src, partially_blocked.initial_header(src, dst)).absorb
+        fully_blocked = SoftwareBasedRouting.adaptive(
+            torus_8x8, faults=FaultSet.from_nodes([east, north]), num_virtual_channels=4
+        )
+        assert fully_blocked.route(src, fully_blocked.initial_header(src, dst)).absorb
+
+    def test_rewrite_downgrades_adaptive_messages_to_deterministic(self, torus_8x8):
+        """Fig. 2: after a fault, routing_type := Deterministic."""
+        east = torus_8x8.node_id((1, 0))
+        north = torus_8x8.node_id((0, 1))
+        routing = SoftwareBasedRouting.adaptive(
+            torus_8x8, faults=FaultSet.from_nodes([east, north]), num_virtual_channels=4
+        )
+        src = torus_8x8.node_id((0, 0))
+        header = routing.initial_header(src, torus_8x8.node_id((3, 3)))
+        assert header.routing_mode == ADAPTIVE_MODE
+        routing.rewrite_after_absorption(src, header)
+        assert header.routing_mode == DETERMINISTIC_MODE
+
+    def test_rewrite_applies_reversal_then_detour(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 0))
+        east = torus_8x8.node_id((1, 0))
+        west = torus_8x8.node_id((7, 0))
+        routing = SoftwareBasedRouting.deterministic(
+            torus_8x8, faults=FaultSet.from_nodes([east, west]), num_virtual_channels=2
+        )
+        header = routing.initial_header(src, dst)
+        header.absorptions = 1
+        first = routing.rewrite_after_absorption(src, header)
+        assert first is ReroutingAction.DETOUR  # both directions blocked at the source
+
+        # With only the east neighbour faulty the first rewrite reverses.
+        routing2 = SoftwareBasedRouting.deterministic(
+            torus_8x8, faults=FaultSet.from_nodes([east]), num_virtual_channels=2
+        )
+        header2 = routing2.initial_header(src, dst)
+        header2.absorptions = 1
+        assert routing2.rewrite_after_absorption(src, header2) is ReroutingAction.REVERSE
+
+    def test_valve_resets_reversal_state(self, torus_8x8):
+        east = torus_8x8.node_id((1, 0))
+        routing = SoftwareBasedRouting.deterministic(
+            torus_8x8,
+            faults=FaultSet.from_nodes([east]),
+            num_virtual_channels=2,
+            valve_period=2,
+        )
+        src = torus_8x8.node_id((0, 0))
+        header = routing.initial_header(src, torus_8x8.node_id((3, 0)))
+        header.absorptions = 1
+        routing.rewrite_after_absorption(src, header)
+        assert header.reversed_dimensions == {0}
+        header.absorptions = 2  # valve period reached: state cleared before rewriting
+        routing.rewrite_after_absorption(src, header)
+        assert 0 in header.reversed_dimensions  # re-applied after the reset
+        assert header.direction_overrides == {0: MINUS}
+
+    def test_on_intermediate_target_reached_resumes(self, torus_8x8):
+        routing = SoftwareBasedRouting.deterministic(torus_8x8, num_virtual_channels=2)
+        dst = torus_8x8.node_id((5, 5))
+        header = routing.initial_header(0, dst)
+        header.retarget(torus_8x8.node_id((2, 2)))
+        routing.on_intermediate_target_reached(torus_8x8.node_id((2, 2)), header)
+        assert header.target == dst
+
+
+class TestDimensionPairStructure:
+    def test_active_pair_follows_lowest_unfinished_dimension(self, torus_4x4x4):
+        routing = SoftwareBasedRouting.deterministic(torus_4x4x4, num_virtual_channels=2)
+        src = torus_4x4x4.node_id((0, 0, 0))
+        dst = torus_4x4x4.node_id((2, 1, 3))
+        header = routing.initial_header(src, dst)
+        assert routing.active_pair(src, header) == (0, 1)
+        mid = torus_4x4x4.node_id((2, 0, 0))
+        assert routing.active_pair(mid, header) == (1, 2)
+        late = torus_4x4x4.node_id((2, 1, 0))
+        assert routing.active_pair(late, header) == (2, 1)
+        assert routing.active_pair(dst, header) is None
+
+    def test_route_only_uses_active_pair_dimensions_when_deterministic(self, torus_4x4x4):
+        routing = SoftwareBasedRouting.deterministic(torus_4x4x4, num_virtual_channels=2)
+        src = torus_4x4x4.node_id((0, 0, 0))
+        dst = torus_4x4x4.node_id((2, 1, 3))
+        header = routing.initial_header(src, dst)
+        node = src
+        for _ in range(20):
+            decision = routing.route(node, header)
+            if decision.deliver:
+                break
+            hop_dim = port_dimension(decision.candidates[0].port)
+            pair = routing.active_pair(node, header)
+            assert hop_dim in pair
+            node = torus_4x4x4.neighbor_via_port(node, decision.candidates[0].port)
+        assert node == dst

@@ -1,0 +1,52 @@
+"""Smoke tests running every example script end to end.
+
+The examples double as user-facing documentation, so they must keep working;
+each is executed in a subprocess exactly as a user would run it (but with the
+repository's ``src`` directory on ``PYTHONPATH`` so an editable install is not
+required).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_EXAMPLES = sorted((_REPO_ROOT / "examples").glob("*.py"))
+
+
+def _run_example(path: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+        env=env,
+        cwd=str(_REPO_ROOT),
+    )
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in _EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", _EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(path):
+    result = _run_example(path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_quickstart_reports_both_routing_flavours():
+    result = _run_example(_REPO_ROOT / "examples" / "quickstart.py")
+    assert "swbased-deterministic" in result.stdout
+    assert "swbased-adaptive" in result.stdout
+    assert "latency" in result.stdout

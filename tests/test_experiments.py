@@ -1,0 +1,156 @@
+"""Tests for the figure-reproduction experiment harness (at a tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import fig1_regions, fig3_latency_2d, fig4_latency_3d
+from repro.experiments import fig5_fault_regions, fig6_throughput, fig7_messages_queued
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, get_scale, rate_grid
+
+#: Very small scale so the whole experiment suite stays fast in CI.
+TINY = ExperimentScale(
+    measure_messages=60, warmup_messages=10, rate_points=2, fault_trials=1, max_cycles=60_000
+)
+
+
+class TestCommonScaffolding:
+    def test_registry_covers_every_reproduced_figure(self):
+        assert set(EXPERIMENTS) == {"fig1", "fig3", "fig4", "fig5", "fig6", "fig7"}
+        for module in EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "summarize")
+
+    def test_default_scale_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale() == DEFAULT_SCALE
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        scaled = get_scale()
+        assert scaled.measure_messages == DEFAULT_SCALE.measure_messages * 2
+        monkeypatch.setenv("REPRO_SCALE", "not-a-number")
+        with pytest.raises(ValueError):
+            get_scale()
+
+    def test_explicit_scale_takes_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "50")
+        assert get_scale(TINY) is TINY
+
+    def test_scaled_never_shrinks_below_minimums(self):
+        tiny = DEFAULT_SCALE.scaled(0.001)
+        assert tiny.measure_messages >= 50
+        assert tiny.rate_points >= 3
+        with pytest.raises(ValueError):
+            DEFAULT_SCALE.scaled(0)
+
+    def test_rate_grid_shape(self):
+        grid = rate_grid(0.02, 5)
+        assert len(grid) == 5
+        assert grid[-1] == pytest.approx(0.02)
+        assert grid[0] > 0
+        assert grid == sorted(grid)
+        with pytest.raises(ValueError):
+            rate_grid(0.0, 5)
+        with pytest.raises(ValueError):
+            rate_grid(0.01, 1)
+
+
+class TestFig1:
+    def test_regions_and_rendering(self):
+        results = fig1_regions.run(radix=8)
+        assert set(results) == set(fig1_regions.SHAPES)
+        for info in results.values():
+            assert info["num_faults"] == len(info["nodes"])
+            assert info["rendering"].count("X") == info["num_faults"]
+        summary = fig1_regions.summarize(results)
+        assert "convex" in summary and "concave" in summary
+
+
+class TestFig3:
+    def test_minimal_run_produces_expected_series(self):
+        results = fig3_latency_2d.run(
+            scale=TINY,
+            routings=("swbased-deterministic",),
+            virtual_channels=(4,),
+            message_lengths=(32,),
+            fault_counts=(0, 3),
+        )
+        assert set(results) == {"det V=4 M=32 nf=0", "det V=4 M=32 nf=3"}
+        for sweep in results.values():
+            assert len(sweep.rates) >= 1
+            assert all(lat > 0 for lat in sweep.latencies)
+        summary = fig3_latency_2d.summarize(results)
+        assert "det V=4 M=32 nf=0" in summary
+
+    def test_panel_rate_table_covers_paper_panels(self):
+        for routing in fig3_latency_2d.PAPER_SERIES["routings"]:
+            for vcs in fig3_latency_2d.PAPER_SERIES["virtual_channels"]:
+                assert (routing, vcs) in fig3_latency_2d.PANEL_MAX_RATES
+
+
+class TestFig4:
+    def test_minimal_run_on_3d_torus(self):
+        results = fig4_latency_3d.run(
+            scale=TINY,
+            routings=("swbased-adaptive",),
+            virtual_channels=(4,),
+            message_lengths=(32,),
+            fault_counts=(12,),
+        )
+        (label, sweep), = results.items()
+        assert "nf=12" in label
+        assert sweep.latencies[0] > 0
+        assert sweep.results[0].config.topology.dimensions == 3
+
+
+class TestFig5:
+    def test_region_labels_match_paper_counts(self):
+        assert fig5_fault_regions.REGION_LABELS == {
+            "rect": 20, "T": 10, "plus": 16, "L": 9, "U": 8
+        }
+
+    def test_minimal_run_with_two_regions(self):
+        results = fig5_fault_regions.run(
+            scale=TINY,
+            routings=("swbased-deterministic",),
+            regions=("U", "rect"),
+            virtual_channels=4,
+        )
+        assert len(results) == 2
+        assert any("U" in label for label in results)
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError):
+            fig5_fault_regions.run(scale=TINY, regions=("doughnut",))
+
+
+class TestFig6:
+    def test_minimal_run_and_summary(self):
+        results = fig6_throughput.run(
+            scale=TINY,
+            routings=("swbased-adaptive",),
+            fault_counts=(0, 2),
+        )
+        series = fig6_throughput.throughput_series(results)
+        assert set(series["swbased-adaptive"]) == {0, 2}
+        assert all(value > 0 for value in series["swbased-adaptive"].values())
+        assert "throughput" in fig6_throughput.summarize(results)
+
+
+class TestFig7:
+    def test_minimal_run_counts_absorptions(self):
+        results = fig7_messages_queued.run(
+            scale=TINY,
+            routings=("swbased-deterministic",),
+            generation_rates=("70",),
+            fault_counts=(0, 4),
+        )
+        series = fig7_messages_queued.queued_series(results)
+        values = series["deterministic @70"]
+        assert values[0] == 0          # no faults, nothing absorbed
+        assert values[4] > 0           # faults produce absorptions
+        assert "messages queued" in fig7_messages_queued.summarize(results)
+
+    def test_unknown_rate_label_rejected(self):
+        with pytest.raises(ValueError):
+            fig7_messages_queued.run(scale=TINY, generation_rates=("42",))

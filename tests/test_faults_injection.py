@@ -1,0 +1,107 @@
+"""Unit tests for random fault injection and connectivity checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.connectivity import (
+    assert_faults_keep_network_connected,
+    healthy_subgraph,
+    is_connected_without_faults,
+)
+from repro.faults.injection import random_link_faults, random_node_faults
+from repro.faults.model import FaultSet
+from repro.topology.torus import TorusTopology
+
+
+class TestRandomNodeFaults:
+    def test_exact_count(self, torus_8x8):
+        faults = random_node_faults(torus_8x8, 5, rng=1)
+        assert faults.num_faulty_nodes == 5
+        assert faults.num_faulty_links == 0
+
+    def test_zero_count(self, torus_8x8):
+        assert random_node_faults(torus_8x8, 0, rng=1).is_empty()
+
+    def test_reproducible_with_seed(self, torus_8x8):
+        a = random_node_faults(torus_8x8, 4, rng=42)
+        b = random_node_faults(torus_8x8, 4, rng=42)
+        assert a == b
+
+    def test_different_seeds_usually_differ(self, torus_8x8):
+        a = random_node_faults(torus_8x8, 4, rng=1)
+        b = random_node_faults(torus_8x8, 4, rng=2)
+        assert a != b
+
+    def test_connectivity_guaranteed(self, torus_4x4):
+        for seed in range(20):
+            faults = random_node_faults(torus_4x4, 4, rng=seed)
+            assert is_connected_without_faults(torus_4x4, faults)
+
+    def test_exclude_protects_nodes(self, torus_8x8):
+        protected = {0, 1, 2}
+        for seed in range(10):
+            faults = random_node_faults(torus_8x8, 6, rng=seed, exclude=protected)
+            assert not (faults.nodes & protected)
+
+    def test_rejects_impossible_counts(self, torus_4x4):
+        with pytest.raises(ValueError):
+            random_node_faults(torus_4x4, -1)
+        with pytest.raises(ValueError):
+            random_node_faults(torus_4x4, 17)
+
+    def test_accepts_generator_instance(self, torus_8x8):
+        rng = np.random.default_rng(7)
+        faults = random_node_faults(torus_8x8, 3, rng=rng)
+        assert faults.num_faulty_nodes == 3
+
+
+class TestRandomLinkFaults:
+    def test_exact_count(self, torus_8x8):
+        faults = random_link_faults(torus_8x8, 4, rng=1)
+        assert faults.num_faulty_links == 4
+        assert faults.num_faulty_nodes == 0
+
+    def test_zero_count(self, torus_8x8):
+        assert random_link_faults(torus_8x8, 0).is_empty()
+
+    def test_links_connect_adjacent_nodes(self, torus_8x8):
+        faults = random_link_faults(torus_8x8, 5, rng=3)
+        faults.validate(torus_8x8)
+
+    def test_connectivity_guaranteed(self, torus_4x4):
+        for seed in range(10):
+            faults = random_link_faults(torus_4x4, 5, rng=seed)
+            assert is_connected_without_faults(torus_4x4, faults)
+
+    def test_rejects_too_many_links(self, torus_4x4):
+        with pytest.raises(ValueError):
+            random_link_faults(torus_4x4, 1000)
+
+
+class TestConnectivity:
+    def test_empty_fault_set_is_connected(self, torus_4x4):
+        assert is_connected_without_faults(torus_4x4, FaultSet.empty())
+
+    def test_healthy_subgraph_excludes_faulty_components(self, torus_4x4):
+        faults = FaultSet.from_nodes([0])
+        g = healthy_subgraph(torus_4x4, faults)
+        assert 0 not in g
+        assert g.number_of_nodes() == 15
+
+    def test_disconnecting_fault_set_detected(self, torus_4x4):
+        # Fail every neighbour of node 0: node 0 becomes isolated.
+        neighbours = [nid for _, _, nid in torus_4x4.neighbors(0)]
+        faults = FaultSet.from_nodes(neighbours)
+        assert not is_connected_without_faults(torus_4x4, faults)
+        with pytest.raises(ValueError):
+            assert_faults_keep_network_connected(torus_4x4, faults)
+
+    def test_assert_passes_for_connected(self, torus_4x4):
+        assert_faults_keep_network_connected(torus_4x4, FaultSet.from_nodes([3]))
+
+    def test_single_healthy_node_counts_as_connected(self):
+        topo = TorusTopology(radix=2, dimensions=1)
+        faults = FaultSet.from_nodes([1])
+        assert is_connected_without_faults(topo, faults)

@@ -1,0 +1,100 @@
+"""Unit tests for the static fault-set model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultSet
+from repro.topology.torus import TorusTopology
+
+
+class TestConstruction:
+    def test_empty(self):
+        faults = FaultSet.empty()
+        assert faults.is_empty()
+        assert faults.num_faulty_nodes == 0
+        assert faults.num_faulty_links == 0
+
+    def test_from_nodes(self):
+        faults = FaultSet.from_nodes([1, 2, 2, 3])
+        assert faults.nodes == frozenset({1, 2, 3})
+        assert faults.num_faulty_nodes == 3
+
+    def test_from_links_stores_both_directions(self):
+        faults = FaultSet.from_links([(0, 1)])
+        assert faults.is_link_faulty(0, 1)
+        assert faults.is_link_faulty(1, 0)
+        assert faults.num_faulty_links == 1
+
+    def test_build_combines_both(self):
+        faults = FaultSet.build(nodes=[4], links=[(0, 1)])
+        assert faults.is_node_faulty(4)
+        assert faults.is_link_faulty(0, 1)
+
+    def test_immutable_and_hashable(self):
+        a = FaultSet.from_nodes([1, 2])
+        b = FaultSet.from_nodes([2, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestQueries:
+    def test_node_failure_kills_incident_channels(self):
+        faults = FaultSet.from_nodes([5])
+        assert faults.is_link_faulty(5, 6)
+        assert faults.is_link_faulty(4, 5)
+        assert not faults.is_link_faulty(1, 2)
+
+    def test_is_channel_usable_handles_mesh_boundary(self):
+        faults = FaultSet.empty()
+        assert not faults.is_channel_usable(0, None)
+        assert faults.is_channel_usable(0, 1)
+
+    def test_faulty_neighbor_ports(self):
+        topo = TorusTopology(radix=4, dimensions=2)
+        centre = topo.node_id((1, 1))
+        east = topo.node_id((2, 1))
+        faults = FaultSet.from_nodes([east])
+        ports = faults.faulty_neighbor_ports(topo, centre)
+        assert ports == (0,)  # dimension 0, PLUS direction
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = FaultSet.from_nodes([1])
+        b = FaultSet.from_links([(2, 3)])
+        c = a.union(b)
+        assert c.is_node_faulty(1)
+        assert c.is_link_faulty(2, 3)
+
+    def test_with_and_without_nodes(self):
+        faults = FaultSet.from_nodes([1]).with_nodes([2, 3])
+        assert faults.num_faulty_nodes == 3
+        repaired = faults.without_nodes([2])
+        assert repaired.nodes == frozenset({1, 3})
+
+    def test_with_links(self):
+        faults = FaultSet.empty().with_links([(7, 8)])
+        assert faults.is_link_faulty(8, 7)
+
+
+class TestValidation:
+    def test_valid_fault_set_passes(self):
+        topo = TorusTopology(radix=4, dimensions=2)
+        FaultSet.from_nodes([0, 5]).validate(topo)
+        FaultSet.from_links([(0, 1)]).validate(topo)
+
+    def test_nonexistent_node_rejected(self):
+        topo = TorusTopology(radix=4, dimensions=2)
+        with pytest.raises(ValueError):
+            FaultSet.from_nodes([99]).validate(topo)
+
+    def test_non_adjacent_link_rejected(self):
+        topo = TorusTopology(radix=4, dimensions=2)
+        with pytest.raises(ValueError):
+            FaultSet.from_links([(0, 5)]).validate(topo)
+
+    def test_link_with_missing_endpoint_rejected(self):
+        topo = TorusTopology(radix=4, dimensions=2)
+        with pytest.raises(ValueError):
+            FaultSet.from_links([(0, 200)]).validate(topo)

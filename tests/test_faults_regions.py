@@ -1,0 +1,159 @@
+"""Unit tests for the fault-region shapes (paper Figs. 1 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.connectivity import is_connected_without_faults
+from repro.faults.regions import (
+    REGION_SHAPES,
+    make_fault_region,
+    paper_fig5_regions,
+    region_block,
+    region_column,
+    region_double_column,
+    region_h_shape,
+    region_l_shape,
+    region_plus_shape,
+    region_t_shape,
+    region_u_shape,
+)
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+
+class TestCanonicalShapes:
+    def test_block_size(self):
+        assert len(region_block(4, 5)) == 20
+        assert len(region_block(1, 1)) == 1
+
+    def test_column(self):
+        cells = region_column(3)
+        assert len(cells) == 3
+        assert all(c == 0 for _, c in cells)
+
+    def test_double_column_with_gap(self):
+        cells = region_double_column(3, gap=1)
+        assert len(cells) == 6
+        columns = {c for _, c in cells}
+        assert columns == {0, 2}
+
+    def test_l_shape_count(self):
+        assert len(region_l_shape(5, 5)) == 9
+        assert len(region_l_shape(3, 4)) == 6
+
+    def test_u_shape_count(self):
+        assert len(region_u_shape(4, 3)) == 8
+
+    def test_u_shape_has_concave_pocket(self):
+        cells = region_u_shape(4, 3)
+        # The pocket cells (rows above the bottom bar, interior columns) are healthy.
+        assert (1, 1) not in cells
+        assert (2, 2) not in cells
+
+    def test_t_shape_count(self):
+        assert len(region_t_shape(5, 5)) == 10
+
+    def test_plus_shape_counts(self):
+        assert len(region_plus_shape(3, 3)) == 5
+        assert len(region_plus_shape(6, 4, thickness=2)) == 16
+
+    def test_h_shape_count(self):
+        assert len(region_h_shape(5, 3)) == 13
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            region_block(0, 3)
+        with pytest.raises(ValueError):
+            region_u_shape(2, 3)  # too narrow for a pocket
+        with pytest.raises(ValueError):
+            region_double_column(3, gap=-1)
+        with pytest.raises(ValueError):
+            region_plus_shape(1, 4, thickness=2)
+
+
+class TestEmbedding:
+    def test_embedded_region_size_matches_shape(self, torus_8x8):
+        region = make_fault_region(torus_8x8, "rect", width=5, height=4)
+        assert region.num_faults == 20
+        assert region.convex
+
+    def test_concavity_flag(self, torus_8x8):
+        assert not make_fault_region(torus_8x8, "U").convex
+        assert not make_fault_region(torus_8x8, "T").convex
+        assert make_fault_region(torus_8x8, "column").convex
+
+    def test_cells_are_adjacent_coalesced_region(self, torus_8x8):
+        import networkx as nx
+
+        region = make_fault_region(torus_8x8, "L", vertical=5, horizontal=5)
+        sub = torus_8x8.to_networkx().to_undirected().subgraph(region.nodes)
+        assert nx.is_connected(sub)
+
+    def test_anchor_defaults_to_network_interior(self, torus_8x8):
+        region = make_fault_region(torus_8x8, "rect", width=2, height=2)
+        assert region.anchor == (2, 2)
+
+    def test_explicit_anchor_and_plane(self, torus_4x4x4):
+        region = make_fault_region(
+            torus_4x4x4, "column", length=2, anchor=(1, 1, 2), plane=(0, 2)
+        )
+        coords = {torus_4x4x4.coords(n) for n in region.nodes}
+        assert coords == {(1, 1, 2), (1, 1, 3)}
+
+    def test_wrapping_allowed_on_torus(self, torus_4x4):
+        region = make_fault_region(torus_4x4, "column", length=3, anchor=(0, 3))
+        assert region.num_faults == 3
+
+    def test_out_of_bounds_rejected_on_mesh(self):
+        mesh = MeshTopology(radix=4, dimensions=2)
+        with pytest.raises(ValueError):
+            make_fault_region(mesh, "column", length=3, anchor=(0, 3))
+
+    def test_unknown_shape_rejected(self, torus_8x8):
+        with pytest.raises(ValueError):
+            make_fault_region(torus_8x8, "pentagon")
+
+    def test_one_dimensional_topology_rejected(self):
+        topo = TorusTopology(radix=8, dimensions=1)
+        with pytest.raises(ValueError):
+            make_fault_region(topo, "rect")
+
+    def test_bad_plane_rejected(self, torus_8x8):
+        with pytest.raises(ValueError):
+            make_fault_region(torus_8x8, "rect", plane=(0, 0))
+        with pytest.raises(ValueError):
+            make_fault_region(torus_8x8, "rect", plane=(0, 5))
+
+    def test_bad_anchor_arity_rejected(self, torus_8x8):
+        with pytest.raises(ValueError):
+            make_fault_region(torus_8x8, "rect", anchor=(1,))
+
+    def test_to_fault_set(self, torus_8x8):
+        region = make_fault_region(torus_8x8, "U")
+        faults = region.to_fault_set()
+        assert faults.nodes == region.nodes
+        assert faults.num_faulty_links == 0
+
+    def test_registry_contains_all_paper_shapes(self):
+        for name in ("rect", "column", "double-column", "L", "U", "T", "plus", "H"):
+            assert name in REGION_SHAPES
+
+
+class TestPaperFig5Regions:
+    def test_fault_counts_match_the_paper(self, torus_8x8):
+        regions = paper_fig5_regions(torus_8x8)
+        counts = {label: region.num_faults for label, region in regions.items()}
+        assert counts == {"rect": 20, "T": 10, "plus": 16, "L": 9, "U": 8}
+
+    def test_all_regions_keep_the_network_connected(self, torus_8x8):
+        for region in paper_fig5_regions(torus_8x8).values():
+            assert is_connected_without_faults(torus_8x8, region.to_fault_set())
+
+    def test_convexity_classification(self, torus_8x8):
+        regions = paper_fig5_regions(torus_8x8)
+        assert regions["rect"].convex
+        assert not regions["T"].convex
+        assert not regions["plus"].convex
+        assert not regions["L"].convex
+        assert not regions["U"].convex

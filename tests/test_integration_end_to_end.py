@@ -1,0 +1,155 @@
+"""End-to-end integration tests reproducing the paper's qualitative findings.
+
+These tests run small but complete simulations and assert the *trends* the
+paper reports, not absolute numbers:
+
+* latency grows with the injection rate, the message length and the number of
+  faulty nodes;
+* adaptive Software-Based routing absorbs far fewer messages than the
+  deterministic flavour and achieves lower latency under faults;
+* concave fault regions hurt more than convex ones;
+* every generated message is eventually delivered (no loss, no livelock) for
+  connected fault patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injection import random_node_faults
+from repro.faults.model import FaultSet
+from repro.faults.regions import make_fault_region
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import run_simulation
+from repro.topology.torus import TorusTopology
+
+
+def _config(topology, routing, faults=FaultSet.empty(), **overrides):
+    defaults = dict(
+        topology=topology,
+        routing=routing,
+        num_virtual_channels=4,
+        message_length=16,
+        injection_rate=0.006,
+        faults=faults,
+        warmup_messages=40,
+        measure_messages=400,
+        seed=13,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def torus8():
+    return TorusTopology(radix=8, dimensions=2)
+
+
+@pytest.fixture(scope="module")
+def torus4x3():
+    return TorusTopology(radix=4, dimensions=3)
+
+
+class TestPaperTrends2D:
+    def test_latency_grows_with_load(self, torus8):
+        low = run_simulation(_config(torus8, "swbased-deterministic", injection_rate=0.002))
+        high = run_simulation(_config(torus8, "swbased-deterministic", injection_rate=0.012))
+        assert high.mean_latency > low.mean_latency
+
+    def test_latency_grows_with_message_length(self, torus8):
+        short = run_simulation(_config(torus8, "swbased-deterministic", message_length=16))
+        long = run_simulation(_config(torus8, "swbased-deterministic", message_length=48))
+        assert long.mean_latency > short.mean_latency
+
+    def test_latency_grows_with_fault_count(self, torus8):
+        faults5 = random_node_faults(torus8, 5, rng=21)
+        healthy = run_simulation(_config(torus8, "swbased-deterministic"))
+        faulty = run_simulation(_config(torus8, "swbased-deterministic", faults=faults5))
+        assert faulty.mean_latency > healthy.mean_latency
+        assert faulty.messages_queued > 0
+        assert healthy.messages_queued == 0
+
+    def test_adaptive_absorbs_far_fewer_messages_than_deterministic(self, torus8):
+        faults = random_node_faults(torus8, 5, rng=22)
+        det = run_simulation(_config(torus8, "swbased-deterministic", faults=faults))
+        adpt = run_simulation(_config(torus8, "swbased-adaptive", faults=faults))
+        assert det.messages_queued > 2 * adpt.messages_queued
+        assert adpt.mean_latency <= det.mean_latency * 1.05
+
+    def test_every_message_is_delivered_with_faults(self, torus8):
+        faults = random_node_faults(torus8, 6, rng=23)
+        result = run_simulation(
+            _config(torus8, "swbased-deterministic", faults=faults, measure_messages=300)
+        )
+        metrics = result.metrics
+        assert metrics.delivered_messages >= metrics.measured_messages
+        assert not metrics.saturated
+        assert metrics.delivered_messages >= result.config.total_messages
+
+    def test_concave_region_costs_more_than_convex(self, torus8):
+        concave = make_fault_region(torus8, "U", width=4, height=3)   # 8 faults
+        convex = make_fault_region(torus8, "rect", width=4, height=2)  # 8 faults
+        det_concave = run_simulation(
+            _config(torus8, "swbased-deterministic", faults=concave.to_fault_set())
+        )
+        det_convex = run_simulation(
+            _config(torus8, "swbased-deterministic", faults=convex.to_fault_set())
+        )
+        assert det_concave.messages_queued > det_convex.messages_queued
+
+    def test_more_virtual_channels_do_not_hurt_at_high_load(self, torus8):
+        few = run_simulation(
+            _config(torus8, "swbased-deterministic", injection_rate=0.012,
+                    num_virtual_channels=2, measure_messages=300)
+        )
+        many = run_simulation(
+            _config(torus8, "swbased-deterministic", injection_rate=0.012,
+                    num_virtual_channels=8, measure_messages=300)
+        )
+        assert many.mean_latency <= few.mean_latency * 1.1
+
+
+class TestPaperTrends3D:
+    def test_nd_extension_delivers_under_faults(self, torus4x3):
+        faults = random_node_faults(torus4x3, 6, rng=31)
+        for routing in ("swbased-deterministic", "swbased-adaptive"):
+            result = run_simulation(
+                _config(torus4x3, routing, faults=faults, injection_rate=0.01,
+                        measure_messages=300)
+            )
+            assert result.metrics.delivered_messages >= result.config.total_messages
+            assert result.mean_latency > 0
+
+    def test_absorptions_grow_with_fault_count_in_3d(self, torus4x3):
+        few = random_node_faults(torus4x3, 2, rng=41)
+        many = random_node_faults(torus4x3, 8, rng=41)
+        r_few = run_simulation(_config(torus4x3, "swbased-deterministic", faults=few))
+        r_many = run_simulation(_config(torus4x3, "swbased-deterministic", faults=many))
+        assert r_many.messages_queued > r_few.messages_queued
+
+    def test_reinjection_delay_increases_latency_under_faults(self, torus4x3):
+        faults = random_node_faults(torus4x3, 6, rng=51)
+        no_delay = run_simulation(
+            _config(torus4x3, "swbased-deterministic", faults=faults, reinjection_delay=0)
+        )
+        delayed = run_simulation(
+            _config(torus4x3, "swbased-deterministic", faults=faults, reinjection_delay=40)
+        )
+        assert delayed.mean_latency > no_delay.mean_latency
+
+
+class TestBaselinesInFaultFreeNetworks:
+    def test_plain_ecube_and_duato_run_without_faults(self, torus8):
+        for routing, vcs in (("dimension-order", 2), ("duato", 4)):
+            result = run_simulation(
+                _config(torus8, routing, num_virtual_channels=vcs, measure_messages=250)
+            )
+            assert result.metrics.delivered_messages >= result.config.total_messages
+            assert result.messages_queued == 0
+
+    def test_swbased_matches_its_baseline_when_fault_free(self, torus8):
+        """Latency of SW-Based routing in a fault-free network matches e-cube /
+        Duato closely (the paper states they are identical algorithms then)."""
+        base = run_simulation(_config(torus8, "dimension-order", num_virtual_channels=4))
+        sw = run_simulation(_config(torus8, "swbased-deterministic", num_virtual_channels=4))
+        assert sw.mean_latency == pytest.approx(base.mean_latency, rel=0.05)

@@ -1,0 +1,117 @@
+"""Unit tests for the per-message metrics collector."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.collectors import MessageRecord, MetricsCollector
+
+
+def _record(message_id, created=0, injected=2, delivered=50, length=32, hops=4, absorptions=0):
+    return MessageRecord(
+        message_id=message_id,
+        source=0,
+        destination=1,
+        length=length,
+        created=created,
+        injected=injected,
+        delivered=delivered,
+        hops=hops,
+        absorptions=absorptions,
+    )
+
+
+class TestMessageRecord:
+    def test_latency_definitions(self):
+        record = _record(0, created=10, injected=15, delivered=60)
+        assert record.latency == 50
+        assert record.network_latency == 45
+
+
+class TestCollectorAccounting:
+    def test_generation_ids_are_sequential(self):
+        collector = MetricsCollector(num_nodes=4)
+        assert [collector.message_generated() for _ in range(3)] == [0, 1, 2]
+        assert collector.generated_messages == 3
+
+    def test_warmup_messages_excluded_from_latency(self):
+        collector = MetricsCollector(num_nodes=4, warmup_messages=2)
+        collector.message_delivered(_record(0, delivered=1000))
+        collector.message_delivered(_record(1, delivered=1000))
+        collector.message_delivered(_record(2, created=0, delivered=40))
+        collector.message_delivered(_record(3, created=0, delivered=60))
+        assert collector.measured_messages == 2
+        assert collector.delivered_messages == 4
+        assert collector.running_mean_latency == pytest.approx(50.0)
+
+    def test_absorptions_counted_totals_and_measured(self):
+        collector = MetricsCollector(num_nodes=4, warmup_messages=2)
+        collector.message_absorbed(0)  # warm-up message
+        collector.message_absorbed(5)
+        collector.message_absorbed(5)
+        metrics = collector.finalize(total_cycles=100, message_length=32, offered_load=0.01)
+        assert metrics.messages_absorbed_total == 3
+        assert metrics.messages_absorbed_measured == 2
+
+    def test_keep_records(self):
+        collector = MetricsCollector(num_nodes=4, keep_records=True)
+        collector.message_delivered(_record(0))
+        assert len(collector.records) == 1
+        collector_no = MetricsCollector(num_nodes=4, keep_records=False)
+        collector_no.message_delivered(_record(0))
+        assert collector_no.records == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(num_nodes=0)
+        with pytest.raises(ValueError):
+            MetricsCollector(num_nodes=4, warmup_messages=-1)
+
+
+class TestFinalize:
+    def test_empty_run(self):
+        collector = MetricsCollector(num_nodes=4)
+        metrics = collector.finalize(total_cycles=10, message_length=32, offered_load=0.0)
+        assert metrics.measured_messages == 0
+        assert metrics.throughput_messages == 0.0
+        assert math.isnan(metrics.mean_latency)
+
+    def test_throughput_definition(self):
+        collector = MetricsCollector(num_nodes=10, warmup_messages=0)
+        # 5 messages delivered between cycles 100 and 199 -> window 100 cycles.
+        for i in range(5):
+            collector.message_delivered(_record(i, delivered=100 + i * 24, length=16))
+        metrics = collector.finalize(total_cycles=250, message_length=16, offered_load=0.01)
+        window = (100 + 4 * 24) - 100 + 1
+        assert metrics.measurement_cycles == window
+        assert metrics.throughput_messages == pytest.approx(5 / (window * 10))
+        assert metrics.throughput_flits == pytest.approx(5 * 16 / (window * 10))
+
+    def test_mean_hops_and_absorption_fraction(self):
+        collector = MetricsCollector(num_nodes=4)
+        collector.message_delivered(_record(0, hops=2, absorptions=0))
+        collector.message_delivered(_record(1, hops=6, absorptions=2))
+        metrics = collector.finalize(total_cycles=100, message_length=32, offered_load=0.01)
+        assert metrics.mean_hops == pytest.approx(4.0)
+        assert metrics.absorbed_message_fraction == pytest.approx(0.5)
+        assert metrics.mean_absorptions_per_message == pytest.approx(1.0)
+
+    def test_saturated_flag_and_offered_load_propagate(self):
+        collector = MetricsCollector(num_nodes=4)
+        collector.message_delivered(_record(0))
+        metrics = collector.finalize(
+            total_cycles=100, message_length=32, offered_load=0.02, saturated=True
+        )
+        assert metrics.saturated is True
+        assert metrics.offered_load == 0.02
+
+    def test_as_dict_round_trips_key_metrics(self):
+        collector = MetricsCollector(num_nodes=4)
+        collector.message_delivered(_record(0))
+        metrics = collector.finalize(total_cycles=100, message_length=32, offered_load=0.01)
+        row = metrics.as_dict()
+        assert row["mean_latency"] == metrics.mean_latency
+        assert row["throughput_messages"] == metrics.throughput_messages
+        assert row["saturated"] == 0.0

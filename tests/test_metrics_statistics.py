@@ -1,0 +1,111 @@
+"""Unit tests for the streaming statistics helpers."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.metrics.statistics import (
+    RunningStats,
+    batch_means_confidence_interval,
+    confidence_interval,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.variance)
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert math.isnan(stats.variance)
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    def test_matches_statistics_module(self):
+        values = [3.0, 1.5, 8.25, -2.0, 4.0, 4.0, 10.5]
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(statistics.mean(values))
+        assert stats.variance == pytest.approx(statistics.variance(values))
+        assert stats.stddev == pytest.approx(statistics.stdev(values))
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+        assert stats.count == len(values)
+
+    def test_merge_equals_single_pass(self):
+        left = [1.0, 2.0, 3.0, 4.0]
+        right = [10.0, 20.0, 30.0]
+        a = RunningStats()
+        a.extend(left)
+        b = RunningStats()
+        b.extend(right)
+        merged = a.merge(b)
+        combined = RunningStats()
+        combined.extend(left + right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        empty = RunningStats()
+        assert a.merge(empty).mean == pytest.approx(1.5)
+        assert empty.merge(a).count == 2
+
+    def test_numerical_stability_with_large_offsets(self):
+        stats = RunningStats()
+        stats.extend([1e9 + x for x in (1.0, 2.0, 3.0)])
+        assert stats.variance == pytest.approx(1.0)
+
+
+class TestConfidenceInterval:
+    def test_empty_and_single(self):
+        mean, half = confidence_interval([])
+        assert math.isnan(mean)
+        mean, half = confidence_interval([4.0])
+        assert mean == 4.0
+        assert math.isnan(half)
+
+    def test_small_sample_uses_t_distribution(self):
+        values = [10.0, 12.0, 11.0, 13.0]
+        mean, half = confidence_interval(values)
+        assert mean == pytest.approx(11.5)
+        # s = 1.29, t(3, 95%) = 3.182 -> half width about 2.05
+        assert half == pytest.approx(3.182 * statistics.stdev(values) / 2.0, rel=1e-3)
+
+    def test_large_sample_uses_normal_quantile(self):
+        values = list(range(100))
+        _, half = confidence_interval(values)
+        expected = 1.96 * statistics.stdev(values) / math.sqrt(100)
+        assert half == pytest.approx(expected, rel=1e-6)
+
+    def test_only_95_percent_supported(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1, 2, 3], level=0.9)
+
+
+class TestBatchMeans:
+    def test_reduces_to_plain_interval_for_short_streams(self):
+        values = [1.0, 2.0, 3.0]
+        assert batch_means_confidence_interval(values, batches=10) == confidence_interval(values)
+
+    def test_batched_interval_mean_matches(self):
+        values = [float(i % 7) for i in range(700)]
+        mean, half = batch_means_confidence_interval(values, batches=10)
+        assert mean == pytest.approx(sum(values) / len(values))
+        assert half >= 0.0
+
+    def test_requires_two_batches(self):
+        with pytest.raises(ValueError):
+            batch_means_confidence_interval([1.0, 2.0], batches=1)

@@ -1,0 +1,225 @@
+"""Unit tests for flits, messages, virtual channels, routers and the messaging layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.flit import Flit
+from repro.network.message import Message
+from repro.network.messaging_layer import MessagingLayer
+from repro.network.router import Router
+from repro.network.virtual_channel import (
+    SINK_FAULT,
+    SINK_NONE,
+    InjectionChannel,
+    VirtualChannel,
+)
+from repro.routing.base import RoutingHeader
+
+
+def _message(message_id=0, source=0, destination=5, length=4, created=0):
+    header = RoutingHeader(final_destination=destination, target=destination)
+    return Message(
+        message_id=message_id,
+        source=source,
+        destination=destination,
+        length=length,
+        created=created,
+        header=header,
+    )
+
+
+class TestMessageAndFlits:
+    def test_make_flits_roles(self):
+        message = _message(length=4)
+        flits = message.make_flits()
+        assert len(flits) == 4
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+        assert [f.index for f in flits] == [0, 1, 2, 3]
+
+    def test_single_flit_message_is_head_and_tail(self):
+        flits = _message(length=1).make_flits()
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_invalid_messages_rejected(self):
+        with pytest.raises(ValueError):
+            _message(length=0)
+        with pytest.raises(ValueError):
+            _message(source=3, destination=3)
+
+    def test_flit_initial_state(self):
+        flit = Flit(_message(), 0, True, False)
+        assert flit.moved_cycle == -1
+
+
+class TestVirtualChannel:
+    def test_initial_state(self):
+        vc = VirtualChannel(node=0, port=1, index=2, capacity=2)
+        assert vc.is_free
+        assert vc.has_space
+        assert not vc.needs_routing
+        assert vc.head_flit is None
+        assert vc.sink == SINK_NONE
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VirtualChannel(0, 0, 0, capacity=0)
+
+    def test_reserve_push_pop_release_cycle(self):
+        vc = VirtualChannel(0, 0, 0, capacity=2)
+        message = _message()
+        flits = message.make_flits()
+        vc.reserve(message)
+        assert not vc.is_free
+        vc.push(flits[0])
+        assert vc.needs_routing  # head flit waiting, no output assigned
+        vc.assign_output(out_node=1, out_port=0, out_vc=1)
+        assert vc.has_output
+        assert not vc.needs_routing
+        assert vc.pop() is flits[0]
+        vc.release()
+        assert vc.is_free and not vc.has_output
+
+    def test_double_reservation_rejected(self):
+        vc = VirtualChannel(0, 0, 0, capacity=2)
+        vc.reserve(_message(0))
+        with pytest.raises(RuntimeError):
+            vc.reserve(_message(1))
+
+    def test_buffer_overflow_rejected(self):
+        vc = VirtualChannel(0, 0, 0, capacity=1)
+        message = _message()
+        flits = message.make_flits()
+        vc.push(flits[0])
+        assert not vc.has_space
+        with pytest.raises(RuntimeError):
+            vc.push(flits[1])
+
+    def test_needs_routing_only_for_header_at_head(self):
+        vc = VirtualChannel(0, 0, 0, capacity=2)
+        message = _message()
+        flits = message.make_flits()
+        vc.reserve(message)
+        vc.push(flits[1])  # a body flit at the head does not trigger routing
+        assert not vc.needs_routing
+
+    def test_sink_state_suppresses_routing(self):
+        vc = VirtualChannel(0, 0, 0, capacity=2)
+        message = _message()
+        vc.reserve(message)
+        vc.push(message.make_flits()[0])
+        vc.sink = SINK_FAULT
+        assert not vc.needs_routing
+
+
+class TestInjectionChannel:
+    def test_load_and_stream_flits(self):
+        channel = InjectionChannel(node=3, index=0)
+        message = _message(length=3)
+        channel.load(message)
+        assert not channel.is_free
+        assert channel.needs_routing
+        assert channel.flits_remaining == 3
+        channel.assign_output(out_node=4, out_port=0, out_vc=1)
+        assert channel.has_output and not channel.needs_routing
+        first = channel.next_flit()
+        assert first.is_head
+        channel.next_flit()
+        tail = channel.next_flit()
+        assert tail.is_tail
+        assert channel.flits_remaining == 0
+        channel.release()
+        assert channel.is_free
+
+    def test_double_load_rejected(self):
+        channel = InjectionChannel(0, 0)
+        channel.load(_message(0))
+        with pytest.raises(RuntimeError):
+            channel.load(_message(1))
+
+    def test_next_flit_without_message_rejected(self):
+        with pytest.raises(RuntimeError):
+            InjectionChannel(0, 0).next_flit()
+
+
+class TestRouter:
+    def test_healthy_router_structure(self):
+        router = Router(node=0, num_network_ports=4, num_virtual_channels=3, buffer_depth=2)
+        assert len(router.input_vcs) == 4
+        assert all(len(port) == 3 for port in router.input_vcs)
+        assert len(router.injection_channels) == 3
+        assert router.occupancy() == 0
+        assert router.free_input_vcs(0) == [0, 1, 2]
+
+    def test_faulty_router_has_no_channels(self):
+        router = Router(node=0, num_network_ports=4, num_virtual_channels=3,
+                        buffer_depth=2, faulty=True)
+        assert router.input_vcs == []
+        assert router.injection_channels == []
+
+    def test_free_injection_channel(self):
+        router = Router(0, 4, 2, 2)
+        first = router.free_injection_channel()
+        first.load(_message(0))
+        second = router.free_injection_channel()
+        assert second is not first
+        second.load(_message(1))
+        assert router.free_injection_channel() is None
+
+    def test_messages_in_flight_deduplicates(self):
+        router = Router(0, 4, 2, 2)
+        message = _message()
+        router.input_vcs[0][0].reserve(message)
+        router.input_vcs[1][1].reserve(message)
+        assert len(router.messages_in_flight()) == 1
+
+
+class TestMessagingLayer:
+    def test_fifo_order_for_new_messages(self):
+        layer = MessagingLayer(node=0)
+        a, b = _message(0), _message(1)
+        layer.enqueue_new(a)
+        layer.enqueue_new(b)
+        assert layer.next_message(cycle=0) is a
+        assert layer.next_message(cycle=0) is b
+        assert layer.next_message(cycle=0) is None
+
+    def test_reinjection_has_priority_over_new_traffic(self):
+        layer = MessagingLayer(node=0)
+        new = _message(0)
+        absorbed = _message(1)
+        layer.enqueue_new(new)
+        layer.enqueue_reinjection(absorbed, absorbed_at_cycle=5)
+        assert layer.next_message(cycle=5) is absorbed
+        assert layer.next_message(cycle=5) is new
+
+    def test_reinjection_delay_is_honoured(self):
+        layer = MessagingLayer(node=0, reinjection_delay=3)
+        absorbed = _message(1)
+        layer.enqueue_reinjection(absorbed, absorbed_at_cycle=10)
+        assert layer.next_message(cycle=12) is None
+        assert not layer.peek_ready(12)
+        assert layer.peek_ready(13)
+        assert layer.next_message(cycle=13) is absorbed
+
+    def test_new_messages_available_while_reinjection_not_ready(self):
+        layer = MessagingLayer(node=0, reinjection_delay=5)
+        new = _message(0)
+        absorbed = _message(1)
+        layer.enqueue_reinjection(absorbed, absorbed_at_cycle=10)
+        layer.enqueue_new(new)
+        assert layer.next_message(cycle=11) is new
+
+    def test_pending_counters(self):
+        layer = MessagingLayer(node=0)
+        layer.enqueue_new(_message(0))
+        layer.enqueue_reinjection(_message(1), 0)
+        assert layer.pending_new == 1
+        assert layer.pending_reinjection == 1
+        assert layer.pending_total == 2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            MessagingLayer(node=0, reinjection_delay=-1)

@@ -1,0 +1,224 @@
+"""White-box and black-box tests of the flit-level simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.network.engine import SimulationEngine
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.core.swbased_nd import SoftwareBasedRouting
+from repro.topology.torus import TorusTopology
+from repro.traffic.generators import PoissonTraffic
+from repro.traffic.patterns import UniformPattern
+
+
+def _engine(
+    topology,
+    routing=None,
+    faults=None,
+    rate=0.0,
+    message_length=4,
+    num_vcs=2,
+    buffer_depth=2,
+    seed=1,
+    **kwargs,
+):
+    faults = faults if faults is not None else FaultSet.empty()
+    if routing is None:
+        routing = SoftwareBasedRouting.deterministic(
+            topology, faults=faults, num_virtual_channels=num_vcs
+        )
+    pattern = UniformPattern(topology, excluded=faults.nodes)
+    return SimulationEngine(
+        topology=topology,
+        routing=routing,
+        traffic=PoissonTraffic(rate),
+        pattern=pattern,
+        faults=faults,
+        message_length=message_length,
+        buffer_depth=buffer_depth,
+        warmup_messages=0,
+        measure_messages=kwargs.pop("measure_messages", 50),
+        seed=seed,
+        keep_records=True,
+        **kwargs,
+    )
+
+
+class TestSingleMessageDelivery:
+    def test_fault_free_delivery_and_latency(self, torus_4x4):
+        engine = _engine(torus_4x4)
+        src = torus_4x4.node_id((0, 0))
+        dst = torus_4x4.node_id((2, 1))
+        engine.inject_message(src, dst)
+        engine.drain()
+        records = engine.collector.records
+        assert len(records) == 1
+        record = records[0]
+        assert record.source == src
+        assert record.destination == dst
+        assert record.hops == torus_4x4.distance(src, dst)
+        # Latency = injection pipeline + distance + serialisation, all small here.
+        assert record.latency >= record.hops + record.length - 1
+        assert record.latency < 30
+        assert record.absorptions == 0
+
+    def test_neighbouring_nodes(self, torus_4x4):
+        engine = _engine(torus_4x4, message_length=1)
+        engine.inject_message(0, 1)
+        engine.drain()
+        assert engine.collector.records[0].hops == 1
+
+    def test_many_hand_injected_messages_all_delivered(self, torus_4x4):
+        engine = _engine(torus_4x4)
+        expected = 0
+        for src in range(0, 16, 3):
+            for dst in range(0, 16, 5):
+                if src != dst:
+                    engine.inject_message(src, dst)
+                    expected += 1
+        engine.drain()
+        assert engine.collector.delivered_messages == expected
+
+    def test_hop_count_matches_distance_for_every_pair(self, torus_4x4):
+        engine = _engine(torus_4x4, message_length=2)
+        pairs = [(s, d) for s in range(16) for d in range(16) if s != d]
+        for src, dst in pairs:
+            engine.inject_message(src, dst)
+        engine.drain(max_cycles=100_000)
+        assert engine.collector.delivered_messages == len(pairs)
+        for record in engine.collector.records:
+            assert record.hops == torus_4x4.distance(record.source, record.destination)
+
+
+class TestFaultHandling:
+    def test_message_blocked_by_fault_is_absorbed_and_still_delivered(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 0))
+        blocker = torus_8x8.node_id((1, 0))
+        faults = FaultSet.from_nodes([blocker])
+        engine = _engine(torus_8x8, faults=faults)
+        engine.inject_message(src, dst)
+        engine.drain()
+        records = engine.collector.records
+        assert len(records) == 1
+        assert records[0].absorptions >= 1
+        assert records[0].hops > torus_8x8.distance(src, dst)  # non-minimal path
+
+    def test_absorption_at_source_when_first_hop_is_faulty(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((2, 0))
+        faults = FaultSet.from_nodes([torus_8x8.node_id((1, 0))])
+        engine = _engine(torus_8x8, faults=faults)
+        engine.inject_message(src, dst)
+        engine.drain()
+        assert engine.collector.records[0].absorptions >= 1
+        assert engine.collector.records[0].destination == dst
+
+    def test_adaptive_routes_around_fault_without_absorption(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 3))
+        blocker = torus_8x8.node_id((1, 0))
+        faults = FaultSet.from_nodes([blocker])
+        routing = SoftwareBasedRouting.adaptive(
+            torus_8x8, faults=faults, num_virtual_channels=4
+        )
+        engine = _engine(torus_8x8, routing=routing, faults=faults, num_vcs=4)
+        engine.inject_message(src, dst)
+        engine.drain()
+        record = engine.collector.records[0]
+        assert record.absorptions == 0
+        assert record.hops == torus_8x8.distance(src, dst)
+
+    def test_messages_to_or_from_faulty_nodes_rejected(self, torus_8x8):
+        faulty = torus_8x8.node_id((1, 1))
+        faults = FaultSet.from_nodes([faulty])
+        engine = _engine(torus_8x8, faults=faults)
+        with pytest.raises(ConfigurationError):
+            engine.inject_message(faulty, 0)
+        with pytest.raises(ConfigurationError):
+            engine.inject_message(0, faulty)
+
+    def test_u_shaped_pocket_is_escaped(self, torus_8x8):
+        """A message aimed into the pocket of a U-shaped region eventually
+        escapes and reaches its destination (livelock freedom in practice)."""
+        from repro.faults.regions import make_fault_region
+
+        region = make_fault_region(torus_8x8, "U", width=4, height=3, anchor=(2, 2))
+        faults = region.to_fault_set()
+        src = torus_8x8.node_id((4, 6))   # above the pocket opening
+        dst = torus_8x8.node_id((4, 0))   # below the region: path dives into the pocket
+        engine = _engine(torus_8x8, faults=faults)
+        engine.inject_message(src, dst)
+        engine.drain()
+        assert engine.collector.delivered_messages == 1
+
+
+class TestRandomTraffic:
+    def test_poisson_run_delivers_requested_messages(self, torus_4x4):
+        engine = _engine(torus_4x4, rate=0.02, measure_messages=60)
+        metrics = engine.run()
+        assert metrics.delivered_messages >= 60
+        assert metrics.mean_latency > 0
+        assert not metrics.saturated
+
+    def test_reproducibility_with_same_seed(self, torus_4x4):
+        a = _engine(torus_4x4, rate=0.02, seed=9).run()
+        b = _engine(torus_4x4, rate=0.02, seed=9).run()
+        assert a.mean_latency == b.mean_latency
+        assert a.total_cycles == b.total_cycles
+
+    def test_different_seeds_differ(self, torus_4x4):
+        a = _engine(torus_4x4, rate=0.02, seed=1).run()
+        b = _engine(torus_4x4, rate=0.02, seed=2).run()
+        assert a.mean_latency != b.mean_latency
+
+    def test_wormhole_pipelining_beats_store_and_forward(self, torus_8x8):
+        """Latency must scale like distance + M, not distance * M."""
+        engine = _engine(torus_8x8, message_length=16)
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((4, 4))  # 8 hops
+        engine.inject_message(src, dst)
+        engine.drain()
+        latency = engine.collector.records[0].latency
+        assert latency < 8 * 16  # far below store-and-forward
+        assert latency >= 8 + 16 - 1
+
+    def test_flit_transfer_counter_advances(self, torus_4x4):
+        engine = _engine(torus_4x4)
+        engine.inject_message(0, 5)
+        engine.drain()
+        assert engine.flit_transfers >= engine.collector.records[0].hops * 4
+
+    def test_saturation_early_stop(self, torus_4x4):
+        engine = _engine(
+            torus_4x4,
+            rate=0.5,  # far beyond capacity
+            measure_messages=100_000,
+            saturation_queue_limit=3.0,
+            max_cycles=50_000,
+        )
+        metrics = engine.run()
+        assert metrics.saturated
+
+    def test_engine_requires_at_least_two_healthy_nodes(self):
+        topo = TorusTopology(radix=2, dimensions=1)
+        faults = FaultSet.from_nodes([0])
+        routing = DimensionOrderRouting(topo, faults=faults, num_virtual_channels=2)
+        with pytest.raises(ConfigurationError):
+            SimulationEngine(
+                topology=topo,
+                routing=routing,
+                traffic=PoissonTraffic(0.0),
+                pattern=UniformPattern(topo, excluded={0}),
+                faults=faults,
+                message_length=2,
+            )
+
+    def test_invalid_parameters_rejected(self, torus_4x4):
+        with pytest.raises(ConfigurationError):
+            _engine(torus_4x4, message_length=0)
+        with pytest.raises(ConfigurationError):
+            _engine(torus_4x4, buffer_depth=0)

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the routing functions."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoRouting
+from repro.topology.channels import PLUS, port_dimension, port_direction
+from repro.topology.torus import TorusTopology
+
+_TOPOLOGIES = {
+    (4, 2): TorusTopology(radix=4, dimensions=2),
+    (6, 2): TorusTopology(radix=6, dimensions=2),
+    (4, 3): TorusTopology(radix=4, dimensions=3),
+    (3, 3): TorusTopology(radix=3, dimensions=3),
+}
+
+topo_key = st.sampled_from(sorted(_TOPOLOGIES))
+
+
+@st.composite
+def topo_src_dst(draw):
+    topo = _TOPOLOGIES[draw(topo_key)]
+    src = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    dst = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    assume(src != dst)
+    return topo, src, dst
+
+
+class TestDimensionOrderProperties:
+    @given(topo_src_dst())
+    @settings(max_examples=60, deadline=None)
+    def test_path_is_minimal_and_dimension_ordered(self, case):
+        topo, src, dst = case
+        routing = DimensionOrderRouting(topo, num_virtual_channels=2)
+        header = routing.initial_header(src, dst)
+        node = src
+        hops = 0
+        last_dim = -1
+        while True:
+            decision = routing.route(node, header)
+            if decision.deliver:
+                break
+            candidate = decision.candidates[0]
+            dim = port_dimension(candidate.port)
+            assert dim >= last_dim  # never returns to a lower dimension
+            last_dim = dim
+            node = topo.neighbor_via_port(node, candidate.port)
+            hops += 1
+            assert hops <= sum(topo.radices)
+        assert node == dst
+        assert hops == topo.distance(src, dst)
+
+    @given(topo_src_dst())
+    @settings(max_examples=60, deadline=None)
+    def test_every_hop_reduces_distance_to_target(self, case):
+        topo, src, dst = case
+        routing = DimensionOrderRouting(topo, num_virtual_channels=2)
+        header = routing.initial_header(src, dst)
+        node = src
+        while True:
+            decision = routing.route(node, header)
+            if decision.deliver:
+                break
+            nxt = topo.neighbor_via_port(node, decision.candidates[0].port)
+            assert topo.distance(nxt, dst) == topo.distance(node, dst) - 1
+            node = nxt
+
+    @given(topo_src_dst())
+    @settings(max_examples=60, deadline=None)
+    def test_virtual_channel_class_is_always_a_valid_escape_class(self, case):
+        topo, src, dst = case
+        routing = DimensionOrderRouting(topo, num_virtual_channels=4)
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        candidate = decision.candidates[0]
+        assert candidate.virtual_channels in ((0, 1), (2, 3))
+
+
+class TestDuatoProperties:
+    @given(topo_src_dst())
+    @settings(max_examples=60, deadline=None)
+    def test_adaptive_candidates_are_exactly_the_profitable_directions(self, case):
+        topo, src, dst = case
+        routing = DuatoRouting(topo, num_virtual_channels=4)
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        assert not decision.absorb and not decision.deliver
+        profitable = {
+            (dim, PLUS if off > 0 else -1)
+            for dim, off in enumerate(topo.offsets(src, dst))
+            if off != 0
+        }
+        adaptive = {
+            (port_dimension(c.port), port_direction(c.port))
+            for c in decision.candidates
+            if c.priority == 0
+        }
+        assert adaptive == profitable
+
+    @given(topo_src_dst())
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_one_escape_candidate_with_lowest_priority_last(self, case):
+        topo, src, dst = case
+        routing = DuatoRouting(topo, num_virtual_channels=4)
+        decision = routing.route(src, routing.initial_header(src, dst))
+        escapes = [c for c in decision.candidates if c.priority == 1]
+        assert len(escapes) == 1
+        # The escape hop is the e-cube hop: lowest non-zero dimension.
+        offsets = topo.offsets(src, dst)
+        lowest = next(d for d, off in enumerate(offsets) if off != 0)
+        assert port_dimension(escapes[0].port) == lowest
+
+    @given(topo_src_dst())
+    @settings(max_examples=40, deadline=None)
+    def test_adaptive_walk_always_reaches_destination_minimally(self, case):
+        """Following any adaptive candidate at every hop still yields a minimal path."""
+        topo, src, dst = case
+        routing = DuatoRouting(topo, num_virtual_channels=4)
+        header = routing.initial_header(src, dst)
+        node = src
+        hops = 0
+        while True:
+            decision = routing.route(node, header)
+            if decision.deliver:
+                break
+            candidate = decision.candidates[0]  # deterministic pick: first adaptive option
+            node = topo.neighbor_via_port(node, candidate.port)
+            hops += 1
+            assert hops <= sum(topo.radices)
+        assert node == dst
+        assert hops == topo.distance(src, dst)

@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for the topology substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.address import coords_to_id, id_to_coords, wrap_offset
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+# Small topology description strategies keep each example cheap.
+radices = st.integers(min_value=2, max_value=6)
+dims = st.integers(min_value=1, max_value=3)
+
+
+@st.composite
+def torus_and_two_nodes(draw):
+    k = draw(radices)
+    n = draw(dims)
+    topo = TorusTopology(radix=k, dimensions=n)
+    a = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    b = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    return topo, a, b
+
+
+class TestAddressProperties:
+    @given(st.lists(radices, min_size=1, max_size=4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_coords_id_roundtrip(self, radix_list, data):
+        coords = tuple(
+            data.draw(st.integers(min_value=0, max_value=k - 1)) for k in radix_list
+        )
+        node = coords_to_id(coords, radix_list)
+        assert id_to_coords(node, radix_list) == coords
+        assert 0 <= node < int(__import__("math").prod(radix_list))
+
+    @given(radices, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_wrap_offset_is_minimal_and_correct(self, k, data):
+        src = data.draw(st.integers(min_value=0, max_value=k - 1))
+        dst = data.draw(st.integers(min_value=0, max_value=k - 1))
+        off = wrap_offset(src, dst, k)
+        assert (src + off) % k == dst
+        assert abs(off) <= k // 2
+        # No strictly shorter signed offset exists.
+        assert abs(off) == min((dst - src) % k, (src - dst) % k)
+
+
+class TestTorusProperties:
+    @given(torus_and_two_nodes())
+    @settings(max_examples=60, deadline=None)
+    def test_distance_symmetry_and_bounds(self, topo_nodes):
+        topo, a, b = topo_nodes
+        d = topo.distance(a, b)
+        assert d == topo.distance(b, a)
+        assert 0 <= d <= sum(k // 2 for k in topo.radices)
+        assert (d == 0) == (a == b)
+
+    @given(torus_and_two_nodes(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, topo_nodes, data):
+        topo, a, b = topo_nodes
+        c = data.draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+        assert topo.distance(a, b) <= topo.distance(a, c) + topo.distance(c, b)
+
+    @given(torus_and_two_nodes())
+    @settings(max_examples=40, deadline=None)
+    def test_offsets_compose_to_destination(self, topo_nodes):
+        topo, a, b = topo_nodes
+        coords = list(topo.coords(a))
+        for dim, off in enumerate(topo.offsets(a, b)):
+            coords[dim] = (coords[dim] + off) % topo.radices[dim]
+        assert topo.node_id(coords) == b
+
+    @given(torus_and_two_nodes())
+    @settings(max_examples=40, deadline=None)
+    def test_neighbour_symmetry(self, topo_nodes):
+        topo, a, _ = topo_nodes
+        for dim, direction, nid in topo.neighbors(a):
+            assert topo.neighbor(nid, dim, -direction) == a
+            assert topo.distance(a, nid) == 1 or topo.radices[dim] == 2
+
+
+class TestMeshProperties:
+    @given(radices, st.integers(min_value=1, max_value=3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_mesh_distance_is_l1_norm(self, k, n, data):
+        mesh = MeshTopology(radix=k, dimensions=n)
+        a = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+        b = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+        ca, cb = mesh.coords(a), mesh.coords(b)
+        assert mesh.distance(a, b) == sum(abs(x - y) for x, y in zip(ca, cb))
+
+    @given(radices, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_mesh_has_fewer_channels_than_torus(self, k, n):
+        mesh = MeshTopology(radix=k, dimensions=n)
+        torus = TorusTopology(radix=k, dimensions=n)
+        assert len(list(mesh.channels())) <= len(list(torus.channels()))

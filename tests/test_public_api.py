@@ -1,0 +1,80 @@
+"""Tests for the package-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    LivelockError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+
+
+class TestPublicSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+        assert repro.__version__.count(".") == 2
+
+    def test_every_name_in_all_is_importable(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "TorusTopology",
+            "MeshTopology",
+            "FaultSet",
+            "SoftwareBasedRouting",
+            "SimulationConfig",
+            "run_simulation",
+            "injection_rate_sweep",
+            "is_deadlock_free",
+        ):
+            assert name in repro.__all__
+
+    def test_subpackages_import_cleanly(self):
+        for module in (
+            "repro.topology",
+            "repro.faults",
+            "repro.network",
+            "repro.routing",
+            "repro.core",
+            "repro.traffic",
+            "repro.metrics",
+            "repro.sim",
+            "repro.analysis",
+            "repro.experiments",
+        ):
+            importlib.import_module(module)
+
+    def test_registry_names_match_core_classes(self):
+        names = repro.available_routing_algorithms()
+        routing = repro.make_routing("swbased-adaptive", repro.TorusTopology(4, 2),
+                                     num_virtual_channels=4)
+        assert isinstance(routing, repro.SoftwareBasedRouting)
+        assert "swbased-adaptive" in names
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for exc_type in (ConfigurationError, RoutingError, DeadlockError,
+                         LivelockError, SimulationError):
+            assert issubclass(exc_type, ReproError)
+            assert issubclass(exc_type, Exception)
+
+    def test_errors_are_distinct(self):
+        assert not issubclass(DeadlockError, LivelockError)
+        assert not issubclass(LivelockError, DeadlockError)
+
+    def test_catching_base_class_catches_library_errors(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("bad config")

@@ -1,0 +1,173 @@
+"""Unit tests for the shared routing abstractions (header, decision, VC classes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultSet
+from repro.routing.base import (
+    ADAPTIVE_MODE,
+    DETERMINISTIC_MODE,
+    OutputCandidate,
+    RoutingDecision,
+    RoutingHeader,
+    VirtualChannelClasses,
+    dateline_class_is_high,
+)
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.topology.channels import MINUS, PLUS
+from repro.topology.torus import TorusTopology
+
+
+class TestRoutingHeader:
+    def test_defaults(self):
+        header = RoutingHeader(final_destination=5, target=5)
+        assert not header.is_intermediate
+        assert header.direction_overrides == {}
+        assert header.absorptions == 0
+
+    def test_retarget_and_intermediate_flag(self):
+        header = RoutingHeader(final_destination=5, target=5)
+        header.retarget(9)
+        assert header.is_intermediate
+        header.retarget(5)
+        assert not header.is_intermediate
+
+    def test_clear_override(self):
+        header = RoutingHeader(final_destination=5, target=5)
+        header.direction_overrides[0] = MINUS
+        header.clear_override(0)
+        header.clear_override(1)  # clearing a missing override is harmless
+        assert header.direction_overrides == {}
+
+
+class TestRoutingDecision:
+    def test_cannot_both_deliver_and_absorb(self):
+        with pytest.raises(ValueError):
+            RoutingDecision(deliver=True, absorb=True)
+
+    def test_terminal_decisions_cannot_carry_candidates(self):
+        candidate = OutputCandidate(port=0, virtual_channels=(0,))
+        with pytest.raises(ValueError):
+            RoutingDecision(deliver=True, candidates=[candidate])
+        with pytest.raises(ValueError):
+            RoutingDecision(absorb=True, candidates=[candidate])
+
+    def test_candidate_defaults(self):
+        candidate = OutputCandidate(port=2, virtual_channels=(0, 1))
+        assert candidate.priority == 0
+        assert candidate.dimension == -1
+
+
+class TestVirtualChannelClasses:
+    def test_deterministic_layout_splits_in_half(self):
+        classes = VirtualChannelClasses(6, adaptive=False)
+        assert classes.escape_channels(high=False) == (0, 1, 2)
+        assert classes.escape_channels(high=True) == (3, 4, 5)
+        assert classes.adaptive_channels == ()
+        assert classes.all_escape_channels() == (0, 1, 2, 3, 4, 5)
+
+    def test_deterministic_layout_odd_count(self):
+        classes = VirtualChannelClasses(5, adaptive=False)
+        assert len(classes.escape_channels(False)) == 2
+        assert len(classes.escape_channels(True)) == 3
+
+    def test_adaptive_layout(self):
+        classes = VirtualChannelClasses(4, adaptive=True)
+        assert classes.escape_channels(high=False) == (0,)
+        assert classes.escape_channels(high=True) == (1,)
+        assert classes.adaptive_channels == (2, 3)
+        assert classes.is_adaptive_layout
+
+    def test_minimum_channel_requirements(self):
+        with pytest.raises(ValueError):
+            VirtualChannelClasses(1, adaptive=False)
+        with pytest.raises(ValueError):
+            VirtualChannelClasses(2, adaptive=True)
+        with pytest.raises(ValueError):
+            VirtualChannelClasses(0, adaptive=False)
+
+
+class TestDatelineClass:
+    def test_plus_direction(self):
+        assert dateline_class_is_high(1, 5, PLUS) is True     # no wrap ahead
+        assert dateline_class_is_high(6, 2, PLUS) is False    # wrap ahead
+        assert dateline_class_is_high(0, 7, PLUS) is True
+
+    def test_minus_direction(self):
+        assert dateline_class_is_high(5, 1, MINUS) is True
+        assert dateline_class_is_high(2, 6, MINUS) is False
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            dateline_class_is_high(0, 1, 0)
+
+
+class TestAlgorithmHelpers:
+    @pytest.fixture
+    def routing(self, torus_8x8):
+        return DimensionOrderRouting(torus_8x8, num_virtual_channels=4)
+
+    def test_initial_header_modes(self, torus_8x8):
+        det = DimensionOrderRouting(torus_8x8, num_virtual_channels=2)
+        assert det.initial_header(0, 5).routing_mode == DETERMINISTIC_MODE
+
+    def test_remaining_offset_without_override(self, routing, torus_8x8):
+        header = routing.initial_header(torus_8x8.node_id((0, 0)), torus_8x8.node_id((3, 6)))
+        node = torus_8x8.node_id((0, 0))
+        assert routing.remaining_offset(node, header, 0) == 3
+        assert routing.remaining_offset(node, header, 1) == -2
+        assert routing.remaining_offsets(node, header) == (3, -2)
+
+    def test_remaining_offset_with_override_goes_the_long_way(self, routing, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 0))
+        header = routing.initial_header(src, dst)
+        header.direction_overrides[0] = MINUS
+        assert routing.remaining_offset(src, header, 0) == -5
+
+    def test_remaining_offset_zero_when_coordinate_matches(self, routing, torus_8x8):
+        src = torus_8x8.node_id((3, 1))
+        dst = torus_8x8.node_id((3, 4))
+        header = routing.initial_header(src, dst)
+        header.direction_overrides[0] = MINUS  # irrelevant: offset already zero
+        assert routing.remaining_offset(src, header, 0) == 0
+
+    def test_channel_is_faulty_checks_both_nodes_and_links(self, torus_8x8):
+        n0 = torus_8x8.node_id((0, 0))
+        east = torus_8x8.node_id((1, 0))
+        routing = DimensionOrderRouting(
+            torus_8x8, faults=FaultSet.from_nodes([east]), num_virtual_channels=2
+        )
+        assert routing.channel_is_faulty(n0, 0, PLUS)
+        assert not routing.channel_is_faulty(n0, 0, MINUS)
+
+        link_routing = DimensionOrderRouting(
+            torus_8x8, faults=FaultSet.from_links([(n0, east)]), num_virtual_channels=2
+        )
+        assert link_routing.channel_is_faulty(n0, 0, PLUS)
+
+    def test_escape_channels_for_hop_uses_dateline_class(self, routing, torus_8x8):
+        src = torus_8x8.node_id((1, 0))
+        dst = torus_8x8.node_id((5, 0))
+        header = routing.initial_header(src, dst)
+        # Travelling + from 1 to 5: no wrap ahead -> high class (VCs 2, 3 of 4).
+        assert routing.escape_channels_for_hop(src, header, 0, PLUS) == (2, 3)
+        # Travelling + from 6 towards 2 would wrap -> low class.
+        src2 = torus_8x8.node_id((6, 0))
+        dst2 = torus_8x8.node_id((2, 0))
+        header2 = routing.initial_header(src2, dst2)
+        assert routing.escape_channels_for_hop(src2, header2, 0, PLUS) == (0, 1)
+
+    def test_escape_channels_on_mesh_use_all_classes(self, mesh_4x4):
+        routing = DimensionOrderRouting(mesh_4x4, num_virtual_channels=4)
+        header = routing.initial_header(0, 3)
+        assert routing.escape_channels_for_hop(0, header, 0, PLUS) == (0, 1, 2, 3)
+
+    def test_baseline_rewrite_raises(self, routing):
+        header = routing.initial_header(0, 5)
+        with pytest.raises(NotImplementedError):
+            routing.rewrite_after_absorption(0, header)
+
+    def test_is_fault_tolerant_default(self, routing):
+        assert routing.is_fault_tolerant is False

@@ -1,0 +1,146 @@
+"""Unit tests for dimension-order (e-cube) routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultSet
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.topology.channels import MINUS, PLUS, port_dimension, port_direction
+from repro.topology.torus import TorusTopology
+
+
+@pytest.fixture
+def routing(torus_8x8):
+    return DimensionOrderRouting(torus_8x8, num_virtual_channels=2)
+
+
+def _walk(routing, src, dst, max_hops=64):
+    """Follow the deterministic path and return the list of visited nodes."""
+    topo = routing.topology
+    header = routing.initial_header(src, dst)
+    node = src
+    path = [src]
+    for _ in range(max_hops):
+        decision = routing.route(node, header)
+        if decision.deliver:
+            return path
+        assert decision.candidates, "deterministic routing must always progress"
+        candidate = decision.candidates[0]
+        node = topo.neighbor_via_port(node, candidate.port)
+        path.append(node)
+    raise AssertionError("path did not terminate")
+
+
+class TestRouteSelection:
+    def test_delivery_at_destination(self, routing):
+        header = routing.initial_header(3, 3 + 8)
+        assert routing.route(3 + 8, header).deliver
+
+    def test_lowest_dimension_is_corrected_first(self, routing, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 5))
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        candidate = decision.candidates[0]
+        assert port_dimension(candidate.port) == 0
+        assert port_direction(candidate.port) == PLUS
+
+    def test_higher_dimension_after_lower_done(self, routing, torus_8x8):
+        src = torus_8x8.node_id((3, 0))
+        dst = torus_8x8.node_id((3, 5))
+        header = routing.initial_header(src, dst)
+        candidate = routing.route(src, header).candidates[0]
+        assert port_dimension(candidate.port) == 1
+        assert port_direction(candidate.port) == MINUS  # 0 -> 5 is shorter backwards
+
+    def test_single_candidate_always(self, routing, torus_8x8):
+        header = routing.initial_header(0, torus_8x8.node_id((4, 4)))
+        decision = routing.route(0, header)
+        assert len(decision.candidates) == 1
+
+    def test_path_length_is_minimal(self, routing, torus_8x8):
+        for src in range(0, 64, 13):
+            for dst in range(0, 64, 7):
+                if src == dst:
+                    continue
+                path = _walk(routing, src, dst)
+                assert len(path) - 1 == torus_8x8.distance(src, dst)
+                assert path[-1] == dst
+
+    def test_path_follows_dimension_order(self, routing, torus_8x8):
+        src = torus_8x8.node_id((1, 1))
+        dst = torus_8x8.node_id((5, 6))
+        path = _walk(routing, src, dst)
+        dims = []
+        for a, b in zip(path, path[1:]):
+            ca, cb = torus_8x8.coords(a), torus_8x8.coords(b)
+            dims.append(0 if ca[0] != cb[0] else 1)
+        assert dims == sorted(dims)
+
+    def test_direction_override_routes_non_minimally(self, routing, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((2, 0))
+        header = routing.initial_header(src, dst)
+        header.direction_overrides[0] = MINUS
+        node = src
+        hops = 0
+        while True:
+            decision = routing.route(node, header)
+            if decision.deliver:
+                break
+            candidate = decision.candidates[0]
+            assert port_direction(candidate.port) == MINUS
+            node = torus_8x8.neighbor_via_port(node, candidate.port)
+            hops += 1
+            assert hops <= 8
+        assert node == dst
+        assert hops == 6  # the long way around the ring
+
+    def test_next_dimension_returns_none_at_target(self, routing):
+        header = routing.initial_header(0, 9)
+        assert routing.next_dimension(9, header) is None
+
+
+class TestFaultBehaviour:
+    def test_absorb_when_required_channel_is_faulty(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        blocker = torus_8x8.node_id((1, 0))
+        dst = torus_8x8.node_id((3, 0))
+        routing = DimensionOrderRouting(
+            torus_8x8, faults=FaultSet.from_nodes([blocker]), num_virtual_channels=2
+        )
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        assert decision.absorb
+        assert decision.blocked_dimension == 0
+        assert decision.blocked_direction == PLUS
+
+    def test_no_absorb_when_fault_is_off_path(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        off_path = torus_8x8.node_id((0, 4))
+        dst = torus_8x8.node_id((3, 0))
+        routing = DimensionOrderRouting(
+            torus_8x8, faults=FaultSet.from_nodes([off_path]), num_virtual_channels=2
+        )
+        header = routing.initial_header(src, dst)
+        assert not routing.route(src, header).absorb
+
+    def test_mesh_boundary_counts_as_unusable(self, mesh_4x4):
+        routing = DimensionOrderRouting(mesh_4x4, num_virtual_channels=2)
+        # On a mesh a minimal path never points off the edge, so just verify
+        # the channel predicate directly.
+        corner = mesh_4x4.node_id((0, 0))
+        assert routing.channel_is_faulty(corner, 0, MINUS)
+
+
+class TestVirtualChannelClasses:
+    def test_candidates_use_escape_classes_only(self, torus_8x8):
+        routing = DimensionOrderRouting(torus_8x8, num_virtual_channels=4)
+        header = routing.initial_header(0, torus_8x8.node_id((3, 0)))
+        candidate = routing.route(0, header).candidates[0]
+        assert candidate.virtual_channels in ((0, 1), (2, 3))
+
+    def test_requires_two_virtual_channels_on_torus(self, torus_8x8):
+        with pytest.raises(ValueError):
+            DimensionOrderRouting(torus_8x8, num_virtual_channels=1)

@@ -1,0 +1,122 @@
+"""Unit tests for Duato's Protocol fully adaptive routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultSet
+from repro.routing.base import ADAPTIVE_MODE, DETERMINISTIC_MODE
+from repro.routing.duato import DuatoRouting
+from repro.topology.channels import MINUS, PLUS, port_dimension, port_direction, port_index
+
+
+@pytest.fixture
+def routing(torus_8x8):
+    return DuatoRouting(torus_8x8, num_virtual_channels=4)
+
+
+class TestAdaptivePhase:
+    def test_initial_header_is_adaptive(self, routing):
+        assert routing.initial_header(0, 5).routing_mode == ADAPTIVE_MODE
+
+    def test_uses_adaptive_channel_layout(self, routing):
+        assert routing.uses_adaptive_channels
+        assert routing.vc_classes.adaptive_channels == (2, 3)
+
+    def test_offers_all_profitable_directions(self, routing, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 5))
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        adaptive = [c for c in decision.candidates if c.priority == 0]
+        dims_dirs = {(port_dimension(c.port), port_direction(c.port)) for c in adaptive}
+        assert dims_dirs == {(0, PLUS), (1, MINUS)}
+        # Every adaptive candidate offers the adaptive virtual channels.
+        assert all(c.virtual_channels == (2, 3) for c in adaptive)
+
+    def test_escape_candidate_is_lowest_dimension_with_lower_priority(self, routing, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 5))
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        escape = [c for c in decision.candidates if c.priority == 1]
+        assert len(escape) == 1
+        assert port_dimension(escape[0].port) == 0
+        assert escape[0].virtual_channels in ((0,), (1,))
+
+    def test_single_dimension_remaining(self, routing, torus_8x8):
+        src = torus_8x8.node_id((3, 0))
+        dst = torus_8x8.node_id((3, 2))
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        dims = {port_dimension(c.port) for c in decision.candidates}
+        assert dims == {1}
+
+    def test_delivery(self, routing):
+        header = routing.initial_header(0, 9)
+        assert routing.route(9, header).deliver
+
+    def test_requires_three_virtual_channels(self, torus_8x8):
+        with pytest.raises(ValueError):
+            DuatoRouting(torus_8x8, num_virtual_channels=2)
+
+
+class TestFaultBehaviour:
+    def test_keeps_routing_while_some_profitable_channel_is_healthy(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        east = torus_8x8.node_id((1, 0))
+        dst = torus_8x8.node_id((3, 5))
+        routing = DuatoRouting(
+            torus_8x8, faults=FaultSet.from_nodes([east]), num_virtual_channels=4
+        )
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        assert not decision.absorb
+        dims = {port_dimension(c.port) for c in decision.candidates}
+        assert dims == {1}  # only the healthy profitable dimension remains
+
+    def test_absorbs_only_when_every_profitable_channel_is_faulty(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        east = torus_8x8.node_id((1, 0))
+        south = torus_8x8.node_id((0, 7))
+        dst = torus_8x8.node_id((3, 5))
+        routing = DuatoRouting(
+            torus_8x8, faults=FaultSet.from_nodes([east, south]), num_virtual_channels=4
+        )
+        header = routing.initial_header(src, dst)
+        decision = routing.route(src, header)
+        assert decision.absorb
+        assert decision.blocked_dimension in (0, 1)
+
+
+class TestDeterministicPhase:
+    def test_deterministic_mode_restricts_to_escape_channels(self, routing, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 5))
+        header = routing.initial_header(src, dst)
+        header.routing_mode = DETERMINISTIC_MODE
+        decision = routing.route(src, header)
+        assert len(decision.candidates) == 1
+        candidate = decision.candidates[0]
+        assert port_dimension(candidate.port) == 0
+        assert candidate.virtual_channels in ((0,), (1,))
+
+    def test_deterministic_mode_respects_overrides(self, routing, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((2, 0))
+        header = routing.initial_header(src, dst)
+        header.routing_mode = DETERMINISTIC_MODE
+        header.direction_overrides[0] = MINUS
+        candidate = routing.route(src, header).candidates[0]
+        assert candidate.port == port_index(0, MINUS)
+
+    def test_deterministic_mode_absorbs_on_fault(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        east = torus_8x8.node_id((1, 0))
+        dst = torus_8x8.node_id((3, 0))
+        routing = DuatoRouting(
+            torus_8x8, faults=FaultSet.from_nodes([east]), num_virtual_channels=4
+        )
+        header = routing.initial_header(src, dst)
+        header.routing_mode = DETERMINISTIC_MODE
+        assert routing.route(src, header).absorb

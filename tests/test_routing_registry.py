@@ -1,0 +1,69 @@
+"""Unit tests for the routing-algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.swbased_nd import SoftwareBasedRouting
+from repro.faults.model import FaultSet
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoRouting
+from repro.routing.registry import available_routing_algorithms, make_routing
+
+
+class TestRegistry:
+    def test_available_names_contains_paper_algorithms(self):
+        names = available_routing_algorithms()
+        for expected in ("dimension-order", "duato", "swbased-deterministic",
+                         "swbased-adaptive"):
+            assert expected in names
+
+    def test_names_are_sorted(self):
+        names = available_routing_algorithms()
+        assert names == sorted(names)
+
+    def test_make_baselines(self, torus_8x8):
+        assert isinstance(
+            make_routing("dimension-order", torus_8x8, num_virtual_channels=2),
+            DimensionOrderRouting,
+        )
+        assert isinstance(
+            make_routing("ecube", torus_8x8, num_virtual_channels=2),
+            DimensionOrderRouting,
+        )
+        assert isinstance(
+            make_routing("duato", torus_8x8, num_virtual_channels=4), DuatoRouting
+        )
+        assert isinstance(
+            make_routing("fully-adaptive", torus_8x8, num_virtual_channels=4), DuatoRouting
+        )
+
+    def test_make_swbased_flavours(self, torus_8x8):
+        det = make_routing("swbased-deterministic", torus_8x8, num_virtual_channels=4)
+        adpt = make_routing("swbased-adaptive", torus_8x8, num_virtual_channels=4)
+        assert isinstance(det, SoftwareBasedRouting)
+        assert isinstance(adpt, SoftwareBasedRouting)
+        assert det.mode == "deterministic"
+        assert adpt.mode == "adaptive"
+
+    def test_case_insensitive(self, torus_8x8):
+        routing = make_routing("SWBased-Adaptive", torus_8x8, num_virtual_channels=4)
+        assert isinstance(routing, SoftwareBasedRouting)
+
+    def test_faults_and_vcs_are_forwarded(self, torus_8x8):
+        faults = FaultSet.from_nodes([7])
+        routing = make_routing(
+            "swbased-deterministic", torus_8x8, faults=faults, num_virtual_channels=6
+        )
+        assert routing.faults == faults
+        assert routing.num_virtual_channels == 6
+
+    def test_extra_kwargs_are_forwarded(self, torus_8x8):
+        routing = make_routing(
+            "swbased-deterministic", torus_8x8, num_virtual_channels=4, valve_period=5
+        )
+        assert routing.valve_period == 5
+
+    def test_unknown_name_rejected(self, torus_8x8):
+        with pytest.raises(ValueError):
+            make_routing("turn-model", torus_8x8)

@@ -1,0 +1,106 @@
+"""Unit tests for the negative-first turn-model baseline (mesh only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.registry import make_routing
+from repro.routing.turn_model import NegativeFirstRouting
+from repro.topology.channels import MINUS, PLUS, port_direction
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology(radix=4, dimensions=2)
+
+
+@pytest.fixture
+def routing(mesh):
+    return NegativeFirstRouting(mesh, num_virtual_channels=2)
+
+
+class TestConstruction:
+    def test_rejects_torus(self):
+        with pytest.raises(ConfigurationError):
+            NegativeFirstRouting(TorusTopology(radix=4, dimensions=2))
+
+    def test_available_from_registry(self, mesh):
+        assert isinstance(
+            make_routing("negative-first", mesh, num_virtual_channels=2),
+            NegativeFirstRouting,
+        )
+
+    def test_default_virtual_channel_count(self, mesh):
+        assert NegativeFirstRouting(mesh).num_virtual_channels == 2
+
+
+class TestRouteSelection:
+    def test_delivery_at_destination(self, routing):
+        header = routing.initial_header(0, 5)
+        assert routing.route(5, header).deliver
+
+    def test_negative_hops_offered_before_positive_hops(self, routing, mesh):
+        src = mesh.node_id((2, 1))
+        dst = mesh.node_id((0, 3))  # needs -x twice and +y twice
+        decision = routing.route(src, routing.initial_header(src, dst))
+        directions = {port_direction(c.port) for c in decision.candidates}
+        assert directions == {MINUS}
+
+    def test_positive_phase_offers_all_profitable_positive_dims(self, routing, mesh):
+        src = mesh.node_id((0, 0))
+        dst = mesh.node_id((2, 3))
+        decision = routing.route(src, routing.initial_header(src, dst))
+        assert len(decision.candidates) == 2
+        assert all(port_direction(c.port) == PLUS for c in decision.candidates)
+
+    def test_no_negative_hop_ever_follows_a_positive_hop(self, routing, mesh):
+        for src in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                if src == dst:
+                    continue
+                header = routing.initial_header(src, dst)
+                node = src
+                seen_positive = False
+                hops = 0
+                while True:
+                    decision = routing.route(node, header)
+                    if decision.deliver:
+                        break
+                    candidate = decision.candidates[0]
+                    direction = port_direction(candidate.port)
+                    if direction == PLUS:
+                        seen_positive = True
+                    else:
+                        assert not seen_positive, "negative turn after a positive hop"
+                    node = mesh.neighbor_via_port(node, candidate.port)
+                    hops += 1
+                    assert hops <= 2 * sum(mesh.radices)
+                assert node == dst
+                assert hops == mesh.distance(src, dst)
+
+    def test_all_virtual_channels_are_usable(self, routing, mesh):
+        decision = routing.route(0, routing.initial_header(0, mesh.node_id((3, 3))))
+        assert decision.candidates[0].virtual_channels == (0, 1)
+
+
+class TestEndToEnd:
+    def test_mesh_simulation_runs_fault_free(self, mesh):
+        from repro.sim.config import SimulationConfig
+        from repro.sim.runner import run_simulation
+
+        config = SimulationConfig(
+            topology=mesh,
+            routing="negative-first",
+            num_virtual_channels=2,
+            message_length=4,
+            injection_rate=0.02,
+            warmup_messages=10,
+            measure_messages=80,
+            seed=6,
+        )
+        result = run_simulation(config)
+        assert result.metrics.delivered_messages >= config.total_messages
+        assert result.messages_queued == 0

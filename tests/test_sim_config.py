@@ -1,0 +1,101 @@
+"""Unit tests for the simulation configuration object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.topology.torus import TorusTopology
+
+
+class TestDefaults:
+    def test_default_configuration_is_valid(self):
+        config = SimulationConfig()
+        config.validate()
+        assert config.topology.num_nodes == 64
+        assert config.routing == "swbased-deterministic"
+
+    def test_total_messages(self):
+        config = SimulationConfig(warmup_messages=100, measure_messages=900)
+        assert config.total_messages == 1000
+
+    def test_describe_mentions_key_parameters(self):
+        config = SimulationConfig(num_virtual_channels=6, message_length=64)
+        text = config.describe()
+        assert "V=6" in text
+        assert "M=64" in text
+        assert "8-ary 2-cube" in text
+
+    def test_with_updates_returns_modified_copy(self):
+        config = SimulationConfig(injection_rate=0.001)
+        other = config.with_updates(injection_rate=0.01, seed=99)
+        assert other.injection_rate == 0.01
+        assert other.seed == 99
+        assert config.injection_rate == 0.001
+
+
+class TestValidation:
+    def test_adaptive_needs_three_vcs(self):
+        config = SimulationConfig(routing="swbased-adaptive", num_virtual_channels=2)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_deterministic_torus_needs_two_vcs(self):
+        config = SimulationConfig(routing="swbased-deterministic", num_virtual_channels=1)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_invalid_scalars_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(buffer_depth=0).validate()
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(message_length=0).validate()
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(injection_rate=-0.1).validate()
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(measure_messages=0).validate()
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(max_cycles=0).validate()
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(reinjection_delay=-1).validate()
+
+    def test_unknown_traffic_process_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(traffic_process="mmpp").validate()
+
+    def test_nonzero_router_decision_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(router_decision_time=1).validate()
+
+    def test_faults_require_fault_tolerant_routing(self):
+        config = SimulationConfig(routing="dimension-order", faults=FaultSet.from_nodes([3]))
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_disconnecting_faults_rejected(self):
+        topo = TorusTopology(radix=4, dimensions=2)
+        neighbours = [nid for _, _, nid in topo.neighbors(0)]
+        config = SimulationConfig(
+            topology=topo,
+            routing="swbased-deterministic",
+            faults=FaultSet.from_nodes(neighbours),
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_fault_set_inconsistent_with_topology_rejected(self):
+        topo = TorusTopology(radix=4, dimensions=2)
+        config = SimulationConfig(topology=topo, faults=FaultSet.from_nodes([99]))
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_valid_faulty_configuration_passes(self, torus_8x8):
+        config = SimulationConfig(
+            topology=torus_8x8,
+            routing="swbased-adaptive",
+            num_virtual_channels=4,
+            faults=FaultSet.from_nodes([5, 9]),
+        )
+        config.validate()

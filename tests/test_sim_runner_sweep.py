@@ -1,0 +1,145 @@
+"""Tests for the simulation runner and the sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import SimulationResult, build_engine, run_simulation
+from repro.sim.sweep import fault_count_sweep, injection_rate_sweep, latency_throughput_curve
+from repro.topology.torus import TorusTopology
+
+
+@pytest.fixture
+def fast_config(torus_4x4):
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        warmup_messages=10,
+        measure_messages=80,
+        seed=5,
+    )
+
+
+class TestRunner:
+    def test_run_simulation_returns_result(self, fast_config):
+        result = run_simulation(fast_config)
+        assert isinstance(result, SimulationResult)
+        assert result.config is fast_config
+        assert result.mean_latency > 0
+        assert result.metrics.delivered_messages >= fast_config.total_messages
+
+    def test_build_engine_without_running(self, fast_config):
+        engine = build_engine(fast_config)
+        assert engine.cycle == 0
+        assert engine.collector.delivered_messages == 0
+
+    def test_invalid_config_raises_before_building(self, fast_config):
+        bad = fast_config.with_updates(message_length=0)
+        with pytest.raises(ConfigurationError):
+            build_engine(bad)
+
+    def test_result_convenience_properties(self, fast_config):
+        result = run_simulation(fast_config)
+        assert result.throughput == result.metrics.throughput_messages
+        assert result.messages_queued == result.metrics.messages_absorbed_total
+        assert result.saturated == result.metrics.saturated
+
+    def test_as_row_contains_config_and_metrics(self, fast_config):
+        result = run_simulation(fast_config.with_updates(metadata={"series": "unit"}))
+        row = result.as_row()
+        assert row["routing"] == "swbased-deterministic"
+        assert row["radix"] == 4
+        assert row["series"] == "unit"
+        assert "mean_latency" in row
+
+    def test_traffic_process_variants(self, fast_config):
+        for process in ("poisson", "bernoulli", "periodic"):
+            result = run_simulation(fast_config.with_updates(traffic_process=process))
+            assert result.metrics.delivered_messages > 0
+
+    def test_runner_with_faults_and_adaptive_routing(self, torus_8x8):
+        config = SimulationConfig(
+            topology=torus_8x8,
+            routing="swbased-adaptive",
+            num_virtual_channels=4,
+            message_length=8,
+            injection_rate=0.01,
+            faults=FaultSet.from_nodes([9, 27]),
+            warmup_messages=10,
+            measure_messages=150,
+            seed=2,
+        )
+        result = run_simulation(config)
+        assert result.metrics.delivered_messages >= 160
+
+
+class TestSweeps:
+    def test_injection_rate_sweep_collects_aligned_series(self, fast_config):
+        rates = [0.005, 0.01, 0.02]
+        sweep = injection_rate_sweep(fast_config, rates, label="unit")
+        assert sweep.label == "unit"
+        assert sweep.rates == rates
+        assert len(sweep.latencies) == 3
+        assert len(sweep.throughputs) == 3
+        assert len(sweep.results) == 3
+
+    def test_latency_grows_with_load(self, fast_config):
+        sweep = injection_rate_sweep(fast_config, [0.004, 0.04])
+        assert sweep.latencies[1] > sweep.latencies[0]
+
+    def test_sweep_stops_after_saturation(self, torus_4x4):
+        config = SimulationConfig(
+            topology=torus_4x4,
+            routing="swbased-deterministic",
+            num_virtual_channels=2,
+            message_length=8,
+            warmup_messages=5,
+            measure_messages=4000,
+            saturation_queue_limit=2.0,
+            max_cycles=30_000,
+            seed=3,
+        )
+        sweep = injection_rate_sweep(config, [0.3, 0.4, 0.5], stop_after_saturation=1)
+        assert sweep.saturated[-1]
+        assert len(sweep.rates) < 3
+        assert sweep.saturation_rate == sweep.rates[-1]
+
+    def test_progress_callback_invoked(self, fast_config):
+        seen = []
+        injection_rate_sweep(fast_config, [0.005, 0.01], progress=seen.append)
+        assert len(seen) == 2
+
+    def test_latency_throughput_curve_alias(self, fast_config):
+        sweep = latency_throughput_curve(fast_config, [0.01])
+        assert len(sweep.rates) == 1
+
+    def test_non_saturated_latencies_filters(self, fast_config):
+        sweep = injection_rate_sweep(fast_config, [0.005, 0.01])
+        assert len(sweep.non_saturated_latencies()) == len(
+            [s for s in sweep.saturated if not s]
+        )
+
+    def test_fault_count_sweep_tags_metadata(self, torus_8x8):
+        config = SimulationConfig(
+            topology=torus_8x8,
+            routing="swbased-deterministic",
+            num_virtual_channels=2,
+            message_length=4,
+            injection_rate=0.005,
+            warmup_messages=5,
+            measure_messages=60,
+            seed=4,
+        )
+        results = fault_count_sweep(config, [0, 2], trials_per_count=2, seed=1)
+        assert len(results) == 4
+        counts = [int(r.config.metadata["fault_count"]) for r in results]
+        assert counts == [0, 0, 2, 2]
+        assert results[2].config.faults.num_faulty_nodes == 2
+        # Trials with the same count use different fault sets.
+        assert results[2].config.faults != results[3].config.faults

@@ -1,0 +1,122 @@
+"""Unit tests for the mixed-radix address algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.address import (
+    coords_to_id,
+    hop_distance,
+    id_to_coords,
+    manhattan_offsets,
+    mesh_offset,
+    validate_coords,
+    wrap_offset,
+)
+
+
+class TestCoordsToId:
+    def test_origin_is_zero(self):
+        assert coords_to_id((0, 0), (8, 8)) == 0
+
+    def test_little_endian_ordering(self):
+        # coordinate in dimension 0 is the least significant digit
+        assert coords_to_id((1, 0), (8, 8)) == 1
+        assert coords_to_id((0, 1), (8, 8)) == 8
+
+    def test_last_node(self):
+        assert coords_to_id((7, 7), (8, 8)) == 63
+
+    def test_three_dimensions(self):
+        assert coords_to_id((1, 2, 3), (4, 4, 4)) == 1 + 2 * 4 + 3 * 16
+
+    def test_mixed_radix(self):
+        assert coords_to_id((1, 1), (2, 5)) == 1 + 1 * 2
+
+    def test_rejects_out_of_range_coordinate(self):
+        with pytest.raises(ValueError):
+            coords_to_id((8, 0), (8, 8))
+
+    def test_rejects_negative_coordinate(self):
+        with pytest.raises(ValueError):
+            coords_to_id((-1, 0), (8, 8))
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            coords_to_id((1, 2, 3), (8, 8))
+
+
+class TestIdToCoords:
+    def test_roundtrip_all_nodes_2d(self):
+        radices = (4, 4)
+        for node in range(16):
+            assert coords_to_id(id_to_coords(node, radices), radices) == node
+
+    def test_roundtrip_all_nodes_3d(self):
+        radices = (3, 4, 5)
+        for node in range(60):
+            assert coords_to_id(id_to_coords(node, radices), radices) == node
+
+    def test_rejects_out_of_range_id(self):
+        with pytest.raises(ValueError):
+            id_to_coords(64, (8, 8))
+        with pytest.raises(ValueError):
+            id_to_coords(-1, (8, 8))
+
+    def test_validate_coords_passes_through(self):
+        validate_coords((3, 3), (4, 4))
+        with pytest.raises(ValueError):
+            validate_coords((4, 3), (4, 4))
+
+
+class TestWrapOffset:
+    def test_zero_offset(self):
+        assert wrap_offset(3, 3, 8) == 0
+
+    def test_forward_is_shorter(self):
+        assert wrap_offset(0, 3, 8) == 3
+
+    def test_backward_is_shorter(self):
+        assert wrap_offset(0, 6, 8) == -2
+
+    def test_tie_prefers_positive(self):
+        assert wrap_offset(1, 5, 8) == 4
+        assert wrap_offset(5, 1, 8) == 4
+
+    def test_magnitude_never_exceeds_half_radix(self):
+        for k in (4, 5, 8, 9):
+            for src in range(k):
+                for dst in range(k):
+                    assert abs(wrap_offset(src, dst, k)) <= k // 2
+
+    def test_offset_actually_reaches_destination(self):
+        for k in (4, 5, 8):
+            for src in range(k):
+                for dst in range(k):
+                    assert (src + wrap_offset(src, dst, k)) % k == dst
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wrap_offset(0, 0, 0)
+        with pytest.raises(ValueError):
+            wrap_offset(8, 0, 8)
+
+
+class TestManhattanOffsets:
+    def test_torus_offsets(self):
+        assert manhattan_offsets((0, 0), (3, 6), (8, 8)) == (3, -2)
+
+    def test_mesh_offsets(self):
+        assert manhattan_offsets((0, 0), (3, 6), (8, 8), wraparound=False) == (3, 6)
+
+    def test_mesh_offset_scalar(self):
+        assert mesh_offset(2, 6) == 4
+        assert mesh_offset(6, 2) == -4
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            manhattan_offsets((0, 0), (1, 1, 1), (8, 8, 8))
+
+    def test_hop_distance(self):
+        assert hop_distance((3, -2, 0)) == 5
+        assert hop_distance(()) == 0

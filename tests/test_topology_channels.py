@@ -1,0 +1,106 @@
+"""Unit tests for the port/channel enumeration conventions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.channels import (
+    EJECTION_PORT_NAME,
+    INJECTION_PORT_NAME,
+    MINUS,
+    PLUS,
+    Channel,
+    Port,
+    ejection_port,
+    injection_port,
+    opposite_direction,
+    opposite_port,
+    port_dimension,
+    port_direction,
+    port_index,
+    port_name,
+)
+
+
+class TestPortIndexing:
+    def test_plus_direction_maps_to_even_indices(self):
+        assert port_index(0, PLUS) == 0
+        assert port_index(1, PLUS) == 2
+        assert port_index(2, PLUS) == 4
+
+    def test_minus_direction_maps_to_odd_indices(self):
+        assert port_index(0, MINUS) == 1
+        assert port_index(1, MINUS) == 3
+
+    def test_roundtrip_dimension_and_direction(self):
+        for dim in range(4):
+            for direction in (PLUS, MINUS):
+                idx = port_index(dim, direction)
+                assert port_dimension(idx) == dim
+                assert port_direction(idx) == direction
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            port_index(0, 0)
+
+    def test_negative_port_rejected(self):
+        with pytest.raises(ValueError):
+            port_dimension(-1)
+        with pytest.raises(ValueError):
+            port_direction(-2)
+
+    def test_opposite_port_flips_direction_only(self):
+        for dim in range(3):
+            plus = port_index(dim, PLUS)
+            minus = port_index(dim, MINUS)
+            assert opposite_port(plus) == minus
+            assert opposite_port(minus) == plus
+
+    def test_opposite_direction(self):
+        assert opposite_direction(PLUS) == MINUS
+        assert opposite_direction(MINUS) == PLUS
+        with pytest.raises(ValueError):
+            opposite_direction(2)
+
+
+class TestSpecialPorts:
+    def test_injection_and_ejection_follow_network_ports(self):
+        assert injection_port(2) == 4
+        assert ejection_port(2) == 5
+        assert injection_port(3) == 6
+        assert ejection_port(3) == 7
+
+    def test_port_name(self):
+        assert port_name(0, 2) == "d0+"
+        assert port_name(3, 2) == "d1-"
+        assert port_name(4, 2) == INJECTION_PORT_NAME
+        assert port_name(5, 2) == EJECTION_PORT_NAME
+
+
+class TestPortDataclass:
+    def test_index_property_matches_function(self):
+        assert Port(1, PLUS).index == port_index(1, PLUS)
+
+    def test_opposite(self):
+        assert Port(2, PLUS).opposite() == Port(2, MINUS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Port(0, 5)
+        with pytest.raises(ValueError):
+            Port(-1, PLUS)
+
+    def test_str(self):
+        assert str(Port(0, PLUS)) == "d0+"
+
+
+class TestChannelDataclass:
+    def test_port_and_key(self):
+        ch = Channel(src=3, dst=4, dimension=0, direction=PLUS)
+        assert ch.port == 0
+        assert ch.key() == (3, 0)
+
+    def test_wraparound_flag_is_carried(self):
+        ch = Channel(src=7, dst=0, dimension=0, direction=PLUS, wraparound=True)
+        assert ch.wraparound
+        assert "~" in str(ch)

@@ -1,0 +1,74 @@
+"""Unit tests for the n-dimensional mesh topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topology.channels import MINUS, PLUS
+from repro.topology.mesh import MeshTopology
+
+
+class TestMeshStructure:
+    def test_no_wraparound_flag(self, mesh_4x4):
+        assert mesh_4x4.wraparound is False
+
+    def test_boundary_nodes_lack_outward_neighbours(self, mesh_4x4):
+        corner = mesh_4x4.node_id((0, 0))
+        assert mesh_4x4.neighbor(corner, 0, MINUS) is None
+        assert mesh_4x4.neighbor(corner, 1, MINUS) is None
+        assert mesh_4x4.neighbor(corner, 0, PLUS) is not None
+
+        far_corner = mesh_4x4.node_id((3, 3))
+        assert mesh_4x4.neighbor(far_corner, 0, PLUS) is None
+        assert mesh_4x4.neighbor(far_corner, 1, PLUS) is None
+
+    def test_interior_nodes_have_2n_neighbours(self, mesh_4x4):
+        interior = mesh_4x4.node_id((1, 2))
+        assert len(mesh_4x4.neighbors(interior)) == 4
+
+    def test_corner_nodes_have_n_neighbours(self, mesh_4x4):
+        corner = mesh_4x4.node_id((0, 0))
+        assert len(mesh_4x4.neighbors(corner)) == 2
+
+    def test_channel_count_2d(self, mesh_4x4):
+        # A 4x4 mesh has 2 * 4 * 3 undirected links per... dimension pair:
+        # per dimension: 4 rows * 3 links = 12 undirected, 24 directed; 2 dims.
+        assert len(list(mesh_4x4.channels())) == 48
+
+    def test_no_channel_is_marked_wraparound(self, mesh_4x4):
+        assert all(not ch.wraparound for ch in mesh_4x4.channels())
+
+    def test_channel_none_at_boundary(self, mesh_4x4):
+        corner = mesh_4x4.node_id((0, 0))
+        assert mesh_4x4.channel(corner, 0, MINUS) is None
+
+
+class TestMeshDistances:
+    def test_offsets_have_no_wraparound(self, mesh_4x4):
+        a = mesh_4x4.node_id((0, 0))
+        b = mesh_4x4.node_id((3, 3))
+        assert mesh_4x4.offsets(a, b) == (3, 3)
+        assert mesh_4x4.offsets(b, a) == (-3, -3)
+
+    def test_distance_matches_graph(self, mesh_4x4):
+        g = mesh_4x4.to_networkx().to_undirected()
+        for a in mesh_4x4.nodes():
+            lengths = nx.single_source_shortest_path_length(g, a)
+            for b in mesh_4x4.nodes():
+                assert mesh_4x4.distance(a, b) == lengths[b]
+
+    def test_diameter_larger_than_torus(self):
+        mesh = MeshTopology(radix=8, dimensions=2)
+        assert max(mesh.distance(0, b) for b in mesh.nodes()) == 14
+
+    def test_three_dimensional_mesh(self):
+        mesh = MeshTopology(radix=3, dimensions=3)
+        assert mesh.num_nodes == 27
+        corner = mesh.node_id((0, 0, 0))
+        assert len(mesh.neighbors(corner)) == 3
+        assert mesh.distance(corner, mesh.node_id((2, 2, 2))) == 6
+
+    def test_invalid_radix(self):
+        with pytest.raises(ValueError):
+            MeshTopology(radix=0, dimensions=2)

@@ -1,0 +1,152 @@
+"""Unit tests for the k-ary n-cube topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topology.channels import MINUS, PLUS
+from repro.topology.torus import TorusTopology
+
+
+class TestConstruction:
+    def test_node_count(self):
+        assert TorusTopology(radix=8, dimensions=2).num_nodes == 64
+        assert TorusTopology(radix=8, dimensions=3).num_nodes == 512
+        assert TorusTopology(radix=4, dimensions=4).num_nodes == 256
+
+    def test_mixed_radix(self):
+        topo = TorusTopology(radix=(4, 6), dimensions=2)
+        assert topo.num_nodes == 24
+        assert topo.radices == (4, 6)
+        with pytest.raises(ValueError):
+            topo.radix  # noqa: B018 - property access should raise for mixed radix
+
+    def test_uniform_radix_property(self):
+        assert TorusTopology(radix=5, dimensions=2).radix == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TorusTopology(radix=1, dimensions=2)
+        with pytest.raises(ValueError):
+            TorusTopology(radix=4, dimensions=0)
+        with pytest.raises(ValueError):
+            TorusTopology(radix=(4, 4, 4), dimensions=2)
+
+    def test_wraparound_flag(self, torus_4x4):
+        assert torus_4x4.wraparound is True
+
+    def test_num_network_ports(self, torus_4x4x4):
+        assert torus_4x4x4.num_network_ports == 6
+
+    def test_equality_and_hash(self):
+        assert TorusTopology(4, 2) == TorusTopology(4, 2)
+        assert TorusTopology(4, 2) != TorusTopology(4, 3)
+        assert hash(TorusTopology(4, 2)) == hash(TorusTopology(4, 2))
+
+
+class TestNeighbours:
+    def test_every_node_has_2n_neighbours(self, torus_4x4x4):
+        for node in torus_4x4x4.nodes():
+            assert len(torus_4x4x4.neighbors(node)) == 6
+
+    def test_neighbour_differs_in_exactly_one_digit(self, torus_8x8):
+        for node in torus_8x8.nodes():
+            coords = torus_8x8.coords(node)
+            for dim, direction, nid in torus_8x8.neighbors(node):
+                other = torus_8x8.coords(nid)
+                diffs = [i for i in range(2) if coords[i] != other[i]]
+                assert diffs == [dim]
+                assert (coords[dim] + direction) % 8 == other[dim]
+
+    def test_wraparound_neighbours(self, torus_4x4):
+        node = torus_4x4.node_id((3, 2))
+        assert torus_4x4.neighbor(node, 0, PLUS) == torus_4x4.node_id((0, 2))
+        node0 = torus_4x4.node_id((0, 1))
+        assert torus_4x4.neighbor(node0, 0, MINUS) == torus_4x4.node_id((3, 1))
+
+    def test_neighbor_via_port_matches_neighbor(self, torus_4x4):
+        from repro.topology.channels import port_index
+
+        for node in torus_4x4.nodes():
+            for dim in range(2):
+                for direction in (PLUS, MINUS):
+                    assert torus_4x4.neighbor(node, dim, direction) == (
+                        torus_4x4.neighbor_via_port(node, port_index(dim, direction))
+                    )
+
+    def test_neighbour_relation_is_symmetric(self, torus_4x4x4):
+        for node in torus_4x4x4.nodes():
+            for dim, direction, nid in torus_4x4x4.neighbors(node):
+                assert torus_4x4x4.neighbor(nid, dim, -direction) == node
+
+    def test_invalid_dimension_rejected(self, torus_4x4):
+        with pytest.raises(ValueError):
+            torus_4x4.neighbor(0, 5, PLUS)
+
+
+class TestDistancesAndOffsets:
+    def test_distance_is_symmetric(self, torus_8x8):
+        for a in range(0, 64, 7):
+            for b in range(0, 64, 5):
+                assert torus_8x8.distance(a, b) == torus_8x8.distance(b, a)
+
+    def test_distance_matches_graph_shortest_path(self, torus_4x4):
+        g = torus_4x4.to_networkx().to_undirected()
+        for a in torus_4x4.nodes():
+            lengths = nx.single_source_shortest_path_length(g, a)
+            for b in torus_4x4.nodes():
+                assert torus_4x4.distance(a, b) == lengths[b]
+
+    def test_diameter(self):
+        topo = TorusTopology(radix=8, dimensions=2)
+        assert max(topo.distance(0, b) for b in topo.nodes()) == 8  # 2 * k/2
+
+    def test_offsets_reach_destination(self, torus_8x8):
+        for a in range(0, 64, 9):
+            for b in range(0, 64, 11):
+                offs = torus_8x8.offsets(a, b)
+                coords = list(torus_8x8.coords(a))
+                for dim, off in enumerate(offs):
+                    coords[dim] = (coords[dim] + off) % 8
+                assert torus_8x8.node_id(coords) == b
+
+    def test_minimal_directions(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((2, 6))
+        dirs = torus_8x8.minimal_directions(src, dst)
+        assert dirs == {0: PLUS, 1: MINUS}
+
+    def test_minimal_directions_empty_for_same_node(self, torus_8x8):
+        assert torus_8x8.minimal_directions(5, 5) == {}
+
+    def test_non_minimal_offset_goes_the_long_way(self, torus_8x8):
+        src = torus_8x8.node_id((0, 0))
+        dst = torus_8x8.node_id((3, 0))
+        assert torus_8x8.offsets(src, dst)[0] == 3
+        assert torus_8x8.non_minimal_offset(src, dst, 0) == -5
+        assert torus_8x8.non_minimal_offset(src, src, 0) == 0
+
+
+class TestChannels:
+    def test_channel_count(self, torus_4x4):
+        channels = list(torus_4x4.channels())
+        assert len(channels) == 16 * 4  # 2n directed channels per node
+
+    def test_wraparound_channels_are_flagged(self, torus_4x4):
+        wrap = [ch for ch in torus_4x4.channels() if ch.wraparound]
+        # Per dimension: k wrap channels in + direction and k in - direction.
+        assert len(wrap) == 2 * 2 * 4
+
+    def test_channel_none_only_for_invalid(self, torus_4x4):
+        assert torus_4x4.channel(0, 0, PLUS) is not None
+
+    def test_to_networkx_is_strongly_connected(self, torus_4x4x4):
+        g = torus_4x4x4.to_networkx()
+        assert g.number_of_nodes() == 64
+        assert nx.is_strongly_connected(g)
+
+    def test_contains(self, torus_4x4):
+        assert torus_4x4.contains((3, 3))
+        assert not torus_4x4.contains((4, 0))
+        assert not torus_4x4.contains((0, 0, 0))

@@ -1,0 +1,91 @@
+"""Unit tests for the arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.generators import BernoulliTraffic, PeriodicTraffic, PoissonTraffic
+
+
+def _count_arrivals(stream, cycles: int) -> int:
+    return sum(stream.arrivals_until(cycle) for cycle in range(1, cycles + 1))
+
+
+class TestPoissonTraffic:
+    def test_rate_property(self):
+        assert PoissonTraffic(0.01).rate == 0.01
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(-0.1)
+
+    def test_zero_rate_produces_no_arrivals(self):
+        stream = PoissonTraffic(0.0).make_source(np.random.default_rng(0))
+        assert _count_arrivals(stream, 1000) == 0
+
+    def test_mean_rate_is_respected(self):
+        rate = 0.05
+        gen = PoissonTraffic(rate)
+        totals = []
+        for seed in range(10):
+            stream = gen.make_source(np.random.default_rng(seed))
+            totals.append(_count_arrivals(stream, 4000))
+        mean = sum(totals) / len(totals)
+        assert mean == pytest.approx(rate * 4000, rel=0.15)
+
+    def test_arrivals_are_nonnegative_and_bursty(self):
+        stream = PoissonTraffic(0.5).make_source(np.random.default_rng(3))
+        counts = [stream.arrivals_until(cycle) for cycle in range(1, 200)]
+        assert all(c >= 0 for c in counts)
+        assert max(counts) >= 2  # a Poisson process occasionally batches arrivals
+
+    def test_with_rate_returns_independent_copy(self):
+        gen = PoissonTraffic(0.01)
+        faster = gen.with_rate(0.02)
+        assert gen.rate == 0.01
+        assert faster.rate == 0.02
+        assert type(faster) is PoissonTraffic
+
+    def test_name(self):
+        assert PoissonTraffic(0.01).name == "poisson"
+
+
+class TestBernoulliTraffic:
+    def test_at_most_one_arrival_per_cycle(self):
+        stream = BernoulliTraffic(0.9).make_source(np.random.default_rng(1))
+        for cycle in range(1, 500):
+            assert stream.arrivals_until(cycle) in (0, 1)
+
+    def test_mean_rate_is_respected(self):
+        stream = BernoulliTraffic(0.2).make_source(np.random.default_rng(5))
+        total = _count_arrivals(stream, 5000)
+        assert total == pytest.approx(1000, rel=0.15)
+
+    def test_rate_above_one_rejected_at_stream_creation(self):
+        gen = BernoulliTraffic(1.5)
+        with pytest.raises(ValueError):
+            gen.make_source(np.random.default_rng(0))
+
+
+class TestPeriodicTraffic:
+    def test_exact_arrival_times(self):
+        stream = PeriodicTraffic(0.25).make_source(np.random.default_rng(0))
+        counts = [stream.arrivals_until(cycle) for cycle in range(0, 17)]
+        # Arrivals at cycles 0, 4, 8, 12, 16.
+        assert sum(counts) == 5
+        assert counts[0] == 1 and counts[4] == 1 and counts[16] == 1
+        assert counts[1] == 0 and counts[5] == 0
+
+    def test_phase_shifts_first_arrival(self):
+        stream = PeriodicTraffic(0.5, phase=3.0).make_source(np.random.default_rng(0))
+        assert stream.arrivals_until(2) == 0
+        assert stream.arrivals_until(3) == 1
+
+    def test_zero_rate(self):
+        stream = PeriodicTraffic(0.0).make_source(np.random.default_rng(0))
+        assert _count_arrivals(stream, 100) == 0
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTraffic(0.5, phase=-1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the destination patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    BitReversalPattern,
+    HotspotPattern,
+    NearestNeighborPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestUniformPattern:
+    def test_never_returns_source_or_excluded(self, torus_8x8, rng):
+        pattern = UniformPattern(torus_8x8, excluded={1, 2, 3})
+        for source in (0, 10, 63):
+            for _ in range(50):
+                dest = pattern.pick(source, rng)
+                assert dest != source
+                assert dest not in {1, 2, 3}
+                assert 0 <= dest < 64
+
+    def test_covers_many_destinations(self, torus_8x8, rng):
+        pattern = UniformPattern(torus_8x8)
+        seen = {pattern.pick(0, rng) for _ in range(400)}
+        assert len(seen) > 40  # out of 63 possible destinations
+
+    def test_returns_none_when_no_valid_destination(self, torus_4x4, rng):
+        everyone_else = set(range(16)) - {5}
+        pattern = UniformPattern(torus_4x4, excluded=everyone_else)
+        assert pattern.pick(5, rng) is None
+
+    def test_with_excluded_produces_copy(self, torus_8x8, rng):
+        pattern = UniformPattern(torus_8x8)
+        restricted = pattern.with_excluded({7})
+        assert restricted.excluded == frozenset({7})
+        assert pattern.excluded == frozenset()
+
+    def test_name(self, torus_8x8):
+        assert UniformPattern(torus_8x8).name == "uniform"
+
+
+class TestPermutationPatterns:
+    def test_transpose_2d(self, torus_8x8, rng):
+        pattern = TransposePattern(torus_8x8)
+        src = torus_8x8.node_id((2, 5))
+        assert pattern.pick(src, rng) == torus_8x8.node_id((5, 2))
+
+    def test_transpose_diagonal_falls_back_to_uniform(self, torus_8x8, rng):
+        pattern = TransposePattern(torus_8x8)
+        src = torus_8x8.node_id((3, 3))
+        dest = pattern.pick(src, rng)
+        assert dest is not None and dest != src
+
+    def test_bit_complement(self, torus_8x8, rng):
+        pattern = BitComplementPattern(torus_8x8)
+        src = torus_8x8.node_id((0, 2))
+        assert pattern.pick(src, rng) == torus_8x8.node_id((7, 5))
+
+    def test_bit_reversal_is_a_permutation_for_power_of_two(self, torus_8x8, rng):
+        pattern = BitReversalPattern(torus_8x8)
+        destinations = {pattern._candidate(src, rng) for src in range(64)}
+        assert destinations == set(range(64))
+
+    def test_nearest_neighbor_targets_adjacent_node(self, torus_8x8, rng):
+        pattern = NearestNeighborPattern(torus_8x8)
+        src = torus_8x8.node_id((4, 4))
+        for _ in range(20):
+            dest = pattern.pick(src, rng)
+            assert torus_8x8.distance(src, dest) == 1
+
+
+class TestHotspotPattern:
+    def test_hotspot_receives_extra_traffic(self, torus_8x8, rng):
+        pattern = HotspotPattern(torus_8x8, hotspot=0, fraction=0.5)
+        hits = sum(1 for _ in range(400) if pattern.pick(10, rng) == 0)
+        assert hits > 120  # ~200 expected, 120 is a loose lower bound
+
+    def test_invalid_parameters(self, torus_8x8):
+        with pytest.raises(ValueError):
+            HotspotPattern(torus_8x8, hotspot=0, fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotPattern(torus_8x8, hotspot=200, fraction=0.1)
+
+    def test_hotspot_property(self, torus_8x8):
+        assert HotspotPattern(torus_8x8, hotspot=9).hotspot == 9
+
+
+class TestFactory:
+    def test_known_names(self, torus_8x8):
+        for name in ("uniform", "transpose", "bit-complement", "bit-reversal",
+                     "nearest-neighbor"):
+            pattern = make_pattern(name, torus_8x8)
+            assert pattern.topology is torus_8x8
+
+    def test_hotspot_requires_keyword(self, torus_8x8):
+        pattern = make_pattern("hotspot", torus_8x8, hotspot=3, fraction=0.2)
+        assert isinstance(pattern, HotspotPattern)
+
+    def test_unknown_name_rejected(self, torus_8x8):
+        with pytest.raises(ValueError):
+            make_pattern("butterfly", torus_8x8)
+
+    def test_excluded_is_forwarded(self, torus_8x8):
+        pattern = make_pattern("uniform", torus_8x8, excluded={5})
+        assert 5 in pattern.excluded
