@@ -1,0 +1,76 @@
+"""Parallel sweep executor — wall-clock speedup on a Fig. 3-sized sweep.
+
+Runs the same injection-rate sweep (8-ary 2-cube, V = 4, M = 32, n_f = 3, the
+default-scale Fig. 3 point grid) serially and with ``jobs=4`` workers, checks
+the two executions are bit-identical (the executor's determinism contract),
+and records the measured speedup.  On a machine with at least 4 CPUs the
+speedup must reach 1.5x; on smaller machines the ratio is still recorded in
+``benchmark.extra_info`` but not asserted, since forking cannot beat the
+clock without spare cores.  On time-shared runners where ``os.cpu_count()``
+overstates the truly available cores (cgroup quotas, noisy neighbours), set
+``REPRO_MIN_SPEEDUP`` to relax or disable (``0``) the assertion.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.common import rate_grid
+from repro.faults.injection import random_node_faults
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import SweepExecutor
+from repro.topology.torus import TorusTopology
+
+JOBS = 4
+REQUIRED_SPEEDUP = float(os.environ.get("REPRO_MIN_SPEEDUP", "1.5"))
+
+
+def _fig3_sized_config() -> SimulationConfig:
+    topology = TorusTopology(radix=8, dimensions=2)
+    return SimulationConfig(
+        topology=topology,
+        routing="swbased-deterministic",
+        num_virtual_channels=4,
+        message_length=32,
+        faults=random_node_faults(topology, 3, rng=2006 + 3),
+        warmup_messages=60,
+        measure_messages=400,
+        max_cycles=150_000,
+        seed=2006,
+    )
+
+
+def _timed_sweep(jobs: int):
+    config = _fig3_sized_config()
+    rates = rate_grid(0.014, 5)
+    start = time.perf_counter()
+    sweep = SweepExecutor(jobs=jobs).run_injection_rate_sweep(
+        config, rates, label=f"jobs={jobs}"
+    )
+    return time.perf_counter() - start, sweep
+
+
+def test_parallel_sweep_speedup(run_once, benchmark):
+    serial_seconds, serial = _timed_sweep(1)
+    parallel_seconds, parallel = run_once(_timed_sweep, JOBS)
+
+    # determinism contract: the pool changes wall-clock time, not one bit
+    assert serial.rates == parallel.rates
+    assert serial.latency_mean == parallel.latency_mean
+    assert serial.throughput_mean == parallel.throughput_mean
+    assert serial.saturated == parallel.saturated
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["latency"] = [round(v, 1) for v in serial.latency_mean]
+
+    if (os.cpu_count() or 1) >= JOBS and REQUIRED_SPEEDUP > 0:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"jobs={JOBS} speedup {speedup:.2f}x below the {REQUIRED_SPEEDUP}x target "
+            f"on a {os.cpu_count()}-CPU machine (set REPRO_MIN_SPEEDUP to relax)"
+        )

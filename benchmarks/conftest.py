@@ -8,7 +8,11 @@ into EXPERIMENTS.md.
 
 Scaling: set ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=25``) to approach the paper's
 message counts; the default scale keeps the full suite in the minutes range on
-a laptop.
+a laptop.  Every figure benchmark routes its sweeps through
+:class:`repro.sim.parallel.SweepExecutor`; set ``REPRO_JOBS`` (e.g.
+``REPRO_JOBS=4``) to fan the sweep points out over worker processes — the
+measured series are identical for any job count, and
+``bench_parallel_sweep.py`` quantifies the wall-clock speedup.
 """
 
 from __future__ import annotations

@@ -62,9 +62,15 @@ from repro.routing import (
 )
 from repro.sim import (
     LoadSweepResult,
+    ReplicatedSweepResult,
     SimulationConfig,
     SimulationResult,
+    SweepExecutor,
+    aggregate_replications,
     build_engine,
+    default_jobs,
+    derive_child_seeds,
+    derive_sweep_seeds,
     fault_count_sweep,
     injection_rate_sweep,
     run_simulation,
@@ -110,6 +116,12 @@ __all__ = [
     "injection_rate_sweep",
     "fault_count_sweep",
     "LoadSweepResult",
+    "SweepExecutor",
+    "ReplicatedSweepResult",
+    "aggregate_replications",
+    "default_jobs",
+    "derive_child_seeds",
+    "derive_sweep_seeds",
     "NetworkMetrics",
     # errors
     "ReproError",

@@ -17,7 +17,13 @@ from repro.analysis.saturation import (
     theoretical_capacity,
     zero_load_latency,
 )
-from repro.analysis.tables import format_table, results_to_rows, series_table, write_csv
+from repro.analysis.tables import (
+    format_table,
+    replicated_series_table,
+    results_to_rows,
+    series_table,
+    write_csv,
+)
 
 __all__ = [
     "zero_load_latency",
@@ -26,6 +32,7 @@ __all__ = [
     "results_to_rows",
     "format_table",
     "series_table",
+    "replicated_series_table",
     "write_csv",
     "ascii_curve",
     "ascii_multi_series",

@@ -11,10 +11,17 @@ from __future__ import annotations
 import csv
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.sim.parallel import ReplicatedSweepResult
 from repro.sim.runner import SimulationResult
 from repro.sim.sweep import LoadSweepResult
 
-__all__ = ["results_to_rows", "format_table", "series_table", "write_csv"]
+__all__ = [
+    "results_to_rows",
+    "format_table",
+    "series_table",
+    "replicated_series_table",
+    "write_csv",
+]
 
 
 def results_to_rows(results: Iterable[SimulationResult]) -> List[Dict[str, object]]:
@@ -68,32 +75,76 @@ def format_table(
     return "\n".join(lines)
 
 
-def series_table(sweeps: Sequence[LoadSweepResult], metric: str = "latency") -> str:
-    """Render several load sweeps side by side (one column per series).
+def _series_grid(sweeps, cell, title: str) -> str:
+    """Shared row/column assembly for the side-by-side sweep tables.
 
-    ``metric`` selects ``"latency"`` or ``"throughput"``.  Rates that appear in
-    any sweep form the row index; missing points are left blank, and saturated
-    points are marked with a trailing ``*`` as in the EXPERIMENTS.md notation.
+    Rates appearing in any sweep form the row index; ``cell(sweep, i)``
+    formats sweep point ``i``, and points a sweep does not cover are left
+    blank.
     """
-    if metric not in ("latency", "throughput"):
-        raise ValueError("metric must be 'latency' or 'throughput'")
     all_rates = sorted({rate for sweep in sweeps for rate in sweep.rates})
     rows: List[Dict[str, object]] = []
     for rate in all_rates:
         row: Dict[str, object] = {"rate": f"{rate:g}"}
         for sweep in sweeps:
             value = ""
-            for r, lat, thr, sat in zip(
-                sweep.rates, sweep.latencies, sweep.throughputs, sweep.saturated
-            ):
+            for i, r in enumerate(sweep.rates):
                 if abs(r - rate) < 1e-12:
-                    base = lat if metric == "latency" else thr
-                    value = f"{base:.3f}" + ("*" if sat else "")
+                    value = cell(sweep, i)
                     break
             row[sweep.label] = value
         rows.append(row)
     columns = ["rate"] + [sweep.label for sweep in sweeps]
-    return format_table(rows, columns=columns, title=f"mean {metric} vs injection rate")
+    return format_table(rows, columns=columns, title=title)
+
+
+def series_table(sweeps: Sequence[LoadSweepResult], metric: str = "latency") -> str:
+    """Render several load sweeps side by side (one column per series).
+
+    ``metric`` selects ``"latency"`` or ``"throughput"``.  Rates that appear in
+    any sweep form the row index; missing points are left blank, and saturated
+    points are marked with a trailing ``*`` as in the EXPERIMENTS.md notation.
+    A list made up entirely of replicated sweeps is dispatched to
+    :func:`replicated_series_table` so its confidence intervals are rendered;
+    a mixed list falls back to plain means for every series (call
+    :func:`replicated_series_table` directly to keep the intervals).
+    """
+    if metric not in ("latency", "throughput"):
+        raise ValueError("metric must be 'latency' or 'throughput'")
+    if sweeps and all(isinstance(s, ReplicatedSweepResult) for s in sweeps):
+        return replicated_series_table(sweeps, metric=metric)
+
+    def cell(sweep: LoadSweepResult, i: int) -> str:
+        base = sweep.latencies[i] if metric == "latency" else sweep.throughputs[i]
+        return f"{base:.3f}" + ("*" if sweep.saturated[i] else "")
+
+    return _series_grid(sweeps, cell, title=f"mean {metric} vs injection rate")
+
+
+def replicated_series_table(
+    sweeps: Sequence[ReplicatedSweepResult], metric: str = "latency"
+) -> str:
+    """Render replicated sweeps side by side as ``mean ± ci`` columns.
+
+    Same layout as :func:`series_table` but each cell shows the replication
+    mean with its 95 % confidence-interval half width (``±`` omitted when no
+    interval exists, i.e. for a single replication); saturated points carry
+    the trailing ``*`` marker.
+    """
+    if metric not in ("latency", "throughput"):
+        raise ValueError("metric must be 'latency' or 'throughput'")
+
+    def cell(sweep: ReplicatedSweepResult, i: int) -> str:
+        mean = (sweep.latency_mean if metric == "latency" else sweep.throughput_mean)[i]
+        ci = (sweep.latency_ci if metric == "latency" else sweep.throughput_ci)[i]
+        value = f"{mean:.3f}"
+        if ci == ci:  # not NaN: an interval exists
+            value += f" ±{ci:.3f}"
+        if sweep.saturated[i]:
+            value += "*"
+        return value
+
+    return _series_grid(sweeps, cell, title=f"mean {metric} ± 95% CI vs injection rate")
 
 
 def write_csv(rows: Sequence[Dict[str, object]], path: str) -> None:

@@ -22,13 +22,14 @@ from repro.analysis.plotting import ascii_multi_series
 from repro.analysis.tables import format_table
 from repro.experiments import EXPERIMENTS
 from repro.experiments import fig1_regions
+from repro.experiments.common import get_jobs
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.faults.regions import REGION_SHAPES, make_fault_region
 from repro.routing.registry import available_routing_algorithms
 from repro.sim.config import SimulationConfig
+from repro.sim.parallel import SweepExecutor
 from repro.sim.runner import run_simulation
-from repro.sim.sweep import injection_rate_sweep
 from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 
@@ -59,6 +60,24 @@ def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--messages", type=int, default=1000, help="measured messages")
     parser.add_argument(
         "--reinjection-delay", type=int, default=0, help="software re-injection overhead Δ"
+    )
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the sweep (default: the REPRO_JOBS environment "
+            "variable, else 1 = serial; results are identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="independent seeds per sweep point (>1 adds 95%% confidence intervals)",
     )
 
 
@@ -103,12 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="latency/throughput vs injection rate")
     _add_network_arguments(sweep)
+    _add_executor_arguments(sweep)
     sweep.add_argument("--max-rate", type=float, default=0.016, help="largest injection rate")
     sweep.add_argument("--points", type=int, default=6, help="number of sweep points")
     sweep.add_argument("--plot", action="store_true", help="render an ASCII latency curve")
 
     experiment = sub.add_parser("experiment", help="regenerate one of the paper's figures")
     experiment.add_argument("figure", choices=sorted(EXPERIMENTS), help="figure id (e.g. fig3)")
+    _add_executor_arguments(experiment)
 
     regions = sub.add_parser("regions", help="render the Fig. 1 fault-region shapes")
     regions.add_argument("--radix", type=int, default=8, help="radix of the 2-D torus to draw")
@@ -134,26 +155,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    jobs = get_jobs(args.jobs)
+    executor = SweepExecutor(jobs=jobs, replications=args.replications)
     config = _build_config(args, args.max_rate)
     rates = [args.max_rate * (i + 1) / args.points for i in range(args.points)]
-    sweep = injection_rate_sweep(config, rates, label=config.describe())
-    rows = [
-        {
+    sweep = executor.run_injection_rate_sweep(
+        config, rates, label=config.describe(), stop_after_saturation=1
+    )
+    rows = []
+    for i, rate in enumerate(sweep.rates):
+        row = {
             "rate": rate,
-            "mean_latency": latency,
-            "throughput": throughput,
-            "saturated": saturated,
+            "mean_latency": sweep.latency_mean[i],
+            "throughput": sweep.throughput_mean[i],
+            "saturated": sweep.saturated[i],
         }
-        for rate, latency, throughput, saturated in zip(
-            sweep.rates, sweep.latencies, sweep.throughputs, sweep.saturated
-        )
-    ]
-    print(format_table(rows, title=sweep.label))
+        if args.replications > 1:
+            row["latency_ci95"] = sweep.latency_ci[i]
+            row["throughput_ci95"] = sweep.throughput_ci[i]
+        rows.append(row)
+    columns = ["rate", "mean_latency", "throughput", "saturated"]
+    if args.replications > 1:
+        columns = [
+            "rate", "mean_latency", "latency_ci95",
+            "throughput", "throughput_ci95", "saturated",
+        ]
+    # effective_jobs reflects the serial fallback on fork-less platforms, so
+    # the title never claims parallelism that did not happen
+    title = (
+        f"{sweep.label} (jobs={executor.effective_jobs}, "
+        f"replications={args.replications})"
+    )
+    print(format_table(rows, columns=columns, title=title))
     if args.plot:
         print()
         print(
             ascii_multi_series(
-                [(sweep.label, sweep.rates, sweep.latencies)],
+                [(sweep.label, sweep.rates, sweep.latency_mean)],
                 x_label="injection rate (messages/node/cycle)",
             )
         )
@@ -161,9 +199,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    module = EXPERIMENTS[args.figure]
-    results = module.run()
-    print(module.summarize(results))
+    jobs = get_jobs(args.jobs)
+    # Validate the executor flags up front (raises ConfigurationError) even
+    # for figures that do not simulate (fig1 builds regions only).
+    SweepExecutor(jobs=jobs, replications=args.replications)
+    # Every experiment's run() accepts jobs/replications (fig1 ignores them);
+    # forwarding unconditionally means a module that drops them fails loudly
+    # instead of silently running serial/unreplicated.
+    results = EXPERIMENTS[args.figure].run(jobs=jobs, replications=args.replications)
+    print(EXPERIMENTS[args.figure].summarize(results))
     return 0
 
 

@@ -9,7 +9,12 @@ scaled-down version by default and exposes one knob to scale back up:
   and warm-up messages as well as the number of sweep points (``REPRO_SCALE=25``
   approaches the paper's message counts);
 * every ``run()`` function also accepts an explicit
-  :class:`ExperimentScale`, which takes precedence over the environment.
+  :class:`ExperimentScale`, which takes precedence over the environment;
+* the environment variable ``REPRO_JOBS`` (or the ``jobs=`` argument of each
+  ``run()`` function, which takes precedence) fans the sweep points out over
+  that many worker processes via
+  :class:`repro.sim.parallel.SweepExecutor` — results are identical for any
+  job count, only the wall-clock time changes.
 
 EXPERIMENTS.md records which scale was used for the committed results.
 """
@@ -22,7 +27,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ExperimentScale", "get_scale", "rate_grid", "DEFAULT_SCALE"]
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentScale", "get_scale", "get_jobs", "rate_grid", "DEFAULT_SCALE"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +85,24 @@ def get_scale(scale: Optional[ExperimentScale] = None) -> ExperimentScale:
         except ValueError as exc:
             raise ValueError(f"invalid REPRO_SCALE value {factor!r}") from exc
     return DEFAULT_SCALE
+
+
+def get_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the sweep worker count from an argument or ``REPRO_JOBS``.
+
+    Defaults to 1 (serial) so that plain test runs never fork.  The resolved
+    value is validated (``jobs >= 1``) by ``SweepExecutor``; to use every CPU
+    pass :func:`repro.sim.parallel.default_jobs`.
+    """
+    if jobs is not None:
+        return jobs
+    env = os.environ.get("REPRO_JOBS")
+    if not env:
+        return 1
+    try:
+        return int(env)
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid REPRO_JOBS value {env!r}") from exc
 
 
 def rate_grid(max_rate: float, points: int, min_rate: Optional[float] = None) -> List[float]:

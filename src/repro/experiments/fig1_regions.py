@@ -38,8 +38,16 @@ def build_regions(radix: int = 8) -> Dict[str, FaultRegion]:
     }
 
 
-def run(radix: int = 8) -> Dict[str, Dict[str, object]]:
-    """Regenerate the Fig. 1 data: each region's nodes, size and convexity."""
+def run(
+    radix: int = 8,
+    jobs: Optional[int] = None,
+    replications: int = 1,
+) -> Dict[str, Dict[str, object]]:
+    """Regenerate the Fig. 1 data: each region's nodes, size and convexity.
+
+    ``jobs``/``replications`` are accepted for CLI uniformity with the other
+    experiments and ignored: Fig. 1 builds regions without simulating.
+    """
     topology = TorusTopology(radix=radix, dimensions=2)
     regions = build_regions(radix)
     out: Dict[str, Dict[str, object]] = {}

@@ -12,17 +12,22 @@ saturates later than deterministic routing).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.analysis.tables import series_table
-from repro.experiments.common import ExperimentScale, get_scale, rate_grid
+from repro.experiments.common import ExperimentScale, get_jobs, get_scale, rate_grid
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
+from repro.sim.parallel import ReplicatedSweepResult
 from repro.sim.sweep import LoadSweepResult, injection_rate_sweep
 from repro.topology.torus import TorusTopology
 
 __all__ = ["PANEL_MAX_RATES", "PAPER_SERIES", "run", "summarize"]
+
+#: run() returns plain sweeps at replications=1, replicated (mean ± CI)
+#: sweeps otherwise; both satisfy the series duck-type used by summarize().
+SweepOutput = Union[LoadSweepResult, ReplicatedSweepResult]
 
 #: Largest injection rate plotted by the paper for each (routing, V) panel.
 PANEL_MAX_RATES = {
@@ -59,15 +64,22 @@ def run(
     message_lengths: Sequence[int] = (32,),
     fault_counts: Sequence[int] = (0, 3, 5),
     seed: int = 2006,
-) -> Dict[str, LoadSweepResult]:
+    jobs: Optional[int] = None,
+    replications: int = 1,
+) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 3 latency curves.
 
     Returns a mapping from series label to the measured
-    :class:`~repro.sim.sweep.LoadSweepResult`.  Deterministic and adaptive
-    runs with the same fault count share the same random fault set so the two
-    flavours are compared on identical failure patterns.
+    :class:`~repro.sim.sweep.LoadSweepResult` (a
+    :class:`~repro.sim.parallel.ReplicatedSweepResult` when
+    ``replications > 1``).  Deterministic and adaptive runs with the same
+    fault count share the same random fault set so the two flavours are
+    compared on identical failure patterns.  ``jobs`` (default: the
+    ``REPRO_JOBS`` environment variable, else serial) fans each sweep out
+    over worker processes without changing any result.
     """
     scale = get_scale(scale)
+    jobs = get_jobs(jobs)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:
@@ -76,7 +88,7 @@ def run(
         else:
             fault_sets[count] = random_node_faults(topology, count, rng=seed + count)
 
-    results: Dict[str, LoadSweepResult] = {}
+    results: Dict[str, SweepOutput] = {}
     for routing in routings:
         for vcs in virtual_channels:
             max_rate = PANEL_MAX_RATES[(routing, vcs)]
@@ -96,11 +108,13 @@ def run(
                         seed=seed,
                         metadata={"figure": "fig3", "series": label},
                     )
-                    results[label] = injection_rate_sweep(config, rates, label=label)
+                    results[label] = injection_rate_sweep(
+                        config, rates, label=label, jobs=jobs, replications=replications
+                    )
     return results
 
 
-def summarize(results: Optional[Dict[str, LoadSweepResult]] = None) -> str:
+def summarize(results: Optional[Dict[str, SweepOutput]] = None) -> str:
     """Latency-vs-rate table for the regenerated curves (one column per series)."""
     if results is None:
         results = run()

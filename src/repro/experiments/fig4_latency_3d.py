@@ -15,11 +15,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.analysis.tables import series_table
-from repro.experiments.common import ExperimentScale, get_scale, rate_grid
+from repro.experiments.common import ExperimentScale, get_jobs, get_scale, rate_grid
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import LoadSweepResult, injection_rate_sweep
+from repro.experiments.fig3_latency_2d import SweepOutput
+from repro.sim.sweep import injection_rate_sweep
 from repro.topology.torus import TorusTopology
 
 __all__ = ["PANEL_MAX_RATES", "PAPER_SERIES", "run", "summarize"]
@@ -58,9 +59,16 @@ def run(
     message_lengths: Sequence[int] = (32,),
     fault_counts: Sequence[int] = (0, 12),
     seed: int = 2006,
-) -> Dict[str, LoadSweepResult]:
-    """Regenerate (a subset of) the Fig. 4 latency curves on the 8-ary 3-cube."""
+    jobs: Optional[int] = None,
+    replications: int = 1,
+) -> Dict[str, SweepOutput]:
+    """Regenerate (a subset of) the Fig. 4 latency curves on the 8-ary 3-cube.
+
+    ``jobs``/``replications`` are forwarded to the sweep executor; see
+    :func:`repro.experiments.fig3_latency_2d.run`.
+    """
     scale = get_scale(scale)
+    jobs = get_jobs(jobs)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:
@@ -69,7 +77,7 @@ def run(
         else:
             fault_sets[count] = random_node_faults(topology, count, rng=seed + count)
 
-    results: Dict[str, LoadSweepResult] = {}
+    results: Dict[str, SweepOutput] = {}
     for routing in routings:
         for vcs in virtual_channels:
             max_rate = PANEL_MAX_RATES[(routing, vcs)]
@@ -89,11 +97,13 @@ def run(
                         seed=seed,
                         metadata={"figure": "fig4", "series": label},
                     )
-                    results[label] = injection_rate_sweep(config, rates, label=label)
+                    results[label] = injection_rate_sweep(
+                        config, rates, label=label, jobs=jobs, replications=replications
+                    )
     return results
 
 
-def summarize(results: Optional[Dict[str, LoadSweepResult]] = None) -> str:
+def summarize(results: Optional[Dict[str, SweepOutput]] = None) -> str:
     """Latency-vs-rate table for the regenerated curves."""
     if results is None:
         results = run()

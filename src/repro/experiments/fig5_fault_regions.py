@@ -14,10 +14,11 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.analysis.tables import series_table
-from repro.experiments.common import ExperimentScale, get_scale, rate_grid
+from repro.experiments.common import ExperimentScale, get_jobs, get_scale, rate_grid
 from repro.faults.regions import paper_fig5_regions
 from repro.sim.config import SimulationConfig
-from repro.sim.sweep import LoadSweepResult, injection_rate_sweep
+from repro.experiments.fig3_latency_2d import SweepOutput
+from repro.sim.sweep import injection_rate_sweep
 from repro.topology.torus import TorusTopology
 
 __all__ = ["REGION_LABELS", "run", "summarize"]
@@ -39,9 +40,16 @@ def run(
     virtual_channels: int = VIRTUAL_CHANNELS,
     message_length: int = MESSAGE_LENGTH,
     seed: int = 2006,
-) -> Dict[str, LoadSweepResult]:
-    """Regenerate (a subset of) the Fig. 5 latency curves."""
+    jobs: Optional[int] = None,
+    replications: int = 1,
+) -> Dict[str, SweepOutput]:
+    """Regenerate (a subset of) the Fig. 5 latency curves.
+
+    ``jobs``/``replications`` are forwarded to the sweep executor; see
+    :func:`repro.experiments.fig3_latency_2d.run`.
+    """
     scale = get_scale(scale)
+    jobs = get_jobs(jobs)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     all_regions = paper_fig5_regions(topology)
     unknown = set(regions) - set(all_regions)
@@ -49,7 +57,7 @@ def run(
         raise ValueError(f"unknown Fig. 5 region labels: {sorted(unknown)}")
     rates = rate_grid(MAX_RATE, scale.rate_points)
 
-    results: Dict[str, LoadSweepResult] = {}
+    results: Dict[str, SweepOutput] = {}
     for routing in routings:
         kind = "det" if routing.endswith("deterministic") else "adpt"
         for label in regions:
@@ -67,11 +75,13 @@ def run(
                 seed=seed,
                 metadata={"figure": "fig5", "series": series, "region": label},
             )
-            results[series] = injection_rate_sweep(config, rates, label=series)
+            results[series] = injection_rate_sweep(
+                config, rates, label=series, jobs=jobs, replications=replications
+            )
     return results
 
 
-def summarize(results: Optional[Dict[str, LoadSweepResult]] = None) -> str:
+def summarize(results: Optional[Dict[str, SweepOutput]] = None) -> str:
     """Latency-vs-rate table for the regenerated curves."""
     if results is None:
         results = run()

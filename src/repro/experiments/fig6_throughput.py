@@ -15,7 +15,7 @@ from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
-from repro.experiments.common import ExperimentScale, get_scale
+from repro.experiments.common import ExperimentScale, get_jobs, get_scale
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import SimulationResult
 from repro.sim.sweep import fault_count_sweep
@@ -45,9 +45,16 @@ def run(
     fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
     injection_rate: float = MEASUREMENT_RATE,
     seed: int = 2006,
+    jobs: Optional[int] = None,
+    replications: int = 1,
 ) -> Dict[str, List[SimulationResult]]:
-    """Regenerate the Fig. 6 throughput-vs-faults series."""
+    """Regenerate the Fig. 6 throughput-vs-faults series.
+
+    ``jobs``/``replications`` are forwarded to the sweep executor; the
+    averaging helpers below fold extra replications into the per-count means.
+    """
     scale = get_scale(scale)
+    jobs = get_jobs(jobs)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     results: Dict[str, List[SimulationResult]] = {}
     for routing in routings:
@@ -64,7 +71,12 @@ def run(
             metadata={"figure": "fig6", "routing": routing},
         )
         results[routing] = fault_count_sweep(
-            config, fault_counts, trials_per_count=scale.fault_trials, seed=seed
+            config,
+            fault_counts,
+            trials_per_count=scale.fault_trials,
+            seed=seed,
+            jobs=jobs,
+            replications=replications,
         )
     return results
 

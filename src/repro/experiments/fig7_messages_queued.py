@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.saturation import theoretical_capacity
 from repro.analysis.tables import format_table
-from repro.experiments.common import ExperimentScale, get_scale
+from repro.experiments.common import ExperimentScale, get_jobs, get_scale
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import SimulationResult
 from repro.sim.sweep import fault_count_sweep
@@ -54,13 +54,17 @@ def run(
     generation_rates: Sequence[str] = ("70", "100"),
     fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
     seed: int = 2006,
+    jobs: Optional[int] = None,
+    replications: int = 1,
 ) -> Dict[str, List[SimulationResult]]:
     """Regenerate the Fig. 7 messages-queued series.
 
     Returns a mapping from series label (e.g. ``"deterministic @100"``) to the
-    list of per-fault-count simulation results.
+    list of per-fault-count simulation results.  ``jobs``/``replications``
+    are forwarded to the sweep executor.
     """
     scale = get_scale(scale)
+    jobs = get_jobs(jobs)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     results: Dict[str, List[SimulationResult]] = {}
     for routing in routings:
@@ -82,7 +86,12 @@ def run(
                 metadata={"figure": "fig7", "series": series},
             )
             results[series] = fault_count_sweep(
-                config, fault_counts, trials_per_count=scale.fault_trials, seed=seed
+                config,
+                fault_counts,
+                trials_per_count=scale.fault_trials,
+                seed=seed,
+                jobs=jobs,
+                replications=replications,
             )
     return results
 

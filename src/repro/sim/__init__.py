@@ -4,10 +4,19 @@ This is the high-level public API most users interact with: build a
 :class:`~repro.sim.config.SimulationConfig`, call
 :func:`~repro.sim.runner.run_simulation`, and read the returned metrics.  The
 sweep helpers iterate a configuration over injection rates or fault counts,
-which is how every figure of the paper is produced.
+which is how every figure of the paper is produced; the
+:mod:`~repro.sim.parallel` executor underneath fans those points out over a
+process pool and replicates each point over independent seeds.
 """
 
-from repro.sim.config import SimulationConfig
+from repro.sim.config import SimulationConfig, derive_child_seeds, derive_sweep_seeds
+from repro.sim.parallel import (
+    PointAggregate,
+    ReplicatedSweepResult,
+    SweepExecutor,
+    aggregate_replications,
+    default_jobs,
+)
 from repro.sim.runner import SimulationResult, build_engine, run_simulation
 from repro.sim.sweep import (
     LoadSweepResult,
@@ -25,4 +34,11 @@ __all__ = [
     "injection_rate_sweep",
     "latency_throughput_curve",
     "fault_count_sweep",
+    "SweepExecutor",
+    "ReplicatedSweepResult",
+    "PointAggregate",
+    "aggregate_replications",
+    "default_jobs",
+    "derive_child_seeds",
+    "derive_sweep_seeds",
 ]

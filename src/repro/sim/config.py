@@ -11,7 +11,9 @@ measurement sizes, saturation early-stop, RNG seed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.connectivity import is_connected_without_faults
@@ -19,7 +21,7 @@ from repro.faults.model import FaultSet
 from repro.topology.base import Topology
 from repro.topology.torus import TorusTopology
 
-__all__ = ["SimulationConfig"]
+__all__ = ["SimulationConfig", "derive_child_seeds", "derive_sweep_seeds"]
 
 #: Traffic processes accepted by ``traffic_process``.
 _TRAFFIC_PROCESSES = ("poisson", "bernoulli", "periodic")
@@ -65,7 +67,9 @@ class SimulationConfig:
         The paper's ``Td``; kept for completeness.  Only ``Td = 0`` (the value
         used in all of the paper's experiments) is currently supported.
     seed:
-        Master RNG seed.
+        Master RNG seed.  A single run uses it directly; sweeps treat it as
+        the *base* seed of the seed-derivation scheme below and give every
+        (point, replication) pair its own independent child seed.
     saturation_queue_limit:
         Average backlog (new messages per node) above which the run is marked
         saturated and stopped early; ``None`` disables the early stop.
@@ -166,3 +170,55 @@ class SimulationConfig:
             f"V={self.num_virtual_channels}, M={self.message_length}, "
             f"lambda={self.injection_rate:g}, faults={self.faults.num_faulty_nodes}"
         )
+
+
+# --------------------------------------------------------------------------- #
+# seed-derivation scheme
+# --------------------------------------------------------------------------- #
+# Sweeps must NOT reuse the literal base seed for every point: points would
+# then share the traffic arrival stream and their results would be strongly
+# correlated, understating the variance of any aggregate.  Instead every
+# sweep derives child seeds through ``numpy.random.SeedSequence``:
+#
+# * point ``i`` of a sweep gets ``SeedSequence(base_seed).spawn(n)[i]``;
+# * replication ``j`` of point ``i`` gets a second-level spawn of that
+#   point's sequence, i.e. ``SeedSequence(base_seed, spawn_key=(i, j))``.
+#
+# ``spawn(n)[i]`` depends only on ``(base_seed, i)`` — never on ``n``, the
+# worker count or the execution order — so serial and parallel executions of
+# the same sweep see identical per-run seeds (proven by
+# ``tests/test_sim_determinism.py``).  The 64-bit child seed feeds
+# ``SimulationConfig.seed`` and from there the engine's two RNGs.
+
+
+def _seed_of(sequence: "np.random.SeedSequence") -> int:
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def derive_child_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` independent child seeds derived from ``base_seed``.
+
+    Entry ``i`` depends only on ``(base_seed, i)``; extending the sweep with
+    more points never changes the seeds of the existing ones.  Defined as
+    replication 0 of the two-level scheme so the returned seeds reproduce
+    exactly what a 1-replication executor sweep runs.
+    """
+    if count < 0:
+        raise ConfigurationError("seed count must be non-negative")
+    return [point[0] for point in derive_sweep_seeds(base_seed, count, 1)]
+
+
+def derive_sweep_seeds(base_seed: int, num_points: int, replications: int) -> List[List[int]]:
+    """The two-level seed table of a replicated sweep.
+
+    ``derive_sweep_seeds(s, P, R)[i][j]`` is the seed of replication ``j`` of
+    sweep point ``i`` — the scheme documented above.
+    """
+    if num_points < 0:
+        raise ConfigurationError("num_points must be non-negative")
+    if replications < 1:
+        raise ConfigurationError("replications must be at least 1")
+    return [
+        [_seed_of(rep) for rep in point.spawn(replications)]
+        for point in np.random.SeedSequence(base_seed).spawn(num_points)
+    ]

@@ -1,0 +1,450 @@
+"""Parallel sweep execution with replicated runs.
+
+Every figure of the paper is a parameter sweep whose points are mutually
+independent simulations — an embarrassingly parallel workload that the serial
+harness in :mod:`repro.sim.sweep` leaves on the table.  This module adds the
+substrate the ROADMAP's scaling work builds on:
+
+* :class:`SweepExecutor` fans sweep points out over a ``multiprocessing``
+  pool (serial when ``jobs=1`` or when the platform cannot fork), runs
+  ``replications`` independent seeds per point, and streams results back
+  without holding per-message state in the parent;
+* per-run seeds are derived from the base seed with
+  :func:`repro.sim.config.derive_sweep_seeds`, so ``jobs=1`` and ``jobs=N``
+  produce bit-identical results for the same base seed;
+* :class:`ReplicatedSweepResult` aggregates the replications of each point
+  into mean ± 95 % confidence-interval series, which is what the paper's
+  methodology ("each of them corresponding to a different randomly selected
+  failures") calls for and what the serial harness never provided.
+
+The executor is deliberately free of simulation knowledge: workers receive a
+pickled :class:`~repro.sim.config.SimulationConfig` and return a
+:class:`~repro.sim.runner.SimulationResult`, so any future sweep axis
+parallelises the same way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field, fields
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.injection import random_node_faults
+from repro.faults.model import FaultSet
+from repro.metrics.statistics import confidence_interval
+from repro.sim.config import SimulationConfig, derive_sweep_seeds
+from repro.sim.runner import SimulationResult, run_simulation
+
+__all__ = [
+    "PointAggregate",
+    "ReplicatedSweepResult",
+    "SweepExecutor",
+    "SweepSeriesMixin",
+    "aggregate_replications",
+    "default_jobs",
+]
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (all CPUs, at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_indexed(task: Tuple[int, SimulationConfig]) -> Tuple[int, SimulationResult]:
+    """Pool worker: run one pickled configuration, tagged with its index."""
+    index, config = task
+    return index, run_simulation(config)
+
+
+# --------------------------------------------------------------------------- #
+# replication aggregation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PointAggregate:
+    """Mean ± 95 % confidence interval over the replications of one point.
+
+    ``*_ci`` fields are confidence-interval *half widths* (NaN for a single
+    replication, where no interval exists).  ``saturated`` is True when *any*
+    replication saturated: a point whose network collapses under one seed is
+    past the knee of the curve even if another seed squeaked through.
+    """
+
+    latency_mean: float
+    latency_ci: float
+    throughput_mean: float
+    throughput_ci: float
+    queued_mean: float
+    queued_ci: float
+    saturated: bool
+    replications: int
+
+
+def aggregate_replications(results: Sequence[SimulationResult]) -> PointAggregate:
+    """Aggregate the independent replications of one sweep point.
+
+    With a single replication the means equal the run's own values exactly
+    (the streaming mean of identical observations is bit-exact), so a
+    1-replication sweep reproduces the historical single-seed series.
+    """
+    if not results:
+        raise ConfigurationError("cannot aggregate an empty replication set")
+    lat_mean, lat_ci = confidence_interval([r.mean_latency for r in results])
+    thr_mean, thr_ci = confidence_interval([r.throughput for r in results])
+    queued_mean, queued_ci = confidence_interval([float(r.messages_queued) for r in results])
+    return PointAggregate(
+        latency_mean=lat_mean,
+        latency_ci=lat_ci,
+        throughput_mean=thr_mean,
+        throughput_ci=thr_ci,
+        queued_mean=queued_mean,
+        queued_ci=queued_ci,
+        saturated=any(r.saturated for r in results),
+        replications=len(results),
+    )
+
+
+class SweepSeriesMixin:
+    """Shared views over aligned ``(rates, latencies, saturated)`` series.
+
+    Mixed into both sweep-result flavours so the duck-type contract the
+    reporting helpers rely on has a single implementation.
+    """
+
+    @property
+    def saturation_rate(self) -> Optional[float]:
+        """The smallest injection rate at which the network saturated, if any."""
+        for rate, sat in zip(self.rates, self.saturated):
+            if sat:
+                return rate
+        return None
+
+    def non_saturated_latencies(self) -> List[float]:
+        """Latency values of the points below saturation."""
+        return [lat for lat, sat in zip(self.latencies, self.saturated) if not sat]
+
+
+@dataclass
+class ReplicatedSweepResult(SweepSeriesMixin):
+    """Mean ± CI series produced by a replicated injection-rate sweep.
+
+    The series are aligned exactly like :class:`~repro.sim.sweep.LoadSweepResult`
+    (``latency_mean[i]`` belongs to ``rates[i]``) and the result duck-types the
+    subset of that class used by the reporting helpers (``rates`` /
+    ``latencies`` / ``throughputs`` / ``saturated`` / ``label``), so a
+    replicated sweep drops into :func:`repro.analysis.tables.series_table`
+    unchanged.  ``results[i][j]`` is replication ``j`` of point ``i``.
+    """
+
+    label: str
+    replications: int = 1
+    rates: List[float] = field(default_factory=list)
+    latency_mean: List[float] = field(default_factory=list)
+    latency_ci: List[float] = field(default_factory=list)
+    throughput_mean: List[float] = field(default_factory=list)
+    throughput_ci: List[float] = field(default_factory=list)
+    queued_mean: List[float] = field(default_factory=list)
+    queued_ci: List[float] = field(default_factory=list)
+    saturated: List[bool] = field(default_factory=list)
+    results: List[List[SimulationResult]] = field(default_factory=list)
+
+    def append_point(self, rate: float, point_results: Sequence[SimulationResult]) -> PointAggregate:
+        """Aggregate one point's replications and add it to the series."""
+        agg = aggregate_replications(point_results)
+        self.rates.append(rate)
+        self.latency_mean.append(agg.latency_mean)
+        self.latency_ci.append(agg.latency_ci)
+        self.throughput_mean.append(agg.throughput_mean)
+        self.throughput_ci.append(agg.throughput_ci)
+        self.queued_mean.append(agg.queued_mean)
+        self.queued_ci.append(agg.queued_ci)
+        self.saturated.append(agg.saturated)
+        self.results.append(list(point_results))
+        return agg
+
+    # ------------------------------------------------------------------ #
+    # LoadSweepResult-compatible views
+    # ------------------------------------------------------------------ #
+    @property
+    def latencies(self) -> List[float]:
+        """Alias of ``latency_mean`` (LoadSweepResult-compatible)."""
+        return self.latency_mean
+
+    @property
+    def throughputs(self) -> List[float]:
+        """Alias of ``throughput_mean`` (LoadSweepResult-compatible)."""
+        return self.throughput_mean
+
+
+# --------------------------------------------------------------------------- #
+# the executor
+# --------------------------------------------------------------------------- #
+class SweepExecutor:
+    """Run sweep points across a process pool with replicated seeds.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs everything in the calling process; on
+        platforms without the ``fork`` start method the executor silently
+        falls back to serial execution regardless of ``jobs`` (results are
+        identical either way by construction).
+    replications:
+        Independent seeds per sweep point; each replication's seed is derived
+        from the base seed via the scheme documented in
+        :mod:`repro.sim.config`.
+
+    Determinism contract: for a fixed base seed, every ``(point,
+    replication)`` run receives a seed that depends only on the base seed and
+    its own indices, and results are reassembled in submission order — so
+    ``jobs`` changes wall-clock time, never a single output bit.
+    """
+
+    def __init__(self, jobs: int = 1, replications: int = 1) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ConfigurationError(
+                f"jobs must be a positive integer (got {jobs!r}); "
+                "use jobs=1 for serial execution"
+            )
+        if not isinstance(replications, int) or isinstance(replications, bool) or replications < 1:
+            raise ConfigurationError(
+                f"replications must be a positive integer (got {replications!r})"
+            )
+        self.jobs = jobs
+        self.replications = replications
+
+    @property
+    def effective_jobs(self) -> int:
+        """Worker processes actually usable on this platform.
+
+        Equals ``jobs`` where the ``fork`` start method exists, 1 otherwise
+        (the serial fallback) — report this value, not ``jobs``, when telling
+        a user how a sweep was executed.
+        """
+        return self.jobs if _fork_available() else 1
+
+    # ------------------------------------------------------------------ #
+    # generic ordered map
+    # ------------------------------------------------------------------ #
+    def run_configs(
+        self,
+        configs: Sequence[SimulationConfig],
+        progress: Optional[Callable[[SimulationResult], None]] = None,
+    ) -> List[SimulationResult]:
+        """Run every configuration and return results in submission order.
+
+        ``progress`` fires once per finished run — in submission order when
+        serial, in completion order when parallel.
+        """
+        configs = list(configs)
+        workers = min(self.effective_jobs, len(configs))
+        if workers <= 1:
+            results = []
+            for config in configs:
+                result = run_simulation(config)
+                results.append(result)
+                if progress is not None:
+                    progress(result)
+            return results
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            return self._map_pool(pool, configs, progress)
+
+    @staticmethod
+    def _map_pool(
+        pool,
+        configs: Sequence[SimulationConfig],
+        progress: Optional[Callable[[SimulationResult], None]] = None,
+    ) -> List[SimulationResult]:
+        ordered: List[Optional[SimulationResult]] = [None] * len(configs)
+        for index, result in pool.imap_unordered(
+            _run_indexed, list(enumerate(configs)), chunksize=1
+        ):
+            ordered[index] = result
+            if progress is not None:
+                progress(result)
+        return ordered  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # injection-rate sweeps
+    # ------------------------------------------------------------------ #
+    def run_injection_rate_sweep(
+        self,
+        base_config: SimulationConfig,
+        rates: Sequence[float],
+        label: Optional[str] = None,
+        progress: Optional[Callable[[SimulationResult], None]] = None,
+        stop_after_saturation: int = 0,
+    ) -> ReplicatedSweepResult:
+        """Replicated injection-rate sweep (the paper's Figs. 3-5 axis).
+
+        ``stop_after_saturation`` truncates the series after that many
+        consecutive saturated points.  Serial execution genuinely stops early
+        (skipping the remaining simulations); parallel execution dispatches
+        points in windows just wide enough to keep every worker busy and
+        stops submitting once a window crosses the threshold, truncating the
+        overshoot — the *returned series* is identical in both modes, only
+        the (bounded) wasted work differs.  ``progress`` likewise fires
+        exactly once per run that survives truncation in both modes; when
+        truncation is active in parallel mode the calls are buffered until
+        the kept points are known (they fire in submission order).
+        """
+        if stop_after_saturation < 0:
+            raise ConfigurationError(
+                "stop_after_saturation must be non-negative (0 disables truncation)"
+            )
+        rates = [float(r) for r in rates]
+        seeds = derive_sweep_seeds(base_config.seed, len(rates), self.replications)
+        point_configs: List[List[SimulationConfig]] = []
+        for i, rate in enumerate(rates):
+            replicas = []
+            for j in range(self.replications):
+                metadata = dict(base_config.metadata)
+                metadata.update({"sweep_point": str(i), "replication": str(j)})
+                replicas.append(
+                    base_config.with_updates(
+                        injection_rate=rate, seed=seeds[i][j], metadata=metadata
+                    )
+                )
+            point_configs.append(replicas)
+
+        sweep = ReplicatedSweepResult(
+            label=label or base_config.describe(), replications=self.replications
+        )
+        workers = min(self.effective_jobs, sum(len(p) for p in point_configs))
+        if workers <= 1:
+            for rate, replicas in zip(rates, point_configs):
+                sweep.append_point(rate, self.run_configs(replicas, progress=progress))
+                if (
+                    stop_after_saturation
+                    and self._saturation_cut(sweep.saturated, stop_after_saturation)
+                    is not None
+                ):
+                    break
+            return sweep
+
+        if not stop_after_saturation:
+            flat = [config for replicas in point_configs for config in replicas]
+            flat_results = self.run_configs(flat, progress=progress)
+            offset = 0
+            for rate, replicas in zip(rates, point_configs):
+                sweep.append_point(rate, flat_results[offset : offset + len(replicas)])
+                offset += len(replicas)
+            return sweep
+
+        # With truncation active, dispatch in windows of ceil(jobs /
+        # replications) points — wide enough to keep every worker busy, small
+        # enough that a sweep saturating early does not simulate the whole
+        # deep-saturation tail before truncating it away.  Runs past the cut
+        # must not reach the caller's progress callback (jobs=1 never
+        # executes them), so the calls are buffered until the kept points are
+        # known.
+        window_points = max(1, -(-workers // self.replications))
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            index = 0
+            while index < len(point_configs):
+                window = point_configs[index : index + window_points]
+                window_flat = [config for replicas in window for config in replicas]
+                window_results = self._map_pool(pool, window_flat)
+                offset = 0
+                for rate, replicas in zip(rates[index : index + len(window)], window):
+                    sweep.append_point(rate, window_results[offset : offset + len(replicas)])
+                    offset += len(replicas)
+                index += len(window)
+                if self._saturation_cut(sweep.saturated, stop_after_saturation) is not None:
+                    break
+        self._truncate_after_saturation(sweep, stop_after_saturation)
+        if progress is not None:
+            for point_results in sweep.results:
+                for result in point_results:
+                    progress(result)
+        return sweep
+
+    @staticmethod
+    def _saturation_cut(saturated: Sequence[bool], limit: int) -> Optional[int]:
+        """Index after which the series is truncated, or None if it is not."""
+        consecutive = 0
+        for index, sat in enumerate(saturated):
+            consecutive = consecutive + 1 if sat else 0
+            if consecutive >= limit:
+                return index + 1
+        return None
+
+    @classmethod
+    def _truncate_after_saturation(cls, sweep: ReplicatedSweepResult, limit: int) -> None:
+        cut = cls._saturation_cut(sweep.saturated, limit)
+        if cut is None:
+            return
+        # every list-typed field is a per-point series aligned with
+        # ``rates``; deriving the set from the dataclass keeps truncation in
+        # sync with future fields automatically
+        for spec in fields(sweep):
+            value = getattr(sweep, spec.name)
+            if isinstance(value, list):
+                del value[cut:]
+
+    # ------------------------------------------------------------------ #
+    # fault-count sweeps
+    # ------------------------------------------------------------------ #
+    def run_fault_count_sweep(
+        self,
+        base_config: SimulationConfig,
+        fault_counts: Sequence[int],
+        trials_per_count: int = 1,
+        seed: Optional[int] = None,
+        progress: Optional[Callable[[SimulationResult], None]] = None,
+    ) -> List[SimulationResult]:
+        """Replicated fault-count sweep (the paper's Figs. 6-7 axis).
+
+        Fault sets are drawn up front from a single ``numpy`` generator seeded
+        with ``seed`` (defaulting to the configuration's base seed), so the
+        sampled failure patterns never depend on ``jobs``.  Each (count,
+        trial) pair is then run under ``replications`` derived seeds; results
+        come back flat, ordered by (count, trial, replication) and tagged
+        through ``config.metadata``.
+        """
+        fault_seed = base_config.seed if seed is None else seed
+        rng = np.random.default_rng(fault_seed)
+        keyed: List[Tuple[int, int, FaultSet]] = []
+        for count in fault_counts:
+            for trial in range(trials_per_count):
+                if count == 0:
+                    faults = FaultSet.empty()
+                else:
+                    faults = random_node_faults(
+                        base_config.topology, count, rng=rng, ensure_connected=True
+                    )
+                keyed.append((int(count), trial, faults))
+
+        # Two-level derivation, exactly as for injection-rate sweeps: the seed
+        # of replication j of task t depends only on (base_seed, t, j), so
+        # raising the replication count adds spread without perturbing the
+        # existing runs.
+        child_seeds = derive_sweep_seeds(base_config.seed, len(keyed), self.replications)
+        configs: List[SimulationConfig] = []
+        for task_index, (count, trial, faults) in enumerate(keyed):
+            for j in range(self.replications):
+                metadata = dict(base_config.metadata)
+                metadata.update(
+                    {
+                        "fault_count": str(count),
+                        "fault_trial": str(trial),
+                        "replication": str(j),
+                    }
+                )
+                configs.append(
+                    base_config.with_updates(
+                        faults=faults,
+                        metadata=metadata,
+                        seed=child_seeds[task_index][j],
+                    )
+                )
+        return self.run_configs(configs, progress=progress)

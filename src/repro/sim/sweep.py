@@ -6,19 +6,24 @@ Two sweep axes cover all of the paper's experiments:
   of the traffic generation rate λ for a fixed fault set;
 * **fault-count sweeps** (Figs. 6, 7) — throughput or absorption counts as a
   function of the number of random faulty nodes at a fixed load.
+
+Both are thin conveniences over :class:`repro.sim.parallel.SweepExecutor`,
+which owns the execution strategy: per-point/per-replication seed derivation
+(see :mod:`repro.sim.config`), optional ``multiprocessing`` fan-out via
+``jobs``, and replication aggregation.  Passing ``jobs=1, replications=1``
+(the defaults) reproduces the historical serial single-seed behaviour, except
+that sweep points no longer share the literal base seed — each point gets its
+own derived child seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.faults.injection import random_node_faults
-from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import SimulationResult, run_simulation
+from repro.sim.parallel import ReplicatedSweepResult, SweepExecutor, SweepSeriesMixin
+from repro.sim.runner import SimulationResult
 
 __all__ = [
     "LoadSweepResult",
@@ -29,13 +34,16 @@ __all__ = [
 
 
 @dataclass
-class LoadSweepResult:
+class LoadSweepResult(SweepSeriesMixin):
     """Latency/throughput series produced by an injection-rate sweep.
 
     The series are aligned: ``latencies[i]`` and ``throughputs[i]`` belong to
     ``rates[i]``.  ``saturated[i]`` marks points where the network saturated
     before delivering the requested number of messages (the paper plots these
-    as the near-vertical part of the latency curves).
+    as the near-vertical part of the latency curves).  The saturation views
+    (``saturation_rate`` / ``non_saturated_latencies``) come from
+    :class:`~repro.sim.parallel.SweepSeriesMixin`, shared with
+    :class:`~repro.sim.parallel.ReplicatedSweepResult`.
     """
 
     label: str
@@ -53,18 +61,6 @@ class LoadSweepResult:
         self.saturated.append(result.saturated)
         self.results.append(result)
 
-    @property
-    def saturation_rate(self) -> Optional[float]:
-        """The smallest injection rate at which the network saturated, if any."""
-        for rate, sat in zip(self.rates, self.saturated):
-            if sat:
-                return rate
-        return None
-
-    def non_saturated_latencies(self) -> List[float]:
-        """Latency values of the points below saturation."""
-        return [lat for lat, sat in zip(self.latencies, self.saturated) if not sat]
-
 
 def injection_rate_sweep(
     base_config: SimulationConfig,
@@ -72,40 +68,49 @@ def injection_rate_sweep(
     label: Optional[str] = None,
     progress: Optional[Callable[[SimulationResult], None]] = None,
     stop_after_saturation: int = 1,
-) -> LoadSweepResult:
+    jobs: int = 1,
+    replications: int = 1,
+) -> Union[LoadSweepResult, ReplicatedSweepResult]:
     """Run ``base_config`` at each injection rate and collect the series.
 
     Parameters
     ----------
     base_config:
         Configuration shared by every point of the sweep (the injection rate
-        field is overridden per point).
+        and seed fields are overridden per point).
     rates:
         Injection rates λ to simulate, in ascending order.
     label:
         Series label (defaults to the configuration summary).
     progress:
-        Optional callback invoked after every finished point.
+        Optional callback invoked after every finished run.
     stop_after_saturation:
-        Stop the sweep after this many consecutive saturated points; the paper
-        plots one or two points beyond saturation, and simulating deep into
-        saturation is expensive without adding information.  Use 0 to run
-        every requested rate regardless.
+        Truncate the sweep after this many consecutive saturated points; the
+        paper plots one or two points beyond saturation, and simulating deep
+        into saturation is expensive without adding information.  Use 0 to
+        keep every requested rate regardless.
+    jobs:
+        Worker processes for the underlying :class:`SweepExecutor`; the
+        returned series is independent of this value.
+    replications:
+        Independent seeds per point.  With the default of 1 the historical
+        :class:`LoadSweepResult` is returned; with more, a
+        :class:`~repro.sim.parallel.ReplicatedSweepResult` carrying mean ± CI
+        series.
     """
-    sweep = LoadSweepResult(label=label or base_config.describe())
-    consecutive_saturated = 0
-    for rate in rates:
-        config = base_config.with_updates(injection_rate=float(rate))
-        result = run_simulation(config)
-        sweep.append(result)
-        if progress is not None:
-            progress(result)
-        if result.saturated:
-            consecutive_saturated += 1
-            if stop_after_saturation and consecutive_saturated >= stop_after_saturation:
-                break
-        else:
-            consecutive_saturated = 0
+    executor = SweepExecutor(jobs=jobs, replications=replications)
+    replicated = executor.run_injection_rate_sweep(
+        base_config,
+        rates,
+        label=label or base_config.describe(),
+        progress=progress,
+        stop_after_saturation=stop_after_saturation,
+    )
+    if replications > 1:
+        return replicated
+    sweep = LoadSweepResult(label=replicated.label)
+    for point_results in replicated.results:
+        sweep.append(point_results[0])
     return sweep
 
 
@@ -124,30 +129,24 @@ def fault_count_sweep(
     trials_per_count: int = 1,
     seed: int = 7,
     progress: Optional[Callable[[SimulationResult], None]] = None,
+    jobs: int = 1,
+    replications: int = 1,
 ) -> List[SimulationResult]:
     """Run ``base_config`` for each number of random faulty nodes.
 
     For every entry of ``fault_counts`` the sweep samples ``trials_per_count``
     independent random fault sets (mirroring the paper: "we have run
     simulations for each number of failures, each of them corresponding to a
-    different randomly selected failures") and returns the flat list of
-    results, tagged through ``config.metadata['fault_trial']``.
+    different randomly selected failures"), runs each under ``replications``
+    derived seeds, and returns the flat list of results tagged through
+    ``config.metadata['fault_count'/'fault_trial'/'replication']``.  The
+    fault sets are sampled from ``seed`` independently of ``jobs``.
     """
-    rng = np.random.default_rng(seed)
-    results: List[SimulationResult] = []
-    for count in fault_counts:
-        for trial in range(trials_per_count):
-            if count == 0:
-                faults = FaultSet.empty()
-            else:
-                faults = random_node_faults(
-                    base_config.topology, count, rng=rng, ensure_connected=True
-                )
-            metadata = dict(base_config.metadata)
-            metadata.update({"fault_count": str(count), "fault_trial": str(trial)})
-            config = base_config.with_updates(faults=faults, metadata=metadata)
-            result = run_simulation(config)
-            results.append(result)
-            if progress is not None:
-                progress(result)
-    return results
+    executor = SweepExecutor(jobs=jobs, replications=replications)
+    return executor.run_fault_count_sweep(
+        base_config,
+        fault_counts,
+        trials_per_count=trials_per_count,
+        seed=seed,
+        progress=progress,
+    )

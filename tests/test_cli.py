@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.sim.parallel import SweepExecutor
 
 
 class TestParser:
@@ -25,6 +27,12 @@ class TestParser:
     def test_experiment_requires_known_figure(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
+
+    def test_sweep_executor_flags_default_to_env_resolution(self):
+        # --jobs defaults to None so that REPRO_JOBS can take over at run time
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs is None
+        assert args.replications == 1
 
 
 class TestCommands:
@@ -76,6 +84,62 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "throughput" in out
         assert "injection rate" in out
+
+    def test_sweep_parallel_with_replications_reports_ci(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--radix", "4",
+                "--message-length", "4",
+                "--virtual-channels", "2",
+                "--max-rate", "0.02", "--points", "2",
+                "--warmup", "5", "--messages", "40",
+                "--jobs", "2", "--replications", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency_ci95" in out
+        # the title reports the effective worker count (1 on fork-less hosts)
+        expected = SweepExecutor(jobs=2).effective_jobs
+        assert f"jobs={expected}, replications=2" in out
+
+    @pytest.mark.parametrize("flag,value", [("--jobs", "0"), ("--jobs", "-2")])
+    def test_sweep_rejects_nonpositive_jobs(self, flag, value):
+        with pytest.raises(ConfigurationError, match="jobs must be a positive integer"):
+            main(["sweep", flag, value])
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_sweep_rejects_nonpositive_replications(self, value):
+        with pytest.raises(
+            ConfigurationError, match="replications must be a positive integer"
+        ):
+            main(["sweep", "--replications", value])
+
+    def test_experiment_rejects_nonpositive_jobs(self):
+        with pytest.raises(ConfigurationError, match="jobs must be a positive integer"):
+            main(["experiment", "fig1", "--jobs", "0"])
+
+    def test_sweep_honours_repro_jobs_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        code = main(
+            [
+                "sweep",
+                "--radix", "4",
+                "--message-length", "4",
+                "--virtual-channels", "2",
+                "--max-rate", "0.02", "--points", "2",
+                "--warmup", "5", "--messages", "40",
+            ]
+        )
+        assert code == 0
+        expected = SweepExecutor(jobs=2).effective_jobs
+        assert f"jobs={expected}" in capsys.readouterr().out
+
+    def test_invalid_repro_jobs_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigurationError, match="jobs must be a positive integer"):
+            main(["sweep"])
 
     def test_regions_renders_shapes(self, capsys):
         assert main(["regions", "--radix", "8"]) == 0

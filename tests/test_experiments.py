@@ -4,10 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments import EXPERIMENTS
 from repro.experiments import fig1_regions, fig3_latency_2d, fig4_latency_3d
 from repro.experiments import fig5_fault_regions, fig6_throughput, fig7_messages_queued
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, get_scale, rate_grid
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    get_jobs,
+    get_scale,
+    rate_grid,
+)
 
 #: Very small scale so the whole experiment suite stays fast in CI.
 TINY = ExperimentScale(
@@ -42,6 +49,17 @@ class TestCommonScaffolding:
         assert tiny.rate_points >= 3
         with pytest.raises(ValueError):
             DEFAULT_SCALE.scaled(0)
+
+    def test_jobs_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert get_jobs() == 1
+        assert get_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert get_jobs() == 4
+        assert get_jobs(2) == 2  # explicit argument beats the environment
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError):
+            get_jobs()
 
     def test_rate_grid_shape(self):
         grid = rate_grid(0.02, 5)
@@ -81,6 +99,19 @@ class TestFig3:
             assert all(lat > 0 for lat in sweep.latencies)
         summary = fig3_latency_2d.summarize(results)
         assert "det V=4 M=32 nf=0" in summary
+
+    def test_replicated_run_summarizes_with_confidence_intervals(self):
+        results = fig3_latency_2d.run(
+            scale=TINY,
+            routings=("swbased-deterministic",),
+            virtual_channels=(4,),
+            message_lengths=(32,),
+            fault_counts=(0,),
+            replications=2,
+        )
+        (sweep,) = results.values()
+        assert len(sweep.results[0]) == 2
+        assert "±" in fig3_latency_2d.summarize(results)
 
     def test_panel_rate_table_covers_paper_panels(self):
         for routing in fig3_latency_2d.PAPER_SERIES["routings"]:

@@ -1,0 +1,216 @@
+"""Tests for the parallel sweep executor and replication aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tables import replicated_series_table, series_table
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import (
+    ReplicatedSweepResult,
+    SweepExecutor,
+    aggregate_replications,
+)
+from repro.sim.runner import SimulationResult, run_simulation
+from repro.sim.sweep import injection_rate_sweep
+
+
+@pytest.fixture
+def fast_config(torus_4x4):
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        warmup_messages=10,
+        measure_messages=60,
+        seed=5,
+    )
+
+
+def _stub_result(
+    latency: float,
+    throughput: float = 0.001,
+    queued: int = 0,
+    saturated: bool = False,
+) -> SimulationResult:
+    """A SimulationResult with hand-set headline metrics (aggregation tests)."""
+    metrics = NetworkMetrics(
+        mean_latency=latency,
+        latency_stddev=0.0,
+        max_latency=latency,
+        mean_network_latency=latency,
+        mean_hops=2.0,
+        delivered_messages=100,
+        measured_messages=90,
+        generated_messages=100,
+        measurement_cycles=1000,
+        total_cycles=1100,
+        num_nodes=16,
+        message_length=4,
+        throughput_messages=throughput,
+        throughput_flits=throughput * 4,
+        messages_absorbed_total=queued,
+        messages_absorbed_measured=queued,
+        absorbed_message_fraction=0.0,
+        mean_absorptions_per_message=0.0,
+        offered_load=0.01,
+        saturated=saturated,
+    )
+    return SimulationResult(config=SimulationConfig(), metrics=metrics)
+
+
+class TestExecutorValidation:
+    @pytest.mark.parametrize("jobs", [0, -1, 2.5, True])
+    def test_invalid_jobs_rejected(self, jobs):
+        with pytest.raises(ConfigurationError, match="jobs must be a positive integer"):
+            SweepExecutor(jobs=jobs)
+
+    @pytest.mark.parametrize("replications", [0, -3, 1.5, False])
+    def test_invalid_replications_rejected(self, replications):
+        with pytest.raises(
+            ConfigurationError, match="replications must be a positive integer"
+        ):
+            SweepExecutor(replications=replications)
+
+    def test_empty_replication_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_replications([])
+
+    def test_negative_stop_after_saturation_rejected(self, fast_config):
+        with pytest.raises(ConfigurationError, match="stop_after_saturation"):
+            SweepExecutor().run_injection_rate_sweep(
+                fast_config, [0.01], stop_after_saturation=-1
+            )
+
+
+class TestReplicatedSweep:
+    def test_replicated_sweep_shape_and_metadata(self, fast_config):
+        rates = [0.005, 0.02]
+        sweep = SweepExecutor(replications=3).run_injection_rate_sweep(
+            fast_config, rates, label="unit"
+        )
+        assert isinstance(sweep, ReplicatedSweepResult)
+        assert sweep.label == "unit"
+        assert sweep.replications == 3
+        assert sweep.rates == rates
+        for series in (
+            sweep.latency_mean, sweep.latency_ci, sweep.throughput_mean,
+            sweep.throughput_ci, sweep.queued_mean, sweep.queued_ci, sweep.saturated,
+        ):
+            assert len(series) == len(rates)
+        for i, point in enumerate(sweep.results):
+            assert len(point) == 3
+            seeds = {r.config.seed for r in point}
+            assert len(seeds) == 3  # replications run independent seeds
+            for j, result in enumerate(point):
+                assert result.config.metadata["sweep_point"] == str(i)
+                assert result.config.metadata["replication"] == str(j)
+
+    def test_replication_means_bracket_the_replicas(self, fast_config):
+        sweep = SweepExecutor(replications=3).run_injection_rate_sweep(
+            fast_config, [0.01]
+        )
+        replicas = [r.mean_latency for r in sweep.results[0]]
+        assert min(replicas) <= sweep.latency_mean[0] <= max(replicas)
+        assert sweep.latency_ci[0] >= 0.0
+
+    def test_load_sweep_compat_views(self, fast_config):
+        sweep = SweepExecutor(replications=2).run_injection_rate_sweep(
+            fast_config, [0.005, 0.02]
+        )
+        assert sweep.latencies is sweep.latency_mean
+        assert sweep.throughputs is sweep.throughput_mean
+        # series_table dispatches replicated sweeps to the CI-aware renderer
+        assert "±" in series_table([sweep], metric="latency")
+        table = replicated_series_table([sweep])
+        assert "±" in table and "95% CI" in table
+
+    def test_sweep_function_return_types(self, fast_config):
+        single = injection_rate_sweep(fast_config, [0.01])
+        replicated = injection_rate_sweep(fast_config, [0.01], replications=2)
+        assert not isinstance(single, ReplicatedSweepResult)
+        assert isinstance(replicated, ReplicatedSweepResult)
+        assert len(replicated.results[0]) == 2
+
+    def test_run_configs_preserves_submission_order(self, fast_config):
+        configs = [
+            fast_config.with_updates(metadata={"task": str(i)}) for i in range(4)
+        ]
+        results = SweepExecutor(jobs=2).run_configs(configs)
+        assert [r.config.metadata["task"] for r in results] == ["0", "1", "2", "3"]
+
+    def test_serial_fallback_without_fork(self, fast_config, monkeypatch):
+        import repro.sim.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_fork_available", lambda: False)
+        executor = SweepExecutor(jobs=4)
+        assert executor.effective_jobs == 1
+        sweep = executor.run_injection_rate_sweep(fast_config, [0.01])
+        assert len(sweep.results) == 1  # ran (serially) and produced the point
+
+    def test_progress_fires_once_per_run(self, fast_config):
+        seen = []
+        SweepExecutor(jobs=2, replications=2).run_injection_rate_sweep(
+            fast_config, [0.005, 0.01], progress=seen.append
+        )
+        assert len(seen) == 4
+
+
+class TestAggregationProperties:
+    """Property tests for the replication-aggregation maths."""
+
+    @given(
+        latency=st.floats(min_value=1.0, max_value=1e4),
+        n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_of_identical_replications_equals_single_run(self, latency, n):
+        run = _stub_result(latency, throughput=latency / 1e6, queued=3)
+        agg = aggregate_replications([run] * n)
+        assert agg.latency_mean == run.mean_latency
+        assert agg.throughput_mean == run.throughput
+        assert agg.queued_mean == float(run.messages_queued)
+        assert agg.replications == n
+
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=2, max_size=10
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ci_width_shrinks_weakly_with_more_replications(self, latencies):
+        few = aggregate_replications([_stub_result(v) for v in latencies])
+        many = aggregate_replications([_stub_result(v) for v in latencies * 2])
+        assert not math.isnan(few.latency_ci)
+        # duplicating the sample keeps the spread but doubles n: the interval
+        # must not widen (equality holds when the spread is zero)
+        assert many.latency_ci <= few.latency_ci + 1e-9 + 1e-6 * abs(few.latency_ci)
+
+    def test_single_replication_has_no_interval(self):
+        agg = aggregate_replications([_stub_result(10.0)])
+        assert agg.latency_mean == 10.0
+        assert math.isnan(agg.latency_ci)
+
+    @given(flags=st.lists(st.booleans(), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_saturated_propagates_as_any(self, flags):
+        results = [_stub_result(10.0, saturated=flag) for flag in flags]
+        assert aggregate_replications(results).saturated == any(flags)
+
+    def test_saturated_any_in_real_sweep(self, fast_config):
+        # force saturation in every replication of the top rate
+        config = fast_config.with_updates(
+            measure_messages=2000, saturation_queue_limit=2.0, message_length=8
+        )
+        sweep = SweepExecutor(replications=2).run_injection_rate_sweep(
+            config, [0.005, 0.5]
+        )
+        assert sweep.saturated == [False, True]

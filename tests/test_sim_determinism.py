@@ -1,0 +1,209 @@
+"""Determinism regression suite.
+
+Two guarantees are locked down here:
+
+1. **Run determinism** — the simulator is a pure function of its
+   configuration: the same :class:`SimulationConfig` (including the seed)
+   yields a bit-identical :class:`NetworkMetrics` every time.
+2. **Executor equivalence** — the parallel sweep executor is an execution
+   strategy, not a model change: ``jobs=1`` and ``jobs>1`` produce identical
+   per-point results for the same base seed, because every (point,
+   replication) seed is derived from the base seed alone (see the scheme in
+   ``repro/sim/config.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig, derive_child_seeds, derive_sweep_seeds
+from repro.sim.parallel import SweepExecutor
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import fault_count_sweep, injection_rate_sweep
+from repro.topology.torus import TorusTopology
+
+
+@pytest.fixture
+def fast_config(torus_4x4):
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        warmup_messages=10,
+        measure_messages=80,
+        seed=11,
+    )
+
+
+class TestRunDeterminism:
+    def test_same_config_and_seed_is_bit_identical(self, fast_config):
+        first = run_simulation(fast_config)
+        second = run_simulation(fast_config)
+        assert first.metrics == second.metrics
+        assert first.metrics.as_dict() == second.metrics.as_dict()
+
+    def test_bit_identical_with_faults_and_adaptive_routing(self, torus_8x8):
+        config = SimulationConfig(
+            topology=torus_8x8,
+            routing="swbased-adaptive",
+            num_virtual_channels=4,
+            message_length=8,
+            injection_rate=0.01,
+            faults=FaultSet.from_nodes([9, 27]),
+            warmup_messages=10,
+            measure_messages=120,
+            seed=2,
+        )
+        assert run_simulation(config).metrics == run_simulation(config).metrics
+
+    def test_different_seeds_differ(self, fast_config):
+        first = run_simulation(fast_config)
+        second = run_simulation(fast_config.with_updates(seed=fast_config.seed + 1))
+        assert first.metrics.as_dict() != second.metrics.as_dict()
+
+
+class TestSeedDerivation:
+    def test_child_seeds_depend_only_on_base_and_index(self):
+        assert derive_child_seeds(42, 5)[:3] == derive_child_seeds(42, 3)
+
+    def test_child_seeds_are_distinct_and_not_the_base(self):
+        seeds = derive_child_seeds(7, 16)
+        assert len(set(seeds)) == 16
+        assert 7 not in seeds  # points no longer share the literal base seed
+
+    def test_sweep_seed_table_shape_and_stability(self):
+        table = derive_sweep_seeds(1, 4, 3)
+        assert len(table) == 4 and all(len(row) == 3 for row in table)
+        assert table == derive_sweep_seeds(1, 4, 3)
+        flat = [s for row in table for s in row]
+        assert len(set(flat)) == len(flat)
+
+    def test_child_seeds_match_single_replication_sweep_seeds(self):
+        # the flat helper reproduces exactly what a 1-replication sweep runs
+        assert derive_child_seeds(5, 4) == [
+            row[0] for row in derive_sweep_seeds(5, 4, 3)
+        ]
+
+    def test_point_seeds_do_not_depend_on_replication_count(self):
+        # point i's sequence is spawned from the base alone, so adding
+        # replications must not reshuffle other points' seeds
+        one = derive_sweep_seeds(9, 3, 1)
+        three = derive_sweep_seeds(9, 3, 3)
+        assert [row[0] for row in one] == [row[0] for row in three]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_sweep_seeds(1, 3, 0)
+        with pytest.raises(ConfigurationError):
+            derive_child_seeds(1, -1)
+
+
+def _flatten_metrics(sweep):
+    return [result.metrics for point in sweep.results for result in point]
+
+
+class TestExecutorEquivalence:
+    RATES = [0.005, 0.01, 0.02]
+
+    def test_jobs1_and_jobs2_injection_sweeps_identical(self, fast_config):
+        serial = SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, self.RATES
+        )
+        parallel = SweepExecutor(jobs=2, replications=2).run_injection_rate_sweep(
+            fast_config, self.RATES
+        )
+        assert serial.rates == parallel.rates
+        assert serial.latency_mean == parallel.latency_mean
+        assert serial.latency_ci == parallel.latency_ci
+        assert serial.throughput_mean == parallel.throughput_mean
+        assert serial.queued_mean == parallel.queued_mean
+        assert serial.saturated == parallel.saturated
+        assert _flatten_metrics(serial) == _flatten_metrics(parallel)
+
+    def test_jobs1_and_jobs2_fault_sweeps_identical(self, fast_config):
+        kwargs = dict(fault_counts=[0, 2], trials_per_count=2, seed=1)
+        serial = SweepExecutor(jobs=1).run_fault_count_sweep(fast_config, **kwargs)
+        parallel = SweepExecutor(jobs=2).run_fault_count_sweep(fast_config, **kwargs)
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+        assert [r.config.faults for r in serial] == [r.config.faults for r in parallel]
+        assert [r.config.seed for r in serial] == [r.config.seed for r in parallel]
+
+    def test_sweep_function_jobs_parameter_equivalent(self, fast_config):
+        serial = injection_rate_sweep(fast_config, self.RATES, stop_after_saturation=0)
+        parallel = injection_rate_sweep(
+            fast_config, self.RATES, stop_after_saturation=0, jobs=2
+        )
+        assert serial.latencies == parallel.latencies
+        assert serial.throughputs == parallel.throughputs
+        assert [r.metrics for r in serial.results] == [r.metrics for r in parallel.results]
+
+    def test_fault_count_sweep_jobs_parameter_equivalent(self, fast_config):
+        serial = fault_count_sweep(fast_config, [0, 2], seed=3)
+        parallel = fault_count_sweep(fast_config, [0, 2], seed=3, jobs=2)
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+
+    def test_fault_sweep_baseline_invariant_under_replication_count(self, fast_config):
+        # replication j of task t is seeded by (base, t, j) alone, so raising
+        # the replication count must not perturb the existing runs
+        single = SweepExecutor(replications=1).run_fault_count_sweep(
+            fast_config, [0, 2], seed=3
+        )
+        double = SweepExecutor(replications=2).run_fault_count_sweep(
+            fast_config, [0, 2], seed=3
+        )
+        first_replications = [r for r in double if r.config.metadata["replication"] == "0"]
+        assert [r.config.seed for r in single] == [r.config.seed for r in first_replications]
+        assert [r.metrics for r in single] == [r.metrics for r in first_replications]
+
+    def test_early_stop_series_matches_parallel_truncation(self, torus_4x4):
+        config = SimulationConfig(
+            topology=torus_4x4,
+            routing="swbased-deterministic",
+            num_virtual_channels=2,
+            message_length=8,
+            warmup_messages=5,
+            measure_messages=2000,
+            saturation_queue_limit=2.0,
+            max_cycles=30_000,
+            seed=3,
+        )
+        rates = [0.3, 0.4, 0.5]
+        serial = SweepExecutor(jobs=1).run_injection_rate_sweep(
+            config, rates, stop_after_saturation=1
+        )
+        parallel = SweepExecutor(jobs=2).run_injection_rate_sweep(
+            config, rates, stop_after_saturation=1
+        )
+        assert serial.saturated[-1]
+        assert len(serial.rates) < len(rates)  # serial genuinely stopped early
+        assert serial.rates == parallel.rates  # parallel truncated to the same series
+        assert serial.latency_mean == parallel.latency_mean
+        assert serial.saturated == parallel.saturated
+
+    def test_progress_counts_match_under_truncation(self, torus_4x4):
+        config = SimulationConfig(
+            topology=torus_4x4,
+            routing="swbased-deterministic",
+            num_virtual_channels=2,
+            message_length=8,
+            warmup_messages=5,
+            measure_messages=2000,
+            saturation_queue_limit=2.0,
+            max_cycles=30_000,
+            seed=3,
+        )
+        rates = [0.3, 0.4, 0.5]
+        serial_seen, parallel_seen = [], []
+        SweepExecutor(jobs=1).run_injection_rate_sweep(
+            config, rates, progress=serial_seen.append, stop_after_saturation=1
+        )
+        SweepExecutor(jobs=2).run_injection_rate_sweep(
+            config, rates, progress=parallel_seen.append, stop_after_saturation=1
+        )
+        # runs truncated out of the series never reach the callback, so the
+        # observable progress stream is jobs-independent too
+        assert [r.metrics for r in serial_seen] == [r.metrics for r in parallel_seen]
