@@ -1,0 +1,146 @@
+"""Compare a fresh pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json NEW.json \
+        [--tolerance 0.30] [--calibration benchmarks/baseline_calibration.json]
+
+Exits non-zero when any benchmark shared by both files regressed by more than
+``tolerance`` (relative mean-time increase), printing a per-benchmark table
+either way.  Benchmarks present in only one file are reported but never fail
+the check (new benchmarks must be able to land before a baseline exists for
+them).
+
+Cross-machine calibration
+-------------------------
+The committed baseline was measured on one reference machine while CI runs on
+another, so absolute times do not transfer.  With ``--calibration`` the script
+times a fixed pure-Python workload on the current machine, compares it to the
+reference machine's time for the same workload (recorded next to the baseline
+with ``--record-calibration``), and scales the baseline means by that
+machine-speed ratio before applying the tolerance.  The tolerance then only
+has to absorb run-to-run jitter, not hardware differences; it remains
+deliberately loose because the gate exists to catch structural hot-path
+regressions (an accidental per-flit object allocation, a quadratic scan), not
+single-digit noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+
+def _calibration_seconds(repeats: int = 7) -> float:
+    """Best-of-N time of a fixed pure-Python workload (machine speed probe).
+
+    The workload mixes integer arithmetic, attribute-free dict traffic and
+    list appends — the same interpreter operations the engine hot path is made
+    of — and takes a few tens of milliseconds per pass.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        accumulator = 0
+        table: Dict[int, int] = {}
+        items = []
+        for i in range(200_000):
+            accumulator += i & 7
+            table[i & 255] = accumulator
+            if i & 15 == 0:
+                items.append(accumulator)
+        del items[:]
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _mean_by_name(path: str) -> Dict[str, float]:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench["stats"]["mean"] for bench in data["benchmarks"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "baseline", nargs="?", help="committed baseline pytest-benchmark JSON"
+    )
+    parser.add_argument(
+        "fresh", nargs="?", help="freshly measured pytest-benchmark JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum allowed relative mean-time increase (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--calibration",
+        help="JSON with the reference machine's calibration_seconds; scales the "
+        "baseline by this machine's speed before comparing",
+    )
+    parser.add_argument(
+        "--record-calibration",
+        metavar="OUT.json",
+        help="measure this machine's calibration workload, write it to OUT.json "
+        "and exit (run on the machine that produced the baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.record_calibration:
+        seconds = _calibration_seconds()
+        with open(args.record_calibration, "w") as handle:
+            json.dump({"calibration_seconds": seconds}, handle, indent=2)
+        print(f"wrote {args.record_calibration}: calibration_seconds={seconds:.6f}")
+        return 0
+    if args.baseline is None or args.fresh is None:
+        parser.error("BASELINE.json and NEW.json are required unless --record-calibration is given")
+
+    scale = 1.0
+    if args.calibration:
+        with open(args.calibration) as handle:
+            reference = json.load(handle)["calibration_seconds"]
+        local = _calibration_seconds()
+        scale = local / reference
+        print(
+            f"calibration: reference {reference * 1e3:.1f}ms, this machine "
+            f"{local * 1e3:.1f}ms -> baseline scaled by {scale:.2f}x"
+        )
+
+    baseline = _mean_by_name(args.baseline)
+    baseline = {name: mean * scale for name, mean in baseline.items()}
+    fresh = _mean_by_name(args.fresh)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("error: the two benchmark files share no benchmark names", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'benchmark':<44} {'baseline':>12} {'fresh':>12} {'change':>9}")
+    for name in shared:
+        base_s, new_s = baseline[name], fresh[name]
+        change = new_s / base_s - 1.0
+        flag = "  REGRESSION" if change > args.tolerance else ""
+        print(f"{name:<44} {base_s * 1e6:>10.1f}us {new_s * 1e6:>10.1f}us {change:>8.1%}{flag}")
+        if change > args.tolerance:
+            failures.append(name)
+    for name in sorted(set(baseline) ^ set(fresh)):
+        which = "baseline only" if name in baseline else "fresh only"
+        print(f"{name:<44} ({which}; not compared)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed by more than "
+            f"{args.tolerance:.0%}: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed by more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

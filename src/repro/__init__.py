@@ -66,6 +66,7 @@ from repro.sim import (
     SimulationConfig,
     SimulationResult,
     SweepExecutor,
+    SweepPointCache,
     aggregate_replications,
     build_engine,
     default_jobs,
@@ -117,6 +118,7 @@ __all__ = [
     "fault_count_sweep",
     "LoadSweepResult",
     "SweepExecutor",
+    "SweepPointCache",
     "ReplicatedSweepResult",
     "aggregate_replications",
     "default_jobs",

@@ -93,6 +93,13 @@ class NetworkMetrics:
     mean_absorptions_per_message: float
     offered_load: float
     saturated: bool = False
+    #: Absorptions caused by a fault blocking the message's path.
+    messages_absorbed_fault: int = 0
+    #: Absorptions at an intermediate target installed by the software layer.
+    messages_absorbed_intermediate: int = 0
+    #: Per-node absorption counts (both kinds), keyed by flat node id — which
+    #: nodes' software layers carry the re-routing load.
+    absorptions_by_node: Dict[int, int] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
@@ -112,6 +119,8 @@ class NetworkMetrics:
             "throughput_flits": self.throughput_flits,
             "messages_absorbed_total": self.messages_absorbed_total,
             "messages_absorbed_measured": self.messages_absorbed_measured,
+            "messages_absorbed_fault": self.messages_absorbed_fault,
+            "messages_absorbed_intermediate": self.messages_absorbed_intermediate,
             "absorbed_message_fraction": self.absorbed_message_fraction,
             "mean_absorptions_per_message": self.mean_absorptions_per_message,
             "offered_load": self.offered_load,
@@ -162,6 +171,9 @@ class MetricsCollector:
         self._absorption_events_total = 0
         self._absorption_events_measured = 0
         self._absorbed_messages_measured = 0
+        self._fault_absorptions = 0
+        self._intermediate_absorptions = 0
+        self._absorptions_by_node: Dict[int, int] = {}
         self._measurement_start_cycle: Optional[int] = None
         self._last_delivery_cycle = 0
         self._measured_flits = 0
@@ -175,9 +187,30 @@ class MetricsCollector:
         self._generated += 1
         return mid
 
-    def message_absorbed(self, message_id: int) -> None:
-        """Register one absorption (software re-routing) event."""
+    def message_absorbed(
+        self, message_id: int, node: Optional[int] = None, fault: bool = True
+    ) -> None:
+        """Register one absorption (software re-routing) event.
+
+        Parameters
+        ----------
+        message_id:
+            The absorbed message (for warm-up classification).
+        node:
+            Flat id of the node whose software layer absorbed the message;
+            ``None`` when the caller does not track it.
+        fault:
+            True when the absorption was forced by a fault blocking the path,
+            False when the message arrived at an intermediate target address
+            installed by the software layer.
+        """
         self._absorption_events_total += 1
+        if fault:
+            self._fault_absorptions += 1
+        else:
+            self._intermediate_absorptions += 1
+        if node is not None:
+            self._absorptions_by_node[node] = self._absorptions_by_node.get(node, 0) + 1
         if message_id >= self._warmup_messages:
             self._absorption_events_measured += 1
 
@@ -275,4 +308,7 @@ class MetricsCollector:
             ),
             offered_load=offered_load,
             saturated=saturated,
+            messages_absorbed_fault=self._fault_absorptions,
+            messages_absorbed_intermediate=self._intermediate_absorptions,
+            absorptions_by_node=dict(self._absorptions_by_node),
         )

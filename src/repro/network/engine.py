@@ -27,11 +27,31 @@ free injection channels, ``route/allocate`` performs routing computation and
 virtual-channel allocation for waiting header flits, ``transfer`` moves at
 most one flit per output physical channel, and ``drain`` consumes flits at
 ejecting/absorbing routers and finalises deliveries and absorptions.
+
+Flit-lite core
+--------------
+Flits are *not* materialised as objects: every in-flight wormhole segment is a
+pair of counters on its :class:`~repro.network.virtual_channel.VirtualChannel`
+(see that module for the representation), and ``transfer``/``drain`` move
+counts instead of objects.  The RNG draw order — contention sets, allocation
+shuffles, destination picks — is exactly that of the historical object-based
+engine, so all metrics are bit-identical for a given seed (pinned by
+``tests/test_engine_golden.py``).
+
+Idle skip-ahead: when the network is completely empty (no queued, injecting or
+travelling message) and every traffic source can report its next arrival cycle
+(:meth:`~repro.traffic.generators.ArrivalStream.next_arrival_cycle`), ``step``
+jumps the cycle counter straight to the cycle of the earliest next arrival
+instead of spinning through empty stages.  The skipped cycles are exactly
+those in which no stage would have had any effect and no RNG would have been
+consumed, so the jump is invisible in the metrics; only wall-clock time (and
+the number of ``step`` calls needed to cross an idle stretch) changes.
 """
 
 from __future__ import annotations
 
 import random
+from math import isfinite
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
@@ -60,37 +80,6 @@ from repro.traffic.patterns import DestinationPattern
 __all__ = ["SimulationEngine"]
 
 _Channel = Union[VirtualChannel, InjectionChannel]
-
-
-class _OrderedSet:
-    """Insertion-ordered set of channels.
-
-    The engine iterates its active-channel collections every cycle; a plain
-    ``set`` of objects would iterate in address order, which differs between
-    otherwise identical runs and would break seed-for-seed reproducibility of
-    the random allocation decisions.  A dict-backed ordered set keeps the
-    iteration order a pure function of the simulation history.
-    """
-
-    __slots__ = ("_items",)
-
-    def __init__(self) -> None:
-        self._items: Dict[object, None] = {}
-
-    def add(self, item) -> None:
-        self._items.setdefault(item, None)
-
-    def discard(self, item) -> None:
-        self._items.pop(item, None)
-
-    def __iter__(self):
-        return iter(self._items)
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def __contains__(self, item) -> bool:
-        return item in self._items
 
 
 class SimulationEngine:
@@ -179,6 +168,9 @@ class SimulationEngine:
 
         self._rng = np.random.default_rng(seed)
         self._rand = random.Random(seed ^ 0x5EED)
+        # Bound method, looked up once: the transfer stage draws it per
+        # contended output port per cycle.
+        self._randrange = self._rand.randrange
 
         self._healthy_nodes: List[int] = [
             n for n in topology.nodes() if not self._faults.is_node_faulty(n)
@@ -212,9 +204,38 @@ class SimulationEngine:
             topology=topology, faults=self._faults
         )
 
-        self._active_vcs = _OrderedSet()
-        self._active_injection = _OrderedSet()
+        # Active-channel collections are insertion-ordered sets realised as
+        # plain dicts (value always None): a ``set`` of objects would iterate
+        # in address order, which differs between otherwise identical runs and
+        # would break seed-for-seed reproducibility of the random allocation
+        # decisions, while dict insertion order is a pure function of the
+        # simulation history.  Membership add is ``d[item] = None`` (re-adding
+        # an existing member keeps its original position, exactly like
+        # ``setdefault``), removal is ``d.pop(item, None)``.
+        self._active_vcs: Dict[VirtualChannel, None] = {}
+        self._active_injection: Dict[InjectionChannel, None] = {}
         self._pending_nodes: Set[int] = set()
+
+        # Per-cycle generation scan order, prebuilt so the generate stage does
+        # no per-node dict lookups, plus a per-node cache of the next arrival
+        # cycle (``None`` for streams that must be polled every cycle, e.g.
+        # Bernoulli): most generate-stage visits then cost one comparison.
+        self._generation_scan = [
+            (node, self._streams[node], self._layers[node])
+            for node in self._healthy_nodes
+        ]
+        self._next_arrival_cache: List[Optional[float]] = [
+            stream.next_arrival_cycle() for _, stream, _ in self._generation_scan
+        ]
+        # Reused per-cycle switch-allocation request table (hot path: avoids
+        # one dict allocation per cycle).
+        self._requests: Dict[Tuple[int, int], List[_Channel]] = {}
+        # Idle skip-ahead is possible only when every arrival stream can
+        # report its next arrival cycle (Bernoulli streams, which draw the RNG
+        # every cycle, cannot — skipping would change the draw sequence).
+        self._skip_idle = traffic.rate > 0 and all(
+            stream.next_arrival_cycle() is not None for stream in self._streams.values()
+        )
 
         self._cycle = 0
         self._last_progress_cycle = 0
@@ -290,7 +311,20 @@ class SimulationEngine:
         )
 
     def step(self) -> None:
-        """Advance the simulation by one cycle."""
+        """Advance the simulation by one cycle.
+
+        When the network is idle the cycle counter may first jump forward to
+        just before the next traffic arrival (idle skip-ahead, see the module
+        docstring); the subsequent stages then run at the arrival cycle.
+        """
+        if (
+            self._skip_idle
+            and not self._stop_generation
+            and not self._active_vcs
+            and not self._active_injection
+            and not self._pending_nodes
+        ):
+            self._skip_to_next_arrival()
         self._cycle += 1
         cycle = self._cycle
         if not self._stop_generation:
@@ -318,6 +352,28 @@ class SimulationEngine:
             self.step()
         self._stop_generation = False
 
+    def _skip_to_next_arrival(self) -> None:
+        """Jump ``_cycle`` to just before the earliest next traffic arrival.
+
+        Only called when the network is verifiably idle.  The skipped cycles
+        are pure no-ops in the original cycle-by-cycle execution (no stage
+        touches state, no RNG is drawn, the watchdog keeps resetting), so
+        jumping over them is metric- and RNG-neutral.  The jump is clamped so
+        a run that would have spun to ``max_cycles`` still ends its last step
+        exactly there.
+        """
+        nxt = min(
+            stream.next_arrival_cycle() for stream in self._streams.values()
+        )
+        if not isfinite(nxt):
+            target = self._max_cycles - 1
+        else:
+            target = min(int(nxt) - 1, self._max_cycles - 1)
+        if target > self._cycle:
+            self._cycle = target
+            # Mirrors the per-cycle watchdog reset an idle network performs.
+            self._last_progress_cycle = target
+
     # ------------------------------------------------------------------ #
     # stage 1: traffic generation
     # ------------------------------------------------------------------ #
@@ -336,11 +392,21 @@ class SimulationEngine:
     def _generate_traffic(self, cycle: int) -> None:
         if self._traffic.rate <= 0:
             return
-        for node in self._healthy_nodes:
-            arrivals = self._streams[node].arrivals_until(cycle)
+        # ``_generation_scan`` is the prebuilt (node, stream, layer) list and
+        # ``_next_arrival_cache`` holds each stream's known next arrival
+        # cycle, so a node without an arrival this cycle costs one comparison
+        # (streams that cannot predict arrivals have ``None`` cached and are
+        # polled every cycle, preserving their RNG draw sequence).
+        cache = self._next_arrival_cache
+        for i, (node, stream, layer) in enumerate(self._generation_scan):
+            nxt = cache[i]
+            if nxt is not None and cycle < nxt:
+                continue
+            arrivals = stream.arrivals_until(cycle)
+            if nxt is not None:
+                cache[i] = stream.next_arrival_cycle()
             if not arrivals:
                 continue
-            layer = self._layers[node]
             for _ in range(arrivals):
                 destination = self._pattern.pick(node, self._rng)
                 if destination is None or self._faults.is_node_faulty(destination):
@@ -368,7 +434,7 @@ class SimulationEngine:
                 channel.load(message)
                 if message.injected < 0:
                     message.injected = cycle
-                self._active_injection.add(channel)
+                self._active_injection[channel] = None
                 self._last_progress_cycle = cycle
             if not layer.pending_total:
                 satisfied.append(node)
@@ -380,71 +446,94 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def _route_and_allocate(self, cycle: int) -> None:
         # Injection channels first: re-injected messages already had priority
-        # when they were queued, so plain iteration order is fine here.
-        for channel in list(self._active_injection):
-            if not channel.needs_routing:
+        # when they were queued, so plain iteration order is fine here.  The
+        # ordered sets are iterated directly (no per-cycle list copy); the
+        # only mutation — an injection channel released by an immediate
+        # absorption — is deferred until after the loop.
+        released: List[InjectionChannel] = []
+        for channel in self._active_injection:
+            # Inlined ``channel.needs_routing`` (hot loop, property overhead).
+            if channel.out_port >= 0 or channel.flits_sent != 0 or channel.message is None:
                 continue
-            self._route_injection_channel(channel, cycle)
-        for vc in list(self._active_vcs):
-            if not vc.needs_routing:
+            if self._route_injection_channel(channel, cycle):
+                released.append(channel)
+        for channel in released:
+            self._active_injection.pop(channel, None)
+        for vc in self._active_vcs:
+            # Inlined ``vc.needs_routing`` (hot loop, property overhead).
+            if vc.out_port >= 0 or vc.sink != SINK_NONE:
                 continue
-            self._route_network_vc(vc, cycle)
+            if vc.flits_removed == 0 and vc.flits_received > 0:
+                self._route_network_vc(vc, cycle)
 
-    def _route_injection_channel(self, channel: InjectionChannel, cycle: int) -> None:
+    def _route_injection_channel(self, channel: InjectionChannel, cycle: int) -> bool:
+        """Route one waiting injection channel; True when it was released."""
         message = channel.message
         assert message is not None
         header = message.header
         node = channel.node
 
-        if node == header.target:
-            # The only way a message can target its own source is through an
-            # intermediate address installed by the software layer; resume.
-            if header.is_intermediate:
-                self._routing.on_intermediate_target_reached(node, header)
-            return
+        # ``route`` is a pure function of (node, header) and a waiting
+        # header cannot change, so a decision whose allocation failed is
+        # cached on the channel and reused until a VC frees up.
+        decision = channel.pending_decision
+        if decision is None:
+            if node == header.target:
+                # The only way a message can target its own source is through
+                # an intermediate address installed by the software layer.
+                if header.is_intermediate:
+                    self._routing.on_intermediate_target_reached(node, header)
+                return False
 
-        decision = self._routing.route(node, header)
-        if decision.deliver:  # pragma: no cover - target check above covers this
-            return
-        if decision.absorb:
-            # The message never entered the network: the software layer
-            # handles it immediately (still counted as an absorption).
-            channel.release()
-            self._active_injection.discard(channel)
-            self._register_absorption(message, node, fault=True)
-            self._routing.rewrite_after_absorption(node, header)
-            self._layers[node].enqueue_reinjection(message, cycle)
-            self._pending_nodes.add(node)
-            return
+            decision = self._routing.route(node, header)
+            if decision.deliver:  # pragma: no cover - target check covers this
+                return False
+            if decision.absorb:
+                # The message never entered the network: the software layer
+                # handles it immediately (still counted as an absorption).
+                channel.release()
+                self._register_absorption(message, node, fault=True)
+                self._routing.rewrite_after_absorption(node, header)
+                self._layers[node].enqueue_reinjection(message, cycle)
+                self._pending_nodes.add(node)
+                return True
         allocation = self._allocate(node, decision, message)
         if allocation is not None:
             channel.assign_output(*allocation)
+        else:
+            channel.pending_decision = decision
+        return False
 
     def _route_network_vc(self, vc: VirtualChannel, cycle: int) -> None:
-        head = vc.head_flit
-        assert head is not None
-        message = head.message
+        message = vc.owner
+        assert message is not None
         header = message.header
         node = vc.node
 
-        if node == header.target:
-            vc.sink = SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
-            return
+        # Same decision cache as for injection channels: the header waiting at
+        # this buffer cannot change, so a failed allocation keeps the decision.
+        decision = vc.pending_decision
+        if decision is None:
+            if node == header.target:
+                vc.sink = SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
+                return
 
-        decision = self._routing.route(node, header)
-        if decision.deliver:  # pragma: no cover - target check above covers this
-            vc.sink = SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
-            return
-        if decision.absorb:
-            vc.sink = SINK_FAULT
-            return
+            decision = self._routing.route(node, header)
+            if decision.deliver:  # pragma: no cover - target check covers this
+                vc.sink = SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
+                return
+            if decision.absorb:
+                vc.sink = SINK_FAULT
+                return
         allocation = self._allocate(node, decision, message)
         if allocation is not None:
             vc.assign_output(*allocation)
+        else:
+            vc.pending_decision = decision
 
     def _allocate(
         self, node: int, decision: RoutingDecision, message: Message
-    ) -> Optional[Tuple[int, int, int]]:
+    ) -> Optional[Tuple[int, int, int, VirtualChannel]]:
         """Try to acquire a downstream virtual channel for a routed header.
 
         Candidates are grouped by priority (adaptive channels before the
@@ -452,16 +541,28 @@ class SimulationEngine:
         channel and the virtual channel are chosen uniformly at random among
         the free options, matching assumption (e) of the paper.
 
-        Returns ``(downstream node, output port, virtual channel)`` or ``None``
-        when every candidate VC is currently owned.
+        Returns ``(downstream node, output port, virtual channel index,
+        downstream VC object)`` or ``None`` when every candidate VC is
+        currently owned.  The RNG draw sequence — one shuffle per multi-member
+        priority group, one ``randrange`` per winning candidate — is the
+        historical one; the fast paths below only skip work that consumed no
+        randomness (the stable sort of an already-single-priority list, and
+        the materialised free-VC list).
         """
-        candidates = sorted(decision.candidates, key=lambda c: c.priority)
+        candidates = decision.candidates
+        if len(candidates) > 1:
+            first_priority = candidates[0].priority
+            if any(c.priority != first_priority for c in candidates[1:]):
+                candidates = sorted(candidates, key=lambda c: c.priority)
+            # else: all candidates share one priority; a stable sort would
+            # return them unchanged, so skip it (common fast path).
         index = 0
-        while index < len(candidates):
+        num_candidates = len(candidates)
+        while index < num_candidates:
             # Slice out one priority group.
             priority = candidates[index].priority
             group = []
-            while index < len(candidates) and candidates[index].priority == priority:
+            while index < num_candidates and candidates[index].priority == priority:
                 group.append(candidates[index])
                 index += 1
             self._rand.shuffle(group)
@@ -475,81 +576,92 @@ class SimulationEngine:
                         f"routing offered a candidate through faulty node {down_node} "
                         f"from node {node}"
                     )
-                down_port = opposite_port(candidate.port)
-                free = [
-                    v
-                    for v in candidate.virtual_channels
-                    if down_router.input_vcs[down_port][v].is_free
-                ]
-                if not free:
+                down_vcs = down_router.input_vcs[opposite_port(candidate.port)]
+                # Count the free VCs and pick the k-th free one without
+                # building an intermediate list; the draw below is identical
+                # to the historical ``free[randrange(len(free))]``.
+                free_count = 0
+                for v in candidate.virtual_channels:
+                    if down_vcs[v].owner is None:
+                        free_count += 1
+                if not free_count:
                     continue
-                chosen = free[self._rand.randrange(len(free))]
-                down_router.input_vcs[down_port][chosen].reserve(message)
-                return down_node, candidate.port, chosen
+                k = self._rand.randrange(free_count)
+                for v in candidate.virtual_channels:
+                    chosen = down_vcs[v]
+                    if chosen.owner is None:
+                        if k == 0:
+                            chosen.reserve(message)
+                            return down_node, candidate.port, v, chosen
+                        k -= 1
         return None
 
     # ------------------------------------------------------------------ #
     # stage 4: switch allocation and flit transfer
     # ------------------------------------------------------------------ #
     def _transfer(self, cycle: int) -> None:
-        requests: Dict[Tuple[int, int], List[_Channel]] = {}
+        # The request table is collected in full before any flit moves, so
+        # downstream-space checks always see start-of-cycle occupancy and a
+        # flit arriving this cycle can never be forwarded again this cycle
+        # (requests for an empty buffer are never filed).  ``self._requests``
+        # is reused across cycles to avoid a per-cycle dict allocation.
+        requests = self._requests
 
         for channel in self._active_injection:
-            if not channel.has_output or channel.flits_remaining <= 0:
+            if channel.out_port < 0 or channel.flits_remaining <= 0:
                 continue
-            if self._downstream_has_space(channel):
-                requests.setdefault((channel.node, channel.out_port), []).append(channel)
+            down_vc = channel.down_vc
+            if down_vc.flits_received - down_vc.flits_removed < down_vc.capacity:
+                requests.setdefault(channel.out_key, []).append(channel)
 
         for vc in self._active_vcs:
-            if not vc.has_output or not vc.buffer:
+            if vc.out_port < 0 or vc.flits_received <= vc.flits_removed:
                 continue
-            head = vc.buffer[0]
-            if head.moved_cycle == cycle:
-                continue
-            if self._downstream_has_space(vc):
-                requests.setdefault((vc.node, vc.out_port), []).append(vc)
+            down_vc = vc.down_vc
+            if down_vc.flits_received - down_vc.flits_removed < down_vc.capacity:
+                requests.setdefault(vc.out_key, []).append(vc)
 
-        for (_node, _port), contenders in requests.items():
-            winner = (
+        # Winner selection and the flit move itself, inlined (one call frame
+        # per winner otherwise; this runs tens of times per cycle).  Moving a
+        # flit is a pair of counter bumps: the winner's sent/removed counter
+        # and the downstream received counter.  The downstream buffer cannot
+        # overflow: space was checked against start-of-cycle occupancy above,
+        # and each downstream VC has exactly one feeding channel (its owner's
+        # wormhole segment), so at most one flit arrives per cycle.
+        randrange = self._randrange
+        active_vcs = self._active_vcs
+        transfers = 0
+        for contenders in requests.values():
+            channel = (
                 contenders[0]
                 if len(contenders) == 1
-                else contenders[self._rand.randrange(len(contenders))]
+                else contenders[randrange(len(contenders))]
             )
-            self._move_one_flit(winner, cycle)
-
-    def _downstream_has_space(self, channel: _Channel) -> bool:
-        down_router = self._routers[channel.out_node]
-        down_port = opposite_port(channel.out_port)
-        return down_router.input_vcs[down_port][channel.out_vc].has_space
-
-    def _move_one_flit(self, channel: _Channel, cycle: int) -> None:
-        down_router = self._routers[channel.out_node]
-        down_port = opposite_port(channel.out_port)
-        down_vc = down_router.input_vcs[down_port][channel.out_vc]
-
-        if isinstance(channel, InjectionChannel):
-            message = channel.message
-            assert message is not None
-            flit = channel.next_flit()
-        else:
-            flit = channel.pop()
-            message = flit.message
-
-        flit.moved_cycle = cycle
-        down_vc.push(flit)
-        self._active_vcs.add(down_vc)
-        self._flit_transfers += 1
-        self._last_progress_cycle = cycle
-
-        if flit.is_head:
-            message.hops += 1
-        if flit.is_tail:
-            if isinstance(channel, InjectionChannel):
-                channel.release()
-                self._active_injection.discard(channel)
+            down_vc = channel.down_vc
+            injection = type(channel) is InjectionChannel
+            if injection:
+                message = channel.message
+                index = channel.flits_sent
+                channel.flits_sent = index + 1
             else:
+                message = channel.owner
+                index = channel.flits_removed
+                channel.flits_removed = index + 1
+            down_vc.flits_received += 1
+            active_vcs[down_vc] = None
+            transfers += 1
+            if index == 0:  # the header flit crossed a physical channel
+                message.hops += 1
+            if index == message.length - 1:  # the tail left; free the segment
                 channel.release()
-                self._active_vcs.discard(channel)
+                if injection:
+                    self._active_injection.pop(channel, None)
+                else:
+                    active_vcs.pop(channel, None)
+        if transfers:
+            self._flit_transfers += transfers
+            self._last_progress_cycle = cycle
+        requests.clear()
 
     # ------------------------------------------------------------------ #
     # stage 5: ejection / absorption drain
@@ -557,13 +669,9 @@ class SimulationEngine:
     def _drain(self, cycle: int) -> None:
         finished: List[VirtualChannel] = []
         for vc in self._active_vcs:
-            if vc.sink == SINK_NONE or not vc.buffer:
+            if vc.sink == SINK_NONE or vc.flits_received <= vc.flits_removed:
                 continue
-            tail_seen = False
-            while vc.buffer:
-                flit = vc.pop()
-                if flit.is_tail:
-                    tail_seen = True
+            tail_seen = vc.drain_buffered()
             self._last_progress_cycle = cycle
             if tail_seen:
                 finished.append(vc)
@@ -574,7 +682,7 @@ class SimulationEngine:
             node = vc.node
             sink = vc.sink
             vc.release()
-            self._active_vcs.discard(vc)
+            self._active_vcs.pop(vc, None)
 
             if sink == SINK_FINAL:
                 self._collector.message_delivered(
@@ -604,7 +712,7 @@ class SimulationEngine:
     def _register_absorption(self, message: Message, node: int, fault: bool) -> None:
         message.absorptions += 1
         message.header.absorptions += 1
-        self._collector.message_absorbed(message.message_id)
+        self._collector.message_absorbed(message.message_id, node=node, fault=fault)
         self._livelock.check(message.message_id, message.absorptions)
 
     # ------------------------------------------------------------------ #

@@ -1,11 +1,17 @@
-"""Flow-control digits (flits).
+"""Flow-control digits (flits) — descriptive value objects.
 
 Wormhole switching breaks each message into flits: a header flit carrying the
 routing information, followed by data flits and a tail flit, all of which
-follow the header in a pipelined fashion (paper Section 2).  Flit objects are
-created once per injection attempt of a message and physically move between
-virtual-channel buffers; they are deliberately tiny (``__slots__`` only) since
-hundreds of thousands of them are created during a benchmark run.
+follow the header in a pipelined fashion (paper Section 2).
+
+Since the flit-lite engine refactor the simulator does **not** materialise
+flit objects on its hot path: in-flight wormhole segments are represented by
+per-virtual-channel counters (see :mod:`repro.network.virtual_channel`), and a
+flit's identity is just its integer index within the owning message — index 0
+is the header, index ``length - 1`` the tail.  This class remains as the
+explicit value-object form of that index for tests, tools and documentation:
+:meth:`Message.make_flits <repro.network.message.Message.make_flits>` expands
+a message into its flit sequence on demand.
 """
 
 from __future__ import annotations
@@ -29,20 +35,15 @@ class Flit:
         Position within the message (0 = header flit).
     is_head / is_tail:
         Role markers; a single-flit message is both head and tail.
-    moved_cycle:
-        Cycle at which the flit last traversed a physical channel.  The engine
-        uses it to guarantee that a flit advances at most one hop per cycle
-        regardless of the order routers are visited in.
     """
 
-    __slots__ = ("message", "index", "is_head", "is_tail", "moved_cycle")
+    __slots__ = ("message", "index", "is_head", "is_tail")
 
     def __init__(self, message: "Message", index: int, is_head: bool, is_tail: bool) -> None:
         self.message = message
         self.index = index
         self.is_head = is_head
         self.is_tail = is_tail
-        self.moved_cycle = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         role = "H" if self.is_head else ("T" if self.is_tail else "D")

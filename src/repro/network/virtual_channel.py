@@ -1,26 +1,48 @@
-"""Virtual channels and injection channels.
+"""Virtual channels and injection channels — count-based wormhole segments.
 
 Each physical channel of the network is associated with ``V`` virtual
-channels; a virtual channel has its own flit queue but shares the physical
+channels; a virtual channel has its own flit buffer but shares the physical
 channel's bandwidth with the other virtual channels in a time-multiplexed
 fashion (paper Section 2, citing Dally's virtual-channel flow control).  The
-model here keeps, per router, one :class:`VirtualChannel` object per
-*input* virtual channel: the buffer lives at the downstream end of the
-physical link, and the upstream router holds a reference to it through the
-output assignment of the virtual channel currently forwarding a message.
+model keeps, per router, one :class:`VirtualChannel` object per *input*
+virtual channel: the buffer lives at the downstream end of the physical link,
+and the upstream router holds a reference to it through the output assignment
+of the channel currently forwarding a message.
+
+Representation
+--------------
+Wormhole body flits carry no information — only the header does, and it is
+fully described by the owning :class:`~repro.network.message.Message`.  The
+buffer is therefore represented by *counters* instead of a queue of flit
+objects:
+
+* ``flits_received`` — flits of the owning message pushed into this buffer;
+* ``flits_removed`` — flits forwarded downstream or consumed locally.
+
+Because flits traverse a channel strictly in order, every per-flit fact the
+engine needs is derivable: the buffered occupancy is ``received - removed``,
+the flit at the buffer head has index ``flits_removed`` (so the header is at
+the head iff ``flits_removed == 0``), and the tail is buffered iff
+``flits_received`` equals the message length.  This removes one Python object
+allocation per flit per hop from the hot path while keeping the cycle-level
+semantics — backpressure, one flit per channel per cycle, header/tail events —
+bit-identical to the object-based model.
 
 The :class:`InjectionChannel` plays the role of the injection physical channel
 from the local PE: it streams the flits of one message into the router at one
-flit per cycle, subject to the same allocation rules as a network virtual
-channel.
+flit per cycle (a counter bump per flit), subject to the same allocation rules
+as a network virtual channel.
+
+Both channel kinds cache a direct reference to their allocated downstream
+:class:`VirtualChannel` (``down_vc``), assigned together with the output port
+by the engine's allocator, so the per-cycle transfer stage needs no
+port-arithmetic or router lookups.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Optional
+from typing import Optional
 
-from repro.network.flit import Flit
 from repro.network.message import Message
 
 __all__ = ["SINK_NONE", "SINK_FINAL", "SINK_INTERMEDIATE", "SINK_FAULT",
@@ -37,7 +59,7 @@ SINK_FAULT = 3
 
 
 class VirtualChannel:
-    """One input virtual channel of a router.
+    """One input virtual channel of a router (count-based buffer).
 
     Attributes
     ----------
@@ -52,9 +74,16 @@ class VirtualChannel:
     owner:
         Message currently holding the VC (wormhole: from header acquisition
         until the tail flit has left), or ``None``.
+    flits_received / flits_removed:
+        Counters of the owning message's flits that entered / left the buffer;
+        see the module docstring for the derived per-flit facts.
     out_node, out_port, out_vc:
         Output assignment: the downstream router, the output port at *this*
         router, and the downstream input VC index the message was allocated.
+    down_vc:
+        Direct reference to the allocated downstream :class:`VirtualChannel`
+        (``None`` while unrouted), cached so the transfer stage skips the
+        port-arithmetic lookup.
     sink:
         One of the ``SINK_*`` constants; non-zero while the message is being
         ejected/absorbed at this router.
@@ -65,11 +94,15 @@ class VirtualChannel:
         "port",
         "index",
         "capacity",
-        "buffer",
         "owner",
+        "flits_received",
+        "flits_removed",
         "out_node",
         "out_port",
         "out_vc",
+        "down_vc",
+        "out_key",
+        "pending_decision",
         "sink",
     )
 
@@ -80,11 +113,21 @@ class VirtualChannel:
         self.port = port
         self.index = index
         self.capacity = capacity
-        self.buffer: Deque[Flit] = deque()
         self.owner: Optional[Message] = None
+        self.flits_received = 0
+        self.flits_removed = 0
         self.out_node = -1
         self.out_port = -1
         self.out_vc = -1
+        self.down_vc: Optional["VirtualChannel"] = None
+        # ``(node, out_port)`` switch-request key, built once at assignment so
+        # the per-cycle transfer stage does not allocate a tuple per request.
+        self.out_key: Optional[tuple] = None
+        # Routing decision awaiting allocation.  ``route`` is a pure function
+        # of (node, header) and the header cannot change while its message
+        # waits here, so the decision of a blocked header is cached across
+        # cycles instead of being recomputed.
+        self.pending_decision = None
         self.sink = SINK_NONE
 
     # ------------------------------------------------------------------ #
@@ -98,24 +141,36 @@ class VirtualChannel:
     @property
     def occupancy(self) -> int:
         """Number of flits currently buffered."""
-        return len(self.buffer)
+        return self.flits_received - self.flits_removed
 
     @property
     def has_space(self) -> bool:
         """True when at least one more flit fits into the buffer."""
-        return len(self.buffer) < self.capacity
+        return self.flits_received - self.flits_removed < self.capacity
 
     @property
-    def head_flit(self) -> Optional[Flit]:
-        """The flit at the head of the buffer, if any."""
-        return self.buffer[0] if self.buffer else None
+    def head_at_front(self) -> bool:
+        """True when the header flit is buffered at the front of the queue."""
+        return self.flits_removed == 0 and self.flits_received > 0
+
+    @property
+    def tail_buffered(self) -> bool:
+        """True when the owning message's tail flit is in the buffer."""
+        return (
+            self.owner is not None
+            and self.flits_received == self.owner.length
+            and self.flits_received > self.flits_removed
+        )
 
     @property
     def needs_routing(self) -> bool:
-        """True when a header flit waits at the buffer head without an output."""
-        if self.sink != SINK_NONE or self.out_port >= 0 or not self.buffer:
-            return False
-        return self.buffer[0].is_head
+        """True when the header flit waits at the buffer head without an output."""
+        return (
+            self.sink == SINK_NONE
+            and self.out_port < 0
+            and self.flits_removed == 0
+            and self.flits_received > 0
+        )
 
     @property
     def has_output(self) -> bool:
@@ -134,38 +189,68 @@ class VirtualChannel:
             )
         self.owner = message
 
-    def assign_output(self, out_node: int, out_port: int, out_vc: int) -> None:
+    def assign_output(
+        self,
+        out_node: int,
+        out_port: int,
+        out_vc: int,
+        down_vc: Optional["VirtualChannel"] = None,
+    ) -> None:
         """Record the output the header was routed and allocated to."""
         self.out_node = out_node
         self.out_port = out_port
         self.out_vc = out_vc
+        self.down_vc = down_vc
+        self.out_key = (self.node, out_port)
+        self.pending_decision = None
 
-    def push(self, flit: Flit) -> None:
-        """Accept a flit arriving over the physical channel."""
-        if len(self.buffer) >= self.capacity:
+    def receive_flit(self) -> None:
+        """Accept one flit arriving over the physical channel."""
+        if self.flits_received - self.flits_removed >= self.capacity:
             raise RuntimeError(
                 f"buffer overflow on virtual channel ({self.node}, port {self.port}, "
                 f"vc {self.index})"
             )
-        self.buffer.append(flit)
+        self.flits_received += 1
 
-    def pop(self) -> Flit:
-        """Remove and return the flit at the buffer head."""
-        return self.buffer.popleft()
+    def pop_flit(self) -> int:
+        """Remove the flit at the buffer head; returns its index in the message.
+
+        Index 0 is the header flit; index ``length - 1`` is the tail.
+        """
+        if self.flits_received <= self.flits_removed:
+            raise RuntimeError(
+                f"pop from empty virtual channel ({self.node}, port {self.port}, "
+                f"vc {self.index})"
+            )
+        index = self.flits_removed
+        self.flits_removed = index + 1
+        return index
+
+    def drain_buffered(self) -> bool:
+        """Consume every buffered flit; True when the tail was among them."""
+        tail = self.owner is not None and self.flits_received == self.owner.length
+        self.flits_removed = self.flits_received
+        return tail
 
     def release(self) -> None:
         """Free the VC after the tail flit has left (or been consumed)."""
         self.owner = None
+        self.flits_received = 0
+        self.flits_removed = 0
         self.out_node = -1
         self.out_port = -1
         self.out_vc = -1
+        self.down_vc = None
+        self.out_key = None
+        self.pending_decision = None
         self.sink = SINK_NONE
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         owner = self.owner.message_id if self.owner else None
         return (
             f"VC(node={self.node}, port={self.port}, vc={self.index}, "
-            f"owner={owner}, occ={len(self.buffer)}/{self.capacity}, sink={self.sink})"
+            f"owner={owner}, occ={self.occupancy}/{self.capacity}, sink={self.sink})"
         )
 
 
@@ -175,10 +260,13 @@ class InjectionChannel:
     Unlike a network :class:`VirtualChannel` it does not buffer flits — the PE
     is assumed to hold the message until the network has accepted it — but it
     obeys the same bandwidth rule: at most one flit enters the network per
-    cycle per injection channel.
+    cycle per injection channel.  A flit "entering the network" is a counter
+    bump (``flits_sent``); no flit object is materialised.
     """
 
-    __slots__ = ("node", "index", "message", "flits_sent", "out_node", "out_port", "out_vc")
+    __slots__ = ("node", "index", "message", "flits_sent",
+                 "out_node", "out_port", "out_vc", "down_vc",
+                 "out_key", "pending_decision")
 
     def __init__(self, node: int, index: int) -> None:
         self.node = node
@@ -188,6 +276,9 @@ class InjectionChannel:
         self.out_node = -1
         self.out_port = -1
         self.out_vc = -1
+        self.down_vc: Optional[VirtualChannel] = None
+        self.out_key: Optional[tuple] = None
+        self.pending_decision = None
 
     @property
     def is_free(self) -> bool:
@@ -221,27 +312,37 @@ class InjectionChannel:
         self.out_node = -1
         self.out_port = -1
         self.out_vc = -1
+        self.down_vc = None
+        self.out_key = None
+        self.pending_decision = None
 
-    def assign_output(self, out_node: int, out_port: int, out_vc: int) -> None:
+    def assign_output(
+        self,
+        out_node: int,
+        out_port: int,
+        out_vc: int,
+        down_vc: Optional[VirtualChannel] = None,
+    ) -> None:
         """Record the output the header was routed and allocated to."""
         self.out_node = out_node
         self.out_port = out_port
         self.out_vc = out_vc
+        self.down_vc = down_vc
+        self.out_key = (self.node, out_port)
+        self.pending_decision = None
 
-    def next_flit(self) -> Flit:
-        """Create and account for the next flit entering the network."""
+    def next_flit(self) -> int:
+        """Account for the next flit entering the network; returns its index.
+
+        Index 0 is the header flit; index ``message.length - 1`` is the tail.
+        This is the count-based replacement for the old per-flit object
+        creation: one integer increment per injected flit.
+        """
         if self.message is None:
             raise RuntimeError("injection channel has no message loaded")
-        message = self.message
         index = self.flits_sent
-        flit = Flit(
-            message,
-            index,
-            is_head=(index == 0),
-            is_tail=(index == message.length - 1),
-        )
-        self.flits_sent += 1
-        return flit
+        self.flits_sent = index + 1
+        return index
 
     def release(self) -> None:
         """Detach the fully injected (or software-recalled) message."""
@@ -250,6 +351,9 @@ class InjectionChannel:
         self.out_node = -1
         self.out_port = -1
         self.out_vc = -1
+        self.down_vc = None
+        self.out_key = None
+        self.pending_decision = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mid = self.message.message_id if self.message else None

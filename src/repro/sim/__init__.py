@@ -14,6 +14,7 @@ from repro.sim.parallel import (
     PointAggregate,
     ReplicatedSweepResult,
     SweepExecutor,
+    SweepPointCache,
     aggregate_replications,
     default_jobs,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "latency_throughput_curve",
     "fault_count_sweep",
     "SweepExecutor",
+    "SweepPointCache",
     "ReplicatedSweepResult",
     "PointAggregate",
     "aggregate_replications",

@@ -15,7 +15,10 @@ substrate the ROADMAP's scaling work builds on:
 * :class:`ReplicatedSweepResult` aggregates the replications of each point
   into mean ± 95 % confidence-interval series, which is what the paper's
   methodology ("each of them corresponding to a different randomly selected
-  failures") calls for and what the serial harness never provided.
+  failures") calls for and what the serial harness never provided;
+* :class:`SweepPointCache` memoises ``(config, seed) → result`` so repeated
+  figure runs — and the sweep points shared between figures — skip the
+  already-simulated points entirely.
 
 The executor is deliberately free of simulation knowledge: workers receive a
 pickled :class:`~repro.sim.config.SimulationConfig` and return a
@@ -27,7 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,6 +46,7 @@ __all__ = [
     "PointAggregate",
     "ReplicatedSweepResult",
     "SweepExecutor",
+    "SweepPointCache",
     "SweepSeriesMixin",
     "aggregate_replications",
     "default_jobs",
@@ -62,6 +66,99 @@ def _run_indexed(task: Tuple[int, SimulationConfig]) -> Tuple[int, SimulationRes
     """Pool worker: run one pickled configuration, tagged with its index."""
     index, config = task
     return index, run_simulation(config)
+
+
+# --------------------------------------------------------------------------- #
+# the sweep-point memo cache
+# --------------------------------------------------------------------------- #
+class SweepPointCache:
+    """In-memory ``(config, seed) → SimulationResult`` memo cache.
+
+    A simulation's metrics are a pure function of its configuration (the seed
+    is a config field), so repeated figure runs — and sweep points shared
+    between figures, e.g. the fault-free series of Figs. 3 and 4 — can skip
+    points that were already simulated.  Share one cache instance between
+    executors to share points across sweeps.
+
+    The key covers every field that influences the simulated dynamics;
+    ``metadata`` (free-form report labels) is deliberately excluded, and a hit
+    returns a result rebound to the *requesting* configuration so the caller's
+    labels are preserved.  Topologies are keyed by class and radices,
+    fault sets by their sorted node/link contents.
+
+    ``hits`` / ``misses`` counters make cache behaviour observable in tests
+    and progress reports.  The cache is process-local: executor workers run
+    only the misses, and results are inserted in the parent process.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @staticmethod
+    def key_of(config: SimulationConfig) -> Tuple:
+        """The hashable identity of a configuration's simulated dynamics."""
+        topology = config.topology
+        faults = config.faults
+        return (
+            type(topology).__name__,
+            topology.radices,
+            config.routing,
+            config.num_virtual_channels,
+            config.buffer_depth,
+            config.message_length,
+            config.injection_rate,
+            config.traffic_process,
+            config.traffic_pattern,
+            tuple(sorted(faults.nodes)),
+            tuple(sorted(faults.links)),
+            config.warmup_messages,
+            config.measure_messages,
+            config.max_cycles,
+            config.reinjection_delay,
+            config.router_decision_time,
+            config.seed,
+            config.saturation_queue_limit,
+            config.keep_records,
+        )
+
+    @staticmethod
+    def _detached_metrics(result: SimulationResult):
+        """A metrics copy with fresh mutable containers.
+
+        Both ``put`` and ``get`` detach the metrics' dict fields so that a
+        caller mutating a served (or previously stored) result can never
+        corrupt the cache entry or other hits.
+        """
+        metrics = result.metrics
+        return replace(
+            metrics,
+            absorptions_by_node=dict(metrics.absorptions_by_node),
+            extras=dict(metrics.extras),
+        )
+
+    def get(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        """The memoised result for ``config``, rebound to it, or ``None``."""
+        cached = self._store.get(self.key_of(config))
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SimulationResult(config=config, metrics=self._detached_metrics(cached))
+
+    def put(self, config: SimulationConfig, result: SimulationResult) -> None:
+        """Memoise a finished run."""
+        self._store[self.key_of(config)] = SimulationResult(
+            config=config, metrics=self._detached_metrics(result)
+        )
+
+    def clear(self) -> None:
+        """Drop every memoised result (counters are kept)."""
+        self._store.clear()
 
 
 # --------------------------------------------------------------------------- #
@@ -200,6 +297,12 @@ class SweepExecutor:
         Independent seeds per sweep point; each replication's seed is derived
         from the base seed via the scheme documented in
         :mod:`repro.sim.config`.
+    cache:
+        Optional :class:`SweepPointCache`; configurations already simulated
+        (same dynamics, same seed) return their memoised result instead of
+        re-running.  Pass a shared instance to share points across sweeps and
+        figures.  Since a cached result is bit-identical to a fresh run by
+        construction, caching never changes a sweep's output.
 
     Determinism contract: for a fixed base seed, every ``(point,
     replication)`` run receives a seed that depends only on the base seed and
@@ -207,7 +310,12 @@ class SweepExecutor:
     ``jobs`` changes wall-clock time, never a single output bit.
     """
 
-    def __init__(self, jobs: int = 1, replications: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        replications: int = 1,
+        cache: Optional[SweepPointCache] = None,
+    ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ConfigurationError(
                 f"jobs must be a positive integer (got {jobs!r}); "
@@ -219,6 +327,7 @@ class SweepExecutor:
             )
         self.jobs = jobs
         self.replications = replications
+        self.cache = cache
 
     @property
     def effective_jobs(self) -> int:
@@ -244,30 +353,77 @@ class SweepExecutor:
         serial, in completion order when parallel.
         """
         configs = list(configs)
-        workers = min(self.effective_jobs, len(configs))
+        cache = self.cache
+        results: List[Optional[SimulationResult]] = [None] * len(configs)
+        miss_indices: List[int] = []
+        if cache is None:
+            miss_indices = list(range(len(configs)))
+        else:
+            for index, config in enumerate(configs):
+                results[index] = cache.get(config)
+                if results[index] is None:
+                    miss_indices.append(index)
+
+        # The pool is sized by (and only created for) the cache misses: a
+        # warm-cache rerun answers everything from the parent process.
+        workers = min(self.effective_jobs, len(miss_indices))
         if workers <= 1:
-            results = []
-            for config in configs:
-                result = run_simulation(config)
-                results.append(result)
+            for index, result in enumerate(results):
+                if result is None:
+                    result = run_simulation(configs[index])
+                    if cache is not None:
+                        cache.put(configs[index], result)
+                    results[index] = result
                 if progress is not None:
                     progress(result)
-            return results
+            return results  # type: ignore[return-value]
+
+        if progress is not None:
+            for result in results:
+                if result is not None:
+                    progress(result)
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=workers) as pool:
-            return self._map_pool(pool, configs, progress)
+            for index, result in pool.imap_unordered(
+                _run_indexed, [(i, configs[i]) for i in miss_indices], chunksize=1
+            ):
+                results[index] = result
+                if cache is not None:
+                    cache.put(configs[index], result)
+                if progress is not None:
+                    progress(result)
+        return results  # type: ignore[return-value]
 
-    @staticmethod
     def _map_pool(
+        self,
         pool,
         configs: Sequence[SimulationConfig],
         progress: Optional[Callable[[SimulationResult], None]] = None,
     ) -> List[SimulationResult]:
+        """Pool-map ``configs`` in submission order, serving cache hits locally.
+
+        Only cache misses are dispatched to workers; hits are answered from
+        the parent-process cache (their ``progress`` fires immediately, before
+        the pooled runs complete).
+        """
         ordered: List[Optional[SimulationResult]] = [None] * len(configs)
-        for index, result in pool.imap_unordered(
-            _run_indexed, list(enumerate(configs)), chunksize=1
-        ):
+        miss_tasks: List[Tuple[int, SimulationConfig]] = []
+        cache = self.cache
+        if cache is None:
+            miss_tasks = list(enumerate(configs))
+        else:
+            for index, config in enumerate(configs):
+                hit = cache.get(config)
+                if hit is not None:
+                    ordered[index] = hit
+                    if progress is not None:
+                        progress(hit)
+                else:
+                    miss_tasks.append((index, config))
+        for index, result in pool.imap_unordered(_run_indexed, miss_tasks, chunksize=1):
             ordered[index] = result
+            if cache is not None:
+                cache.put(configs[index], result)
             if progress is not None:
                 progress(result)
         return ordered  # type: ignore[return-value]

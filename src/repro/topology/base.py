@@ -47,6 +47,12 @@ class Topology(ABC):
         self._num_nodes = 1
         for k in radices:
             self._num_nodes *= k
+        # Coordinate table: the id -> coords conversion is on the routing hot
+        # path (every routing decision converts at least two ids), so it is
+        # precomputed once per topology instead of divmod-looping per call.
+        self._coords_table: List[Tuple[int, ...]] = [
+            id_to_coords(node, radices) for node in range(self._num_nodes)
+        ]
         # Neighbour table: _neighbors[node][port] -> neighbour id or -1.
         self._neighbors: List[List[int]] = self._build_neighbor_table()
 
@@ -90,8 +96,8 @@ class Topology(ABC):
     # address algebra
     # ------------------------------------------------------------------ #
     def coords(self, node: int) -> Tuple[int, ...]:
-        """Coordinate tuple of node ``node``."""
-        return id_to_coords(node, self._radices)
+        """Coordinate tuple of node ``node`` (precomputed table lookup)."""
+        return self._coords_table[node]
 
     def node_id(self, coords: Sequence[int]) -> int:
         """Flat node id of the node at ``coords``."""

@@ -13,8 +13,9 @@ exact arrival times matter) are provided.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -77,6 +78,24 @@ class ArrivalStream(ABC):
         cycle numbers; implementations keep their own position.
         """
 
+    def next_arrival_cycle(self) -> Optional[Union[int, float]]:
+        """The earliest future cycle at which this stream will report an arrival.
+
+        Enables the engine's idle skip-ahead: when the network is empty it can
+        jump straight to the minimum of the per-node next-arrival cycles
+        instead of spinning through empty stages.  Must be side-effect free
+        (no RNG draws).  Returns
+
+        * an ``int`` cycle number when the next arrival time is known (its
+          exact value; ``arrivals_until`` of any earlier cycle returns 0 and
+          consumes no randomness, so skipping those cycles is RNG-neutral);
+        * ``math.inf`` when the stream will never produce another arrival;
+        * ``None`` when the stream cannot predict it — e.g. a Bernoulli
+          stream, which draws the RNG every single cycle.  Any ``None``
+          disables skip-ahead for the whole simulation.
+        """
+        return None
+
 
 class _ExponentialStream(ArrivalStream):
     """Poisson process realised through exponential inter-arrival times."""
@@ -100,6 +119,13 @@ class _ExponentialStream(ArrivalStream):
             self._next_arrival += self._draw_gap()
         return count
 
+    def next_arrival_cycle(self) -> Union[int, float]:
+        if not math.isfinite(self._next_arrival):
+            return math.inf
+        # The arrival at continuous time t is reported by the first integer
+        # cycle >= t.
+        return math.ceil(self._next_arrival)
+
 
 class _BernoulliStream(ArrivalStream):
     """At most one arrival per cycle, with probability λ."""
@@ -116,6 +142,11 @@ class _BernoulliStream(ArrivalStream):
         if self._rate <= 0:
             return 0
         return 1 if self._rng.random() < self._rate else 0
+
+    def next_arrival_cycle(self) -> Optional[Union[int, float]]:
+        # Every cycle consumes one RNG draw regardless of the outcome, so
+        # skipping cycles would change the draw sequence: unpredictable.
+        return math.inf if self._rate <= 0 else None
 
 
 class _PeriodicStream(ArrivalStream):
@@ -136,6 +167,11 @@ class _PeriodicStream(ArrivalStream):
             else:
                 self._next_arrival += self._period
         return count
+
+    def next_arrival_cycle(self) -> Union[int, float]:
+        if not math.isfinite(self._next_arrival):
+            return math.inf
+        return math.ceil(self._next_arrival)
 
 
 class PoissonTraffic(TrafficGenerator):

@@ -3,8 +3,9 @@
 These tests drive the engine step by step and verify the structural invariants
 of wormhole switching with virtual channels:
 
-* a virtual-channel buffer never exceeds its capacity;
-* a virtual channel holds flits of at most one message at a time;
+* a virtual-channel buffer never exceeds its capacity (occupancy counters);
+* a virtual channel's flit counters always describe a prefix of its single
+  owning message (count-based wormhole segments);
 * each physical output channel moves at most one flit per cycle;
 * message conservation: everything generated is eventually delivered, and the
   absorption counters are consistent between messages and the collector.
@@ -47,12 +48,18 @@ def _check_structure(engine: SimulationEngine) -> None:
             continue
         for port_vcs in router.input_vcs:
             for vc in port_vcs:
-                assert len(vc.buffer) <= vc.capacity
-                owners = {flit.message.message_id for flit in vc.buffer}
-                assert len(owners) <= 1
-                if vc.buffer:
+                # Counter sanity: occupancy within capacity, counters ordered.
+                assert 0 <= vc.occupancy <= vc.capacity
+                assert 0 <= vc.flits_removed <= vc.flits_received
+                if vc.flits_received:
+                    # A channel holding (or having held) flits is owned, and
+                    # it never sees more flits than its owner's length.
                     assert vc.owner is not None
-                    assert owners == {vc.owner.message_id}
+                    assert vc.flits_received <= vc.owner.length
+                if vc.owner is None:
+                    # A free channel holds no residual flit state.
+                    assert vc.flits_received == 0 and vc.flits_removed == 0
+                    assert vc.out_port < 0 and vc.down_vc is None
 
 
 class TestStructuralInvariants:

@@ -55,6 +55,21 @@ class TestCollectorAccounting:
         assert metrics.messages_absorbed_total == 3
         assert metrics.messages_absorbed_measured == 2
 
+    def test_absorption_kinds_and_per_node_counts(self):
+        collector = MetricsCollector(num_nodes=4, warmup_messages=0)
+        collector.message_absorbed(0, node=2, fault=True)
+        collector.message_absorbed(0, node=2, fault=False)  # intermediate target
+        collector.message_absorbed(1, node=3, fault=True)
+        collector.message_absorbed(2)  # caller without node tracking
+        metrics = collector.finalize(total_cycles=100, message_length=32, offered_load=0.01)
+        assert metrics.messages_absorbed_total == 4
+        assert metrics.messages_absorbed_fault == 3
+        assert metrics.messages_absorbed_intermediate == 1
+        assert metrics.absorptions_by_node == {2: 2, 3: 1}
+        flat = metrics.as_dict()
+        assert flat["messages_absorbed_fault"] == 3
+        assert flat["messages_absorbed_intermediate"] == 1
+
     def test_keep_records(self):
         collector = MetricsCollector(num_nodes=4, keep_records=True)
         collector.message_delivered(_record(0))

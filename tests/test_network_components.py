@@ -49,9 +49,10 @@ class TestMessageAndFlits:
         with pytest.raises(ValueError):
             _message(source=3, destination=3)
 
-    def test_flit_initial_state(self):
+    def test_flit_value_object_attributes(self):
         flit = Flit(_message(), 0, True, False)
-        assert flit.moved_cycle == -1
+        assert flit.index == 0
+        assert flit.is_head and not flit.is_tail
 
 
 class TestVirtualChannel:
@@ -60,27 +61,34 @@ class TestVirtualChannel:
         assert vc.is_free
         assert vc.has_space
         assert not vc.needs_routing
-        assert vc.head_flit is None
+        assert not vc.head_at_front
+        assert vc.occupancy == 0
+        assert vc.down_vc is None
         assert vc.sink == SINK_NONE
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             VirtualChannel(0, 0, 0, capacity=0)
 
-    def test_reserve_push_pop_release_cycle(self):
+    def test_reserve_receive_pop_release_cycle(self):
         vc = VirtualChannel(0, 0, 0, capacity=2)
+        down = VirtualChannel(1, 0, 1, capacity=2)
         message = _message()
-        flits = message.make_flits()
         vc.reserve(message)
         assert not vc.is_free
-        vc.push(flits[0])
-        assert vc.needs_routing  # head flit waiting, no output assigned
-        vc.assign_output(out_node=1, out_port=0, out_vc=1)
+        vc.receive_flit()
+        assert vc.occupancy == 1
+        assert vc.head_at_front
+        assert vc.needs_routing  # header flit waiting, no output assigned
+        vc.assign_output(out_node=1, out_port=0, out_vc=1, down_vc=down)
         assert vc.has_output
+        assert vc.down_vc is down
         assert not vc.needs_routing
-        assert vc.pop() is flits[0]
+        assert vc.pop_flit() == 0  # the header flit leaves first
+        assert vc.occupancy == 0
+        assert not vc.head_at_front
         vc.release()
-        assert vc.is_free and not vc.has_output
+        assert vc.is_free and not vc.has_output and vc.down_vc is None
 
     def test_double_reservation_rejected(self):
         vc = VirtualChannel(0, 0, 0, capacity=2)
@@ -90,48 +98,79 @@ class TestVirtualChannel:
 
     def test_buffer_overflow_rejected(self):
         vc = VirtualChannel(0, 0, 0, capacity=1)
-        message = _message()
-        flits = message.make_flits()
-        vc.push(flits[0])
+        vc.receive_flit()
         assert not vc.has_space
         with pytest.raises(RuntimeError):
-            vc.push(flits[1])
+            vc.receive_flit()
+
+    def test_pop_from_empty_buffer_rejected(self):
+        with pytest.raises(RuntimeError):
+            VirtualChannel(0, 0, 0, capacity=1).pop_flit()
 
     def test_needs_routing_only_for_header_at_head(self):
         vc = VirtualChannel(0, 0, 0, capacity=2)
         message = _message()
-        flits = message.make_flits()
         vc.reserve(message)
-        vc.push(flits[1])  # a body flit at the head does not trigger routing
+        vc.receive_flit()
+        vc.pop_flit()  # the header has moved on; later flits are body flits
+        vc.receive_flit()
+        assert not vc.head_at_front
         assert not vc.needs_routing
 
     def test_sink_state_suppresses_routing(self):
         vc = VirtualChannel(0, 0, 0, capacity=2)
         message = _message()
         vc.reserve(message)
-        vc.push(message.make_flits()[0])
+        vc.receive_flit()
         vc.sink = SINK_FAULT
         assert not vc.needs_routing
+
+    def test_flit_indices_track_message_positions(self):
+        message = _message(length=3)
+        vc = VirtualChannel(0, 0, 0, capacity=2)
+        vc.reserve(message)
+        vc.receive_flit()
+        vc.receive_flit()
+        assert vc.pop_flit() == 0
+        assert vc.pop_flit() == 1
+        vc.receive_flit()  # the tail arrives
+        assert vc.tail_buffered
+        assert vc.pop_flit() == message.length - 1
+
+    def test_drain_buffered_reports_tail(self):
+        message = _message(length=3)
+        vc = VirtualChannel(0, 0, 0, capacity=2)
+        vc.reserve(message)
+        vc.receive_flit()
+        vc.receive_flit()
+        assert not vc.tail_buffered
+        assert not vc.drain_buffered()  # tail not yet received
+        assert vc.occupancy == 0
+        vc.receive_flit()
+        assert vc.tail_buffered
+        assert vc.drain_buffered()
+        assert vc.occupancy == 0
 
 
 class TestInjectionChannel:
     def test_load_and_stream_flits(self):
         channel = InjectionChannel(node=3, index=0)
+        down = VirtualChannel(4, 0, 1, capacity=2)
         message = _message(length=3)
         channel.load(message)
         assert not channel.is_free
         assert channel.needs_routing
         assert channel.flits_remaining == 3
-        channel.assign_output(out_node=4, out_port=0, out_vc=1)
+        channel.assign_output(out_node=4, out_port=0, out_vc=1, down_vc=down)
         assert channel.has_output and not channel.needs_routing
-        first = channel.next_flit()
-        assert first.is_head
+        assert channel.down_vc is down
+        assert channel.next_flit() == 0  # the header flit
         channel.next_flit()
-        tail = channel.next_flit()
-        assert tail.is_tail
+        assert channel.next_flit() == message.length - 1  # the tail flit
         assert channel.flits_remaining == 0
         channel.release()
         assert channel.is_free
+        assert channel.down_vc is None
 
     def test_double_load_rejected(self):
         channel = InjectionChannel(0, 0)

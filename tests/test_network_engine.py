@@ -10,7 +10,7 @@ from repro.network.engine import SimulationEngine
 from repro.routing.dimension_order import DimensionOrderRouting
 from repro.core.swbased_nd import SoftwareBasedRouting
 from repro.topology.torus import TorusTopology
-from repro.traffic.generators import PoissonTraffic
+from repro.traffic.generators import BernoulliTraffic, PeriodicTraffic, PoissonTraffic
 from repro.traffic.patterns import UniformPattern
 
 
@@ -132,6 +132,18 @@ class TestFaultHandling:
         assert record.absorptions == 0
         assert record.hops == torus_8x8.distance(src, dst)
 
+    def test_absorption_kinds_are_recorded_per_node(self, torus_8x8):
+        blocker = torus_8x8.node_id((1, 0))
+        faults = FaultSet.from_nodes([blocker])
+        engine = _engine(torus_8x8, faults=faults, rate=0.02, measure_messages=40)
+        engine.run()
+        metrics = engine.collector.finalize(engine.cycle, 4, 0.02)
+        assert metrics.messages_absorbed_total == (
+            metrics.messages_absorbed_fault + metrics.messages_absorbed_intermediate
+        )
+        assert sum(metrics.absorptions_by_node.values()) == metrics.messages_absorbed_total
+        assert blocker not in metrics.absorptions_by_node  # faulty nodes absorb nothing
+
     def test_messages_to_or_from_faulty_nodes_rejected(self, torus_8x8):
         faulty = torus_8x8.node_id((1, 1))
         faults = FaultSet.from_nodes([faulty])
@@ -222,3 +234,60 @@ class TestRandomTraffic:
             _engine(torus_4x4, message_length=0)
         with pytest.raises(ConfigurationError):
             _engine(torus_4x4, buffer_depth=0)
+
+
+def _engine_with_traffic(topology, traffic, **kwargs):
+    faults = FaultSet.empty()
+    routing = SoftwareBasedRouting.deterministic(
+        topology, faults=faults, num_virtual_channels=2
+    )
+    return SimulationEngine(
+        topology=topology,
+        routing=routing,
+        traffic=traffic,
+        pattern=UniformPattern(topology),
+        faults=faults,
+        message_length=4,
+        warmup_messages=0,
+        measure_messages=kwargs.pop("measure_messages", 10),
+        seed=kwargs.pop("seed", 1),
+        keep_records=True,
+        **kwargs,
+    )
+
+
+class TestIdleSkipAhead:
+    def test_idle_step_jumps_to_the_next_known_arrival(self, torus_4x4):
+        # Periodic traffic with the first arrival at cycle 500: an idle
+        # network jumps there in a single step instead of spinning.
+        engine = _engine_with_traffic(
+            torus_4x4, PeriodicTraffic(rate=0.001, phase=500.0)
+        )
+        engine.step()
+        assert engine.cycle == 500
+        assert engine.collector.generated_messages == 16  # one per node
+
+    def test_unpredictable_streams_disable_skip_ahead(self, torus_4x4):
+        engine = _engine_with_traffic(torus_4x4, BernoulliTraffic(rate=0.0001), seed=3)
+        engine.step()
+        assert engine.cycle == 1  # no jump: Bernoulli draws the RNG every cycle
+
+    def test_skip_ahead_never_jumps_past_max_cycles(self, torus_4x4):
+        engine = _engine_with_traffic(
+            torus_4x4, PeriodicTraffic(rate=0.001, phase=900.0), max_cycles=300
+        )
+        metrics = engine.run()
+        assert metrics.total_cycles == 300  # the historical spin-to-cap outcome
+        assert metrics.generated_messages == 0
+
+    def test_skip_ahead_metrics_match_low_rate_poisson_reference(self, torus_4x4):
+        # A low-rate run crosses many idle stretches; its metrics must be
+        # unaffected by whether those stretches are skipped or stepped
+        # (pinned globally by the golden tests, spot-checked here).
+        engine = _engine_with_traffic(
+            torus_4x4, PoissonTraffic(0.0005), seed=11, measure_messages=5
+        )
+        metrics = engine.run()
+        assert metrics.delivered_messages >= 5
+        for record in engine.collector.records:
+            assert record.created <= record.injected <= record.delivered

@@ -15,6 +15,7 @@ from repro.sim.config import SimulationConfig
 from repro.sim.parallel import (
     ReplicatedSweepResult,
     SweepExecutor,
+    SweepPointCache,
     aggregate_replications,
 )
 from repro.sim.runner import SimulationResult, run_simulation
@@ -162,6 +163,96 @@ class TestReplicatedSweep:
             fast_config, [0.005, 0.01], progress=seen.append
         )
         assert len(seen) == 4
+
+
+class TestSweepPointCache:
+    def test_cache_hit_returns_identical_replicated_sweep(self, fast_config, monkeypatch):
+        import repro.sim.parallel as parallel_mod
+
+        runs = []
+        real_run = parallel_mod.run_simulation
+        monkeypatch.setattr(
+            parallel_mod,
+            "run_simulation",
+            lambda config: runs.append(config) or real_run(config),
+        )
+        cache = SweepPointCache()
+        executor = SweepExecutor(replications=2, cache=cache)
+        rates = [0.005, 0.02]
+        first = executor.run_injection_rate_sweep(fast_config, rates, label="cached")
+        assert len(runs) == 4 and cache.hits == 0  # cold cache: everything ran
+        second = executor.run_injection_rate_sweep(fast_config, rates, label="cached")
+        assert len(runs) == 4  # warm cache: nothing re-ran
+        assert cache.hits == 4
+        assert second.rates == first.rates
+        assert second.latency_mean == first.latency_mean
+        assert second.latency_ci == first.latency_ci
+        assert second.throughput_mean == first.throughput_mean
+        assert second.queued_mean == first.queued_mean
+        assert second.saturated == first.saturated
+        for p1, p2 in zip(first.results, second.results):
+            for r1, r2 in zip(p1, p2):
+                assert r1.metrics.as_dict() == r2.metrics.as_dict()
+
+    def test_cache_hits_across_different_metadata_labels(self, fast_config):
+        cache = SweepPointCache()
+        executor = SweepExecutor(cache=cache)
+        base = fast_config.with_updates(metadata={"figure": "fig3"})
+        executor.run_configs([base])
+        relabelled = fast_config.with_updates(metadata={"figure": "fig4"})
+        (result,) = executor.run_configs([relabelled])
+        assert cache.hits == 1
+        # The memoised metrics come back bound to the requesting config.
+        assert result.config.metadata["figure"] == "fig4"
+
+    def test_distinct_seeds_are_distinct_entries(self, fast_config):
+        cache = SweepPointCache()
+        executor = SweepExecutor(cache=cache)
+        executor.run_configs([fast_config, fast_config.with_updates(seed=99)])
+        assert cache.hits == 0
+        assert len(cache) == 2
+
+    def test_parallel_and_serial_share_cache_semantics(self, fast_config):
+        cache = SweepPointCache()
+        serial = SweepExecutor(jobs=1, cache=cache).run_configs(
+            [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        )
+        parallel = SweepExecutor(jobs=2, cache=cache).run_configs(
+            [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        )
+        assert cache.hits == 3
+        for a, b in zip(serial, parallel):
+            assert a.metrics.as_dict() == b.metrics.as_dict()
+
+    def test_cached_results_are_isolated_from_caller_mutation(self, fast_config):
+        cache = SweepPointCache()
+        executor = SweepExecutor(cache=cache)
+        (first,) = executor.run_configs([fast_config])
+        first.metrics.extras["note"] = "mutated by caller"
+        first.metrics.absorptions_by_node[999] = 1
+        (second,) = executor.run_configs([fast_config])
+        assert cache.hits == 1
+        assert "note" not in second.metrics.extras
+        assert 999 not in second.metrics.absorptions_by_node
+
+    def test_warm_cache_parallel_rerun_spawns_no_workers(self, fast_config, monkeypatch):
+        import multiprocessing
+
+        cache = SweepPointCache()
+        executor = SweepExecutor(jobs=2, cache=cache)
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2)]
+        executor.run_configs(configs)
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - failure path only
+            raise AssertionError("a warm-cache rerun must not create a pool")
+
+        monkeypatch.setattr(multiprocessing.get_context("fork"), "Pool", _no_pool, raising=False)
+        results = executor.run_configs(configs)
+        assert cache.hits == 2
+        assert all(r is not None for r in results)
+
+    def test_uncached_executor_is_default(self, fast_config):
+        assert SweepExecutor().cache is None
 
 
 class TestAggregationProperties:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -89,3 +91,37 @@ class TestPeriodicTraffic:
     def test_negative_phase_rejected(self):
         with pytest.raises(ValueError):
             PeriodicTraffic(0.5, phase=-1.0)
+
+
+class TestNextArrivalCycle:
+    """The skip-ahead contract: predictable streams report their next arrival."""
+
+    def test_poisson_reports_the_exact_next_arrival(self):
+        stream = PoissonTraffic(0.01).make_source(np.random.default_rng(7))
+        nxt = stream.next_arrival_cycle()
+        assert nxt == math.ceil(stream._next_arrival)
+        # No arrival strictly before the reported cycle, at least one at it.
+        assert stream.arrivals_until(nxt - 1) == 0
+        assert stream.arrivals_until(nxt) >= 1
+
+    def test_poisson_prediction_is_side_effect_free(self):
+        stream = PoissonTraffic(0.01).make_source(np.random.default_rng(7))
+        assert stream.next_arrival_cycle() == stream.next_arrival_cycle()
+
+    def test_zero_rate_poisson_never_arrives(self):
+        stream = PoissonTraffic(0.0).make_source(np.random.default_rng(0))
+        assert stream.next_arrival_cycle() == math.inf
+
+    def test_bernoulli_cannot_predict(self):
+        stream = BernoulliTraffic(0.5).make_source(np.random.default_rng(0))
+        assert stream.next_arrival_cycle() is None
+        idle = BernoulliTraffic(0.0).make_source(np.random.default_rng(0))
+        assert idle.next_arrival_cycle() == math.inf
+
+    def test_periodic_reports_phase_then_period(self):
+        stream = PeriodicTraffic(0.25, phase=3.0).make_source(np.random.default_rng(0))
+        assert stream.next_arrival_cycle() == 3
+        assert stream.arrivals_until(3) == 1
+        assert stream.next_arrival_cycle() == 7
+        never = PeriodicTraffic(0.0).make_source(np.random.default_rng(0))
+        assert never.next_arrival_cycle() == math.inf
