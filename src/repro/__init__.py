@@ -63,18 +63,28 @@ from repro.routing import (
 from repro.sim import (
     LoadSweepResult,
     ReplicatedSweepResult,
+    ShardSpec,
     SimulationConfig,
     SimulationResult,
     SweepExecutor,
     SweepPointCache,
     aggregate_replications,
     build_engine,
+    config_hash,
+    config_key,
     default_jobs,
     derive_child_seeds,
     derive_sweep_seeds,
     fault_count_sweep,
     injection_rate_sweep,
     run_simulation,
+)
+from repro.campaign import (
+    CampaignPlan,
+    PointStore,
+    campaign_status,
+    merge_campaign,
+    run_campaign,
 )
 from repro.topology import MeshTopology, TorusTopology
 from repro.traffic import PoissonTraffic, make_pattern
@@ -117,14 +127,23 @@ __all__ = [
     "injection_rate_sweep",
     "fault_count_sweep",
     "LoadSweepResult",
+    "ShardSpec",
     "SweepExecutor",
     "SweepPointCache",
     "ReplicatedSweepResult",
     "aggregate_replications",
+    "config_hash",
+    "config_key",
     "default_jobs",
     "derive_child_seeds",
     "derive_sweep_seeds",
     "NetworkMetrics",
+    # campaigns
+    "CampaignPlan",
+    "PointStore",
+    "campaign_status",
+    "merge_campaign",
+    "run_campaign",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -20,6 +20,7 @@ __all__ = [
     "format_table",
     "series_table",
     "replicated_series_table",
+    "campaign_status_table",
     "write_csv",
 ]
 
@@ -145,6 +146,31 @@ def replicated_series_table(
         return value
 
     return _series_grid(sweeps, cell, title=f"mean {metric} ± 95% CI vs injection rate")
+
+
+def campaign_status_table(status) -> str:
+    """Render a campaign's plan-vs-store completion as an ASCII table.
+
+    ``status`` is any object with the
+    :class:`repro.campaign.runner.CampaignStatus` attributes (duck-typed so
+    this reporting layer needs no campaign import): ``directory``, ``kind``,
+    ``total_units``, ``completed_units``, ``pending_units``, ``members`` —
+    ``(store member file, record count)`` pairs, one per writer/shard — and
+    ``skipped_records`` (torn lines ignored by the store loader).
+    """
+    rows: List[Dict[str, object]] = [
+        {"member": name, "records": count} for name, count in status.members
+    ]
+    if not rows:
+        rows = [{"member": "(no store files yet)", "records": 0}]
+    title = (
+        f"campaign {status.directory} [{status.kind}]: "
+        f"{status.completed_units}/{status.total_units} units complete, "
+        f"{status.pending_units} pending"
+    )
+    if status.skipped_records:
+        title += f" ({status.skipped_records} torn records skipped)"
+    return format_table(rows, columns=["member", "records"], title=title)
 
 
 def write_csv(rows: Sequence[Dict[str, object]], path: str) -> None:

@@ -1,0 +1,57 @@
+"""Campaigns: disk-backed result stores and resumable, shardable experiments.
+
+A *campaign* treats an experiment as a stream of independently computable,
+content-addressed simulation points instead of one monolithic in-process run
+(cf. the streaming formulations in PAPERS.md):
+
+* :class:`~repro.campaign.store.PointStore` persists every completed
+  ``(config, seed) -> NetworkMetrics`` record under a campaign directory,
+  keyed by the same :func:`repro.sim.config.config_hash` content-address the
+  in-memory :class:`~repro.sim.parallel.SweepPointCache` uses;
+* :class:`~repro.campaign.plan.CampaignPlan` enumerates every (point,
+  replication) of a sweep or figure experiment as shardable work units in a
+  ``campaign.json`` manifest;
+* :func:`~repro.campaign.runner.run_campaign` /
+  :func:`~repro.campaign.runner.merge_campaign` /
+  :func:`~repro.campaign.runner.campaign_status` implement the
+  ``plan / run --shard i/N / merge / status`` lifecycle, with kill-and-resume
+  safety and shard merges that are bit-identical to single-shot runs.
+
+The CLI front end is ``python -m repro campaign``.
+"""
+
+from repro.campaign.plan import CampaignPlan, CampaignUnit, SIMULATING_FIGURES
+from repro.campaign.runner import (
+    CampaignMerge,
+    CampaignRunReport,
+    CampaignStatus,
+    campaign_status,
+    merge_campaign,
+    run_campaign,
+)
+from repro.campaign.serialize import (
+    config_from_dict,
+    config_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from repro.campaign.store import PointStore, StoreKeyScan, shard_member_name
+
+__all__ = [
+    "CampaignMerge",
+    "CampaignPlan",
+    "CampaignRunReport",
+    "CampaignStatus",
+    "CampaignUnit",
+    "PointStore",
+    "SIMULATING_FIGURES",
+    "StoreKeyScan",
+    "campaign_status",
+    "config_from_dict",
+    "config_to_dict",
+    "merge_campaign",
+    "metrics_from_dict",
+    "metrics_to_dict",
+    "run_campaign",
+    "shard_member_name",
+]

@@ -1,0 +1,323 @@
+"""Campaign manifests: every (point, replication) of an experiment as work units.
+
+A :class:`CampaignPlan` turns a sweep or a figure experiment into an explicit,
+shardable list of :class:`CampaignUnit` work units — one fully-specified
+:class:`~repro.sim.config.SimulationConfig` per (point, replication), each
+content-addressed by :func:`repro.sim.config.config_hash`.  The manifest is
+written to ``campaign.json`` inside the campaign directory and is
+self-contained: a shard runner rebuilds the exact configurations from it
+without importing any experiment code, and the merge step re-derives the
+published series from the same enumeration.
+
+Enumeration reuses the *real* execution machinery: a
+:class:`_PlanningExecutor` (a :class:`~repro.sim.parallel.SweepExecutor` that
+records configurations instead of simulating them) is threaded through the
+same ``run_injection_rate_sweep`` / experiment ``run()`` code paths a live run
+takes, so the planned units are — by construction, not by convention — exactly
+the runs a single-process execution would perform, with identical derived
+seeds and metadata.  Saturation truncation never fires during planning (the
+recorded placeholders are all unsaturated), so the plan covers the full grid;
+the merge step re-applies the experiment's own truncation to the real,
+store-served results.  That full-grid coverage is a deliberate trade-off: a
+static work list is what makes shards coordination-free, at the cost of
+simulating deep-post-saturation points a direct run's early-stop would have
+skipped (each still bounded per-run by ``saturation_queue_limit``) and
+truncating them back out at merge time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.campaign.serialize import config_from_dict, config_to_dict
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig, config_hash
+from repro.sim.parallel import ShardSpec, SweepExecutor
+from repro.sim.runner import SimulationResult
+
+__all__ = ["CampaignPlan", "CampaignUnit", "MANIFEST_NAME", "SIMULATING_FIGURES"]
+
+#: Manifest file name inside a campaign directory.
+MANIFEST_NAME = "campaign.json"
+#: Format version stamped on the manifest.
+_MANIFEST_VERSION = 1
+#: Figures that simulate (fig1 only builds fault regions, nothing to shard).
+SIMULATING_FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def _placeholder_metrics(config: SimulationConfig) -> NetworkMetrics:
+    """A neutral (unsaturated, all-zero) metrics record for planning runs."""
+    return NetworkMetrics(
+        mean_latency=0.0,
+        latency_stddev=0.0,
+        max_latency=0.0,
+        mean_network_latency=0.0,
+        mean_hops=0.0,
+        delivered_messages=0,
+        measured_messages=0,
+        generated_messages=0,
+        measurement_cycles=0,
+        total_cycles=0,
+        num_nodes=config.topology.num_nodes,
+        message_length=config.message_length,
+        throughput_messages=0.0,
+        throughput_flits=0.0,
+        messages_absorbed_total=0,
+        messages_absorbed_measured=0,
+        absorbed_message_fraction=0.0,
+        mean_absorptions_per_message=0.0,
+        offered_load=config.injection_rate,
+        saturated=False,
+    )
+
+
+class _PlanningExecutor(SweepExecutor):
+    """An executor that records every configuration instead of simulating.
+
+    Driven through the very same sweep/experiment code a live run uses, it
+    captures the submission-order stream of configurations (validating each,
+    so a bad campaign fails at plan time, not on a remote shard) and answers
+    with unsaturated placeholders so no truncation path ever fires.
+    """
+
+    def __init__(self, replications: int = 1) -> None:
+        super().__init__(jobs=1, replications=replications)
+        self.recorded: List[SimulationConfig] = []
+
+    def run_configs(
+        self,
+        configs: Sequence[SimulationConfig],
+        progress: Optional[Callable[[SimulationResult], None]] = None,
+    ) -> List[SimulationResult]:
+        results = []
+        for config in configs:
+            config.validate()
+            self.recorded.append(config)
+            result = SimulationResult(config=config, metrics=_placeholder_metrics(config))
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One shardable work unit: a fully-specified configuration and its key."""
+
+    index: int
+    key: str
+    config: SimulationConfig
+
+
+@dataclass
+class CampaignPlan:
+    """The manifest of one campaign: what to run and how to reassemble it.
+
+    ``kind`` is ``"sweep"`` (an explicit injection-rate sweep) or
+    ``"experiment"`` (one of the paper's simulating figures); ``spec`` holds
+    the kind-specific parameters the merge step needs to re-derive the
+    published series (base configuration and rates, or figure name, seed,
+    scale and replication count).  ``units`` is the full enumeration, in the
+    submission order of a single-process run — unit ``index`` doubles as the
+    shard-assignment position.
+    """
+
+    kind: str
+    spec: dict
+    units: List[CampaignUnit] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _units_from(configs: Sequence[SimulationConfig]) -> List[CampaignUnit]:
+        return [
+            CampaignUnit(index=i, key=config_hash(c), config=c)
+            for i, c in enumerate(configs)
+        ]
+
+    @classmethod
+    def from_injection_sweep(
+        cls,
+        base_config: SimulationConfig,
+        rates: Sequence[float],
+        replications: int = 1,
+        label: Optional[str] = None,
+    ) -> "CampaignPlan":
+        """Plan a replicated injection-rate sweep of ``base_config``.
+
+        The enumerated units carry exactly the per-(point, replication)
+        configurations — derived seeds, metadata tags — that
+        :meth:`SweepExecutor.run_injection_rate_sweep` would execute with the
+        same base seed, so a merged campaign is bit-identical to a
+        single-shot run.
+        """
+        label = label or base_config.describe()
+        planner = _PlanningExecutor(replications=replications)
+        planner.run_injection_rate_sweep(
+            base_config, rates, label=label, stop_after_saturation=0
+        )
+        spec = {
+            "base_config": config_to_dict(base_config),
+            "rates": [float(r) for r in rates],
+            "label": label,
+            "replications": replications,
+        }
+        return cls(kind="sweep", spec=spec, units=cls._units_from(planner.recorded))
+
+    @classmethod
+    def from_experiment(
+        cls,
+        figure: str,
+        replications: int = 1,
+        scale=None,
+        seed: Optional[int] = None,
+    ) -> "CampaignPlan":
+        """Plan one of the paper's simulating figures (fig3–fig7).
+
+        The figure's own ``run()`` is driven with a recording executor, so
+        the plan enumerates exactly the configurations it would simulate.
+        The resolved :class:`~repro.experiments.common.ExperimentScale` is
+        pinned into the manifest: ``run``/``merge`` invocations reuse it
+        regardless of their own ``REPRO_SCALE`` environment.
+        """
+        # Imported here: repro.experiments pulls in the figure modules, which
+        # use repro.campaign lazily through the executor-resolution helper —
+        # a module-level import would be circular.
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.common import get_scale
+
+        if figure not in SIMULATING_FIGURES:
+            raise ConfigurationError(
+                f"cannot plan a campaign for {figure!r}; simulating figures are "
+                f"{', '.join(SIMULATING_FIGURES)} (fig1 builds fault regions "
+                "without simulating)"
+            )
+        scale = get_scale(scale)
+        planner = _PlanningExecutor(replications=replications)
+        kwargs = {"scale": scale, "executor": planner}
+        if seed is not None:
+            kwargs["seed"] = seed
+        EXPERIMENTS[figure].run(**kwargs)
+        spec = {
+            "figure": figure,
+            "seed": seed,
+            "replications": replications,
+            "scale": asdict(scale),
+        }
+        return cls(kind="experiment", spec=spec, units=cls._units_from(planner.recorded))
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory) -> Path:
+        """Write the manifest to ``<directory>/campaign.json`` and return its path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_NAME
+        payload = {
+            "version": _MANIFEST_VERSION,
+            "kind": self.kind,
+            "spec": self.spec,
+            "units": [
+                {"index": u.index, "key": u.key, "config": config_to_dict(u.config)}
+                for u in self.units
+            ],
+        }
+        # Atomic publish: everything else in the lifecycle depends on this one
+        # file, so a killed plan must leave either no manifest or a whole one.
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def _read_manifest(directory) -> tuple:
+        """The manifest path and version-checked payload of a campaign directory."""
+        path = Path(directory) / MANIFEST_NAME
+        if not path.exists():
+            raise ConfigurationError(
+                f"no campaign manifest at {path}; create one with "
+                "'repro campaign plan' (or CampaignPlan.save) first"
+            )
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"campaign manifest {path} is not valid JSON ({exc}); "
+                "re-plan the campaign"
+            ) from exc
+        if payload.get("version") != _MANIFEST_VERSION:
+            raise ConfigurationError(
+                f"unsupported campaign manifest version {payload.get('version')!r} "
+                f"in {path} (this library writes version {_MANIFEST_VERSION})"
+            )
+        return path, payload
+
+    @classmethod
+    def load_keys(cls, directory) -> "tuple[str, List[str]]":
+        """The manifest's kind and recorded unit keys, without rebuilding configs.
+
+        Status-style queries only need key membership, so this trusts the
+        recorded content-addresses instead of paying a config reconstruction
+        plus SHA-256 re-hash per unit the way :meth:`load` does — on
+        million-point manifests that is the difference between reading a
+        column and re-verifying the campaign.  Integrity is still enforced
+        where it matters: ``run`` and ``merge`` always go through
+        :meth:`load`.
+        """
+        _, payload = cls._read_manifest(directory)
+        return payload["kind"], [entry["key"] for entry in payload["units"]]
+
+    @classmethod
+    def load(cls, directory) -> "CampaignPlan":
+        """Load and integrity-check the manifest of a campaign directory."""
+        path, payload = cls._read_manifest(directory)
+        units = []
+        for position, entry in enumerate(payload["units"]):
+            # Shard ownership is defined by list position (unit.index doubles
+            # as it), so a reordered or hand-edited manifest must fail loudly
+            # rather than let two views of ownership disagree.
+            if int(entry["index"]) != position:
+                raise ConfigurationError(
+                    f"campaign unit at position {position} in {path} records "
+                    f"index {entry['index']}; unit indices must equal their "
+                    "list position — the manifest was reordered or hand-edited; "
+                    "re-plan the campaign"
+                )
+            try:
+                config = config_from_dict(entry["config"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"campaign unit {entry.get('index')} in {path} does not "
+                    f"reconstruct ({exc}); the manifest was hand-edited or "
+                    "written by an incompatible library version — re-plan the "
+                    "campaign"
+                ) from exc
+            # Recomputing the content-address catches any drift between the
+            # manifest writer's key function and ours: a silent mismatch
+            # would make every stored point an apparent miss.
+            key = config_hash(config)
+            if key != entry["key"]:
+                raise ConfigurationError(
+                    f"campaign unit {entry['index']} in {path} hashes to {key[:12]}… "
+                    f"but the manifest records {entry['key'][:12]}…; the manifest "
+                    "was written by an incompatible library version — re-plan the "
+                    "campaign"
+                )
+            units.append(CampaignUnit(index=int(entry["index"]), key=key, config=config))
+        return cls(kind=payload["kind"], spec=payload["spec"], units=units)
+
+    # ------------------------------------------------------------------ #
+    # shard views
+    # ------------------------------------------------------------------ #
+    def shard_units(self, shard: Optional[ShardSpec]) -> List[CampaignUnit]:
+        """The units owned by ``shard`` (all of them when ``shard`` is None)."""
+        if shard is None:
+            return list(self.units)
+        return [u for u in self.units if shard.owns(u.index)]

@@ -1,0 +1,226 @@
+"""Campaign lifecycle: run shards, merge stores, report status.
+
+The lifecycle over one campaign directory (manifest + point store):
+
+* :func:`run_campaign` executes (a shard of) the planned work units against
+  the disk-backed store — completed units are served from disk (counted as
+  ``reused``), so a killed or partial run simply resumes on re-invocation;
+* :func:`merge_campaign` re-derives the published series by replaying the
+  original sweep/experiment against the merged store: with every unit on
+  disk this simulates nothing and the output is bit-identical to a
+  single-shot run with the same base seed (any unit still missing is
+  simulated on the spot and reported);
+* :func:`campaign_status` summarises plan-vs-store completion per member
+  file, for humans and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.tables import series_table
+from repro.campaign.plan import CampaignPlan
+from repro.campaign.serialize import config_from_dict
+from repro.campaign.store import PointStore, shard_member_name
+from repro.errors import ConfigurationError
+from repro.sim.parallel import ShardSpec, SweepExecutor
+from repro.sim.runner import SimulationResult
+
+__all__ = [
+    "CampaignMerge",
+    "CampaignRunReport",
+    "CampaignStatus",
+    "campaign_status",
+    "merge_campaign",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignRunReport:
+    """What one ``run`` invocation did to a campaign."""
+
+    shard: Optional[ShardSpec]
+    total_units: int
+    shard_units: int
+    reused: int
+    simulated: int
+    deferred: int
+
+    @property
+    def completed(self) -> int:
+        """Units of this shard now present in the store."""
+        return self.reused + self.simulated
+
+    def describe(self) -> str:
+        shard = f"shard {self.shard}" if self.shard else "all shards"
+        line = (
+            f"{shard}: {self.shard_units}/{self.total_units} units owned, "
+            f"{self.simulated} simulated, {self.reused} reused from the store"
+        )
+        if self.deferred:
+            line += f", {self.deferred} deferred by --max-units"
+        return line
+
+
+@dataclass(frozen=True)
+class CampaignMerge:
+    """The outcome of merging a campaign back into its published series."""
+
+    kind: str
+    results: object
+    summary: str
+    reused: int
+    simulated: int
+
+    def describe(self) -> str:
+        line = f"merged {self.reused} stored units"
+        if self.simulated:
+            line += (
+                f"; {self.simulated} units were missing from the store and were "
+                "simulated during the merge (run the remaining shards to avoid this)"
+            )
+        return line
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Plan-vs-store completion of a campaign directory."""
+
+    directory: str
+    kind: str
+    total_units: int
+    completed_units: int
+    members: List[Tuple[str, int]]
+    skipped_records: int
+
+    @property
+    def pending_units(self) -> int:
+        return self.total_units - self.completed_units
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_units == self.total_units
+
+
+def run_campaign(
+    directory,
+    shard: Optional[ShardSpec] = None,
+    jobs: int = 1,
+    max_units: Optional[int] = None,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+) -> CampaignRunReport:
+    """Execute (a shard of) a planned campaign against its disk store.
+
+    Every owned unit already in the store is served from disk (a recorded
+    cache hit) and only the rest are simulated, so re-invoking after a kill
+    resumes exactly where the previous run stopped.  ``max_units`` bounds the
+    number of *newly simulated* units before returning — a deterministic
+    interruption used by the resume tests and the CI smoke job.  Each shard
+    appends to its own member file, so shards of one campaign can run
+    concurrently (even on different hosts against a shared or later-merged
+    directory).
+    """
+    if max_units is not None and max_units < 1:
+        raise ConfigurationError(
+            f"max_units must be a positive bound on newly simulated units "
+            f"(got {max_units}); omit it to run every pending unit"
+        )
+    plan = CampaignPlan.load(directory)
+    member = shard_member_name(shard.index, shard.count) if shard else "points"
+    store = PointStore(directory, member=member)
+    owned = plan.shard_units(shard)
+    kept = owned
+    if max_units is not None:
+        # Deterministic interruption: keep every completed unit (they resolve
+        # to store hits) plus the first ``max_units`` pending ones.
+        kept = []
+        budget = max_units
+        for unit in owned:
+            if unit.key in store:
+                kept.append(unit)
+            elif budget > 0:
+                kept.append(unit)
+                budget -= 1
+    deferred = len(owned) - len(kept)
+    executor = SweepExecutor(jobs=jobs, cache=store)
+    hits_before, misses_before = store.hits, store.misses
+    executor.run_configs([u.config for u in kept], progress=progress)
+    return CampaignRunReport(
+        shard=shard,
+        total_units=len(plan.units),
+        shard_units=len(owned),
+        reused=store.hits - hits_before,
+        simulated=store.misses - misses_before,
+        deferred=deferred,
+    )
+
+
+def merge_campaign(directory, jobs: int = 1) -> CampaignMerge:
+    """Reassemble a campaign's published series from its merged store.
+
+    Replays the original sweep or experiment with a store-backed executor:
+    stored units come back bit-identical to a fresh run by construction, so
+    the merged series equals a single-shot execution with the same base seed.
+    An experiment-kind merge runs the figure's own code, which re-applies its
+    saturation truncation against the real results; a sweep-kind merge
+    returns the full planned grid (``stop_after_saturation=0`` — the plan
+    enumerated every point, so the merge publishes every point).  Units
+    missing from the store (unfinished shards) are simulated on the spot and
+    counted in the returned report.
+    """
+    plan = CampaignPlan.load(directory)
+    store = PointStore(directory)
+    executor = SweepExecutor(
+        jobs=jobs, replications=int(plan.spec["replications"]), cache=store
+    )
+    hits_before, misses_before = store.hits, store.misses
+    if plan.kind == "sweep":
+        base = config_from_dict(plan.spec["base_config"])
+        results: object = executor.run_injection_rate_sweep(
+            base,
+            plan.spec["rates"],
+            label=plan.spec["label"],
+            stop_after_saturation=0,
+        )
+        summary = series_table([results], metric="latency")
+    else:
+        # Imported lazily for the same circularity reason as in plan.py.
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.common import ExperimentScale
+
+        module = EXPERIMENTS[plan.spec["figure"]]
+        kwargs = {"scale": ExperimentScale(**plan.spec["scale"]), "executor": executor}
+        if plan.spec.get("seed") is not None:
+            kwargs["seed"] = plan.spec["seed"]
+        results = module.run(**kwargs)
+        summary = module.summarize(results)
+    return CampaignMerge(
+        kind=plan.kind,
+        results=results,
+        summary=summary,
+        reused=store.hits - hits_before,
+        simulated=store.misses - misses_before,
+    )
+
+
+def campaign_status(directory) -> CampaignStatus:
+    """Plan-vs-store completion summary of a campaign directory.
+
+    Uses the keys-only views on both sides — :meth:`CampaignPlan.load_keys`
+    for the manifest and :meth:`PointStore.scan_keys` for the store — since
+    status answers a membership count and never needs reconstructed configs
+    or metrics, so it stays cheap on campaigns far too large to load in full.
+    """
+    kind, unit_keys = CampaignPlan.load_keys(directory)
+    scan = PointStore.scan_keys(directory)
+    completed = sum(1 for key in unit_keys if key in scan.keys)
+    return CampaignStatus(
+        directory=str(directory),
+        kind=kind,
+        total_units=len(unit_keys),
+        completed_units=completed,
+        members=scan.members,
+        skipped_records=scan.skipped_records,
+    )

@@ -5,11 +5,13 @@ Exposes the most common workflows without writing Python:
 * ``python -m repro simulate`` — run one simulation and print its metrics;
 * ``python -m repro sweep`` — run a latency-vs-load sweep and print the curve;
 * ``python -m repro experiment`` — regenerate one of the paper's figures;
-* ``python -m repro regions`` — render the fault-region shapes of Fig. 1.
+* ``python -m repro regions`` — render the fault-region shapes of Fig. 1;
+* ``python -m repro campaign`` — plan / run / merge / status of disk-backed,
+  shardable, resumable experiment campaigns.
 
 The CLI is a thin veneer over the public library API (``repro.SimulationConfig``
-/ ``repro.run_simulation`` / ``repro.experiments``); anything it can do can
-also be done programmatically.
+/ ``repro.run_simulation`` / ``repro.experiments`` / ``repro.campaign``);
+anything it can do can also be done programmatically.
 """
 
 from __future__ import annotations
@@ -18,17 +20,26 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro import __version__
 from repro.analysis.plotting import ascii_multi_series
-from repro.analysis.tables import format_table
+from repro.analysis.tables import campaign_status_table, format_table
+from repro.campaign import (
+    CampaignPlan,
+    SIMULATING_FIGURES,
+    campaign_status,
+    merge_campaign,
+    run_campaign,
+)
+from repro.errors import ConfigurationError
 from repro.experiments import EXPERIMENTS
 from repro.experiments import fig1_regions
-from repro.experiments.common import get_jobs
+from repro.experiments.common import get_jobs, resolve_executor
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.faults.regions import REGION_SHAPES, make_fault_region
 from repro.routing.registry import available_routing_algorithms
 from repro.sim.config import SimulationConfig
-from repro.sim.parallel import SweepExecutor
+from repro.sim.parallel import ShardSpec, SweepExecutor
 from repro.sim.runner import run_simulation
 from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
@@ -36,31 +47,41 @@ from repro.topology.torus import TorusTopology
 __all__ = ["main", "build_parser"]
 
 
-def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--radix", type=int, default=8, help="nodes per dimension (k)")
-    parser.add_argument("--dimensions", type=int, default=2, help="number of dimensions (n)")
-    parser.add_argument("--mesh", action="store_true", help="use a mesh instead of a torus")
-    parser.add_argument(
-        "--routing",
-        default="swbased-deterministic",
-        choices=available_routing_algorithms(),
-        help="routing algorithm",
-    )
-    parser.add_argument("--virtual-channels", type=int, default=4, help="V per physical channel")
-    parser.add_argument("--buffer-depth", type=int, default=2, help="flits per VC buffer")
-    parser.add_argument("--message-length", type=int, default=32, help="M in flits")
-    parser.add_argument("--faults", type=int, default=0, help="number of random faulty nodes")
-    parser.add_argument(
-        "--fault-region",
-        choices=sorted(REGION_SHAPES),
-        help="use a coalesced fault region of this shape instead of random faults",
-    )
-    parser.add_argument("--seed", type=int, default=1, help="random seed")
-    parser.add_argument("--warmup", type=int, default=100, help="warm-up messages")
-    parser.add_argument("--messages", type=int, default=1000, help="measured messages")
-    parser.add_argument(
-        "--reinjection-delay", type=int, default=0, help="software re-injection overhead Δ"
-    )
+def _add_network_arguments(
+    parser: argparse.ArgumentParser, include_seed: bool = True
+) -> List[str]:
+    """Register the network/workload flags; returns their dests (seed excluded,
+    it is shared campaign-wide rather than network-specific)."""
+    actions = [
+        parser.add_argument("--radix", type=int, default=8, help="nodes per dimension (k)"),
+        parser.add_argument("--dimensions", type=int, default=2, help="number of dimensions (n)"),
+        parser.add_argument("--mesh", action="store_true", help="use a mesh instead of a torus"),
+        parser.add_argument(
+            "--routing",
+            default="swbased-deterministic",
+            choices=available_routing_algorithms(),
+            help="routing algorithm",
+        ),
+        parser.add_argument("--virtual-channels", type=int, default=4, help="V per physical channel"),
+        parser.add_argument("--buffer-depth", type=int, default=2, help="flits per VC buffer"),
+        parser.add_argument("--message-length", type=int, default=32, help="M in flits"),
+        parser.add_argument("--faults", type=int, default=0, help="number of random faulty nodes"),
+        parser.add_argument(
+            "--fault-region",
+            choices=sorted(REGION_SHAPES),
+            help="use a coalesced fault region of this shape instead of random faults",
+        ),
+    ]
+    if include_seed:
+        parser.add_argument("--seed", type=int, default=1, help="random seed")
+    actions += [
+        parser.add_argument("--warmup", type=int, default=100, help="warm-up messages"),
+        parser.add_argument("--messages", type=int, default=1000, help="measured messages"),
+        parser.add_argument(
+            "--reinjection-delay", type=int, default=0, help="software re-injection overhead Δ"
+        ),
+    ]
+    return [action.dest for action in actions]
 
 
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -78,6 +99,15 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="independent seeds per sweep point (>1 adds 95%% confidence intervals)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory of a disk-backed point store shared across invocations "
+            "(default: the REPRO_CACHE_DIR environment variable, else no disk "
+            "cache); already-simulated points are reused instead of re-run"
+        ),
     )
 
 
@@ -114,6 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Safaei et al., IPDPS 2006)"
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="run one simulation and print its metrics")
@@ -133,6 +166,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     regions = sub.add_parser("regions", help="render the Fig. 1 fault-region shapes")
     regions.add_argument("--radix", type=int, default=8, help="radix of the 2-D torus to draw")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="disk-backed, shardable, resumable experiment campaigns",
+        description=(
+            "Lifecycle: 'plan' writes a campaign.json manifest enumerating every "
+            "(point, replication) work unit; 'run' executes (a shard of) the "
+            "pending units against the campaign's disk store, resuming past work "
+            "automatically; 'merge' reassembles the published series from the "
+            "store; 'status' reports completion."
+        ),
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    plan = csub.add_parser("plan", help="enumerate a campaign's work units")
+    plan.add_argument(
+        "target",
+        choices=sorted(SIMULATING_FIGURES) + ["sweep"],
+        help="a simulating figure (fig3..fig7) or 'sweep' for an explicit sweep",
+    )
+    plan.add_argument("--dir", required=True, help="campaign directory to create")
+    plan.add_argument(
+        "--replications", type=int, default=1, help="independent seeds per point"
+    )
+    plan.add_argument(
+        "--seed", type=int, default=None,
+        help=(
+            "base seed (default: the figure's published seed for figure "
+            "targets, 1 for the sweep target)"
+        ),
+    )
+    # The network/sweep arguments apply to the 'sweep' target only (the seed
+    # is the unified --seed above): a figure target silently ignoring them
+    # would let a user plan a multi-host campaign for a configuration they
+    # never asked for, so the command checks each against the parser's own
+    # default.  Both the dest list and the defaults come from the parser —
+    # never a duplicated table that could drift.
+    sweep_only = _add_network_arguments(plan, include_seed=False)
+    plan.add_argument("--max-rate", type=float, default=0.016, help="largest injection rate")
+    plan.add_argument("--points", type=int, default=6, help="number of sweep points")
+    plan.set_defaults(
+        _plan_parser=plan, _sweep_only_dests=(*sweep_only, "max_rate", "points")
+    )
+
+    crun = csub.add_parser("run", help="execute (a shard of) the planned units")
+    crun.add_argument("--dir", required=True, help="campaign directory")
+    crun.add_argument(
+        "--shard", default=None,
+        help="run only this shard of the work units, as INDEX/COUNT (e.g. 2/4)",
+    )
+    crun.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS, else 1)",
+    )
+    crun.add_argument(
+        "--max-units", type=int, default=None,
+        help="simulate at most this many new units, then stop (resume later)",
+    )
+
+    merge = csub.add_parser("merge", help="reassemble the series from the store")
+    merge.add_argument("--dir", required=True, help="campaign directory")
+    merge.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for any units still missing from the store",
+    )
+
+    status = csub.add_parser("status", help="report plan-vs-store completion")
+    status.add_argument("--dir", required=True, help="campaign directory")
 
     return parser
 
@@ -154,11 +255,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_rates(max_rate: float, points: int) -> List[float]:
+    """The CLI's evenly spaced rate grid.
+
+    Shared by ``sweep`` and ``campaign plan sweep`` on purpose: the
+    planned-campaign ≡ direct-sweep bit-identity requires the two paths to
+    compute bit-identical floats.
+    """
+    return [max_rate * (i + 1) / points for i in range(points)]
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    jobs = get_jobs(args.jobs)
-    executor = SweepExecutor(jobs=jobs, replications=args.replications)
+    executor = resolve_executor(
+        jobs=args.jobs, replications=args.replications, cache_dir=args.cache_dir
+    )
     config = _build_config(args, args.max_rate)
-    rates = [args.max_rate * (i + 1) / args.points for i in range(args.points)]
+    rates = _sweep_rates(args.max_rate, args.points)
     sweep = executor.run_injection_rate_sweep(
         config, rates, label=config.describe(), stop_after_saturation=1
     )
@@ -199,14 +311,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    jobs = get_jobs(args.jobs)
-    # Validate the executor flags up front (raises ConfigurationError) even
-    # for figures that do not simulate (fig1 builds regions only).
-    SweepExecutor(jobs=jobs, replications=args.replications)
-    # Every experiment's run() accepts jobs/replications (fig1 ignores them);
-    # forwarding unconditionally means a module that drops them fails loudly
-    # instead of silently running serial/unreplicated.
-    results = EXPERIMENTS[args.figure].run(jobs=jobs, replications=args.replications)
+    # Building the executor up front validates the flags (raises
+    # ConfigurationError) even for figures that do not simulate (fig1 builds
+    # regions only).  Every experiment's run() accepts executor= (fig1
+    # ignores it); forwarding unconditionally means a module that drops the
+    # parameter fails loudly instead of silently building its own executor.
+    executor = resolve_executor(
+        jobs=args.jobs, replications=args.replications, cache_dir=args.cache_dir
+    )
+    results = EXPERIMENTS[args.figure].run(executor=executor)
     print(EXPERIMENTS[args.figure].summarize(results))
     return 0
 
@@ -216,11 +329,81 @@ def _cmd_regions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        return _CAMPAIGN_COMMANDS[args.campaign_command](args)
+    except ConfigurationError as exc:
+        # Misuse (bad shard specs, missing manifests, …), not a crash: print
+        # the actionable message without a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_campaign_plan(args: argparse.Namespace) -> int:
+    if args.target == "sweep":
+        if args.seed is None:
+            args.seed = 1  # the network default used by simulate/sweep
+        config = _build_config(args, args.max_rate)
+        plan = CampaignPlan.from_injection_sweep(
+            config, _sweep_rates(args.max_rate, args.points),
+            replications=args.replications,
+        )
+    else:
+        overridden = [
+            "--" + name.replace("_", "-")
+            for name in args._sweep_only_dests
+            if getattr(args, name) != args._plan_parser.get_default(name)
+        ]
+        if overridden:
+            raise ConfigurationError(
+                f"{', '.join(overridden)} only apply to the 'sweep' target; "
+                f"a {args.target} campaign always uses the figure's published "
+                "configuration (scaled by REPRO_SCALE at plan time) — drop the "
+                "flags, or plan a 'sweep' campaign to customise the network"
+            )
+        plan = CampaignPlan.from_experiment(
+            args.target, replications=args.replications, seed=args.seed
+        )
+    path = plan.save(args.dir)
+    print(f"planned {len(plan.units)} work units ({plan.kind}) -> {path}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    shard = ShardSpec.parse(args.shard) if args.shard else None
+    report = run_campaign(
+        args.dir, shard=shard, jobs=get_jobs(args.jobs), max_units=args.max_units
+    )
+    print(report.describe())
+    return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    merge = merge_campaign(args.dir, jobs=get_jobs(args.jobs))
+    print(merge.summary)
+    print(merge.describe())
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    status = campaign_status(args.dir)
+    print(campaign_status_table(status))
+    return 0 if status.complete else 1
+
+
+_CAMPAIGN_COMMANDS = {
+    "plan": _cmd_campaign_plan,
+    "run": _cmd_campaign_run,
+    "merge": _cmd_campaign_merge,
+    "status": _cmd_campaign_status,
+}
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
     "regions": _cmd_regions,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -14,7 +14,15 @@ scaled-down version by default and exposes one knob to scale back up:
   ``run()`` function, which takes precedence) fans the sweep points out over
   that many worker processes via
   :class:`repro.sim.parallel.SweepExecutor` — results are identical for any
-  job count, only the wall-clock time changes.
+  job count, only the wall-clock time changes;
+* the environment variable ``REPRO_CACHE_DIR`` (or the ``cache_dir=``
+  argument, which takes precedence) backs every sweep with a disk-based
+  :class:`repro.campaign.store.PointStore` at that path, so repeated
+  ``python -m repro experiment`` invocations — and the sweep points shared
+  between figures — reuse already-simulated points across processes;
+* every ``run()`` also accepts a pre-built ``executor=``, which overrides all
+  of the above: the campaign subsystem uses this to thread recording,
+  store-backed and sharded executors through the unmodified experiment code.
 
 EXPERIMENTS.md records which scale was used for the committed results.
 """
@@ -28,8 +36,17 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.sim.parallel import SweepExecutor
 
-__all__ = ["ExperimentScale", "get_scale", "get_jobs", "rate_grid", "DEFAULT_SCALE"]
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "get_jobs",
+    "get_cache_dir",
+    "rate_grid",
+    "resolve_executor",
+    "DEFAULT_SCALE",
+]
 
 
 @dataclass(frozen=True)
@@ -103,6 +120,45 @@ def get_jobs(jobs: Optional[int] = None) -> int:
         return int(env)
     except ValueError as exc:
         raise ConfigurationError(f"invalid REPRO_JOBS value {env!r}") from exc
+
+
+def get_cache_dir(cache_dir: Optional[str] = None) -> Optional[str]:
+    """Resolve the shared point-store directory from an argument or the env.
+
+    Returns ``cache_dir`` when given, else the ``REPRO_CACHE_DIR``
+    environment variable, else ``None`` (no disk-backed cache).
+    """
+    if cache_dir is not None:
+        return cache_dir
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def resolve_executor(
+    executor: Optional[SweepExecutor] = None,
+    jobs: Optional[int] = None,
+    replications: int = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepExecutor:
+    """The sweep executor an experiment (or the CLI) should run on.
+
+    A pre-built ``executor`` wins outright — that is how the campaign
+    subsystem substitutes planning, store-backed and sharded executors.
+    Otherwise one is built from ``jobs``/``replications`` (with the usual
+    ``REPRO_JOBS`` fallback), backed by a disk
+    :class:`~repro.campaign.store.PointStore` when a cache directory is
+    resolved from ``cache_dir`` / ``REPRO_CACHE_DIR``.
+    """
+    if executor is not None:
+        return executor
+    cache = None
+    directory = get_cache_dir(cache_dir)
+    if directory:
+        # Imported lazily: repro.campaign imports the experiment registry for
+        # figure planning, so a module-level import would be circular.
+        from repro.campaign.store import PointStore
+
+        cache = PointStore(directory)
+    return SweepExecutor(jobs=get_jobs(jobs), replications=replications, cache=cache)
 
 
 def rate_grid(max_rate: float, points: int, min_rate: Optional[float] = None) -> List[float]:

@@ -15,11 +15,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.analysis.tables import series_table
-from repro.experiments.common import ExperimentScale, get_jobs, get_scale, rate_grid
+from repro.experiments.common import ExperimentScale, get_scale, rate_grid, resolve_executor
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
-from repro.sim.parallel import ReplicatedSweepResult
+from repro.sim.parallel import ReplicatedSweepResult, SweepExecutor
 from repro.sim.sweep import LoadSweepResult, injection_rate_sweep
 from repro.topology.torus import TorusTopology
 
@@ -66,6 +66,8 @@ def run(
     seed: int = 2006,
     jobs: Optional[int] = None,
     replications: int = 1,
+    executor: Optional[SweepExecutor] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 3 latency curves.
 
@@ -76,10 +78,13 @@ def run(
     fault count share the same random fault set so the two flavours are
     compared on identical failure patterns.  ``jobs`` (default: the
     ``REPRO_JOBS`` environment variable, else serial) fans each sweep out
-    over worker processes without changing any result.
+    over worker processes without changing any result.  One executor —
+    given through ``executor`` or built from ``jobs``/``replications``/
+    ``cache_dir`` (``REPRO_CACHE_DIR``) — is shared by every series, so a
+    configured result cache or disk store serves all of them.
     """
     scale = get_scale(scale)
-    jobs = get_jobs(jobs)
+    executor = resolve_executor(executor, jobs, replications, cache_dir)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:
@@ -109,7 +114,7 @@ def run(
                         metadata={"figure": "fig3", "series": label},
                     )
                     results[label] = injection_rate_sweep(
-                        config, rates, label=label, jobs=jobs, replications=replications
+                        config, rates, label=label, executor=executor
                     )
     return results
 

@@ -15,11 +15,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.analysis.tables import series_table
-from repro.experiments.common import ExperimentScale, get_jobs, get_scale, rate_grid
+from repro.experiments.common import ExperimentScale, get_scale, rate_grid, resolve_executor
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
 from repro.experiments.fig3_latency_2d import SweepOutput
+from repro.sim.parallel import SweepExecutor
 from repro.sim.sweep import injection_rate_sweep
 from repro.topology.torus import TorusTopology
 
@@ -61,14 +62,16 @@ def run(
     seed: int = 2006,
     jobs: Optional[int] = None,
     replications: int = 1,
+    executor: Optional[SweepExecutor] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 4 latency curves on the 8-ary 3-cube.
 
-    ``jobs``/``replications`` are forwarded to the sweep executor; see
-    :func:`repro.experiments.fig3_latency_2d.run`.
+    ``jobs``/``replications``/``executor``/``cache_dir`` select the (shared)
+    sweep executor; see :func:`repro.experiments.fig3_latency_2d.run`.
     """
     scale = get_scale(scale)
-    jobs = get_jobs(jobs)
+    executor = resolve_executor(executor, jobs, replications, cache_dir)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:
@@ -98,7 +101,7 @@ def run(
                         metadata={"figure": "fig4", "series": label},
                     )
                     results[label] = injection_rate_sweep(
-                        config, rates, label=label, jobs=jobs, replications=replications
+                        config, rates, label=label, executor=executor
                     )
     return results
 

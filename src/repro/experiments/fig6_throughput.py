@@ -15,8 +15,9 @@ from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
-from repro.experiments.common import ExperimentScale, get_jobs, get_scale
+from repro.experiments.common import ExperimentScale, get_scale, resolve_executor
 from repro.sim.config import SimulationConfig
+from repro.sim.parallel import SweepExecutor
 from repro.sim.runner import SimulationResult
 from repro.sim.sweep import fault_count_sweep
 from repro.topology.torus import TorusTopology
@@ -47,14 +48,17 @@ def run(
     seed: int = 2006,
     jobs: Optional[int] = None,
     replications: int = 1,
+    executor: Optional[SweepExecutor] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, List[SimulationResult]]:
     """Regenerate the Fig. 6 throughput-vs-faults series.
 
-    ``jobs``/``replications`` are forwarded to the sweep executor; the
-    averaging helpers below fold extra replications into the per-count means.
+    ``jobs``/``replications``/``executor``/``cache_dir`` select the (shared)
+    sweep executor; the averaging helpers below fold extra replications into
+    the per-count means.
     """
     scale = get_scale(scale)
-    jobs = get_jobs(jobs)
+    executor = resolve_executor(executor, jobs, replications, cache_dir)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     results: Dict[str, List[SimulationResult]] = {}
     for routing in routings:
@@ -75,8 +79,7 @@ def run(
             fault_counts,
             trials_per_count=scale.fault_trials,
             seed=seed,
-            jobs=jobs,
-            replications=replications,
+            executor=executor,
         )
     return results
 

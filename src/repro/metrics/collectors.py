@@ -10,7 +10,7 @@ gathering "inhibited for the first 10,000 messages").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.metrics.statistics import RunningStats
@@ -101,6 +101,20 @@ class NetworkMetrics:
     #: nodes' software layers carry the re-routing load.
     absorptions_by_node: Dict[int, int] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
+
+    def detached(self) -> "NetworkMetrics":
+        """A copy whose mutable containers are independent of this instance.
+
+        The single detach point used by every result cache (the in-memory
+        sweep cache and the disk-backed campaign store), so a caller mutating
+        a served result can never corrupt a cache entry — a future mutable
+        field must be copied here and nowhere else.
+        """
+        return replace(
+            self,
+            absorptions_by_node=dict(self.absorptions_by_node),
+            extras=dict(self.extras),
+        )
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary used by the CSV/ASCII reporting helpers."""

@@ -57,7 +57,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 import numpy as np
 
 from repro.core.livelock import LivelockGuard
-from repro.errors import ConfigurationError, DeadlockError, RoutingError
+from repro.errors import ConfigurationError, DeadlockError, RoutingError, SimulationError
 from repro.faults.model import FaultSet
 from repro.metrics.collectors import MessageRecord, MetricsCollector, NetworkMetrics
 from repro.network.message import Message
@@ -119,6 +119,14 @@ class SimulationEngine:
         Average pending new messages per node above which the network is
         declared saturated and the run stops early (keeps sweeps past the
         saturation point affordable).  ``None`` disables the early stop.
+    max_absorptions_per_message:
+        Safety valve against livelocked fault patterns (see the ROADMAP's
+        swbased-deterministic livelock): a message absorbed more than this
+        many times raises a diagnostic :class:`~repro.errors.SimulationError`
+        naming the node, message and absorption count instead of spinning
+        until ``max_cycles``.  Checked before the (usually much tighter)
+        ``livelock_guard`` bound so it also protects runs that install a
+        permissive custom guard.  ``None`` disables the valve.
     keep_records:
         Retain every delivered message's :class:`MessageRecord` (tests).
     """
@@ -144,6 +152,7 @@ class SimulationEngine:
         seed: int = 1,
         livelock_guard: Optional[LivelockGuard] = None,
         saturation_queue_limit: Optional[float] = 25.0,
+        max_absorptions_per_message: Optional[int] = None,
         keep_records: bool = False,
     ) -> None:
         if message_length < 1:
@@ -152,6 +161,10 @@ class SimulationEngine:
             raise ConfigurationError("buffer_depth must be at least 1 flit")
         if measure_messages < 1:
             raise ConfigurationError("measure_messages must be positive")
+        if max_absorptions_per_message is not None and max_absorptions_per_message < 1:
+            raise ConfigurationError(
+                "max_absorptions_per_message must be positive (or None to disable)"
+            )
         self._topology = topology
         self._routing = routing
         self._traffic = traffic
@@ -164,6 +177,7 @@ class SimulationEngine:
         self._max_cycles = max_cycles
         self._seed = seed
         self._saturation_queue_limit = saturation_queue_limit
+        self._max_absorptions_per_message = max_absorptions_per_message
         self._num_vcs = routing.num_virtual_channels
 
         self._rng = np.random.default_rng(seed)
@@ -713,6 +727,17 @@ class SimulationEngine:
         message.absorptions += 1
         message.header.absorptions += 1
         self._collector.message_absorbed(message.message_id, node=node, fault=fault)
+        cap = self._max_absorptions_per_message
+        if cap is not None and message.absorptions > cap:
+            raise SimulationError(
+                f"message {message.message_id} ({message.source} -> "
+                f"{message.destination}) was absorbed {message.absorptions} times, "
+                f"most recently at node {node}, exceeding "
+                f"max_absorptions_per_message={cap}; the routing layer is livelocked "
+                f"on this fault pattern (see the ROADMAP's swbased-deterministic "
+                f"livelock note) — raise the cap only if the pattern is known to "
+                f"converge"
+            )
         self._livelock.check(message.message_id, message.absorptions)
 
     # ------------------------------------------------------------------ #

@@ -9,10 +9,17 @@ which is how every figure of the paper is produced; the
 process pool and replicates each point over independent seeds.
 """
 
-from repro.sim.config import SimulationConfig, derive_child_seeds, derive_sweep_seeds
+from repro.sim.config import (
+    SimulationConfig,
+    config_hash,
+    config_key,
+    derive_child_seeds,
+    derive_sweep_seeds,
+)
 from repro.sim.parallel import (
     PointAggregate,
     ReplicatedSweepResult,
+    ShardSpec,
     SweepExecutor,
     SweepPointCache,
     aggregate_replications,
@@ -35,11 +42,14 @@ __all__ = [
     "injection_rate_sweep",
     "latency_throughput_curve",
     "fault_count_sweep",
+    "ShardSpec",
     "SweepExecutor",
     "SweepPointCache",
     "ReplicatedSweepResult",
     "PointAggregate",
     "aggregate_replications",
+    "config_hash",
+    "config_key",
     "default_jobs",
     "derive_child_seeds",
     "derive_sweep_seeds",

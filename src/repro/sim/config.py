@@ -10,8 +10,10 @@ measurement sizes, saturation early-stop, RNG seed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +23,13 @@ from repro.faults.model import FaultSet
 from repro.topology.base import Topology
 from repro.topology.torus import TorusTopology
 
-__all__ = ["SimulationConfig", "derive_child_seeds", "derive_sweep_seeds"]
+__all__ = [
+    "SimulationConfig",
+    "config_hash",
+    "config_key",
+    "derive_child_seeds",
+    "derive_sweep_seeds",
+]
 
 #: Traffic processes accepted by ``traffic_process``.
 _TRAFFIC_PROCESSES = ("poisson", "bernoulli", "periodic")
@@ -73,6 +81,14 @@ class SimulationConfig:
     saturation_queue_limit:
         Average backlog (new messages per node) above which the run is marked
         saturated and stopped early; ``None`` disables the early stop.
+    max_absorptions_per_message:
+        Engine safety valve against livelocked fault patterns: a message
+        absorbed more than this many times raises a diagnostic
+        :class:`~repro.errors.SimulationError` naming the node, message and
+        absorption count instead of spinning until ``max_cycles``.  The
+        default is far above the livelock bound of any supported fault
+        pattern (the :class:`~repro.core.livelock.LivelockGuard` fires first
+        on those); ``None`` disables the valve.
     keep_records:
         Retain per-message records in the result (memory-hungry; tests only).
     metadata:
@@ -95,6 +111,7 @@ class SimulationConfig:
     router_decision_time: int = 0
     seed: int = 1
     saturation_queue_limit: Optional[float] = 25.0
+    max_absorptions_per_message: Optional[int] = 10_000
     keep_records: bool = False
     metadata: Dict[str, str] = field(default_factory=dict)
 
@@ -137,6 +154,10 @@ class SimulationConfig:
             raise ConfigurationError(
                 "only router_decision_time = 0 is supported (the value used by the paper)"
             )
+        if self.max_absorptions_per_message is not None and self.max_absorptions_per_message < 1:
+            raise ConfigurationError(
+                "max_absorptions_per_message must be positive (or None to disable the valve)"
+            )
         try:
             self.faults.validate(self.topology)
         except ValueError as exc:
@@ -170,6 +191,61 @@ class SimulationConfig:
             f"V={self.num_virtual_channels}, M={self.message_length}, "
             f"lambda={self.injection_rate:g}, faults={self.faults.num_faulty_nodes}"
         )
+
+
+# --------------------------------------------------------------------------- #
+# content-addressed configuration identity
+# --------------------------------------------------------------------------- #
+# A simulation's metrics are a pure function of its configuration (the seed is
+# a config field), so a canonical key over the dynamics-relevant fields
+# identifies a result wherever it was computed.  The same key function backs
+# the in-memory ``SweepPointCache`` and the disk-backed campaign ``PointStore``
+# so the two layers always agree on what "the same point" means.
+
+
+#: Fields excluded from the content-address: presentation-only state whose
+#: value never changes the simulated dynamics.
+_KEY_EXCLUDED_FIELDS = frozenset({"metadata"})
+
+
+def config_key(config: "SimulationConfig") -> Tuple:
+    """The hashable identity of a configuration's simulated dynamics.
+
+    Enumerates the dataclass fields (so a field added to
+    :class:`SimulationConfig` later joins the key automatically — it must be
+    listed in ``_KEY_EXCLUDED_FIELDS`` to opt *out*); ``metadata`` (free-form
+    report labels) is excluded so relabelled reruns of the same point share
+    one identity.  Topologies are keyed by class and radices, fault sets by
+    their sorted node/link contents — the key is a pure value, independent of
+    object identity, dict insertion order and the per-process hash seed.
+    """
+    parts: List = []
+    for spec in fields(SimulationConfig):
+        if spec.name in _KEY_EXCLUDED_FIELDS:
+            continue
+        value = getattr(config, spec.name)
+        if spec.name == "topology":
+            parts.append(type(value).__name__)
+            parts.append(tuple(value.radices))
+        elif spec.name == "faults":
+            parts.append(tuple(sorted(value.nodes)))
+            parts.append(tuple(sorted(value.links)))
+        else:
+            parts.append(value)
+    return tuple(parts)
+
+
+def config_hash(config: "SimulationConfig") -> str:
+    """Stable hex digest of :func:`config_key`, usable across processes.
+
+    The key tuple is serialised to canonical JSON (tuples become arrays,
+    floats keep their shortest round-trip representation) and hashed with
+    SHA-256, so the digest of a given configuration is identical across
+    interpreter runs, hosts and ``PYTHONHASHSEED`` values — the property the
+    disk-backed campaign store relies on.
+    """
+    canonical = json.dumps(config_key(config), separators=(",", ":"), allow_nan=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # --------------------------------------------------------------------------- #

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass, field, fields, replace
+import re
+from dataclasses import dataclass, field, fields
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,12 +40,13 @@ from repro.errors import ConfigurationError
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.metrics.statistics import confidence_interval
-from repro.sim.config import SimulationConfig, derive_sweep_seeds
+from repro.sim.config import SimulationConfig, config_key, derive_sweep_seeds
 from repro.sim.runner import SimulationResult, run_simulation
 
 __all__ = [
     "PointAggregate",
     "ReplicatedSweepResult",
+    "ShardSpec",
     "SweepExecutor",
     "SweepPointCache",
     "SweepSeriesMixin",
@@ -69,6 +71,63 @@ def _run_indexed(task: Tuple[int, SimulationConfig]) -> Tuple[int, SimulationRes
 
 
 # --------------------------------------------------------------------------- #
+# shard addressing
+# --------------------------------------------------------------------------- #
+_SHARD_RE = re.compile(r"^\s*(\d+)\s*/\s*(\d+)\s*$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a work list split round-robin across ``count`` runners.
+
+    Shard ``index`` (1-based, so ``1/4`` .. ``4/4``) owns every work unit
+    whose 0-based position satisfies ``position % count == index - 1``.
+    Round-robin (rather than contiguous blocks) keeps the shards balanced
+    even when cost grows monotonically along the list, as it does for
+    injection-rate sweeps approaching saturation.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(
+                f"shard count must be at least 1 (got {self.count}); "
+                "use 1/1 for an unsharded run"
+            )
+        if not 1 <= self.index <= self.count:
+            raise ConfigurationError(
+                f"shard index must be between 1 and the shard count "
+                f"(got {self.index}/{self.count}); shards are numbered from 1, "
+                f"e.g. --shard 1/{self.count} through --shard {self.count}/{self.count}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "ShardSpec":
+        """Parse an ``I/N`` command-line spec (e.g. ``2/4``).
+
+        Raises :class:`ConfigurationError` with an actionable message on any
+        malformed input.
+        """
+        match = _SHARD_RE.match(spec)
+        if not match:
+            raise ConfigurationError(
+                f"invalid shard spec {spec!r}: expected INDEX/COUNT with two "
+                "positive integers, e.g. --shard 2/4 to run the second of four "
+                "shards"
+            )
+        return cls(index=int(match.group(1)), count=int(match.group(2)))
+
+    def owns(self, position: int) -> bool:
+        """True when this shard is responsible for the given 0-based position."""
+        return position % self.count == self.index - 1
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+# --------------------------------------------------------------------------- #
 # the sweep-point memo cache
 # --------------------------------------------------------------------------- #
 class SweepPointCache:
@@ -80,11 +139,12 @@ class SweepPointCache:
     points that were already simulated.  Share one cache instance between
     executors to share points across sweeps.
 
-    The key covers every field that influences the simulated dynamics;
-    ``metadata`` (free-form report labels) is deliberately excluded, and a hit
-    returns a result rebound to the *requesting* configuration so the caller's
-    labels are preserved.  Topologies are keyed by class and radices,
-    fault sets by their sorted node/link contents.
+    The key is :func:`repro.sim.config.config_key` — the same content-address
+    used by the disk-backed campaign :class:`~repro.campaign.store.PointStore`
+    — so this class is a thin in-memory layer over the shared key function:
+    ``metadata`` (free-form report labels) is excluded, and a hit returns a
+    result rebound to the *requesting* configuration so the caller's labels
+    are preserved.
 
     ``hits`` / ``misses`` counters make cache behaviour observable in tests
     and progress reports.  The cache is process-local: executor workers run
@@ -99,61 +159,29 @@ class SweepPointCache:
     def __len__(self) -> int:
         return len(self._store)
 
-    @staticmethod
-    def key_of(config: SimulationConfig) -> Tuple:
-        """The hashable identity of a configuration's simulated dynamics."""
-        topology = config.topology
-        faults = config.faults
-        return (
-            type(topology).__name__,
-            topology.radices,
-            config.routing,
-            config.num_virtual_channels,
-            config.buffer_depth,
-            config.message_length,
-            config.injection_rate,
-            config.traffic_process,
-            config.traffic_pattern,
-            tuple(sorted(faults.nodes)),
-            tuple(sorted(faults.links)),
-            config.warmup_messages,
-            config.measure_messages,
-            config.max_cycles,
-            config.reinjection_delay,
-            config.router_decision_time,
-            config.seed,
-            config.saturation_queue_limit,
-            config.keep_records,
-        )
-
-    @staticmethod
-    def _detached_metrics(result: SimulationResult):
-        """A metrics copy with fresh mutable containers.
-
-        Both ``put`` and ``get`` detach the metrics' dict fields so that a
-        caller mutating a served (or previously stored) result can never
-        corrupt the cache entry or other hits.
-        """
-        metrics = result.metrics
-        return replace(
-            metrics,
-            absorptions_by_node=dict(metrics.absorptions_by_node),
-            extras=dict(metrics.extras),
-        )
+    #: The shared key function (kept as a static method for backwards
+    #: compatibility with callers of ``SweepPointCache.key_of``).
+    key_of = staticmethod(config_key)
 
     def get(self, config: SimulationConfig) -> Optional[SimulationResult]:
-        """The memoised result for ``config``, rebound to it, or ``None``."""
+        """The memoised result for ``config``, rebound to it, or ``None``.
+
+        Both ``put`` and ``get`` detach the metrics' mutable containers
+        (:meth:`NetworkMetrics.detached`) so that a caller mutating a served
+        (or previously stored) result can never corrupt the cache entry or
+        other hits.
+        """
         cached = self._store.get(self.key_of(config))
         if cached is None:
             self.misses += 1
             return None
         self.hits += 1
-        return SimulationResult(config=config, metrics=self._detached_metrics(cached))
+        return SimulationResult(config=config, metrics=cached.metrics.detached())
 
     def put(self, config: SimulationConfig, result: SimulationResult) -> None:
         """Memoise a finished run."""
         self._store[self.key_of(config)] = SimulationResult(
-            config=config, metrics=self._detached_metrics(result)
+            config=config, metrics=result.metrics.detached()
         )
 
     def clear(self) -> None:
@@ -298,11 +326,21 @@ class SweepExecutor:
         from the base seed via the scheme documented in
         :mod:`repro.sim.config`.
     cache:
-        Optional :class:`SweepPointCache`; configurations already simulated
-        (same dynamics, same seed) return their memoised result instead of
-        re-running.  Pass a shared instance to share points across sweeps and
-        figures.  Since a cached result is bit-identical to a fresh run by
-        construction, caching never changes a sweep's output.
+        Optional result cache; configurations already simulated (same
+        dynamics, same seed) return their memoised result instead of
+        re-running.  Any object with the ``get(config)`` / ``put(config,
+        result)`` contract of :class:`SweepPointCache` works — in particular
+        the disk-backed :class:`repro.campaign.store.PointStore`, which makes
+        the executor resumable across processes.  Pass a shared instance to
+        share points across sweeps and figures.  Since a cached result is
+        bit-identical to a fresh run by construction, caching never changes a
+        sweep's output.
+    shard:
+        Optional :class:`ShardSpec` restricting :meth:`run_configs` to the
+        work units this shard owns (the others come back as ``None``); the
+        aggregated sweep methods refuse a sharded executor because a shard
+        cannot assemble complete series on its own — merge the shards'
+        stores first, then re-run unsharded against the merged store.
 
     Determinism contract: for a fixed base seed, every ``(point,
     replication)`` run receives a seed that depends only on the base seed and
@@ -315,6 +353,7 @@ class SweepExecutor:
         jobs: int = 1,
         replications: int = 1,
         cache: Optional[SweepPointCache] = None,
+        shard: Optional[ShardSpec] = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ConfigurationError(
@@ -325,9 +364,24 @@ class SweepExecutor:
             raise ConfigurationError(
                 f"replications must be a positive integer (got {replications!r})"
             )
+        if shard is not None and not isinstance(shard, ShardSpec):
+            raise ConfigurationError(
+                f"shard must be a ShardSpec (got {shard!r}); "
+                "build one with ShardSpec.parse('2/4')"
+            )
         self.jobs = jobs
         self.replications = replications
         self.cache = cache
+        self.shard = shard
+
+    def _reject_sharded(self, method: str) -> None:
+        if self.shard is not None:
+            raise ConfigurationError(
+                f"{method} cannot run on a sharded executor (shard {self.shard}): "
+                "a single shard cannot assemble a complete aggregated series; "
+                "run each shard's work units through run_configs (or the campaign "
+                "runner) and merge the shards' stores before aggregating"
+            )
 
     @property
     def effective_jobs(self) -> int:
@@ -350,25 +404,33 @@ class SweepExecutor:
         """Run every configuration and return results in submission order.
 
         ``progress`` fires once per finished run — in submission order when
-        serial, in completion order when parallel.
+        serial, in completion order when parallel.  On a sharded executor
+        only the positions this shard owns are consulted against the cache
+        and run; the other entries of the returned list are ``None`` and
+        never reach ``progress``.
         """
         configs = list(configs)
         cache = self.cache
+        shard = self.shard
+        owned: Sequence[int] = (
+            range(len(configs))
+            if shard is None
+            else [i for i in range(len(configs)) if shard.owns(i)]
+        )
         results: List[Optional[SimulationResult]] = [None] * len(configs)
         miss_indices: List[int] = []
-        if cache is None:
-            miss_indices = list(range(len(configs)))
-        else:
-            for index, config in enumerate(configs):
-                results[index] = cache.get(config)
-                if results[index] is None:
-                    miss_indices.append(index)
+        for index in owned:
+            if cache is not None:
+                results[index] = cache.get(configs[index])
+            if results[index] is None:
+                miss_indices.append(index)
 
         # The pool is sized by (and only created for) the cache misses: a
         # warm-cache rerun answers everything from the parent process.
         workers = min(self.effective_jobs, len(miss_indices))
         if workers <= 1:
-            for index, result in enumerate(results):
+            for index in owned:
+                result = results[index]
                 if result is None:
                     result = run_simulation(configs[index])
                     if cache is not None:
@@ -456,6 +518,7 @@ class SweepExecutor:
             raise ConfigurationError(
                 "stop_after_saturation must be non-negative (0 disables truncation)"
             )
+        self._reject_sharded("run_injection_rate_sweep")
         rates = [float(r) for r in rates]
         seeds = derive_sweep_seeds(base_config.seed, len(rates), self.replications)
         point_configs: List[List[SimulationConfig]] = []
@@ -567,6 +630,7 @@ class SweepExecutor:
         come back flat, ordered by (count, trial, replication) and tagged
         through ``config.metadata``.
         """
+        self._reject_sharded("run_fault_count_sweep")
         fault_seed = base_config.seed if seed is None else seed
         rng = np.random.default_rng(fault_seed)
         keyed: List[Tuple[int, int, FaultSet]] = []

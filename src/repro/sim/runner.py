@@ -110,6 +110,7 @@ def build_engine(config: SimulationConfig) -> SimulationEngine:
         seed=config.seed,
         livelock_guard=guard,
         saturation_queue_limit=config.saturation_queue_limit,
+        max_absorptions_per_message=config.max_absorptions_per_message,
         keep_records=config.keep_records,
     )
 

@@ -70,6 +70,7 @@ def injection_rate_sweep(
     stop_after_saturation: int = 1,
     jobs: int = 1,
     replications: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> Union[LoadSweepResult, ReplicatedSweepResult]:
     """Run ``base_config`` at each injection rate and collect the series.
 
@@ -97,8 +98,14 @@ def injection_rate_sweep(
         :class:`LoadSweepResult` is returned; with more, a
         :class:`~repro.sim.parallel.ReplicatedSweepResult` carrying mean ± CI
         series.
+    executor:
+        Optional pre-built :class:`SweepExecutor` (its ``jobs``,
+        ``replications`` and cache take precedence over the arguments above).
+        Pass one instance to several sweeps to share a result cache or a
+        disk-backed campaign store across series and figures.
     """
-    executor = SweepExecutor(jobs=jobs, replications=replications)
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, replications=replications)
     replicated = executor.run_injection_rate_sweep(
         base_config,
         rates,
@@ -106,7 +113,7 @@ def injection_rate_sweep(
         progress=progress,
         stop_after_saturation=stop_after_saturation,
     )
-    if replications > 1:
+    if executor.replications > 1:
         return replicated
     sweep = LoadSweepResult(label=replicated.label)
     for point_results in replicated.results:
@@ -131,6 +138,7 @@ def fault_count_sweep(
     progress: Optional[Callable[[SimulationResult], None]] = None,
     jobs: int = 1,
     replications: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[SimulationResult]:
     """Run ``base_config`` for each number of random faulty nodes.
 
@@ -140,9 +148,12 @@ def fault_count_sweep(
     different randomly selected failures"), runs each under ``replications``
     derived seeds, and returns the flat list of results tagged through
     ``config.metadata['fault_count'/'fault_trial'/'replication']``.  The
-    fault sets are sampled from ``seed`` independently of ``jobs``.
+    fault sets are sampled from ``seed`` independently of ``jobs``.  As for
+    :func:`injection_rate_sweep`, a pre-built ``executor`` takes precedence
+    over ``jobs``/``replications`` and lets several sweeps share one cache.
     """
-    executor = SweepExecutor(jobs=jobs, replications=replications)
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs, replications=replications)
     return executor.run_fault_count_sweep(
         base_config,
         fault_counts,

@@ -1,0 +1,502 @@
+"""Tests for the campaign subsystem: store, manifests, lifecycle, resume.
+
+The headline guarantee pinned here is the acceptance criterion of the
+campaign work: a campaign run as two shards — one of them interrupted and
+resumed through the disk store, with recorded cache hits — merges into series
+bit-identical to a single-shot :class:`SweepExecutor` run with the same base
+seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.tables import campaign_status_table
+from repro.campaign import (
+    CampaignPlan,
+    PointStore,
+    campaign_status,
+    config_from_dict,
+    config_to_dict,
+    merge_campaign,
+    metrics_from_dict,
+    metrics_to_dict,
+    run_campaign,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments import fig3_latency_2d
+from repro.experiments.common import ExperimentScale, resolve_executor
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig, config_hash, config_key
+from repro.sim.parallel import ShardSpec, SweepExecutor, SweepPointCache
+from repro.sim.runner import run_simulation
+from repro.topology.mesh import MeshTopology
+
+
+@pytest.fixture
+def fast_config(torus_4x4):
+    # A fault is included on purpose: absorption metrics exercise the
+    # int-keyed per-node map through the JSON round trip.
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        faults=FaultSet.from_nodes([5]),
+        warmup_messages=10,
+        measure_messages=60,
+        seed=11,
+    )
+
+
+RATES = [0.005, 0.01, 0.02]
+
+
+class TestConfigKeyStability:
+    def test_metadata_and_label_changes_share_a_key(self, fast_config):
+        relabelled = fast_config.with_updates(metadata={"figure": "fig9", "x": "y"})
+        assert config_key(fast_config) == config_key(relabelled)
+        assert config_hash(fast_config) == config_hash(relabelled)
+
+    def test_key_is_independent_of_fault_insertion_order(self, fast_config):
+        forward = fast_config.with_updates(faults=FaultSet.from_nodes([1, 2, 6]))
+        backward = fast_config.with_updates(faults=FaultSet.from_nodes([6, 2, 1]))
+        assert config_hash(forward) == config_hash(backward)
+
+    def test_dynamics_fields_change_the_key(self, fast_config):
+        assert config_hash(fast_config) != config_hash(fast_config.with_updates(seed=12))
+        assert config_hash(fast_config) != config_hash(
+            fast_config.with_updates(injection_rate=0.021)
+        )
+        assert config_hash(fast_config) != config_hash(
+            fast_config.with_updates(topology=MeshTopology(radix=4, dimensions=2))
+        )
+
+    def test_sweep_point_cache_uses_the_shared_key(self, fast_config):
+        assert SweepPointCache.key_of(fast_config) == config_key(fast_config)
+
+    def test_hash_is_stable_across_processes_and_hash_seeds(self, fast_config):
+        # The digest must not depend on the per-process hash seed (frozenset
+        # iteration order) — run the same computation in fresh interpreters
+        # with different PYTHONHASHSEED values.
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        script = (
+            "from repro.sim.config import SimulationConfig, config_hash\n"
+            "from repro.faults.model import FaultSet\n"
+            "from repro.topology.torus import TorusTopology\n"
+            "config = SimulationConfig(\n"
+            "    topology=TorusTopology(radix=4, dimensions=2),\n"
+            "    routing='swbased-deterministic', num_virtual_channels=2,\n"
+            "    message_length=4, injection_rate=0.02,\n"
+            "    faults=FaultSet.from_nodes([5]), warmup_messages=10,\n"
+            "    measure_messages=60, seed=11)\n"
+            "print(config_hash(config))\n"
+        )
+        digests = set()
+        for hash_seed in ("0", "1", "4242"):
+            env = {**os.environ, "PYTHONPATH": src, "PYTHONHASHSEED": hash_seed}
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env, capture_output=True, text=True, check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+        assert digests == {config_hash(fast_config)}
+
+
+class TestSerialization:
+    def test_config_round_trip(self, fast_config):
+        data = json.loads(json.dumps(config_to_dict(fast_config)))
+        rebuilt = config_from_dict(data)
+        assert config_hash(rebuilt) == config_hash(fast_config)
+        assert rebuilt.metadata == fast_config.metadata
+        assert rebuilt.faults == fast_config.faults
+        assert type(rebuilt.topology) is type(fast_config.topology)
+        assert rebuilt.topology.radices == fast_config.topology.radices
+
+    def test_unknown_config_fields_rejected(self, fast_config):
+        data = config_to_dict(fast_config)
+        data["from_the_future"] = 1
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            config_from_dict(data)
+
+    def test_metrics_round_trip_is_bit_identical(self, fast_config):
+        metrics = run_simulation(fast_config).metrics
+        assert metrics.absorptions_by_node  # the faulty node forces absorptions
+        rebuilt = metrics_from_dict(json.loads(json.dumps(metrics_to_dict(metrics))))
+        assert rebuilt == metrics
+        assert all(isinstance(k, int) for k in rebuilt.absorptions_by_node)
+
+
+class TestPointStore:
+    def test_persists_across_instances(self, tmp_path, fast_config):
+        first = PointStore(tmp_path)
+        result = run_simulation(fast_config)
+        first.put(fast_config, result)
+        # A fresh instance (a new process, as far as the store can tell)
+        # serves the record back, bit-identically.
+        second = PointStore(tmp_path)
+        assert len(second) == 1
+        served = second.get(fast_config)
+        assert second.hits == 1 and second.misses == 0
+        assert served.metrics == result.metrics
+        assert served.config is fast_config  # rebound to the requesting config
+
+    def test_hit_miss_accounting_and_contains(self, tmp_path, fast_config):
+        store = PointStore(tmp_path)
+        assert store.get(fast_config) is None
+        assert store.misses == 1 and store.hits == 0
+        assert not store.contains_config(fast_config)
+        store.put(fast_config, run_simulation(fast_config))
+        assert store.contains_config(fast_config)
+        assert store.misses == 1  # contains_config touches no counter
+        assert store.get(fast_config) is not None
+        assert store.hits == 1
+
+    def test_put_is_idempotent(self, tmp_path, fast_config):
+        store = PointStore(tmp_path)
+        result = run_simulation(fast_config)
+        store.put(fast_config, result)
+        store.put(fast_config, result)
+        lines = store.member_path.read_text().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_served_results_are_detached_from_the_index(self, tmp_path, fast_config):
+        store = PointStore(tmp_path)
+        store.put(fast_config, run_simulation(fast_config))
+        served = store.get(fast_config)
+        served.metrics.extras["note"] = "mutated"
+        served.metrics.absorptions_by_node[999] = 1
+        again = store.get(fast_config)
+        assert "note" not in again.metrics.extras
+        assert 999 not in again.metrics.absorptions_by_node
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path, fast_config):
+        store = PointStore(tmp_path)
+        store.put(fast_config, run_simulation(fast_config))
+        with open(store.member_path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"key":"abc","metrics":{"mean_l')  # a killed writer
+        reloaded = PointStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.skipped_records == 1
+
+    def test_put_after_torn_tail_stays_durable(self, tmp_path, fast_config):
+        # A killed writer leaves a newline-less fragment; the resumed run's
+        # first put must not merge its record into that torn line.
+        with open(tmp_path / "points.jsonl", "w", encoding="utf-8") as fh:
+            fh.write('{"v":1,"key":"abc","metrics":{"mean_l')
+        resumed = PointStore(tmp_path)
+        resumed.put(fast_config, run_simulation(fast_config))
+        fresh = PointStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.skipped_records == 1  # only the original torn fragment
+        assert fresh.contains_config(fast_config)
+
+    def test_put_survives_concurrent_writer_dying_mid_record(self, tmp_path, fast_config):
+        # A *concurrent* writer sharing the member file can die at any time,
+        # so the tail must be checked on every put, not just the first.
+        store = PointStore(tmp_path)
+        store.put(fast_config, run_simulation(fast_config))
+        with open(store.member_path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"key":"abc","metrics":{"mean_l')  # their torn tail
+        other = fast_config.with_updates(seed=12)
+        store.put(other, run_simulation(other))
+        fresh = PointStore(tmp_path)
+        assert len(fresh) == 2
+        assert fresh.skipped_records == 1
+        assert fresh.contains_config(other)
+
+    def test_incompatible_record_version_is_loud(self, tmp_path, fast_config):
+        store = PointStore(tmp_path)
+        store.put(fast_config, run_simulation(fast_config))
+        with open(store.member_path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 99, "key": "abc", "metrics": {}}\n')
+        # A version mismatch must never be silently re-simulated as "torn".
+        with pytest.raises(ConfigurationError, match="version"):
+            PointStore(tmp_path)
+
+    def test_unreconstructible_metrics_are_loud(self, tmp_path, fast_config):
+        store = PointStore(tmp_path)
+        store.put(fast_config, run_simulation(fast_config))
+        record = json.loads(store.member_path.read_text().strip().splitlines()[0])
+        record["metrics"]["field_from_the_future"] = 1.0
+        with open(store.member_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+        with pytest.raises(ConfigurationError, match="does not reconstruct"):
+            PointStore(tmp_path)
+
+    def test_members_merge_by_directory_contents(self, tmp_path, fast_config):
+        shard1 = PointStore(tmp_path, member="points-shard-1-of-2")
+        shard2 = PointStore(tmp_path, member="points-shard-2-of-2")
+        shard1.put(fast_config, run_simulation(fast_config))
+        other = fast_config.with_updates(seed=12)
+        shard2.put(other, run_simulation(other))
+        merged = PointStore(tmp_path)
+        assert len(merged) == 2
+        assert [name for name, _ in merged.members()] == [
+            "points-shard-1-of-2.jsonl", "points-shard-2-of-2.jsonl",
+        ]
+
+    def test_scan_keys_matches_full_store_view(self, tmp_path, fast_config):
+        store = PointStore(tmp_path, member="points-shard-1-of-2")
+        store.put(fast_config, run_simulation(fast_config))
+        with open(store.member_path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"key":"abc","metrics":{"mean_l')  # a killed writer
+        full = PointStore(tmp_path)
+        scan = PointStore.scan_keys(tmp_path)
+        assert scan.keys == {config_hash(fast_config)}
+        assert scan.members == full.members()
+        assert scan.skipped_records == full.skipped_records == 1
+
+    def test_invalid_member_name_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="member name"):
+            PointStore(tmp_path, member="../escape")
+
+    def test_executor_uses_store_as_cache(self, tmp_path, fast_config):
+        store = PointStore(tmp_path)
+        SweepExecutor(cache=store).run_configs([fast_config])
+        fresh = PointStore(tmp_path)
+        results = SweepExecutor(cache=fresh).run_configs([fast_config])
+        assert fresh.hits == 1
+        assert results[0].metrics == run_simulation(fast_config).metrics
+
+
+class TestShardSpec:
+    def test_parse_round_trip(self):
+        spec = ShardSpec.parse("2/4")
+        assert (spec.index, spec.count) == (2, 4)
+        assert str(spec) == "2/4"
+
+    @pytest.mark.parametrize("bad", ["", "3", "0/2", "3/2", "a/b", "1/0", "-1/2"])
+    def test_bad_specs_raise_actionable_errors(self, bad):
+        with pytest.raises(ConfigurationError, match="shard"):
+            ShardSpec.parse(bad)
+
+    def test_shards_partition_the_index_space(self):
+        owners = [
+            [s for s in (ShardSpec(1, 3), ShardSpec(2, 3), ShardSpec(3, 3)) if s.owns(i)]
+            for i in range(12)
+        ]
+        assert all(len(o) == 1 for o in owners)
+
+    def test_sharded_executor_runs_only_owned_units(self, fast_config):
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3, 4)]
+        results = SweepExecutor(shard=ShardSpec(2, 2)).run_configs(configs)
+        assert [r is not None for r in results] == [False, True, False, True]
+
+    def test_sharded_executor_rejects_aggregated_sweeps(self, fast_config):
+        executor = SweepExecutor(shard=ShardSpec(1, 2))
+        with pytest.raises(ConfigurationError, match="sharded"):
+            executor.run_injection_rate_sweep(fast_config, RATES)
+        with pytest.raises(ConfigurationError, match="sharded"):
+            executor.run_fault_count_sweep(fast_config, [0, 2])
+
+
+class TestCampaignLifecycle:
+    def test_plan_round_trips_through_disk(self, tmp_path, fast_config):
+        plan = CampaignPlan.from_injection_sweep(fast_config, RATES, replications=2)
+        plan.save(tmp_path)
+        loaded = CampaignPlan.load(tmp_path)
+        assert loaded.kind == "sweep"
+        assert [u.key for u in loaded.units] == [u.key for u in plan.units]
+        assert [config_hash(u.config) for u in loaded.units] == [u.key for u in plan.units]
+
+    def test_plan_units_match_single_shot_execution_order(self, fast_config):
+        plan = CampaignPlan.from_injection_sweep(fast_config, RATES, replications=2)
+        direct = SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, RATES, stop_after_saturation=0
+        )
+        direct_keys = [
+            config_hash(r.config) for point in direct.results for r in point
+        ]
+        assert [u.key for u in plan.units] == direct_keys
+
+    def test_load_missing_manifest_is_actionable(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="campaign plan"):
+            CampaignPlan.load(tmp_path)
+
+    def test_load_rejects_reordered_units(self, tmp_path, fast_config):
+        # Shard ownership is positional, so a hand-reordered manifest must
+        # fail loudly instead of letting shards disagree about ownership.
+        plan = CampaignPlan.from_injection_sweep(fast_config, RATES, replications=2)
+        path = plan.save(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["units"].reverse()
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="list position"):
+            CampaignPlan.load(tmp_path)
+
+    def test_shard_resume_merge_is_bit_identical_to_single_shot(
+        self, tmp_path, fast_config
+    ):
+        """The acceptance criterion: 2 shards, one interrupted and resumed
+        via the disk store (with recorded cache hits), merge bit-identically
+        to a single-shot SweepExecutor run with the same base seed."""
+        plan = CampaignPlan.from_injection_sweep(
+            fast_config, RATES, replications=2, label="acceptance"
+        )
+        plan.save(tmp_path)
+
+        first = run_campaign(tmp_path, shard=ShardSpec.parse("1/2"))
+        assert (first.simulated, first.reused) == (first.shard_units, 0)
+
+        # Interrupt shard 2 after one new unit, then resume it: the resumed
+        # invocation must skip the completed unit via the disk store.
+        partial = run_campaign(tmp_path, shard=ShardSpec.parse("2/2"), max_units=1)
+        assert partial.simulated == 1 and partial.deferred > 0
+        resumed = run_campaign(tmp_path, shard=ShardSpec.parse("2/2"))
+        assert resumed.reused >= 1  # >= 1 recorded cache hit on resume
+        assert resumed.simulated == resumed.shard_units - resumed.reused
+
+        status = campaign_status(tmp_path)
+        assert status.complete
+        assert len(status.members) == 2  # one store file per shard
+
+        merged = merge_campaign(tmp_path)
+        assert merged.simulated == 0  # assembly only, no simulation
+        sweep = merged.results
+        direct = SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, RATES, label="acceptance", stop_after_saturation=0
+        )
+        assert sweep.rates == direct.rates
+        assert sweep.latency_mean == direct.latency_mean
+        assert sweep.latency_ci == direct.latency_ci
+        assert sweep.throughput_mean == direct.throughput_mean
+        assert sweep.throughput_ci == direct.throughput_ci
+        assert sweep.queued_mean == direct.queued_mean
+        assert sweep.saturated == direct.saturated
+        merged_metrics = [r.metrics for point in sweep.results for r in point]
+        direct_metrics = [r.metrics for point in direct.results for r in point]
+        assert merged_metrics == direct_metrics
+
+    def test_invalid_max_units_rejected(self, tmp_path, fast_config):
+        CampaignPlan.from_injection_sweep(fast_config, RATES).save(tmp_path)
+        for bad in (0, -1):
+            with pytest.raises(ConfigurationError, match="max_units"):
+                run_campaign(tmp_path, max_units=bad)
+
+    def test_merge_simulates_missing_units(self, tmp_path, fast_config):
+        CampaignPlan.from_injection_sweep(fast_config, RATES).save(tmp_path)
+        run_campaign(tmp_path, shard=ShardSpec.parse("1/2"))  # shard 2 never runs
+        merged = merge_campaign(tmp_path)
+        assert merged.simulated > 0 and merged.reused > 0
+        direct = SweepExecutor(jobs=1).run_injection_rate_sweep(
+            fast_config, RATES, stop_after_saturation=0
+        )
+        assert merged.results.latency_mean == direct.latency_mean
+
+    def test_experiment_plan_rejects_non_simulating_figures(self):
+        with pytest.raises(ConfigurationError, match="fig1"):
+            CampaignPlan.from_experiment("fig1")
+
+    def test_fig3_campaign_matches_direct_run(self, tmp_path):
+        scale = ExperimentScale(
+            measure_messages=50, warmup_messages=10, rate_points=3,
+            fault_trials=1, max_cycles=150_000,
+        )
+        plan = CampaignPlan.from_experiment(
+            "fig3", replications=1, scale=scale, seed=7,
+        )
+        # Keep the smoke affordable: one routing's worth of units still
+        # exercises the full machinery.  (The plan itself covers both.)
+        plan.save(tmp_path)
+        run_campaign(tmp_path, jobs=2)
+        merged = merge_campaign(tmp_path)
+        assert merged.simulated == 0
+        direct = fig3_latency_2d.run(scale=scale, seed=7)
+        assert merged.summary == fig3_latency_2d.summarize(direct)
+        for label, sweep in merged.results.items():
+            assert sweep.rates == direct[label].rates
+            assert sweep.latencies == direct[label].latencies
+
+
+class TestSharedCacheWiring:
+    def test_resolve_executor_prefers_explicit_executor(self):
+        executor = SweepExecutor(jobs=1)
+        assert resolve_executor(executor, jobs=4, replications=3) is executor
+
+    def test_resolve_executor_reads_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        executor = resolve_executor()
+        assert isinstance(executor.cache, PointStore)
+        assert executor.cache.directory == tmp_path
+
+    def test_resolve_executor_without_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_executor().cache is None
+
+    def test_fig3_reuses_points_across_invocations(self, tmp_path):
+        scale = ExperimentScale(
+            measure_messages=40, warmup_messages=10, rate_points=3,
+            fault_trials=1, max_cycles=150_000,
+        )
+        kwargs = dict(
+            scale=scale,
+            routings=("swbased-deterministic",),
+            fault_counts=(0,),
+            cache_dir=str(tmp_path),
+        )
+        first = fig3_latency_2d.run(**kwargs)
+        probe = PointStore(tmp_path)
+        stored = len(probe)
+        assert stored > 0
+        second = fig3_latency_2d.run(**kwargs)
+        assert len(PointStore(tmp_path)) == stored  # nothing new was simulated
+        (label,) = first
+        assert second[label].latencies == first[label].latencies
+
+
+class TestCampaignCli:
+    def _plan_args(self, directory):
+        return [
+            "campaign", "plan", "sweep", "--dir", str(directory),
+            "--radix", "4", "--virtual-channels", "2", "--message-length", "4",
+            "--warmup", "10", "--messages", "40",
+            "--max-rate", "0.02", "--points", "2", "--replications", "2",
+        ]
+
+    def test_lifecycle(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        assert "planned 4 work units" in capsys.readouterr().out
+
+        assert main(["campaign", "run", "--dir", str(tmp_path), "--shard", "1/2"]) == 0
+        assert "2 simulated" in capsys.readouterr().out
+        # An incomplete campaign reports non-zero from status (CI-friendly).
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 1
+        capsys.readouterr()
+
+        assert main(["campaign", "run", "--dir", str(tmp_path), "--shard", "2/2"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 0
+        assert "4/4 units complete" in capsys.readouterr().out
+
+        assert main(["campaign", "merge", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out and "merged 4 stored units" in out
+
+    def test_bad_shard_spec_is_actionable(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        capsys.readouterr()
+        code = main(["campaign", "run", "--dir", str(tmp_path), "--shard", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "INDEX/COUNT" in err and "--shard 2/4" in err
+
+    def test_missing_manifest_is_actionable(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--dir", str(tmp_path / "empty")])
+        assert code == 2
+        assert "campaign plan" in capsys.readouterr().err
+
+    def test_status_table_renders_members(self, tmp_path):
+        main(self._plan_args(tmp_path))
+        main(["campaign", "run", "--dir", str(tmp_path)])
+        table = campaign_status_table(campaign_status(tmp_path))
+        assert "points.jsonl" in table
+        assert "complete" in table

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro import __version__
+from repro.campaign.store import PointStore
 from repro.cli import build_parser, main
 from repro.errors import ConfigurationError
 from repro.sim.parallel import SweepExecutor
@@ -146,3 +148,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "U-shaped" in out
         assert "X" in out
+
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_sweep_cache_dir_reuses_points_across_invocations(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--radix", "4",
+            "--message-length", "4",
+            "--virtual-channels", "2",
+            "--max-rate", "0.02", "--points", "2",
+            "--warmup", "5", "--messages", "40",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        store = PointStore(tmp_path)
+        assert len(store) > 0  # the sweep persisted its points
+        assert main(args) == 0  # second invocation is served from disk
+        assert capsys.readouterr().out == first

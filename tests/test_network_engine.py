@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.core.livelock import LivelockGuard
+from repro.errors import ConfigurationError, SimulationError
 from repro.faults.model import FaultSet
 from repro.network.engine import SimulationEngine
 from repro.routing.dimension_order import DimensionOrderRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_engine, run_simulation
 from repro.core.swbased_nd import SoftwareBasedRouting
 from repro.topology.torus import TorusTopology
 from repro.traffic.generators import BernoulliTraffic, PeriodicTraffic, PoissonTraffic
@@ -291,3 +294,69 @@ class TestIdleSkipAhead:
         assert metrics.delivered_messages >= 5
         for record in engine.collector.records:
             assert record.created <= record.injected <= record.delivered
+
+
+class TestAbsorptionValve:
+    """The max_absorptions_per_message safety valve (livelock diagnostics)."""
+
+    # The ROADMAP-documented livelock: on a 6x6 torus with faulty nodes
+    # {4, 9, 12, 22}, a message 0 -> 10 under deterministic Software-Based
+    # routing (V=2) is absorbed without bound.
+    FAULTS = FaultSet.from_nodes([4, 9, 12, 22])
+
+    def _livelocked_engine(self, **kwargs):
+        return _engine(
+            TorusTopology(radix=6, dimensions=2), faults=self.FAULTS, **kwargs
+        )
+
+    def test_valve_raises_diagnostic_simulation_error(self):
+        engine = self._livelocked_engine(max_absorptions_per_message=5)
+        engine.inject_message(0, 10)
+        with pytest.raises(SimulationError) as excinfo:
+            engine.drain()
+        text = str(excinfo.value)
+        assert "message 0" in text  # which message
+        assert "(0 -> 10)" in text  # its endpoints
+        assert "6 times" in text  # the absorption count that tripped the cap
+        assert "at node" in text  # where it was last absorbed
+        assert "max_absorptions_per_message=5" in text
+
+    def test_valve_fires_before_a_permissive_livelock_guard(self):
+        guard = LivelockGuard(max_absorptions=1_000_000)
+        engine = self._livelocked_engine(
+            max_absorptions_per_message=5, livelock_guard=guard
+        )
+        engine.inject_message(0, 10)
+        with pytest.raises(SimulationError):
+            engine.drain()
+
+    def test_config_plumbs_the_valve_into_the_engine(self):
+        config = SimulationConfig(
+            topology=TorusTopology(radix=6, dimensions=2),
+            routing="swbased-deterministic",
+            num_virtual_channels=2,
+            message_length=4,
+            injection_rate=0.0,
+            faults=self.FAULTS,
+            warmup_messages=0,
+            measure_messages=10,
+            max_absorptions_per_message=5,
+        )
+        engine = build_engine(config)
+        engine.inject_message(0, 10)
+        with pytest.raises(SimulationError, match="max_absorptions_per_message=5"):
+            engine.drain()
+
+    def test_default_cap_is_above_supported_fault_patterns(self, small_config):
+        # The default (10,000) sits far above the LivelockGuard bound of any
+        # supported pattern, so ordinary faulty runs never touch the valve.
+        config = small_config.with_updates(faults=FaultSet.from_nodes([5]))
+        metrics = run_simulation(config).metrics
+        assert metrics.messages_absorbed_total > 0  # absorptions happened ...
+        assert metrics.delivered_messages > 0  # ... and the run completed
+
+    def test_invalid_cap_rejected(self, small_config):
+        with pytest.raises(ConfigurationError, match="max_absorptions_per_message"):
+            small_config.with_updates(max_absorptions_per_message=0).validate()
+        with pytest.raises(ConfigurationError, match="max_absorptions_per_message"):
+            _engine(TorusTopology(radix=4, dimensions=2), max_absorptions_per_message=-1)

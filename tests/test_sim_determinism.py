@@ -10,16 +10,27 @@ Two guarantees are locked down here:
    per-point results for the same base seed, because every (point,
    replication) seed is derived from the base seed alone (see the scheme in
    ``repro/sim/config.py``).
+3. **Shard/store equivalence** — sharding a work list across executors and
+   re-serving it through a disk-backed store are execution strategies too:
+   the union of the shards, and a store-served rerun, are bit-identical to
+   one unsharded in-process run (the campaign subsystem's foundation; the
+   full plan/run/merge lifecycle is covered in ``test_campaign_store.py``).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.campaign.store import PointStore
 from repro.errors import ConfigurationError
 from repro.faults.model import FaultSet
-from repro.sim.config import SimulationConfig, derive_child_seeds, derive_sweep_seeds
-from repro.sim.parallel import SweepExecutor
+from repro.sim.config import (
+    SimulationConfig,
+    config_hash,
+    derive_child_seeds,
+    derive_sweep_seeds,
+)
+from repro.sim.parallel import ShardSpec, SweepExecutor
 from repro.sim.runner import run_simulation
 from repro.sim.sweep import fault_count_sweep, injection_rate_sweep
 from repro.topology.torus import TorusTopology
@@ -183,6 +194,43 @@ class TestExecutorEquivalence:
         assert serial.rates == parallel.rates  # parallel truncated to the same series
         assert serial.latency_mean == parallel.latency_mean
         assert serial.saturated == parallel.saturated
+
+    def test_shard_union_equals_unsharded_run(self, fast_config):
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3, 4, 5)]
+        whole = SweepExecutor(jobs=1).run_configs(configs)
+        merged = [None] * len(configs)
+        for index in (1, 2):
+            shard_results = SweepExecutor(shard=ShardSpec(index, 2)).run_configs(configs)
+            for i, result in enumerate(shard_results):
+                if result is not None:
+                    assert merged[i] is None  # shards never overlap
+                    merged[i] = result
+        assert all(r is not None for r in merged)  # shards cover everything
+        assert [r.metrics for r in merged] == [r.metrics for r in whole]
+
+    def test_store_served_rerun_is_bit_identical(self, tmp_path, fast_config):
+        rates = self.RATES
+        store = PointStore(tmp_path)
+        first = SweepExecutor(jobs=1, replications=2, cache=store).run_injection_rate_sweep(
+            fast_config, rates
+        )
+        # A fresh store instance over the same directory models a new process
+        # re-serving every point from disk.
+        reread = PointStore(tmp_path)
+        second = SweepExecutor(jobs=1, replications=2, cache=reread).run_injection_rate_sweep(
+            fast_config, rates
+        )
+        assert reread.hits == sum(len(p) for p in second.results)
+        assert reread.misses == 0
+        assert second.latency_mean == first.latency_mean
+        assert _flatten_metrics(second) == _flatten_metrics(first)
+
+    def test_config_hash_distinguishes_every_sweep_unit(self, fast_config):
+        sweep = SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, self.RATES
+        )
+        hashes = [config_hash(r.config) for point in sweep.results for r in point]
+        assert len(set(hashes)) == len(hashes)
 
     def test_progress_counts_match_under_truncation(self, torus_4x4):
         config = SimulationConfig(
