@@ -66,6 +66,7 @@ from repro.sim import (
     ShardSpec,
     SimulationConfig,
     SimulationResult,
+    StreamedResult,
     SweepExecutor,
     SweepPointCache,
     aggregate_replications,
@@ -78,6 +79,15 @@ from repro.sim import (
     fault_count_sweep,
     injection_rate_sweep,
     run_simulation,
+)
+from repro.backends import (
+    DirectoryBackend,
+    MemoryBackend,
+    ResultBackend,
+    SQLiteBackend,
+    open_backend,
+    register_backend,
+    scan_backend,
 )
 from repro.campaign import (
     CampaignPlan,
@@ -130,6 +140,7 @@ __all__ = [
     "ShardSpec",
     "SweepExecutor",
     "SweepPointCache",
+    "StreamedResult",
     "ReplicatedSweepResult",
     "aggregate_replications",
     "config_hash",
@@ -138,6 +149,14 @@ __all__ = [
     "derive_child_seeds",
     "derive_sweep_seeds",
     "NetworkMetrics",
+    # result backends
+    "ResultBackend",
+    "MemoryBackend",
+    "DirectoryBackend",
+    "SQLiteBackend",
+    "open_backend",
+    "register_backend",
+    "scan_backend",
     # campaigns
     "CampaignPlan",
     "PointStore",

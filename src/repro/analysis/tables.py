@@ -168,6 +168,9 @@ def campaign_status_table(status) -> str:
         f"{status.completed_units}/{status.total_units} units complete, "
         f"{status.pending_units} pending"
     )
+    backend = getattr(status, "backend", "")
+    if backend:
+        title += f" (backend {backend})"
     if status.skipped_records:
         title += f" ({status.skipped_records} torn records skipped)"
     return format_table(rows, columns=["member", "records"], title=title)

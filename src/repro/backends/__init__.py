@@ -1,0 +1,63 @@
+"""Pluggable result backends: where completed simulation points live.
+
+Every layer that memoises ``(config, seed) -> NetworkMetrics`` — the
+executor's in-process sweep cache, the campaign subsystem's durable store,
+the experiment harness's ``--cache-dir`` plumbing — talks to the same
+:class:`~repro.backends.base.ResultBackend` contract, keyed by the shared
+:func:`repro.sim.config.config_hash` content-address.  Backends are selected
+by URI through :func:`~repro.backends.registry.open_backend`:
+
+* ``mem://`` / ``mem://<name>`` — in-memory
+  (:class:`~repro.backends.memory.MemoryBackend`); named instances are
+  shared process-wide, the anonymous form is private to its opener;
+* ``dir://<path>`` — the append-only JSONL directory layout
+  (:class:`~repro.backends.directory.DirectoryBackend`, historically
+  ``PointStore``), unchanged on disk and member-file mergeable;
+* ``sqlite://<path>`` — a single concurrent-writer-safe SQLite file
+  (:class:`~repro.backends.sqlite.SQLiteBackend`), the stepping stone to
+  object-store members.
+
+Because a backend serves bit-identical metrics by construction, which
+backend a sweep or campaign runs against never changes a single output bit —
+the backend-conformance test suite pins one shared contract against all
+three.
+"""
+
+from repro.backends.base import BackendScan, ResultBackend, validate_member
+from repro.backends.directory import DirectoryBackend, shard_member_name
+from repro.backends.memory import MemoryBackend
+from repro.backends.registry import (
+    DEFAULT_MEMBER,
+    backend_schemes,
+    open_backend,
+    parse_backend_uri,
+    register_backend,
+    scan_backend,
+)
+from repro.backends.serialize import (
+    config_from_dict,
+    config_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from repro.backends.sqlite import SQLiteBackend
+
+__all__ = [
+    "BackendScan",
+    "DEFAULT_MEMBER",
+    "DirectoryBackend",
+    "MemoryBackend",
+    "ResultBackend",
+    "SQLiteBackend",
+    "backend_schemes",
+    "config_from_dict",
+    "config_to_dict",
+    "metrics_from_dict",
+    "metrics_to_dict",
+    "open_backend",
+    "parse_backend_uri",
+    "register_backend",
+    "scan_backend",
+    "shard_member_name",
+    "validate_member",
+]

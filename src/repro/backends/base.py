@@ -1,0 +1,161 @@
+"""The ``ResultBackend`` contract shared by every result-storage layer.
+
+A backend maps the content-address of a :class:`~repro.sim.config.
+SimulationConfig` (the shared :func:`repro.sim.config.config_hash` — a pure
+function of the dynamics-relevant fields, so the seed is part of the key and
+``metadata`` relabels are not) to the :class:`~repro.metrics.collectors.
+NetworkMetrics` a finished simulation produced.  The contract has two faces:
+
+* the **executor cache face** (``get`` / ``put`` plus ``hits`` / ``misses``
+  counters) that :class:`~repro.sim.parallel.SweepExecutor` drives — a hit
+  returns the stored metrics rebound to the *requesting* configuration and
+  detached from the index, so caller-side mutation can never corrupt the
+  backend (the single implementation of that rebind lives here, in
+  :meth:`ResultBackend.serve`);
+* the **campaign face** (``__contains__`` over keys, ``keys()``,
+  ``members()``) that the campaign lifecycle uses for resume decisions and
+  status reports.
+
+Concrete backends implement only the storage primitives ``_lookup`` /
+``_commit`` plus the introspection methods; all shared semantics — counter
+accounting, idempotent puts, detach-on-serve — live here so the three
+backends cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig, config_hash
+from repro.sim.runner import SimulationResult
+
+__all__ = ["BackendScan", "ResultBackend", "validate_member"]
+
+#: Format version stamped on every stored record (shared by all backends: a
+#: record written by one library version must never be silently re-simulated
+#: — or worse, misread — by an incompatible one).
+RECORD_VERSION = 1
+
+
+def validate_member(member: str) -> str:
+    """Check a writer/member name (a plain file stem) and return it."""
+    if not member or "/" in member or member.startswith("."):
+        raise ConfigurationError(
+            f"invalid store member name {member!r}: expected a plain file stem "
+            "such as 'points' or 'points-shard-1-of-2'"
+        )
+    return member
+
+
+@dataclass(frozen=True)
+class BackendScan:
+    """The keys-only view of a backend location (:func:`~repro.backends.
+    registry.scan_backend`): which content-addresses are stored, per-writer
+    record counts, and how many torn records were skipped.  Cheap by design —
+    status-style queries never pay for metrics reconstruction."""
+
+    keys: FrozenSet[str]
+    members: List[Tuple[str, int]]
+    skipped_records: int
+
+
+class ResultBackend(ABC):
+    """Abstract ``(config, seed) -> NetworkMetrics`` store.
+
+    Subclasses implement the storage primitives (:meth:`_lookup`,
+    :meth:`_commit`, :meth:`__contains__`, :meth:`__len__`, :meth:`keys`,
+    :meth:`members`); the cache-contract semantics are defined here once.
+    """
+
+    #: URI scheme the registry mounts this backend under.
+    scheme: str = ""
+
+    #: The shared content-address (subclasses may override with a cheaper
+    #: process-local key, as the executor's in-memory sweep cache does).
+    key_of = staticmethod(config_hash)
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.skipped_records = 0
+
+    # ------------------------------------------------------------------ #
+    # the executor cache face
+    # ------------------------------------------------------------------ #
+    def get(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        """The stored result for ``config``, rebound to it, or ``None``."""
+        metrics = self._lookup(self.key_of(config))
+        if metrics is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self.serve(config, metrics)
+
+    @staticmethod
+    def serve(config: SimulationConfig, metrics: NetworkMetrics) -> SimulationResult:
+        """A stored metrics record as a served result.
+
+        The single definition of hit semantics for every backend: the metrics
+        are rebound to the *requesting* configuration (so the caller's labels
+        survive a cross-label hit) and detached
+        (:meth:`NetworkMetrics.detached`) so mutating a served result can
+        never corrupt the backend's copy.
+        """
+        return SimulationResult(config=config, metrics=metrics.detached())
+
+    def put(self, config: SimulationConfig, result: SimulationResult) -> None:
+        """Persist a finished run (a no-op when the key is already stored).
+
+        Idempotence lives in each backend's :meth:`_commit` rather than in a
+        ``key in self`` pre-check here: a pre-check could not be atomic
+        against concurrent writers anyway, and on the streaming hot path it
+        would double the statement count of backends (SQLite) whose insert
+        is already duplicate-safe.
+        """
+        self._commit(self.key_of(config), config, result.metrics.detached())
+
+    def contains_config(self, config: SimulationConfig) -> bool:
+        """Key lookup that, unlike :meth:`get`, touches no hit/miss counter."""
+        return self.key_of(config) in self
+
+    # ------------------------------------------------------------------ #
+    # storage primitives
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _lookup(self, key) -> Optional[NetworkMetrics]:
+        """The stored metrics for ``key``, or ``None``.  No counter updates."""
+
+    @abstractmethod
+    def _commit(self, key, config: SimulationConfig, metrics: NetworkMetrics) -> None:
+        """Durably store one (already detached) record under ``key``.
+
+        Must be idempotent: committing a key that is already stored is a
+        no-op (records for one key are bit-identical by construction, so
+        which writer wins is immaterial)."""
+
+    # ------------------------------------------------------------------ #
+    # the campaign face
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def __contains__(self, key) -> bool:
+        """Whether ``key`` (a :meth:`key_of` value) is stored."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored records."""
+
+    @abstractmethod
+    def keys(self) -> FrozenSet:
+        """Every stored key."""
+
+    @abstractmethod
+    def members(self) -> List[Tuple[str, int]]:
+        """``(writer/member name, record count)`` pairs, sorted by name."""
+
+    def close(self) -> None:
+        """Release any held resources (file handles, connections).  Safe to
+        call more than once; the in-memory and directory backends hold none."""

@@ -1,0 +1,248 @@
+"""The ``dir://`` backend: an append-only JSONL directory of result records.
+
+This is the campaign subsystem's original disk layout (historically the
+``PointStore`` class, a name :mod:`repro.campaign.store` still exports),
+unchanged on disk and now one concrete member of the
+:class:`~repro.backends.base.ResultBackend` family.  A backend directory
+holds ``*.jsonl`` member files in which every line is one completed
+``(config, seed) -> NetworkMetrics`` record keyed by the stable
+:func:`repro.sim.config.config_hash` content-address.
+
+Layout and durability:
+
+* each writer appends to its own member file (``points.jsonl`` by default;
+  shard runs use ``points-shard-I-of-N.jsonl``), so concurrent shards on a
+  shared directory never interleave writes — and merging hosts is literally
+  copying their member files into one directory; writers that do share a
+  member file (two unsharded runs, two ``--cache-dir`` processes) are still
+  safe on local filesystems because every record is appended with a single
+  ``O_APPEND`` write syscall;
+* every ``put`` is one self-contained line flushed immediately, so a killed
+  run loses at most the line being written; loading skips torn or corrupt
+  lines (counted in :attr:`~DirectoryBackend.skipped_records`) instead of
+  failing, which is what makes kill-and-resume safe;
+* records are idempotent: re-putting a known key is a no-op, and duplicate
+  keys across member files resolve to the same (bit-identical) metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.backends.base import (
+    RECORD_VERSION,
+    BackendScan,
+    ResultBackend,
+    validate_member,
+)
+from repro.backends.serialize import config_to_dict, metrics_from_dict, metrics_to_dict
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig
+
+__all__ = ["DirectoryBackend", "shard_member_name"]
+
+
+def shard_member_name(index: int, count: int) -> str:
+    """The member/writer name used by shard ``index``/``count`` runs."""
+    return f"points-shard-{index}-of-{count}"
+
+
+class DirectoryBackend(ResultBackend):
+    """Disk-backed ``(config, seed) -> NetworkMetrics`` store in a directory.
+
+    Parameters
+    ----------
+    directory:
+        The backend directory (created if missing).  *All* ``*.jsonl``
+        member files found there are loaded into the index, so dropping
+        another host's shard file into the directory is a merge.
+    member:
+        Stem of the member file this instance appends to (default
+        ``"points"``).  Readers that never ``put`` — e.g. the merge step —
+        can use any member name.
+    """
+
+    scheme = "dir"
+
+    def __init__(self, directory: os.PathLike, member: str = "points") -> None:
+        super().__init__()
+        validate_member(member)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._member_path = self.directory / f"{member}.jsonl"
+        self._index: Dict[str, NetworkMetrics] = {}
+        self._member_counts: Dict[str, int] = {}
+        self.reload()
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_record(path: Path, number: int, line: str) -> Optional[dict]:
+        """One member line as a record dict, or ``None`` for a torn line.
+
+        Only *unparseable* lines are treated as torn (the signature of a
+        killed writer): a line that parses but carries an unknown record
+        version means the store was written by an incompatible library
+        version, and silently re-simulating a whole campaign would be far
+        worse than failing — so that raises an actionable error instead.
+        """
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(record, dict) or record.get("v") != RECORD_VERSION:
+            raise ConfigurationError(
+                f"store record {path.name}:{number} has version "
+                f"{record.get('v') if isinstance(record, dict) else record!r} "
+                f"but this library reads version {RECORD_VERSION}; the "
+                "store was written by an incompatible library version — "
+                "re-run the campaign into a fresh directory"
+            )
+        return record
+
+    @classmethod
+    def _scan_members(
+        cls, directory: os.PathLike, on_record: Callable[[Path, int, dict], None]
+    ) -> Tuple[Dict[str, int], int]:
+        """Feed every intact record of every member file to ``on_record``.
+
+        The single definition of what a backend directory *contains* — member
+        glob, blank-line skip, torn-line counting — shared by the full
+        :meth:`reload` and the keys-only :meth:`scan_keys` so the two can
+        never disagree about which records exist.  Returns the per-member
+        record counts and the number of torn lines skipped.
+        """
+        members: Dict[str, int] = {}
+        skipped = 0
+        for path in sorted(Path(directory).glob("*.jsonl")):
+            count = 0
+            with open(path, "r", encoding="utf-8") as fh:
+                for number, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = cls._parse_record(path, number, line)
+                    if record is None:
+                        skipped += 1
+                        continue
+                    on_record(path, number, record)
+                    count += 1
+            members[path.name] = count
+        return members, skipped
+
+    def reload(self) -> None:
+        """(Re)build the in-memory index from every member file on disk.
+
+        Torn lines are skipped and counted in :attr:`skipped_records`; every
+        intact record is still served, which is exactly the resume semantics
+        a partial shard run needs.
+        """
+        self._index.clear()
+
+        def index_record(path: Path, number: int, record: dict) -> None:
+            try:
+                key = record["key"]
+                metrics = metrics_from_dict(record["metrics"])
+            except (KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"store record {path.name}:{number} does not reconstruct "
+                    f"({exc}); the metrics schema has drifted from the one "
+                    "that wrote this store — re-run the campaign into a "
+                    "fresh directory"
+                ) from exc
+            self._index[key] = metrics
+
+        self._member_counts, self.skipped_records = self._scan_members(
+            self.directory, index_record
+        )
+
+    @classmethod
+    def scan_keys(cls, directory: os.PathLike) -> BackendScan:
+        """Keys-only scan of a backend directory, without building a backend.
+
+        Status-style queries ("which units are complete?") only need each
+        record's content-address, so this skips the metrics reconstruction
+        that dominates a full :class:`DirectoryBackend` load — on
+        million-point campaigns that is the difference between a count and a
+        merge-grade load.
+        """
+        keys = set()
+
+        def collect(path: Path, number: int, record: dict) -> None:
+            try:
+                keys.add(record["key"])
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"store record {path.name}:{number} has no key ({exc}); "
+                    "the record schema has drifted from the one that wrote "
+                    "this store — re-run the campaign into a fresh directory"
+                ) from exc
+
+        members, skipped = cls._scan_members(directory, collect)
+        return BackendScan(
+            keys=frozenset(keys), members=sorted(members.items()), skipped_records=skipped
+        )
+
+    # ------------------------------------------------------------------ #
+    # storage primitives
+    # ------------------------------------------------------------------ #
+    def _lookup(self, key: str) -> Optional[NetworkMetrics]:
+        return self._index.get(key)
+
+    def _commit(self, key: str, config: SimulationConfig, metrics: NetworkMetrics) -> None:
+        if key in self._index:
+            return
+        record = {
+            "v": RECORD_VERSION,
+            "key": key,
+            # Deliberate provenance payload: no reader consumes it (lookups go
+            # by key), but it keeps every record self-describing so a stray
+            # member file can be audited or re-keyed without its campaign.json.
+            "config": config_to_dict(config),
+            "metrics": metrics_to_dict(metrics),
+        }
+        line = json.dumps(record, separators=(",", ":"), allow_nan=True)
+        # One O_APPEND syscall per record: a crash tears at most this line
+        # (which reload() then skips), and concurrent writers sharing the
+        # member file — two unsharded runs, two --cache-dir processes — never
+        # interleave mid-record the way buffered text appends would.  The
+        # leading newline unconditionally terminates any torn, newline-less
+        # fragment a killed writer left at EOF (checking first would race a
+        # concurrent writer dying between check and write); the loader skips
+        # the resulting blank lines.
+        data = ("\n" + line + "\n").encode("utf-8")
+        fd = os.open(self._member_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            while data:  # a short write (e.g. full filesystem) must not be
+                data = data[os.write(fd, data):]  # silently recorded as stored
+        finally:
+            os.close(fd)
+        self._index[key] = metrics
+        name = self._member_path.name
+        self._member_counts[name] = self._member_counts.get(name, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> FrozenSet[str]:
+        return frozenset(self._index)
+
+    def members(self) -> List[Tuple[str, int]]:
+        """``(member file name, record count)`` pairs, sorted by name."""
+        return sorted(self._member_counts.items())
+
+    @property
+    def member_path(self) -> Path:
+        """The member file this instance appends to."""
+        return self._member_path

@@ -1,0 +1,94 @@
+"""The ``mem://`` backend: an in-process dictionary of result records.
+
+The zero-durability member of the backend family — what the executor's sweep
+cache has always been, now speaking the shared
+:class:`~repro.backends.base.ResultBackend` contract so tests, the
+conformance suite and ephemeral campaign runs can swap it in wherever a
+``dir://`` or ``sqlite://`` backend would go.
+
+Two URI forms:
+
+* ``mem://`` opens a *private* backend: every open is a fresh empty store
+  that dies with its owner;
+* ``mem://<name>`` opens a *named* backend shared process-wide: every open
+  of the same name returns the same instance, which is what lets an
+  in-process campaign lifecycle (run, then status, then merge) observe its
+  own results.  Names never survive the process — a ``mem://`` campaign is
+  for tests and throwaway runs, not for resume-across-invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.backends.base import ResultBackend
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig
+
+__all__ = ["MemoryBackend"]
+
+#: Process-wide registry of named ``mem://<name>`` instances.
+_NAMED_INSTANCES: Dict[str, "MemoryBackend"] = {}
+
+
+class MemoryBackend(ResultBackend):
+    """In-memory ``(config, seed) -> NetworkMetrics`` store."""
+
+    scheme = "mem"
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__()
+        self.name = name
+        self._index: Dict[object, NetworkMetrics] = {}
+
+    @classmethod
+    def open(cls, name: str = "") -> "MemoryBackend":
+        """The instance for a ``mem://`` location.
+
+        An empty ``name`` is the private form (always a fresh store); a
+        non-empty name is served from the process-wide registry so separate
+        opens share one store.
+        """
+        if not name:
+            return cls()
+        instance = _NAMED_INSTANCES.get(name)
+        if instance is None:
+            instance = _NAMED_INSTANCES[name] = cls(name)
+        return instance
+
+    @staticmethod
+    def discard(name: str) -> None:
+        """Drop a named instance from the process-wide registry (test hygiene)."""
+        _NAMED_INSTANCES.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # storage primitives
+    # ------------------------------------------------------------------ #
+    def _lookup(self, key) -> Optional[NetworkMetrics]:
+        return self._index.get(key)
+
+    def _commit(self, key, config: SimulationConfig, metrics: NetworkMetrics) -> None:
+        self._index.setdefault(key, metrics)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key) -> bool:
+        return key in self._index
+
+    def keys(self) -> FrozenSet:
+        return frozenset(self._index)
+
+    def members(self) -> List[Tuple[str, int]]:
+        # One logical member; an empty store reports none, matching a
+        # directory backend with no member files yet.
+        if not self._index:
+            return []
+        return [(f"mem://{self.name}", len(self._index))]
+
+    def clear(self) -> None:
+        """Drop every stored result (counters are kept)."""
+        self._index.clear()

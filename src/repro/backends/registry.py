@@ -1,0 +1,137 @@
+"""The backend URI registry: ``scheme://location`` strings to backends.
+
+One parser and one registry decide what a backend URI means everywhere — the
+:class:`~repro.sim.parallel.SweepExecutor` ``cache=`` argument, the campaign
+lifecycle, :func:`repro.experiments.common.resolve_executor` and the CLI's
+``--backend`` / ``REPRO_BACKEND`` all route through :func:`open_backend`:
+
+* ``mem://`` — a private in-memory backend; ``mem://<name>`` — a named
+  backend shared process-wide (tests, ephemeral runs);
+* ``dir://<path>`` — the JSONL directory layout (``<path>`` is a filesystem
+  path, absolute or relative; ``dir:///var/tmp/c`` is the absolute form);
+* ``sqlite://<path>`` — a single SQLite database file.
+
+Third-party backends (the ROADMAP's object-store members, for instance)
+mount themselves with :func:`register_backend` and immediately work across
+the executor, campaign and CLI layers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Tuple
+
+from repro.backends.base import BackendScan, ResultBackend, validate_member
+from repro.backends.directory import DirectoryBackend
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SQLiteBackend
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_MEMBER",
+    "backend_schemes",
+    "open_backend",
+    "parse_backend_uri",
+    "register_backend",
+    "scan_backend",
+]
+
+#: The writer/member name of unsharded runs.
+DEFAULT_MEMBER = "points"
+
+_URI_RE = re.compile(r"^([a-z][a-z0-9+.-]*)://(.*)$", re.IGNORECASE)
+
+#: scheme -> (opener(location, member), scanner(location)).
+_SCHEMES: Dict[
+    str,
+    Tuple[Callable[[str, str], ResultBackend], Callable[[str], BackendScan]],
+] = {}
+
+
+def register_backend(
+    scheme: str,
+    opener: Callable[[str, str], ResultBackend],
+    scanner: Callable[[str], BackendScan],
+) -> None:
+    """Mount a backend implementation under a URI scheme.
+
+    ``opener(location, member)`` must return a live
+    :class:`~repro.backends.base.ResultBackend`; ``scanner(location)`` must
+    return the cheap keys-only :class:`~repro.backends.base.BackendScan`
+    view used by status-style queries.
+    """
+    _SCHEMES[scheme.lower()] = (opener, scanner)
+
+
+def backend_schemes() -> Tuple[str, ...]:
+    """The registered URI schemes, sorted."""
+    return tuple(sorted(_SCHEMES))
+
+
+def parse_backend_uri(uri: str) -> Tuple[str, str]:
+    """Split a backend URI into ``(scheme, location)``, validating both.
+
+    Raises :class:`ConfigurationError` with an actionable message on a
+    malformed URI or an unregistered scheme — at parse time, so a bad
+    ``--backend`` fails before any work is planned or run.
+    """
+    match = _URI_RE.match(uri or "")
+    if not match:
+        raise ConfigurationError(
+            f"invalid backend URI {uri!r}: expected scheme://location, e.g. "
+            "mem://, dir://results/campaign or sqlite://results/points.sqlite"
+        )
+    scheme, location = match.group(1).lower(), match.group(2)
+    if scheme not in _SCHEMES:
+        raise ConfigurationError(
+            f"unknown backend scheme {scheme!r} in {uri!r}; registered "
+            f"schemes: {', '.join(backend_schemes())}"
+        )
+    if scheme != "mem" and not location:
+        raise ConfigurationError(
+            f"backend URI {uri!r} needs a location, e.g. {scheme}://results/campaign"
+        )
+    return scheme, location
+
+
+def open_backend(uri: str, member: str = DEFAULT_MEMBER) -> ResultBackend:
+    """Open the backend a URI names, writing as ``member``."""
+    scheme, location = parse_backend_uri(uri)
+    opener, _ = _SCHEMES[scheme]
+    return opener(location, member)
+
+
+def scan_backend(uri: str) -> BackendScan:
+    """The cheap keys-only view of the backend a URI names."""
+    scheme, location = parse_backend_uri(uri)
+    _, scanner = _SCHEMES[scheme]
+    return scanner(location)
+
+
+def _scan_memory(location: str) -> BackendScan:
+    backend = MemoryBackend.open(location)
+    return BackendScan(
+        keys=backend.keys(), members=backend.members(), skipped_records=0
+    )
+
+
+def _open_memory(location: str, member: str) -> MemoryBackend:
+    # The member name is validated for cross-backend consistency (a bad
+    # shard name must fail on mem:// exactly as it would on dir://), but an
+    # in-process store has no writer files to keep apart — all writers
+    # aggregate into the backend's single synthetic member row.
+    validate_member(member)
+    return MemoryBackend.open(location)
+
+
+register_backend("mem", _open_memory, _scan_memory)
+register_backend(
+    "dir",
+    lambda location, member: DirectoryBackend(location, member=member),
+    DirectoryBackend.scan_keys,
+)
+register_backend(
+    "sqlite",
+    lambda location, member: SQLiteBackend(location, member=member),
+    SQLiteBackend.scan_keys,
+)

@@ -1,0 +1,203 @@
+"""The ``sqlite://`` backend: one concurrent-writer-safe result database.
+
+The single-file member of the backend family, and the stepping stone between
+the ``dir://`` JSONL layout (one member file per writer, merged by copying
+files) and future object-store members: every record lives in one SQLite
+database that any number of shard runners can write concurrently.
+
+Durability and concurrency model:
+
+* every ``put`` is one autocommitted ``INSERT OR IGNORE`` — a killed run
+  loses at most the row being inserted, and two writers racing on the same
+  key both succeed (the rows are bit-identical by construction, the loser's
+  insert is ignored);
+* WAL journalling plus a generous busy timeout make concurrent shard
+  writers on one host safe without any application-level locking (SQLite
+  serialises the writes; readers never block on them);
+* the writer/member name is recorded per row, so ``status`` can report
+  per-shard record counts exactly like the directory layout's member files;
+* records carry the same version stamp and provenance payload as ``dir://``
+  records — an incompatible database fails loudly instead of being silently
+  re-simulated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.backends.base import (
+    RECORD_VERSION,
+    BackendScan,
+    ResultBackend,
+    validate_member,
+)
+from repro.backends.serialize import config_to_dict, metrics_from_dict, metrics_to_dict
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig
+
+__all__ = ["SQLiteBackend"]
+
+#: How long a writer waits on a locked database before failing (seconds).
+_BUSY_TIMEOUT = 30.0
+
+
+class SQLiteBackend(ResultBackend):
+    """SQLite-backed ``(config, seed) -> NetworkMetrics`` store.
+
+    Parameters
+    ----------
+    path:
+        The database file (created, with its parent directory, if missing).
+    member:
+        Writer name recorded on every row this instance inserts (default
+        ``"points"``; shard runs use ``points-shard-I-of-N``), the analogue
+        of the directory layout's member files.
+    """
+
+    scheme = "sqlite"
+
+    def __init__(self, path: os.PathLike, member: str = "points") -> None:
+        super().__init__()
+        validate_member(member)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.member = member
+        # isolation_level=None puts sqlite3 in autocommit mode: every INSERT
+        # is its own durable transaction, which is exactly the "commit each
+        # result as it finishes" streaming contract.
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=_BUSY_TIMEOUT, isolation_level=None
+        )
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={int(_BUSY_TIMEOUT * 1000)}")
+            self._init_schema()
+        except ConfigurationError:
+            self._conn.close()  # the version-mismatch path
+            raise
+        except sqlite3.DatabaseError as exc:
+            # E.g. the URI points at an existing non-SQLite file (a JSONL
+            # member, say): surface the same actionable error type every
+            # other bad-input path in the storage layer raises.
+            self._conn.close()
+            raise ConfigurationError(
+                f"cannot open backend database {self.path} ({exc}); the path "
+                "does not hold a SQLite result store — point sqlite:// at a "
+                "new or previously created database file"
+            ) from exc
+
+    def _init_schema(self) -> None:
+        # CREATE IF NOT EXISTS + INSERT OR IGNORE make initialisation safe
+        # against two processes opening a fresh database at the same time.
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta ("
+            " id INTEGER PRIMARY KEY CHECK (id = 0),"
+            " version INTEGER NOT NULL)"
+        )
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (id, version) VALUES (0, ?)", (RECORD_VERSION,)
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS points ("
+            " key TEXT PRIMARY KEY,"
+            " writer TEXT NOT NULL,"
+            " config TEXT NOT NULL,"
+            " metrics TEXT NOT NULL)"
+        )
+        row = self._conn.execute("SELECT version FROM meta WHERE id = 0").fetchone()
+        if row is None or row[0] != RECORD_VERSION:
+            raise ConfigurationError(
+                f"backend database {self.path} has version "
+                f"{row[0] if row else None!r} but this library reads version "
+                f"{RECORD_VERSION}; it was written by an incompatible library "
+                "version — re-run the campaign into a fresh database"
+            )
+
+    # ------------------------------------------------------------------ #
+    # storage primitives
+    # ------------------------------------------------------------------ #
+    def _lookup(self, key: str) -> Optional[NetworkMetrics]:
+        row = self._conn.execute(
+            "SELECT metrics FROM points WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return metrics_from_dict(json.loads(row[0]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"backend record {key[:12]}… in {self.path} does not "
+                f"reconstruct ({exc}); the metrics schema has drifted from "
+                "the one that wrote this database — re-run the campaign into "
+                "a fresh database"
+            ) from exc
+
+    def _commit(self, key: str, config: SimulationConfig, metrics: NetworkMetrics) -> None:
+        # INSERT OR IGNORE is the idempotence: one statement per streamed
+        # commit, duplicate-safe even across concurrent writer processes.
+        # The JSON encodings match the dir:// record format canonically, so
+        # the two persistent backends serve bit-identical floats.
+        self._conn.execute(
+            "INSERT OR IGNORE INTO points (key, writer, config, metrics) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                key,
+                self.member,
+                json.dumps(config_to_dict(config), separators=(",", ":"), allow_nan=True),
+                json.dumps(metrics_to_dict(metrics), separators=(",", ":"), allow_nan=True),
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM points").fetchone()[0]
+
+    def __contains__(self, key: str) -> bool:
+        return (
+            self._conn.execute(
+                "SELECT 1 FROM points WHERE key = ?", (key,)
+            ).fetchone()
+            is not None
+        )
+
+    def keys(self) -> FrozenSet[str]:
+        return frozenset(
+            row[0] for row in self._conn.execute("SELECT key FROM points")
+        )
+
+    def members(self) -> List[Tuple[str, int]]:
+        """``(writer name, record count)`` pairs, sorted by writer."""
+        return [
+            (writer, count)
+            for writer, count in self._conn.execute(
+                "SELECT writer, COUNT(*) FROM points GROUP BY writer ORDER BY writer"
+            )
+        ]
+
+    @classmethod
+    def scan_keys(cls, path: os.PathLike) -> BackendScan:
+        """Keys-only scan of a database, mirroring the directory fast path.
+
+        A missing database scans as empty (a campaign whose run has not
+        started yet), matching a directory backend with no member files.
+        """
+        path = Path(path)
+        if not path.exists():
+            return BackendScan(keys=frozenset(), members=[], skipped_records=0)
+        backend = cls(path)
+        try:
+            return BackendScan(
+                keys=backend.keys(), members=backend.members(), skipped_records=0
+            )
+        finally:
+            backend.close()
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,16 +1,18 @@
-"""Campaigns: disk-backed result stores and resumable, shardable experiments.
+"""Campaigns: backend-stored, resumable, shardable experiments.
 
 A *campaign* treats an experiment as a stream of independently computable,
 content-addressed simulation points instead of one monolithic in-process run
 (cf. the streaming formulations in PAPERS.md):
 
-* :class:`~repro.campaign.store.PointStore` persists every completed
-  ``(config, seed) -> NetworkMetrics`` record under a campaign directory,
-  keyed by the same :func:`repro.sim.config.config_hash` content-address the
-  in-memory :class:`~repro.sim.parallel.SweepPointCache` uses;
+* every completed ``(config, seed) -> NetworkMetrics`` record is committed —
+  as it finishes, not at batch boundaries — to a pluggable
+  :mod:`repro.backends` result backend (``dir://`` JSONL members,
+  ``sqlite://`` single-file, ``mem://`` ephemeral), keyed by the same
+  :func:`repro.sim.config.config_hash` content-address the in-memory
+  :class:`~repro.sim.parallel.SweepPointCache` uses;
 * :class:`~repro.campaign.plan.CampaignPlan` enumerates every (point,
   replication) of a sweep or figure experiment as shardable work units in a
-  ``campaign.json`` manifest;
+  ``campaign.json`` manifest (which also pins the chosen backend URI);
 * :func:`~repro.campaign.runner.run_campaign` /
   :func:`~repro.campaign.runner.merge_campaign` /
   :func:`~repro.campaign.runner.campaign_status` implement the
@@ -27,6 +29,7 @@ from repro.campaign.runner import (
     CampaignStatus,
     campaign_status,
     merge_campaign,
+    resolve_campaign_backend,
     run_campaign,
 )
 from repro.campaign.serialize import (
@@ -52,6 +55,7 @@ __all__ = [
     "merge_campaign",
     "metrics_from_dict",
     "metrics_to_dict",
+    "resolve_campaign_backend",
     "run_campaign",
     "shard_member_name",
 ]

@@ -40,7 +40,38 @@ from repro.sim.config import SimulationConfig, config_hash
 from repro.sim.parallel import ShardSpec, SweepExecutor
 from repro.sim.runner import SimulationResult
 
-__all__ = ["CampaignPlan", "CampaignUnit", "MANIFEST_NAME", "SIMULATING_FIGURES"]
+__all__ = [
+    "CampaignPlan",
+    "CampaignUnit",
+    "MANIFEST_NAME",
+    "SIMULATING_FIGURES",
+    "check_campaign_backend",
+]
+
+
+def check_campaign_backend(uri: str) -> str:
+    """Validate a backend URI *as a campaign store* and return it.
+
+    Beyond the registry's own parse, campaigns reject the anonymous
+    ``mem://`` form: every lifecycle invocation would open a fresh private
+    store, so results committed by ``run`` could never be observed by
+    ``status``/``merge`` — the whole campaign would silently re-simulate
+    forever.  Named ``mem://<name>`` stores (shared process-wide) and the
+    persistent backends are fine.  Shared by plan-time validation and the
+    run/merge/status resolution path, so the mistake fails loudly wherever
+    the URI enters.
+    """
+    from repro.backends.registry import parse_backend_uri
+
+    scheme, location = parse_backend_uri(uri)
+    if scheme == "mem" and not location:
+        raise ConfigurationError(
+            "campaigns cannot use the anonymous mem:// backend: every "
+            "invocation would open a fresh empty store, so run results could "
+            "never be seen by status or merge — use mem://<name> (shared "
+            "within one process) or a persistent dir:// / sqlite:// backend"
+        )
+    return uri
 
 #: Manifest file name inside a campaign directory.
 MANIFEST_NAME = "campaign.json"
@@ -130,6 +161,12 @@ class CampaignPlan:
     kind: str
     spec: dict
     units: List[CampaignUnit] = field(default_factory=list)
+    #: Backend URI recorded at plan time (e.g. ``sqlite://…``); ``None``
+    #: means the campaign directory's own ``dir://`` store.  Like the pinned
+    #: experiment scale, the recorded backend travels with the manifest so
+    #: every ``run``/``merge``/``status`` invocation lands on the same store
+    #: without repeating the flag (an explicit ``--backend`` still wins).
+    backend: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -141,6 +178,13 @@ class CampaignPlan:
             for i, c in enumerate(configs)
         ]
 
+    @staticmethod
+    def _checked_backend(backend: Optional[str]) -> Optional[str]:
+        """Validate a backend URI at plan time (fail before any work exists)."""
+        if backend is not None:
+            check_campaign_backend(backend)
+        return backend
+
     @classmethod
     def from_injection_sweep(
         cls,
@@ -148,6 +192,7 @@ class CampaignPlan:
         rates: Sequence[float],
         replications: int = 1,
         label: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "CampaignPlan":
         """Plan a replicated injection-rate sweep of ``base_config``.
 
@@ -168,7 +213,12 @@ class CampaignPlan:
             "label": label,
             "replications": replications,
         }
-        return cls(kind="sweep", spec=spec, units=cls._units_from(planner.recorded))
+        return cls(
+            kind="sweep",
+            spec=spec,
+            units=cls._units_from(planner.recorded),
+            backend=cls._checked_backend(backend),
+        )
 
     @classmethod
     def from_experiment(
@@ -177,6 +227,7 @@ class CampaignPlan:
         replications: int = 1,
         scale=None,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> "CampaignPlan":
         """Plan one of the paper's simulating figures (fig3–fig7).
 
@@ -210,7 +261,12 @@ class CampaignPlan:
             "replications": replications,
             "scale": asdict(scale),
         }
-        return cls(kind="experiment", spec=spec, units=cls._units_from(planner.recorded))
+        return cls(
+            kind="experiment",
+            spec=spec,
+            units=cls._units_from(planner.recorded),
+            backend=cls._checked_backend(backend),
+        )
 
     # ------------------------------------------------------------------ #
     # persistence
@@ -223,6 +279,7 @@ class CampaignPlan:
         payload = {
             "version": _MANIFEST_VERSION,
             "kind": self.kind,
+            "backend": self.backend,
             "spec": self.spec,
             "units": [
                 {"index": u.index, "key": u.key, "config": config_to_dict(u.config)}
@@ -260,8 +317,9 @@ class CampaignPlan:
         return path, payload
 
     @classmethod
-    def load_keys(cls, directory) -> "tuple[str, List[str]]":
-        """The manifest's kind and recorded unit keys, without rebuilding configs.
+    def load_keys(cls, directory) -> "tuple[str, List[str], Optional[str]]":
+        """The manifest's kind, unit keys and recorded backend, without
+        rebuilding configs.
 
         Status-style queries only need key membership, so this trusts the
         recorded content-addresses instead of paying a config reconstruction
@@ -272,7 +330,11 @@ class CampaignPlan:
         :meth:`load`.
         """
         _, payload = cls._read_manifest(directory)
-        return payload["kind"], [entry["key"] for entry in payload["units"]]
+        return (
+            payload["kind"],
+            [entry["key"] for entry in payload["units"]],
+            payload.get("backend"),
+        )
 
     @classmethod
     def load(cls, directory) -> "CampaignPlan":
@@ -311,7 +373,12 @@ class CampaignPlan:
                     "campaign"
                 )
             units.append(CampaignUnit(index=int(entry["index"]), key=key, config=config))
-        return cls(kind=payload["kind"], spec=payload["spec"], units=units)
+        return cls(
+            kind=payload["kind"],
+            spec=payload["spec"],
+            units=units,
+            backend=payload.get("backend"),
+        )
 
     # ------------------------------------------------------------------ #
     # shard views

@@ -1,28 +1,39 @@
 """Campaign lifecycle: run shards, merge stores, report status.
 
-The lifecycle over one campaign directory (manifest + point store):
+The lifecycle over one campaign directory (manifest + result backend):
 
-* :func:`run_campaign` executes (a shard of) the planned work units against
-  the disk-backed store — completed units are served from disk (counted as
-  ``reused``), so a killed or partial run simply resumes on re-invocation;
+* :func:`run_campaign` streams (a shard of) the planned work units through
+  the executor's producer/consumer loop: every completed (point,
+  replication) is committed to the backend the moment it finishes, so a
+  killed ``run`` loses at most in-flight work, ``status`` reflects live
+  progress, and re-invocation resumes with only the unfinished units
+  recomputed (completed ones come back as recorded ``reused`` hits);
 * :func:`merge_campaign` re-derives the published series by replaying the
-  original sweep/experiment against the merged store: with every unit on
-  disk this simulates nothing and the output is bit-identical to a
+  original sweep/experiment against the merged backend: with every unit
+  stored this simulates nothing and the output is bit-identical to a
   single-shot run with the same base seed (any unit still missing is
   simulated on the spot and reported);
-* :func:`campaign_status` summarises plan-vs-store completion per member
-  file, for humans and the CI smoke job.
+* :func:`campaign_status` summarises plan-vs-store completion per backend
+  member, for humans (table) and CI dashboards (``--json``).
+
+Which backend a campaign uses is resolved in one place
+(:func:`resolve_campaign_backend`): an explicit argument/flag wins, then the
+URI recorded in the manifest at plan time, then the ``REPRO_BACKEND``
+environment variable, and finally the campaign directory's own ``dir://``
+store — the historical layout, byte-for-byte.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.tables import series_table
-from repro.campaign.plan import CampaignPlan
+from repro.backends.registry import DEFAULT_MEMBER, open_backend, scan_backend
+from repro.campaign.plan import CampaignPlan, check_campaign_backend
 from repro.campaign.serialize import config_from_dict
-from repro.campaign.store import PointStore, shard_member_name
+from repro.campaign.store import shard_member_name
 from repro.errors import ConfigurationError
 from repro.sim.parallel import ShardSpec, SweepExecutor
 from repro.sim.runner import SimulationResult
@@ -33,8 +44,30 @@ __all__ = [
     "CampaignStatus",
     "campaign_status",
     "merge_campaign",
+    "resolve_campaign_backend",
     "run_campaign",
 ]
+
+
+def resolve_campaign_backend(
+    directory, backend: Optional[str] = None, recorded: Optional[str] = None
+) -> str:
+    """The backend URI a campaign invocation should use.
+
+    Precedence: the explicit ``backend`` argument (the CLI's ``--backend``
+    escape hatch), then the URI ``recorded`` in the manifest at plan time
+    (pinned like the experiment scale, so all lifecycle invocations land on
+    one store), then ``REPRO_BACKEND``, then the campaign directory itself
+    as a ``dir://`` store — the historical default layout.
+    """
+    if backend:
+        return check_campaign_backend(backend)
+    if recorded:
+        return check_campaign_backend(recorded)
+    env = os.environ.get("REPRO_BACKEND")
+    if env:
+        return check_campaign_backend(env)
+    return f"dir://{directory}"
 
 
 @dataclass(frozen=True)
@@ -47,6 +80,7 @@ class CampaignRunReport:
     reused: int
     simulated: int
     deferred: int
+    backend: str = ""
 
     @property
     def completed(self) -> int:
@@ -61,6 +95,8 @@ class CampaignRunReport:
         )
         if self.deferred:
             line += f", {self.deferred} deferred by --max-units"
+        if self.backend:
+            line += f" [{self.backend}]"
         return line
 
 
@@ -73,6 +109,7 @@ class CampaignMerge:
     summary: str
     reused: int
     simulated: int
+    backend: str = ""
 
     def describe(self) -> str:
         line = f"merged {self.reused} stored units"
@@ -94,6 +131,7 @@ class CampaignStatus:
     completed_units: int
     members: List[Tuple[str, int]]
     skipped_records: int
+    backend: str = ""
 
     @property
     def pending_units(self) -> int:
@@ -103,6 +141,22 @@ class CampaignStatus:
     def complete(self) -> bool:
         return self.completed_units == self.total_units
 
+    def as_dict(self) -> dict:
+        """Machine-readable view (the ``campaign status --json`` payload)."""
+        return {
+            "directory": self.directory,
+            "kind": self.kind,
+            "backend": self.backend,
+            "total_units": self.total_units,
+            "completed_units": self.completed_units,
+            "pending_units": self.pending_units,
+            "complete": self.complete,
+            "members": [
+                {"member": name, "records": count} for name, count in self.members
+            ],
+            "skipped_records": self.skipped_records,
+        }
+
 
 def run_campaign(
     directory,
@@ -110,17 +164,22 @@ def run_campaign(
     jobs: int = 1,
     max_units: Optional[int] = None,
     progress: Optional[Callable[[SimulationResult], None]] = None,
+    backend: Optional[str] = None,
 ) -> CampaignRunReport:
-    """Execute (a shard of) a planned campaign against its disk store.
+    """Stream (a shard of) a planned campaign into its result backend.
 
-    Every owned unit already in the store is served from disk (a recorded
-    cache hit) and only the rest are simulated, so re-invoking after a kill
-    resumes exactly where the previous run stopped.  ``max_units`` bounds the
-    number of *newly simulated* units before returning — a deterministic
-    interruption used by the resume tests and the CI smoke job.  Each shard
-    appends to its own member file, so shards of one campaign can run
-    concurrently (even on different hosts against a shared or later-merged
-    directory).
+    The run is a producer/consumer drain of
+    :meth:`~repro.sim.parallel.SweepExecutor.stream_configs`: each completed
+    unit is committed to the backend before its event is consumed here, so a
+    kill at any instant loses at most the in-flight simulations and a
+    re-invocation resumes with only those recomputed (completed units are
+    served from the backend and counted as ``reused``).  Nothing is
+    accumulated in memory — a million-unit shard streams through in O(1)
+    result space.  ``max_units`` bounds the number of *newly simulated*
+    units before returning — a deterministic interruption used by the resume
+    tests and the CI smoke job.  Each shard writes under its own member
+    name, so shards of one campaign can run concurrently (even on different
+    hosts against a shared or later-merged backend).
     """
     if max_units is not None and max_units < 1:
         raise ConfigurationError(
@@ -128,93 +187,114 @@ def run_campaign(
             f"(got {max_units}); omit it to run every pending unit"
         )
     plan = CampaignPlan.load(directory)
-    member = shard_member_name(shard.index, shard.count) if shard else "points"
-    store = PointStore(directory, member=member)
-    owned = plan.shard_units(shard)
-    kept = owned
-    if max_units is not None:
-        # Deterministic interruption: keep every completed unit (they resolve
-        # to store hits) plus the first ``max_units`` pending ones.
-        kept = []
-        budget = max_units
-        for unit in owned:
-            if unit.key in store:
-                kept.append(unit)
-            elif budget > 0:
-                kept.append(unit)
-                budget -= 1
-    deferred = len(owned) - len(kept)
-    executor = SweepExecutor(jobs=jobs, cache=store)
-    hits_before, misses_before = store.hits, store.misses
-    executor.run_configs([u.config for u in kept], progress=progress)
+    uri = resolve_campaign_backend(directory, backend, plan.backend)
+    member = shard_member_name(shard.index, shard.count) if shard else DEFAULT_MEMBER
+    store = open_backend(uri, member=member)
+    try:
+        owned = plan.shard_units(shard)
+        kept = owned
+        if max_units is not None:
+            # Deterministic interruption: keep every completed unit (they
+            # resolve to store hits) plus the first ``max_units`` pending ones.
+            kept = []
+            budget = max_units
+            for unit in owned:
+                if unit.key in store:
+                    kept.append(unit)
+                elif budget > 0:
+                    kept.append(unit)
+                    budget -= 1
+        deferred = len(owned) - len(kept)
+        executor = SweepExecutor(jobs=jobs, cache=store)
+        reused = simulated = 0
+        for event in executor.stream_configs([u.config for u in kept]):
+            if event.reused:
+                reused += 1
+            else:
+                simulated += 1
+            if progress is not None:
+                progress(event.result)
+    finally:
+        store.close()
     return CampaignRunReport(
         shard=shard,
         total_units=len(plan.units),
         shard_units=len(owned),
-        reused=store.hits - hits_before,
-        simulated=store.misses - misses_before,
+        reused=reused,
+        simulated=simulated,
         deferred=deferred,
+        backend=uri,
     )
 
 
-def merge_campaign(directory, jobs: int = 1) -> CampaignMerge:
-    """Reassemble a campaign's published series from its merged store.
+def merge_campaign(directory, jobs: int = 1, backend: Optional[str] = None) -> CampaignMerge:
+    """Reassemble a campaign's published series from its merged backend.
 
-    Replays the original sweep or experiment with a store-backed executor:
+    Replays the original sweep or experiment with a backend-backed executor:
     stored units come back bit-identical to a fresh run by construction, so
-    the merged series equals a single-shot execution with the same base seed.
-    An experiment-kind merge runs the figure's own code, which re-applies its
-    saturation truncation against the real results; a sweep-kind merge
-    returns the full planned grid (``stop_after_saturation=0`` — the plan
-    enumerated every point, so the merge publishes every point).  Units
-    missing from the store (unfinished shards) are simulated on the spot and
-    counted in the returned report.
+    the merged series equals a single-shot execution with the same base seed
+    — whichever backend held them.  An experiment-kind merge runs the
+    figure's own code, which re-applies its saturation truncation against
+    the real results; a sweep-kind merge returns the full planned grid
+    (``stop_after_saturation=0`` — the plan enumerated every point, so the
+    merge publishes every point).  Units missing from the backend
+    (unfinished shards) are simulated on the spot and counted in the
+    returned report.
     """
     plan = CampaignPlan.load(directory)
-    store = PointStore(directory)
-    executor = SweepExecutor(
-        jobs=jobs, replications=int(plan.spec["replications"]), cache=store
-    )
-    hits_before, misses_before = store.hits, store.misses
-    if plan.kind == "sweep":
-        base = config_from_dict(plan.spec["base_config"])
-        results: object = executor.run_injection_rate_sweep(
-            base,
-            plan.spec["rates"],
-            label=plan.spec["label"],
-            stop_after_saturation=0,
+    uri = resolve_campaign_backend(directory, backend, plan.backend)
+    store = open_backend(uri)
+    try:
+        executor = SweepExecutor(
+            jobs=jobs, replications=int(plan.spec["replications"]), cache=store
         )
-        summary = series_table([results], metric="latency")
-    else:
-        # Imported lazily for the same circularity reason as in plan.py.
-        from repro.experiments import EXPERIMENTS
-        from repro.experiments.common import ExperimentScale
+        hits_before, misses_before = store.hits, store.misses
+        if plan.kind == "sweep":
+            base = config_from_dict(plan.spec["base_config"])
+            results: object = executor.run_injection_rate_sweep(
+                base,
+                plan.spec["rates"],
+                label=plan.spec["label"],
+                stop_after_saturation=0,
+            )
+            summary = series_table([results], metric="latency")
+        else:
+            # Imported lazily for the same circularity reason as in plan.py.
+            from repro.experiments import EXPERIMENTS
+            from repro.experiments.common import ExperimentScale
 
-        module = EXPERIMENTS[plan.spec["figure"]]
-        kwargs = {"scale": ExperimentScale(**plan.spec["scale"]), "executor": executor}
-        if plan.spec.get("seed") is not None:
-            kwargs["seed"] = plan.spec["seed"]
-        results = module.run(**kwargs)
-        summary = module.summarize(results)
+            module = EXPERIMENTS[plan.spec["figure"]]
+            kwargs = {"scale": ExperimentScale(**plan.spec["scale"]), "executor": executor}
+            if plan.spec.get("seed") is not None:
+                kwargs["seed"] = plan.spec["seed"]
+            results = module.run(**kwargs)
+            summary = module.summarize(results)
+        reused = store.hits - hits_before
+        simulated = store.misses - misses_before
+    finally:
+        store.close()
     return CampaignMerge(
         kind=plan.kind,
         results=results,
         summary=summary,
-        reused=store.hits - hits_before,
-        simulated=store.misses - misses_before,
+        reused=reused,
+        simulated=simulated,
+        backend=uri,
     )
 
 
-def campaign_status(directory) -> CampaignStatus:
+def campaign_status(directory, backend: Optional[str] = None) -> CampaignStatus:
     """Plan-vs-store completion summary of a campaign directory.
 
     Uses the keys-only views on both sides — :meth:`CampaignPlan.load_keys`
-    for the manifest and :meth:`PointStore.scan_keys` for the store — since
-    status answers a membership count and never needs reconstructed configs
-    or metrics, so it stays cheap on campaigns far too large to load in full.
+    for the manifest and :func:`repro.backends.registry.scan_backend` for
+    the backend — since status answers a membership count and never needs
+    reconstructed configs or metrics, so it stays cheap on campaigns far too
+    large to load in full.
     """
-    kind, unit_keys = CampaignPlan.load_keys(directory)
-    scan = PointStore.scan_keys(directory)
+    kind, unit_keys, recorded = CampaignPlan.load_keys(directory)
+    uri = resolve_campaign_backend(directory, backend, recorded)
+    scan = scan_backend(uri)
     completed = sum(1 for key in unit_keys if key in scan.keys)
     return CampaignStatus(
         directory=str(directory),
@@ -223,4 +303,5 @@ def campaign_status(directory) -> CampaignStatus:
         completed_units=completed,
         members=scan.members,
         skipped_records=scan.skipped_records,
+        backend=uri,
     )

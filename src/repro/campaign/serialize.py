@@ -1,33 +1,17 @@
-"""JSON serialisation of configurations and metrics for campaign artefacts.
+"""Back-compat shim: campaign serialisation moved to :mod:`repro.backends`.
 
-The campaign subsystem persists two kinds of values: whole
-:class:`~repro.sim.config.SimulationConfig` objects (in the campaign manifest,
-so a shard can run its work units without importing any experiment code) and
-:class:`~repro.metrics.collectors.NetworkMetrics` records (in the disk-backed
-point store).  Both round-trip losslessly:
-
-* every scalar field is carried verbatim — Python's JSON encoder emits the
-  shortest round-tripping representation of a float, so reloaded metrics are
-  bit-identical to the originals (the property the resume-determinism tests
-  pin down);
-* topologies are stored as ``{"kind", "radices"}`` and rebuilt through the
-  public constructors; fault sets as sorted node/link lists;
-* the scalar config fields are enumerated from the dataclass itself, so a
-  future field added to :class:`SimulationConfig` is carried automatically.
+The JSON round-trip helpers grew from campaign-only artefacts into the
+record format of every persistent result backend, so the implementation now
+lives in :mod:`repro.backends.serialize`; this module re-exports it for the
+established import path.
 """
 
-from __future__ import annotations
-
-from dataclasses import fields
-from typing import Dict
-
-from repro.errors import ConfigurationError
-from repro.faults.model import FaultSet
-from repro.metrics.collectors import NetworkMetrics
-from repro.sim.config import SimulationConfig
-from repro.topology.base import Topology
-from repro.topology.mesh import MeshTopology
-from repro.topology.torus import TorusTopology
+from repro.backends.serialize import (
+    config_from_dict,
+    config_to_dict,
+    metrics_from_dict,
+    metrics_to_dict,
+)
 
 __all__ = [
     "config_from_dict",
@@ -35,102 +19,3 @@ __all__ = [
     "metrics_from_dict",
     "metrics_to_dict",
 ]
-
-#: Config fields that need structured (non-scalar) encoding.
-_STRUCTURED_CONFIG_FIELDS = ("topology", "faults")
-
-_TOPOLOGY_KINDS = {"torus": TorusTopology, "mesh": MeshTopology}
-
-
-def _topology_to_dict(topology: Topology) -> Dict[str, object]:
-    for kind, cls in _TOPOLOGY_KINDS.items():
-        if type(topology) is cls:
-            return {"kind": kind, "radices": list(topology.radices)}
-    raise ConfigurationError(
-        f"cannot serialise topology of type {type(topology).__name__}; "
-        f"known kinds: {sorted(_TOPOLOGY_KINDS)}"
-    )
-
-
-def _topology_from_dict(data: Dict[str, object]) -> Topology:
-    kind = data.get("kind")
-    if kind not in _TOPOLOGY_KINDS:
-        raise ConfigurationError(
-            f"unknown topology kind {kind!r} in campaign data; "
-            f"known kinds: {sorted(_TOPOLOGY_KINDS)}"
-        )
-    radices = [int(k) for k in data["radices"]]
-    return _TOPOLOGY_KINDS[kind](radix=radices, dimensions=len(radices))
-
-
-def _faults_to_dict(faults: FaultSet) -> Dict[str, object]:
-    return {
-        "nodes": sorted(faults.nodes),
-        "links": [list(link) for link in sorted(faults.links)],
-    }
-
-
-def _faults_from_dict(data: Dict[str, object]) -> FaultSet:
-    return FaultSet.build(
-        nodes=data.get("nodes", ()),
-        links=[tuple(link) for link in data.get("links", ())],
-    )
-
-
-def config_to_dict(config: SimulationConfig) -> Dict[str, object]:
-    """Encode a configuration as a JSON-serialisable dictionary."""
-    out: Dict[str, object] = {
-        "topology": _topology_to_dict(config.topology),
-        "faults": _faults_to_dict(config.faults),
-    }
-    for spec in fields(SimulationConfig):
-        if spec.name in _STRUCTURED_CONFIG_FIELDS:
-            continue
-        out[spec.name] = getattr(config, spec.name)
-    return out
-
-
-def config_from_dict(data: Dict[str, object]) -> SimulationConfig:
-    """Rebuild a configuration from :func:`config_to_dict` output."""
-    known = {spec.name for spec in fields(SimulationConfig)}
-    unknown = set(data) - known
-    if unknown:
-        raise ConfigurationError(
-            f"campaign config carries unknown fields {sorted(unknown)}; "
-            "it was probably written by a newer version of this library"
-        )
-    kwargs = {
-        name: value
-        for name, value in data.items()
-        if name not in _STRUCTURED_CONFIG_FIELDS
-    }
-    return SimulationConfig(
-        topology=_topology_from_dict(data["topology"]),
-        faults=_faults_from_dict(data["faults"]),
-        **kwargs,
-    )
-
-
-def metrics_to_dict(metrics: NetworkMetrics) -> Dict[str, object]:
-    """Encode a metrics record as a JSON-serialisable dictionary.
-
-    Unlike :meth:`NetworkMetrics.as_dict` (a flat reporting view), this keeps
-    every dataclass field, including the per-node absorption map, so the
-    record reloads into an equal object.
-    """
-    out = {spec.name: getattr(metrics, spec.name) for spec in fields(NetworkMetrics)}
-    # JSON object keys are strings; keep the int->int map explicit so loading
-    # can restore the key type.
-    out["absorptions_by_node"] = {
-        str(node): count for node, count in metrics.absorptions_by_node.items()
-    }
-    return out
-
-
-def metrics_from_dict(data: Dict[str, object]) -> NetworkMetrics:
-    """Rebuild a metrics record from :func:`metrics_to_dict` output."""
-    kwargs = dict(data)
-    kwargs["absorptions_by_node"] = {
-        int(node): count for node, count in data.get("absorptions_by_node", {}).items()
-    }
-    return NetworkMetrics(**kwargs)

@@ -17,6 +17,7 @@ anything it can do can also be done programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -39,7 +40,7 @@ from repro.faults.model import FaultSet
 from repro.faults.regions import REGION_SHAPES, make_fault_region
 from repro.routing.registry import available_routing_algorithms
 from repro.sim.config import SimulationConfig
-from repro.sim.parallel import ShardSpec, SweepExecutor
+from repro.sim.parallel import ShardSpec
 from repro.sim.runner import run_simulation
 from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
@@ -106,7 +107,18 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "directory of a disk-backed point store shared across invocations "
             "(default: the REPRO_CACHE_DIR environment variable, else no disk "
-            "cache); already-simulated points are reused instead of re-run"
+            "cache); already-simulated points are reused instead of re-run; "
+            "shorthand for --backend dir://DIR"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "result backend URI shared across invocations — mem://, dir://PATH "
+            "or sqlite://PATH (default: --cache-dir if given, then the "
+            "REPRO_BACKEND environment variable, then REPRO_CACHE_DIR); "
+            "already-simulated points are reused instead of re-run"
         ),
     )
 
@@ -180,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     csub = campaign.add_subparsers(dest="campaign_command", required=True)
 
+    backend_help = (
+        "result backend URI: mem://, dir://PATH or sqlite://PATH "
+        "(default: the URI recorded in the manifest at plan time, then "
+        "REPRO_BACKEND, then the campaign directory's own dir:// store)"
+    )
+
     plan = csub.add_parser("plan", help="enumerate a campaign's work units")
     plan.add_argument(
         "target",
@@ -189,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--dir", required=True, help="campaign directory to create")
     plan.add_argument(
         "--replications", type=int, default=1, help="independent seeds per point"
+    )
+    plan.add_argument(
+        "--backend", default=None,
+        help=(
+            "record this backend URI in the manifest so every run/merge/status "
+            "invocation uses it without repeating the flag (default: the "
+            "campaign directory's own dir:// store)"
+        ),
     )
     plan.add_argument(
         "--seed", type=int, default=None,
@@ -224,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-units", type=int, default=None,
         help="simulate at most this many new units, then stop (resume later)",
     )
+    crun.add_argument("--backend", default=None, help=backend_help)
 
     merge = csub.add_parser("merge", help="reassemble the series from the store")
     merge.add_argument("--dir", required=True, help="campaign directory")
@@ -231,9 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for any units still missing from the store",
     )
+    merge.add_argument("--backend", default=None, help=backend_help)
 
     status = csub.add_parser("status", help="report plan-vs-store completion")
     status.add_argument("--dir", required=True, help="campaign directory")
+    status.add_argument("--backend", default=None, help=backend_help)
+    status.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable JSON instead of the table (CI dashboards)",
+    )
 
     return parser
 
@@ -267,7 +300,10 @@ def _sweep_rates(max_rate: float, points: int) -> List[float]:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     executor = resolve_executor(
-        jobs=args.jobs, replications=args.replications, cache_dir=args.cache_dir
+        jobs=args.jobs,
+        replications=args.replications,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
     )
     config = _build_config(args, args.max_rate)
     rates = _sweep_rates(args.max_rate, args.points)
@@ -317,7 +353,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     # ignores it); forwarding unconditionally means a module that drops the
     # parameter fails loudly instead of silently building its own executor.
     executor = resolve_executor(
-        jobs=args.jobs, replications=args.replications, cache_dir=args.cache_dir
+        jobs=args.jobs,
+        replications=args.replications,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
     )
     results = EXPERIMENTS[args.figure].run(executor=executor)
     print(EXPERIMENTS[args.figure].summarize(results))
@@ -346,7 +385,7 @@ def _cmd_campaign_plan(args: argparse.Namespace) -> int:
         config = _build_config(args, args.max_rate)
         plan = CampaignPlan.from_injection_sweep(
             config, _sweep_rates(args.max_rate, args.points),
-            replications=args.replications,
+            replications=args.replications, backend=args.backend,
         )
     else:
         overridden = [
@@ -362,32 +401,38 @@ def _cmd_campaign_plan(args: argparse.Namespace) -> int:
                 "flags, or plan a 'sweep' campaign to customise the network"
             )
         plan = CampaignPlan.from_experiment(
-            args.target, replications=args.replications, seed=args.seed
+            args.target, replications=args.replications, seed=args.seed,
+            backend=args.backend,
         )
     path = plan.save(args.dir)
-    print(f"planned {len(plan.units)} work units ({plan.kind}) -> {path}")
+    suffix = f" [{plan.backend}]" if plan.backend else ""
+    print(f"planned {len(plan.units)} work units ({plan.kind}) -> {path}{suffix}")
     return 0
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     shard = ShardSpec.parse(args.shard) if args.shard else None
     report = run_campaign(
-        args.dir, shard=shard, jobs=get_jobs(args.jobs), max_units=args.max_units
+        args.dir, shard=shard, jobs=get_jobs(args.jobs), max_units=args.max_units,
+        backend=args.backend,
     )
     print(report.describe())
     return 0
 
 
 def _cmd_campaign_merge(args: argparse.Namespace) -> int:
-    merge = merge_campaign(args.dir, jobs=get_jobs(args.jobs))
+    merge = merge_campaign(args.dir, jobs=get_jobs(args.jobs), backend=args.backend)
     print(merge.summary)
     print(merge.describe())
     return 0
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    status = campaign_status(args.dir)
-    print(campaign_status_table(status))
+    status = campaign_status(args.dir, backend=args.backend)
+    if args.json:
+        print(json.dumps(status.as_dict(), indent=2))
+    else:
+        print(campaign_status_table(status))
     return 0 if status.complete else 1
 
 

@@ -15,11 +15,13 @@ scaled-down version by default and exposes one knob to scale back up:
   that many worker processes via
   :class:`repro.sim.parallel.SweepExecutor` — results are identical for any
   job count, only the wall-clock time changes;
-* the environment variable ``REPRO_CACHE_DIR`` (or the ``cache_dir=``
-  argument, which takes precedence) backs every sweep with a disk-based
-  :class:`repro.campaign.store.PointStore` at that path, so repeated
+* the environment variable ``REPRO_BACKEND`` (or the ``backend=`` argument,
+  which takes precedence) backs every sweep with the result backend that URI
+  names — ``dir://<path>``, ``sqlite://<path>`` or ``mem://`` — so repeated
   ``python -m repro experiment`` invocations — and the sweep points shared
   between figures — reuse already-simulated points across processes;
+  ``REPRO_CACHE_DIR`` / ``cache_dir=`` remain as shorthand for the
+  ``dir://`` backend at that path;
 * every ``run()`` also accepts a pre-built ``executor=``, which overrides all
   of the above: the campaign subsystem uses this to thread recording,
   store-backed and sharded executors through the unmodified experiment code.
@@ -31,7 +33,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -42,6 +44,7 @@ __all__ = [
     "ExperimentScale",
     "get_scale",
     "get_jobs",
+    "get_backend_uri",
     "get_cache_dir",
     "rate_grid",
     "resolve_executor",
@@ -133,31 +136,56 @@ def get_cache_dir(cache_dir: Optional[str] = None) -> Optional[str]:
     return os.environ.get("REPRO_CACHE_DIR") or None
 
 
+def get_backend_uri(
+    backend: Optional[str] = None, cache_dir: Optional[str] = None
+) -> Optional[str]:
+    """Resolve the result-backend URI from arguments or the environment.
+
+    Precedence (arguments beat the environment, and the explicit backend
+    beats the directory shorthand at each level): the ``backend`` URI
+    argument, then the ``cache_dir`` argument (shorthand for
+    ``dir://<cache_dir>``), then ``REPRO_BACKEND``, then ``REPRO_CACHE_DIR``
+    (same shorthand), else ``None`` — no shared backend.
+    """
+    if backend:
+        return backend
+    if cache_dir:
+        return f"dir://{cache_dir}"
+    env = os.environ.get("REPRO_BACKEND")
+    if env:
+        return env
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return f"dir://{env}"
+    return None
+
+
 def resolve_executor(
     executor: Optional[SweepExecutor] = None,
     jobs: Optional[int] = None,
     replications: int = 1,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> SweepExecutor:
     """The sweep executor an experiment (or the CLI) should run on.
 
     A pre-built ``executor`` wins outright — that is how the campaign
     subsystem substitutes planning, store-backed and sharded executors.
     Otherwise one is built from ``jobs``/``replications`` (with the usual
-    ``REPRO_JOBS`` fallback), backed by a disk
-    :class:`~repro.campaign.store.PointStore` when a cache directory is
-    resolved from ``cache_dir`` / ``REPRO_CACHE_DIR``.
+    ``REPRO_JOBS`` fallback), backed by the result backend whose URI is
+    resolved by :func:`get_backend_uri` from ``backend`` / ``cache_dir`` /
+    ``REPRO_BACKEND`` / ``REPRO_CACHE_DIR``.
     """
     if executor is not None:
         return executor
     cache = None
-    directory = get_cache_dir(cache_dir)
-    if directory:
-        # Imported lazily: repro.campaign imports the experiment registry for
-        # figure planning, so a module-level import would be circular.
-        from repro.campaign.store import PointStore
+    uri = get_backend_uri(backend, cache_dir)
+    if uri:
+        # Imported lazily: the backend registry is storage-layer machinery
+        # most experiment runs never touch.
+        from repro.backends.registry import open_backend
 
-        cache = PointStore(directory)
+        cache = open_backend(uri)
     return SweepExecutor(jobs=get_jobs(jobs), replications=replications, cache=cache)
 
 

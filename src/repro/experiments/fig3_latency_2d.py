@@ -68,6 +68,7 @@ def run(
     replications: int = 1,
     executor: Optional[SweepExecutor] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 3 latency curves.
 
@@ -80,11 +81,12 @@ def run(
     ``REPRO_JOBS`` environment variable, else serial) fans each sweep out
     over worker processes without changing any result.  One executor —
     given through ``executor`` or built from ``jobs``/``replications``/
-    ``cache_dir`` (``REPRO_CACHE_DIR``) — is shared by every series, so a
-    configured result cache or disk store serves all of them.
+    ``backend`` (``REPRO_BACKEND``) / ``cache_dir`` (``REPRO_CACHE_DIR``) —
+    is shared by every series, so a configured result backend serves all of
+    them.
     """
     scale = get_scale(scale)
-    executor = resolve_executor(executor, jobs, replications, cache_dir)
+    executor = resolve_executor(executor, jobs, replications, cache_dir, backend)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:

@@ -64,6 +64,7 @@ def run(
     replications: int = 1,
     executor: Optional[SweepExecutor] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 4 latency curves on the 8-ary 3-cube.
 
@@ -71,7 +72,7 @@ def run(
     sweep executor; see :func:`repro.experiments.fig3_latency_2d.run`.
     """
     scale = get_scale(scale)
-    executor = resolve_executor(executor, jobs, replications, cache_dir)
+    executor = resolve_executor(executor, jobs, replications, cache_dir, backend)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:

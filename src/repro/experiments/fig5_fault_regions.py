@@ -45,6 +45,7 @@ def run(
     replications: int = 1,
     executor: Optional[SweepExecutor] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 5 latency curves.
 
@@ -52,7 +53,7 @@ def run(
     sweep executor; see :func:`repro.experiments.fig3_latency_2d.run`.
     """
     scale = get_scale(scale)
-    executor = resolve_executor(executor, jobs, replications, cache_dir)
+    executor = resolve_executor(executor, jobs, replications, cache_dir, backend)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     all_regions = paper_fig5_regions(topology)
     unknown = set(regions) - set(all_regions)

@@ -50,6 +50,7 @@ def run(
     replications: int = 1,
     executor: Optional[SweepExecutor] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[SimulationResult]]:
     """Regenerate the Fig. 6 throughput-vs-faults series.
 
@@ -58,7 +59,7 @@ def run(
     the per-count means.
     """
     scale = get_scale(scale)
-    executor = resolve_executor(executor, jobs, replications, cache_dir)
+    executor = resolve_executor(executor, jobs, replications, cache_dir, backend)
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     results: Dict[str, List[SimulationResult]] = {}
     for routing in routings:

@@ -20,6 +20,7 @@ from repro.sim.parallel import (
     PointAggregate,
     ReplicatedSweepResult,
     ShardSpec,
+    StreamedResult,
     SweepExecutor,
     SweepPointCache,
     aggregate_replications,
@@ -43,6 +44,7 @@ __all__ = [
     "latency_throughput_curve",
     "fault_count_sweep",
     "ShardSpec",
+    "StreamedResult",
     "SweepExecutor",
     "SweepPointCache",
     "ReplicatedSweepResult",

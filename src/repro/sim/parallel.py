@@ -18,7 +18,18 @@ substrate the ROADMAP's scaling work builds on:
   failures") calls for and what the serial harness never provided;
 * :class:`SweepPointCache` memoises ``(config, seed) → result`` so repeated
   figure runs — and the sweep points shared between figures — skip the
-  already-simulated points entirely.
+  already-simulated points entirely; it is the process-local flavour of the
+  pluggable :class:`repro.backends.base.ResultBackend` family, and any
+  backend (or backend URI such as ``sqlite://…``) drops into ``cache=``.
+
+Execution is a streaming producer/consumer: :meth:`SweepExecutor.
+stream_configs` yields every completed ``(index, result)`` out of an
+``as_completed`` drain loop the moment it finishes, committing it to the
+configured backend first — so a consumer killed mid-stream loses at most the
+in-flight work, and live ``status`` queries see every committed point.  The
+collect-then-return APIs (:meth:`run_configs` and the sweep methods) are
+thin, order-restoring layers over that stream, which is why ``jobs=1`` and
+``jobs=N`` remain bit-identical.
 
 The executor is deliberately free of simulation knowledge: workers receive a
 pickled :class:`~repro.sim.config.SimulationConfig` and return a
@@ -31,11 +42,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import re
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, fields
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backends.memory import MemoryBackend
 from repro.errors import ConfigurationError
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
@@ -47,6 +60,7 @@ __all__ = [
     "PointAggregate",
     "ReplicatedSweepResult",
     "ShardSpec",
+    "StreamedResult",
     "SweepExecutor",
     "SweepPointCache",
     "SweepSeriesMixin",
@@ -62,12 +76,6 @@ def default_jobs() -> int:
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
-
-
-def _run_indexed(task: Tuple[int, SimulationConfig]) -> Tuple[int, SimulationResult]:
-    """Pool worker: run one pickled configuration, tagged with its index."""
-    index, config = task
-    return index, run_simulation(config)
 
 
 # --------------------------------------------------------------------------- #
@@ -130,7 +138,7 @@ class ShardSpec:
 # --------------------------------------------------------------------------- #
 # the sweep-point memo cache
 # --------------------------------------------------------------------------- #
-class SweepPointCache:
+class SweepPointCache(MemoryBackend):
     """In-memory ``(config, seed) → SimulationResult`` memo cache.
 
     A simulation's metrics are a pure function of its configuration (the seed
@@ -139,54 +147,26 @@ class SweepPointCache:
     points that were already simulated.  Share one cache instance between
     executors to share points across sweeps.
 
-    The key is :func:`repro.sim.config.config_key` — the same content-address
-    used by the disk-backed campaign :class:`~repro.campaign.store.PointStore`
-    — so this class is a thin in-memory layer over the shared key function:
-    ``metadata`` (free-form report labels) is excluded, and a hit returns a
-    result rebound to the *requesting* configuration so the caller's labels
-    are preserved.
-
-    ``hits`` / ``misses`` counters make cache behaviour observable in tests
-    and progress reports.  The cache is process-local: executor workers run
-    only the misses, and results are inserted in the parent process.
+    This is the executor-facing flavour of
+    :class:`repro.backends.memory.MemoryBackend`: all cache semantics
+    (detach-on-serve, rebind to the requesting configuration, hit/miss
+    accounting) are inherited from the shared
+    :class:`~repro.backends.base.ResultBackend` contract.  The only
+    difference is the key: :func:`repro.sim.config.config_key` — the raw
+    tuple behind the :func:`~repro.sim.config.config_hash` content-address
+    every persistent backend uses — which skips the canonical-JSON/SHA-256
+    digest on a process-local hot path where a plain tuple hashes faster.
+    ``metadata`` (free-form report labels) is excluded from the key either
+    way, so a hit returns a result rebound to the *requesting* configuration
+    with the caller's labels preserved.
     """
 
     def __init__(self) -> None:
-        self._store: dict = {}
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._store)
+        super().__init__()
 
     #: The shared key function (kept as a static method for backwards
     #: compatibility with callers of ``SweepPointCache.key_of``).
     key_of = staticmethod(config_key)
-
-    def get(self, config: SimulationConfig) -> Optional[SimulationResult]:
-        """The memoised result for ``config``, rebound to it, or ``None``.
-
-        Both ``put`` and ``get`` detach the metrics' mutable containers
-        (:meth:`NetworkMetrics.detached`) so that a caller mutating a served
-        (or previously stored) result can never corrupt the cache entry or
-        other hits.
-        """
-        cached = self._store.get(self.key_of(config))
-        if cached is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return SimulationResult(config=config, metrics=cached.metrics.detached())
-
-    def put(self, config: SimulationConfig, result: SimulationResult) -> None:
-        """Memoise a finished run."""
-        self._store[self.key_of(config)] = SimulationResult(
-            config=config, metrics=result.metrics.detached()
-        )
-
-    def clear(self) -> None:
-        """Drop every memoised result (counters are kept)."""
-        self._store.clear()
 
 
 # --------------------------------------------------------------------------- #
@@ -311,6 +291,22 @@ class ReplicatedSweepResult(SweepSeriesMixin):
 # --------------------------------------------------------------------------- #
 # the executor
 # --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamedResult:
+    """One completed unit of a streamed execution.
+
+    ``index`` is the submission-order position of the configuration (the
+    campaign unit index), ``reused`` is True when the result was served from
+    the backend instead of simulated.  By the time a consumer sees the event
+    the result has already been committed to the executor's backend — the
+    streaming durability contract.
+    """
+
+    index: int
+    result: SimulationResult
+    reused: bool
+
+
 class SweepExecutor:
     """Run sweep points across a process pool with replicated seeds.
 
@@ -326,13 +322,15 @@ class SweepExecutor:
         from the base seed via the scheme documented in
         :mod:`repro.sim.config`.
     cache:
-        Optional result cache; configurations already simulated (same
-        dynamics, same seed) return their memoised result instead of
-        re-running.  Any object with the ``get(config)`` / ``put(config,
-        result)`` contract of :class:`SweepPointCache` works — in particular
-        the disk-backed :class:`repro.campaign.store.PointStore`, which makes
-        the executor resumable across processes.  Pass a shared instance to
-        share points across sweeps and figures.  Since a cached result is
+        Optional result backend; configurations already simulated (same
+        dynamics, same seed) return their stored result instead of
+        re-running.  Accepts any :class:`repro.backends.base.ResultBackend`
+        (or anything with the same ``get(config)`` / ``put(config, result)``
+        contract), or a backend URI string — ``"mem://"``,
+        ``"dir://results"``, ``"sqlite://results/points.sqlite"`` — resolved
+        through :func:`repro.backends.open_backend`.  Persistent backends
+        make the executor resumable across processes; pass a shared instance
+        to share points across sweeps and figures.  Since a cached result is
         bit-identical to a fresh run by construction, caching never changes a
         sweep's output.
     shard:
@@ -352,7 +350,7 @@ class SweepExecutor:
         self,
         jobs: int = 1,
         replications: int = 1,
-        cache: Optional[SweepPointCache] = None,
+        cache: Union[SweepPointCache, str, None] = None,
         shard: Optional[ShardSpec] = None,
     ) -> None:
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
@@ -369,6 +367,14 @@ class SweepExecutor:
                 f"shard must be a ShardSpec (got {shard!r}); "
                 "build one with ShardSpec.parse('2/4')"
             )
+        if isinstance(cache, str):
+            # A backend URI: resolve it through the registry so callers can
+            # say SweepExecutor(cache="sqlite://results/points.sqlite").
+            # Imported lazily — the registry is storage-layer machinery the
+            # executor only needs when asked for it by name.
+            from repro.backends.registry import open_backend
+
+            cache = open_backend(cache)
         self.jobs = jobs
         self.replications = replications
         self.cache = cache
@@ -394,20 +400,29 @@ class SweepExecutor:
         return self.jobs if _fork_available() else 1
 
     # ------------------------------------------------------------------ #
-    # generic ordered map
+    # the streaming producer/consumer core
     # ------------------------------------------------------------------ #
-    def run_configs(
-        self,
-        configs: Sequence[SimulationConfig],
-        progress: Optional[Callable[[SimulationResult], None]] = None,
-    ) -> List[SimulationResult]:
-        """Run every configuration and return results in submission order.
+    def stream_configs(
+        self, configs: Sequence[SimulationConfig]
+    ) -> Iterator[StreamedResult]:
+        """Yield every configuration's result the moment it completes.
 
-        ``progress`` fires once per finished run — in submission order when
-        serial, in completion order when parallel.  On a sharded executor
-        only the positions this shard owns are consulted against the cache
-        and run; the other entries of the returned list are ``None`` and
-        never reach ``progress``.
+        The streaming core every collect-then-return API sits on.  Each
+        yielded :class:`StreamedResult` has already been committed to the
+        executor's backend (``cache.put`` happens *before* the yield), so a
+        consumer killed between events loses at most the in-flight work —
+        the durability contract the campaign runner's kill-and-resume
+        depends on — and a concurrently watching ``status`` query sees live
+        progress.
+
+        Ordering: with one effective worker, events arrive in submission
+        order; in parallel mode, backend hits are streamed first (in
+        submission order) and the simulated misses follow in completion
+        order out of an ``as_completed`` drain loop.  Consumers that need
+        submission order
+        reassemble by ``event.index`` — which is why aggregation stays
+        bit-identical for every ``jobs`` value.  On a sharded executor only
+        owned positions are consulted and yielded.
         """
         configs = list(configs)
         cache = self.cache
@@ -417,62 +432,122 @@ class SweepExecutor:
             if shard is None
             else [i for i in range(len(configs)) if shard.owns(i)]
         )
-        results: List[Optional[SimulationResult]] = [None] * len(configs)
+        if self.effective_jobs <= 1:
+            # Fully serial: submission order, hits and misses interleaved,
+            # each result released to the consumer before the next lookup —
+            # a resumed million-unit shard holds one result at a time.
+            for index in owned:
+                result = cache.get(configs[index]) if cache is not None else None
+                if result is not None:
+                    yield StreamedResult(index=index, result=result, reused=True)
+                    continue
+                result = run_simulation(configs[index])
+                if cache is not None:
+                    cache.put(configs[index], result)
+                yield StreamedResult(index=index, result=result, reused=False)
+            return
+
+        # Parallel mode: backend hits are streamed (and released) as the
+        # cache pass discovers them, never buffered — only the miss *indices*
+        # are retained, so resuming a huge mostly-complete shard stays O(1)
+        # in result space.  Hits therefore precede misses in the event
+        # stream, which the parallel ordering contract allows.
         miss_indices: List[int] = []
         for index in owned:
-            if cache is not None:
-                results[index] = cache.get(configs[index])
-            if results[index] is None:
+            hit = cache.get(configs[index]) if cache is not None else None
+            if hit is not None:
+                yield StreamedResult(index=index, result=hit, reused=True)
+            else:
                 miss_indices.append(index)
 
         # The pool is sized by (and only created for) the cache misses: a
         # warm-cache rerun answers everything from the parent process.
         workers = min(self.effective_jobs, len(miss_indices))
         if workers <= 1:
-            for index in owned:
-                result = results[index]
-                if result is None:
-                    result = run_simulation(configs[index])
-                    if cache is not None:
-                        cache.put(configs[index], result)
-                    results[index] = result
-                if progress is not None:
-                    progress(result)
-            return results  # type: ignore[return-value]
-
-        if progress is not None:
-            for result in results:
-                if result is not None:
-                    progress(result)
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
-            for index, result in pool.imap_unordered(
-                _run_indexed, [(i, configs[i]) for i in miss_indices], chunksize=1
-            ):
-                results[index] = result
+            for index in miss_indices:
+                result = run_simulation(configs[index])
                 if cache is not None:
                     cache.put(configs[index], result)
-                if progress is not None:
-                    progress(result)
+                yield StreamedResult(index=index, result=result, reused=False)
+            return
+
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = {
+                pool.submit(run_simulation, configs[index]): index
+                for index in miss_indices
+            }
+            try:
+                for future in as_completed(list(futures)):
+                    index = futures.pop(future)  # release the result once consumed
+                    result = future.result()
+                    if cache is not None:
+                        cache.put(configs[index], result)
+                    yield StreamedResult(index=index, result=result, reused=False)
+            finally:
+                if futures:
+                    # The consumer stopped early (close(), an exception in its
+                    # loop, a kill): without this, the pool's __exit__ would
+                    # block until every queued simulation ran — and then drop
+                    # the results.  Cancel the queued tail so shutdown waits
+                    # only for the in-flight runs, and commit any run that
+                    # finished unconsumed; the loss stays "at most in-flight
+                    # work", matching the streaming durability contract.
+                    for future in futures:
+                        future.cancel()
+                    if cache is not None:
+                        for future, index in futures.items():
+                            if future.done() and not future.cancelled():
+                                try:
+                                    result = future.result()
+                                except Exception:
+                                    continue  # a failed run has nothing to keep
+                                cache.put(configs[index], result)
+
+    # ------------------------------------------------------------------ #
+    # generic ordered map
+    # ------------------------------------------------------------------ #
+    def run_configs(
+        self,
+        configs: Sequence[SimulationConfig],
+        progress: Optional[Callable[[SimulationResult], None]] = None,
+    ) -> List[SimulationResult]:
+        """Run every configuration and return results in submission order.
+
+        An order-restoring drain of :meth:`stream_configs`.  ``progress``
+        fires once per finished run — in submission order when serial, in
+        completion order when parallel.  On a sharded executor only the
+        positions this shard owns are consulted against the cache and run;
+        the other entries of the returned list are ``None`` and never reach
+        ``progress``.
+        """
+        configs = list(configs)
+        results: List[Optional[SimulationResult]] = [None] * len(configs)
+        for event in self.stream_configs(configs):
+            results[event.index] = event.result
+            if progress is not None:
+                progress(event.result)
         return results  # type: ignore[return-value]
 
     def _map_pool(
         self,
-        pool,
+        pool: ProcessPoolExecutor,
         configs: Sequence[SimulationConfig],
         progress: Optional[Callable[[SimulationResult], None]] = None,
     ) -> List[SimulationResult]:
-        """Pool-map ``configs`` in submission order, serving cache hits locally.
+        """Map ``configs`` over a live pool in submission order, serving
+        cache hits locally.
 
         Only cache misses are dispatched to workers; hits are answered from
-        the parent-process cache (their ``progress`` fires immediately, before
-        the pooled runs complete).
+        the parent-process cache (their ``progress`` fires immediately,
+        before the pooled runs complete).  Used by the windowed truncation
+        path, which keeps one pool across windows.
         """
         ordered: List[Optional[SimulationResult]] = [None] * len(configs)
-        miss_tasks: List[Tuple[int, SimulationConfig]] = []
+        miss_indices: List[int] = []
         cache = self.cache
         if cache is None:
-            miss_tasks = list(enumerate(configs))
+            miss_indices = list(range(len(configs)))
         else:
             for index, config in enumerate(configs):
                 hit = cache.get(config)
@@ -481,13 +556,37 @@ class SweepExecutor:
                     if progress is not None:
                         progress(hit)
                 else:
-                    miss_tasks.append((index, config))
-        for index, result in pool.imap_unordered(_run_indexed, miss_tasks, chunksize=1):
-            ordered[index] = result
-            if cache is not None:
-                cache.put(configs[index], result)
-            if progress is not None:
-                progress(result)
+                    miss_indices.append(index)
+        futures = {
+            pool.submit(run_simulation, configs[index]): index
+            for index in miss_indices
+        }
+        try:
+            for future in as_completed(list(futures)):
+                index = futures.pop(future)
+                result = future.result()
+                ordered[index] = result
+                if cache is not None:
+                    cache.put(configs[index], result)
+                if progress is not None:
+                    progress(result)
+        finally:
+            # On an early exit (a raising progress callback): same cleanup
+            # as stream_configs — cancel the queued tail so the owning
+            # pool's shutdown does not block on simulations nobody will
+            # consume, and commit any run that finished unconsumed so the
+            # backend loses at most in-flight work.
+            if futures:
+                for future in futures:
+                    future.cancel()
+                if cache is not None:
+                    for future, index in futures.items():
+                        if future.done() and not future.cancelled():
+                            try:
+                                result = future.result()
+                            except Exception:
+                                continue
+                            cache.put(configs[index], result)
         return ordered  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
@@ -567,7 +666,7 @@ class SweepExecutor:
         # known.
         window_points = max(1, -(-workers // self.replications))
         ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
             index = 0
             while index < len(point_configs):
                 window = point_configs[index : index + window_points]

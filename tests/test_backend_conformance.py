@@ -1,0 +1,253 @@
+"""One shared contract, three backends.
+
+Every test in this module runs identically against ``mem://``, ``dir://``
+and ``sqlite://`` — the acceptance criterion of the pluggable-backend work.
+The parametrized ``backend`` fixture hands each test a *location* (a URI)
+plus open/scan helpers, so "reopen the backend" means whatever persistence
+the backend actually offers: a fresh directory/database handle for the
+persistent pair, the shared named instance for ``mem://``.
+
+Backend-specific durability details (torn JSONL lines, O_APPEND semantics,
+SQLite version stamps) stay in their own suites; this file pins only the
+behaviour all backends must share.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BackendScan,
+    DirectoryBackend,
+    MemoryBackend,
+    ResultBackend,
+    SQLiteBackend,
+    backend_schemes,
+    open_backend,
+    parse_backend_uri,
+    scan_backend,
+)
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig, config_hash
+from repro.sim.parallel import SweepExecutor
+from repro.sim.runner import run_simulation
+
+
+@pytest.fixture
+def fast_config(torus_4x4):
+    # A fault is included on purpose: absorption metrics exercise the
+    # int-keyed per-node map through every backend's round trip.
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        faults=FaultSet.from_nodes([5]),
+        warmup_messages=10,
+        measure_messages=60,
+        seed=11,
+    )
+
+
+class BackendLocation:
+    """One concrete backend location: its URI plus open/scan helpers."""
+
+    def __init__(self, uri: str):
+        self.uri = uri
+        self.scheme = uri.split("://", 1)[0]
+
+    def open(self, member: str = "points") -> ResultBackend:
+        return open_backend(self.uri, member=member)
+
+    def scan(self) -> BackendScan:
+        return scan_backend(self.uri)
+
+
+@pytest.fixture(params=["mem", "dir", "sqlite"])
+def backend(request, tmp_path):
+    """A fresh location of each registered backend flavour."""
+    if request.param == "mem":
+        name = f"conformance-{tmp_path.name}"
+        yield BackendLocation(f"mem://{name}")
+        MemoryBackend.discard(name)  # keep the process-wide registry clean
+    elif request.param == "dir":
+        yield BackendLocation(f"dir://{tmp_path}")
+    else:
+        yield BackendLocation(f"sqlite://{tmp_path}/points.sqlite")
+
+
+class TestSharedContract:
+    def test_round_trip_is_bit_identical_across_reopen(self, backend, fast_config):
+        result = run_simulation(fast_config)
+        writer = backend.open()
+        writer.put(fast_config, result)
+        served = backend.open().get(fast_config)
+        assert served.metrics == result.metrics
+        assert served.config is fast_config  # rebound to the requesting config
+
+    def test_hit_miss_accounting_and_contains(self, backend, fast_config):
+        store = backend.open()
+        assert store.get(fast_config) is None
+        assert store.misses == 1 and store.hits == 0
+        assert not store.contains_config(fast_config)
+        store.put(fast_config, run_simulation(fast_config))
+        assert store.contains_config(fast_config)
+        assert store.misses == 1  # contains_config touches no counter
+        assert store.get(fast_config) is not None
+        assert store.hits == 1
+        assert config_hash(fast_config) in store
+        assert len(store) == 1
+
+    def test_put_is_idempotent(self, backend, fast_config):
+        store = backend.open()
+        result = run_simulation(fast_config)
+        store.put(fast_config, result)
+        store.put(fast_config, result)
+        assert len(store) == 1
+        assert len(backend.open()) == 1
+
+    def test_served_results_are_detached(self, backend, fast_config):
+        store = backend.open()
+        store.put(fast_config, run_simulation(fast_config))
+        served = store.get(fast_config)
+        served.metrics.extras["note"] = "mutated"
+        served.metrics.absorptions_by_node[999] = 1
+        again = store.get(fast_config)
+        assert "note" not in again.metrics.extras
+        assert 999 not in again.metrics.absorptions_by_node
+
+    def test_hits_rebind_across_metadata_labels(self, backend, fast_config):
+        store = backend.open()
+        labelled = fast_config.with_updates(metadata={"figure": "fig3"})
+        store.put(labelled, run_simulation(labelled))
+        relabelled = fast_config.with_updates(metadata={"figure": "fig4"})
+        served = store.get(relabelled)
+        assert served is not None
+        assert served.config.metadata["figure"] == "fig4"
+
+    def test_keys_and_scan_agree(self, backend, fast_config):
+        store = backend.open()
+        other = fast_config.with_updates(seed=12)
+        store.put(fast_config, run_simulation(fast_config))
+        store.put(other, run_simulation(other))
+        expected = {config_hash(fast_config), config_hash(other)}
+        assert set(store.keys()) == expected
+        scan = backend.scan()
+        assert set(scan.keys) == expected
+        assert scan.skipped_records == 0
+        assert sum(count for _, count in scan.members) == 2
+
+    def test_concurrent_writers_merge(self, backend, fast_config):
+        """Two writer handles (distinct members) land in one merged view."""
+        first = backend.open(member="points-shard-1-of-2")
+        second = backend.open(member="points-shard-2-of-2")
+        other = fast_config.with_updates(seed=12)
+        first.put(fast_config, run_simulation(fast_config))
+        second.put(other, run_simulation(other))
+        merged = backend.open()
+        assert len(merged) == 2
+        assert merged.contains_config(fast_config)
+        assert merged.contains_config(other)
+
+    def test_works_as_executor_cache_serial_and_parallel(self, backend, fast_config):
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        store = backend.open()
+        serial = SweepExecutor(jobs=1, cache=store).run_configs(configs)
+        warm = backend.open()
+        parallel = SweepExecutor(jobs=2, cache=warm).run_configs(configs)
+        assert warm.hits == 3  # everything answered from the backend
+        for a, b in zip(serial, parallel):
+            assert a.metrics == b.metrics
+
+    def test_executor_accepts_backend_uri_strings(self, backend, fast_config):
+        executor = SweepExecutor(cache=backend.uri)
+        assert isinstance(executor.cache, ResultBackend)
+        executor.run_configs([fast_config])
+        assert backend.open().contains_config(fast_config)
+
+    def test_streamed_events_are_committed_before_delivery(self, backend, fast_config):
+        """The streaming durability contract: when a consumer sees an event,
+        the result is already in the backend — even if the consumer dies."""
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        store = backend.open()
+        seen = []
+        for event in SweepExecutor(jobs=1, cache=store).stream_configs(configs):
+            assert backend.open().contains_config(configs[event.index])
+            seen.append(event)
+            if len(seen) == 2:
+                break  # a killed consumer
+        fresh = backend.open()
+        assert fresh.contains_config(configs[0])
+        assert fresh.contains_config(configs[1])
+        assert not fresh.contains_config(configs[2])  # in-flight work only
+
+
+class TestRegistry:
+    def test_registered_schemes(self):
+        assert set(backend_schemes()) >= {"mem", "dir", "sqlite"}
+
+    def test_parse_round_trip(self, backend):
+        scheme, location = parse_backend_uri(backend.uri)
+        assert scheme == backend.scheme
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "no-scheme", "dir://", "sqlite://", "nope://somewhere", "://x"],
+    )
+    def test_bad_uris_raise_actionable_errors(self, bad):
+        with pytest.raises(ConfigurationError, match="backend"):
+            parse_backend_uri(bad)
+
+    def test_anonymous_mem_backends_are_private(self):
+        a, b = open_backend("mem://"), open_backend("mem://")
+        assert a is not b
+
+    def test_named_mem_backends_are_shared(self):
+        try:
+            assert open_backend("mem://shared-x") is open_backend("mem://shared-x")
+        finally:
+            MemoryBackend.discard("shared-x")
+
+    def test_backend_classes_carry_their_scheme(self):
+        assert MemoryBackend.scheme == "mem"
+        assert DirectoryBackend.scheme == "dir"
+        assert SQLiteBackend.scheme == "sqlite"
+
+
+class TestSQLiteSpecifics:
+    """The durability details unique to the new single-file backend."""
+
+    def test_version_mismatch_is_loud(self, tmp_path, fast_config):
+        path = tmp_path / "points.sqlite"
+        store = SQLiteBackend(path)
+        store.put(fast_config, run_simulation(fast_config))
+        store._conn.execute("UPDATE meta SET version = 99 WHERE id = 0")
+        store.close()
+        with pytest.raises(ConfigurationError, match="version"):
+            SQLiteBackend(path)
+
+    def test_concurrent_connections_race_safely_on_one_key(self, tmp_path, fast_config):
+        path = tmp_path / "points.sqlite"
+        result = run_simulation(fast_config)
+        first, second = SQLiteBackend(path), SQLiteBackend(path)
+        first.put(fast_config, result)
+        second.put(fast_config, result)  # INSERT OR IGNORE: no error, one row
+        first.close(), second.close()
+        fresh = SQLiteBackend(path)
+        assert len(fresh) == 1
+        assert fresh.get(fast_config).metrics == result.metrics
+        fresh.close()
+
+    def test_non_database_file_is_actionable(self, tmp_path):
+        bogus = tmp_path / "points.jsonl"
+        bogus.write_text('{"v":1,"key":"abc"}\n' * 64)  # a JSONL member file
+        with pytest.raises(ConfigurationError, match="SQLite"):
+            SQLiteBackend(bogus)
+
+    def test_scan_of_missing_database_is_empty(self, tmp_path):
+        scan = scan_backend(f"sqlite://{tmp_path}/never-created.sqlite")
+        assert scan.keys == frozenset() and scan.members == []
+        # Scanning must not create the file (status on a fresh campaign).
+        assert not (tmp_path / "never-created.sqlite").exists()

@@ -396,6 +396,24 @@ class TestCampaignLifecycle:
         with pytest.raises(ConfigurationError, match="fig1"):
             CampaignPlan.from_experiment("fig1")
 
+    def test_plan_rejects_bad_backend_uri_at_plan_time(self, fast_config):
+        with pytest.raises(ConfigurationError, match="backend"):
+            CampaignPlan.from_injection_sweep(fast_config, RATES, backend="nope://x")
+
+    def test_anonymous_mem_backend_is_rejected_for_campaigns(
+        self, tmp_path, fast_config
+    ):
+        # Every open of the anonymous mem:// is a fresh private store, so a
+        # campaign on it could never observe its own results — reject it both
+        # at plan time and wherever the URI enters at run time.
+        with pytest.raises(ConfigurationError, match="mem://<name>"):
+            CampaignPlan.from_injection_sweep(fast_config, RATES, backend="mem://")
+        CampaignPlan.from_injection_sweep(fast_config, RATES).save(tmp_path)
+        with pytest.raises(ConfigurationError, match="mem://<name>"):
+            run_campaign(tmp_path, backend="mem://")
+        with pytest.raises(ConfigurationError, match="mem://<name>"):
+            campaign_status(tmp_path, backend="mem://")
+
     def test_fig3_campaign_matches_direct_run(self, tmp_path):
         scale = ExperimentScale(
             measure_messages=50, warmup_messages=10, rate_points=3,
@@ -417,6 +435,128 @@ class TestCampaignLifecycle:
             assert sweep.latencies == direct[label].latencies
 
 
+class TestBackendLifecycle:
+    """The PR-4 equivalence pins: the campaign lifecycle produces the same
+    bits on every registered backend, and the streaming runner's commits are
+    durable at event granularity."""
+
+    @pytest.fixture(params=["dir", "sqlite", "mem"])
+    def backend_uri(self, request, tmp_path):
+        if request.param == "dir":
+            yield f"dir://{tmp_path / 'store'}"
+        elif request.param == "sqlite":
+            yield f"sqlite://{tmp_path / 'points.sqlite'}"
+        else:
+            from repro.backends import MemoryBackend
+
+            name = f"campaign-{tmp_path.name}"
+            yield f"mem://{name}"
+            MemoryBackend.discard(name)
+
+    def test_shard_resume_merge_matches_single_shot_on_every_backend(
+        self, tmp_path, fast_config, backend_uri
+    ):
+        """The cross-backend acceptance criterion: shards, an interruption
+        and a resume, streamed into any backend, merge bit-identically to a
+        single-shot SweepExecutor run with the same base seed."""
+        plan = CampaignPlan.from_injection_sweep(
+            fast_config, RATES, replications=2, label="acceptance",
+            backend=backend_uri,
+        )
+        plan.save(tmp_path)
+        assert CampaignPlan.load(tmp_path).backend == backend_uri
+
+        first = run_campaign(tmp_path, shard=ShardSpec.parse("1/2"))
+        assert first.backend == backend_uri
+        assert (first.simulated, first.reused) == (first.shard_units, 0)
+
+        partial = run_campaign(tmp_path, shard=ShardSpec.parse("2/2"), max_units=1)
+        assert partial.simulated == 1 and partial.deferred > 0
+        resumed = run_campaign(tmp_path, shard=ShardSpec.parse("2/2"))
+        assert resumed.reused >= 1
+        assert resumed.simulated == resumed.shard_units - resumed.reused
+
+        status = campaign_status(tmp_path)
+        assert status.backend == backend_uri
+        assert status.complete
+
+        merged = merge_campaign(tmp_path)
+        assert merged.backend == backend_uri
+        assert merged.simulated == 0
+        direct = SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, RATES, label="acceptance", stop_after_saturation=0
+        )
+        sweep = merged.results
+        assert sweep.rates == direct.rates
+        assert sweep.latency_mean == direct.latency_mean
+        assert sweep.latency_ci == direct.latency_ci
+        assert sweep.throughput_mean == direct.throughput_mean
+        assert sweep.saturated == direct.saturated
+        merged_metrics = [r.metrics for point in sweep.results for r in point]
+        direct_metrics = [r.metrics for point in direct.results for r in point]
+        assert merged_metrics == direct_metrics
+
+    def test_streaming_kill_loses_at_most_in_flight_work(
+        self, tmp_path, fast_config, backend_uri
+    ):
+        """A consumer killed mid-``run`` keeps every already-streamed unit:
+        the resume recomputes only the units that never completed."""
+        plan = CampaignPlan.from_injection_sweep(
+            fast_config, RATES, replications=2, backend=backend_uri
+        )
+        plan.save(tmp_path)
+        total = len(plan.units)
+
+        class Killed(RuntimeError):
+            pass
+
+        events = []
+
+        def kill_after_three(result):
+            events.append(result)
+            if len(events) == 3:
+                raise Killed()
+
+        with pytest.raises(Killed):
+            run_campaign(tmp_path, progress=kill_after_three)
+        # The three streamed units were committed before their events fired.
+        assert campaign_status(tmp_path).completed_units == 3
+
+        resumed = run_campaign(tmp_path)
+        assert resumed.reused == 3
+        assert resumed.simulated == total - 3
+        assert campaign_status(tmp_path).complete
+
+    def test_explicit_backend_argument_overrides_the_recorded_one(
+        self, tmp_path, fast_config
+    ):
+        plan = CampaignPlan.from_injection_sweep(
+            fast_config, RATES, backend=f"dir://{tmp_path / 'recorded'}"
+        )
+        plan.save(tmp_path)
+        override = f"dir://{tmp_path / 'elsewhere'}"
+        report = run_campaign(tmp_path, backend=override)
+        assert report.backend == override
+        assert campaign_status(tmp_path, backend=override).complete
+        # The recorded location never saw a single record.
+        assert not campaign_status(tmp_path).completed_units
+
+    def test_env_backend_applies_only_without_a_recorded_one(
+        self, tmp_path, fast_config, monkeypatch
+    ):
+        from repro.campaign import resolve_campaign_backend
+
+        monkeypatch.setenv("REPRO_BACKEND", "mem://from-env")
+        assert resolve_campaign_backend(tmp_path) == "mem://from-env"
+        # The manifest-recorded backend is pinned, like the experiment scale.
+        assert (
+            resolve_campaign_backend(tmp_path, recorded="sqlite://pinned.sqlite")
+            == "sqlite://pinned.sqlite"
+        )
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert resolve_campaign_backend(tmp_path) == f"dir://{tmp_path}"
+
+
 class TestSharedCacheWiring:
     def test_resolve_executor_prefers_explicit_executor(self):
         executor = SweepExecutor(jobs=1)
@@ -430,7 +570,22 @@ class TestSharedCacheWiring:
 
     def test_resolve_executor_without_cache(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         assert resolve_executor().cache is None
+
+    def test_resolve_executor_reads_env_backend_uri(self, tmp_path, monkeypatch):
+        from repro.backends import SQLiteBackend
+
+        monkeypatch.setenv("REPRO_BACKEND", f"sqlite://{tmp_path}/points.sqlite")
+        executor = resolve_executor()
+        assert isinstance(executor.cache, SQLiteBackend)
+        assert executor.cache.path == tmp_path / "points.sqlite"
+
+    def test_explicit_cache_dir_beats_env_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", f"sqlite://{tmp_path}/points.sqlite")
+        executor = resolve_executor(cache_dir=str(tmp_path / "dir-store"))
+        assert isinstance(executor.cache, PointStore)
+        assert executor.cache.directory == tmp_path / "dir-store"
 
     def test_fig3_reuses_points_across_invocations(self, tmp_path):
         scale = ExperimentScale(
@@ -500,3 +655,45 @@ class TestCampaignCli:
         table = campaign_status_table(campaign_status(tmp_path))
         assert "points.jsonl" in table
         assert "complete" in table
+
+    def test_status_json_is_machine_readable(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        assert main(["campaign", "run", "--dir", str(tmp_path), "--shard", "1/2"]) == 0
+        capsys.readouterr()
+        # Incomplete campaigns keep the CI-friendly exit code under --json.
+        assert main(["campaign", "status", "--dir", str(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "sweep"
+        assert payload["total_units"] == 4
+        assert payload["completed_units"] == 2
+        assert payload["pending_units"] == 2
+        assert payload["complete"] is False
+        assert payload["backend"] == f"dir://{tmp_path}"
+        assert payload["members"] == [
+            {"member": "points-shard-1-of-2.jsonl", "records": 2}
+        ]
+        assert payload["skipped_records"] == 0
+
+        assert main(["campaign", "run", "--dir", str(tmp_path), "--shard", "2/2"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--dir", str(tmp_path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["complete"] is True
+
+    def test_backend_flag_lifecycle_via_cli(self, tmp_path, capsys):
+        uri = f"sqlite://{tmp_path}/points.sqlite"
+        assert main(self._plan_args(tmp_path) + ["--backend", uri]) == 0
+        assert uri in capsys.readouterr().out  # plan echoes the recorded backend
+        # run/status/merge pick the backend up from the manifest — no flag.
+        assert main(["campaign", "run", "--dir", str(tmp_path)]) == 0
+        assert uri in capsys.readouterr().out
+        assert (tmp_path / "points.sqlite").exists()
+        assert list(tmp_path.glob("*.jsonl")) == []  # nothing fell back to dir://
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 0
+        assert uri in capsys.readouterr().out
+        assert main(["campaign", "merge", "--dir", str(tmp_path)]) == 0
+        assert "merged 4 stored units" in capsys.readouterr().out
+
+    def test_bad_backend_uri_is_actionable(self, tmp_path, capsys):
+        code = main(self._plan_args(tmp_path) + ["--backend", "nope://x"])
+        assert code == 2
+        assert "scheme" in capsys.readouterr().err

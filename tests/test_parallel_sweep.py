@@ -14,6 +14,7 @@ from repro.metrics.collectors import NetworkMetrics
 from repro.sim.config import SimulationConfig
 from repro.sim.parallel import (
     ReplicatedSweepResult,
+    StreamedResult,
     SweepExecutor,
     SweepPointCache,
     aggregate_replications,
@@ -165,6 +166,70 @@ class TestReplicatedSweep:
         assert len(seen) == 4
 
 
+class TestStreamConfigs:
+    """The streaming producer/consumer core under the collect APIs."""
+
+    def test_serial_stream_is_submission_ordered(self, fast_config):
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        events = list(SweepExecutor(jobs=1).stream_configs(configs))
+        assert [e.index for e in events] == [0, 1, 2]
+        assert all(isinstance(e, StreamedResult) and not e.reused for e in events)
+
+    def test_stream_matches_run_configs_bitwise_for_any_jobs(self, fast_config):
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3, 4)]
+        direct = SweepExecutor(jobs=1).run_configs(configs)
+        for jobs in (1, 2):
+            streamed = [None] * len(configs)
+            for event in SweepExecutor(jobs=jobs).stream_configs(configs):
+                streamed[event.index] = event.result
+            for a, b in zip(direct, streamed):
+                assert a.metrics == b.metrics
+
+    def test_stream_marks_backend_hits_as_reused(self, fast_config):
+        cache = SweepPointCache()
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2)]
+        executor = SweepExecutor(cache=cache)
+        assert [e.reused for e in executor.stream_configs(configs)] == [False, False]
+        assert [e.reused for e in executor.stream_configs(configs)] == [True, True]
+
+    def test_stream_commits_before_yield(self, fast_config):
+        cache = SweepPointCache()
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        for event in SweepExecutor(jobs=1, cache=cache).stream_configs(configs):
+            # By the time the consumer sees the event, the unit is stored.
+            assert cache.contains_config(configs[event.index])
+
+    def test_abandoned_stream_keeps_completed_work(self, fast_config):
+        cache = SweepPointCache()
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        stream = SweepExecutor(jobs=1, cache=cache).stream_configs(configs)
+        next(stream)
+        stream.close()  # the consumer dies after one event
+        assert len(cache) == 1
+        assert cache.contains_config(configs[0])
+
+    def test_abandoned_parallel_stream_cancels_queued_work(self, fast_config):
+        # Closing a parallel stream must cancel the queued tail (not block
+        # until every submitted simulation runs) while keeping every
+        # committed unit — the "at most in-flight work is lost" contract.
+        # Only what was *committed* is asserted: how many queued units the
+        # workers manage to pull before close() is timing-dependent, so a
+        # count upper bound would flake on a loaded machine.
+        cache = SweepPointCache()
+        configs = [fast_config.with_updates(seed=s) for s in range(1, 9)]
+        stream = SweepExecutor(jobs=2, cache=cache).stream_configs(configs)
+        first = next(stream)
+        stream.close()
+        assert cache.contains_config(configs[first.index])
+
+    def test_sharded_stream_yields_only_owned_indices(self, fast_config):
+        from repro.sim.parallel import ShardSpec
+
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3, 4)]
+        executor = SweepExecutor(shard=ShardSpec(2, 2))
+        assert [e.index for e in executor.stream_configs(configs)] == [1, 3]
+
+
 class TestSweepPointCache:
     def test_cache_hit_returns_identical_replicated_sweep(self, fast_config, monkeypatch):
         import repro.sim.parallel as parallel_mod
@@ -236,7 +301,7 @@ class TestSweepPointCache:
         assert 999 not in second.metrics.absorptions_by_node
 
     def test_warm_cache_parallel_rerun_spawns_no_workers(self, fast_config, monkeypatch):
-        import multiprocessing
+        import repro.sim.parallel as parallel_mod
 
         cache = SweepPointCache()
         executor = SweepExecutor(jobs=2, cache=cache)
@@ -246,7 +311,7 @@ class TestSweepPointCache:
         def _no_pool(*args, **kwargs):  # pragma: no cover - failure path only
             raise AssertionError("a warm-cache rerun must not create a pool")
 
-        monkeypatch.setattr(multiprocessing.get_context("fork"), "Pool", _no_pool, raising=False)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _no_pool)
         results = executor.run_configs(configs)
         assert cache.hits == 2
         assert all(r is not None for r in results)

@@ -8,6 +8,7 @@ delivered by the full flit-level engine (no loss, no deadlock, no livelock).
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -93,6 +94,43 @@ class TestRewriteInvariants:
 
 
 class TestEndToEndDelivery:
+    @pytest.mark.xfail(
+        strict=True,
+        reason=(
+            "known swbased-deterministic livelock (see ROADMAP): on a 6x6 "
+            "torus with faulty nodes {4, 9, 12, 22}, a message 0 -> 10 under "
+            "V=2 is re-absorbed without bound (the reversal/detour rewrite "
+            "cycles between fault regions, tripping the LivelockGuard).  "
+            "strict=True makes the future core/swbased_nd.py fix flip this "
+            "test loudly (XPASS) instead of silently."
+        ),
+    )
+    def test_known_livelock_scenario_is_pinned(self):
+        """Regression pin for the documented livelock: delivery must fail
+        today; the test turns into a loud XPASS the day the routing layer is
+        fixed, at which point the xfail marker should simply be removed."""
+        topo = TorusTopology(radix=6, dimensions=2)
+        faults = FaultSet.from_nodes([4, 9, 12, 22])
+        assert is_connected_without_faults(topo, faults)  # assumption (h) holds
+        routing = SoftwareBasedRouting.deterministic(
+            topo, faults=faults, num_virtual_channels=2
+        )
+        engine = SimulationEngine(
+            topology=topo,
+            routing=routing,
+            traffic=PoissonTraffic(0.0),
+            pattern=UniformPattern(topo, excluded=faults.nodes),
+            faults=faults,
+            message_length=4,
+            warmup_messages=0,
+            measure_messages=1,
+            seed=1,
+            keep_records=True,
+        )
+        engine.inject_message(0, 10)
+        engine.drain(max_cycles=20_000)
+        assert engine.collector.delivered_messages == 1
+
     @given(faulty_scenario())
     @settings(max_examples=12, deadline=None)
     def test_single_message_is_always_delivered_deterministic(self, scenario):
