@@ -9,7 +9,7 @@ or a log file, and trivially testable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.model import FaultSet
 from repro.faults.regions import FaultRegion

@@ -14,18 +14,36 @@ by URI through :func:`~repro.backends.registry.open_backend`:
   (:class:`~repro.backends.directory.DirectoryBackend`, historically
   ``PointStore``), unchanged on disk and member-file mergeable;
 * ``sqlite://<path>`` — a single concurrent-writer-safe SQLite file
-  (:class:`~repro.backends.sqlite.SQLiteBackend`), the stepping stone to
-  object-store members.
+  (:class:`~repro.backends.sqlite.SQLiteBackend`);
+* ``obj://<path>`` / ``s3://<bucket>/<prefix>`` — the content-addressed
+  object layout (:class:`~repro.backends.objectstore.ObjectStoreBackend`
+  over a minimal blob-client protocol: one whole-object blob per
+  (config_hash, replication)), on a filesystem or in an S3 bucket via an
+  injectable client — the fleet-scale members: many hosts stream shards
+  into one shared store, any host merges.
+
+Stores also sync: every backend exposes its results as framed records
+(``records()`` / ``put_record``), and :func:`~repro.backends.sync.
+sync_backends` copies them between any two URIs with content-address dedup
+— the primitive behind the CLI's ``campaign push`` / ``pull``.
 
 Because a backend serves bit-identical metrics by construction, which
-backend a sweep or campaign runs against never changes a single output bit —
-the backend-conformance test suite pins one shared contract against all
-three.
+backend a sweep or campaign runs against — or through how many pushes and
+pulls its records travelled — never changes a single output bit; the
+backend-conformance test suite pins one shared contract against every
+member.
 """
 
 from repro.backends.base import BackendScan, ResultBackend, validate_member
 from repro.backends.directory import DirectoryBackend, shard_member_name
 from repro.backends.memory import MemoryBackend
+from repro.backends.objectstore import (
+    InMemoryS3Client,
+    LocalObjectClient,
+    ObjectStoreBackend,
+    S3BlobClient,
+    set_s3_client_factory,
+)
 from repro.backends.registry import (
     DEFAULT_MEMBER,
     backend_schemes,
@@ -37,27 +55,39 @@ from repro.backends.registry import (
 from repro.backends.serialize import (
     config_from_dict,
     config_to_dict,
+    frame_record,
     metrics_from_dict,
     metrics_to_dict,
+    parse_record,
 )
 from repro.backends.sqlite import SQLiteBackend
+from repro.backends.sync import SyncReport, sync_backends
 
 __all__ = [
     "BackendScan",
     "DEFAULT_MEMBER",
     "DirectoryBackend",
+    "InMemoryS3Client",
+    "LocalObjectClient",
     "MemoryBackend",
+    "ObjectStoreBackend",
     "ResultBackend",
+    "S3BlobClient",
     "SQLiteBackend",
+    "SyncReport",
     "backend_schemes",
     "config_from_dict",
     "config_to_dict",
+    "frame_record",
     "metrics_from_dict",
     "metrics_to_dict",
     "open_backend",
     "parse_backend_uri",
+    "parse_record",
     "register_backend",
     "scan_backend",
+    "set_s3_client_factory",
     "shard_member_name",
+    "sync_backends",
     "validate_member",
 ]

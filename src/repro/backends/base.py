@@ -14,31 +14,36 @@ NetworkMetrics` a finished simulation produced.  The contract has two faces:
   :meth:`ResultBackend.serve`);
 * the **campaign face** (``__contains__`` over keys, ``keys()``,
   ``members()``) that the campaign lifecycle uses for resume decisions and
-  status reports.
+  status reports;
+* the **sync face** (``records()`` / ``put_record``) that cross-store
+  copying (:func:`repro.backends.sync.sync_backends`, the CLI's ``campaign
+  push`` / ``pull``) uses to move framed records between any two backends
+  with content-address dedup.
 
 Concrete backends implement only the storage primitives ``_lookup`` /
-``_commit`` plus the introspection methods; all shared semantics — counter
-accounting, idempotent puts, detach-on-serve — live here so the three
-backends cannot drift apart.
+``_commit`` / ``records`` plus the introspection methods; all shared
+semantics — counter accounting, idempotent puts, detach-on-serve,
+verify-on-sync — live here so the backends cannot drift apart.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from repro.backends.serialize import (
+    RECORD_VERSION,
+    config_from_dict,
+    metrics_from_dict,
+    parse_record,
+)
 from repro.errors import ConfigurationError
 from repro.metrics.collectors import NetworkMetrics
 from repro.sim.config import SimulationConfig, config_hash
 from repro.sim.runner import SimulationResult
 
-__all__ = ["BackendScan", "ResultBackend", "validate_member"]
-
-#: Format version stamped on every stored record (shared by all backends: a
-#: record written by one library version must never be silently re-simulated
-#: — or worse, misread — by an incompatible one).
-RECORD_VERSION = 1
+__all__ = ["BackendScan", "RECORD_VERSION", "ResultBackend", "validate_member"]
 
 
 def validate_member(member: str) -> str:
@@ -136,6 +141,53 @@ class ResultBackend(ABC):
         Must be idempotent: committing a key that is already stored is a
         no-op (records for one key are bit-identical by construction, so
         which writer wins is immaterial)."""
+
+    # ------------------------------------------------------------------ #
+    # the sync face
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def records(self) -> Iterator[Tuple[str, Dict]]:
+        """Every stored record as ``(key, framed payload)`` pairs.
+
+        The payload is the :func:`repro.backends.serialize.frame_record`
+        object (version stamp, content-address, config provenance, metrics)
+        — exactly what :meth:`put_record` on another backend accepts, which
+        is what makes cross-store sync backend-agnostic.  Only defined for
+        backends whose keys are the shared content-address; the executor's
+        process-local tuple-keyed sweep cache is not syncable.
+        """
+
+    def put_record(self, record: Dict) -> None:
+        """Commit one framed record copied from another backend.
+
+        The single definition of sync-write semantics: the record is
+        version-checked, its config and metrics are reconstructed, and the
+        config's recomputed content-address must equal the record's key — a
+        mismatch means the source store was written by an incompatible key
+        function, and silently accepting it would turn every later lookup
+        into an apparent miss.  Idempotent like :meth:`put` (duplicate keys
+        are bit-identical by construction), and counted in neither ``hits``
+        nor ``misses`` — a sync is not a cache access.
+        """
+        key, config_dict, metrics_dict = parse_record(record, where="(synced)")
+        try:
+            config = config_from_dict(config_dict)
+            metrics = metrics_from_dict(metrics_dict)
+        except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"synced record {str(key)[:12]}… does not reconstruct ({exc}); "
+                "the source store was written by an incompatible library "
+                "version — re-run the campaign instead of syncing it"
+            ) from exc
+        recomputed = config_hash(config)
+        if recomputed != key:
+            raise ConfigurationError(
+                f"synced record hashes to {recomputed[:12]}… but carries key "
+                f"{str(key)[:12]}…; the source store was written by an "
+                "incompatible key function — re-run the campaign instead of "
+                "syncing it"
+            )
+        self._commit(key, config, metrics)
 
     # ------------------------------------------------------------------ #
     # the campaign face

@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.backends.base import (
     RECORD_VERSION,
@@ -38,7 +38,7 @@ from repro.backends.base import (
     ResultBackend,
     validate_member,
 )
-from repro.backends.serialize import config_to_dict, metrics_from_dict, metrics_to_dict
+from repro.backends.serialize import encode_record, frame_record, metrics_from_dict
 from repro.errors import ConfigurationError
 from repro.metrics.collectors import NetworkMetrics
 from repro.sim.config import SimulationConfig
@@ -197,16 +197,7 @@ class DirectoryBackend(ResultBackend):
     def _commit(self, key: str, config: SimulationConfig, metrics: NetworkMetrics) -> None:
         if key in self._index:
             return
-        record = {
-            "v": RECORD_VERSION,
-            "key": key,
-            # Deliberate provenance payload: no reader consumes it (lookups go
-            # by key), but it keeps every record self-describing so a stray
-            # member file can be audited or re-keyed without its campaign.json.
-            "config": config_to_dict(config),
-            "metrics": metrics_to_dict(metrics),
-        }
-        line = json.dumps(record, separators=(",", ":"), allow_nan=True)
+        line = encode_record(frame_record(key, config, metrics))
         # One O_APPEND syscall per record: a crash tears at most this line
         # (which reload() then skips), and concurrent writers sharing the
         # member file — two unsharded runs, two --cache-dir processes — never
@@ -219,12 +210,34 @@ class DirectoryBackend(ResultBackend):
         fd = os.open(self._member_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
             while data:  # a short write (e.g. full filesystem) must not be
-                data = data[os.write(fd, data):]  # silently recorded as stored
+                data = data[os.write(fd, data) :]  # silently recorded as stored
         finally:
             os.close(fd)
         self._index[key] = metrics
         name = self._member_path.name
         self._member_counts[name] = self._member_counts.get(name, 0) + 1
+
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """Every on-disk record, raw, for cross-store sync.
+
+        Rescans the member files (rather than re-framing the in-memory
+        index) because the index deliberately drops the config provenance a
+        synced record must carry.
+        """
+        collected: List[Tuple[str, dict]] = []
+
+        def keep(path: Path, number: int, record: dict) -> None:
+            try:
+                collected.append((record["key"], record))
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"store record {path.name}:{number} has no key ({exc}); "
+                    "the record schema has drifted from the one that wrote "
+                    "this store — re-run the campaign into a fresh directory"
+                ) from exc
+
+        self._scan_members(self.directory, keep)
+        return iter(collected)
 
     # ------------------------------------------------------------------ #
     # introspection

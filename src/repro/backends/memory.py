@@ -19,9 +19,10 @@ Two URI forms:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.backends.base import ResultBackend
+from repro.backends.serialize import frame_record
 from repro.metrics.collectors import NetworkMetrics
 from repro.sim.config import SimulationConfig
 
@@ -40,6 +41,9 @@ class MemoryBackend(ResultBackend):
         super().__init__()
         self.name = name
         self._index: Dict[object, NetworkMetrics] = {}
+        # Config provenance kept per key (a reference, not a copy) purely so
+        # records() can frame full records for cross-store sync.
+        self._configs: Dict[object, SimulationConfig] = {}
 
     @classmethod
     def open(cls, name: str = "") -> "MemoryBackend":
@@ -68,7 +72,15 @@ class MemoryBackend(ResultBackend):
         return self._index.get(key)
 
     def _commit(self, key, config: SimulationConfig, metrics: NetworkMetrics) -> None:
-        self._index.setdefault(key, metrics)
+        if key not in self._index:
+            self._index[key] = metrics
+            self._configs[key] = config
+
+    def records(self) -> Iterator[tuple]:
+        # Framed lazily: serialisation cost is paid by the sync path, never
+        # by the executor's put() hot path.
+        for key, metrics in self._index.items():
+            yield key, frame_record(key, self._configs[key], metrics)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -92,3 +104,4 @@ class MemoryBackend(ResultBackend):
     def clear(self) -> None:
         """Drop every stored result (counters are kept)."""
         self._index.clear()
+        self._configs.clear()

@@ -1,0 +1,468 @@
+"""The object-store backend family: ``obj://`` and ``s3://``.
+
+Object stores are the fleet-scale members of the backend family: any number
+of hosts run campaign shards against one shared bucket/prefix (or against
+per-host stores later reconciled with ``campaign push`` / ``pull``), and any
+host merges.  One :class:`ObjectStoreBackend` implements the whole
+:class:`~repro.backends.base.ResultBackend` contract over a minimal key/blob
+client protocol, so adding a new object store is a ~40-line client, not a
+backend rewrite.
+
+Layout — one content-addressed blob per (config_hash, replication)::
+
+    <store root>/<member>/<config_hash>.json
+
+Each blob is a complete framed record (:func:`repro.backends.serialize.
+frame_record`: version stamp, key, config provenance, metrics) — byte-
+identical to the corresponding ``dir://`` JSONL line.  Writers never share a
+blob path (each shard writes under its own member prefix, exactly like the
+directory layout's member files), every put is a whole-object write (there
+is no such thing as a torn blob), and duplicate keys across members resolve
+to the same bit-identical metrics, so concurrent shards on different hosts
+converge without any coordination.
+
+The blob client protocol (:class:`BlobClient`) is three methods:
+
+* ``put_blob(path, data)`` — idempotent whole-object write (re-putting an
+  existing path is a no-op or an identical overwrite: record bytes for one
+  path are equal by construction);
+* ``get_blob(path)`` — the blob's bytes (``KeyError`` when absent);
+* ``list_prefix(prefix)`` — every stored blob path under a prefix.
+
+Two members are registered:
+
+* ``obj://<path>`` — :class:`LocalObjectClient`, the object layout on a
+  local (or network-mounted) filesystem: the portable stepping stone, and
+  the exact on-disk shape an S3 bucket sync would produce;
+* ``s3://<bucket>/<prefix>`` — :class:`S3BlobClient` over an *injectable*
+  boto3-style client.  ``boto3`` itself is an optional extra resolved
+  lazily; tests (and CI) run the full conformance suite against
+  :class:`InMemoryS3Client`, an in-memory double of the four boto3 calls
+  used, injected with :func:`set_s3_client_factory`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.backends.base import BackendScan, ResultBackend, validate_member
+from repro.backends.serialize import (
+    encode_record,
+    frame_record,
+    metrics_from_dict,
+    parse_record,
+)
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig
+
+__all__ = [
+    "BlobClient",
+    "InMemoryS3Client",
+    "LocalObjectClient",
+    "ObjectStoreBackend",
+    "S3BlobClient",
+    "set_s3_client_factory",
+]
+
+#: Suffix of every record blob; anything else under the store prefix (e.g. a
+#: crashed writer's temp file) is counted as skipped, the blob analogue of a
+#: torn JSONL line.
+_BLOB_SUFFIX = ".json"
+
+
+class BlobClient:
+    """The minimal key/blob surface an object store must offer.
+
+    Structural typing is deliberate — any object with these three methods
+    works (the class exists for documentation and ``isinstance``-free
+    clarity, not as a required base).
+    """
+
+    def put_blob(self, path: str, data: bytes) -> None:
+        """Store ``data`` under ``path`` (idempotent whole-object write)."""
+        raise NotImplementedError
+
+    def get_blob(self, path: str) -> bytes:
+        """The bytes stored under ``path``; raises ``KeyError`` when absent."""
+        raise NotImplementedError
+
+    def list_prefix(self, prefix: str) -> Iterable[str]:
+        """Every stored blob path starting with ``prefix``."""
+        raise NotImplementedError
+
+
+class LocalObjectClient(BlobClient):
+    """The object layout on a local filesystem (the ``obj://`` scheme).
+
+    Paths are relative to ``root``.  Puts are atomic (write-temp +
+    ``os.replace``), so a killed writer leaves at most a ``*.tmp-<pid>``
+    file that listing reports and the backend counts as skipped — never a
+    half-written record blob.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def put_blob(self, path: str, data: bytes) -> None:
+        target = self.root / path
+        if target.exists():
+            return  # idempotent: record bytes for one path are equal
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+
+    def get_blob(self, path: str) -> bytes:
+        target = self.root / path
+        try:
+            return target.read_bytes()
+        except FileNotFoundError:
+            raise KeyError(path) from None
+
+    def list_prefix(self, prefix: str) -> Iterator[str]:
+        base = self.root / prefix if prefix else self.root
+        if not base.is_dir():
+            return
+        for dirpath, _, filenames in os.walk(base):
+            for name in filenames:
+                full = Path(dirpath) / name
+                yield full.relative_to(self.root).as_posix()
+
+
+#: Returns a boto3-style S3 client; injectable so tests and boto3-less
+#: environments run against :class:`InMemoryS3Client`.
+_s3_client_factory: Optional[Callable[[], object]] = None
+
+
+def set_s3_client_factory(
+    factory: Optional[Callable[[], object]],
+) -> Optional[Callable[[], object]]:
+    """Install the factory ``s3://`` opens use to build their client.
+
+    ``None`` restores the default (a lazy ``boto3.client("s3")``).  Returns
+    the previously installed factory so callers can restore it.
+    """
+    global _s3_client_factory
+    previous = _s3_client_factory
+    _s3_client_factory = factory
+    return previous
+
+
+def _build_s3_client() -> object:
+    if _s3_client_factory is not None:
+        return _s3_client_factory()
+    try:
+        import boto3
+    except ImportError as exc:
+        raise ConfigurationError(
+            "the s3:// backend needs the optional boto3 package (pip install "
+            "boto3), or an injected client: repro.backends.objectstore."
+            "set_s3_client_factory(lambda: my_client)"
+        ) from exc
+    return boto3.client("s3")
+
+
+def _is_missing_key_error(exc: Exception) -> bool:
+    """Whether an S3 SDK exception means "no such object".
+
+    Recognised structurally (class name, or a botocore-style
+    ``response["Error"]["Code"]``) so no botocore import is needed — the SDK
+    stays an optional extra.
+    """
+    if type(exc).__name__ == "NoSuchKey":
+        return True
+    response = getattr(exc, "response", None)
+    if isinstance(response, dict):
+        code = response.get("Error", {}).get("Code")
+        return code in ("NoSuchKey", "404")
+    return False
+
+
+class S3BlobClient(BlobClient):
+    """Blob client over a boto3-style S3 client (the ``s3://`` scheme).
+
+    Uses exactly three calls of the boto3 surface — ``put_object``,
+    ``get_object`` and the paginated ``list_objects_v2`` — so any compatible
+    SDK or stub (e.g. :class:`InMemoryS3Client`) drops in.  Object keys are
+    ``<prefix>/<relative path>``.
+    """
+
+    def __init__(self, bucket: str, prefix: str, client: object) -> None:
+        self.bucket = bucket
+        self.prefix = prefix.strip("/")
+        self._client = client
+
+    def _object_key(self, path: str) -> str:
+        return f"{self.prefix}/{path}" if self.prefix else path
+
+    def put_blob(self, path: str, data: bytes) -> None:
+        # An S3 PUT is already a whole-object atomic write, and record bytes
+        # for one path are equal by construction, so an unconditional PUT is
+        # idempotent in outcome — no read-before-write round trip needed.
+        self._client.put_object(
+            Bucket=self.bucket, Key=self._object_key(path), Body=data
+        )
+
+    def get_blob(self, path: str) -> bytes:
+        try:
+            response = self._client.get_object(
+                Bucket=self.bucket, Key=self._object_key(path)
+            )
+        except KeyError:
+            raise  # a stub already speaking the BlobClient contract
+        except Exception as exc:
+            # boto3 raises botocore ClientError/NoSuchKey, never KeyError:
+            # translate so the protocol's missing-blob signal holds with a
+            # real SDK exactly as it does with the in-memory stub.
+            if _is_missing_key_error(exc):
+                raise KeyError(path) from exc
+            raise
+        return response["Body"].read()
+
+    def list_prefix(self, prefix: str) -> Iterator[str]:
+        full_prefix = self._object_key(prefix)
+        strip = len(self.prefix) + 1 if self.prefix else 0
+        kwargs = {"Bucket": self.bucket, "Prefix": full_prefix}
+        while True:
+            page = self._client.list_objects_v2(**kwargs)
+            for entry in page.get("Contents", ()):
+                yield entry["Key"][strip:]
+            if not page.get("IsTruncated"):
+                return
+            kwargs["ContinuationToken"] = page["NextContinuationToken"]
+
+
+class InMemoryS3Client:
+    """An in-memory double of the boto3 S3 surface :class:`S3BlobClient` uses.
+
+    The reference implementation of the minimal client contract — and what
+    the conformance suite (and CI) injects via :func:`set_s3_client_factory`
+    so the ``s3://`` member is exercised without boto3 or a network.  Listing
+    is paginated (``page_size``, default 1000 like S3) so the pagination loop
+    is genuinely covered.  Buckets spring into existence on first write,
+    which is all the tests need.
+    """
+
+    def __init__(self, page_size: int = 1000) -> None:
+        self.page_size = page_size
+        self._buckets: Dict[str, Dict[str, bytes]] = {}
+
+    def put_object(self, Bucket: str, Key: str, Body: bytes) -> dict:
+        self._buckets.setdefault(Bucket, {})[Key] = bytes(Body)
+        return {}
+
+    def get_object(self, Bucket: str, Key: str) -> dict:
+        try:
+            data = self._buckets[Bucket][Key]
+        except KeyError:
+            raise KeyError(f"s3://{Bucket}/{Key}") from None
+        return {"Body": io.BytesIO(data)}
+
+    def list_objects_v2(
+        self,
+        Bucket: str,
+        Prefix: str = "",
+        ContinuationToken: Optional[str] = None,
+    ) -> dict:
+        keys = sorted(
+            k for k in self._buckets.get(Bucket, {}) if k.startswith(Prefix)
+        )
+        start = int(ContinuationToken) if ContinuationToken else 0
+        page = keys[start : start + self.page_size]
+        truncated = start + self.page_size < len(keys)
+        response = {"Contents": [{"Key": k} for k in page], "IsTruncated": truncated}
+        if truncated:
+            response["NextContinuationToken"] = str(start + self.page_size)
+        return response
+
+
+class ObjectStoreBackend(ResultBackend):
+    """``(config, seed) -> NetworkMetrics`` store over a blob client.
+
+    Parameters
+    ----------
+    client:
+        Any :class:`BlobClient`-shaped object.
+    member:
+        Writer/member prefix this instance puts under (default ``"points"``;
+        shard runs use ``points-shard-I-of-N``) — the object-store analogue
+        of the directory layout's member files.
+
+    Opening lists the store once to build a ``key -> blob path`` index;
+    metrics are fetched lazily per lookup, so opening a million-record store
+    costs one listing, not a million GETs (and ``scan_keys``-style status
+    queries cost the listing only, via :meth:`scan_client`).
+    """
+
+    scheme = "obj"
+
+    def __init__(self, client: BlobClient, member: str = "points") -> None:
+        super().__init__()
+        validate_member(member)
+        self._client = client
+        self.member = member
+        self._paths: Dict[str, str] = {}
+        self._member_counts: Dict[str, int] = {}
+        self.reload()
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scan_listing(
+        client: BlobClient,
+    ) -> Tuple[Dict[str, str], Dict[str, int], int]:
+        """``(key -> path, member -> count, skipped)`` from one listing.
+
+        The single definition of what an object store *contains* — shared by
+        :meth:`reload` and :meth:`scan_client` so the two can never disagree.
+        A path that is not ``<member>/<key>.json`` (a crashed writer's temp
+        file, a stray upload) is counted as skipped, the blob analogue of a
+        torn JSONL line.
+        """
+        paths: Dict[str, str] = {}
+        members: Dict[str, int] = {}
+        skipped = 0
+        for path in sorted(client.list_prefix("")):
+            member, _, blob = path.partition("/")
+            if not blob or "/" in blob or not blob.endswith(_BLOB_SUFFIX):
+                skipped += 1
+                continue
+            key = blob[: -len(_BLOB_SUFFIX)]
+            paths.setdefault(key, path)
+            members[member] = members.get(member, 0) + 1
+        return paths, members, skipped
+
+    def reload(self) -> None:
+        """(Re)build the key index from a fresh listing.
+
+        Cheap by design (no blob bodies are fetched), so long-running shard
+        processes on different hosts can re-list a shared store to observe
+        each other's commits.
+        """
+        self._paths, self._member_counts, self.skipped_records = self._scan_listing(
+            self._client
+        )
+
+    @classmethod
+    def scan_client(cls, client: BlobClient) -> BackendScan:
+        """Keys-only scan of a store, without building a backend."""
+        paths, members, skipped = cls._scan_listing(client)
+        return BackendScan(
+            keys=frozenset(paths), members=sorted(members.items()), skipped_records=skipped
+        )
+
+    # ------------------------------------------------------------------ #
+    # storage primitives
+    # ------------------------------------------------------------------ #
+    def _record_at(self, path: str) -> dict:
+        try:
+            data = self._client.get_blob(path)
+        except KeyError:
+            raise ConfigurationError(
+                f"store blob {path} disappeared between listing and read; "
+                "the store is being deleted or rewritten concurrently"
+            ) from None
+        try:
+            record = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"store blob {path} is not a JSON record ({exc}); the store "
+                "holds foreign objects — point the backend at a prefix of "
+                "its own"
+            ) from exc
+        key, _, _ = parse_record(record, where=path)
+        if f"{key}{_BLOB_SUFFIX}" != path.rpartition("/")[2]:
+            raise ConfigurationError(
+                f"store blob {path} carries key {str(key)[:12]}…, which does "
+                "not match its content-addressed name; the store was "
+                "hand-edited — re-run the campaign into a fresh prefix"
+            )
+        return record
+
+    def _lookup(self, key: str) -> Optional[NetworkMetrics]:
+        path = self._paths.get(key)
+        if path is None:
+            return None
+        record = self._record_at(path)
+        try:
+            return metrics_from_dict(record["metrics"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"store blob {path} does not reconstruct ({exc}); the metrics "
+                "schema has drifted from the one that wrote this store — "
+                "re-run the campaign into a fresh prefix"
+            ) from exc
+
+    def _commit(self, key: str, config: SimulationConfig, metrics: NetworkMetrics) -> None:
+        if key in self._paths:
+            return
+        path = f"{self.member}/{key}{_BLOB_SUFFIX}"
+        data = encode_record(frame_record(key, config, metrics)).encode("utf-8")
+        self._client.put_blob(path, data)
+        self._paths[key] = path
+        self._member_counts[self.member] = self._member_counts.get(self.member, 0) + 1
+
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """Every stored record (one GET per blob), for cross-store sync."""
+        for key, path in sorted(self._paths.items()):
+            yield key, self._record_at(path)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._paths
+
+    def keys(self) -> FrozenSet[str]:
+        return frozenset(self._paths)
+
+    def members(self) -> List[Tuple[str, int]]:
+        """``(member prefix, record count)`` pairs, sorted by member."""
+        return sorted(self._member_counts.items())
+
+
+def open_local_object_store(location: str, member: str) -> ObjectStoreBackend:
+    """The ``obj://`` opener: the object layout rooted at a directory."""
+    return ObjectStoreBackend(LocalObjectClient(location), member=member)
+
+
+def scan_local_object_store(location: str) -> BackendScan:
+    """The ``obj://`` scanner (a missing root scans as an empty store)."""
+    return ObjectStoreBackend.scan_client(LocalObjectClient(location))
+
+
+def _split_s3_location(location: str) -> Tuple[str, str]:
+    bucket, _, prefix = location.partition("/")
+    if not bucket:
+        raise ConfigurationError(
+            f"s3:// backend location {location!r} needs a bucket, e.g. "
+            "s3://my-bucket/campaigns/fig3"
+        )
+    return bucket, prefix
+
+
+def open_s3_store(location: str, member: str) -> ObjectStoreBackend:
+    """The ``s3://`` opener: ``s3://bucket[/prefix]`` via the client factory."""
+    bucket, prefix = _split_s3_location(location)
+    backend = ObjectStoreBackend(
+        S3BlobClient(bucket, prefix, _build_s3_client()), member=member
+    )
+    backend.scheme = "s3"
+    return backend
+
+
+def scan_s3_store(location: str) -> BackendScan:
+    """The ``s3://`` scanner (one paginated listing, no blob bodies)."""
+    bucket, prefix = _split_s3_location(location)
+    return ObjectStoreBackend.scan_client(
+        S3BlobClient(bucket, prefix, _build_s3_client())
+    )

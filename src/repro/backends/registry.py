@@ -9,11 +9,16 @@ lifecycle, :func:`repro.experiments.common.resolve_executor` and the CLI's
   backend shared process-wide (tests, ephemeral runs);
 * ``dir://<path>`` — the JSONL directory layout (``<path>`` is a filesystem
   path, absolute or relative; ``dir:///var/tmp/c`` is the absolute form);
-* ``sqlite://<path>`` — a single SQLite database file.
+* ``sqlite://<path>`` — a single SQLite database file;
+* ``obj://<path>`` — the content-addressed object layout on a filesystem
+  (one blob per (config_hash, replication));
+* ``s3://<bucket>/<prefix>`` — the same layout in an S3 bucket, via an
+  injectable boto3-style client (boto3 itself is an optional extra).
 
-Third-party backends (the ROADMAP's object-store members, for instance)
-mount themselves with :func:`register_backend` and immediately work across
-the executor, campaign and CLI layers.
+Third-party backends mount themselves with :func:`register_backend` and
+immediately work across the executor, campaign, sync and CLI layers; the
+unknown-scheme error enumerates whatever is registered at failure time, so
+new members appear in it automatically.
 """
 
 from __future__ import annotations
@@ -24,6 +29,12 @@ from typing import Callable, Dict, Tuple
 from repro.backends.base import BackendScan, ResultBackend, validate_member
 from repro.backends.directory import DirectoryBackend
 from repro.backends.memory import MemoryBackend
+from repro.backends.objectstore import (
+    open_local_object_store,
+    open_s3_store,
+    scan_local_object_store,
+    scan_s3_store,
+)
 from repro.backends.sqlite import SQLiteBackend
 from repro.errors import ConfigurationError
 
@@ -79,7 +90,8 @@ def parse_backend_uri(uri: str) -> Tuple[str, str]:
     if not match:
         raise ConfigurationError(
             f"invalid backend URI {uri!r}: expected scheme://location, e.g. "
-            "mem://, dir://results/campaign or sqlite://results/points.sqlite"
+            "mem://, dir://results/campaign, sqlite://results/points.sqlite, "
+            "obj://results/objects or s3://bucket/campaigns"
         )
     scheme, location = match.group(1).lower(), match.group(2)
     if scheme not in _SCHEMES:
@@ -135,3 +147,5 @@ register_backend(
     lambda location, member: SQLiteBackend(location, member=member),
     SQLiteBackend.scan_keys,
 )
+register_backend("obj", open_local_object_store, scan_local_object_store)
+register_backend("s3", open_s3_store, scan_s3_store)

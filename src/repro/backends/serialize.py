@@ -5,8 +5,8 @@ The storage layer persists two kinds of values: whole
 so a shard can run its work units without importing any experiment code, and
 as per-record provenance in the backends) and
 :class:`~repro.metrics.collectors.NetworkMetrics` records (the payload of
-every ``dir://`` and ``sqlite://`` backend record).  Both round-trip
-losslessly:
+every ``dir://``, ``sqlite://`` and object-store backend record).  Both
+round-trip losslessly:
 
 * every scalar field is carried verbatim — Python's JSON encoder emits the
   shortest round-tripping representation of a float, so reloaded metrics are
@@ -16,12 +16,22 @@ losslessly:
   public constructors; fault sets as sorted node/link lists;
 * the scalar config fields are enumerated from the dataclass itself, so a
   future field added to :class:`SimulationConfig` is carried automatically.
+
+This module also owns the *record framing* every persistent backend and the
+cross-store sync path share: a stored record is the JSON object
+``{"v": RECORD_VERSION, "key": <config_hash>, "config": ..., "metrics": ...}``
+— one ``dir://`` JSONL line, one object-store blob, one decomposed
+``sqlite://`` row.  :func:`frame_record` builds it, :func:`parse_record`
+version-checks and splits it, and :func:`encode_record` is the canonical
+byte encoding (compact separators, ``allow_nan``) that makes records written
+by different backends byte-comparable.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import fields
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.model import FaultSet
@@ -32,11 +42,20 @@ from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 
 __all__ = [
+    "RECORD_VERSION",
     "config_from_dict",
     "config_to_dict",
+    "encode_record",
+    "frame_record",
     "metrics_from_dict",
     "metrics_to_dict",
+    "parse_record",
 ]
+
+#: Format version stamped on every stored record (shared by all backends: a
+#: record written by one library version must never be silently re-simulated
+#: — or worse, misread — by an incompatible one).
+RECORD_VERSION = 1
 
 #: Config fields that need structured (non-scalar) encoding.
 _STRUCTURED_CONFIG_FIELDS = ("topology", "faults")
@@ -136,3 +155,58 @@ def metrics_from_dict(data: Dict[str, object]) -> NetworkMetrics:
         int(node): count for node, count in data.get("absorptions_by_node", {}).items()
     }
     return NetworkMetrics(**kwargs)
+
+
+def frame_record(
+    key: str, config: SimulationConfig, metrics: NetworkMetrics
+) -> Dict[str, object]:
+    """One stored result as the framed record every persistent backend writes.
+
+    The ``config`` entry is deliberate provenance: no reader consumes it
+    (lookups go by key), but it keeps every record self-describing so a stray
+    member file or blob can be audited — or re-keyed — without its
+    ``campaign.json``.
+    """
+    return {
+        "v": RECORD_VERSION,
+        "key": key,
+        "config": config_to_dict(config),
+        "metrics": metrics_to_dict(metrics),
+    }
+
+
+def parse_record(record: object, where: str) -> Tuple[str, Dict, Dict]:
+    """Split a framed record into ``(key, config dict, metrics dict)``.
+
+    ``where`` names the record's origin (a file:line, a blob path, "pushed
+    record") so the error is actionable.  A wrong version or a missing field
+    means the record came from an incompatible library version; silently
+    re-simulating — or misreading — it would be far worse than failing, so
+    both raise.
+    """
+    if not isinstance(record, dict) or record.get("v") != RECORD_VERSION:
+        raise ConfigurationError(
+            f"store record {where} has version "
+            f"{record.get('v') if isinstance(record, dict) else record!r} "
+            f"but this library reads version {RECORD_VERSION}; the record "
+            "was written by an incompatible library version — re-run the "
+            "campaign into a fresh store"
+        )
+    try:
+        key, config, metrics = record["key"], record["config"], record["metrics"]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"store record {where} has no {exc} field; the record schema has "
+            "drifted from the one that wrote this store — re-run the campaign "
+            "into a fresh store"
+        ) from exc
+    return key, config, metrics
+
+
+def encode_record(record: Dict[str, object]) -> str:
+    """The canonical JSON encoding of a framed record.
+
+    Compact separators and ``allow_nan`` — shared by the JSONL, SQLite-column
+    and blob writers so the same record is byte-identical wherever it lands.
+    """
+    return json.dumps(record, separators=(",", ":"), allow_nan=True)

@@ -27,7 +27,7 @@ import json
 import os
 import sqlite3
 from pathlib import Path
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.backends.base import (
     RECORD_VERSION,
@@ -152,6 +152,24 @@ class SQLiteBackend(ResultBackend):
                 json.dumps(metrics_to_dict(metrics), separators=(",", ":"), allow_nan=True),
             ),
         )
+
+    def records(self) -> Iterator[Tuple[str, dict]]:
+        """Every stored row re-framed as a portable record, for sync.
+
+        The config/metrics columns hold exactly the JSON sub-objects of the
+        framed record format, so re-framing is a parse plus a version stamp —
+        the synced record is byte-identical to the one a ``dir://`` writer
+        would have produced for the same result.
+        """
+        for key, config_json, metrics_json in self._conn.execute(
+            "SELECT key, config, metrics FROM points ORDER BY key"
+        ):
+            yield key, {
+                "v": RECORD_VERSION,
+                "key": key,
+                "config": json.loads(config_json),
+                "metrics": json.loads(metrics_json),
+            }
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -1,0 +1,88 @@
+"""Cross-store record sync: copy results between any two backend URIs.
+
+The primitive behind ``campaign push`` / ``campaign pull``: iterate the
+source backend's framed records (:meth:`~repro.backends.base.ResultBackend.
+records`) and commit the ones the destination does not hold
+(:meth:`~repro.backends.base.ResultBackend.put_record`, which re-verifies
+each record's content-address).  Dedup is by content-address, so a sync is
+idempotent — re-pushing a store copies nothing — and direction-agnostic:
+push and pull are the same operation with the URIs swapped.
+
+Because every backend speaks the same record framing, any pair of schemes
+syncs: two hosts can each run shards into their own local ``obj://`` (or
+``dir://``/``sqlite://``) store and reconcile through a shared ``s3://``
+bucket, and a later ``merge`` on any host sees the union, bit-identical to
+a single-shot run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.registry import DEFAULT_MEMBER, open_backend, scan_backend
+
+__all__ = ["SyncReport", "sync_backends"]
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one sync did: where from, where to, and the dedup split."""
+
+    source: str
+    destination: str
+    copied: int
+    present: int
+
+    @property
+    def total(self) -> int:
+        """Distinct records seen at the source."""
+        return self.copied + self.present
+
+    def describe(self) -> str:
+        return (
+            f"synced {self.source} -> {self.destination}: {self.copied} "
+            f"record(s) copied, {self.present} already present"
+        )
+
+
+def sync_backends(
+    source_uri: str, dest_uri: str, member: str = DEFAULT_MEMBER
+) -> SyncReport:
+    """Copy every record the destination is missing, content-address-deduped.
+
+    ``member`` is the writer name copied records land under at the
+    destination (default ``points``).  The destination side stays cheap: its
+    key set comes from the keys-only :func:`scan_backend` view, and the
+    backend itself is opened lazily, only once the first record actually
+    needs copying — so a fully up-to-date push/pull never pays a full
+    destination load (for ``dir://`` that is the difference between a scan
+    and reconstructing every stored metrics record).  The key snapshot is
+    taken once up front — concurrent writers racing a sync at worst cause a
+    duplicate ``put_record``, which is idempotent like every other commit
+    path.  The source *is* opened in full (``records()`` needs the stored
+    provenance, which keys-only scans deliberately skip).
+    """
+    existing = scan_backend(dest_uri).keys
+    source = open_backend(source_uri, member=member)
+    dest = None
+    try:
+        seen = set()
+        copied = present = 0
+        for key, record in source.records():
+            if key in seen:
+                continue  # duplicate members of one key are bit-identical
+            seen.add(key)
+            if key in existing:
+                present += 1
+                continue
+            if dest is None:
+                dest = open_backend(dest_uri, member=member)
+            dest.put_record(record)
+            copied += 1
+    finally:
+        if dest is not None:
+            dest.close()
+        source.close()
+    return SyncReport(
+        source=source_uri, destination=dest_uri, copied=copied, present=present
+    )

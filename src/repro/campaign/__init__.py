@@ -7,9 +7,15 @@ content-addressed simulation points instead of one monolithic in-process run
 * every completed ``(config, seed) -> NetworkMetrics`` record is committed —
   as it finishes, not at batch boundaries — to a pluggable
   :mod:`repro.backends` result backend (``dir://`` JSONL members,
-  ``sqlite://`` single-file, ``mem://`` ephemeral), keyed by the same
+  ``sqlite://`` single-file, ``obj://``/``s3://`` object stores shared
+  across hosts, ``mem://`` ephemeral), keyed by the same
   :func:`repro.sim.config.config_hash` content-address the in-memory
   :class:`~repro.sim.parallel.SweepPointCache` uses;
+* :func:`~repro.campaign.runner.push_campaign` /
+  :func:`~repro.campaign.runner.pull_campaign` copy records between the
+  campaign's backend and any other backend URI with content-address dedup,
+  so shards run on different hosts against local stores reconcile through a
+  shared store and ``merge`` anywhere sees the union;
 * :class:`~repro.campaign.plan.CampaignPlan` enumerates every (point,
   replication) of a sweep or figure experiment as shardable work units in a
   ``campaign.json`` manifest (which also pins the chosen backend URI);
@@ -29,6 +35,8 @@ from repro.campaign.runner import (
     CampaignStatus,
     campaign_status,
     merge_campaign,
+    pull_campaign,
+    push_campaign,
     resolve_campaign_backend,
     run_campaign,
 )
@@ -55,6 +63,8 @@ __all__ = [
     "merge_campaign",
     "metrics_from_dict",
     "metrics_to_dict",
+    "pull_campaign",
+    "push_campaign",
     "resolve_campaign_backend",
     "run_campaign",
     "shard_member_name",

@@ -14,7 +14,14 @@ The lifecycle over one campaign directory (manifest + result backend):
   single-shot run with the same base seed (any unit still missing is
   simulated on the spot and reported);
 * :func:`campaign_status` summarises plan-vs-store completion per backend
-  member, for humans (table) and CI dashboards (``--json``).
+  member, for humans (table) and CI dashboards (``--json``);
+* :func:`push_campaign` / :func:`pull_campaign` reconcile the campaign's
+  backend with any other backend URI by copying framed records with
+  content-address dedup (:func:`repro.backends.sync.sync_backends`) — the
+  cross-host half of the lifecycle: hosts that ran shards into local stores
+  push them to a shared ``obj://``/``s3://`` store (or pull a colleague's
+  records in), and a later ``merge`` anywhere sees the union, bit-identical
+  to a single-shot run.
 
 Which backend a campaign uses is resolved in one place
 (:func:`resolve_campaign_backend`): an explicit argument/flag wins, then the
@@ -31,6 +38,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.tables import series_table
 from repro.backends.registry import DEFAULT_MEMBER, open_backend, scan_backend
+from repro.backends.sync import SyncReport, sync_backends
 from repro.campaign.plan import CampaignPlan, check_campaign_backend
 from repro.campaign.serialize import config_from_dict
 from repro.campaign.store import shard_member_name
@@ -44,6 +52,8 @@ __all__ = [
     "CampaignStatus",
     "campaign_status",
     "merge_campaign",
+    "pull_campaign",
+    "push_campaign",
     "resolve_campaign_backend",
     "run_campaign",
 ]
@@ -280,6 +290,39 @@ def merge_campaign(directory, jobs: int = 1, backend: Optional[str] = None) -> C
         reused=reused,
         simulated=simulated,
         backend=uri,
+    )
+
+
+def _campaign_local_backend(directory, backend: Optional[str]) -> str:
+    """The campaign's own backend URI, resolved through the cheap manifest
+    path (push/pull move records; they never need reconstructed configs)."""
+    _, _, recorded = CampaignPlan.load_keys(directory)
+    return resolve_campaign_backend(directory, backend, recorded)
+
+
+def push_campaign(directory, to: str, backend: Optional[str] = None) -> SyncReport:
+    """Copy this campaign's records *to* another backend URI.
+
+    ``to`` is any registered backend URI (typically a shared ``obj://`` or
+    ``s3://`` store another host will pull from or merge against); the
+    source is the campaign's own backend (``backend`` overrides it exactly
+    as it does for ``run``/``merge``/``status``).  Content-address dedup
+    makes a push idempotent: re-pushing copies nothing.
+    """
+    return sync_backends(
+        _campaign_local_backend(directory, backend), check_campaign_backend(to)
+    )
+
+
+def pull_campaign(directory, from_uri: str, backend: Optional[str] = None) -> SyncReport:
+    """Copy records *from* another backend URI into this campaign's backend.
+
+    The mirror of :func:`push_campaign`: after pulling the stores another
+    host pushed, ``status`` counts their units complete and ``merge``
+    assembles the union without simulating them.
+    """
+    return sync_backends(
+        check_campaign_backend(from_uri), _campaign_local_backend(directory, backend)
     )
 
 

@@ -6,8 +6,8 @@ Exposes the most common workflows without writing Python:
 * ``python -m repro sweep`` — run a latency-vs-load sweep and print the curve;
 * ``python -m repro experiment`` — regenerate one of the paper's figures;
 * ``python -m repro regions`` — render the fault-region shapes of Fig. 1;
-* ``python -m repro campaign`` — plan / run / merge / status of disk-backed,
-  shardable, resumable experiment campaigns.
+* ``python -m repro campaign`` — plan / run / merge / status / push / pull of
+  backend-stored, shardable, resumable (and cross-host) experiment campaigns.
 
 The CLI is a thin veneer over the public library API (``repro.SimulationConfig``
 / ``repro.run_simulation`` / ``repro.experiments`` / ``repro.campaign``);
@@ -29,6 +29,8 @@ from repro.campaign import (
     SIMULATING_FIGURES,
     campaign_status,
     merge_campaign,
+    pull_campaign,
+    push_campaign,
     run_campaign,
 )
 from repro.errors import ConfigurationError
@@ -115,10 +117,11 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         default=None,
         help=(
-            "result backend URI shared across invocations — mem://, dir://PATH "
-            "or sqlite://PATH (default: --cache-dir if given, then the "
-            "REPRO_BACKEND environment variable, then REPRO_CACHE_DIR); "
-            "already-simulated points are reused instead of re-run"
+            "result backend URI shared across invocations — mem://, dir://PATH, "
+            "sqlite://PATH, obj://PATH or s3://BUCKET/PREFIX (default: "
+            "--cache-dir if given, then the REPRO_BACKEND environment "
+            "variable, then REPRO_CACHE_DIR); already-simulated points are "
+            "reused instead of re-run"
         ),
     )
 
@@ -185,17 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Lifecycle: 'plan' writes a campaign.json manifest enumerating every "
             "(point, replication) work unit; 'run' executes (a shard of) the "
-            "pending units against the campaign's disk store, resuming past work "
-            "automatically; 'merge' reassembles the published series from the "
-            "store; 'status' reports completion."
+            "pending units against the campaign's result backend, resuming past "
+            "work automatically; 'merge' reassembles the published series from "
+            "the store; 'status' reports completion; 'push'/'pull' copy records "
+            "to/from another backend (content-address-deduped), so shards run "
+            "on different hosts reconcile through a shared obj:// or s3:// "
+            "store."
         ),
     )
     csub = campaign.add_subparsers(dest="campaign_command", required=True)
 
     backend_help = (
-        "result backend URI: mem://, dir://PATH or sqlite://PATH "
-        "(default: the URI recorded in the manifest at plan time, then "
-        "REPRO_BACKEND, then the campaign directory's own dir:// store)"
+        "result backend URI: mem://, dir://PATH, sqlite://PATH, obj://PATH "
+        "or s3://BUCKET/PREFIX (default: the URI recorded in the manifest "
+        "at plan time, then REPRO_BACKEND, then the campaign directory's "
+        "own dir:// store)"
     )
 
     plan = csub.add_parser("plan", help="enumerate a campaign's work units")
@@ -267,6 +274,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print machine-readable JSON instead of the table (CI dashboards)",
     )
+
+    push = csub.add_parser(
+        "push", help="copy this campaign's records to another backend"
+    )
+    push.add_argument("--dir", required=True, help="campaign directory")
+    push.add_argument(
+        "--to", required=True,
+        help=(
+            "destination backend URI, e.g. obj:///mnt/shared/fig3 or "
+            "s3://bucket/campaigns/fig3; records the destination already "
+            "holds are skipped (content-address dedup), so a push is "
+            "idempotent"
+        ),
+    )
+    push.add_argument("--backend", default=None, help=backend_help)
+
+    pull = csub.add_parser(
+        "pull", help="copy records from another backend into this campaign's"
+    )
+    pull.add_argument("--dir", required=True, help="campaign directory")
+    pull.add_argument(
+        "--from", dest="from_uri", required=True,
+        help=(
+            "source backend URI another host pushed to (any registered "
+            "scheme); after the pull, status counts its units complete and "
+            "merge assembles the union without simulating them"
+        ),
+    )
+    pull.add_argument("--backend", default=None, help=backend_help)
 
     return parser
 
@@ -436,11 +472,23 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0 if status.complete else 1
 
 
+def _cmd_campaign_push(args: argparse.Namespace) -> int:
+    print(push_campaign(args.dir, to=args.to, backend=args.backend).describe())
+    return 0
+
+
+def _cmd_campaign_pull(args: argparse.Namespace) -> int:
+    print(pull_campaign(args.dir, from_uri=args.from_uri, backend=args.backend).describe())
+    return 0
+
+
 _CAMPAIGN_COMMANDS = {
     "plan": _cmd_campaign_plan,
     "run": _cmd_campaign_run,
     "merge": _cmd_campaign_merge,
     "status": _cmd_campaign_status,
+    "push": _cmd_campaign_push,
+    "pull": _cmd_campaign_pull,
 }
 
 _COMMANDS = {

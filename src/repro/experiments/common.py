@@ -17,7 +17,8 @@ scaled-down version by default and exposes one knob to scale back up:
   job count, only the wall-clock time changes;
 * the environment variable ``REPRO_BACKEND`` (or the ``backend=`` argument,
   which takes precedence) backs every sweep with the result backend that URI
-  names — ``dir://<path>``, ``sqlite://<path>`` or ``mem://`` — so repeated
+  names — ``dir://<path>``, ``sqlite://<path>``, ``obj://<path>``,
+  ``s3://<bucket>/<prefix>`` or ``mem://`` — so repeated
   ``python -m repro experiment`` invocations — and the sweep points shared
   between figures — reuse already-simulated points across processes;
   ``REPRO_CACHE_DIR`` / ``cache_dir=`` remain as shorthand for the

@@ -12,7 +12,7 @@ saturates later than deterministic routing).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.analysis.tables import series_table
 from repro.experiments.common import ExperimentScale, get_scale, rate_grid, resolve_executor

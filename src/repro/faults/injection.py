@@ -8,7 +8,7 @@ healthy network stays connected, exactly mirroring the paper's setup.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 import numpy as np
 

@@ -20,7 +20,7 @@ T with 10, + with 16, L with 9, U with 8) are available from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 from repro.faults.model import FaultSet
 from repro.topology.base import Topology

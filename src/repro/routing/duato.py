@@ -20,14 +20,12 @@ from __future__ import annotations
 from typing import List
 
 from repro.routing.base import (
-    ADAPTIVE_MODE,
     DETERMINISTIC_MODE,
     OutputCandidate,
     RoutingAlgorithm,
     RoutingDecision,
     RoutingHeader,
 )
-from repro.routing.dimension_order import DimensionOrderRouting
 from repro.topology.channels import MINUS, PLUS, port_index
 
 __all__ = ["DuatoRouting"]

@@ -14,7 +14,7 @@ messages exchanged between healthy nodes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable, Optional, Sequence
+from typing import FrozenSet, Iterable, Optional
 
 import numpy as np
 
@@ -162,6 +162,11 @@ class HotspotPattern(DestinationPattern):
     def hotspot(self) -> int:
         """The hotspot node id."""
         return self._hotspot
+
+    @property
+    def fraction(self) -> float:
+        """Probability that a message targets the hotspot."""
+        return self._fraction
 
     def _candidate(self, source: int, rng: np.random.Generator) -> int:
         if rng.random() < self._fraction:

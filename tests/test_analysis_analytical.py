@@ -9,7 +9,6 @@ import pytest
 from repro.analysis.analytical import AnalyticalLatencyModel
 from repro.analysis.saturation import zero_load_latency
 from repro.faults.model import FaultSet
-from repro.topology.torus import TorusTopology
 
 
 @pytest.fixture

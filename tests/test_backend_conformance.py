@@ -1,32 +1,42 @@
-"""One shared contract, three backends.
+"""One shared contract, five backends.
 
-Every test in this module runs identically against ``mem://``, ``dir://``
-and ``sqlite://`` — the acceptance criterion of the pluggable-backend work.
-The parametrized ``backend`` fixture hands each test a *location* (a URI)
-plus open/scan helpers, so "reopen the backend" means whatever persistence
-the backend actually offers: a fresh directory/database handle for the
-persistent pair, the shared named instance for ``mem://``.
+Every test in this module runs identically against ``mem://``, ``dir://``,
+``sqlite://``, ``obj://`` and (client-stubbed) ``s3://`` — the acceptance
+criterion of the pluggable-backend work.  The parametrized ``backend``
+fixture hands each test a *location* (a URI) plus open/scan helpers, so
+"reopen the backend" means whatever persistence the backend actually offers:
+a fresh directory/database/object-root handle for the persistent members,
+the shared named instance for ``mem://``, the shared in-memory S3 double for
+``s3://``.
 
 Backend-specific durability details (torn JSONL lines, O_APPEND semantics,
-SQLite version stamps) stay in their own suites; this file pins only the
-behaviour all backends must share.
+SQLite version stamps, blob layout and S3 pagination) stay in their own
+suites; the shared classes pin only the behaviour all backends must share.
 """
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
 from repro.backends import (
     BackendScan,
     DirectoryBackend,
+    InMemoryS3Client,
     MemoryBackend,
+    ObjectStoreBackend,
     ResultBackend,
     SQLiteBackend,
     backend_schemes,
     open_backend,
     parse_backend_uri,
+    register_backend,
     scan_backend,
+    set_s3_client_factory,
+    sync_backends,
 )
+from repro.backends import registry as backend_registry
 from repro.errors import ConfigurationError
 from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig, config_hash
@@ -65,7 +75,7 @@ class BackendLocation:
         return scan_backend(self.uri)
 
 
-@pytest.fixture(params=["mem", "dir", "sqlite"])
+@pytest.fixture(params=["mem", "dir", "sqlite", "obj", "s3"])
 def backend(request, tmp_path):
     """A fresh location of each registered backend flavour."""
     if request.param == "mem":
@@ -74,8 +84,19 @@ def backend(request, tmp_path):
         MemoryBackend.discard(name)  # keep the process-wide registry clean
     elif request.param == "dir":
         yield BackendLocation(f"dir://{tmp_path}")
-    else:
+    elif request.param == "sqlite":
         yield BackendLocation(f"sqlite://{tmp_path}/points.sqlite")
+    elif request.param == "obj":
+        yield BackendLocation(f"obj://{tmp_path}/objects")
+    else:
+        # One in-memory S3 double shared by every open of the location, with
+        # a tiny page size so the listing pagination loop really runs.
+        fake = InMemoryS3Client(page_size=2)
+        previous = set_s3_client_factory(lambda: fake)
+        try:
+            yield BackendLocation("s3://conformance-bucket/campaigns/test")
+        finally:
+            set_s3_client_factory(previous)
 
 
 class TestSharedContract:
@@ -214,6 +235,177 @@ class TestRegistry:
         assert MemoryBackend.scheme == "mem"
         assert DirectoryBackend.scheme == "dir"
         assert SQLiteBackend.scheme == "sqlite"
+        assert ObjectStoreBackend.scheme == "obj"
+
+    def test_unknown_scheme_error_enumerates_registered_schemes(self):
+        """The satellite pin: the unknown-scheme error is built from the live
+        registry, so register_backend users (and the obj://'s3:// members)
+        appear in it automatically — and disappear when unregistered."""
+
+        def opener(location, member):
+            raise AssertionError("never opened")
+
+        def scanner(location):
+            raise AssertionError("never scanned")
+
+        register_backend("dummyfs", opener, scanner)
+        try:
+            assert "dummyfs" in backend_schemes()
+            with pytest.raises(ConfigurationError) as err:
+                parse_backend_uri("nope://somewhere")
+            for scheme in ("mem", "dir", "sqlite", "obj", "s3", "dummyfs"):
+                assert scheme in str(err.value)
+        finally:
+            backend_registry._SCHEMES.pop("dummyfs", None)
+        with pytest.raises(ConfigurationError) as err:
+            parse_backend_uri("nope://somewhere")
+        assert "dummyfs" not in str(err.value)
+
+
+class TestRecordSync:
+    """The sync face of the shared contract: records()/put_record round
+    trips and cross-store copying with content-address dedup — against every
+    backend flavour."""
+
+    def test_records_are_framed_and_keyed(self, backend, fast_config):
+        store = backend.open()
+        other = fast_config.with_updates(seed=12)
+        store.put(fast_config, run_simulation(fast_config))
+        store.put(other, run_simulation(other))
+        records = dict(store.records())
+        assert set(records) == {config_hash(fast_config), config_hash(other)}
+        for key, record in records.items():
+            assert record["key"] == key
+            assert record["v"] == 1
+            assert "config" in record and "metrics" in record
+            json.dumps(record)  # portable: plain JSON, no live objects
+
+    def test_sync_copies_missing_records_and_dedups(
+        self, backend, fast_config, tmp_path
+    ):
+        store = backend.open()
+        other = fast_config.with_updates(seed=12)
+        store.put(fast_config, run_simulation(fast_config))
+        store.put(other, run_simulation(other))
+        dest_uri = f"dir://{tmp_path / 'sync-dest'}"
+        report = sync_backends(backend.uri, dest_uri)
+        assert (report.copied, report.present) == (2, 0)
+        assert report.total == 2
+        served = open_backend(dest_uri).get(fast_config)
+        assert served.metrics == store.get(fast_config).metrics  # bit-identical
+        again = sync_backends(backend.uri, dest_uri)
+        assert (again.copied, again.present) == (0, 2)  # idempotent re-push
+
+    def test_put_record_rejects_tampered_keys(self, backend, fast_config):
+        source = MemoryBackend()
+        source.put(fast_config, run_simulation(fast_config))
+        ((_, record),) = list(source.records())
+        record["key"] = "0" * 64
+        with pytest.raises(ConfigurationError, match="key function"):
+            backend.open().put_record(record)
+
+    def test_put_record_rejects_incompatible_versions(self, backend):
+        with pytest.raises(ConfigurationError, match="version"):
+            backend.open().put_record({"v": 99, "key": "x", "config": {}, "metrics": {}})
+
+
+class TestObjectStoreSpecifics:
+    """The durability and layout details unique to the object-store family."""
+
+    def test_one_content_addressed_blob_per_record(self, tmp_path, fast_config):
+        store = open_backend(f"obj://{tmp_path}")
+        other = fast_config.with_updates(seed=12)
+        store.put(fast_config, run_simulation(fast_config))
+        store.put(other, run_simulation(other))
+        blobs = sorted(p.relative_to(tmp_path).as_posix() for p in tmp_path.rglob("*.json"))
+        assert blobs == sorted(
+            f"points/{config_hash(c)}.json" for c in (fast_config, other)
+        )
+
+    def test_stray_blobs_are_counted_as_skipped(self, tmp_path, fast_config):
+        store = open_backend(f"obj://{tmp_path}")
+        store.put(fast_config, run_simulation(fast_config))
+        # A crashed writer's temp file and a foreign nested object: both are
+        # reported, neither is served — the blob analogue of torn lines.
+        (tmp_path / "points" / "deadbeef.json.tmp-1234").write_bytes(b"{half a rec")
+        (tmp_path / "points" / "nested").mkdir()
+        (tmp_path / "points" / "nested" / "foreign.json").write_bytes(b"{}")
+        reopened = open_backend(f"obj://{tmp_path}")
+        assert len(reopened) == 1
+        assert reopened.skipped_records == 2
+        assert scan_backend(f"obj://{tmp_path}").skipped_records == 2
+
+    def test_version_mismatch_is_loud(self, tmp_path, fast_config):
+        store = open_backend(f"obj://{tmp_path}")
+        store.put(fast_config, run_simulation(fast_config))
+        (path,) = tmp_path.rglob("*.json")
+        record = json.loads(path.read_text())
+        record["v"] = 99
+        path.write_text(json.dumps(record))
+        with pytest.raises(ConfigurationError, match="version"):
+            open_backend(f"obj://{tmp_path}").get(fast_config)
+
+    def test_hand_renamed_blob_is_loud(self, tmp_path, fast_config):
+        store = open_backend(f"obj://{tmp_path}")
+        store.put(fast_config, run_simulation(fast_config))
+        (path,) = tmp_path.rglob("*.json")
+        path.rename(path.with_name(f"{'0' * 64}.json"))
+        with pytest.raises(ConfigurationError, match="content-addressed"):
+            list(open_backend(f"obj://{tmp_path}").records())
+
+    def test_local_put_blob_is_idempotent_first_write_wins(self, tmp_path):
+        from repro.backends import LocalObjectClient
+
+        client = LocalObjectClient(tmp_path)
+        client.put_blob("m/a.json", b"first")
+        client.put_blob("m/a.json", b"second")  # records are bit-identical;
+        assert client.get_blob("m/a.json") == b"first"  # no rewrite happens
+
+    def test_scan_of_missing_root_is_empty_and_creates_nothing(self, tmp_path):
+        root = tmp_path / "never-created"
+        scan = scan_backend(f"obj://{root}")
+        assert scan.keys == frozenset() and scan.members == []
+        assert not root.exists()
+
+    def test_s3_listing_paginates(self):
+        from repro.backends import S3BlobClient
+
+        fake = InMemoryS3Client(page_size=2)
+        client = S3BlobClient("bucket", "pre/fix", fake)
+        for i in range(5):
+            client.put_blob(f"points/{i:064d}.json", b"{}")
+        assert len(list(client.list_prefix(""))) == 5  # 3 pages walked
+
+    def test_s3_location_requires_a_bucket(self):
+        with pytest.raises(ConfigurationError, match="bucket"):
+            open_backend("s3:///prefix-only")
+
+    def test_s3_missing_blob_errors_translate_to_keyerror(self):
+        """Real boto3 signals a missing object with botocore ClientError /
+        NoSuchKey, never KeyError; the client must translate so the
+        BlobClient contract holds with an SDK exactly as with the stub."""
+        from repro.backends import S3BlobClient
+
+        class FakeClientError(Exception):  # botocore.ClientError's shape
+            def __init__(self, code):
+                super().__init__(code)
+                self.response = {"Error": {"Code": code}}
+
+        class SdkStyleClient:
+            def get_object(self, Bucket, Key):
+                raise FakeClientError("NoSuchKey")
+
+        client = S3BlobClient("bucket", "pre", SdkStyleClient())
+        with pytest.raises(KeyError):
+            client.get_blob("points/missing.json")
+
+        class BrokenClient:
+            def get_object(self, Bucket, Key):
+                raise FakeClientError("AccessDenied")
+
+        broken = S3BlobClient("bucket", "pre", BrokenClient())
+        with pytest.raises(FakeClientError):  # non-missing errors propagate
+            broken.get_blob("points/missing.json")
 
 
 class TestSQLiteSpecifics:

@@ -440,12 +440,14 @@ class TestBackendLifecycle:
     bits on every registered backend, and the streaming runner's commits are
     durable at event granularity."""
 
-    @pytest.fixture(params=["dir", "sqlite", "mem"])
+    @pytest.fixture(params=["dir", "sqlite", "obj", "mem"])
     def backend_uri(self, request, tmp_path):
         if request.param == "dir":
             yield f"dir://{tmp_path / 'store'}"
         elif request.param == "sqlite":
             yield f"sqlite://{tmp_path / 'points.sqlite'}"
+        elif request.param == "obj":
+            yield f"obj://{tmp_path / 'objects'}"
         else:
             from repro.backends import MemoryBackend
 
@@ -555,6 +557,101 @@ class TestBackendLifecycle:
         )
         monkeypatch.delenv("REPRO_BACKEND")
         assert resolve_campaign_backend(tmp_path) == f"dir://{tmp_path}"
+
+
+class TestCrossHostSync:
+    """The PR-5 acceptance pins: concurrently run shards on different
+    "hosts" converge in a shared object store, and per-host stores
+    reconciled by interleaved push/pull merge bit-identically to a
+    single-shot :class:`SweepExecutor` run."""
+
+    def _direct(self, fast_config):
+        return SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, RATES, label="cross-host", stop_after_saturation=0
+        )
+
+    def _assert_bit_identical(self, merged, direct):
+        sweep = merged.results
+        assert sweep.rates == direct.rates
+        assert sweep.latency_mean == direct.latency_mean
+        assert sweep.latency_ci == direct.latency_ci
+        assert sweep.throughput_mean == direct.throughput_mean
+        assert sweep.throughput_ci == direct.throughput_ci
+        assert sweep.saturated == direct.saturated
+        merged_metrics = [r.metrics for point in sweep.results for r in point]
+        direct_metrics = [r.metrics for point in direct.results for r in point]
+        assert merged_metrics == direct_metrics
+
+    def test_shared_object_store_across_hosts_is_bit_identical(
+        self, tmp_path, fast_config
+    ):
+        """Two hosts (distinct campaign-directory copies) stream their
+        shards into one shared obj:// store; merge on either host equals a
+        single-shot run, bit for bit."""
+        shared = f"obj://{tmp_path / 'shared-store'}"
+        plan = CampaignPlan.from_injection_sweep(
+            fast_config, RATES, replications=2, label="cross-host", backend=shared
+        )
+        host_a, host_b = tmp_path / "host-a", tmp_path / "host-b"
+        plan.save(host_a)
+        plan.save(host_b)  # each host carries its own manifest copy
+
+        first = run_campaign(host_a, shard=ShardSpec.parse("1/2"))
+        second = run_campaign(host_b, shard=ShardSpec.parse("2/2"))
+        assert first.backend == second.backend == shared
+        assert first.simulated == first.shard_units
+        assert second.simulated == second.shard_units
+
+        # Either host observes the converged store and merges identically.
+        assert campaign_status(host_a).complete
+        assert campaign_status(host_b).complete
+        for host in (host_a, host_b):
+            merged = merge_campaign(host)
+            assert merged.simulated == 0
+            self._assert_bit_identical(merged, self._direct(fast_config))
+
+    def test_interleaved_push_pull_between_two_stores_is_bit_identical(
+        self, tmp_path, fast_config
+    ):
+        """Each host runs its shard against its *own* store; interleaved
+        push/pull reconciles the two with content-address dedup, and merge
+        against either store equals a single-shot run, bit for bit."""
+        from repro.campaign import pull_campaign, push_campaign
+
+        store_a = f"obj://{tmp_path / 'store-a'}"
+        store_b = f"obj://{tmp_path / 'store-b'}"
+        campaign = tmp_path / "campaign"
+        CampaignPlan.from_injection_sweep(
+            fast_config, RATES, replications=2, label="cross-host",
+            backend=store_a,
+        ).save(campaign)
+
+        first = run_campaign(campaign, shard=ShardSpec.parse("1/2"))
+        pushed = push_campaign(campaign, to=store_b)
+        assert (pushed.copied, pushed.present) == (first.simulated, 0)
+
+        # Host B runs its shard against its own store (which already holds
+        # host A's pushed records) ...
+        second = run_campaign(campaign, shard=ShardSpec.parse("2/2"), backend=store_b)
+        assert second.simulated == second.shard_units
+        assert campaign_status(campaign, backend=store_b).complete
+
+        # ... and host A pulls the union back: only B's new units copy.
+        pulled = pull_campaign(campaign, from_uri=store_b)
+        assert (pulled.copied, pulled.present) == (second.simulated, first.simulated)
+        from repro.backends import scan_backend
+
+        assert scan_backend(store_a).keys == scan_backend(store_b).keys
+
+        direct = self._direct(fast_config)
+        for backend in (None, store_b):  # the recorded store and the pulled-from one
+            merged = merge_campaign(campaign, backend=backend)
+            assert merged.simulated == 0
+            self._assert_bit_identical(merged, direct)
+
+        # A second push round-trips nothing: both stores hold every record.
+        assert push_campaign(campaign, to=store_b).copied == 0
+        assert pull_campaign(campaign, from_uri=store_b).copied == 0
 
 
 class TestSharedCacheWiring:
@@ -697,3 +794,32 @@ class TestCampaignCli:
         code = main(self._plan_args(tmp_path) + ["--backend", "nope://x"])
         assert code == 2
         assert "scheme" in capsys.readouterr().err
+
+    def test_push_pull_lifecycle_via_cli(self, tmp_path, capsys):
+        campaign = tmp_path / "campaign"
+        mirror = f"obj://{tmp_path / 'mirror'}"
+        assert main(self._plan_args(campaign)) == 0
+        assert main(["campaign", "run", "--dir", str(campaign)]) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "push", "--dir", str(campaign), "--to", mirror]) == 0
+        out = capsys.readouterr().out
+        assert "4 record(s) copied" in out and mirror in out
+        # The mirror alone now completes the campaign (another host's view).
+        assert main(
+            ["campaign", "status", "--dir", str(campaign), "--backend", mirror]
+        ) == 0
+        capsys.readouterr()
+
+        # Pulling back is pure dedup: nothing copies.
+        assert main(
+            ["campaign", "pull", "--dir", str(campaign), "--from", mirror]
+        ) == 0
+        assert "0 record(s) copied, 4 already present" in capsys.readouterr().out
+
+    def test_push_to_anonymous_mem_backend_is_actionable(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        capsys.readouterr()
+        code = main(["campaign", "push", "--dir", str(tmp_path), "--to", "mem://"])
+        assert code == 2
+        assert "mem://<name>" in capsys.readouterr().err

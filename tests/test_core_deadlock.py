@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 
 from repro.core.deadlock import (
     build_channel_dependency_graph,

@@ -9,7 +9,7 @@ from repro.core.swbased_nd import SoftwareBasedRouting, SWBased2DRouting
 from repro.errors import ConfigurationError
 from repro.faults.model import FaultSet
 from repro.routing.base import ADAPTIVE_MODE, DETERMINISTIC_MODE
-from repro.topology.channels import MINUS, PLUS, port_dimension
+from repro.topology.channels import MINUS, port_dimension
 from repro.topology.torus import TorusTopology
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.faults.dynamic import DynamicFaultProcess
-from repro.topology.torus import TorusTopology
 
 
 @pytest.fixture

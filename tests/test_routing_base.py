@@ -6,7 +6,6 @@ import pytest
 
 from repro.faults.model import FaultSet
 from repro.routing.base import (
-    ADAPTIVE_MODE,
     DETERMINISTIC_MODE,
     OutputCandidate,
     RoutingDecision,
@@ -16,7 +15,6 @@ from repro.routing.base import (
 )
 from repro.routing.dimension_order import DimensionOrderRouting
 from repro.topology.channels import MINUS, PLUS
-from repro.topology.torus import TorusTopology
 
 
 class TestRoutingHeader:

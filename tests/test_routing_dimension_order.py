@@ -7,7 +7,6 @@ import pytest
 from repro.faults.model import FaultSet
 from repro.routing.dimension_order import DimensionOrderRouting
 from repro.topology.channels import MINUS, PLUS, port_dimension, port_direction
-from repro.topology.torus import TorusTopology
 
 
 @pytest.fixture

@@ -33,7 +33,6 @@ from repro.sim.config import (
 from repro.sim.parallel import ShardSpec, SweepExecutor
 from repro.sim.runner import run_simulation
 from repro.sim.sweep import fault_count_sweep, injection_rate_sweep
-from repro.topology.torus import TorusTopology
 
 
 @pytest.fixture

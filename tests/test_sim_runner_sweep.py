@@ -9,7 +9,6 @@ from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import SimulationResult, build_engine, run_simulation
 from repro.sim.sweep import fault_count_sweep, injection_rate_sweep, latency_throughput_curve
-from repro.topology.torus import TorusTopology
 
 
 @pytest.fixture

@@ -112,6 +112,67 @@ class TestFactory:
         with pytest.raises(ValueError):
             make_pattern("butterfly", torus_8x8)
 
+    def test_unknown_name_error_enumerates_every_pattern_including_hotspot(
+        self, torus_8x8
+    ):
+        # The error builds sorted(_PATTERNS) + ['hotspot']: hotspot is
+        # special-cased (it needs a node-id keyword), but it must still be
+        # advertised as a known name.
+        with pytest.raises(ValueError, match="unknown traffic pattern") as err:
+            make_pattern("butterfly", torus_8x8)
+        message = str(err.value)
+        assert "'butterfly'" in message
+        for name in (
+            "bit-complement", "bit-reversal", "hotspot", "nearest-neighbor",
+            "transpose", "uniform",
+        ):
+            assert f"'{name}'" in message
+        # The registry names are sorted, with hotspot appended last.
+        names = message.split("known: ", 1)[1]
+        assert names == str(
+            sorted(
+                ["uniform", "transpose", "bit-complement", "bit-reversal",
+                 "nearest-neighbor"]
+            )
+            + ["hotspot"]
+        )
+
+    def test_names_are_case_insensitive(self, torus_8x8):
+        assert isinstance(make_pattern("UNIFORM", torus_8x8), UniformPattern)
+        assert isinstance(
+            make_pattern("HotSpot", torus_8x8, hotspot=3), HotspotPattern
+        )
+
+    def test_hotspot_fraction_is_forwarded_and_defaulted(self, torus_8x8):
+        assert make_pattern("hotspot", torus_8x8, hotspot=3).fraction == 0.1
+        custom = make_pattern("hotspot", torus_8x8, hotspot=3, fraction=0.25)
+        assert custom.fraction == 0.25
+        assert custom.hotspot == 3
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.0001])
+    def test_hotspot_fraction_bounds_apply_through_the_factory(
+        self, torus_8x8, fraction
+    ):
+        with pytest.raises(ValueError, match="fraction"):
+            make_pattern("hotspot", torus_8x8, hotspot=0, fraction=fraction)
+
+    def test_hotspot_requires_the_node_id_keyword(self, torus_8x8):
+        with pytest.raises(TypeError):
+            make_pattern("hotspot", torus_8x8)
+
+    def test_non_hotspot_patterns_reject_hotspot_keywords(self, torus_8x8):
+        # kwargs are forwarded verbatim, so a hotspot-only keyword on a
+        # registry pattern fails loudly instead of being swallowed.
+        with pytest.raises(TypeError):
+            make_pattern("uniform", torus_8x8, fraction=0.2)
+
+    def test_hotspot_excluded_is_forwarded(self, torus_8x8, rng):
+        pattern = make_pattern("hotspot", torus_8x8, hotspot=3, excluded={3})
+        assert pattern.excluded == frozenset({3})
+        # The hotspot itself being excluded falls back to uniform picks.
+        for _ in range(50):
+            assert pattern.pick(0, rng) != 3
+
     def test_excluded_is_forwarded(self, torus_8x8):
         pattern = make_pattern("uniform", torus_8x8, excluded={5})
         assert 5 in pattern.excluded
