@@ -13,15 +13,15 @@ NetworkMetrics` a finished simulation produced.  The contract has two faces:
   backend (the single implementation of that rebind lives here, in
   :meth:`ResultBackend.serve`);
 * the **campaign face** (``__contains__`` over keys, ``keys()``,
-  ``members()``) that the campaign lifecycle uses for resume decisions and
-  status reports;
+  ``members()``, ``delete_keys()``) that the campaign lifecycle uses for
+  resume decisions, status reports and garbage collection;
 * the **sync face** (``records()`` / ``put_record``) that cross-store
   copying (:func:`repro.backends.sync.sync_backends`, the CLI's ``campaign
   push`` / ``pull``) uses to move framed records between any two backends
   with content-address dedup.
 
 Concrete backends implement only the storage primitives ``_lookup`` /
-``_commit`` / ``records`` plus the introspection methods; all shared
+``_commit`` / ``_discard`` / ``records`` plus the introspection methods; all shared
 semantics — counter accounting, idempotent puts, detach-on-serve,
 verify-on-sync — live here so the backends cannot drift apart.
 """
@@ -207,6 +207,29 @@ class ResultBackend(ABC):
     @abstractmethod
     def members(self) -> List[Tuple[str, int]]:
         """``(writer/member name, record count)`` pairs, sorted by name."""
+
+    def delete_keys(self, keys) -> int:
+        """Remove every stored record whose key is in ``keys``.
+
+        The destructive member of the campaign face, driven by ``campaign
+        gc``.  Keys that are not stored are ignored, so callers can pass a
+        computed set without pre-filtering.  Returns the number of stored
+        keys actually removed (duplicate copies of one key — e.g. the same
+        record in two directory member files — count once and are all
+        removed).
+        """
+        doomed = frozenset(keys) & self.keys()
+        if doomed:
+            self._discard(doomed)
+        return len(doomed)
+
+    @abstractmethod
+    def _discard(self, keys: FrozenSet) -> None:
+        """Durably remove the records of ``keys`` (all currently stored).
+
+        The storage primitive behind :meth:`delete_keys`, which owns the
+        which-keys-exist accounting; implementations only translate removal
+        into their storage layer."""
 
     def close(self) -> None:
         """Release any held resources (file handles, connections).  Safe to

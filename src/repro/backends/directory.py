@@ -217,6 +217,41 @@ class DirectoryBackend(ResultBackend):
         name = self._member_path.name
         self._member_counts[name] = self._member_counts.get(name, 0) + 1
 
+    def _discard(self, keys: FrozenSet[str]) -> None:
+        # The layout is append-only JSONL, so removal is a rewrite of every
+        # member file that holds a doomed record (untouched files are left
+        # byte-identical).  Each rewrite is atomic (temp file + os.replace),
+        # so a kill mid-gc leaves every member either fully old or fully
+        # new — never torn.  A member whose records are all removed is
+        # deleted outright, matching a directory that never had the file;
+        # torn lines in a rewritten member are dropped with it (they carry
+        # no reconstructible record to keep).
+        for path in sorted(self.directory.glob("*.jsonl")):
+            kept: List[str] = []
+            changed = False
+            with open(path, "r", encoding="utf-8") as fh:
+                for number, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = self._parse_record(path, number, line)
+                    if record is None:
+                        changed = True
+                        continue
+                    if record.get("key") in keys:
+                        changed = True
+                        continue
+                    kept.append(line)
+            if not changed:
+                continue
+            if kept:
+                tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+                tmp.write_text("\n".join(kept) + "\n", encoding="utf-8")
+                os.replace(tmp, path)
+            else:
+                path.unlink()
+        self.reload()
+
     def records(self) -> Iterator[Tuple[str, dict]]:
         """Every on-disk record, raw, for cross-store sync.
 

@@ -76,6 +76,11 @@ class MemoryBackend(ResultBackend):
             self._index[key] = metrics
             self._configs[key] = config
 
+    def _discard(self, keys: FrozenSet) -> None:
+        for key in keys:
+            self._index.pop(key, None)
+            self._configs.pop(key, None)
+
     def records(self) -> Iterator[tuple]:
         # Framed lazily: serialisation cost is paid by the sync path, never
         # by the executor's put() hot path.

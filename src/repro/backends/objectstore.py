@@ -95,6 +95,10 @@ class BlobClient:
         """Every stored blob path starting with ``prefix``."""
         raise NotImplementedError
 
+    def delete_blob(self, path: str) -> None:
+        """Remove the blob at ``path`` (a no-op when absent)."""
+        raise NotImplementedError
+
 
 class LocalObjectClient(BlobClient):
     """The object layout on a local filesystem (the ``obj://`` scheme).
@@ -132,6 +136,12 @@ class LocalObjectClient(BlobClient):
             for name in filenames:
                 full = Path(dirpath) / name
                 yield full.relative_to(self.root).as_posix()
+
+    def delete_blob(self, path: str) -> None:
+        try:
+            (self.root / path).unlink()
+        except FileNotFoundError:
+            pass  # idempotent: a concurrent gc already removed it
 
 
 #: Returns a boto3-style S3 client; injectable so tests and boto3-less
@@ -236,6 +246,11 @@ class S3BlobClient(BlobClient):
                 return
             kwargs["ContinuationToken"] = page["NextContinuationToken"]
 
+    def delete_blob(self, path: str) -> None:
+        # An S3 DELETE of an absent key already succeeds, matching the
+        # protocol's no-op-when-absent contract without a pre-check.
+        self._client.delete_object(Bucket=self.bucket, Key=self._object_key(path))
+
 
 class InMemoryS3Client:
     """An in-memory double of the boto3 S3 surface :class:`S3BlobClient` uses.
@@ -262,6 +277,10 @@ class InMemoryS3Client:
         except KeyError:
             raise KeyError(f"s3://{Bucket}/{Key}") from None
         return {"Body": io.BytesIO(data)}
+
+    def delete_object(self, Bucket: str, Key: str) -> dict:
+        self._buckets.get(Bucket, {}).pop(Key, None)  # absent keys succeed, like S3
+        return {}
 
     def list_objects_v2(
         self,
@@ -407,6 +426,18 @@ class ObjectStoreBackend(ResultBackend):
         self._client.put_blob(path, data)
         self._paths[key] = path
         self._member_counts[self.member] = self._member_counts.get(self.member, 0) + 1
+
+    def _discard(self, keys: FrozenSet[str]) -> None:
+        # Re-lists rather than trusting the index: one key can be stored
+        # under several member prefixes (shards that raced on a unit), and
+        # the index keeps only the first path — a gc must remove every copy.
+        for path in sorted(self._client.list_prefix("")):
+            _, _, blob = path.partition("/")
+            if not blob or "/" in blob or not blob.endswith(_BLOB_SUFFIX):
+                continue
+            if blob[: -len(_BLOB_SUFFIX)] in keys:
+                self._client.delete_blob(path)
+        self.reload()
 
     def records(self) -> Iterator[Tuple[str, dict]]:
         """Every stored record (one GET per blob), for cross-store sync."""

@@ -153,6 +153,18 @@ class SQLiteBackend(ResultBackend):
             ),
         )
 
+    def _discard(self, keys: FrozenSet[str]) -> None:
+        # Chunked to stay well under SQLite's bound-parameter limit; each
+        # DELETE autocommits, so a kill mid-gc leaves a prefix of the keys
+        # removed — re-running the gc finishes the job.
+        doomed = sorted(keys)
+        for start in range(0, len(doomed), 500):
+            chunk = doomed[start : start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            self._conn.execute(
+                f"DELETE FROM points WHERE key IN ({placeholders})", chunk
+            )
+
     def records(self) -> Iterator[Tuple[str, dict]]:
         """Every stored row re-framed as a portable record, for sync.
 

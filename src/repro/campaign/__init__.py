@@ -30,10 +30,12 @@ The CLI front end is ``python -m repro campaign``.
 
 from repro.campaign.plan import CampaignPlan, CampaignUnit, SIMULATING_FIGURES
 from repro.campaign.runner import (
+    CampaignGC,
     CampaignMerge,
     CampaignRunReport,
     CampaignStatus,
     campaign_status,
+    gc_campaign,
     merge_campaign,
     pull_campaign,
     push_campaign,
@@ -49,6 +51,7 @@ from repro.campaign.serialize import (
 from repro.campaign.store import PointStore, StoreKeyScan, shard_member_name
 
 __all__ = [
+    "CampaignGC",
     "CampaignMerge",
     "CampaignPlan",
     "CampaignRunReport",
@@ -60,6 +63,7 @@ __all__ = [
     "campaign_status",
     "config_from_dict",
     "config_to_dict",
+    "gc_campaign",
     "merge_campaign",
     "metrics_from_dict",
     "metrics_to_dict",

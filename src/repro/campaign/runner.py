@@ -21,7 +21,10 @@ The lifecycle over one campaign directory (manifest + result backend):
   cross-host half of the lifecycle: hosts that ran shards into local stores
   push them to a shared ``obj://``/``s3://`` store (or pull a colleague's
   records in), and a later ``merge`` anywhere sees the union, bit-identical
-  to a single-shot run.
+  to a single-shot run;
+* :func:`gc_campaign` removes stored records the plan's key-set no longer
+  references (the residue of a re-plan or an abandoned campaign sharing the
+  store), so status and disk usage track the current plan.
 
 Which backend a campaign uses is resolved in one place
 (:func:`resolve_campaign_backend`): an explicit argument/flag wins, then the
@@ -47,10 +50,12 @@ from repro.sim.parallel import ShardSpec, SweepExecutor
 from repro.sim.runner import SimulationResult
 
 __all__ = [
+    "CampaignGC",
     "CampaignMerge",
     "CampaignRunReport",
     "CampaignStatus",
     "campaign_status",
+    "gc_campaign",
     "merge_campaign",
     "pull_campaign",
     "push_campaign",
@@ -290,6 +295,66 @@ def merge_campaign(directory, jobs: int = 1, backend: Optional[str] = None) -> C
         reused=reused,
         simulated=simulated,
         backend=uri,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignGC:
+    """What one ``campaign gc`` invocation found (and removed)."""
+
+    directory: str
+    backend: str
+    planned_units: int
+    stored_records: int
+    abandoned: int
+    removed: int
+    dry_run: bool = False
+
+    def describe(self) -> str:
+        if self.dry_run:
+            return (
+                f"{self.abandoned} of {self.stored_records} stored records are "
+                f"abandoned by the plan (dry run; nothing removed) [{self.backend}]"
+            )
+        return (
+            f"removed {self.removed} abandoned records, kept "
+            f"{self.stored_records - self.removed} [{self.backend}]"
+        )
+
+
+def gc_campaign(directory, backend: Optional[str] = None, dry_run: bool = False) -> "CampaignGC":
+    """Remove backend records the campaign plan does not reference.
+
+    A record is *abandoned* when its content-address key is absent from the
+    manifest's unit key-set — typically left behind by a re-plan (different
+    rates, replications or scale hash to different keys) or by an earlier
+    campaign that wrote into the same store.  The gc removes exactly those
+    records, so ``status`` and disk usage reflect the current plan and
+    nothing else.
+
+    The key-set comparison is the only membership test, so the gc deletes
+    records of *any other* campaign sharing the backend: do not gc a shared
+    ``obj://``/``s3://`` store unless this campaign is its sole owner.  With
+    ``dry_run`` the report counts the abandoned records without deleting
+    anything.
+    """
+    _, unit_keys, recorded = CampaignPlan.load_keys(directory)
+    uri = resolve_campaign_backend(directory, backend, recorded)
+    store = open_backend(uri)
+    try:
+        stored = store.keys()
+        abandoned = stored - frozenset(unit_keys)
+        removed = 0 if dry_run else store.delete_keys(abandoned)
+    finally:
+        store.close()
+    return CampaignGC(
+        directory=str(directory),
+        backend=uri,
+        planned_units=len(unit_keys),
+        stored_records=len(stored),
+        abandoned=len(abandoned),
+        removed=removed,
+        dry_run=dry_run,
     )
 
 

@@ -6,8 +6,9 @@ Exposes the most common workflows without writing Python:
 * ``python -m repro sweep`` — run a latency-vs-load sweep and print the curve;
 * ``python -m repro experiment`` — regenerate one of the paper's figures;
 * ``python -m repro regions`` — render the fault-region shapes of Fig. 1;
-* ``python -m repro campaign`` — plan / run / merge / status / push / pull of
-  backend-stored, shardable, resumable (and cross-host) experiment campaigns.
+* ``python -m repro campaign`` — plan / run / merge / status / push / pull /
+  gc of backend-stored, shardable, resumable (and cross-host) experiment
+  campaigns.
 
 The CLI is a thin veneer over the public library API (``repro.SimulationConfig``
 / ``repro.run_simulation`` / ``repro.experiments`` / ``repro.campaign``);
@@ -28,6 +29,7 @@ from repro.campaign import (
     CampaignPlan,
     SIMULATING_FIGURES,
     campaign_status,
+    gc_campaign,
     merge_campaign,
     pull_campaign,
     push_campaign,
@@ -82,6 +84,15 @@ def _add_network_arguments(
         parser.add_argument("--messages", type=int, default=1000, help="measured messages"),
         parser.add_argument(
             "--reinjection-delay", type=int, default=0, help="software re-injection overhead Δ"
+        ),
+        parser.add_argument(
+            "--trace-rerouting",
+            action="store_true",
+            help=(
+                "attach a per-message rerouting trace ring buffer (fault-tolerant "
+                "algorithms only); livelock diagnostics then include the offending "
+                "message's rewrite-by-rewrite trace"
+            ),
         ),
     ]
     return [action.dest for action in actions]
@@ -147,6 +158,7 @@ def _build_config(args: argparse.Namespace, injection_rate: float) -> Simulation
         measure_messages=args.messages,
         reinjection_delay=args.reinjection_delay,
         seed=args.seed,
+        trace_rerouting=args.trace_rerouting,
     )
 
 
@@ -303,6 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     pull.add_argument("--backend", default=None, help=backend_help)
+
+    gc = csub.add_parser(
+        "gc", help="remove stored records the plan does not reference"
+    )
+    gc.add_argument("--dir", required=True, help="campaign directory")
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report how many records are abandoned without deleting anything",
+    )
+    gc.add_argument(
+        "--backend", default=None,
+        help=backend_help + (
+            "; gc removes every record whose key the plan does not list, so "
+            "only gc a store this campaign owns exclusively"
+        ),
+    )
 
     return parser
 
@@ -482,6 +510,11 @@ def _cmd_campaign_pull(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_gc(args: argparse.Namespace) -> int:
+    print(gc_campaign(args.dir, backend=args.backend, dry_run=args.dry_run).describe())
+    return 0
+
+
 _CAMPAIGN_COMMANDS = {
     "plan": _cmd_campaign_plan,
     "run": _cmd_campaign_run,
@@ -489,6 +522,7 @@ _CAMPAIGN_COMMANDS = {
     "status": _cmd_campaign_status,
     "push": _cmd_campaign_push,
     "pull": _cmd_campaign_pull,
+    "gc": _cmd_campaign_gc,
 }
 
 _COMMANDS = {

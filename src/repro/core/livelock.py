@@ -18,10 +18,11 @@ network).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.errors import LivelockError
 from repro.faults.model import FaultSet
+from repro.routing.trace import format_trace
 from repro.topology.base import Topology
 
 __all__ = ["absorption_bound", "LivelockGuard"]
@@ -30,22 +31,38 @@ __all__ = ["absorption_bound", "LivelockGuard"]
 def absorption_bound(topology: Topology, faults: FaultSet, slack: int = 8) -> int:
     """A conservative upper bound on per-message absorptions.
 
-    The bound follows the paper's livelock argument: a message can be absorbed
+    Per *absorption epoch* (one attempt at routing the current target), the
+    bound follows the paper's livelock argument, adjusted for how this
+    implementation counts absorptions:
 
     * at most twice per dimension for same-dimension reversals (once per
       direction), and
-    * at most once per faulty node while stepping orthogonally around the
-      fault regions (a detour makes one hop of progress along the region
-      boundary per absorption, and a region of ``f`` faulty nodes has a
-      boundary of at most ``2n·f`` channels).
+    * at most twice per boundary channel of the fault regions while stepping
+      orthogonally around them — a region of ``f`` faulty nodes has a
+      boundary of at most ``2n·f`` channels, and every detour step costs
+      *two* absorptions here, because arriving at the detour's intermediate
+      target is itself a software absorption (the resume rewrite).
 
-    ``slack`` extra absorptions account for absorptions at intermediate target
-    nodes (which the engine also counts as software deliveries).  The bound is
-    intentionally loose — it is a safety net, not a performance parameter.
+    On fault patterns whose deterministic rewrite sequence cycles, the
+    route-progress invariant in
+    :class:`~repro.core.swbased2d.PlanarRerouter` escalates through its
+    escape ladder, whose final rung restarts the route at a fresh
+    intermediate — opening a new epoch.  Restart intermediates prefer the
+    destination's healthy neighbourhood, of which there are at most ``2n``,
+    so with faults present the epoch bound is multiplied by ``1 + 2n`` (the
+    original approach plus one epoch per destination doorway).  ``slack``
+    covers the remaining odds and ends (escape rewrites, spurious resumes).
+
+    The result is a diagnostic net, not a tight theorem: a genuine livelock
+    recurs indefinitely and blows through any finite bound, while the escape
+    ladder's worst observed convergence stays well inside this one.  It is
+    intentionally loose — a safety net, not a performance parameter.
     """
     n = topology.dimensions
-    region_term = 2 * n * max(1, faults.num_faulty_nodes + faults.num_faulty_links)
-    return 2 * n + region_term + slack
+    num_faults = faults.num_faulty_nodes + faults.num_faulty_links
+    per_epoch = 2 * n + 4 * n * max(1, num_faults)
+    epochs = 1 if num_faults == 0 else 1 + 2 * n
+    return epochs * per_epoch + slack
 
 
 class LivelockGuard:
@@ -86,8 +103,14 @@ class LivelockGuard:
         """Largest absorption count observed so far (for reporting)."""
         return self._worst_seen
 
-    def check(self, message_id: int, absorptions: int) -> None:
+    def check(
+        self, message_id: int, absorptions: int, trace: Iterable = ()
+    ) -> None:
         """Record an absorption and enforce the bound.
+
+        ``trace`` is the offending message's rerouting trace buffer (empty
+        when tracing is disabled); it is embedded in the raised error so the
+        cycling rewrite sequence is visible in the diagnostic.
 
         Raises
         ------
@@ -97,8 +120,18 @@ class LivelockGuard:
         if absorptions > self._worst_seen:
             self._worst_seen = absorptions
         if absorptions > self._max_absorptions:
-            raise LivelockError(
+            entries = tuple(trace)
+            message = (
                 f"message {message_id} was absorbed {absorptions} times, exceeding the "
                 f"livelock bound of {self._max_absorptions}; the fault pattern likely "
                 f"violates the connectivity assumption or a routing bug is present"
             )
+            rendered = format_trace(entries)
+            if rendered:
+                message = f"{message}\n{rendered}"
+            else:
+                message += (
+                    "; enable rerouting tracing (trace_rerouting=True / "
+                    "--trace-rerouting) to capture the per-rewrite trace"
+                )
+            raise LivelockError(message, trace=entries)

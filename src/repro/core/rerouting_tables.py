@@ -42,6 +42,7 @@ __all__ = [
     "DetourKind",
     "ReroutingDecision",
     "ReroutingTables",
+    "EscapeRung",
 ]
 
 
@@ -55,6 +56,41 @@ class ReroutingAction(Enum):
     #: The message was absorbed at an intermediate target: aim at the final
     #: destination again.
     RESUME = "resume"
+
+
+class EscapeRung(Enum):
+    """The escape ladder applied when the route-progress invariant trips.
+
+    The rewrite sequence of the three tables is deterministic: with a static
+    fault set, the decision at a node is a pure function of the node and the
+    header's canonical state.  Revisiting a ``(node, state)`` pair therefore
+    proves the message is cycling and will cycle forever.  Instead of
+    repeating the cycling decision, the rerouter escalates one rung per
+    revisit:
+
+    ``ALTERNATE_DIMENSION``
+        Detour through a different orthogonal dimension than the one the
+        normal preference order would pick, stepping the message out of the
+        plane the cycle lives in.  Skipped on 2-D networks (there is no
+        alternate orthogonal dimension).
+
+    ``ANTI_STICKY``
+        Flip every sticky detour direction and detour again.  The stickiness
+        that normally prevents oscillation is exactly what keeps a message
+        orbiting a multi-region pattern; reversing it walks the message around
+        the regions the other way.
+
+    ``RESTART``
+        Full-state restart: clear every override, reversal and sticky detour,
+        forget the visited set (opening a new absorption epoch) and aim the
+        message at a fresh healthy intermediate node never used by a previous
+        restart.  The pool of fresh intermediates is finite and never
+        replenished, so the ladder terminates.
+    """
+
+    ALTERNATE_DIMENSION = "alternate-dimension"
+    ANTI_STICKY = "anti-sticky"
+    RESTART = "restart"
 
 
 class DetourKind(Enum):

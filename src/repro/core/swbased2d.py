@@ -17,6 +17,17 @@ SW-Based-nD pairing — and consults the three re-routing tables of
 3. *resume*: a message absorbed at an intermediate target is simply aimed at
    its final destination again.
 
+On top of the tables the rerouter enforces a **route-progress invariant**:
+with a static fault set the rewrite at a node is a pure function of the node
+and the header's canonical state, so revisiting a ``(node, state)`` pair
+proves the deterministic rewrite sequence is cycling.  On revisit the rerouter
+escalates through the documented escape ladder
+(:class:`~repro.core.rerouting_tables.EscapeRung`) instead of repeating the
+cycling decision.  This replaces the old blind modulo-``valve_period`` state
+reset, which could re-arm a message's reversal state just as it re-entered a
+previously escaped fault region and thereby *cause* the very livelock it was
+meant to break.
+
 The class is topology- and fault-aware but completely independent of the
 simulation engine, so it can be unit-tested exhaustively on hand-crafted fault
 patterns.
@@ -24,12 +35,18 @@ patterns.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.rerouting_tables import DetourKind, ReroutingAction, ReroutingTables
+from repro.core.rerouting_tables import (
+    DetourKind,
+    EscapeRung,
+    ReroutingAction,
+    ReroutingTables,
+)
 from repro.errors import RoutingError
 from repro.faults.model import FaultSet
 from repro.routing.base import RoutingHeader
+from repro.routing.trace import ReroutingTraceEntry
 from repro.topology.base import Topology
 from repro.topology.channels import MINUS, PLUS
 
@@ -66,11 +83,17 @@ class PlanarRerouter:
         self._topology = topology
         self._faults = faults if faults is not None else FaultSet.empty()
         self._tables = tables if tables is not None else ReroutingTables()
+        self._stats: Dict[str, int] = {}
 
     @property
     def tables(self) -> ReroutingTables:
         """The re-routing tables consulted by this policy."""
         return self._tables
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Aggregate rewrite/escape counters across all messages (a copy)."""
+        return dict(self._stats)
 
     @property
     def topology(self) -> Topology:
@@ -127,6 +150,12 @@ class PlanarRerouter:
 
         Returns the action that was applied (useful for statistics and tests).
 
+        Before consulting the tables the route-progress invariant is checked:
+        if this message was already rewritten at this node with the same
+        canonical header state during the current absorption epoch, the
+        deterministic rewrite sequence is provably cycling and the escape
+        ladder takes over (see :meth:`_escalate`).
+
         Raises
         ------
         RoutingError
@@ -144,10 +173,24 @@ class PlanarRerouter:
         if blocked is None:
             # Absorbed exactly at its target: behave like the resume table.
             decision = self._tables.decide_resume(not header.is_intermediate)
-            header.retarget(header.final_destination)
+            self._resume_retarget(header, node)
+            self._count("resumes")
+            if header.trace is not None:
+                self._record(header, node, None, 0, "resume", decision.action)
             return decision.action
 
         dim, direction = blocked
+
+        # Route-progress invariant: a revisit of (node, canonical state) means
+        # the table decision about to be repeated already failed to make
+        # progress once — escalate instead of cycling.
+        state_key = header.progress_key(node)
+        if header.visited_states is None:
+            header.visited_states = set()
+        if state_key in header.visited_states:
+            return self._escalate(node, header, dim, direction)
+        header.visited_states.add(state_key)
+
         already_reversed = dim in header.reversed_dimensions
         opposite_faulty = self._channel_is_faulty(node, dim, -direction)
         # Probe the detour dimension that would be used, so the table lookup
@@ -159,6 +202,9 @@ class PlanarRerouter:
 
         if decision.action is ReroutingAction.REVERSE:
             self._apply_reversal(header, dim, direction)
+            self._count("reversals")
+            if header.trace is not None:
+                self._record(header, node, dim, direction, "reverse", decision.action)
             return decision.action
 
         # DETOUR
@@ -170,11 +216,21 @@ class PlanarRerouter:
             # the paper's connectivity assumption (h).
             if not opposite_faulty:
                 self._apply_reversal(header, dim, direction)
+                self._count("reversals")
+                if header.trace is not None:
+                    self._record(
+                        header, node, dim, direction, "reverse", ReroutingAction.REVERSE
+                    )
                 return ReroutingAction.REVERSE
             if not self._channel_is_faulty(node, dim, direction):
                 # Spurious absorption: the channel the message was waiting for
                 # is actually healthy (possible when the software layer is
                 # invoked conservatively).  Re-inject with an unchanged header.
+                self._count("spurious_resumes")
+                if header.trace is not None:
+                    self._record(
+                        header, node, dim, direction, "spurious-resume", ReroutingAction.RESUME
+                    )
                 return ReroutingAction.RESUME
             raise RoutingError(
                 f"node {node} has no healthy outgoing channel at all; "
@@ -182,13 +238,216 @@ class PlanarRerouter:
             )
         detour_dim, detour_dir = detour_probe
         self._apply_detour(node, header, dim, detour_dim, detour_dir, decision.detour_kind)
+        self._count("detours")
+        if header.trace is not None:
+            self._record(header, node, dim, direction, "detour", decision.action)
         return decision.action
 
-    def resume(self, header: RoutingHeader) -> ReroutingAction:
+    def resume(self, header: RoutingHeader, node: Optional[int] = None) -> ReroutingAction:
         """Handle absorption at an intermediate target: aim at the destination again."""
         decision = self._tables.decide_resume(not header.is_intermediate)
-        header.retarget(header.final_destination)
+        at = node if node is not None else header.target
+        self._resume_retarget(header, at)
+        self._count("resumes")
+        if header.trace is not None:
+            self._record(header, at, None, 0, "resume", decision.action)
         return decision.action
+
+    def _resume_retarget(self, header: RoutingHeader, node: int) -> None:
+        """Aim a resumed message at its next waypoint.
+
+        The final destination, unless a full-state restart installed a pending
+        intermediate the message has not passed through yet — a detour on the
+        way to that intermediate must resume *towards the intermediate*, or
+        the restart would collapse back into the original (cycling) route.
+        """
+        pending = header.pending_intermediate
+        if pending is not None and node != pending:
+            header.retarget(pending)
+            return
+        header.pending_intermediate = None
+        header.retarget(header.final_destination)
+
+    # ------------------------------------------------------------------ #
+    # the escape ladder (route-progress invariant violated)
+    # ------------------------------------------------------------------ #
+    def _escalate(
+        self, node: int, header: RoutingHeader, dim: int, direction: int
+    ) -> ReroutingAction:
+        """Escalate one :class:`EscapeRung` past the message's current level.
+
+        Rungs that cannot apply at this node (no alternate orthogonal
+        dimension, no healthy detour channel) fall through to the next, ending
+        at the full-state restart, which always applies while fresh healthy
+        intermediates remain.
+        """
+        self._count("revisits")
+        rung = header.escape_level + 1
+
+        if rung <= 1 and self._escape_alternate_dimension(node, header, dim, direction):
+            return ReroutingAction.DETOUR
+        if rung <= 2 and self._escape_anti_sticky(node, header, dim, direction):
+            return ReroutingAction.DETOUR
+        return self._escape_restart(node, header, dim, direction)
+
+    def _escape_alternate_dimension(
+        self, node: int, header: RoutingHeader, dim: int, direction: int
+    ) -> bool:
+        """Rung 1: detour through a dimension the normal preference skips."""
+        normal = self._select_detour(node, header, dim, probe_only=True)
+        if normal is None:
+            return False
+        probe = self._select_detour(
+            node, header, dim, probe_only=True, exclude_dimension=normal[0]
+        )
+        if probe is None:
+            # On 2-D networks there is no alternate orthogonal dimension.
+            return False
+        detour_dim, detour_dir = probe
+        decision = self._tables.decide(True, True, detour_dim > dim)
+        self._apply_detour(node, header, dim, detour_dim, detour_dir, decision.detour_kind)
+        header.escape_level = 1
+        self._count("escape_alternate_dimension")
+        self._record(
+            header, node, dim, direction,
+            f"escape:{EscapeRung.ALTERNATE_DIMENSION.value}", ReroutingAction.DETOUR,
+        )
+        return True
+
+    def _escape_anti_sticky(
+        self, node: int, header: RoutingHeader, dim: int, direction: int
+    ) -> bool:
+        """Rung 2: flip the sticky detour directions and detour again."""
+        if header.detour_directions:
+            flipped = {d: -s for d, s in header.detour_directions.items()}
+            header.detour_directions.clear()
+            header.detour_directions.update(flipped)
+        probe = self._select_detour(node, header, dim, probe_only=True)
+        if probe is None:
+            return False
+        detour_dim, detour_dir = probe
+        decision = self._tables.decide(True, True, detour_dim > dim)
+        self._apply_detour(node, header, dim, detour_dim, detour_dir, decision.detour_kind)
+        header.escape_level = 2
+        self._count("escape_anti_sticky")
+        self._record(
+            header, node, dim, direction,
+            f"escape:{EscapeRung.ANTI_STICKY.value}", ReroutingAction.DETOUR,
+        )
+        return True
+
+    def _escape_restart(
+        self, node: int, header: RoutingHeader, dim: int, direction: int
+    ) -> ReroutingAction:
+        """Rung 3: full-state restart aimed at a fresh healthy intermediate.
+
+        Clears every override, reversal and sticky detour, forgets the visited
+        set (opening a new absorption epoch) and targets the healthy node —
+        never used by a previous restart of this message — closest to the
+        final destination (ties broken by distance from the current node, then
+        node id, so the choice is deterministic).  Preferring
+        destination-adjacent intermediates matters: when the destination is
+        only enterable through one healthy neighbour (e.g. a mesh corner
+        walled in by faults), the first restart already aims at that
+        neighbour, and the resume from there walks straight in instead of
+        replaying a doomed approach from afar.
+
+        Candidates whose e-cube route from the current node *starts with the
+        very channel this message is stuck at* are deprioritised: such an
+        intermediate would replay the whole doomed approach before the next
+        restart (observed on 3-D meshes, where a fault wall blocks the low
+        dimension at every reachable coordinate and the only way out is to
+        route a higher dimension first).  The pool of fresh intermediates is
+        finite and never replenished, so repeated restarts cannot recur
+        forever.
+        """
+        topo = self._topology
+        faults = self._faults
+        if header.used_restart_targets is None:
+            header.used_restart_targets = set()
+        used = header.used_restart_targets
+        destination = header.final_destination
+        best: Optional[Tuple[int, int, int, int]] = None
+        for candidate in range(topo.num_nodes):
+            if candidate == node or candidate == destination or candidate in used:
+                continue
+            if faults.is_node_faulty(candidate):
+                continue
+            offsets = topo.offsets(node, candidate)
+            same_doorway = 0
+            for d in range(topo.dimensions):
+                if offsets[d] != 0:
+                    first_dir = PLUS if offsets[d] > 0 else MINUS
+                    same_doorway = int(d == dim and first_dir == direction)
+                    break
+            score = (
+                same_doorway,
+                topo.distance(candidate, destination),
+                topo.distance(node, candidate),
+                candidate,
+            )
+            if best is None or score < best:
+                best = score
+        if best is None:
+            raise RoutingError(
+                f"escape ladder exhausted at node {node}: every healthy node has "
+                f"already served as a restart intermediate for this message; the "
+                f"fault pattern likely violates the connectivity assumption (h)"
+            )
+        intermediate = best[3]
+        used.add(intermediate)
+        header.clear_rerouting_state()
+        # The visited set deliberately survives the restart: canonical states
+        # embed the target and pending intermediate, so the fresh epoch cannot
+        # collide with old entries spuriously — but if the restarted route
+        # degenerates into an approach that already failed (same node, same
+        # state), the invariant fires on the first rewrite instead of
+        # re-walking the whole doomed epoch.
+        header.escape_level = 0
+        header.pending_intermediate = intermediate
+        header.retarget(intermediate)
+        header.misroutes += 1
+        self._count("escape_restarts")
+        self._record(
+            header, node, dim, direction,
+            f"escape:{EscapeRung.RESTART.value}", ReroutingAction.DETOUR,
+        )
+        return ReroutingAction.DETOUR
+
+    # ------------------------------------------------------------------ #
+    # statistics and tracing
+    # ------------------------------------------------------------------ #
+    def _count(self, counter: str) -> None:
+        self._stats[counter] = self._stats.get(counter, 0) + 1
+
+    def _record(
+        self,
+        header: RoutingHeader,
+        node: int,
+        blocked_dim: Optional[int],
+        blocked_direction: int,
+        decision: str,
+        action: ReroutingAction,
+    ) -> None:
+        # Hot call sites in rewrite()/resume() pre-check ``header.trace`` so
+        # the tracing-off path never pays the call; the guard here keeps the
+        # rare escalation sites safe to call unconditionally.
+        if header.trace is None:
+            return
+        header.record_trace(
+            ReroutingTraceEntry(
+                node=node,
+                blocked_dimension=blocked_dim,
+                blocked_direction=blocked_direction,
+                decision=decision,
+                action=action.value,
+                escape_level=header.escape_level,
+                target=header.target,
+                direction_overrides=tuple(sorted(header.direction_overrides.items())),
+                reversed_dimensions=tuple(sorted(header.reversed_dimensions)),
+                detour_directions=tuple(sorted(header.detour_directions.items())),
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # actions
@@ -263,14 +522,19 @@ class PlanarRerouter:
                 coord = (coord - travel_dir) % k
             else:
                 coord = coord - travel_dir
-                if not 0 <= coord < k:  # pragma: no cover - defensive for meshes
+                if not 0 <= coord < k:
                     return step_neighbour
 
     # ------------------------------------------------------------------ #
     # detour selection
     # ------------------------------------------------------------------ #
     def _select_detour(
-        self, node: int, header: RoutingHeader, blocked_dim: int, probe_only: bool = False
+        self,
+        node: int,
+        header: RoutingHeader,
+        blocked_dim: int,
+        probe_only: bool = False,
+        exclude_dimension: Optional[int] = None,
     ) -> Optional[Tuple[int, int]]:
         """Choose the orthogonal dimension and direction for a detour.
 
@@ -279,7 +543,9 @@ class PlanarRerouter:
         order for the direction within a dimension: the message's sticky
         detour direction (to avoid oscillating around a region), then the
         minimal direction towards the final destination, then ``+``/``-``.
-        Only healthy channels are returned.
+        Only healthy channels are returned.  ``exclude_dimension`` removes one
+        dimension from consideration (used by the escape ladder's
+        alternate-dimension rung).
         """
         topo = self._topology
         n = topo.dimensions
@@ -287,6 +553,8 @@ class PlanarRerouter:
         for dim in range(n):
             if dim != blocked_dim and dim not in preferred:
                 preferred.append(dim)
+        if exclude_dimension is not None:
+            preferred = [dim for dim in preferred if dim != exclude_dimension]
 
         final_offsets = topo.offsets(node, header.final_destination)
         for dim in preferred:

@@ -24,7 +24,8 @@ considering any other dimension.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from collections import deque
+from typing import Dict, Optional, Tuple
 
 from repro.core.rerouting_tables import ReroutingAction, ReroutingTables
 from repro.core.swbased2d import PlanarRerouter, partner_dimension
@@ -61,11 +62,23 @@ class SoftwareBasedRouting(RoutingAlgorithm):
     mode:
         ``"deterministic"`` or ``"adaptive"``.
     valve_period:
-        Robustness valve: after this many absorptions of the same message its
-        reversal state is cleared so the search for a path restarts from the
-        message's current position.  This guards against pathological
-        multi-region configurations; it never triggers for the fault patterns
-        the paper evaluates.  Set to 0 to disable.
+        Deprecated and ignored.  The old "robustness valve" cleared a
+        message's reversal state every ``valve_period`` absorptions, which
+        could re-arm the state of a message just as it re-entered a previously
+        escaped fault region and thereby *cause* a deterministic livelock on
+        multi-region fault patterns (it also triggered on fault patterns the
+        paper evaluates, contrary to what this docstring used to claim — see
+        ``tests/test_core_swbased_nd.py``).  It has been replaced by the
+        per-message route-progress invariant and escape ladder in
+        :class:`~repro.core.swbased2d.PlanarRerouter`.  The parameter is kept
+        so existing configurations keep constructing.
+    trace_rerouting:
+        When true, every message carries a bounded ring buffer of
+        :class:`~repro.routing.trace.ReroutingTraceEntry` records describing
+        each software rewrite; the engine embeds it in livelock diagnostics.
+    trace_depth:
+        Capacity of the per-message trace ring buffer (most recent rewrites
+        are kept).
     """
 
     def __init__(
@@ -76,6 +89,8 @@ class SoftwareBasedRouting(RoutingAlgorithm):
         mode: str = DETERMINISTIC_MODE,
         valve_period: int = 12,
         tables: Optional[ReroutingTables] = None,
+        trace_rerouting: bool = False,
+        trace_depth: int = 64,
     ) -> None:
         if mode not in (DETERMINISTIC_MODE, ADAPTIVE_MODE):
             raise ConfigurationError(f"unknown Software-Based mode {mode!r}")
@@ -95,6 +110,10 @@ class SoftwareBasedRouting(RoutingAlgorithm):
         self._tables = tables if tables is not None else ReroutingTables()
         self._rerouter = PlanarRerouter(topology, self._faults, self._tables)
         self._valve_period = int(valve_period)
+        self._trace_rerouting = bool(trace_rerouting)
+        if trace_depth < 1:
+            raise ConfigurationError("trace_depth must be at least 1")
+        self._trace_depth = int(trace_depth)
 
     # ------------------------------------------------------------------ #
     # constructors used by the registry
@@ -149,19 +168,40 @@ class SoftwareBasedRouting(RoutingAlgorithm):
 
     @property
     def valve_period(self) -> int:
-        """Absorptions after which a message's reversal state is reset (0 = never)."""
+        """Deprecated: the configured (but ignored) valve period.
+
+        Kept for API compatibility; the valve reset it used to control was
+        replaced by the route-progress invariant (see the class docstring).
+        """
         return self._valve_period
+
+    @property
+    def trace_rerouting(self) -> bool:
+        """True when messages carry a per-message rerouting trace buffer."""
+        return self._trace_rerouting
+
+    @property
+    def trace_depth(self) -> int:
+        """Capacity of the per-message rerouting trace ring buffer."""
+        return self._trace_depth
+
+    def rerouting_stats(self) -> Dict[str, int]:
+        """Aggregate rewrite/escape counters from the planar rerouter."""
+        return self._rerouter.stats
 
     # ------------------------------------------------------------------ #
     # the routing function (network side)
     # ------------------------------------------------------------------ #
     def initial_header(self, source: int, destination: int) -> RoutingHeader:
         mode = ADAPTIVE_MODE if self._mode == ADAPTIVE_MODE else DETERMINISTIC_MODE
-        return RoutingHeader(
+        header = RoutingHeader(
             final_destination=destination,
             target=destination,
             routing_mode=mode,
         )
+        if self._trace_rerouting:
+            header.trace = deque(maxlen=self._trace_depth)
+        return header
 
     def route(self, node: int, header: RoutingHeader) -> RoutingDecision:
         return self._inner.route(node, header)
@@ -174,21 +214,18 @@ class SoftwareBasedRouting(RoutingAlgorithm):
 
         Once a message encounters a fault it is routed deterministically for
         the rest of its journey (Fig. 2 of the paper), so the routing mode is
-        downgraded here before the planar policy rewrites the header.
+        downgraded here before the planar policy rewrites the header.  The
+        planar rerouter itself enforces the route-progress invariant, so no
+        periodic state reset happens here any more (the old valve could re-arm
+        a cycling message's state and perpetuate the livelock it was meant to
+        break).
         """
         header.routing_mode = DETERMINISTIC_MODE
-        if (
-            self._valve_period > 0
-            and header.absorptions > 0
-            and header.absorptions % self._valve_period == 0
-        ):
-            header.reversed_dimensions.clear()
-            header.direction_overrides.clear()
         return self._rerouter.rewrite(node, header)
 
     def on_intermediate_target_reached(self, node: int, header: RoutingHeader) -> None:
         """A message reached an intermediate target: aim it at its destination again."""
-        self._rerouter.resume(header)
+        self._rerouter.resume(header, node)
 
     # ------------------------------------------------------------------ #
     # the paper's dimension-pair structure (for analysis and tests)

@@ -39,7 +39,16 @@ class DeadlockError(ReproError):
 
 
 class LivelockError(ReproError):
-    """A message exceeded the configured bound on fault-induced absorptions."""
+    """A message exceeded the configured bound on fault-induced absorptions.
+
+    When rerouting tracing is enabled the offending message's per-rewrite
+    trace is embedded in the exception text and exposed as :attr:`trace`
+    (a tuple of :class:`~repro.routing.trace.ReroutingTraceEntry`).
+    """
+
+    def __init__(self, *args: object, trace: tuple = ()) -> None:
+        super().__init__(*args)
+        self.trace = tuple(trace)
 
 
 class SimulationError(ReproError):

@@ -100,6 +100,10 @@ class NetworkMetrics:
     #: Per-node absorption counts (both kinds), keyed by flat node id — which
     #: nodes' software layers carry the re-routing load.
     absorptions_by_node: Dict[int, int] = field(default_factory=dict)
+    #: Aggregate software-rewrite counters from the fault-tolerant routing
+    #: layer (reversals, detours, resumes, route-progress revisits and
+    #: escape-ladder escalations).  Empty for non-fault-tolerant algorithms.
+    rerouting: Dict[str, int] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
 
     def detached(self) -> "NetworkMetrics":
@@ -113,6 +117,7 @@ class NetworkMetrics:
         return replace(
             self,
             absorptions_by_node=dict(self.absorptions_by_node),
+            rerouting=dict(self.rerouting),
             extras=dict(self.extras),
         )
 
@@ -140,6 +145,8 @@ class NetworkMetrics:
             "offered_load": self.offered_load,
             "saturated": float(self.saturated),
         }
+        for counter, value in sorted(self.rerouting.items()):
+            out[f"rerouting_{counter}"] = value
         out.update(self.extras)
         return out
 

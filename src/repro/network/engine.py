@@ -72,6 +72,7 @@ from repro.network.virtual_channel import (
     VirtualChannel,
 )
 from repro.routing.base import RoutingAlgorithm, RoutingDecision
+from repro.routing.trace import format_trace
 from repro.topology.base import Topology
 from repro.topology.channels import opposite_port
 from repro.traffic.generators import TrafficGenerator
@@ -317,12 +318,18 @@ class SimulationEngine:
         if self._collector.delivered_messages < target and not self._saturated:
             # Ran out of cycles before delivering the requested messages.
             self._saturated = self._cycle >= self._max_cycles
-        return self._collector.finalize(
+        metrics = self._collector.finalize(
             total_cycles=self._cycle,
             message_length=self._message_length,
             offered_load=self._traffic.rate,
             saturated=self._saturated,
         )
+        rerouting_stats = getattr(self._routing, "rerouting_stats", None)
+        if callable(rerouting_stats):
+            counters = rerouting_stats()
+            if counters:
+                metrics.rerouting = dict(counters)
+        return metrics
 
     def step(self) -> None:
         """Advance the simulation by one cycle.
@@ -727,18 +734,21 @@ class SimulationEngine:
         message.absorptions += 1
         message.header.absorptions += 1
         self._collector.message_absorbed(message.message_id, node=node, fault=fault)
+        trace = message.header.trace if message.header.trace is not None else ()
         cap = self._max_absorptions_per_message
         if cap is not None and message.absorptions > cap:
-            raise SimulationError(
+            detail = (
                 f"message {message.message_id} ({message.source} -> "
                 f"{message.destination}) was absorbed {message.absorptions} times, "
                 f"most recently at node {node}, exceeding "
-                f"max_absorptions_per_message={cap}; the routing layer is livelocked "
-                f"on this fault pattern (see the ROADMAP's swbased-deterministic "
-                f"livelock note) — raise the cap only if the pattern is known to "
-                f"converge"
+                f"max_absorptions_per_message={cap}; raise the cap only if the "
+                f"pattern is known to converge"
             )
-        self._livelock.check(message.message_id, message.absorptions)
+            rendered = format_trace(trace)
+            if rendered:
+                detail = f"{detail}\n{rendered}"
+            raise SimulationError(detail)
+        self._livelock.check(message.message_id, message.absorptions, trace=trace)
 
     # ------------------------------------------------------------------ #
     # termination conditions

@@ -83,6 +83,33 @@ class RoutingHeader:
     misroutes:
         Number of non-minimal hops introduced by re-routing decisions
         (used by the livelock accounting).
+    visited_states:
+        Route-progress invariant bookkeeping: the set of
+        ``(node, canonical_state())`` pairs at which this message has already
+        been rewritten during the current absorption epoch.  Revisiting such a
+        pair proves the deterministic rewrite sequence is cycling, and the
+        rerouter escalates through its escape ladder instead of repeating the
+        decision.  Lazily allocated (``None`` until the first fault rewrite)
+        so fault-free messages pay nothing.
+    escape_level:
+        The escape-ladder rung last applied to this message (0 = normal table
+        path; see :class:`~repro.core.rerouting_tables.EscapeRung`).  Reset to
+        0 by a full-state restart, which opens a new absorption epoch.
+    used_restart_targets:
+        Intermediate nodes already consumed by full-state restarts.  Never
+        cleared — the pool of fresh restart targets is finite, which makes the
+        escape ladder terminate.  Lazily allocated.
+    pending_intermediate:
+        The restart intermediate the message must still pass through, or
+        ``None``.  Unlike ``target`` it survives nested detours: a message
+        detoured while travelling towards a restart intermediate resumes
+        towards that intermediate, not towards the final destination
+        (otherwise the restart would silently degrade into a replay of the
+        doomed original route).
+    trace:
+        Optional bounded ring buffer (``collections.deque`` with ``maxlen``)
+        of :class:`~repro.routing.trace.ReroutingTraceEntry` records, attached
+        by the routing algorithm when rerouting tracing is enabled.
     """
 
     final_destination: int
@@ -93,6 +120,11 @@ class RoutingHeader:
     detour_directions: Dict[int, int] = field(default_factory=dict)
     absorptions: int = 0
     misroutes: int = 0
+    visited_states: Optional[set] = None
+    escape_level: int = 0
+    used_restart_targets: Optional[set] = None
+    pending_intermediate: Optional[int] = None
+    trace: Optional[object] = None
 
     @property
     def is_intermediate(self) -> bool:
@@ -106,6 +138,55 @@ class RoutingHeader:
     def retarget(self, node: int) -> None:
         """Point the header at a new target node."""
         self.target = node
+
+    def canonical_state(self) -> Tuple:
+        """Hashable snapshot of the state that determines future rewrites.
+
+        With a static fault set, the deterministic rewrite at a node is a pure
+        function of this tuple: the current target plus the override, reversal
+        and sticky-detour state.  Two rewrites of the same message at the same
+        node with equal canonical states therefore produce identical decisions
+        — which is exactly the revisit condition the route-progress invariant
+        detects.
+        """
+        overrides = self.direction_overrides
+        reversals = self.reversed_dimensions
+        detours = self.detour_directions
+        return (
+            self.target,
+            self.pending_intermediate,
+            tuple(sorted(overrides.items())) if overrides else (),
+            tuple(sorted(reversals)) if reversals else (),
+            tuple(sorted(detours.items())) if detours else (),
+        )
+
+    def progress_key(self, node: int) -> Tuple:
+        """The route-progress invariant key of a rewrite of this header at ``node``.
+
+        Semantically ``(node, canonical_state())``, with a cheap flat form for
+        the common pristine header (no rerouting state yet).  The two forms
+        can never collide: a flat 2-tuple and a nested pair compare unequal,
+        and which form applies is itself a function of the canonical state.
+        """
+        if (
+            self.pending_intermediate is None
+            and not self.direction_overrides
+            and not self.reversed_dimensions
+            and not self.detour_directions
+        ):
+            return (node, self.target)
+        return (node, self.canonical_state())
+
+    def clear_rerouting_state(self) -> None:
+        """Forget every override, reversal and sticky detour (full restart)."""
+        self.direction_overrides.clear()
+        self.reversed_dimensions.clear()
+        self.detour_directions.clear()
+
+    def record_trace(self, entry: object) -> None:
+        """Append ``entry`` to the rerouting trace buffer, if one is attached."""
+        if self.trace is not None:
+            self.trace.append(entry)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,94 @@
+"""Per-message rerouting trace records.
+
+When tracing is enabled (``SoftwareBasedRouting(trace_rerouting=True)`` or the
+``--trace-rerouting`` CLI flag), every software rewrite appends one
+:class:`ReroutingTraceEntry` to a bounded ring buffer carried on the message's
+:class:`~repro.routing.base.RoutingHeader`.  Each entry captures where the
+rewrite happened, what the tables (or the escape ladder) decided, and the full
+header state *after* the rewrite, so a livelocked message's cycling path can
+be read directly off the trace instead of being inferred from aggregate
+counters.
+
+The entries are plain frozen dataclasses with no behaviour beyond formatting;
+they are surfaced in two places:
+
+* :class:`~repro.errors.LivelockError` (and the engine's absorption-cap
+  ``SimulationError``) embed the formatted trace of the offending message in
+  the exception text;
+* ``NetworkMetrics.rerouting`` aggregates the rewrite/escape counters across
+  all messages of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+__all__ = ["ReroutingTraceEntry", "format_trace"]
+
+
+@dataclass(frozen=True)
+class ReroutingTraceEntry:
+    """One software rewrite of one message, recorded at the absorbing node.
+
+    Attributes
+    ----------
+    node:
+        The node whose messaging layer performed the rewrite.
+    blocked_dimension, blocked_direction:
+        The dimension/direction the e-cube order wanted to route next when the
+        message was absorbed (``None``/``0`` for a resume at the target).
+    decision:
+        The table decision or escape-ladder rung that was taken, e.g.
+        ``"reverse"``, ``"detour"``, ``"resume"``,
+        ``"escape:alternate-dimension"``, ``"escape:anti-sticky"`` or
+        ``"escape:restart"``.
+    action:
+        The :class:`~repro.core.rerouting_tables.ReroutingAction` value that
+        was returned to the engine.
+    escape_level:
+        The message's escape-ladder level after the rewrite (0 = the normal
+        table path).
+    target, direction_overrides, reversed_dimensions, detour_directions:
+        Snapshot of the header state *after* the rewrite was applied.
+    """
+
+    node: int
+    blocked_dimension: Optional[int]
+    blocked_direction: int
+    decision: str
+    action: str
+    escape_level: int
+    target: int
+    direction_overrides: Tuple[Tuple[int, int], ...]
+    reversed_dimensions: Tuple[int, ...]
+    detour_directions: Tuple[Tuple[int, int], ...]
+
+    def describe(self) -> str:
+        """One human-readable line for this entry."""
+        if self.blocked_dimension is None:
+            blocked = "at-target"
+        else:
+            sign = "+" if self.blocked_direction > 0 else "-"
+            blocked = f"dim {self.blocked_dimension}{sign}"
+        overrides = {d: s for d, s in self.direction_overrides}
+        detours = {d: s for d, s in self.detour_directions}
+        return (
+            f"node {self.node}: blocked {blocked} -> {self.decision} "
+            f"({self.action}), target={self.target}, "
+            f"overrides={overrides}, reversed={set(self.reversed_dimensions) or '{}'}, "
+            f"detours={detours}, escape_level={self.escape_level}"
+        )
+
+
+def format_trace(entries: Iterable[ReroutingTraceEntry]) -> str:
+    """Render a rerouting trace as an indented multi-line block.
+
+    Returns an empty string for an empty trace so callers can append the
+    result to an exception message unconditionally.
+    """
+    lines = [entry.describe() for entry in entries]
+    if not lines:
+        return ""
+    header = f"rerouting trace ({len(lines)} most recent rewrites):"
+    return "\n".join([header] + [f"  {line}" for line in lines])

@@ -91,6 +91,16 @@ class SimulationConfig:
         on those); ``None`` disables the valve.
     keep_records:
         Retain per-message records in the result (memory-hungry; tests only).
+    trace_rerouting:
+        Attach a per-message rerouting trace ring buffer to every message of a
+        fault-tolerant run (see :mod:`repro.routing.trace`).  The trace is
+        embedded in livelock diagnostics and costs a few entries of memory per
+        in-flight message; it does not change routing behaviour or RNG draws.
+        Ignored (and rejected by :meth:`validate`) for non-fault-tolerant
+        algorithms.
+    rerouting_trace_depth:
+        Capacity of the per-message trace ring buffer (most recent rewrites
+        are kept).
     metadata:
         Free-form labels propagated into reports (e.g. figure/series names).
     """
@@ -113,6 +123,8 @@ class SimulationConfig:
     saturation_queue_limit: Optional[float] = 25.0
     max_absorptions_per_message: Optional[int] = 10_000
     keep_records: bool = False
+    trace_rerouting: bool = False
+    rerouting_trace_depth: int = 64
     metadata: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -157,6 +169,13 @@ class SimulationConfig:
         if self.max_absorptions_per_message is not None and self.max_absorptions_per_message < 1:
             raise ConfigurationError(
                 "max_absorptions_per_message must be positive (or None to disable the valve)"
+            )
+        if self.rerouting_trace_depth < 1:
+            raise ConfigurationError("rerouting_trace_depth must be at least 1")
+        if self.trace_rerouting and self.routing not in _FAULT_TOLERANT_ROUTINGS:
+            raise ConfigurationError(
+                f"trace_rerouting is only meaningful for the fault-tolerant "
+                f"algorithms {_FAULT_TOLERANT_ROUTINGS}, not {self.routing!r}"
             )
         try:
             self.faults.validate(self.topology)

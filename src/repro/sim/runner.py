@@ -82,11 +82,18 @@ def build_engine(config: SimulationConfig) -> SimulationEngine:
     or inject messages by hand.
     """
     config.validate()
+    routing_kwargs = {}
+    if config.trace_rerouting:
+        # Only the fault-tolerant factories accept the trace knobs (validate()
+        # rejects trace_rerouting for anything else).
+        routing_kwargs["trace_rerouting"] = True
+        routing_kwargs["trace_depth"] = config.rerouting_trace_depth
     routing = make_routing(
         config.routing,
         topology=config.topology,
         faults=config.faults,
         num_virtual_channels=config.num_virtual_channels,
+        **routing_kwargs,
     )
     pattern = make_pattern(
         config.traffic_pattern,

@@ -205,6 +205,43 @@ class TestSharedContract:
         assert not fresh.contains_config(configs[2])  # in-flight work only
 
 
+class TestDeletion:
+    def test_delete_keys_removes_records_and_survives_reopen(self, backend, fast_config):
+        store = backend.open()
+        other = fast_config.with_updates(seed=12)
+        store.put(fast_config, run_simulation(fast_config))
+        store.put(other, run_simulation(other))
+        removed = store.delete_keys({config_hash(fast_config)})
+        assert removed == 1
+        assert len(store) == 1
+        assert not store.contains_config(fast_config)
+        fresh = backend.open()
+        assert not fresh.contains_config(fast_config)
+        assert fresh.get(other) is not None  # the survivor still serves
+        assert backend.scan().keys == frozenset({config_hash(other)})
+
+    def test_deleting_absent_keys_is_a_noop(self, backend, fast_config):
+        store = backend.open()
+        store.put(fast_config, run_simulation(fast_config))
+        assert store.delete_keys({"not-a-stored-key"}) == 0
+        assert store.delete_keys(()) == 0
+        assert len(store) == 1
+
+    def test_delete_removes_every_member_copy(self, backend, fast_config):
+        # The same unit raced by two shard writers lands under two members in
+        # the dir/obj layouts; a delete must remove both copies, not just the
+        # indexed one.
+        first = backend.open(member="points-shard-1-of-2")
+        second = backend.open(member="points-shard-2-of-2")
+        result = run_simulation(fast_config)
+        first.put(fast_config, result)
+        second.put(fast_config, result)
+        merged = backend.open()
+        assert merged.delete_keys({config_hash(fast_config)}) == 1
+        assert len(backend.open()) == 0
+        assert backend.scan().keys == frozenset()
+
+
 class TestRegistry:
     def test_registered_schemes(self):
         assert set(backend_schemes()) >= {"mem", "dir", "sqlite"}

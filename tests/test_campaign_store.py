@@ -823,3 +823,44 @@ class TestCampaignCli:
         code = main(["campaign", "push", "--dir", str(tmp_path), "--to", "mem://"])
         assert code == 2
         assert "mem://<name>" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("scheme", ["dir", "sqlite", "obj"])
+    def test_gc_removes_abandoned_records_via_cli(self, tmp_path, capsys, scheme):
+        uri = {
+            "dir": f"dir://{tmp_path / 'store'}",
+            "sqlite": f"sqlite://{tmp_path / 'points.sqlite'}",
+            "obj": f"obj://{tmp_path / 'objects'}",
+        }[scheme]
+        assert main(self._plan_args(tmp_path) + ["--backend", uri]) == 0
+        assert main(["campaign", "run", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+        # A freshly completed campaign has nothing to collect.
+        assert main(["campaign", "gc", "--dir", str(tmp_path)]) == 0
+        assert "removed 0 abandoned records, kept 4" in capsys.readouterr().out
+
+        # Re-plan with a single replication: replication 0 of each point keeps
+        # its derived seed (hence its key), abandoning the two replication-1
+        # records in the store.
+        replanned = self._plan_args(tmp_path) + ["--backend", uri]
+        replanned[replanned.index("--replications") + 1] = "1"
+        assert main(replanned) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 0
+        assert "2/2 units complete" in capsys.readouterr().out
+
+        # Dry run reports the abandoned count without deleting anything.
+        assert main(["campaign", "gc", "--dir", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "2 of 4 stored records are abandoned" in out
+        assert "nothing removed" in out and uri in out
+
+        assert main(["campaign", "gc", "--dir", str(tmp_path)]) == 0
+        assert "removed 2 abandoned records, kept 2" in capsys.readouterr().out
+
+        # The surviving records still complete the current plan; a second gc
+        # confirms the store now holds exactly the planned key-set.
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "gc", "--dir", str(tmp_path)]) == 0
+        assert "removed 0 abandoned records, kept 2" in capsys.readouterr().out

@@ -10,6 +10,7 @@ from repro.errors import RoutingError
 from repro.faults.model import FaultSet
 from repro.routing.base import RoutingHeader
 from repro.topology.channels import MINUS, PLUS
+from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 
 
@@ -198,3 +199,71 @@ class TestErrorsAndResume:
         topo = TorusTopology(radix=8, dimensions=1)
         with pytest.raises(ValueError):
             PlanarRerouter(topo)
+
+
+class TestRewriteFallbacks:
+    def test_spurious_absorption_resumes_with_an_unchanged_header(self):
+        # Mesh corner (0, 0) heading +0 towards (2, 0): the opposite channel
+        # does not exist, the only orthogonal neighbour (0, 1) is faulty, the
+        # blocked dimension was already reversed once — but the forward
+        # channel itself is healthy.  The absorption was spurious and the
+        # rewrite must re-inject the message without touching the header.
+        topo = MeshTopology(radix=3, dimensions=2)
+        src = topo.node_id((0, 0))
+        dst = topo.node_id((2, 0))
+        rerouter = PlanarRerouter(topo, FaultSet.from_nodes([topo.node_id((0, 1))]))
+        header = _header(topo, src, dst)
+        header.reversed_dimensions.add(0)
+        action = rerouter.rewrite(src, header)
+        assert action is ReroutingAction.RESUME
+        assert header.target == dst
+        assert header.direction_overrides == {}
+        assert header.detour_directions == {}
+        assert header.misroutes == 0
+        assert rerouter.stats["spurious_resumes"] == 1
+
+    def test_column_walk_falls_back_to_the_step_neighbour_on_a_mesh_edge(self):
+        # A direction override can point away from the target on a mesh
+        # (reversals are recorded but offsets ignore them without wraparound),
+        # so the column walk can run off the array edge before reaching the
+        # current coordinate.  It must then degrade to the plain orthogonal
+        # step instead of wrapping or walking out of range.
+        topo = MeshTopology(radix=4, dimensions=2)
+        node = topo.node_id((3, 0))
+        step_neighbour = topo.node_id((3, 1))
+        faults = FaultSet.from_nodes([topo.node_id((1, 1)), topo.node_id((0, 1))])
+        rerouter = PlanarRerouter(topo, faults)
+        header = _header(topo, node, topo.node_id((1, 1)))
+        header.direction_overrides[0] = PLUS
+        landing = rerouter._column_intermediate(node, header, 0, step_neighbour)
+        assert landing == step_neighbour
+
+
+class TestRestartIntermediate:
+    def test_resume_en_route_to_a_restart_intermediate_keeps_it(self, torus_8x8):
+        # A detour taken while travelling towards a restart intermediate must
+        # resume towards the intermediate, not the final destination —
+        # otherwise the restart silently collapses back into the original
+        # (cycling) route.
+        dst = torus_8x8.node_id((5, 5))
+        intermediate = torus_8x8.node_id((2, 2))
+        detour_target = torus_8x8.node_id((1, 2))
+        rerouter = PlanarRerouter(torus_8x8)
+        header = _header(torus_8x8, 0, dst)
+        header.pending_intermediate = intermediate
+        header.retarget(detour_target)
+        action = rerouter.resume(header, detour_target)
+        assert action is ReroutingAction.RESUME
+        assert header.target == intermediate
+        assert header.pending_intermediate == intermediate
+
+    def test_resume_at_the_restart_intermediate_releases_it(self, torus_8x8):
+        dst = torus_8x8.node_id((5, 5))
+        intermediate = torus_8x8.node_id((2, 2))
+        rerouter = PlanarRerouter(torus_8x8)
+        header = _header(torus_8x8, 0, dst)
+        header.pending_intermediate = intermediate
+        header.retarget(intermediate)
+        rerouter.resume(header, intermediate)
+        assert header.target == dst
+        assert header.pending_intermediate is None

@@ -8,10 +8,13 @@ delivered by the full flit-level engine (no loss, no deadlock, no livelock).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.core.livelock import LivelockGuard, absorption_bound
 from repro.core.rerouting_tables import ReroutingAction
 from repro.core.swbased_nd import SoftwareBasedRouting
 from repro.errors import LivelockError
@@ -19,6 +22,7 @@ from repro.faults.connectivity import is_connected_without_faults
 from repro.faults.model import FaultSet
 from repro.network.engine import SimulationEngine
 from repro.topology.channels import MINUS, PLUS
+from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 from repro.traffic.generators import PoissonTraffic
 from repro.traffic.patterns import UniformPattern
@@ -29,6 +33,24 @@ _TOPOLOGIES = {
     (4, 3): TorusTopology(radix=4, dimensions=3),
 }
 topo_key = st.sampled_from(sorted(_TOPOLOGIES))
+
+#: Topology pool for the multi-region livelock fuzz sweep: the 2-D tori the
+#: known reproducers live on, plus 3-D tori and meshes (meshes exercise the
+#: no-wraparound reversal paths).
+_FUZZ_TOPOLOGIES = {
+    ("torus", 5, 2): TorusTopology(radix=5, dimensions=2),
+    ("torus", 6, 2): TorusTopology(radix=6, dimensions=2),
+    ("torus", 7, 2): TorusTopology(radix=7, dimensions=2),
+    ("torus", 4, 3): TorusTopology(radix=4, dimensions=3),
+    ("mesh", 4, 3): MeshTopology(radix=4, dimensions=3),
+    ("mesh", 5, 3): MeshTopology(radix=5, dimensions=3),
+}
+fuzz_topo_key = st.sampled_from(sorted(_FUZZ_TOPOLOGIES))
+
+#: Example budget for the fuzz sweep.  The tier-1 default keeps the suite
+#: fast; the nightly ``livelock-fuzz`` CI job raises it to sweep >= 200
+#: random multi-region fault patterns.
+_FUZZ_EXAMPLES = int(os.environ.get("REPRO_LIVELOCK_FUZZ_EXAMPLES", "15"))
 
 
 @st.composite
@@ -94,78 +116,78 @@ class TestRewriteInvariants:
             assert len(header.reversed_dimensions) <= topo.dimensions
 
 
-class TestEndToEndDelivery:
-    @pytest.mark.xfail(
-        strict=True,
-        reason=(
-            "known swbased-deterministic livelock (see ROADMAP): on a 6x6 "
-            "torus with faulty nodes {4, 9, 12, 22}, a message 0 -> 10 under "
-            "V=2 is re-absorbed without bound (the reversal/detour rewrite "
-            "cycles between fault regions, tripping the LivelockGuard).  "
-            "strict=True makes the future core/swbased_nd.py fix flip this "
-            "test loudly (XPASS) instead of silently."
+def _single_message_engine(topo, faults, **overrides):
+    kwargs = dict(
+        topology=topo,
+        routing=SoftwareBasedRouting.deterministic(
+            topo, faults=faults, num_virtual_channels=2
         ),
+        traffic=PoissonTraffic(0.0),
+        pattern=UniformPattern(topo, excluded=faults.nodes),
+        faults=faults,
+        message_length=4,
+        warmup_messages=0,
+        measure_messages=1,
+        seed=1,
+        keep_records=True,
     )
+    kwargs.update(overrides)
+    return SimulationEngine(**kwargs)
+
+
+class TestEndToEndDelivery:
     def test_known_livelock_scenario_is_pinned(self):
-        """Regression pin for the documented livelock: delivery must fail
-        today; the test turns into a loud XPASS the day the routing layer is
-        fixed, at which point the xfail marker should simply be removed."""
+        """Regression test for the formerly-pinned deterministic livelock.
+
+        On a 6x6 torus with faulty nodes {4, 9, 12, 22}, a message 0 -> 10
+        under V=2 used to be re-absorbed without bound: the reversal/detour
+        rewrite sequence entered a period-3 cycle between the fault regions.
+        The route-progress invariant now detects the first revisit and the
+        escape ladder breaks the cycle.
+        """
         topo = TorusTopology(radix=6, dimensions=2)
         faults = FaultSet.from_nodes([4, 9, 12, 22])
         assert is_connected_without_faults(topo, faults)  # assumption (h) holds
-        routing = SoftwareBasedRouting.deterministic(
-            topo, faults=faults, num_virtual_channels=2
-        )
-        engine = SimulationEngine(
-            topology=topo,
-            routing=routing,
-            traffic=PoissonTraffic(0.0),
-            pattern=UniformPattern(topo, excluded=faults.nodes),
-            faults=faults,
-            message_length=4,
-            warmup_messages=0,
-            measure_messages=1,
-            seed=1,
-            keep_records=True,
-        )
+        engine = _single_message_engine(topo, faults)
         engine.inject_message(0, 10)
         engine.drain(max_cycles=20_000)
         assert engine.collector.delivered_messages == 1
 
-    @pytest.mark.xfail(
-        strict=True,
-        reason=(
-            "second reproducer of the same swbased-deterministic livelock "
-            "(see ROADMAP), found by hypothesis while testing PR 5: on a 5x5 "
-            "torus with faulty nodes {0, 6, 21} under light random traffic "
-            "(seed 0, V=2), a message trips the LivelockGuard.  Pinned like "
-            "the 6x6 scenario so the routing fix must clear both fault "
-            "patterns to XPASS."
-        ),
-    )
     def test_known_livelock_scenario_under_traffic_is_pinned(self):
+        """Second reproducer of the former livelock, under light traffic.
+
+        Found by hypothesis while testing PR 5: a 5x5 torus with faulty nodes
+        {0, 6, 21} (seed 0, V=2) used to trip the LivelockGuard.  Every
+        generated message must now drain.
+        """
         topo = TorusTopology(radix=5, dimensions=2)
         faults = FaultSet.from_nodes([0, 6, 21])
         assert is_connected_without_faults(topo, faults)  # assumption (h) holds
-        routing = SoftwareBasedRouting.deterministic(
-            topo, faults=faults, num_virtual_channels=2
-        )
-        engine = SimulationEngine(
-            topology=topo,
-            routing=routing,
-            traffic=PoissonTraffic(0.01),
-            pattern=UniformPattern(topo, excluded=faults.nodes),
-            faults=faults,
-            message_length=4,
-            warmup_messages=0,
-            measure_messages=40,
-            seed=0,
-            keep_records=True,
+        engine = _single_message_engine(
+            topo, faults, traffic=PoissonTraffic(0.01), measure_messages=40, seed=0
         )
         for _ in range(800):
             engine.step()
         engine.drain(max_cycles=30_000)
         assert engine.collector.delivered_messages == engine.collector.generated_messages
+
+    def test_known_livelock_scenario_three_regions_is_pinned(self):
+        """Third reproducer of the former livelock: 6x6 torus, faults {0, 18, 29}.
+
+        Also surfaced by hypothesis during PR 5.  Exercising every healthy
+        source/destination pair would be too slow for tier-1, so a strided
+        sample of endpoint pairs is delivered one message at a time.
+        """
+        topo = TorusTopology(radix=6, dimensions=2)
+        faults = FaultSet.from_nodes([0, 18, 29])
+        assert is_connected_without_faults(topo, faults)  # assumption (h) holds
+        healthy = [n for n in range(topo.num_nodes) if not faults.is_node_faulty(n)]
+        pairs = [(s, d) for s in healthy[::5] for d in healthy[::7] if s != d]
+        for src, dst in pairs:
+            engine = _single_message_engine(topo, faults)
+            engine.inject_message(src, dst)
+            engine.drain(max_cycles=20_000)
+            assert engine.collector.delivered_messages == 1, (src, dst)
 
     @given(faulty_scenario())
     @settings(max_examples=12, deadline=None)
@@ -234,20 +256,9 @@ class TestEndToEndDelivery:
             seed=seed,
             keep_records=True,
         )
-        try:
-            for _ in range(800):
-                engine.step()
-            engine.drain(max_cycles=30_000)
-        except LivelockError:
-            # The known pre-existing swbased-deterministic livelock (see the
-            # ROADMAP bullet): random fault patterns keep producing fresh
-            # instances — 5x5/{0,6,21} and 6x6/{0,18,29} surfaced while
-            # testing PR 5 alone — so tripping it here proves nothing new
-            # and would make the whole suite flaky.  Such scenarios are
-            # vacuous for *this* conservation property; the strict-xfail
-            # test_known_livelock_scenario_* pins keep the bug itself loud
-            # until core/swbased_nd.py is fixed.
-            assume(False)
+        for _ in range(800):
+            engine.step()
+        engine.drain(max_cycles=30_000)
         assert engine.collector.delivered_messages == engine.collector.generated_messages
         for record in engine.collector.records:
             # Wormhole lower bound: one cycle per hop for the header plus one
@@ -255,3 +266,125 @@ class TestEndToEndDelivery:
             # injection and the first link traversal share a cycle when the
             # router is idle, Td = 0).
             assert record.latency >= record.hops + record.length - 2
+
+
+@st.composite
+def multi_region_scenario(draw):
+    """A topology with several disjoint-seeded fault regions and healthy endpoints.
+
+    Unlike :func:`faulty_scenario` (uniformly random fault nodes), this
+    strategy grows 2-3 connected clumps from distinct seeds — the shape that
+    historically produced livelocks, because a message escaping one region
+    could be captured by the rewrite state it kept from another.
+    """
+    topo = _FUZZ_TOPOLOGIES[draw(fuzz_topo_key)]
+    num_regions = draw(st.integers(min_value=2, max_value=3))
+    seeds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=topo.num_nodes - 1),
+            min_size=num_regions,
+            max_size=num_regions,
+            unique=True,
+        )
+    )
+    faulty = set()
+    for seed_node in seeds:
+        region = {seed_node}
+        growth = draw(st.integers(min_value=0, max_value=2))
+        frontier = seed_node
+        for _ in range(growth):
+            neighbours = sorted(nid for _, _, nid in topo.neighbors(frontier))
+            frontier = draw(st.sampled_from(neighbours))
+            region.add(frontier)
+        faulty |= region
+    faults = FaultSet.from_nodes(sorted(faulty))
+    assume(faults.num_faulty_nodes < topo.num_nodes // 3)
+    assume(is_connected_without_faults(topo, faults))
+    healthy = [n for n in range(topo.num_nodes) if not faults.is_node_faulty(n)]
+    src = draw(st.sampled_from(healthy))
+    dst = draw(st.sampled_from(healthy))
+    assume(src != dst)
+    return topo, faults, src, dst
+
+
+class TestLivelockFuzz:
+    """Randomised multi-region sweep: absorptions stay bounded, always.
+
+    This is the fuzz harness behind the nightly ``livelock-fuzz`` CI job,
+    which raises ``REPRO_LIVELOCK_FUZZ_EXAMPLES`` to sweep hundreds of random
+    multi-region fault patterns across 2-D/3-D tori and meshes.  A livelock
+    shows up either as a LivelockError from the engine's guard (test error) or
+    as a non-delivered message (assertion failure); bounded absorptions are
+    additionally asserted per record.
+    """
+
+    @given(multi_region_scenario())
+    @settings(max_examples=_FUZZ_EXAMPLES, deadline=None)
+    def test_multi_region_patterns_never_livelock_deterministic(self, scenario):
+        topo, faults, src, dst = scenario
+        engine = _single_message_engine(topo, faults)
+        engine.inject_message(src, dst)
+        engine.drain(max_cycles=60_000)
+        assert engine.collector.delivered_messages == 1
+        bound = absorption_bound(topo, faults)
+        for record in engine.collector.records:
+            assert record.absorptions <= bound
+
+    @given(multi_region_scenario())
+    @settings(max_examples=max(1, _FUZZ_EXAMPLES // 3), deadline=None)
+    def test_multi_region_patterns_drain_under_traffic(self, scenario):
+        topo, faults, _, _ = scenario
+        engine = _single_message_engine(
+            topo, faults, traffic=PoissonTraffic(0.01), measure_messages=30, seed=3
+        )
+        for _ in range(500):
+            engine.step()
+        engine.drain(max_cycles=60_000)
+        assert engine.collector.delivered_messages == engine.collector.generated_messages
+
+
+class TestTraceDiagnostics:
+    """The opt-in rerouting trace and its surfacing in livelock errors."""
+
+    def _traced_engine(self, guard=None):
+        topo = TorusTopology(radix=6, dimensions=2)
+        faults = FaultSet.from_nodes([4, 9, 12, 22])
+        routing = SoftwareBasedRouting.deterministic(
+            topo, faults=faults, num_virtual_channels=2, trace_rerouting=True
+        )
+        overrides = {"routing": routing}
+        if guard is not None:
+            overrides["livelock_guard"] = guard
+        return _single_message_engine(topo, faults, **overrides), routing
+
+    def test_traced_header_records_every_rewrite(self):
+        engine, routing = self._traced_engine()
+        message = engine.inject_message(0, 10)
+        engine.drain(max_cycles=20_000)
+        assert engine.collector.delivered_messages == 1
+        trace = list(message.header.trace)
+        assert trace, "fault absorptions must leave trace entries"
+        decisions = {entry.decision for entry in trace}
+        assert "detour" in decisions or "reverse" in decisions
+        # The formerly-livelocked pattern requires at least one escalation.
+        assert any(entry.decision.startswith("escape:") for entry in trace)
+
+    def test_livelock_error_includes_the_trace(self):
+        guard = LivelockGuard(max_absorptions=3)
+        engine, _ = self._traced_engine(guard=guard)
+        engine.inject_message(0, 10)
+        with pytest.raises(LivelockError) as excinfo:
+            engine.drain(max_cycles=20_000)
+        assert "rerouting trace" in str(excinfo.value)
+        assert excinfo.value.trace, "the trace entries must ride on the exception"
+        assert all(hasattr(entry, "node") for entry in excinfo.value.trace)
+
+    def test_untraced_livelock_error_points_at_the_flag(self):
+        guard = LivelockGuard(max_absorptions=3)
+        topo = TorusTopology(radix=6, dimensions=2)
+        faults = FaultSet.from_nodes([4, 9, 12, 22])
+        engine = _single_message_engine(topo, faults, livelock_guard=guard)
+        engine.inject_message(0, 10)
+        with pytest.raises(LivelockError, match="trace_rerouting"):
+            engine.drain(max_cycles=20_000)
+
