@@ -173,7 +173,20 @@ def campaign_status_table(status) -> str:
         title += f" (backend {backend})"
     if status.skipped_records:
         title += f" ({status.skipped_records} torn records skipped)"
-    return format_table(rows, columns=["member", "records"], title=title)
+    table = format_table(rows, columns=["member", "records"], title=title)
+    # Work-stealing health, when lease records or worker heartbeats exist
+    # (campaigns run purely with static shards show nothing extra).
+    work = getattr(status, "work", None)
+    if work and (work.get("workers") or work.get("active_leases") or work.get("expired_leases")):
+        active = sum(1 for w in work.get("workers", ()) if w.get("active"))
+        table += (
+            f"\nworkers: {active} active of {len(work.get('workers', ()))} seen; "
+            f"leases: {work.get('active_leases', 0)} active, "
+            f"{work.get('expired_leases', 0)} expired; "
+            f"{work.get('reclaims', 0)} reclaimed, "
+            f"{work.get('retries', 0)} faults retried"
+        )
+    return table
 
 
 def write_csv(rows: Sequence[Dict[str, object]], path: str) -> None:

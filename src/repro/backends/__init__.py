@@ -15,12 +15,17 @@ by URI through :func:`~repro.backends.registry.open_backend`:
   ``PointStore``), unchanged on disk and member-file mergeable;
 * ``sqlite://<path>`` — a single concurrent-writer-safe SQLite file
   (:class:`~repro.backends.sqlite.SQLiteBackend`);
-* ``obj://<path>`` / ``s3://<bucket>/<prefix>`` — the content-addressed
-  object layout (:class:`~repro.backends.objectstore.ObjectStoreBackend`
-  over a minimal blob-client protocol: one whole-object blob per
-  (config_hash, replication)), on a filesystem or in an S3 bucket via an
-  injectable client — the fleet-scale members: many hosts stream shards
-  into one shared store, any host merges.
+* ``obj://<path>`` / ``s3://<bucket>/<prefix>`` / ``gs://<bucket>/<prefix>``
+  — the content-addressed object layout
+  (:class:`~repro.backends.objectstore.ObjectStoreBackend` over a minimal
+  blob-client protocol: one whole-object blob per (config_hash,
+  replication)), on a filesystem, in an S3 bucket or a GCS bucket via
+  injectable clients — the fleet-scale members: many hosts stream shards
+  into one shared store, any host merges.  Blob I/O is wrapped in the
+  bounded-backoff retry layer (:mod:`repro.backends.retry`) by default;
+* ``chaos+<scheme>://<location>?fail=0.2&seed=7`` — any registered scheme
+  opened through seeded fault injection (:mod:`repro.backends.chaos`), so
+  retry and crash-recovery paths are tested against real failure modes.
 
 Stores also sync: every backend exposes its results as framed records
 (``records()`` / ``put_record``), and :func:`~repro.backends.sync.
@@ -35,14 +40,32 @@ member.
 """
 
 from repro.backends.base import BackendScan, ResultBackend, validate_member
+from repro.backends.chaos import (
+    ChaosBackendProxy,
+    ChaosBlobClient,
+    ChaosFault,
+    ChaosSpec,
+    parse_chaos_location,
+)
 from repro.backends.directory import DirectoryBackend, shard_member_name
 from repro.backends.memory import MemoryBackend
 from repro.backends.objectstore import (
+    GCSBlobClient,
+    InMemoryGCSClient,
     InMemoryS3Client,
     LocalObjectClient,
     ObjectStoreBackend,
     S3BlobClient,
+    StubS3ClientError,
+    set_gcs_client_factory,
     set_s3_client_factory,
+)
+from repro.backends.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RetryStats,
+    RetryingBlobClient,
+    is_transient_error,
 )
 from repro.backends.registry import (
     DEFAULT_MEMBER,
@@ -65,17 +88,30 @@ from repro.backends.sync import SyncReport, sync_backends
 
 __all__ = [
     "BackendScan",
+    "ChaosBackendProxy",
+    "ChaosBlobClient",
+    "ChaosFault",
+    "ChaosSpec",
     "DEFAULT_MEMBER",
+    "DEFAULT_RETRY_POLICY",
     "DirectoryBackend",
+    "GCSBlobClient",
+    "InMemoryGCSClient",
     "InMemoryS3Client",
     "LocalObjectClient",
     "MemoryBackend",
     "ObjectStoreBackend",
     "ResultBackend",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingBlobClient",
     "S3BlobClient",
     "SQLiteBackend",
+    "StubS3ClientError",
     "SyncReport",
     "backend_schemes",
+    "is_transient_error",
+    "parse_chaos_location",
     "config_from_dict",
     "config_to_dict",
     "frame_record",
@@ -86,6 +122,7 @@ __all__ = [
     "parse_record",
     "register_backend",
     "scan_backend",
+    "set_gcs_client_factory",
     "set_s3_client_factory",
     "shard_member_name",
     "sync_backends",

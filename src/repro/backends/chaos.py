@@ -1,0 +1,364 @@
+"""``chaos+<scheme>://`` — seeded fault injection over any registered backend.
+
+The retry layer (:mod:`repro.backends.retry`) and the lease-based worker
+loop (:mod:`repro.campaign.leases`) exist to survive real storage faults;
+this module makes those faults *reproducible* so crash-recovery paths are
+tested against actual failure modes, not mocks.  Prefixing any registered
+backend scheme with ``chaos+`` opens the same store through a seeded fault
+injector::
+
+    chaos+dir:///tmp/campaign?fail=0.2&seed=7
+    chaos+sqlite://points.sqlite?fail=0.1&delay=0.002&delay_rate=0.3
+    chaos+obj:///tmp/objects?fail=0.2&torn=0.05&seed=3
+
+Query parameters (everything after ``?`` belongs to chaos; the rest of the
+location is passed to the base scheme untouched):
+
+* ``fail`` (alias ``rate``, default 0.2) — probability each storage
+  operation raises a *transient* :class:`ChaosFault` before touching the
+  store;
+* ``torn`` (blob schemes only, default 0) — probability a put writes a
+  truncated ``*.tmp-chaos`` artifact and dies, simulating a writer killed
+  between temp-write and rename (never a corrupt blob at the final
+  content-addressed path — the real clients' atomic-put contract rules
+  that out, and chaos must only inject faults the contract admits);
+* ``delay`` / ``delay_rate`` — inject ``delay`` seconds of latency with
+  probability ``delay_rate``;
+* ``seed`` (default 0) — the injector's RNG seed: one seed, one op
+  sequence, one fault schedule, so a chaos test that passes once passes
+  always;
+* ``attempts`` (default 8) — ``max_attempts`` of the paired fast
+  :class:`~repro.backends.retry.RetryPolicy` the chaotic store retries
+  itself with.
+
+Blob-backed schemes (``obj``, ``s3``, ``gs``) are chained at the client
+layer — base client → :class:`ChaosBlobClient` →
+:class:`~repro.backends.retry.RetryingBlobClient` → the ordinary
+:class:`~repro.backends.objectstore.ObjectStoreBackend` — so the exact
+production retry path is exercised.  The in-process schemes (``mem``,
+``dir``, ``sqlite``) are wrapped by :class:`ChaosBackendProxy`, which
+injects faults around the backend's storage primitives and retries them
+under the same policy.  Scans (``status``-style keys-only queries) pass
+through to the base scheme unfaulted: chaos tests assert on status output,
+so the observer must stay dependable while the participants misbehave.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
+from urllib.parse import parse_qsl
+
+from repro.backends.base import BackendScan, ResultBackend
+from repro.backends.retry import RetryPolicy, RetryStats, RetryingBlobClient
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import NetworkMetrics
+from repro.sim.config import SimulationConfig
+
+__all__ = [
+    "ChaosBackendProxy",
+    "ChaosBlobClient",
+    "ChaosFault",
+    "ChaosSpec",
+    "ChaosStats",
+    "parse_chaos_location",
+]
+
+#: Base schemes whose chaos variant injects at the blob-client layer.
+_BLOB_SCHEMES = ("obj", "s3", "gs")
+#: Every base scheme a ``chaos+`` variant is registered for.
+CHAOS_BASE_SCHEMES = ("mem", "dir", "sqlite") + _BLOB_SCHEMES
+
+
+class ChaosFault(Exception):
+    """An injected storage fault.
+
+    Carries the explicit ``transient`` marker
+    :func:`repro.backends.retry.is_transient_error` honours, so injected
+    faults route through exactly the classification code real faults do.
+    """
+
+    def __init__(self, message: str, transient: bool = True) -> None:
+        super().__init__(message)
+        self.transient = transient
+
+
+@dataclass
+class ChaosStats:
+    """What an injector actually did, for assertions and health reports."""
+
+    ops: int = 0
+    injected_faults: int = 0
+    injected_delays: int = 0
+    torn_writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "injected_faults": self.injected_faults,
+            "injected_delays": self.injected_delays,
+            "torn_writes": self.torn_writes,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parsed fault-injection parameters of a ``chaos+`` URI."""
+
+    fail_rate: float = 0.2
+    torn_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay: float = 0.0
+    seed: int = 0
+    attempts: int = 8
+
+    def __post_init__(self) -> None:
+        for name, rate in (
+            ("fail", self.fail_rate),
+            ("torn", self.torn_rate),
+            ("delay_rate", self.delay_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"chaos {name} rate must be in [0, 1] (got {rate})"
+                )
+        if self.delay < 0:
+            raise ConfigurationError(f"chaos delay must be >= 0 (got {self.delay})")
+        if self.attempts < 1:
+            raise ConfigurationError(
+                f"chaos retry attempts must be >= 1 (got {self.attempts})"
+            )
+
+    def policy(self) -> RetryPolicy:
+        """The fast retry policy paired with this injector.
+
+        Millisecond-scale backoff: chaos runs inject *lots* of transient
+        faults on purpose, and the delays only need to exercise the backoff
+        code path, not model a real S3 brown-out.
+        """
+        return RetryPolicy(
+            max_attempts=self.attempts,
+            base_delay=0.001,
+            max_delay=0.01,
+            seed=self.seed,
+        )
+
+
+_CHAOS_KEYS = ("fail", "rate", "torn", "delay", "delay_rate", "seed", "attempts")
+
+
+def parse_chaos_location(location: str) -> Tuple[str, ChaosSpec]:
+    """Split a chaos location into ``(base location, ChaosSpec)``.
+
+    The chaos parameters ride in the URI query so one ``--backend`` string
+    configures the whole experiment; the base location (everything before
+    ``?``) is handed to the underlying scheme untouched.
+    """
+    base, _, query = location.partition("?")
+    values = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key not in _CHAOS_KEYS:
+            raise ConfigurationError(
+                f"unknown chaos parameter {key!r} in {location!r}; expected "
+                f"{', '.join(k for k in _CHAOS_KEYS if k != 'rate')}"
+            )
+        values[key] = value
+    try:
+        spec = ChaosSpec(
+            fail_rate=float(values.get("fail", values.get("rate", 0.2))),
+            torn_rate=float(values.get("torn", 0.0)),
+            delay_rate=float(values.get("delay_rate", 0.0)),
+            delay=float(values.get("delay", 0.0)),
+            seed=int(values.get("seed", 0)),
+            attempts=int(values.get("attempts", 8)),
+        )
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"malformed chaos parameter in {location!r}: {exc}"
+        ) from exc
+    return base, spec
+
+
+class _Injector:
+    """The seeded fault core shared by the blob and backend injectors."""
+
+    def __init__(
+        self, spec: ChaosSpec, sleep: Callable[[float], None] = time.sleep
+    ) -> None:
+        self.spec = spec
+        self.chaos_stats = ChaosStats()
+        self._rng = random.Random(spec.seed)
+        self._sleep = sleep
+
+    def _maybe_fault(self, op: str, what: str) -> None:
+        self.chaos_stats.ops += 1
+        if self._rng.random() < self.spec.fail_rate:
+            self.chaos_stats.injected_faults += 1
+            raise ChaosFault(f"chaos: injected transient {op} fault on {what!r}")
+        if self.spec.delay_rate and self._rng.random() < self.spec.delay_rate:
+            self.chaos_stats.injected_delays += 1
+            self._sleep(self.spec.delay)
+
+    def _maybe_tear(self) -> bool:
+        return bool(self.spec.torn_rate) and self._rng.random() < self.spec.torn_rate
+
+
+class ChaosBlobClient(_Injector):
+    """A :class:`~repro.backends.objectstore.BlobClient` decorator that
+    injects seeded faults before delegating.
+
+    Sits *under* a :class:`~repro.backends.retry.RetryingBlobClient` so each
+    retry attempt draws fresh fault dice — exactly how a real flaky
+    transport behaves.
+    """
+
+    def __init__(
+        self, inner, spec: ChaosSpec, sleep: Callable[[float], None] = time.sleep
+    ) -> None:
+        super().__init__(spec, sleep=sleep)
+        self.inner = inner
+
+    def put_blob(self, path: str, data: bytes) -> None:
+        if self._maybe_tear():
+            # A writer killed between temp-write and rename: half the bytes
+            # land under a temp name, the final path is never touched.
+            self.chaos_stats.torn_writes += 1
+            self.inner.put_blob(f"{path}.tmp-chaos", data[: max(1, len(data) // 2)])
+            raise ChaosFault(f"chaos: torn write on {path!r}")
+        self._maybe_fault("put", path)
+        self.inner.put_blob(path, data)
+
+    def get_blob(self, path: str) -> bytes:
+        self._maybe_fault("get", path)
+        return self.inner.get_blob(path)
+
+    def list_prefix(self, prefix: str) -> Iterator[str]:
+        self._maybe_fault("list", prefix)
+        return iter(list(self.inner.list_prefix(prefix)))
+
+    def delete_blob(self, path: str) -> None:
+        self._maybe_fault("delete", path)
+        self.inner.delete_blob(path)
+
+
+class ChaosBackendProxy(_Injector, ResultBackend):
+    """A :class:`~repro.backends.base.ResultBackend` decorator injecting
+    faults around the inner backend's storage primitives and retrying them
+    under the spec's policy.
+
+    The chaos analogue of :class:`ChaosBlobClient` for backends that have
+    no blob layer (``mem``, ``dir``, ``sqlite``): every primitive runs as
+    ``retry(inject; delegate)``, so a campaign against ``chaos+dir://``
+    exercises the identical claim/commit/release logic a flaky filesystem
+    would.
+    """
+
+    def __init__(
+        self,
+        inner: ResultBackend,
+        spec: ChaosSpec,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        _Injector.__init__(self, spec, sleep=sleep)
+        ResultBackend.__init__(self)
+        self.inner = inner
+        self.scheme = f"chaos+{inner.scheme}"
+        self.retry_stats = RetryStats()
+        self._policy = spec.policy()
+
+    def _guarded(self, op: str, what: str, fn: Callable[[], object]) -> object:
+        def attempt() -> object:
+            self._maybe_fault(op, what)
+            return fn()
+
+        return self._policy.call(
+            attempt, stats=self.retry_stats, token=f"{op}:{what}", sleep=self._sleep
+        )
+
+    # The proxy mirrors its inner backend's torn-record count; the base
+    # class's ``self.skipped_records = 0`` assignment lands in the no-op
+    # setter.
+    @property
+    def skipped_records(self) -> int:
+        return self.inner.skipped_records
+
+    @skipped_records.setter
+    def skipped_records(self, value: int) -> None:
+        pass
+
+    # ------------------------------------------------------------------ #
+    # storage primitives (each one injected + retried)
+    # ------------------------------------------------------------------ #
+    def _lookup(self, key) -> Optional[NetworkMetrics]:
+        return self._guarded("get", str(key), lambda: self.inner._lookup(key))
+
+    def _commit(self, key, config: SimulationConfig, metrics: NetworkMetrics) -> None:
+        self._guarded("put", str(key), lambda: self.inner._commit(key, config, metrics))
+
+    def _discard(self, keys: FrozenSet) -> None:
+        self._guarded("delete", f"{len(keys)} keys", lambda: self.inner._discard(keys))
+
+    def records(self) -> Iterator[tuple]:
+        # Materialised inside the guard: a fault halfway through a lazy
+        # record stream must retry the whole listing.
+        yield from self._guarded("list", "records", lambda: list(self.inner.records()))
+
+    # ------------------------------------------------------------------ #
+    # introspection (delegated unfaulted: cheap local state on the inner
+    # backend's index, not storage I/O)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, key) -> bool:
+        return key in self.inner
+
+    def keys(self) -> FrozenSet:
+        return self.inner.keys()
+
+    def members(self) -> List[Tuple[str, int]]:
+        return self.inner.members()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def _open_chaos(base_scheme: str) -> Callable[[str, str], ResultBackend]:
+    def opener(location: str, member: str) -> ResultBackend:
+        from repro.backends.registry import open_backend
+
+        base_location, spec = parse_chaos_location(location)
+        if base_scheme in _BLOB_SCHEMES:
+            from repro.backends.objectstore import ObjectStoreBackend, blob_client_for
+
+            chaotic = ChaosBlobClient(blob_client_for(base_scheme, base_location), spec)
+            retrying = RetryingBlobClient(chaotic, policy=spec.policy())
+            backend = ObjectStoreBackend(retrying, member=member)
+            backend.scheme = f"chaos+{base_scheme}"
+            backend.chaos_stats = chaotic.chaos_stats
+            backend.retry_stats = retrying.stats
+            return backend
+        return ChaosBackendProxy(
+            open_backend(f"{base_scheme}://{base_location}", member=member), spec
+        )
+
+    return opener
+
+
+def _scan_chaos(base_scheme: str) -> Callable[[str], BackendScan]:
+    def scanner(location: str) -> BackendScan:
+        from repro.backends.registry import scan_backend
+
+        base_location, _ = parse_chaos_location(location)
+        return scan_backend(f"{base_scheme}://{base_location}")
+
+    return scanner
+
+
+def register_chaos_backends(register: Callable) -> None:
+    """Mount a ``chaos+`` variant of every base scheme (called by the
+    registry at import time, after the base schemes are registered)."""
+    for scheme in CHAOS_BASE_SCHEMES:
+        register(f"chaos+{scheme}", _open_chaos(scheme), _scan_chaos(scheme))

@@ -62,10 +62,16 @@ from repro.sim.config import SimulationConfig
 
 __all__ = [
     "BlobClient",
+    "GCSBlobClient",
+    "InMemoryGCSClient",
     "InMemoryS3Client",
+    "LEASE_PREFIX",
     "LocalObjectClient",
     "ObjectStoreBackend",
     "S3BlobClient",
+    "StubS3ClientError",
+    "blob_client_for",
+    "set_gcs_client_factory",
     "set_s3_client_factory",
 ]
 
@@ -73,6 +79,13 @@ __all__ = [
 #: crashed writer's temp file) is counted as skipped, the blob analogue of a
 #: torn JSONL line.
 _BLOB_SUFFIX = ".json"
+
+#: Store prefix the lease/worker sidecar records of work-stealing campaigns
+#: (:mod:`repro.campaign.leases`) live under.  Everything below it is
+#: coordination state, not results: scans ignore it entirely (not even
+#: counted as skipped), so lease traffic can never perturb member counts,
+#: completion status or gc decisions.
+LEASE_PREFIX = ".leases"
 
 
 class BlobClient:
@@ -252,6 +265,21 @@ class S3BlobClient(BlobClient):
         self._client.delete_object(Bucket=self.bucket, Key=self._object_key(path))
 
 
+class StubS3ClientError(Exception):
+    """The structural shape of botocore's ``ClientError``.
+
+    Carries the ``response["Error"]["Code"]`` payload the retry layer's
+    classification (:func:`repro.backends.retry.is_transient_error`) and
+    :func:`_is_missing_key_error` both match on, so S3 error handling is
+    testable without botocore installed.
+    """
+
+    def __init__(self, code: str, operation: str = "") -> None:
+        where = f" during {operation}" if operation else ""
+        super().__init__(f"stub S3 client error{where}: {code}")
+        self.response = {"Error": {"Code": code}}
+
+
 class InMemoryS3Client:
     """An in-memory double of the boto3 S3 surface :class:`S3BlobClient` uses.
 
@@ -261,17 +289,41 @@ class InMemoryS3Client:
     is paginated (``page_size``, default 1000 like S3) so the pagination loop
     is genuinely covered.  Buckets spring into existence on first write,
     which is all the tests need.
+
+    :meth:`inject_failures` arms transient/permanent SDK error shapes on a
+    per-method basis (raise-on-next-N-calls), so the retry layer's S3
+    classification is exercised against the exact exception structure
+    botocore would produce.
     """
 
     def __init__(self, page_size: int = 1000) -> None:
         self.page_size = page_size
         self._buckets: Dict[str, Dict[str, bytes]] = {}
+        self._failures: Dict[str, List[StubS3ClientError]] = {}
+
+    def inject_failures(self, method: str, count: int = 1, code: str = "SlowDown") -> None:
+        """Make the next ``count`` calls of ``method`` raise a botocore-shaped
+        error carrying ``code`` (e.g. ``SlowDown``, ``AccessDenied``)."""
+        if method not in ("put_object", "get_object", "delete_object", "list_objects_v2"):
+            raise ConfigurationError(
+                f"cannot inject failures into unknown S3 method {method!r}"
+            )
+        self._failures.setdefault(method, []).extend(
+            StubS3ClientError(code, operation=method) for _ in range(count)
+        )
+
+    def _maybe_fail(self, method: str) -> None:
+        queued = self._failures.get(method)
+        if queued:
+            raise queued.pop(0)
 
     def put_object(self, Bucket: str, Key: str, Body: bytes) -> dict:
+        self._maybe_fail("put_object")
         self._buckets.setdefault(Bucket, {})[Key] = bytes(Body)
         return {}
 
     def get_object(self, Bucket: str, Key: str) -> dict:
+        self._maybe_fail("get_object")
         try:
             data = self._buckets[Bucket][Key]
         except KeyError:
@@ -279,6 +331,7 @@ class InMemoryS3Client:
         return {"Body": io.BytesIO(data)}
 
     def delete_object(self, Bucket: str, Key: str) -> dict:
+        self._maybe_fail("delete_object")
         self._buckets.get(Bucket, {}).pop(Key, None)  # absent keys succeed, like S3
         return {}
 
@@ -288,6 +341,7 @@ class InMemoryS3Client:
         Prefix: str = "",
         ContinuationToken: Optional[str] = None,
     ) -> dict:
+        self._maybe_fail("list_objects_v2")
         keys = sorted(
             k for k in self._buckets.get(Bucket, {}) if k.startswith(Prefix)
         )
@@ -325,6 +379,9 @@ class ObjectStoreBackend(ResultBackend):
         validate_member(member)
         self._client = client
         self.member = member
+        #: Retry accounting when the client is a RetryingBlobClient (the
+        #: registry's default), surfaced by worker reports and status.
+        self.retry_stats = getattr(client, "stats", None)
         self._paths: Dict[str, str] = {}
         self._member_counts: Dict[str, int] = {}
         self.reload()
@@ -348,6 +405,8 @@ class ObjectStoreBackend(ResultBackend):
         members: Dict[str, int] = {}
         skipped = 0
         for path in sorted(client.list_prefix("")):
+            if path.startswith(f"{LEASE_PREFIX}/"):
+                continue  # coordination sidecars, not results (and not torn)
             member, _, blob = path.partition("/")
             if not blob or "/" in blob or not blob.endswith(_BLOB_SUFFIX):
                 skipped += 1
@@ -461,14 +520,163 @@ class ObjectStoreBackend(ResultBackend):
         return sorted(self._member_counts.items())
 
 
-def open_local_object_store(location: str, member: str) -> ObjectStoreBackend:
-    """The ``obj://`` opener: the object layout rooted at a directory."""
-    return ObjectStoreBackend(LocalObjectClient(location), member=member)
+#: Returns a google-cloud-storage-style client; injectable so tests and
+#: SDK-less environments run against :class:`InMemoryGCSClient`.
+_gcs_client_factory: Optional[Callable[[], object]] = None
 
 
-def scan_local_object_store(location: str) -> BackendScan:
-    """The ``obj://`` scanner (a missing root scans as an empty store)."""
-    return ObjectStoreBackend.scan_client(LocalObjectClient(location))
+def set_gcs_client_factory(
+    factory: Optional[Callable[[], object]],
+) -> Optional[Callable[[], object]]:
+    """Install the factory ``gs://`` opens use to build their client.
+
+    ``None`` restores the default (a lazy ``google.cloud.storage.Client()``).
+    Returns the previously installed factory so callers can restore it.
+    """
+    global _gcs_client_factory
+    previous = _gcs_client_factory
+    _gcs_client_factory = factory
+    return previous
+
+
+def _build_gcs_client() -> object:
+    if _gcs_client_factory is not None:
+        return _gcs_client_factory()
+    try:
+        from google.cloud import storage
+    except ImportError as exc:
+        raise ConfigurationError(
+            "the gs:// backend needs the optional google-cloud-storage "
+            "package (pip install google-cloud-storage), or an injected "
+            "client: repro.backends.objectstore.set_gcs_client_factory("
+            "lambda: my_client)"
+        ) from exc
+    return storage.Client()
+
+
+def _is_gcs_missing_error(exc: Exception) -> bool:
+    """Whether a GCS SDK exception means "no such object".
+
+    Recognised structurally (the ``NotFound`` class name, or a
+    google-api-core-style ``exc.code == 404``) so no google import is
+    needed — like S3, the SDK stays an optional extra.
+    """
+    if type(exc).__name__ == "NotFound":
+        return True
+    return getattr(exc, "code", None) == 404
+
+
+class GCSBlobClient(BlobClient):
+    """Blob client over a google-cloud-storage-style client (``gs://``).
+
+    Uses four calls of the SDK surface — ``client.bucket(...).blob(...)``
+    with ``upload_from_string`` / ``download_as_bytes`` / ``delete``, plus
+    ``client.list_blobs`` — so any compatible SDK or stub (e.g.
+    :class:`InMemoryGCSClient`) drops in.  Object names are
+    ``<prefix>/<relative path>``, the same layout as S3.
+    """
+
+    def __init__(self, bucket: str, prefix: str, client: object) -> None:
+        self.bucket = bucket
+        self.prefix = prefix.strip("/")
+        self._client = client
+
+    def _object_key(self, path: str) -> str:
+        return f"{self.prefix}/{path}" if self.prefix else path
+
+    def put_blob(self, path: str, data: bytes) -> None:
+        # A GCS upload is a whole-object atomic write; record bytes for one
+        # path are equal by construction, so unconditional upload is
+        # idempotent in outcome.
+        blob = self._client.bucket(self.bucket).blob(self._object_key(path))
+        blob.upload_from_string(bytes(data))
+
+    def get_blob(self, path: str) -> bytes:
+        blob = self._client.bucket(self.bucket).blob(self._object_key(path))
+        try:
+            return blob.download_as_bytes()
+        except KeyError:
+            raise  # a stub already speaking the BlobClient contract
+        except Exception as exc:
+            # The real SDK raises google.api_core NotFound, never KeyError:
+            # translate so the protocol's missing-blob signal holds.
+            if _is_gcs_missing_error(exc):
+                raise KeyError(path) from exc
+            raise
+
+    def list_prefix(self, prefix: str) -> Iterator[str]:
+        full_prefix = self._object_key(prefix)
+        strip = len(self.prefix) + 1 if self.prefix else 0
+        for blob in self._client.list_blobs(self.bucket, prefix=full_prefix):
+            yield blob.name[strip:]
+
+    def delete_blob(self, path: str) -> None:
+        blob = self._client.bucket(self.bucket).blob(self._object_key(path))
+        try:
+            blob.delete()
+        except Exception as exc:
+            if _is_gcs_missing_error(exc):
+                return  # absent keys succeed, per the protocol
+            raise
+
+
+class _StubGCSNotFound(KeyError):
+    """The in-memory stand-in for ``google.api_core.exceptions.NotFound``.
+
+    Subclasses ``KeyError`` so the stub honours the BlobClient missing-blob
+    signal directly; the real SDK's exception is translated structurally by
+    :class:`GCSBlobClient` instead.
+    """
+
+    code = 404
+
+
+class _StubGCSBlob:
+    def __init__(self, store: Dict[str, bytes], name: str) -> None:
+        self._store = store
+        self.name = name
+
+    def upload_from_string(self, data: bytes) -> None:
+        self._store[self.name] = bytes(data)
+
+    def download_as_bytes(self) -> bytes:
+        try:
+            return self._store[self.name]
+        except KeyError:
+            raise _StubGCSNotFound(self.name) from None
+
+    def delete(self) -> None:
+        if self.name not in self._store:
+            raise _StubGCSNotFound(self.name)
+        del self._store[self.name]
+
+
+class _StubGCSBucket:
+    def __init__(self, store: Dict[str, bytes]) -> None:
+        self._store = store
+
+    def blob(self, name: str) -> _StubGCSBlob:
+        return _StubGCSBlob(self._store, name)
+
+
+class InMemoryGCSClient:
+    """An in-memory double of the google-cloud-storage surface
+    :class:`GCSBlobClient` uses — the ``gs://`` analogue of
+    :class:`InMemoryS3Client`, injected via :func:`set_gcs_client_factory`
+    so the conformance suite covers the scheme without the SDK or a
+    network.  Buckets spring into existence on first write."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, Dict[str, bytes]] = {}
+
+    def bucket(self, name: str) -> _StubGCSBucket:
+        return _StubGCSBucket(self._buckets.setdefault(name, {}))
+
+    def list_blobs(self, bucket: str, prefix: str = "") -> Iterator[_StubGCSBlob]:
+        store = self._buckets.get(bucket, {})
+        for name in sorted(store):
+            if name.startswith(prefix):
+                yield _StubGCSBlob(store, name)
 
 
 def _split_s3_location(location: str) -> Tuple[str, str]:
@@ -481,19 +689,74 @@ def _split_s3_location(location: str) -> Tuple[str, str]:
     return bucket, prefix
 
 
+def _split_gs_location(location: str) -> Tuple[str, str]:
+    bucket, _, prefix = location.partition("/")
+    if not bucket:
+        raise ConfigurationError(
+            f"gs:// backend location {location!r} needs a bucket, e.g. "
+            "gs://my-bucket/campaigns/fig3"
+        )
+    return bucket, prefix
+
+
+def blob_client_for(scheme: str, location: str) -> BlobClient:
+    """The raw (un-retried) blob client a blob-backed scheme's location
+    names — the single client construction path shared by the backend
+    openers, the chaos proxy and the lease store."""
+    if scheme == "obj":
+        return LocalObjectClient(location)
+    if scheme == "s3":
+        bucket, prefix = _split_s3_location(location)
+        return S3BlobClient(bucket, prefix, _build_s3_client())
+    if scheme == "gs":
+        bucket, prefix = _split_gs_location(location)
+        return GCSBlobClient(bucket, prefix, _build_gcs_client())
+    raise ConfigurationError(
+        f"scheme {scheme!r} is not a blob-backed store (expected obj, s3 or gs)"
+    )
+
+
+def _retrying(client: BlobClient) -> "RetryingBlobClient":
+    # Imported here, not at module top: retry.py is dependency-free of this
+    # module, and the late import keeps that a one-way street.
+    from repro.backends.retry import RetryingBlobClient
+
+    return RetryingBlobClient(client)
+
+
+def _open_blob_store(scheme: str, location: str, member: str) -> ObjectStoreBackend:
+    client = _retrying(blob_client_for(scheme, location))
+    backend = ObjectStoreBackend(client, member=member)
+    backend.scheme = scheme
+    backend.retry_stats = client.stats
+    return backend
+
+
+def open_local_object_store(location: str, member: str) -> ObjectStoreBackend:
+    """The ``obj://`` opener: the object layout rooted at a directory."""
+    return _open_blob_store("obj", location, member)
+
+
+def scan_local_object_store(location: str) -> BackendScan:
+    """The ``obj://`` scanner (a missing root scans as an empty store)."""
+    return ObjectStoreBackend.scan_client(_retrying(LocalObjectClient(location)))
+
+
 def open_s3_store(location: str, member: str) -> ObjectStoreBackend:
     """The ``s3://`` opener: ``s3://bucket[/prefix]`` via the client factory."""
-    bucket, prefix = _split_s3_location(location)
-    backend = ObjectStoreBackend(
-        S3BlobClient(bucket, prefix, _build_s3_client()), member=member
-    )
-    backend.scheme = "s3"
-    return backend
+    return _open_blob_store("s3", location, member)
 
 
 def scan_s3_store(location: str) -> BackendScan:
     """The ``s3://`` scanner (one paginated listing, no blob bodies)."""
-    bucket, prefix = _split_s3_location(location)
-    return ObjectStoreBackend.scan_client(
-        S3BlobClient(bucket, prefix, _build_s3_client())
-    )
+    return ObjectStoreBackend.scan_client(_retrying(blob_client_for("s3", location)))
+
+
+def open_gcs_store(location: str, member: str) -> ObjectStoreBackend:
+    """The ``gs://`` opener: ``gs://bucket[/prefix]`` via the client factory."""
+    return _open_blob_store("gs", location, member)
+
+
+def scan_gcs_store(location: str) -> BackendScan:
+    """The ``gs://`` scanner (one listing, no blob bodies)."""
+    return ObjectStoreBackend.scan_client(_retrying(blob_client_for("gs", location)))

@@ -13,7 +13,12 @@ lifecycle, :func:`repro.experiments.common.resolve_executor` and the CLI's
 * ``obj://<path>`` — the content-addressed object layout on a filesystem
   (one blob per (config_hash, replication));
 * ``s3://<bucket>/<prefix>`` — the same layout in an S3 bucket, via an
-  injectable boto3-style client (boto3 itself is an optional extra).
+  injectable boto3-style client (boto3 itself is an optional extra);
+* ``gs://<bucket>/<prefix>`` — the same layout in a GCS bucket, via an
+  injectable google-cloud-storage-style client (also an optional extra);
+* ``chaos+<scheme>://<location>?fail=0.2&seed=7`` — any of the above opened
+  through a seeded fault injector (:mod:`repro.backends.chaos`), for
+  testing retry and crash-recovery paths.
 
 Third-party backends mount themselves with :func:`register_backend` and
 immediately work across the executor, campaign, sync and CLI layers; the
@@ -30,8 +35,10 @@ from repro.backends.base import BackendScan, ResultBackend, validate_member
 from repro.backends.directory import DirectoryBackend
 from repro.backends.memory import MemoryBackend
 from repro.backends.objectstore import (
+    open_gcs_store,
     open_local_object_store,
     open_s3_store,
+    scan_gcs_store,
     scan_local_object_store,
     scan_s3_store,
 )
@@ -99,7 +106,9 @@ def parse_backend_uri(uri: str) -> Tuple[str, str]:
             f"unknown backend scheme {scheme!r} in {uri!r}; registered "
             f"schemes: {', '.join(backend_schemes())}"
         )
-    if scheme != "mem" and not location:
+    # mem:// is the one scheme whose location may be empty (the private
+    # in-memory form) — including through its chaos variant.
+    if scheme not in ("mem", "chaos+mem") and not location:
         raise ConfigurationError(
             f"backend URI {uri!r} needs a location, e.g. {scheme}://results/campaign"
         )
@@ -149,3 +158,11 @@ register_backend(
 )
 register_backend("obj", open_local_object_store, scan_local_object_store)
 register_backend("s3", open_s3_store, scan_s3_store)
+register_backend("gs", open_gcs_store, scan_gcs_store)
+
+# The chaos variants are mounted after every base scheme exists (the import
+# sits at the bottom for exactly that reason: chaos.py resolves base
+# schemes through this registry at open time).
+from repro.backends import chaos as _chaos  # noqa: E402
+
+_chaos.register_chaos_backends(register_backend)

@@ -1,0 +1,268 @@
+"""Bounded, deterministic retry for backend and blob I/O.
+
+Campaigns run against shared stores over flaky transports: S3 throttles
+(``SlowDown``), SQLite readers hit ``database is locked`` under WAL
+contention, NFS mounts time out.  All of those are *transient* — the same
+call succeeds a moment later — while ``KeyError`` (the blob-missing
+protocol signal), schema errors and permission errors are *permanent* and
+must surface immediately.  This module is the one place that distinction
+lives:
+
+* :func:`is_transient_error` — structural transient-vs-permanent
+  classification covering the sqlite-busy shapes, botocore-style
+  ``response["Error"]["Code"]`` throttling codes, connection/timeout
+  exceptions and google-style retryable HTTP codes, without importing any
+  SDK (they stay optional extras);
+* :class:`RetryPolicy` — bounded exponential backoff with *deterministic*
+  jitter (a CRC of ``(seed, token, attempt)``, not a clock or a global
+  RNG), so retry schedules are reproducible in tests and chaos runs;
+* :class:`RetryingBlobClient` — the policy applied to the
+  :class:`~repro.backends.objectstore.BlobClient` surface; ``obj://``,
+  ``s3://`` and ``gs://`` opens wrap their clients in one by default, so
+  every campaign write path retries transient faults for free;
+* :class:`RetryStats` — retry/giveup counters surfaced by
+  ``campaign status --json`` and the worker reports.
+
+An exception may short-circuit classification by carrying a boolean
+``transient`` attribute — the contract the chaos proxy
+(:mod:`repro.backends.chaos`) uses to inject faults of either kind.
+"""
+
+from __future__ import annotations
+
+import errno
+import sqlite3
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingBlobClient",
+    "is_transient_error",
+]
+
+T = TypeVar("T")
+
+#: Botocore-style error codes that mean "back off and try again" (throttling,
+#: internal errors, timeouts) — matched structurally on
+#: ``exc.response["Error"]["Code"]`` so botocore itself is never imported.
+_TRANSIENT_SDK_CODES = frozenset(
+    {
+        "SlowDown",
+        "Throttling",
+        "ThrottlingException",
+        "TooManyRequestsException",
+        "RequestLimitExceeded",
+        "RequestTimeout",
+        "RequestTimeoutException",
+        "ServiceUnavailable",
+        "InternalError",
+        "429",
+        "500",
+        "502",
+        "503",
+        "504",
+    }
+)
+
+#: SDK exception class names that are connection-level and retriable —
+#: matched by name for the same no-SDK-import reason.
+_TRANSIENT_EXC_NAMES = frozenset(
+    {
+        "ConnectTimeoutError",
+        "ConnectionClosedError",
+        "EndpointConnectionError",
+        "IncompleteReadError",
+        "ReadTimeoutError",
+        "ResponseStreamingError",
+    }
+)
+
+#: Retryable HTTP status codes (google-cloud-style exceptions carry one as
+#: ``exc.code``).
+_TRANSIENT_HTTP_CODES = frozenset({429, 500, 502, 503, 504})
+
+_TRANSIENT_ERRNOS = frozenset(
+    {errno.EAGAIN, errno.EBUSY, errno.EINTR, errno.ETIMEDOUT, errno.ECONNRESET}
+)
+
+
+def is_transient_error(exc: BaseException) -> bool:
+    """Whether retrying ``exc`` can possibly succeed.
+
+    Permanent by definition: ``KeyError`` (the missing-blob protocol signal
+    — retrying cannot make an absent record appear, and treating it as
+    transient would turn every cache miss into a backoff loop) and
+    :class:`~repro.errors.ConfigurationError` (a schema/usage defect).
+    """
+    marked = getattr(exc, "transient", None)
+    if isinstance(marked, bool):
+        return marked
+    if isinstance(exc, (KeyError, ConfigurationError)):
+        return False
+    if isinstance(exc, sqlite3.OperationalError):
+        message = str(exc).lower()
+        return "locked" in message or "busy" in message
+    if isinstance(exc, (ConnectionError, TimeoutError)):
+        return True
+    if isinstance(exc, OSError):
+        return exc.errno in _TRANSIENT_ERRNOS
+    response = getattr(exc, "response", None)
+    if isinstance(response, dict):
+        code = str(response.get("Error", {}).get("Code", ""))
+        return code in _TRANSIENT_SDK_CODES
+    if type(exc).__name__ in _TRANSIENT_EXC_NAMES:
+        return True
+    code = getattr(exc, "code", None)
+    if isinstance(code, int):
+        return code in _TRANSIENT_HTTP_CODES
+    return False
+
+
+@dataclass
+class RetryStats:
+    """Mutable retry accounting shared by a client/backend and its readers."""
+
+    retries: int = 0
+    giveups: int = 0
+    last_error: str = ""
+
+    def record_retry(self, exc: BaseException) -> None:
+        self.retries += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+
+    def record_giveup(self, exc: BaseException) -> None:
+        self.giveups += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay_for(attempt, token)`` is ``min(max_delay, base_delay *
+    2**attempt)`` scaled into ``[1 - jitter, 1]`` by a CRC of ``(seed,
+    token, attempt)`` — a pure function, so two runs of the same workload
+    produce the same schedule (no global RNG draw, no wall clock), while
+    distinct tokens (one per blob path) still decorrelate concurrent
+    workers hammering one store.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry max_attempts must be >= 1 (got {self.max_attempts})"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError(
+                "retry delays must be non-negative "
+                f"(got base_delay={self.base_delay}, max_delay={self.max_delay})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"retry jitter must be a fraction in [0, 1] (got {self.jitter})"
+            )
+
+    def delay_for(self, attempt: int, token: str = "") -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * (2.0**attempt))
+        if self.jitter <= 0.0:
+            return raw
+        crc = zlib.crc32(f"{self.seed}:{token}:{attempt}".encode("utf-8"))
+        return raw * (1.0 - self.jitter * (crc / 0xFFFFFFFF))
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        classify: Callable[[BaseException], bool] = is_transient_error,
+        stats: Optional[RetryStats] = None,
+        token: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """Run ``fn`` retrying transient failures up to ``max_attempts``.
+
+        Permanent errors (per ``classify``) re-raise immediately; a
+        transient error on the final attempt re-raises after counting a
+        giveup — callers always see the real exception, never a wrapper.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if not classify(exc):
+                    raise
+                if attempt + 1 >= self.max_attempts:
+                    if stats is not None:
+                        stats.record_giveup(exc)
+                    raise
+                if stats is not None:
+                    stats.record_retry(exc)
+                sleep(self.delay_for(attempt, token))
+                attempt += 1
+
+
+#: What ``obj://`` / ``s3://`` / ``gs://`` opens wrap their clients in: a
+#: handful of quick attempts bounded well under any lease TTL.
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=1.0)
+
+
+class RetryingBlobClient:
+    """A :class:`~repro.backends.objectstore.BlobClient` decorator applying
+    a :class:`RetryPolicy` to every operation.
+
+    Structural like the protocol it wraps: any object with the four blob
+    methods works as ``inner``.  ``list_prefix`` is materialised *inside*
+    the retried call — a transport fault halfway through a lazy listing
+    must retry the whole listing, not resume a half-consumed iterator.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        stats: Optional[RetryStats] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy
+        self.stats = stats if stats is not None else RetryStats()
+        self._sleep = sleep
+
+    def _call(self, token: str, fn: Callable[[], T]) -> T:
+        return self.policy.call(fn, stats=self.stats, token=token, sleep=self._sleep)
+
+    def put_blob(self, path: str, data: bytes) -> None:
+        self._call(f"put:{path}", lambda: self.inner.put_blob(path, data))
+
+    def get_blob(self, path: str) -> bytes:
+        return self._call(f"get:{path}", lambda: self.inner.get_blob(path))
+
+    def list_prefix(self, prefix: str) -> Iterator[str]:
+        listed: List[str] = self._call(
+            f"list:{prefix}", lambda: list(self.inner.list_prefix(prefix))
+        )
+        return iter(listed)
+
+    def delete_blob(self, path: str) -> None:
+        self._call(f"delete:{path}", lambda: self.inner.delete_blob(path))

@@ -23,17 +23,35 @@ content-addressed simulation points instead of one monolithic in-process run
   :func:`~repro.campaign.runner.merge_campaign` /
   :func:`~repro.campaign.runner.campaign_status` implement the
   ``plan / run --shard i/N / merge / status`` lifecycle, with kill-and-resume
-  safety and shard merges that are bit-identical to single-shot runs.
+  safety and shard merges that are bit-identical to single-shot runs;
+* :func:`~repro.campaign.runner.work_campaign` (``campaign work`` / ``run
+  --steal``) replaces static sharding with lease-based work stealing
+  (:mod:`repro.campaign.leases`): any number of workers claim pending
+  units under TTL leases, a killed worker's units are reclaimed after
+  expiry and re-executed safely (idempotent content-addressed commits),
+  and per-unit cost estimates start expensive saturation points first.
 
 The CLI front end is ``python -m repro campaign``.
 """
 
+from repro.campaign.leases import (
+    LeaseHealth,
+    LeaseRecord,
+    LeaseStore,
+    WorkerRecord,
+    default_worker_id,
+    lease_health,
+    open_lease_store,
+    order_units_by_cost,
+    worker_member_name,
+)
 from repro.campaign.plan import CampaignPlan, CampaignUnit, SIMULATING_FIGURES
 from repro.campaign.runner import (
     CampaignGC,
     CampaignMerge,
     CampaignRunReport,
     CampaignStatus,
+    CampaignWorkReport,
     campaign_status,
     gc_campaign,
     merge_campaign,
@@ -41,6 +59,7 @@ from repro.campaign.runner import (
     push_campaign,
     resolve_campaign_backend,
     run_campaign,
+    work_campaign,
 )
 from repro.campaign.serialize import (
     config_from_dict,
@@ -57,19 +76,30 @@ __all__ = [
     "CampaignRunReport",
     "CampaignStatus",
     "CampaignUnit",
+    "CampaignWorkReport",
+    "LeaseHealth",
+    "LeaseRecord",
+    "LeaseStore",
     "PointStore",
     "SIMULATING_FIGURES",
     "StoreKeyScan",
+    "WorkerRecord",
     "campaign_status",
     "config_from_dict",
     "config_to_dict",
+    "default_worker_id",
     "gc_campaign",
+    "lease_health",
     "merge_campaign",
     "metrics_from_dict",
     "metrics_to_dict",
+    "open_lease_store",
+    "order_units_by_cost",
     "pull_campaign",
     "push_campaign",
     "resolve_campaign_backend",
     "run_campaign",
     "shard_member_name",
+    "work_campaign",
+    "worker_member_name",
 ]

@@ -1,0 +1,731 @@
+"""TTL lease records: the coordination layer of work-stealing campaigns.
+
+``run --shard i/N`` is static round-robin — one slow or crashed host
+strands its shard.  The work-stealing worker loop
+(:func:`repro.campaign.runner.work_campaign`) replaces that with dynamic
+claiming: any number of workers repeatedly *acquire* a TTL lease on a
+pending (point, replication) unit, simulate it, commit the result to the
+campaign backend, and *release* the lease.  This module is the lease
+storage itself — one sidecar record per unit, kept in (or next to) the
+campaign backend under the reserved ``.leases/`` prefix the result scans
+ignore.
+
+Leases are advisory, not locks.  The safety argument is layered:
+
+* **liveness** — a lease expires ``ttl`` seconds after its last renewal,
+  so a killed or hung worker's units become claimable again
+  (*reclaimed*, with the record's ``generation`` bumped) without any
+  central coordinator;
+* **correctness** — two workers racing on one unit is *safe*, merely
+  wasteful: results are content-addressed and commits idempotent
+  (records for one key are bit-identical by construction), so
+  double-execution cannot change a single output bit.  Lease stores
+  therefore only need best-effort mutual exclusion — read-check-write
+  over the same blob/row primitives the backends already have — not
+  linearizable CAS.
+
+A heartbeat thread (:class:`WorkerHeartbeat`) renews every held lease at
+``ttl / 3`` and publishes a per-worker status record (claimed/simulated
+counters), which ``campaign status --json`` aggregates into the ``work``
+health payload (:func:`lease_health`).
+
+Cost-ordered claiming: :func:`order_units_by_cost` sorts pending units by
+estimated simulated cycles — observed ``total_cycles`` at the nearest
+lower completed injection rate in the same sweep series, scaled linearly
+by the rate ratio (cost grows with offered load, sharply near
+saturation), falling back to the injection rate itself when nothing is
+observed yet.  Expensive saturation points start first, so the campaign's
+wall-clock is not hostage to whichever worker drew them last.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.backends.objectstore import LEASE_PREFIX, LocalObjectClient, blob_client_for
+from repro.backends.retry import DEFAULT_RETRY_POLICY, RetryingBlobClient
+from repro.campaign.serialize import config_to_dict
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "LeaseHealth",
+    "LeaseRecord",
+    "LeaseStore",
+    "MemoryLeaseStore",
+    "BlobLeaseStore",
+    "SQLiteLeaseStore",
+    "WorkerHeartbeat",
+    "WorkerRecord",
+    "default_worker_id",
+    "lease_health",
+    "observed_unit_costs",
+    "open_lease_store",
+    "order_units_by_cost",
+    "worker_member_name",
+]
+
+_SANITIZE_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _sanitize(name: str) -> str:
+    cleaned = _SANITIZE_RE.sub("-", name).strip(".-")
+    return cleaned or "worker"
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique per worker process on a fleet."""
+    return _sanitize(f"{socket.gethostname()}-{os.getpid()}")
+
+
+def worker_member_name(worker: str) -> str:
+    """The backend member a worker writes under (cf. ``shard_member_name``)."""
+    return f"points-worker-{_sanitize(worker)}"
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """One unit's lease: who owns it, until when, and how often it has
+    been (re)claimed (``generation`` 1 on first acquire, +1 per takeover)."""
+
+    key: str
+    worker: str
+    acquired_at: float
+    expires_at: float
+    generation: int = 1
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "worker": self.worker,
+            "acquired_at": self.acquired_at,
+            "expires_at": self.expires_at,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LeaseRecord":
+        return cls(
+            key=str(payload["key"]),
+            worker=str(payload["worker"]),
+            acquired_at=float(payload["acquired_at"]),
+            expires_at=float(payload["expires_at"]),
+            generation=int(payload.get("generation", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class WorkerRecord:
+    """A worker's last published heartbeat (status counters ride in
+    ``payload``: claimed/simulated/reused/ttl/…)."""
+
+    worker: str
+    updated_at: float
+    payload: dict
+
+    def to_dict(self) -> dict:
+        return {"worker": self.worker, "updated_at": self.updated_at, **self.payload}
+
+
+class LeaseStore(ABC):
+    """The lease contract over four storage primitives.
+
+    Subclasses implement ``_read`` / ``_write`` / ``_delete`` /
+    ``lease_keys`` (plus the worker-record pair); the acquire/renew/release
+    semantics live here once, under one re-entrant lock so a worker's
+    heartbeat thread and claim loop never interleave mid-operation.  The
+    read-check-write acquire is best-effort between *processes* by design —
+    see the module docstring's safety argument.
+    """
+
+    def __init__(self) -> None:
+        #: Expired foreign leases this handle took over.
+        self.reclaims = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # lease lifecycle
+    # ------------------------------------------------------------------ #
+    def acquire(
+        self, key: str, worker: str, ttl: float, now: Optional[float] = None
+    ) -> Optional[LeaseRecord]:
+        """Claim ``key`` for ``worker`` until ``now + ttl``.
+
+        Returns the written lease, or ``None`` when another worker holds a
+        live lease on the unit.  Re-acquiring one's own live lease renews
+        it; taking over an expired lease bumps ``generation`` (and, for a
+        foreign lease, the :attr:`reclaims` counter).
+        """
+        if ttl <= 0:
+            raise ConfigurationError(f"lease ttl must be positive seconds (got {ttl})")
+        now = time.time() if now is None else now
+        with self._lock:
+            current = self._read(key)
+            if current is not None and not current.expired(now) and current.worker != worker:
+                return None
+            generation = 1
+            if current is not None:
+                takeover = current.expired(now) or current.worker != worker
+                generation = current.generation + 1 if takeover else current.generation
+                if current.expired(now) and current.worker != worker:
+                    self.reclaims += 1
+            record = LeaseRecord(
+                key=key,
+                worker=worker,
+                acquired_at=now,
+                expires_at=now + ttl,
+                generation=generation,
+            )
+            self._write(record)
+            return record
+
+    def renew(self, key: str, worker: str, ttl: float, now: Optional[float] = None) -> bool:
+        """Extend ``worker``'s lease on ``key``; ``False`` if it no longer
+        owns one (expired-and-reclaimed, or already released)."""
+        now = time.time() if now is None else now
+        with self._lock:
+            current = self._read(key)
+            if current is None or current.worker != worker:
+                return False
+            self._write(
+                LeaseRecord(
+                    key=key,
+                    worker=worker,
+                    acquired_at=current.acquired_at,
+                    expires_at=now + ttl,
+                    generation=current.generation,
+                )
+            )
+            return True
+
+    def release(self, key: str, worker: str) -> bool:
+        """Drop ``worker``'s lease on ``key`` (after commit, or on exit)."""
+        with self._lock:
+            current = self._read(key)
+            if current is None or current.worker != worker:
+                return False
+            self._delete(key)
+            return True
+
+    def get(self, key: str) -> Optional[LeaseRecord]:
+        with self._lock:
+            return self._read(key)
+
+    def leases(self) -> List[LeaseRecord]:
+        """Every current lease record, sorted by key."""
+        with self._lock:
+            records = [self._read(key) for key in self.lease_keys()]
+        return sorted((r for r in records if r is not None), key=lambda r: r.key)
+
+    # ------------------------------------------------------------------ #
+    # worker heartbeats
+    # ------------------------------------------------------------------ #
+    def heartbeat(self, worker: str, payload: dict, now: Optional[float] = None) -> None:
+        """Publish a worker's liveness + status counters."""
+        now = time.time() if now is None else now
+        with self._lock:
+            self._write_worker(WorkerRecord(worker=worker, updated_at=now, payload=dict(payload)))
+
+    def workers(self) -> List[WorkerRecord]:
+        """Every worker's last heartbeat, sorted by worker id."""
+        with self._lock:
+            return sorted(self._read_workers(), key=lambda w: w.worker)
+
+    def close(self) -> None:
+        """Release held resources; safe to call more than once."""
+
+    # ------------------------------------------------------------------ #
+    # storage primitives
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _read(self, key: str) -> Optional[LeaseRecord]:
+        """The stored lease for ``key`` (``None`` when absent or torn —
+        a torn lease record is reclaimable, never fatal)."""
+
+    @abstractmethod
+    def _write(self, record: LeaseRecord) -> None:
+        """Store ``record``, replacing any previous lease on its key."""
+
+    @abstractmethod
+    def _delete(self, key: str) -> None:
+        """Remove ``key``'s lease (a no-op when absent)."""
+
+    @abstractmethod
+    def lease_keys(self) -> List[str]:
+        """Keys of every stored lease record."""
+
+    @abstractmethod
+    def _write_worker(self, record: WorkerRecord) -> None:
+        """Store a worker heartbeat, replacing the previous one."""
+
+    @abstractmethod
+    def _read_workers(self) -> List[WorkerRecord]:
+        """Every stored worker heartbeat."""
+
+
+#: Process-wide registry of named in-memory lease stores, mirroring
+#: ``mem://<name>`` result backends so an in-process campaign's workers and
+#: status queries observe one another.
+_NAMED_LEASE_STORES: Dict[str, "MemoryLeaseStore"] = {}
+
+
+class MemoryLeaseStore(LeaseStore):
+    """Lease store for ``mem://<name>`` campaigns (tests, in-process runs)."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__()
+        self.name = name
+        self._leases: Dict[str, LeaseRecord] = {}
+        self._workers: Dict[str, WorkerRecord] = {}
+
+    @classmethod
+    def open(cls, name: str) -> "MemoryLeaseStore":
+        instance = _NAMED_LEASE_STORES.get(name)
+        if instance is None:
+            instance = _NAMED_LEASE_STORES[name] = cls(name)
+        return instance
+
+    @staticmethod
+    def discard(name: str) -> None:
+        """Drop a named instance from the registry (test hygiene)."""
+        _NAMED_LEASE_STORES.pop(name, None)
+
+    def _read(self, key: str) -> Optional[LeaseRecord]:
+        return self._leases.get(key)
+
+    def _write(self, record: LeaseRecord) -> None:
+        self._leases[record.key] = record
+
+    def _delete(self, key: str) -> None:
+        self._leases.pop(key, None)
+
+    def lease_keys(self) -> List[str]:
+        return list(self._leases)
+
+    def _write_worker(self, record: WorkerRecord) -> None:
+        self._workers[record.worker] = record
+
+    def _read_workers(self) -> List[WorkerRecord]:
+        return list(self._workers.values())
+
+
+class BlobLeaseStore(LeaseStore):
+    """Lease records as JSON blobs under ``.leases/`` of a blob store.
+
+    Serves every blob-shaped campaign location: ``obj://`` and the
+    ``dir://`` campaign directory via :class:`LocalObjectClient` (the
+    directory backend only reads top-level ``*.jsonl`` member files, so the
+    ``.leases/`` subtree is invisible to it), ``s3://`` / ``gs://`` via
+    their SDK clients (result scans skip the prefix explicitly).  Updates
+    are delete-then-put because the local client's put is first-write-wins.
+    """
+
+    _SUFFIX = ".json"
+
+    def __init__(self, client, prefix: str = LEASE_PREFIX) -> None:
+        super().__init__()
+        self._client = client
+        self._prefix = prefix
+        #: Retry accounting when the client is a RetryingBlobClient.
+        self.retry_stats = getattr(client, "stats", None)
+
+    def _unit_path(self, key: str) -> str:
+        return f"{self._prefix}/units/{key}{self._SUFFIX}"
+
+    def _worker_path(self, worker: str) -> str:
+        return f"{self._prefix}/workers/{_sanitize(worker)}{self._SUFFIX}"
+
+    def _load(self, path: str, parse: Callable[[dict], object]) -> Optional[object]:
+        try:
+            data = self._client.get_blob(path)
+        except KeyError:
+            return None
+        try:
+            return parse(json.loads(data.decode("utf-8")))
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+            return None  # torn/foreign sidecar: treat as absent (reclaimable)
+
+    def _read(self, key: str) -> Optional[LeaseRecord]:
+        return self._load(self._unit_path(key), LeaseRecord.from_dict)
+
+    def _write(self, record: LeaseRecord) -> None:
+        path = self._unit_path(record.key)
+        data = json.dumps(record.to_dict(), sort_keys=True).encode("utf-8")
+        self._client.delete_blob(path)
+        self._client.put_blob(path, data)
+
+    def _delete(self, key: str) -> None:
+        self._client.delete_blob(self._unit_path(key))
+
+    def lease_keys(self) -> List[str]:
+        prefix = f"{self._prefix}/units/"
+        keys = []
+        for path in self._client.list_prefix(prefix):
+            name = path[len(prefix) :] if path.startswith(prefix) else path
+            if name.endswith(self._SUFFIX) and "/" not in name:
+                keys.append(name[: -len(self._SUFFIX)])
+        return keys
+
+    def _write_worker(self, record: WorkerRecord) -> None:
+        path = self._worker_path(record.worker)
+        data = json.dumps(record.to_dict(), sort_keys=True).encode("utf-8")
+        self._client.delete_blob(path)
+        self._client.put_blob(path, data)
+
+    def _read_workers(self) -> List[WorkerRecord]:
+        prefix = f"{self._prefix}/workers/"
+        records = []
+        for path in list(self._client.list_prefix(prefix)):
+            payload = self._load(path, dict)
+            if not isinstance(payload, dict) or "worker" not in payload:
+                continue
+            worker = str(payload.pop("worker"))
+            updated = float(payload.pop("updated_at", 0.0))
+            records.append(WorkerRecord(worker=worker, updated_at=updated, payload=payload))
+        return records
+
+
+class SQLiteLeaseStore(LeaseStore):
+    """Lease records in two sidecar tables of the campaign's SQLite file.
+
+    Shares the database (and its WAL/busy-timeout configuration) with the
+    result backend; the backend's own schema only ever touches its
+    ``points`` and ``meta`` tables, so the sidecars are invisible to it.
+    The connection is opened ``check_same_thread=False`` because the
+    heartbeat thread renews leases — cross-thread serialization is the base
+    class's re-entrant lock.
+    """
+
+    _BUSY_TIMEOUT = 30.0
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        import sqlite3
+
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._connection = sqlite3.connect(
+            self.path,
+            timeout=self._BUSY_TIMEOUT,
+            isolation_level=None,  # autocommit: every statement is atomic
+            check_same_thread=False,
+        )
+        cursor = self._connection.cursor()
+        cursor.execute("PRAGMA journal_mode=WAL")
+        cursor.execute(f"PRAGMA busy_timeout={int(self._BUSY_TIMEOUT * 1000)}")
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS leases ("
+            "key TEXT PRIMARY KEY, worker TEXT NOT NULL, "
+            "acquired_at REAL NOT NULL, expires_at REAL NOT NULL, "
+            "generation INTEGER NOT NULL)"
+        )
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS lease_workers ("
+            "worker TEXT PRIMARY KEY, updated_at REAL NOT NULL, "
+            "payload TEXT NOT NULL)"
+        )
+
+    def _read(self, key: str) -> Optional[LeaseRecord]:
+        row = self._connection.execute(
+            "SELECT key, worker, acquired_at, expires_at, generation "
+            "FROM leases WHERE key = ?",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        return LeaseRecord(
+            key=row[0], worker=row[1], acquired_at=row[2], expires_at=row[3], generation=row[4]
+        )
+
+    def _write(self, record: LeaseRecord) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO leases "
+            "(key, worker, acquired_at, expires_at, generation) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (record.key, record.worker, record.acquired_at, record.expires_at, record.generation),
+        )
+
+    def _delete(self, key: str) -> None:
+        self._connection.execute("DELETE FROM leases WHERE key = ?", (key,))
+
+    def lease_keys(self) -> List[str]:
+        return [row[0] for row in self._connection.execute("SELECT key FROM leases")]
+
+    def _write_worker(self, record: WorkerRecord) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO lease_workers (worker, updated_at, payload) "
+            "VALUES (?, ?, ?)",
+            (record.worker, record.updated_at, json.dumps(record.payload, sort_keys=True)),
+        )
+
+    def _read_workers(self) -> List[WorkerRecord]:
+        rows = self._connection.execute(
+            "SELECT worker, updated_at, payload FROM lease_workers"
+        ).fetchall()
+        records = []
+        for worker, updated, payload in rows:
+            try:
+                parsed = json.loads(payload)
+            except ValueError:
+                parsed = {}
+            records.append(WorkerRecord(worker=worker, updated_at=updated, payload=parsed))
+        return records
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+def open_lease_store(uri: str) -> LeaseStore:
+    """The lease store paired with a campaign backend URI.
+
+    Leases live *with* the results — same database for ``sqlite://``, a
+    ``.leases/`` subtree for the blob and directory layouts — so the
+    campaign has exactly one coordination point and no extra configuration.
+    A ``chaos+`` backend gets chaos-injected, retrying lease I/O too: the
+    coordination layer must survive the same faults as the data layer.
+    """
+    from repro.backends.registry import parse_backend_uri
+
+    scheme, location = parse_backend_uri(uri)
+    chaos_spec = None
+    if scheme.startswith("chaos+"):
+        from repro.backends.chaos import parse_chaos_location
+
+        scheme = scheme[len("chaos+") :]
+        location, chaos_spec = parse_chaos_location(location)
+    if scheme == "mem":
+        if not location:
+            raise ConfigurationError(
+                "work-stealing needs a shareable backend; the anonymous "
+                "mem:// store is private to each opener — use mem://<name> "
+                "or a persistent backend"
+            )
+        return MemoryLeaseStore.open(location)
+    if scheme == "sqlite":
+        return SQLiteLeaseStore(location)
+    if scheme == "dir":
+        client = LocalObjectClient(location)
+    elif scheme in ("obj", "s3", "gs"):
+        client = blob_client_for(scheme, location)
+    else:
+        raise ConfigurationError(
+            f"no lease store is defined for backend scheme {scheme!r}; "
+            "work-stealing campaigns support mem://<name>, dir, sqlite, "
+            "obj, s3 and gs backends (and their chaos+ variants)"
+        )
+    policy = DEFAULT_RETRY_POLICY
+    if chaos_spec is not None:
+        from repro.backends.chaos import ChaosBlobClient
+
+        client = ChaosBlobClient(client, chaos_spec)
+        policy = chaos_spec.policy()
+    return BlobLeaseStore(RetryingBlobClient(client, policy=policy))
+
+
+class WorkerHeartbeat:
+    """A daemon thread renewing a worker's held leases and publishing its
+    status record every ``ttl / 3`` seconds.
+
+    ``held`` is the worker loop's live set of claimed unit keys (a copy is
+    snapshotted per beat); ``status`` is a callable returning the counter
+    payload to publish.  A wait/notify stop is used instead of a plain
+    sleep so worker shutdown never blocks for a beat interval.
+    """
+
+    def __init__(
+        self,
+        store: LeaseStore,
+        worker: str,
+        ttl: float,
+        held,
+        status: Callable[[], dict],
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._store = store
+        self._worker = worker
+        self._ttl = ttl
+        self._held = held
+        self._status = status
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-heartbeat-{worker}", daemon=True
+        )
+
+    def beat(self) -> None:
+        """One renewal + heartbeat pass (also called inline by the loop)."""
+        now = self._clock()
+        for key in list(self._held):
+            self._store.renew(key, self._worker, self._ttl, now=now)
+        self._store.heartbeat(self._worker, self._status(), now=now)
+
+    def _run(self) -> None:
+        interval = max(self._ttl / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            try:
+                self.beat()
+            except Exception:
+                # A failed beat must not kill the thread: the next beat (or
+                # the lease TTL) resolves it either way.
+                continue
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=max(self._ttl, 1.0))
+
+
+# --------------------------------------------------------------------- #
+# cost-ordered claiming
+# --------------------------------------------------------------------- #
+def _series_key(config) -> str:
+    """Units differing only in injection rate / seed belong to one series."""
+    payload = config_to_dict(config)
+    for volatile in ("injection_rate", "seed", "metadata"):
+        payload.pop(volatile, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def observed_unit_costs(store, units) -> Dict[str, float]:
+    """``key -> observed total_cycles`` for every already-completed unit."""
+    costs: Dict[str, float] = {}
+    for unit in units:
+        if unit.key in store:
+            served = store.get(unit.config)
+            if served is not None:
+                costs[unit.key] = float(served.metrics.total_cycles)
+    return costs
+
+
+def order_units_by_cost(units, observed: Dict[str, float]) -> list:
+    """Pending units sorted most-expensive-first (ties by plan order).
+
+    A unit's estimate is the observed cycle cost at the nearest
+    lower-or-equal injection rate of its own series, scaled linearly by the
+    rate ratio — monotone in offered load, which is what matters for
+    longest-job-first scheduling; series with no observations yet rank by
+    injection rate alone (higher load, higher cost).  Pure and
+    deterministic: every worker computes the same order.
+    """
+    by_series: Dict[str, List[Tuple[float, float]]] = {}
+    for unit in units:
+        cost = observed.get(unit.key)
+        if cost is not None:
+            by_series.setdefault(_series_key(unit.config), []).append(
+                (unit.config.injection_rate, cost)
+            )
+    for pairs in by_series.values():
+        pairs.sort()
+
+    def estimate(unit) -> float:
+        rate = float(unit.config.injection_rate)
+        pairs = by_series.get(_series_key(unit.config))
+        if not pairs:
+            return rate
+        best = pairs[0]
+        for known_rate, cycles in pairs:
+            if known_rate > rate:
+                break
+            best = (known_rate, cycles)
+        known_rate, cycles = best
+        scale = rate / known_rate if known_rate > 0 else 1.0
+        return cycles * scale
+
+    return sorted(units, key=lambda unit: (-estimate(unit), unit.index))
+
+
+# --------------------------------------------------------------------- #
+# health reporting
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LeaseHealth:
+    """The ``work`` payload of ``campaign status --json``: lease and worker
+    health a dashboard (or the CI chaos job) watches for stragglers."""
+
+    active_leases: int
+    expired_leases: int
+    reclaims: int
+    retries: int
+    workers: List[dict]
+
+    def as_dict(self) -> dict:
+        return {
+            "active_leases": self.active_leases,
+            "expired_leases": self.expired_leases,
+            "reclaims": self.reclaims,
+            "retries": self.retries,
+            "workers": self.workers,
+        }
+
+
+def lease_health(uri: str, now: Optional[float] = None) -> Optional[LeaseHealth]:
+    """Aggregate lease/worker health of a campaign backend.
+
+    ``None`` when the backend scheme has no lease store (a third-party
+    scheme) — status still works, it just reports no work-stealing health.
+    Reclaim and retry totals are the sums workers reported in their final
+    heartbeats plus the generation overshoot of live lease records, so
+    the numbers survive worker exit.
+    """
+    now = time.time() if now is None else now
+    if _sqlite_store_missing(uri):
+        return LeaseHealth(0, 0, 0, 0, [])
+    try:
+        store = open_lease_store(uri)
+    except ConfigurationError:
+        return None
+    try:
+        leases = store.leases()
+        workers = store.workers()
+    finally:
+        store.close()
+    active = sum(1 for lease in leases if not lease.expired(now))
+    expired = len(leases) - active
+    reported_reclaims = sum(int(w.payload.get("reclaimed", 0)) for w in workers)
+    retries = sum(int(w.payload.get("retries", 0)) for w in workers)
+    rows = []
+    for worker in workers:
+        ttl = float(worker.payload.get("ttl", 60.0))
+        rows.append(
+            {
+                "worker": worker.worker,
+                "updated_at": worker.updated_at,
+                "active": now - worker.updated_at < 3.0 * ttl,
+                **worker.payload,
+            }
+        )
+    return LeaseHealth(
+        active_leases=active,
+        expired_leases=expired,
+        reclaims=reported_reclaims,
+        retries=retries,
+        workers=rows,
+    )
+
+
+def _sqlite_store_missing(uri: str) -> bool:
+    """Whether ``uri`` is a sqlite backend whose file does not exist yet —
+    probing its lease store would *create* the database, and a status query
+    must never mutate the store it reports on."""
+    from repro.backends.registry import parse_backend_uri
+
+    scheme, location = parse_backend_uri(uri)
+    if scheme == "chaos+sqlite":
+        from repro.backends.chaos import parse_chaos_location
+
+        scheme, location = "sqlite", parse_chaos_location(location)[0]
+    return scheme == "sqlite" and not os.path.exists(location)

@@ -64,6 +64,10 @@ def check_campaign_backend(uri: str) -> str:
     from repro.backends.registry import parse_backend_uri
 
     scheme, location = parse_backend_uri(uri)
+    if scheme == "chaos+mem":
+        # The chaos variant of mem:// keeps the same anonymity rule; its
+        # location is <name>?<chaos params>.
+        scheme, location = "mem", location.partition("?")[0]
     if scheme == "mem" and not location:
         raise ConfigurationError(
             "campaigns cannot use the anonymous mem:// backend: every "

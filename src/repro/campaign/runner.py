@@ -36,12 +36,22 @@ store — the historical layout, byte-for-byte.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.analysis.tables import series_table
 from repro.backends.registry import DEFAULT_MEMBER, open_backend, scan_backend
 from repro.backends.sync import SyncReport, sync_backends
+from repro.campaign.leases import (
+    WorkerHeartbeat,
+    default_worker_id,
+    lease_health,
+    observed_unit_costs,
+    open_lease_store,
+    order_units_by_cost,
+    worker_member_name,
+)
 from repro.campaign.plan import CampaignPlan, check_campaign_backend
 from repro.campaign.serialize import config_from_dict
 from repro.campaign.store import shard_member_name
@@ -54,6 +64,7 @@ __all__ = [
     "CampaignMerge",
     "CampaignRunReport",
     "CampaignStatus",
+    "CampaignWorkReport",
     "campaign_status",
     "gc_campaign",
     "merge_campaign",
@@ -61,6 +72,7 @@ __all__ = [
     "push_campaign",
     "resolve_campaign_backend",
     "run_campaign",
+    "work_campaign",
 ]
 
 
@@ -116,6 +128,190 @@ class CampaignRunReport:
 
 
 @dataclass(frozen=True)
+class CampaignWorkReport:
+    """What one work-stealing worker did to a campaign."""
+
+    worker: str
+    total_units: int
+    claimed: int
+    simulated: int
+    reused: int
+    reclaimed: int
+    conflicts: int
+    waits: int
+    retries: int
+    backend: str = ""
+
+    @property
+    def completed(self) -> int:
+        """Units this worker resolved (simulated or reused from the store)."""
+        return self.simulated + self.reused
+
+    def describe(self) -> str:
+        line = (
+            f"worker {self.worker}: {self.claimed}/{self.total_units} units "
+            f"claimed, {self.simulated} simulated, {self.reused} reused from "
+            "the store"
+        )
+        if self.reclaimed:
+            line += f", {self.reclaimed} reclaimed from expired leases"
+        if self.conflicts:
+            line += f", {self.conflicts} lease conflicts"
+        if self.waits:
+            line += f", {self.waits} waits on foreign leases"
+        if self.retries:
+            line += f", {self.retries} transient faults retried"
+        if self.backend:
+            line += f" [{self.backend}]"
+        return line
+
+
+def _retry_count(*stores) -> int:
+    """Total transient-fault retries recorded by stores that track them."""
+    total = 0
+    for store in stores:
+        stats = getattr(store, "retry_stats", None)
+        total += int(getattr(stats, "retries", 0) or 0)
+    return total
+
+
+def work_campaign(
+    directory,
+    worker: Optional[str] = None,
+    ttl: float = 60.0,
+    jobs: int = 1,
+    max_units: Optional[int] = None,
+    poll_interval: Optional[float] = None,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+    backend: Optional[str] = None,
+    clock: Callable[[], float] = time.time,
+    sleep: Callable[[float], None] = time.sleep,
+) -> CampaignWorkReport:
+    """One work-stealing worker: claim, simulate, commit, release, repeat.
+
+    Any number of workers run this concurrently (same host or many) against
+    one campaign backend.  Each round the worker re-scans the backend for
+    completed keys (observing its peers' commits), claims up to ``2 *
+    jobs`` of the most expensive pending units under TTL leases
+    (:mod:`repro.campaign.leases` — the look-ahead window deliberately
+    leaves work unclaimed for peers), streams them through the executor,
+    and releases each lease as its result commits.  When every pending unit
+    is leased by live peers the worker polls (``poll_interval``, default
+    ``ttl / 4`` capped to [0.1s, 2s]) until a peer commits — or dies, in
+    which case its lease expires and the unit is *reclaimed* and re-run,
+    which is safe by construction: commits are idempotent and
+    content-addressed, so a unit executed twice stores bit-identical
+    records.  The worker exits when the campaign is complete (for this
+    plan's unit set) or its ``max_units`` simulation budget is spent.
+
+    A heartbeat thread renews held leases at ``ttl / 3`` and publishes the
+    worker's counters for ``campaign status --json``; ``ttl`` should
+    comfortably exceed the longest single simulation so a *healthy*
+    worker's lease never expires mid-unit (expiry then only ever signals a
+    dead or wedged worker).
+    """
+    if ttl <= 0:
+        raise ConfigurationError(
+            f"lease ttl must be positive seconds (got {ttl}); pick one "
+            "comfortably above the longest single simulation"
+        )
+    if max_units is not None and max_units < 1:
+        raise ConfigurationError(
+            f"max_units must be a positive bound on newly simulated units "
+            f"(got {max_units}); omit it to run every pending unit"
+        )
+    worker = worker if worker else default_worker_id()
+    plan = CampaignPlan.load(directory)
+    uri = resolve_campaign_backend(directory, backend, plan.backend)
+    store = open_backend(uri, member=worker_member_name(worker))
+    leases = open_lease_store(uri)
+    counters = {"claimed": 0, "simulated": 0, "reused": 0, "conflicts": 0, "waits": 0}
+    held: set = set()
+
+    def status_payload() -> dict:
+        return {
+            "ttl": ttl,
+            "claimed": counters["claimed"],
+            "simulated": counters["simulated"],
+            "reused": counters["reused"],
+            "reclaimed": leases.reclaims,
+            "retries": _retry_count(store, leases),
+        }
+
+    heartbeat = WorkerHeartbeat(leases, worker, ttl, held, status_payload, clock=clock)
+    poll = poll_interval if poll_interval is not None else min(2.0, max(0.1, ttl / 4.0))
+    window = max(1, jobs) * 2
+    executor = SweepExecutor(jobs=jobs, cache=store)
+    # Expensive units first: estimates come from whatever this campaign has
+    # already committed (lower-rate points of the same series).
+    queue = order_units_by_cost(plan.units, observed_unit_costs(store, plan.units))
+    heartbeat.start()
+    try:
+        while True:
+            if max_units is not None and counters["simulated"] >= max_units:
+                break
+            # A fresh scan each round is how peers' commits are observed —
+            # the open store handle indexed the backend at open time.
+            done = scan_backend(uri).keys
+            pending = [unit for unit in queue if unit.key not in done]
+            if not pending:
+                break
+            batch = []
+            for unit in pending:
+                if len(batch) >= window:
+                    break
+                if max_units is not None and counters["simulated"] + len(batch) >= max_units:
+                    break
+                if leases.acquire(unit.key, worker, ttl, now=clock()) is None:
+                    counters["conflicts"] += 1
+                    continue
+                held.add(unit.key)
+                batch.append(unit)
+            if not batch:
+                # Everything pending is leased by live peers: wait for their
+                # commits — or for their leases to expire and be reclaimed.
+                counters["waits"] += 1
+                sleep(poll)
+                continue
+            counters["claimed"] += len(batch)
+            for event in executor.stream_configs([unit.config for unit in batch]):
+                unit = batch[event.index]
+                counters["reused" if event.reused else "simulated"] += 1
+                leases.release(unit.key, worker)
+                held.discard(unit.key)
+                if progress is not None:
+                    progress(event.result)
+    finally:
+        heartbeat.stop()
+        for key in list(held):
+            # A *clean* exit (including an executor error unwinding through
+            # here) frees its claims immediately; only a killed worker makes
+            # peers wait out the TTL.
+            leases.release(key, worker)
+            held.discard(key)
+        retries = _retry_count(store, leases)
+        reclaimed = leases.reclaims
+        try:
+            leases.heartbeat(worker, status_payload(), now=clock())
+        except Exception:
+            pass  # a final-status write must not mask the real error
+        leases.close()
+        store.close()
+    return CampaignWorkReport(
+        worker=worker,
+        total_units=len(plan.units),
+        claimed=counters["claimed"],
+        simulated=counters["simulated"],
+        reused=counters["reused"],
+        reclaimed=reclaimed,
+        conflicts=counters["conflicts"],
+        waits=counters["waits"],
+        retries=retries,
+        backend=uri,
+    )
+
+
+@dataclass(frozen=True)
 class CampaignMerge:
     """The outcome of merging a campaign back into its published series."""
 
@@ -147,6 +343,10 @@ class CampaignStatus:
     members: List[Tuple[str, int]]
     skipped_records: int
     backend: str = ""
+    #: Work-stealing health (:func:`repro.campaign.leases.lease_health`):
+    #: active/expired leases, reclaim and retry totals, per-worker
+    #: heartbeats.  ``None`` when the backend scheme has no lease store.
+    work: Optional[dict] = field(default=None, compare=False)
 
     @property
     def pending_units(self) -> int:
@@ -170,6 +370,7 @@ class CampaignStatus:
                 {"member": name, "records": count} for name, count in self.members
             ],
             "skipped_records": self.skipped_records,
+            "work": self.work,
         }
 
 
@@ -180,7 +381,10 @@ def run_campaign(
     max_units: Optional[int] = None,
     progress: Optional[Callable[[SimulationResult], None]] = None,
     backend: Optional[str] = None,
-) -> CampaignRunReport:
+    steal: bool = False,
+    ttl: float = 60.0,
+    worker: Optional[str] = None,
+):
     """Stream (a shard of) a planned campaign into its result backend.
 
     The run is a producer/consumer drain of
@@ -195,7 +399,30 @@ def run_campaign(
     tests and the CI smoke job.  Each shard writes under its own member
     name, so shards of one campaign can run concurrently (even on different
     hosts against a shared or later-merged backend).
+
+    With ``steal`` the invocation becomes one work-stealing worker
+    (:func:`work_campaign`, returning its :class:`CampaignWorkReport`):
+    instead of owning a fixed shard, it claims pending units under TTL
+    leases alongside any number of peers.  Static sharding and stealing
+    are mutually exclusive — a stealing worker's share *is* whatever it
+    manages to claim.
     """
+    if steal:
+        if shard is not None:
+            raise ConfigurationError(
+                "--steal replaces static sharding: drop --shard and start "
+                "any number of workers (each claims pending units under TTL "
+                "leases; 'campaign work' is the same loop)"
+            )
+        return work_campaign(
+            directory,
+            worker=worker,
+            ttl=ttl,
+            jobs=jobs,
+            max_units=max_units,
+            progress=progress,
+            backend=backend,
+        )
     if max_units is not None and max_units < 1:
         raise ConfigurationError(
             f"max_units must be a positive bound on newly simulated units "
@@ -404,6 +631,7 @@ def campaign_status(directory, backend: Optional[str] = None) -> CampaignStatus:
     uri = resolve_campaign_backend(directory, backend, recorded)
     scan = scan_backend(uri)
     completed = sum(1 for key in unit_keys if key in scan.keys)
+    health = lease_health(uri)
     return CampaignStatus(
         directory=str(directory),
         kind=kind,
@@ -412,4 +640,5 @@ def campaign_status(directory, backend: Optional[str] = None) -> CampaignStatus:
         members=scan.members,
         skipped_records=scan.skipped_records,
         backend=uri,
+        work=health.as_dict() if health is not None else None,
     )

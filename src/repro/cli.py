@@ -34,6 +34,7 @@ from repro.campaign import (
     pull_campaign,
     push_campaign,
     run_campaign,
+    work_campaign,
 )
 from repro.errors import ConfigurationError
 from repro.experiments import EXPERIMENTS
@@ -270,6 +271,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate at most this many new units, then stop (resume later)",
     )
     crun.add_argument("--backend", default=None, help=backend_help)
+    crun.add_argument(
+        "--steal", action="store_true",
+        help=(
+            "work-steal instead of owning a shard: claim pending units under "
+            "TTL leases alongside any number of concurrent workers (same as "
+            "'campaign work'); incompatible with --shard"
+        ),
+    )
+    crun.add_argument(
+        "--ttl", type=float, default=60.0,
+        help=(
+            "lease TTL in seconds for --steal (default 60): pick one "
+            "comfortably above the longest single simulation, since a dead "
+            "worker's units only free up after its leases expire"
+        ),
+    )
+    crun.add_argument(
+        "--worker", default=None,
+        help="worker id for --steal (default: <hostname>-<pid>)",
+    )
+
+    work = csub.add_parser(
+        "work",
+        help="run one work-stealing worker until the campaign completes",
+        description=(
+            "One lease-based worker: repeatedly claim the most expensive "
+            "pending (point, replication) units under TTL leases, simulate, "
+            "commit to the campaign backend, release.  Start any number of "
+            "these (across hosts, against a shared backend) — a killed or "
+            "hung worker's units are reclaimed after its leases expire and "
+            "re-executed safely, since commits are idempotent and "
+            "content-addressed."
+        ),
+    )
+    work.add_argument("--dir", required=True, help="campaign directory")
+    work.add_argument(
+        "--worker", default=None, help="worker id (default: <hostname>-<pid>)"
+    )
+    work.add_argument(
+        "--ttl", type=float, default=60.0,
+        help="lease TTL in seconds (default 60); see 'campaign run --ttl'",
+    )
+    work.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS, else 1)",
+    )
+    work.add_argument(
+        "--max-units", type=int, default=None,
+        help="simulate at most this many new units, then stop",
+    )
+    work.add_argument(
+        "--poll-interval", type=float, default=None,
+        help=(
+            "seconds to wait when every pending unit is leased by a peer "
+            "(default: ttl/4, capped to [0.1, 2])"
+        ),
+    )
+    work.add_argument("--backend", default=None, help=backend_help)
 
     merge = csub.add_parser("merge", help="reassemble the series from the store")
     merge.add_argument("--dir", required=True, help="campaign directory")
@@ -478,6 +537,16 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     shard = ShardSpec.parse(args.shard) if args.shard else None
     report = run_campaign(
         args.dir, shard=shard, jobs=get_jobs(args.jobs), max_units=args.max_units,
+        backend=args.backend, steal=args.steal, ttl=args.ttl, worker=args.worker,
+    )
+    print(report.describe())
+    return 0
+
+
+def _cmd_campaign_work(args: argparse.Namespace) -> int:
+    report = work_campaign(
+        args.dir, worker=args.worker, ttl=args.ttl, jobs=get_jobs(args.jobs),
+        max_units=args.max_units, poll_interval=args.poll_interval,
         backend=args.backend,
     )
     print(report.describe())
@@ -518,6 +587,7 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
 _CAMPAIGN_COMMANDS = {
     "plan": _cmd_campaign_plan,
     "run": _cmd_campaign_run,
+    "work": _cmd_campaign_work,
     "merge": _cmd_campaign_merge,
     "status": _cmd_campaign_status,
     "push": _cmd_campaign_push,

@@ -502,7 +502,14 @@ class SweepExecutor:
                                     result = future.result()
                                 except Exception:
                                     continue  # a failed run has nothing to keep
-                                cache.put(configs[index], result)
+                                try:
+                                    cache.put(configs[index], result)
+                                except Exception:
+                                    # Best-effort salvage: a backend that is
+                                    # itself failing (the likely reason we are
+                                    # unwinding) must not mask the original
+                                    # error — the unit simply stays pending.
+                                    continue
 
     # ------------------------------------------------------------------ #
     # generic ordered map

@@ -1,17 +1,20 @@
-"""One shared contract, five backends.
+"""One shared contract, six backends.
 
 Every test in this module runs identically against ``mem://``, ``dir://``,
-``sqlite://``, ``obj://`` and (client-stubbed) ``s3://`` — the acceptance
-criterion of the pluggable-backend work.  The parametrized ``backend``
-fixture hands each test a *location* (a URI) plus open/scan helpers, so
-"reopen the backend" means whatever persistence the backend actually offers:
-a fresh directory/database/object-root handle for the persistent members,
-the shared named instance for ``mem://``, the shared in-memory S3 double for
-``s3://``.
+``sqlite://``, ``obj://`` and the client-stubbed ``s3://`` / ``gs://`` — the
+acceptance criterion of the pluggable-backend work.  The parametrized
+``backend`` fixture hands each test a *location* (a URI) plus open/scan
+helpers, so "reopen the backend" means whatever persistence the backend
+actually offers: a fresh directory/database/object-root handle for the
+persistent members, the shared named instance for ``mem://``, the shared
+in-memory SDK doubles for ``s3://`` and ``gs://``.
 
 Backend-specific durability details (torn JSONL lines, O_APPEND semantics,
 SQLite version stamps, blob layout and S3 pagination) stay in their own
-suites; the shared classes pin only the behaviour all backends must share.
+suites; the shared classes pin only the behaviour all backends must share —
+including, since the work-stealing work, the lease-record sidecar contract
+(:class:`TestLeaseContract`) and the transient-fault retry contract
+(:class:`TestRetryContract`) every flavour honours.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import pytest
 from repro.backends import (
     BackendScan,
     DirectoryBackend,
+    InMemoryGCSClient,
     InMemoryS3Client,
     MemoryBackend,
     ObjectStoreBackend,
@@ -33,6 +37,7 @@ from repro.backends import (
     parse_backend_uri,
     register_backend,
     scan_backend,
+    set_gcs_client_factory,
     set_s3_client_factory,
     sync_backends,
 )
@@ -75,7 +80,7 @@ class BackendLocation:
         return scan_backend(self.uri)
 
 
-@pytest.fixture(params=["mem", "dir", "sqlite", "obj", "s3"])
+@pytest.fixture(params=["mem", "dir", "sqlite", "obj", "s3", "gs"])
 def backend(request, tmp_path):
     """A fresh location of each registered backend flavour."""
     if request.param == "mem":
@@ -88,7 +93,7 @@ def backend(request, tmp_path):
         yield BackendLocation(f"sqlite://{tmp_path}/points.sqlite")
     elif request.param == "obj":
         yield BackendLocation(f"obj://{tmp_path}/objects")
-    else:
+    elif request.param == "s3":
         # One in-memory S3 double shared by every open of the location, with
         # a tiny page size so the listing pagination loop really runs.
         fake = InMemoryS3Client(page_size=2)
@@ -97,6 +102,14 @@ def backend(request, tmp_path):
             yield BackendLocation("s3://conformance-bucket/campaigns/test")
         finally:
             set_s3_client_factory(previous)
+    else:
+        # The gs:// analogue: one shared google-cloud-storage double.
+        fake = InMemoryGCSClient()
+        previous = set_gcs_client_factory(lambda: fake)
+        try:
+            yield BackendLocation("gs://conformance-bucket/campaigns/test")
+        finally:
+            set_gcs_client_factory(previous)
 
 
 class TestSharedContract:
@@ -443,6 +456,195 @@ class TestObjectStoreSpecifics:
         broken = S3BlobClient("bucket", "pre", BrokenClient())
         with pytest.raises(FakeClientError):  # non-missing errors propagate
             broken.get_blob("points/missing.json")
+
+
+class TestGCSSpecifics:
+    """The gs:// member's client plumbing (stub-backed, SDK-free)."""
+
+    def test_gs_location_requires_a_bucket(self):
+        with pytest.raises(ConfigurationError, match="bucket"):
+            open_backend("gs:///prefix-only")
+
+    def test_gs_missing_blob_errors_translate_to_keyerror(self):
+        """The real SDK raises google.api_core NotFound, never KeyError; the
+        client must translate so the BlobClient contract holds with an SDK
+        exactly as with the stub."""
+        from repro.backends import GCSBlobClient
+
+        class NotFound(Exception):  # the SDK exception, matched by name
+            code = 404
+
+        class SdkStyleBlob:
+            def download_as_bytes(self):
+                raise NotFound("404 no such object")
+
+        class SdkStyleBucket:
+            def blob(self, name):
+                return SdkStyleBlob()
+
+        class SdkStyleClient:
+            def bucket(self, name):
+                return SdkStyleBucket()
+
+        client = GCSBlobClient("bucket", "pre", SdkStyleClient())
+        with pytest.raises(KeyError):
+            client.get_blob("points/missing.json")
+
+        class Forbidden(Exception):
+            code = 403
+
+        class BrokenBlob:
+            def download_as_bytes(self):
+                raise Forbidden("403")
+
+        class BrokenBucket:
+            def blob(self, name):
+                return BrokenBlob()
+
+        class BrokenClient:
+            def bucket(self, name):
+                return BrokenBucket()
+
+        broken = GCSBlobClient("bucket", "pre", BrokenClient())
+        with pytest.raises(Forbidden):  # non-missing errors propagate
+            broken.get_blob("points/missing.json")
+
+    def test_gs_delete_of_missing_blob_is_a_noop(self):
+        from repro.backends import GCSBlobClient
+
+        client = GCSBlobClient("bucket", "pre", InMemoryGCSClient())
+        client.delete_blob("points/never-written.json")  # no error
+
+    def test_missing_sdk_without_injected_client_is_actionable(self):
+        try:
+            from google.cloud import storage  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            pytest.skip("google-cloud-storage is installed in this environment")
+        previous = set_gcs_client_factory(None)
+        try:
+            with pytest.raises(ConfigurationError, match="google-cloud-storage"):
+                open_backend("gs://bucket/prefix")
+        finally:
+            set_gcs_client_factory(previous)
+
+
+class TestS3FailureInjection:
+    """The stub's failure hooks drive the retry layer like real throttling."""
+
+    @pytest.fixture
+    def fake_s3(self):
+        fake = InMemoryS3Client(page_size=2)
+        previous = set_s3_client_factory(lambda: fake)
+        yield fake
+        set_s3_client_factory(previous)
+
+    def test_throttled_puts_are_retried_and_counted(self, fake_s3, fast_config):
+        store = open_backend("s3://bucket/pre")
+        fake_s3.inject_failures("put_object", count=2, code="SlowDown")
+        store.put(fast_config, run_simulation(fast_config))
+        assert store.retry_stats.retries == 2
+        assert store.retry_stats.giveups == 0
+        assert open_backend("s3://bucket/pre").get(fast_config) is not None
+
+    def test_throttled_reads_and_listings_recover(self, fake_s3, fast_config):
+        store = open_backend("s3://bucket/pre")
+        store.put(fast_config, run_simulation(fast_config))
+        fake_s3.inject_failures("get_object", count=1, code="Throttling")
+        fake_s3.inject_failures("list_objects_v2", count=1, code="ServiceUnavailable")
+        fresh = open_backend("s3://bucket/pre")  # the open survives the listing fault
+        assert fresh.get(fast_config).metrics is not None
+        assert fresh.retry_stats.retries >= 2
+
+    def test_permanent_sdk_errors_surface_immediately(self, fake_s3, fast_config):
+        from repro.backends import StubS3ClientError
+
+        store = open_backend("s3://bucket/pre")
+        fake_s3.inject_failures("put_object", count=1, code="AccessDenied")
+        with pytest.raises(StubS3ClientError, match="AccessDenied"):
+            store.put(fast_config, run_simulation(fast_config))
+        assert store.retry_stats.retries == 0  # never retried, by design
+
+    def test_injection_into_unknown_methods_is_rejected(self, fake_s3):
+        with pytest.raises(ConfigurationError, match="unknown S3 method"):
+            fake_s3.inject_failures("head_object")
+
+
+class TestLeaseContract:
+    """The lease-record sidecar contract, against every backend flavour that
+    supports work-stealing (all of them)."""
+
+    def _lease_store(self, backend):
+        from repro.campaign import open_lease_store
+
+        return open_lease_store(backend.uri)
+
+    def test_lease_lifecycle_round_trips(self, backend):
+        from repro.campaign.leases import MemoryLeaseStore
+
+        store = self._lease_store(backend)
+        try:
+            lease = store.acquire("unit-1", "worker-a", ttl=60.0, now=100.0)
+            assert lease is not None and lease.generation == 1
+            assert store.acquire("unit-1", "worker-b", ttl=60.0, now=110.0) is None
+            assert store.renew("unit-1", "worker-a", ttl=60.0, now=120.0)
+            taken = store.acquire("unit-1", "worker-b", ttl=60.0, now=300.0)
+            assert taken is not None and taken.generation == 2
+            assert store.reclaims == 1
+            store.heartbeat("worker-b", {"claimed": 1, "ttl": 60.0}, now=300.0)
+            assert [w.worker for w in store.workers()] == ["worker-b"]
+            assert store.release("unit-1", "worker-b")
+            assert store.leases() == []
+        finally:
+            store.close()
+            if backend.scheme == "mem":
+                MemoryLeaseStore.discard(backend.uri.split("://", 1)[1])
+
+    def test_lease_records_never_leak_into_result_scans(self, backend, fast_config):
+        from repro.campaign.leases import MemoryLeaseStore
+
+        store = self._lease_store(backend)
+        try:
+            store.acquire("unit-1", "worker-a", ttl=60.0)
+            store.heartbeat("worker-a", {"claimed": 1, "ttl": 60.0})
+            writer = backend.open()
+            writer.put(fast_config, run_simulation(fast_config))
+            scan = backend.scan()
+            assert scan.keys == frozenset({config_hash(fast_config)})
+            assert scan.skipped_records == 0
+            assert len(backend.open()) == 1
+            assert len(list(backend.open().records())) == 1
+        finally:
+            store.close()
+            if backend.scheme == "mem":
+                MemoryLeaseStore.discard(backend.uri.split("://", 1)[1])
+
+
+class TestRetryContract:
+    """The chaos+ variant of every flavour injects transient faults that the
+    built-in retry layer absorbs — the same classification path real SDK
+    throttling takes."""
+
+    def test_chaotic_variant_survives_injected_faults(self, backend, fast_config):
+        chaos = BackendLocation(f"chaos+{backend.uri}?fail=0.4&seed=3&attempts=8")
+        store = chaos.open()
+        if hasattr(store, "_sleep"):
+            store._sleep = lambda _: None
+        configs = [fast_config.with_updates(seed=s) for s in (1, 2, 3)]
+        results = [run_simulation(c) for c in configs]
+        for config, result in zip(configs, results):
+            store.put(config, result)
+        for config, result in zip(configs, results):
+            assert store.get(config).metrics == result.metrics
+        assert store.retry_stats.retries > 0
+        assert store.retry_stats.giveups == 0
+        # The unfaulted base view serves everything the chaotic writer stored.
+        assert len(backend.open()) == len(configs)
+        assert chaos.scan().keys == backend.scan().keys
+
+    def test_chaos_schemes_are_registered_for_every_flavour(self, backend):
+        assert f"chaos+{backend.scheme}" in backend_schemes()
 
 
 class TestSQLiteSpecifics:

@@ -1,0 +1,524 @@
+"""Lease-based work stealing: stores, worker loop, reclaim, kill-safety.
+
+The acceptance criterion pinned here (and re-pinned by the CI chaos-smoke
+job) is the kill-mid-lease scenario: a worker SIGKILLed while holding leases
+strands them, a second worker waits out the TTL, reclaims the units, and the
+finished campaign merges bit-identically to a single-shot
+:class:`SweepExecutor` run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.analysis.tables import campaign_status_table
+from repro.backends import LocalObjectClient, open_backend, scan_backend
+from repro.campaign import (
+    CampaignPlan,
+    campaign_status,
+    lease_health,
+    merge_campaign,
+    open_lease_store,
+    order_units_by_cost,
+    run_campaign,
+    work_campaign,
+    worker_member_name,
+)
+from repro.campaign.leases import (
+    BlobLeaseStore,
+    MemoryLeaseStore,
+    SQLiteLeaseStore,
+    WorkerHeartbeat,
+    default_worker_id,
+    observed_unit_costs,
+)
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import ShardSpec, SweepExecutor
+
+
+@pytest.fixture
+def fast_config(torus_4x4):
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        faults=FaultSet.from_nodes([5]),
+        warmup_messages=10,
+        measure_messages=40,
+        seed=11,
+    )
+
+
+RATES = [0.005, 0.01]
+
+
+def _plan(directory, config, replications=2, backend=None):
+    plan = CampaignPlan.from_injection_sweep(
+        config, RATES, replications=replications, label="steal", backend=backend
+    )
+    plan.save(directory)
+    return plan
+
+
+@pytest.fixture(params=["mem", "blob", "sqlite"])
+def lease_store(request, tmp_path):
+    """One fresh lease store of each storage flavour."""
+    if request.param == "mem":
+        store = MemoryLeaseStore()
+    elif request.param == "blob":
+        store = BlobLeaseStore(LocalObjectClient(tmp_path))
+    else:
+        store = SQLiteLeaseStore(tmp_path / "points.sqlite")
+    yield store
+    store.close()
+
+
+class TestLeaseStoreContract:
+    def test_acquire_renew_release_round_trip(self, lease_store):
+        lease = lease_store.acquire("k1", "alice", ttl=10.0, now=100.0)
+        assert lease.worker == "alice" and lease.expires_at == 110.0
+        assert lease.generation == 1
+        assert lease_store.renew("k1", "alice", ttl=10.0, now=105.0)
+        assert lease_store.get("k1").expires_at == 115.0
+        assert lease_store.get("k1").acquired_at == 100.0  # renewal preserves
+        assert lease_store.release("k1", "alice")
+        assert lease_store.get("k1") is None
+
+    def test_live_foreign_lease_blocks_acquire(self, lease_store):
+        lease_store.acquire("k1", "alice", ttl=10.0, now=100.0)
+        assert lease_store.acquire("k1", "bob", ttl=10.0, now=105.0) is None
+        assert lease_store.reclaims == 0
+
+    def test_expired_foreign_lease_is_reclaimed_with_generation_bump(self, lease_store):
+        lease_store.acquire("k1", "alice", ttl=10.0, now=100.0)
+        taken = lease_store.acquire("k1", "bob", ttl=10.0, now=111.0)
+        assert taken.worker == "bob" and taken.generation == 2
+        assert lease_store.reclaims == 1
+        # The dead worker can no longer renew or release what it lost.
+        assert not lease_store.renew("k1", "alice", ttl=10.0, now=112.0)
+        assert not lease_store.release("k1", "alice")
+
+    def test_reacquiring_ones_own_live_lease_renews_in_place(self, lease_store):
+        lease_store.acquire("k1", "alice", ttl=10.0, now=100.0)
+        again = lease_store.acquire("k1", "alice", ttl=10.0, now=105.0)
+        assert again.worker == "alice" and again.generation == 1
+        assert again.expires_at == 115.0
+        assert lease_store.reclaims == 0
+
+    def test_reclaiming_ones_own_expired_lease_is_not_counted(self, lease_store):
+        lease_store.acquire("k1", "alice", ttl=10.0, now=100.0)
+        again = lease_store.acquire("k1", "alice", ttl=10.0, now=120.0)
+        assert again.generation == 2  # a takeover, but of its own ghost
+        assert lease_store.reclaims == 0
+
+    def test_release_by_non_owner_is_refused(self, lease_store):
+        lease_store.acquire("k1", "alice", ttl=10.0, now=100.0)
+        assert not lease_store.release("k1", "bob")
+        assert lease_store.get("k1").worker == "alice"
+
+    def test_leases_listing_is_sorted(self, lease_store):
+        for key in ("kc", "ka", "kb"):
+            lease_store.acquire(key, "alice", ttl=10.0, now=100.0)
+        assert [lease.key for lease in lease_store.leases()] == ["ka", "kb", "kc"]
+
+    def test_worker_heartbeats_round_trip(self, lease_store):
+        lease_store.heartbeat("w1", {"claimed": 3, "ttl": 5.0}, now=100.0)
+        lease_store.heartbeat("w1", {"claimed": 4, "ttl": 5.0}, now=101.0)
+        lease_store.heartbeat("w0", {"claimed": 1, "ttl": 5.0}, now=102.0)
+        workers = lease_store.workers()
+        assert [w.worker for w in workers] == ["w0", "w1"]
+        assert workers[1].payload["claimed"] == 4  # latest beat wins
+        assert workers[1].updated_at == 101.0
+
+    def test_non_positive_ttl_is_rejected(self, lease_store):
+        with pytest.raises(ConfigurationError, match="ttl"):
+            lease_store.acquire("k1", "alice", ttl=0.0)
+
+
+class TestBlobLeaseStore:
+    def test_corrupt_lease_blob_is_reclaimable_not_fatal(self, tmp_path):
+        client = LocalObjectClient(tmp_path)
+        store = BlobLeaseStore(client)
+        store.acquire("k1", "alice", ttl=10.0, now=100.0)
+        client.delete_blob(".leases/units/k1.json")
+        client.put_blob(".leases/units/k1.json", b"{half a lease rec")
+        assert store.get("k1") is None
+        taken = store.acquire("k1", "bob", ttl=10.0, now=101.0)
+        assert taken is not None and taken.worker == "bob"
+
+    def test_lease_records_are_invisible_to_result_scans(self, tmp_path, fast_config):
+        from repro.sim.runner import run_simulation
+
+        for uri in (f"dir://{tmp_path / 'd'}", f"obj://{tmp_path / 'o'}"):
+            store = open_lease_store(uri)
+            store.acquire("k1", "alice", ttl=10.0)
+            store.heartbeat("alice", {"claimed": 1})
+            backend = open_backend(uri)
+            backend.put(fast_config, run_simulation(fast_config))
+            scan = scan_backend(uri)
+            assert len(scan.keys) == 1  # the result, never the sidecars
+            assert scan.skipped_records == 0
+            assert len(open_backend(uri)) == 1
+
+    def test_worker_ids_are_sanitized_into_blob_paths(self, tmp_path):
+        store = BlobLeaseStore(LocalObjectClient(tmp_path))
+        store.heartbeat("host/1:worker (a)", {"claimed": 0}, now=100.0)
+        (record,) = store.workers()
+        assert record.worker == "host/1:worker (a)"  # identity preserved
+
+
+class TestOpenLeaseStore:
+    def test_named_memory_stores_are_shared(self):
+        try:
+            first = open_lease_store("mem://steal-shared")
+            second = open_lease_store("mem://steal-shared")
+            assert first is second
+            first.acquire("k1", "alice", ttl=10.0)
+            assert second.get("k1").worker == "alice"
+        finally:
+            MemoryLeaseStore.discard("steal-shared")
+
+    def test_anonymous_memory_store_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="mem://<name>"):
+            open_lease_store("mem://")
+
+    def test_sqlite_leases_share_the_campaign_database(self, tmp_path, fast_config):
+        from repro.sim.runner import run_simulation
+
+        uri = f"sqlite://{tmp_path}/points.sqlite"
+        store = open_lease_store(uri)
+        assert isinstance(store, SQLiteLeaseStore)
+        store.acquire("k1", "alice", ttl=10.0)
+        backend = open_backend(uri)  # same file, disjoint tables
+        backend.put(fast_config, run_simulation(fast_config))
+        assert len(backend) == 1
+        assert open_lease_store(uri).get("k1").worker == "alice"
+        assert len(list(tmp_path.glob("*.sqlite"))) == 1
+
+    def test_chaos_uris_get_chaotic_retrying_lease_io(self, tmp_path):
+        store = open_lease_store(f"chaos+dir://{tmp_path}?fail=0.4&seed=2")
+        for i in range(8):
+            store.acquire(f"k{i}", "alice", ttl=10.0)
+        assert all(store.get(f"k{i}") is not None for i in range(8))
+        assert store.retry_stats.retries > 0  # faults were injected and survived
+
+
+class TestWorkerHeartbeat:
+    def test_beat_renews_held_leases_and_publishes_status(self):
+        store = MemoryLeaseStore()
+        clock = lambda: 100.0  # noqa: E731
+        store.acquire("k1", "w", ttl=10.0, now=95.0)
+        beat = WorkerHeartbeat(
+            store, "w", ttl=10.0, held={"k1"}, status=lambda: {"claimed": 1}, clock=clock
+        )
+        beat.beat()
+        assert store.get("k1").expires_at == 110.0
+        (record,) = store.workers()
+        assert record.payload == {"claimed": 1} and record.updated_at == 100.0
+
+    def test_a_failing_beat_does_not_kill_the_thread(self):
+        class ExplodingStore(MemoryLeaseStore):
+            def __init__(self):
+                super().__init__()
+                self.attempts = 0
+
+            def heartbeat(self, worker, payload, now=None):
+                self.attempts += 1
+                raise RuntimeError("store briefly down")
+
+        store = ExplodingStore()
+        beat = WorkerHeartbeat(store, "w", ttl=0.1, held=set(), status=dict)
+        beat.start()
+        try:
+            deadline = time.time() + 5.0
+            while store.attempts < 2 and time.time() < deadline:
+                time.sleep(0.02)
+        finally:
+            beat.stop()
+        assert store.attempts >= 2  # it kept beating after the failure
+
+
+class TestCostOrdering:
+    def test_unobserved_series_orders_by_injection_rate(self, tmp_path, fast_config):
+        plan = _plan(tmp_path, fast_config)
+        ordered = order_units_by_cost(plan.units, {})
+        rates = [unit.config.injection_rate for unit in ordered]
+        assert rates == sorted(rates, reverse=True)
+        # Ties (replications of one point) stay in plan order.
+        indices = [unit.index for unit in ordered if unit.config.injection_rate == rates[0]]
+        assert indices == sorted(indices)
+
+    def test_observed_costs_scale_to_unobserved_higher_rates(self, tmp_path, fast_config):
+        from repro.sim.runner import run_simulation
+
+        plan = _plan(tmp_path, fast_config)
+        store = open_backend(f"dir://{tmp_path}")
+        cheap = min(plan.units, key=lambda u: u.config.injection_rate)
+        store.put(cheap.config, run_simulation(cheap.config))
+        observed = observed_unit_costs(open_backend(f"dir://{tmp_path}"), plan.units)
+        assert set(observed) == {cheap.key}
+        assert observed[cheap.key] > 0
+        ordered = order_units_by_cost(plan.units, observed)
+        rates = [unit.config.injection_rate for unit in ordered]
+        # Scaling is monotone in rate, so expensive high-rate points still lead
+        # and the already-completed cheap unit sorts last among its series.
+        assert rates == sorted(rates, reverse=True)
+        assert ordered[-1].config.injection_rate == cheap.config.injection_rate
+
+
+class TestWorkCampaign:
+    def test_single_worker_completes_and_merges_bit_identically(
+        self, tmp_path, fast_config
+    ):
+        plan = _plan(tmp_path, fast_config)
+        report = work_campaign(tmp_path, worker="solo", ttl=30.0)
+        assert report.claimed == report.simulated == len(plan.units)
+        assert report.reused == 0 and report.reclaimed == 0
+        assert campaign_status(tmp_path).complete
+        # The worker's member file carries its id, like shard members do.
+        members = dict(campaign_status(tmp_path).members)
+        assert f"{worker_member_name('solo')}.jsonl" in members
+
+        merged = merge_campaign(tmp_path)
+        direct = SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, RATES, label="steal", stop_after_saturation=0
+        )
+        assert merged.results.rates == direct.rates
+        assert merged.results.latency_mean == direct.latency_mean
+        assert merged.results.latency_ci == direct.latency_ci
+        assert merged.results.throughput_mean == direct.throughput_mean
+        merged_metrics = [r.metrics for point in merged.results.results for r in point]
+        direct_metrics = [r.metrics for point in direct.results for r in point]
+        assert merged_metrics == direct_metrics
+
+    def test_expired_ghost_leases_are_reclaimed(self, tmp_path, fast_config):
+        plan = _plan(tmp_path, fast_config)
+        ghosts = open_lease_store(f"dir://{tmp_path}")
+        long_dead = time.time() - 3600.0
+        for unit in plan.units:
+            ghosts.acquire(unit.key, "ghost-worker", ttl=1.0, now=long_dead)
+        report = work_campaign(tmp_path, worker="survivor", ttl=30.0)
+        assert report.completed == len(plan.units)
+        assert report.reclaimed == len(plan.units)
+        assert campaign_status(tmp_path).complete
+
+    def test_worker_waits_out_live_foreign_leases(self, tmp_path, fast_config):
+        plan = _plan(tmp_path, fast_config)
+        peer = open_lease_store(f"dir://{tmp_path}")
+        for unit in plan.units:
+            peer.acquire(unit.key, "busy-peer", ttl=3600.0)
+        released = []
+
+        def sleep_then_release(_seconds):
+            # The "peer" finishes nothing but releases its claims: the waiting
+            # worker must pick the units up on its next round.
+            if not released:
+                released.append(True)
+                for unit in plan.units:
+                    peer.release(unit.key, "busy-peer")
+
+        report = work_campaign(
+            tmp_path, worker="patient", ttl=30.0, poll_interval=0.01,
+            sleep=sleep_then_release,
+        )
+        assert report.waits >= 1
+        assert report.conflicts >= 1
+        assert report.completed == len(plan.units)
+
+    def test_max_units_bounds_new_simulation(self, tmp_path, fast_config):
+        plan = _plan(tmp_path, fast_config)
+        report = work_campaign(tmp_path, worker="capped", max_units=1)
+        assert report.simulated == 1
+        status = campaign_status(tmp_path)
+        assert status.pending_units == len(plan.units) - 1
+        for bad in (0, -2):
+            with pytest.raises(ConfigurationError, match="max_units"):
+                work_campaign(tmp_path, max_units=bad)
+        with pytest.raises(ConfigurationError, match="ttl"):
+            work_campaign(tmp_path, ttl=0.0)
+
+    def test_two_cooperating_workers_split_the_campaign(self, tmp_path, fast_config):
+        plan = _plan(tmp_path, fast_config)
+        first = work_campaign(tmp_path, worker="w1", ttl=30.0, max_units=2)
+        second = work_campaign(tmp_path, worker="w2", ttl=30.0)
+        assert first.simulated == 2
+        assert second.simulated == len(plan.units) - 2
+        assert second.reused == 0  # the scan skipped w1's units, no re-serve
+        assert campaign_status(tmp_path).complete
+        members = dict(campaign_status(tmp_path).members)
+        assert members[f"{worker_member_name('w1')}.jsonl"] == 2
+        assert members[f"{worker_member_name('w2')}.jsonl"] == len(plan.units) - 2
+
+    def test_status_reports_work_stealing_health(self, tmp_path, fast_config):
+        _plan(tmp_path, fast_config)
+        work_campaign(tmp_path, worker="healthy", ttl=30.0)
+        status = campaign_status(tmp_path)
+        assert status.work is not None
+        assert status.work["active_leases"] == 0  # all released on exit
+        assert status.work["expired_leases"] == 0
+        (worker_row,) = status.work["workers"]
+        assert worker_row["worker"] == "healthy"
+        assert worker_row["active"] is True
+        assert worker_row["simulated"] == 4
+        payload = status.as_dict()
+        assert payload["work"]["workers"][0]["worker"] == "healthy"
+        json.dumps(payload)  # machine-readable end to end
+        table = campaign_status_table(status)
+        assert "workers: 1 active of 1 seen" in table
+
+    def test_health_of_an_unstarted_campaign_is_empty(self, tmp_path, fast_config):
+        uri = f"sqlite://{tmp_path}/points.sqlite"
+        _plan(tmp_path, fast_config, backend=uri)
+        status = campaign_status(tmp_path)
+        assert status.work == {
+            "active_leases": 0,
+            "expired_leases": 0,
+            "reclaims": 0,
+            "retries": 0,
+            "workers": [],
+        }
+        # The health probe must never create the database it reports on.
+        assert not (tmp_path / "points.sqlite").exists()
+
+    def test_lease_health_aggregates_expired_and_reported_counters(self, tmp_path):
+        store = open_lease_store(f"dir://{tmp_path}")
+        now = time.time()
+        store.acquire("k-live", "w1", ttl=3600.0, now=now)
+        store.acquire("k-dead", "w2", ttl=1.0, now=now - 100.0)
+        store.heartbeat("w1", {"ttl": 3600.0, "reclaimed": 2, "retries": 5}, now=now)
+        store.heartbeat("w2", {"ttl": 1.0, "reclaimed": 1, "retries": 0}, now=now - 100.0)
+        health = lease_health(f"dir://{tmp_path}", now=now)
+        assert health.active_leases == 1 and health.expired_leases == 1
+        assert health.reclaims == 3 and health.retries == 5
+        by_worker = {row["worker"]: row for row in health.workers}
+        assert by_worker["w1"]["active"] is True
+        assert by_worker["w2"]["active"] is False  # silent for >> 3 * ttl
+
+    def test_run_steal_delegates_and_rejects_static_shards(self, tmp_path, fast_config):
+        plan = _plan(tmp_path, fast_config)
+        with pytest.raises(ConfigurationError, match="--steal"):
+            run_campaign(tmp_path, shard=ShardSpec.parse("1/2"), steal=True)
+        report = run_campaign(tmp_path, steal=True, worker="stealer", ttl=30.0)
+        assert report.completed == len(plan.units)
+        assert report.worker == "stealer"
+
+    def test_default_worker_id_is_host_and_pid_shaped(self):
+        worker = default_worker_id()
+        assert str(os.getpid()) in worker
+        assert worker == worker.strip(".-")
+
+
+class TestKillMidLease:
+    """A worker SIGKILLed mid-lease must not strand the campaign."""
+
+    def test_killed_worker_is_reclaimed_and_merge_stays_bit_identical(
+        self, tmp_path, fast_config
+    ):
+        plan = _plan(tmp_path, fast_config)
+        ttl = 2.0
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        # The victim claims a window of units (jobs=1 -> window 2), commits
+        # exactly one result, then dies without releasing anything.
+        script = (
+            "import os, signal\n"
+            "from repro.campaign import work_campaign\n"
+            "def die(result):\n"
+            "    os.kill(os.getpid(), signal.SIGKILL)\n"
+            f"work_campaign({str(tmp_path)!r}, worker='victim', ttl={ttl}, "
+            "progress=die)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": src},
+            capture_output=True,
+            timeout=240,
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        # The kill left at least one committed unit and at least one
+        # stranded (still-live) lease behind.
+        assert 1 <= len(open_backend(f"dir://{tmp_path}")) < len(plan.units)
+        leases = open_lease_store(f"dir://{tmp_path}")
+        stranded = [r for r in leases.leases() if r.worker == "victim"]
+        assert stranded
+
+        # A second worker must wait out the victim's TTL, reclaim, finish.
+        report = work_campaign(
+            tmp_path, worker="rescuer", ttl=ttl, poll_interval=0.1
+        )
+        assert report.reclaimed >= 1
+        assert report.simulated >= 1
+        status = campaign_status(tmp_path)
+        assert status.complete
+        assert status.work["reclaims"] >= 1
+
+        merged = merge_campaign(tmp_path)
+        assert merged.simulated == 0
+        direct = SweepExecutor(jobs=1, replications=2).run_injection_rate_sweep(
+            fast_config, RATES, label="steal", stop_after_saturation=0
+        )
+        assert merged.results.latency_mean == direct.latency_mean
+        assert merged.results.throughput_mean == direct.throughput_mean
+        merged_metrics = [r.metrics for point in merged.results.results for r in point]
+        direct_metrics = [r.metrics for point in direct.results for r in point]
+        assert merged_metrics == direct_metrics
+
+
+class TestWorkCli:
+    def _plan_args(self, directory):
+        return [
+            "campaign", "plan", "sweep", "--dir", str(directory),
+            "--radix", "4", "--virtual-channels", "2", "--message-length", "4",
+            "--warmup", "10", "--messages", "40",
+            "--max-rate", "0.02", "--points", "2", "--replications", "2",
+        ]
+
+    def test_work_subcommand_drains_a_campaign(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        capsys.readouterr()
+        code = main(
+            ["campaign", "work", "--dir", str(tmp_path), "--worker", "cli-w",
+             "--ttl", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker cli-w" in out and "4 simulated" in out
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 0
+
+    def test_run_steal_flag(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        capsys.readouterr()
+        code = main(
+            ["campaign", "run", "--dir", str(tmp_path), "--steal",
+             "--worker", "cli-s", "--ttl", "30"]
+        )
+        assert code == 0
+        assert "worker cli-s" in capsys.readouterr().out
+
+    def test_steal_conflicts_with_shard(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        capsys.readouterr()
+        code = main(
+            ["campaign", "run", "--dir", str(tmp_path), "--steal", "--shard", "1/2"]
+        )
+        assert code == 2
+        assert "--steal" in capsys.readouterr().err
+
+    def test_work_rejects_bad_ttl(self, tmp_path, capsys):
+        assert main(self._plan_args(tmp_path)) == 0
+        capsys.readouterr()
+        code = main(["campaign", "work", "--dir", str(tmp_path), "--ttl", "0"])
+        assert code == 2
+        assert "ttl" in capsys.readouterr().err

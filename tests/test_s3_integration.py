@@ -1,0 +1,93 @@
+"""Opt-in integration test against a real S3 bucket.
+
+Skipped unless ``REPRO_S3_TEST_URI`` names a writable location (e.g.
+``s3://my-test-bucket/repro-ci``) *and* boto3 is importable.  Everything the
+test writes lives under a per-run UUID prefix and is deleted afterwards, so
+concurrent CI runs sharing one bucket never collide.
+
+The stubbed ``s3://`` coverage (conformance suite, retry tests) is the
+always-on contract; this module only verifies the same code paths against
+the genuine SDK and network.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+
+import pytest
+
+from repro.backends import open_backend, scan_backend
+from repro.campaign import open_lease_store
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig, config_hash
+from repro.sim.runner import run_simulation
+
+S3_TEST_URI = os.environ.get("REPRO_S3_TEST_URI", "")
+
+boto3 = pytest.importorskip("boto3") if S3_TEST_URI else None
+
+pytestmark = pytest.mark.skipif(
+    not S3_TEST_URI,
+    reason="set REPRO_S3_TEST_URI=s3://bucket/prefix to run S3 integration tests",
+)
+
+
+@pytest.fixture
+def s3_uri():
+    """A unique, self-cleaning location under the configured test prefix."""
+    base = S3_TEST_URI.rstrip("/")
+    uri = f"{base}/it-{uuid.uuid4().hex}"
+    yield uri
+    store = open_backend(uri)
+    store.delete_keys(store.keys())
+    leases = open_lease_store(uri)
+    for record in leases.leases():
+        leases.release(record.key, record.worker)
+    leases.close()
+    store.close()
+
+
+@pytest.fixture
+def fast_config(torus_4x4):
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.02,
+        faults=FaultSet.from_nodes([5]),
+        warmup_messages=10,
+        measure_messages=40,
+        seed=11,
+    )
+
+
+class TestRealS3:
+    def test_round_trip_scan_and_delete(self, s3_uri, fast_config):
+        result = run_simulation(fast_config)
+        writer = open_backend(s3_uri, member="points-it")
+        writer.put(fast_config, result)
+
+        reader = open_backend(s3_uri)
+        assert reader.get(fast_config).metrics == result.metrics
+        assert config_hash(fast_config) in reader
+
+        scan = scan_backend(s3_uri)
+        assert scan.keys == frozenset({config_hash(fast_config)})
+        assert scan.skipped_records == 0
+
+        assert reader.delete_keys({config_hash(fast_config)}) == 1
+        assert len(open_backend(s3_uri)) == 0
+
+    def test_lease_round_trip(self, s3_uri):
+        store = open_lease_store(s3_uri)
+        lease = store.acquire("it-unit", "it-worker", ttl=60.0)
+        assert lease is not None and lease.worker == "it-worker"
+        assert store.renew("it-unit", "it-worker", ttl=60.0)
+        store.heartbeat("it-worker", {"claimed": 1, "ttl": 60.0})
+        assert [w.worker for w in store.workers()] == ["it-worker"]
+        # Lease sidecars must stay invisible to result scans.
+        assert scan_backend(s3_uri).keys == frozenset()
+        assert store.release("it-unit", "it-worker")
+        store.close()
