@@ -59,9 +59,11 @@ from repro.backends.serialize import (
 from repro.errors import ConfigurationError
 from repro.metrics.collectors import NetworkMetrics
 from repro.sim.config import SimulationConfig
+from repro.telemetry.events import EVENTS_PREFIX
 
 __all__ = [
     "BlobClient",
+    "EVENTS_PREFIX",
     "GCSBlobClient",
     "InMemoryGCSClient",
     "InMemoryS3Client",
@@ -86,6 +88,11 @@ _BLOB_SUFFIX = ".json"
 #: counted as skipped), so lease traffic can never perturb member counts,
 #: completion status or gc decisions.
 LEASE_PREFIX = ".leases"
+
+#: Store prefix the telemetry event batches of a campaign live under —
+#: imported from :mod:`repro.telemetry.events` (its canonical home) and
+#: ignored by scans for the same reason as ``LEASE_PREFIX``: events are
+#: observability state, not results.
 
 
 class BlobClient:
@@ -405,8 +412,8 @@ class ObjectStoreBackend(ResultBackend):
         members: Dict[str, int] = {}
         skipped = 0
         for path in sorted(client.list_prefix("")):
-            if path.startswith(f"{LEASE_PREFIX}/"):
-                continue  # coordination sidecars, not results (and not torn)
+            if path.startswith((f"{LEASE_PREFIX}/", f"{EVENTS_PREFIX}/")):
+                continue  # coordination/telemetry sidecars, not results
             member, _, blob = path.partition("/")
             if not blob or "/" in blob or not blob.endswith(_BLOB_SUFFIX):
                 skipped += 1

@@ -31,13 +31,16 @@ An exception may short-circuit classification by carrying a boolean
 from __future__ import annotations
 
 import errno
+import logging
 import sqlite3
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterator, List, Optional, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.telemetry.metrics import metrics_registry
 
 __all__ = [
     "DEFAULT_RETRY_POLICY",
@@ -48,6 +51,8 @@ __all__ = [
 ]
 
 T = TypeVar("T")
+
+logger = logging.getLogger(__name__)
 
 #: Botocore-style error codes that mean "back off and try again" (throttling,
 #: internal errors, timeouts) — matched structurally on
@@ -127,19 +132,53 @@ def is_transient_error(exc: BaseException) -> bool:
 
 @dataclass
 class RetryStats:
-    """Mutable retry accounting shared by a client/backend and its readers."""
+    """Mutable retry accounting shared by a client/backend and its readers.
+
+    Every retry and giveup also logs at WARNING (flaky transports should be
+    visible without a debugger), feeds the telemetry counters when metrics
+    are enabled, and calls the optional ``listener`` — the hook the
+    campaign runner uses to turn blob-I/O faults into structured events.
+    ``listener`` receives ``(outcome, token, exc)`` where ``outcome`` is
+    ``"retry"`` or ``"giveup"`` and ``token`` is the operation token
+    (``"put:<path>"`` etc.); it is deliberately excluded from
+    :meth:`as_dict`.
+    """
 
     retries: int = 0
     giveups: int = 0
     last_error: str = ""
+    listener: Optional[Callable[[str, str, BaseException], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
-    def record_retry(self, exc: BaseException) -> None:
+    def record_retry(self, exc: BaseException, token: str = "") -> None:
         self.retries += 1
         self.last_error = f"{type(exc).__name__}: {exc}"
+        logger.warning("transient backend error, retrying %s: %s", token or "operation", self.last_error)
+        registry = metrics_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_blob_retries_total", "Retried transient blob operations."
+            ).inc()
+        if self.listener is not None:
+            self.listener("retry", token, exc)
 
-    def record_giveup(self, exc: BaseException) -> None:
+    def record_giveup(self, exc: BaseException, token: str = "") -> None:
         self.giveups += 1
         self.last_error = f"{type(exc).__name__}: {exc}"
+        logger.warning(
+            "giving up on %s after exhausting retries: %s",
+            token or "operation",
+            self.last_error,
+        )
+        registry = metrics_registry()
+        if registry is not None:
+            registry.counter(
+                "repro_blob_giveups_total",
+                "Blob operations abandoned after exhausting retries.",
+            ).inc()
+        if self.listener is not None:
+            self.listener("giveup", token, exc)
 
     def as_dict(self) -> dict:
         return {
@@ -214,10 +253,10 @@ class RetryPolicy:
                     raise
                 if attempt + 1 >= self.max_attempts:
                     if stats is not None:
-                        stats.record_giveup(exc)
+                        stats.record_giveup(exc, token)
                     raise
                 if stats is not None:
-                    stats.record_retry(exc)
+                    stats.record_retry(exc, token)
                 sleep(self.delay_for(attempt, token))
                 attempt += 1
 
@@ -250,7 +289,23 @@ class RetryingBlobClient:
         self._sleep = sleep
 
     def _call(self, token: str, fn: Callable[[], T]) -> T:
-        return self.policy.call(fn, stats=self.stats, token=token, sleep=self._sleep)
+        registry = metrics_registry()
+        if registry is None:
+            return self.policy.call(
+                fn, stats=self.stats, token=token, sleep=self._sleep
+            )
+        start = perf_counter()
+        try:
+            return self.policy.call(
+                fn, stats=self.stats, token=token, sleep=self._sleep
+            )
+        finally:
+            op = token.partition(":")[0]
+            registry.histogram(
+                "repro_blob_op_seconds",
+                "Blob operation latency (including retry backoff).",
+                labelnames=("op",),
+            ).observe(perf_counter() - start, op=op)
 
     def put_blob(self, path: str, data: bytes) -> None:
         self._call(f"put:{path}", lambda: self.inner.put_blob(path, data))

@@ -53,6 +53,7 @@ from repro.campaign.runner import (
     CampaignStatus,
     CampaignWorkReport,
     campaign_status,
+    events_enabled,
     gc_campaign,
     merge_campaign,
     pull_campaign,
@@ -88,6 +89,7 @@ __all__ = [
     "config_from_dict",
     "config_to_dict",
     "default_worker_id",
+    "events_enabled",
     "gc_campaign",
     "lease_health",
     "merge_campaign",

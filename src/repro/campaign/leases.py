@@ -41,6 +41,7 @@ wall-clock is not hostage to whichever worker drew them last.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import socket
@@ -54,6 +55,9 @@ from repro.backends.objectstore import LEASE_PREFIX, LocalObjectClient, blob_cli
 from repro.backends.retry import DEFAULT_RETRY_POLICY, RetryingBlobClient
 from repro.campaign.serialize import config_to_dict
 from repro.errors import ConfigurationError
+from repro.telemetry.metrics import metrics_registry
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "LeaseHealth",
@@ -174,11 +178,29 @@ class LeaseStore(ABC):
             if current is not None and not current.expired(now) and current.worker != worker:
                 return None
             generation = 1
+            reclaimed = False
             if current is not None:
                 takeover = current.expired(now) or current.worker != worker
                 generation = current.generation + 1 if takeover else current.generation
                 if current.expired(now) and current.worker != worker:
                     self.reclaims += 1
+                    reclaimed = True
+                    logger.warning(
+                        "worker %s reclaiming expired lease on unit %s from %s "
+                        "(expired %.1fs ago, generation %d)",
+                        worker,
+                        key,
+                        current.worker,
+                        now - current.expires_at,
+                        generation,
+                    )
+            registry = metrics_registry()
+            if registry is not None:
+                registry.counter(
+                    "repro_lease_claims_total",
+                    "Lease acquisitions by kind.",
+                    labelnames=("kind",),
+                ).inc(kind="reclaim" if reclaimed else "claim")
             record = LeaseRecord(
                 key=key,
                 worker=worker,
@@ -570,6 +592,16 @@ class WorkerHeartbeat:
         for key in list(self._held):
             self._store.renew(key, self._worker, self._ttl, now=now)
         self._store.heartbeat(self._worker, self._status(), now=now)
+        registry = metrics_registry()
+        if registry is not None:
+            # How far one renewal+publish pass runs behind the wall clock —
+            # sustained lag approaching the ttl/3 interval means renewals
+            # are at risk of losing the race against lease expiry.
+            registry.gauge(
+                "repro_lease_heartbeat_lag_seconds",
+                "Seconds one heartbeat pass took (renewals + publish).",
+                labelnames=("worker",),
+            ).set(max(0.0, self._clock() - now), worker=self._worker)
 
     def _run(self) -> None:
         interval = max(self._ttl / 3.0, 0.05)
@@ -579,6 +611,11 @@ class WorkerHeartbeat:
             except Exception:
                 # A failed beat must not kill the thread: the next beat (or
                 # the lease TTL) resolves it either way.
+                logger.warning(
+                    "heartbeat pass failed for worker %s; retrying next beat",
+                    self._worker,
+                    exc_info=True,
+                )
                 continue
 
     def start(self) -> None:

@@ -35,6 +35,7 @@ store — the historical layout, byte-for-byte.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -58,6 +59,48 @@ from repro.campaign.store import shard_member_name
 from repro.errors import ConfigurationError
 from repro.sim.parallel import ShardSpec, SweepExecutor
 from repro.sim.runner import SimulationResult
+from repro.telemetry.events import EventLog, open_event_log
+
+logger = logging.getLogger(__name__)
+
+#: Environment switch for campaign event tracing (the CLI's ``--events``
+#: flag wins; any non-empty value other than ``0``/``false`` enables it).
+ENV_EVENTS = "REPRO_EVENTS"
+
+
+def events_enabled(flag: Optional[bool] = None) -> bool:
+    """Whether a campaign invocation should write an event log."""
+    if flag is not None:
+        return flag
+    return os.environ.get(ENV_EVENTS, "").strip().lower() not in ("", "0", "false")
+
+
+def _open_campaign_events(uri: str, run: str) -> Optional[EventLog]:
+    """An event log beside the campaign results, or ``None`` when the
+    backend scheme cannot host one (events must never fail a run)."""
+    try:
+        return open_event_log(uri, run)
+    except ConfigurationError as exc:
+        logger.warning("event tracing disabled for this run: %s", exc)
+        return None
+
+
+def _attach_retry_listener(event_log: EventLog, *stores) -> List[object]:
+    """Route blob retry/giveup accounting into the event stream.
+
+    Returns the stats objects that were hooked so the caller can detach
+    them (listeners must not outlive the event log)."""
+    hooked = []
+    for store in stores:
+        stats = getattr(store, "retry_stats", None)
+        if stats is None or getattr(stats, "listener", None) is not None:
+            continue
+        stats.listener = lambda outcome, token, exc: event_log.emit(
+            "blob", outcome, op=token, error=f"{type(exc).__name__}: {exc}"
+        )
+        hooked.append(stats)
+    return hooked
+
 
 __all__ = [
     "CampaignGC",
@@ -66,6 +109,7 @@ __all__ = [
     "CampaignStatus",
     "CampaignWorkReport",
     "campaign_status",
+    "events_enabled",
     "gc_campaign",
     "merge_campaign",
     "pull_campaign",
@@ -184,6 +228,7 @@ def work_campaign(
     poll_interval: Optional[float] = None,
     progress: Optional[Callable[[SimulationResult], None]] = None,
     backend: Optional[str] = None,
+    events: Optional[bool] = None,
     clock: Callable[[], float] = time.time,
     sleep: Callable[[float], None] = time.sleep,
 ) -> CampaignWorkReport:
@@ -209,6 +254,12 @@ def work_campaign(
     comfortably exceed the longest single simulation so a *healthy*
     worker's lease never expires mid-unit (expiry then only ever signals a
     dead or wedged worker).
+
+    With ``events`` (or ``REPRO_EVENTS=1``) the worker writes a structured
+    JSONL event log beside the results (:mod:`repro.telemetry.events`):
+    run start/finish, lease claims/reclaims/releases/waits, per-unit
+    commits with wall time, and blob retry/giveup faults — what ``repro
+    campaign tail`` follows.
     """
     if ttl <= 0:
         raise ConfigurationError(
@@ -225,8 +276,30 @@ def work_campaign(
     uri = resolve_campaign_backend(directory, backend, plan.backend)
     store = open_backend(uri, member=worker_member_name(worker))
     leases = open_lease_store(uri)
+    event_log = (
+        _open_campaign_events(uri, worker) if events_enabled(events) else None
+    )
+    hooked_stats: List[object] = []
+    if event_log is not None:
+        hooked_stats = _attach_retry_listener(event_log, store, leases)
+        event_log.emit(
+            "run",
+            "started",
+            worker=worker,
+            total_units=len(plan.units),
+            backend=uri,
+            ttl=ttl,
+            jobs=jobs,
+        )
     counters = {"claimed": 0, "simulated": 0, "reused": 0, "conflicts": 0, "waits": 0}
     held: set = set()
+    logger.info(
+        "worker %s starting on campaign %s (%d units, backend %s)",
+        worker,
+        directory,
+        len(plan.units),
+        uri,
+    )
 
     def status_payload() -> dict:
         return {
@@ -262,15 +335,27 @@ def work_campaign(
                     break
                 if max_units is not None and counters["simulated"] + len(batch) >= max_units:
                     break
-                if leases.acquire(unit.key, worker, ttl, now=clock()) is None:
+                reclaims_before = leases.reclaims
+                record = leases.acquire(unit.key, worker, ttl, now=clock())
+                if record is None:
                     counters["conflicts"] += 1
                     continue
                 held.add(unit.key)
                 batch.append(unit)
+                if event_log is not None:
+                    event_log.emit(
+                        "lease",
+                        "reclaimed" if leases.reclaims > reclaims_before else "claimed",
+                        key=unit.key,
+                        generation=record.generation,
+                    )
             if not batch:
                 # Everything pending is leased by live peers: wait for their
                 # commits — or for their leases to expire and be reclaimed.
                 counters["waits"] += 1
+                if event_log is not None:
+                    event_log.emit("lease", "wait", pending=len(pending))
+                    event_log.flush()
                 sleep(poll)
                 continue
             counters["claimed"] += len(batch)
@@ -279,6 +364,18 @@ def work_campaign(
                 counters["reused" if event.reused else "simulated"] += 1
                 leases.release(unit.key, worker)
                 held.discard(unit.key)
+                if event_log is not None:
+                    event_log.emit(
+                        "unit",
+                        "committed",
+                        key=unit.key,
+                        index=unit.index,
+                        injection_rate=unit.config.injection_rate,
+                        reused=event.reused,
+                        seconds=round(event.seconds, 6),
+                    )
+                    event_log.emit("lease", "released", key=unit.key)
+                    event_log.flush()
                 if progress is not None:
                     progress(event.result)
     finally:
@@ -295,8 +392,34 @@ def work_campaign(
             leases.heartbeat(worker, status_payload(), now=clock())
         except Exception:
             pass  # a final-status write must not mask the real error
+        if event_log is not None:
+            for stats in hooked_stats:
+                stats.listener = None  # type: ignore[attr-defined]
+            try:
+                event_log.emit(
+                    "run",
+                    "finished",
+                    worker=worker,
+                    claimed=counters["claimed"],
+                    simulated=counters["simulated"],
+                    reused=counters["reused"],
+                    conflicts=counters["conflicts"],
+                    waits=counters["waits"],
+                    reclaimed=reclaimed,
+                    retries=retries,
+                )
+                event_log.close()
+            except Exception:
+                pass  # a telemetry write must not mask the real error
         leases.close()
         store.close()
+        logger.info(
+            "worker %s finished: %d simulated, %d reused, %d reclaimed",
+            worker,
+            counters["simulated"],
+            counters["reused"],
+            reclaimed,
+        )
     return CampaignWorkReport(
         worker=worker,
         total_units=len(plan.units),
@@ -384,6 +507,7 @@ def run_campaign(
     steal: bool = False,
     ttl: float = 60.0,
     worker: Optional[str] = None,
+    events: Optional[bool] = None,
 ):
     """Stream (a shard of) a planned campaign into its result backend.
 
@@ -422,6 +546,7 @@ def run_campaign(
             max_units=max_units,
             progress=progress,
             backend=backend,
+            events=events,
         )
     if max_units is not None and max_units < 1:
         raise ConfigurationError(
@@ -432,6 +557,22 @@ def run_campaign(
     uri = resolve_campaign_backend(directory, backend, plan.backend)
     member = shard_member_name(shard.index, shard.count) if shard else DEFAULT_MEMBER
     store = open_backend(uri, member=member)
+    event_log = (
+        _open_campaign_events(uri, f"{member}-{os.getpid()}")
+        if events_enabled(events)
+        else None
+    )
+    if event_log is not None:
+        _attach_retry_listener(event_log, store)
+        event_log.emit(
+            "run",
+            "started",
+            shard=str(shard) if shard else "",
+            total_units=len(plan.units),
+            backend=uri,
+            jobs=jobs,
+        )
+    reused = simulated = 0
     try:
         owned = plan.shard_units(shard)
         kept = owned
@@ -448,15 +589,33 @@ def run_campaign(
                     budget -= 1
         deferred = len(owned) - len(kept)
         executor = SweepExecutor(jobs=jobs, cache=store)
-        reused = simulated = 0
         for event in executor.stream_configs([u.config for u in kept]):
             if event.reused:
                 reused += 1
             else:
                 simulated += 1
+            if event_log is not None:
+                unit = kept[event.index]
+                event_log.emit(
+                    "unit",
+                    "committed",
+                    key=unit.key,
+                    index=unit.index,
+                    injection_rate=unit.config.injection_rate,
+                    reused=event.reused,
+                    seconds=round(event.seconds, 6),
+                )
             if progress is not None:
                 progress(event.result)
     finally:
+        if event_log is not None:
+            try:
+                event_log.emit(
+                    "run", "finished", reused=reused, simulated=simulated
+                )
+                event_log.close()
+            except Exception:
+                pass  # a telemetry write must not mask the real error
         store.close()
     return CampaignRunReport(
         shard=shard,

@@ -8,17 +8,22 @@ Exposes the most common workflows without writing Python:
 * ``python -m repro regions`` — render the fault-region shapes of Fig. 1;
 * ``python -m repro campaign`` — plan / run / merge / status / push / pull /
   gc of backend-stored, shardable, resumable (and cross-host) experiment
-  campaigns.
+  campaigns, plus ``tail`` (follow the structured event log of a live
+  campaign) and ``watch`` (serve ``/metrics`` + ``/status`` over HTTP).
 
 The CLI is a thin veneer over the public library API (``repro.SimulationConfig``
 / ``repro.run_simulation`` / ``repro.experiments`` / ``repro.campaign``);
 anything it can do can also be done programmatically.
+
+Diagnostics go through :mod:`logging` to stderr (``--log-level`` /
+``--quiet``); result tables and machine-readable payloads stay on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional, Sequence
 
@@ -47,10 +52,29 @@ from repro.routing.registry import available_routing_algorithms
 from repro.sim.config import SimulationConfig
 from repro.sim.parallel import ShardSpec
 from repro.sim.runner import run_simulation
+from repro.telemetry.profile import StageProfiler, profile_call
 from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger(__name__)
+
+_LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Route library diagnostics to stderr at the requested level.
+
+    ``basicConfig`` is a no-op when the embedding application (or a test
+    harness) already configured handlers — the CLI never fights its host.
+    """
+    level = "error" if args.quiet else args.log_level
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=getattr(logging, level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
 
 
 def _add_network_arguments(
@@ -175,11 +199,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default="warning",
+        help=(
+            "stderr diagnostic verbosity (default warning: retry/give-up and "
+            "lease-reclaim warnings only; info adds campaign progress, debug "
+            "adds saturation declarations and per-request telemetry)"
+        ),
+    )
+    parser.add_argument(
+        "-q", "--quiet",
+        action="store_true",
+        help="only log errors to stderr (shorthand for --log-level error)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="run one simulation and print its metrics")
     _add_network_arguments(simulate)
     simulate.add_argument("--rate", type=float, default=0.004, help="injection rate (lambda)")
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "wrap the run in cProfile and print the hottest functions after "
+            "the result table (implies --profile-stages)"
+        ),
+    )
+    simulate.add_argument(
+        "--profile-stages",
+        action="store_true",
+        help=(
+            "time the engine's pipeline stages (generate/inject/route/"
+            "transfer/drain) and print a per-stage breakdown after the "
+            "result table"
+        ),
+    )
 
     sweep = sub.add_parser("sweep", help="latency/throughput vs injection rate")
     _add_network_arguments(sweep)
@@ -291,6 +347,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker", default=None,
         help="worker id for --steal (default: <hostname>-<pid>)",
     )
+    crun.add_argument(
+        "--events", action="store_true", default=None,
+        help=(
+            "write a structured JSONL event log (run/lease/unit/blob events) "
+            "to the campaign backend's .events/ area; follow it live with "
+            "'campaign tail' (default: the REPRO_EVENTS environment variable)"
+        ),
+    )
 
     work = csub.add_parser(
         "work",
@@ -326,6 +390,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "seconds to wait when every pending unit is leased by a peer "
             "(default: ttl/4, capped to [0.1, 2])"
+        ),
+    )
+    work.add_argument(
+        "--events", action="store_true", default=None,
+        help=(
+            "write a structured JSONL event log to the campaign backend's "
+            ".events/ area (default: the REPRO_EVENTS environment variable)"
         ),
     )
     work.add_argument("--backend", default=None, help=backend_help)
@@ -391,12 +462,67 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    tail = csub.add_parser(
+        "tail",
+        help="print the campaign's structured event log",
+        description=(
+            "Print the JSONL events that workers started with --events (or "
+            "REPRO_EVENTS=1) committed to the backend's .events/ area, merged "
+            "across workers and ordered by timestamp.  With --follow, keep "
+            "polling for new events until interrupted — a cross-host 'tail "
+            "-f' for a live campaign."
+        ),
+    )
+    tail.add_argument("--dir", required=True, help="campaign directory")
+    tail.add_argument("--backend", default=None, help=backend_help)
+    tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    tail.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between polls with --follow (default 0.5)",
+    )
+    tail.add_argument(
+        "--json", action="store_true",
+        help="print raw JSON events instead of the one-line rendering",
+    )
+
+    watch = csub.add_parser(
+        "watch",
+        help="serve /metrics (Prometheus) and /status (JSON) over HTTP",
+        description=(
+            "A stdlib-only HTTP endpoint for dashboards and scrapers: "
+            "/metrics renders the campaign's completion/lease gauges (plus "
+            "any in-process telemetry counters) in Prometheus text format, "
+            "and /status returns the same JSON payload as 'campaign status "
+            "--json'.  Runs in the foreground until interrupted."
+        ),
+    )
+    watch.add_argument("--dir", required=True, help="campaign directory")
+    watch.add_argument("--backend", default=None, help=backend_help)
+    watch.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (default 0 = an ephemeral port, printed at start)",
+    )
+    watch.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 to expose)",
+    )
+
     return parser
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _build_config(args, args.rate)
-    result = run_simulation(config)
+    profiler = StageProfiler() if (args.profile or args.profile_stages) else None
+    if args.profile:
+        result, profile_report = profile_call(
+            lambda: run_simulation(config, stage_profiler=profiler)
+        )
+    else:
+        result = run_simulation(config, stage_profiler=profiler)
+        profile_report = None
     rows = [result.as_row()]
     print(
         format_table(
@@ -408,6 +534,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             title=config.describe(),
         )
     )
+    # The profile breakdown is requested output, not a diagnostic: stdout.
+    if profiler is not None:
+        print()
+        print(profiler.describe())
+    if profile_report is not None:
+        print()
+        print(profile_report.rstrip())
     return 0
 
 
@@ -495,8 +628,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
         return _CAMPAIGN_COMMANDS[args.campaign_command](args)
     except ConfigurationError as exc:
-        # Misuse (bad shard specs, missing manifests, …), not a crash: print
-        # the actionable message without a traceback.
+        # Misuse (bad shard specs, missing manifests, …), not a crash: the
+        # actionable message without a traceback.  This is the command's
+        # own error output (always visible, like argparse's usage errors),
+        # not a library diagnostic, so it writes stderr directly instead of
+        # going through logging where -q or a host handler could eat it.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -538,6 +674,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     report = run_campaign(
         args.dir, shard=shard, jobs=get_jobs(args.jobs), max_units=args.max_units,
         backend=args.backend, steal=args.steal, ttl=args.ttl, worker=args.worker,
+        events=args.events,
     )
     print(report.describe())
     return 0
@@ -547,7 +684,7 @@ def _cmd_campaign_work(args: argparse.Namespace) -> int:
     report = work_campaign(
         args.dir, worker=args.worker, ttl=args.ttl, jobs=get_jobs(args.jobs),
         max_units=args.max_units, poll_interval=args.poll_interval,
-        backend=args.backend,
+        backend=args.backend, events=args.events,
     )
     print(report.describe())
     return 0
@@ -584,6 +721,71 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_backend_uri(args: argparse.Namespace) -> str:
+    """The backend URI tail/watch should read, resolved exactly like every
+    other lifecycle command (explicit flag > manifest > env > dir://)."""
+    from repro.campaign import resolve_campaign_backend
+
+    _kind, _keys, recorded = CampaignPlan.load_keys(args.dir)
+    return resolve_campaign_backend(args.dir, args.backend, recorded)
+
+
+def _format_event(event: dict) -> str:
+    import time as _time
+
+    ts = float(event.get("ts", 0.0))
+    clock = _time.strftime("%H:%M:%S", _time.localtime(ts))
+    millis = int(round((ts % 1.0) * 1000))
+    head = (
+        f"{clock}.{millis:03d} {event.get('run', '?')} "
+        f"{event.get('kind', '?')}/{event.get('event', '?')}"
+    )
+    skip = {"ts", "run", "seq", "kind", "event"}
+    fields = " ".join(
+        f"{key}={event[key]}" for key in sorted(event) if key not in skip
+    )
+    return f"{head} {fields}".rstrip()
+
+
+def _cmd_campaign_tail(args: argparse.Namespace) -> int:
+    from repro.telemetry.events import tail_events
+
+    uri = _campaign_backend_uri(args)
+    try:
+        for event in tail_events(uri, follow=args.follow, poll=args.poll):
+            if args.json:
+                print(json.dumps(event, sort_keys=True))
+            else:
+                print(_format_event(event))
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        # `tail ... | head` closing stdout early is normal usage, not an
+        # error; detach stdout so interpreter shutdown doesn't re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.telemetry.httpd import CampaignWatchServer
+
+    server = CampaignWatchServer(
+        args.dir, backend=args.backend, host=args.host, port=args.port
+    )
+    # The bound URL is the command's output contract (scripts scrape it to
+    # find the ephemeral port), so it goes to stdout.
+    print(f"serving http://{args.host}:{server.port}/metrics", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _CAMPAIGN_COMMANDS = {
     "plan": _cmd_campaign_plan,
     "run": _cmd_campaign_run,
@@ -593,6 +795,8 @@ _CAMPAIGN_COMMANDS = {
     "push": _cmd_campaign_push,
     "pull": _cmd_campaign_pull,
     "gc": _cmd_campaign_gc,
+    "tail": _cmd_campaign_tail,
+    "watch": _cmd_campaign_watch,
 }
 
 _COMMANDS = {
@@ -608,6 +812,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    _configure_logging(args)
     return _COMMANDS[args.command](args)
 
 

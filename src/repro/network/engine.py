@@ -50,8 +50,10 @@ the number of ``step`` calls needed to cross an idle stretch) changes.
 
 from __future__ import annotations
 
+import logging
 import random
 from math import isfinite
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
@@ -73,12 +75,16 @@ from repro.network.virtual_channel import (
 )
 from repro.routing.base import RoutingAlgorithm, RoutingDecision
 from repro.routing.trace import format_trace
+from repro.telemetry.metrics import metrics_registry
+from repro.telemetry.profile import StageProfiler
 from repro.topology.base import Topology
 from repro.topology.channels import opposite_port
 from repro.traffic.generators import TrafficGenerator
 from repro.traffic.patterns import DestinationPattern
 
 __all__ = ["SimulationEngine"]
+
+logger = logging.getLogger(__name__)
 
 _Channel = Union[VirtualChannel, InjectionChannel]
 
@@ -130,6 +136,11 @@ class SimulationEngine:
         permissive custom guard.  ``None`` disables the valve.
     keep_records:
         Retain every delivered message's :class:`MessageRecord` (tests).
+    stage_profiler:
+        Opt-in :class:`~repro.telemetry.profile.StageProfiler` accumulating
+        per-stage wall time.  When given, ``step`` is swapped for a timed
+        variant at construction; when ``None`` (the default) the untimed
+        hot loop runs with zero added cost.
     """
 
     #: Cycles without any flit movement or delivery before a deadlock is declared.
@@ -155,6 +166,7 @@ class SimulationEngine:
         saturation_queue_limit: Optional[float] = 25.0,
         max_absorptions_per_message: Optional[int] = None,
         keep_records: bool = False,
+        stage_profiler: Optional[StageProfiler] = None,
     ) -> None:
         if message_length < 1:
             raise ConfigurationError("message_length must be at least 1 flit")
@@ -258,6 +270,13 @@ class SimulationEngine:
         self._flit_transfers = 0
         self._stop_generation = False
 
+        self._stage_profiler = stage_profiler
+        if stage_profiler is not None:
+            # The instance attribute shadows the class method, so the
+            # untimed ``step`` below stays byte-identical when profiling is
+            # off — the ``header.trace is None`` pattern applied to methods.
+            self.step = self._step_profiled  # type: ignore[method-assign]
+
     # ------------------------------------------------------------------ #
     # public interface
     # ------------------------------------------------------------------ #
@@ -329,6 +348,9 @@ class SimulationEngine:
             counters = rerouting_stats()
             if counters:
                 metrics.rerouting = dict(counters)
+        registry = metrics_registry()
+        if registry is not None:
+            self._emit_run_metrics(registry, metrics)
         return metrics
 
     def step(self) -> None:
@@ -360,6 +382,95 @@ class SimulationEngine:
             and cycle % self.SATURATION_CHECK_PERIOD == 0
         ):
             self._check_saturation()
+
+    def _step_profiled(self) -> None:
+        """``step`` with a perf_counter pair around each pipeline stage.
+
+        Installed over ``step`` in ``__init__`` only when a stage profiler
+        was supplied; must mirror :meth:`step` exactly apart from timing.
+        """
+        profiler = self._stage_profiler
+        record = profiler.record
+        if (
+            self._skip_idle
+            and not self._stop_generation
+            and not self._active_vcs
+            and not self._active_injection
+            and not self._pending_nodes
+        ):
+            self._skip_to_next_arrival()
+        self._cycle += 1
+        cycle = self._cycle
+        if not self._stop_generation:
+            start = perf_counter()
+            self._generate_traffic(cycle)
+            record("generate", perf_counter() - start)
+        start = perf_counter()
+        self._inject(cycle)
+        record("inject", perf_counter() - start)
+        start = perf_counter()
+        self._route_and_allocate(cycle)
+        record("route_allocate", perf_counter() - start)
+        start = perf_counter()
+        self._transfer(cycle)
+        record("transfer", perf_counter() - start)
+        start = perf_counter()
+        self._drain(cycle)
+        record("drain", perf_counter() - start)
+        self._check_watchdog(cycle)
+        if (
+            self._saturation_queue_limit is not None
+            and cycle % self.SATURATION_CHECK_PERIOD == 0
+        ):
+            self._check_saturation()
+
+    def _emit_run_metrics(self, registry, metrics: NetworkMetrics) -> None:
+        """Fold this run's totals into the process metrics registry.
+
+        Called once at the end of :meth:`run` (never per cycle), so the
+        engine's instrumented cost is a single ``metrics_registry()`` check
+        per run when telemetry is off.
+        """
+        registry.counter(
+            "repro_engine_runs_total",
+            "Completed engine runs.",
+            labelnames=("saturated",),
+        ).inc(saturated="true" if self._saturated else "false")
+        registry.counter(
+            "repro_engine_cycles_total", "Simulated engine cycles."
+        ).inc(self._cycle)
+        registry.counter(
+            "repro_engine_flit_transfers_total", "Flit-link traversals simulated."
+        ).inc(self._flit_transfers)
+        registry.counter(
+            "repro_engine_messages_delivered_total", "Messages delivered."
+        ).inc(metrics.delivered_messages)
+        registry.counter(
+            "repro_engine_absorptions_total",
+            "Software absorption events by cause.",
+            labelnames=("cause",),
+        ).inc(metrics.messages_absorbed_fault, cause="fault")
+        registry.counter(
+            "repro_engine_absorptions_total",
+            "Software absorption events by cause.",
+            labelnames=("cause",),
+        ).inc(metrics.messages_absorbed_intermediate, cause="intermediate")
+        if metrics.rerouting:
+            reroutes = registry.counter(
+                "repro_engine_reroutes_total",
+                "Header rewrites by rerouting action.",
+                labelnames=("action",),
+            )
+            for action, count in metrics.rerouting.items():
+                reroutes.inc(count, action=str(action))
+        if self._stage_profiler is not None:
+            stage_seconds = registry.counter(
+                "repro_engine_stage_seconds_total",
+                "Wall-clock seconds spent per engine pipeline stage.",
+                labelnames=("stage",),
+            )
+            for stage, stat in self._stage_profiler.stages.items():
+                stage_seconds.inc(stat.seconds, stage=stage)
 
     def drain(self, max_cycles: int = 50_000) -> None:
         """Stop traffic generation and run until the network is empty.
@@ -779,4 +890,12 @@ class SimulationEngine:
             return
         pending = sum(self._layers[node].pending_new for node in self._healthy_nodes)
         if pending / len(self._healthy_nodes) > limit:
+            if not self._saturated:
+                logger.debug(
+                    "network saturated at cycle %d: %.1f pending messages/node "
+                    "exceeds the limit of %.1f",
+                    self._cycle,
+                    pending / len(self._healthy_nodes),
+                    limit,
+                )
             self._saturated = True

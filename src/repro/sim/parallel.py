@@ -39,11 +39,13 @@ parallelises the same way.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import re
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, fields
+from time import perf_counter
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -55,6 +57,7 @@ from repro.faults.model import FaultSet
 from repro.metrics.statistics import confidence_interval
 from repro.sim.config import SimulationConfig, config_key, derive_sweep_seeds
 from repro.sim.runner import SimulationResult, run_simulation
+from repro.telemetry.metrics import metrics_registry
 
 __all__ = [
     "PointAggregate",
@@ -69,6 +72,9 @@ __all__ = [
 ]
 
 
+logger = logging.getLogger(__name__)
+
+
 def default_jobs() -> int:
     """A sensible worker count for this machine (all CPUs, at least 1)."""
     return max(1, os.cpu_count() or 1)
@@ -76,6 +82,35 @@ def default_jobs() -> int:
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _timed_run(config: SimulationConfig) -> Tuple[SimulationResult, float]:
+    """``run_simulation`` plus its wall-clock seconds.
+
+    Module-level so it pickles into pool workers; the two ``perf_counter``
+    reads are noise next to a whole simulation, so the timing is
+    unconditional and the parent decides whether to record it.
+    """
+    start = perf_counter()
+    result = run_simulation(config)
+    return result, perf_counter() - start
+
+
+def _record_unit_metrics(reused: bool, seconds: float) -> None:
+    """Fold one completed unit into the metrics registry (no-op when off)."""
+    registry = metrics_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_executor_units_total",
+        "Sweep units completed, by how the result was obtained.",
+        labelnames=("outcome",),
+    ).inc(outcome="reused" if reused else "simulated")
+    if not reused:
+        registry.histogram(
+            "repro_executor_unit_seconds",
+            "Wall-clock seconds per simulated sweep unit.",
+        ).observe(seconds)
 
 
 # --------------------------------------------------------------------------- #
@@ -305,6 +340,10 @@ class StreamedResult:
     index: int
     result: SimulationResult
     reused: bool
+    #: Wall-clock seconds the simulation took (0.0 for reused results) —
+    #: what the campaign runner's per-unit events and the executor's
+    #: wall-time histogram report.
+    seconds: float = 0.0
 
 
 class SweepExecutor:
@@ -439,12 +478,16 @@ class SweepExecutor:
             for index in owned:
                 result = cache.get(configs[index]) if cache is not None else None
                 if result is not None:
+                    _record_unit_metrics(True, 0.0)
                     yield StreamedResult(index=index, result=result, reused=True)
                     continue
-                result = run_simulation(configs[index])
+                result, seconds = _timed_run(configs[index])
                 if cache is not None:
                     cache.put(configs[index], result)
-                yield StreamedResult(index=index, result=result, reused=False)
+                _record_unit_metrics(False, seconds)
+                yield StreamedResult(
+                    index=index, result=result, reused=False, seconds=seconds
+                )
             return
 
         # Parallel mode: backend hits are streamed (and released) as the
@@ -456,6 +499,7 @@ class SweepExecutor:
         for index in owned:
             hit = cache.get(configs[index]) if cache is not None else None
             if hit is not None:
+                _record_unit_metrics(True, 0.0)
                 yield StreamedResult(index=index, result=hit, reused=True)
             else:
                 miss_indices.append(index)
@@ -465,25 +509,31 @@ class SweepExecutor:
         workers = min(self.effective_jobs, len(miss_indices))
         if workers <= 1:
             for index in miss_indices:
-                result = run_simulation(configs[index])
+                result, seconds = _timed_run(configs[index])
                 if cache is not None:
                     cache.put(configs[index], result)
-                yield StreamedResult(index=index, result=result, reused=False)
+                _record_unit_metrics(False, seconds)
+                yield StreamedResult(
+                    index=index, result=result, reused=False, seconds=seconds
+                )
             return
 
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
             futures = {
-                pool.submit(run_simulation, configs[index]): index
+                pool.submit(_timed_run, configs[index]): index
                 for index in miss_indices
             }
             try:
                 for future in as_completed(list(futures)):
                     index = futures.pop(future)  # release the result once consumed
-                    result = future.result()
+                    result, seconds = future.result()
                     if cache is not None:
                         cache.put(configs[index], result)
-                    yield StreamedResult(index=index, result=result, reused=False)
+                    _record_unit_metrics(False, seconds)
+                    yield StreamedResult(
+                        index=index, result=result, reused=False, seconds=seconds
+                    )
             finally:
                 if futures:
                     # The consumer stopped early (close(), an exception in its
@@ -499,7 +549,7 @@ class SweepExecutor:
                         for future, index in futures.items():
                             if future.done() and not future.cancelled():
                                 try:
-                                    result = future.result()
+                                    result, _seconds = future.result()
                                 except Exception:
                                     continue  # a failed run has nothing to keep
                                 try:
@@ -560,21 +610,23 @@ class SweepExecutor:
                 hit = cache.get(config)
                 if hit is not None:
                     ordered[index] = hit
+                    _record_unit_metrics(True, 0.0)
                     if progress is not None:
                         progress(hit)
                 else:
                     miss_indices.append(index)
         futures = {
-            pool.submit(run_simulation, configs[index]): index
+            pool.submit(_timed_run, configs[index]): index
             for index in miss_indices
         }
         try:
             for future in as_completed(list(futures)):
                 index = futures.pop(future)
-                result = future.result()
+                result, seconds = future.result()
                 ordered[index] = result
                 if cache is not None:
                     cache.put(configs[index], result)
+                _record_unit_metrics(False, seconds)
                 if progress is not None:
                     progress(result)
         finally:
@@ -590,7 +642,7 @@ class SweepExecutor:
                     for future, index in futures.items():
                         if future.done() and not future.cancelled():
                             try:
-                                result = future.result()
+                                result, _seconds = future.result()
                             except Exception:
                                 continue
                             cache.put(configs[index], result)

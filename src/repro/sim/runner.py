@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.livelock import LivelockGuard
 from repro.errors import ConfigurationError
@@ -11,6 +11,7 @@ from repro.metrics.collectors import NetworkMetrics
 from repro.network.engine import SimulationEngine
 from repro.routing.registry import make_routing
 from repro.sim.config import SimulationConfig
+from repro.telemetry.profile import StageProfiler
 from repro.traffic.generators import (
     BernoulliTraffic,
     PeriodicTraffic,
@@ -75,11 +76,14 @@ def _make_traffic(config: SimulationConfig) -> TrafficGenerator:
     raise ConfigurationError(f"unknown traffic process {config.traffic_process!r}")
 
 
-def build_engine(config: SimulationConfig) -> SimulationEngine:
+def build_engine(
+    config: SimulationConfig, stage_profiler: Optional[StageProfiler] = None
+) -> SimulationEngine:
     """Construct (but do not run) the simulation engine described by ``config``.
 
     Useful for tests and examples that want to drive the engine cycle by cycle
-    or inject messages by hand.
+    or inject messages by hand.  ``stage_profiler`` opts the engine into
+    per-stage wall-time accounting (see :mod:`repro.telemetry.profile`).
     """
     config.validate()
     routing_kwargs = {}
@@ -119,11 +123,14 @@ def build_engine(config: SimulationConfig) -> SimulationEngine:
         saturation_queue_limit=config.saturation_queue_limit,
         max_absorptions_per_message=config.max_absorptions_per_message,
         keep_records=config.keep_records,
+        stage_profiler=stage_profiler,
     )
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
+def run_simulation(
+    config: SimulationConfig, stage_profiler: Optional[StageProfiler] = None
+) -> SimulationResult:
     """Run the simulation described by ``config`` and return its result."""
-    engine = build_engine(config)
+    engine = build_engine(config, stage_profiler=stage_profiler)
     metrics = engine.run()
     return SimulationResult(config=config, metrics=metrics)

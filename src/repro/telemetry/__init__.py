@@ -1,0 +1,59 @@
+"""repro.telemetry — unified observability for the reproduction.
+
+Four pieces, all stdlib-only and all off by default:
+
+* :mod:`repro.telemetry.metrics` — a process-wide metrics registry
+  (counters, gauges, histograms) the engine, executor, blob backends and
+  lease machinery report into.  Enabled by ``enable_metrics()`` or
+  ``REPRO_TELEMETRY=1``; instrumented call sites check
+  ``metrics_registry() is None`` first, so disabled runs pay nothing.
+* :mod:`repro.telemetry.events` — structured JSONL event tracing for
+  campaigns, stored beside the results under a ``.events/`` prefix on
+  every backend scheme; ``repro campaign tail`` follows it live.
+* :mod:`repro.telemetry.profile` — opt-in per-stage engine timers and a
+  cProfile wrapper behind ``repro simulate --profile``.
+* :mod:`repro.telemetry.httpd` — ``repro campaign watch``'s stdlib HTTP
+  endpoint serving ``/metrics`` (Prometheus text) and ``/status`` (the
+  ``campaign status --json`` payload).  Imported lazily: grab it via
+  ``from repro.telemetry.httpd import CampaignWatchServer``.
+"""
+
+from repro.telemetry.events import (
+    EVENTS_PREFIX,
+    EventLog,
+    EventReader,
+    open_event_log,
+    open_event_reader,
+    read_events,
+    tail_events,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics_registry,
+)
+from repro.telemetry.profile import StageProfiler, StageStat, profile_call
+
+__all__ = [
+    "EVENTS_PREFIX",
+    "Counter",
+    "EventLog",
+    "EventReader",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StageProfiler",
+    "StageStat",
+    "disable_metrics",
+    "enable_metrics",
+    "metrics_registry",
+    "open_event_log",
+    "open_event_reader",
+    "profile_call",
+    "read_events",
+    "tail_events",
+]

@@ -1,0 +1,361 @@
+"""Structured JSONL event tracing for campaigns.
+
+Events are small dicts — ``{"ts", "run", "seq", "kind", "event", ...}`` —
+appended to a per-run event log stored *beside* the campaign results, the
+same way lease records are: a ``.events/`` prefix in the blob and
+directory layouts, a sidecar table in ``sqlite://`` stores, a process-wide
+named list for ``mem://<name>``.  Because the log reuses the blob layout,
+``chaos+`` wrapping and all six backend schemes work unchanged, and result
+scans never see event traffic (the ``.events/`` prefix is ignored exactly
+like ``.leases/``).
+
+Blob stores cannot append, so the writer buffers events and flushes them
+as sequential batch blobs ``.events/<run>/<seq:08d>.jsonl``; each batch is
+written once (first-write-wins idempotency holds) and readers merge
+batches back into one ordered stream.  ``tail_events`` polls a reader for
+new batches, which is what ``repro campaign tail --follow`` runs on.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EVENTS_PREFIX",
+    "EventLog",
+    "EventReader",
+    "open_event_log",
+    "open_event_reader",
+    "read_events",
+    "tail_events",
+]
+
+#: Store prefix event batches live under in blob/directory layouts.  Must
+#: stay a dot-prefixed name: result scans skip it wholesale (see
+#: ``repro.backends.objectstore``), mirroring ``.leases/``.
+EVENTS_PREFIX = ".events"
+
+Event = Dict[str, object]
+
+
+def _sort_key(event: Event) -> Tuple[float, str, int]:
+    return (
+        float(event.get("ts", 0.0)),
+        str(event.get("run", "")),
+        int(event.get("seq", 0)),
+    )
+
+
+def _encode_batch(events: List[Event]) -> bytes:
+    return "".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        for event in events
+    ).encode("utf-8")
+
+
+def _decode_batch(data: bytes) -> List[Event]:
+    events: List[Event] = []
+    for line in data.decode("utf-8", errors="replace").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except ValueError:
+            continue  # torn line: the batch write was interrupted
+        if isinstance(parsed, dict):
+            events.append(parsed)
+    return events
+
+
+class MemoryEventSink:
+    """Process-wide named event list (the ``mem://<name>`` pattern)."""
+
+    _registry: Dict[str, "MemoryEventSink"] = {}
+    _registry_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._lock = threading.Lock()
+
+    @classmethod
+    def open(cls, name: str) -> "MemoryEventSink":
+        with cls._registry_lock:
+            sink = cls._registry.get(name)
+            if sink is None:
+                sink = cls()
+                cls._registry[name] = sink
+            return sink
+
+    @classmethod
+    def discard(cls, name: str) -> None:
+        with cls._registry_lock:
+            cls._registry.pop(name, None)
+
+    def append(self, batch: List[Event]) -> None:
+        with self._lock:
+            self._events.extend(batch)
+
+    def read_since(self, cursor: Optional[object]) -> Tuple[List[Event], object]:
+        start = int(cursor or 0)
+        with self._lock:
+            events = list(self._events[start:])
+            return events, len(self._events)
+
+
+class BlobEventSink:
+    """Event batches as ``.events/<run>/<seq>.jsonl`` blobs."""
+
+    def __init__(self, client) -> None:
+        self.client = client
+        self._batch = 0
+
+    def append(self, batch: List[Event]) -> None:
+        if not batch:
+            return
+        run = str(batch[0].get("run", "run"))
+        first_seq = int(batch[0].get("seq", self._batch))
+        path = f"{EVENTS_PREFIX}/{run}/{first_seq:08d}.jsonl"
+        self.client.put_blob(path, _encode_batch(batch))
+        self._batch += 1
+
+    def read_since(self, cursor: Optional[object]) -> Tuple[List[Event], object]:
+        seen = set(cursor or ())
+        events: List[Event] = []
+        for path in sorted(self.client.list_prefix(EVENTS_PREFIX)):
+            if path in seen or not path.endswith(".jsonl"):
+                continue
+            try:
+                data = self.client.get_blob(path)
+            except KeyError:
+                continue  # listed then deleted: racing gc
+            events.extend(_decode_batch(data))
+            seen.add(path)
+        return events, frozenset(seen)
+
+
+class SQLiteEventSink:
+    """Events in a ``campaign_events`` sidecar table of the results db."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock, self._connection:
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS campaign_events ("
+                " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " run TEXT NOT NULL,"
+                " seq INTEGER NOT NULL,"
+                " payload TEXT NOT NULL)"
+            )
+
+    def append(self, batch: List[Event]) -> None:
+        rows = [
+            (
+                str(event.get("run", "")),
+                int(event.get("seq", 0)),
+                json.dumps(event, sort_keys=True, separators=(",", ":")),
+            )
+            for event in batch
+        ]
+        with self._lock, self._connection:
+            self._connection.executemany(
+                "INSERT INTO campaign_events (run, seq, payload) VALUES (?, ?, ?)",
+                rows,
+            )
+
+    def read_since(self, cursor: Optional[object]) -> Tuple[List[Event], object]:
+        last = int(cursor or 0)
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT id, payload FROM campaign_events WHERE id > ? ORDER BY id",
+                (last,),
+            ).fetchall()
+        events: List[Event] = []
+        for row_id, payload in rows:
+            try:
+                parsed = json.loads(payload)
+            except ValueError:
+                continue
+            if isinstance(parsed, dict):
+                events.append(parsed)
+            last = row_id
+        return events, last
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class EventLog:
+    """A buffered, thread-safe writer of one run's event stream.
+
+    ``emit`` stamps ``ts``/``run``/``seq`` and buffers; ``flush`` writes
+    the buffer as one batch.  Batches are flushed automatically every
+    ``flush_every`` events so a ``tail --follow`` sees progress mid-run,
+    and ``close`` flushes the remainder.
+    """
+
+    def __init__(
+        self,
+        sink,
+        run: str,
+        clock: Callable[[], float] = time.time,
+        flush_every: int = 32,
+    ) -> None:
+        self.sink = sink
+        self.run = run
+        self.clock = clock
+        self.flush_every = max(1, int(flush_every))
+        self._seq = 0
+        self._buffer: List[Event] = []
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, event: str, **fields: object) -> Event:
+        record: Event = {"kind": kind, "event": event}
+        record.update(fields)
+        with self._lock:
+            record["ts"] = round(float(self.clock()), 6)
+            record["run"] = self.run
+            record["seq"] = self._seq
+            self._seq += 1
+            self._buffer.append(record)
+            if len(self._buffer) >= self.flush_every:
+                self._flush_locked()
+        return record
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self.sink.append(batch)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
+    def close(self) -> None:
+        self.flush()
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EventReader:
+    """Incremental reader over a sink: each ``read_new`` call returns only
+    events not yet seen, in (ts, run, seq) order."""
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+        self._cursor: Optional[object] = None
+
+    def read_new(self) -> List[Event]:
+        events, self._cursor = self.sink.read_since(self._cursor)
+        events.sort(key=_sort_key)
+        return events
+
+
+def _open_sink(uri: str):
+    """The event sink paired with a campaign backend URI (the same
+    dispatch as ``open_lease_store``: events live with the results)."""
+    from repro.backends.registry import parse_backend_uri
+
+    scheme, location = parse_backend_uri(uri)
+    chaos_spec = None
+    if scheme.startswith("chaos+"):
+        from repro.backends.chaos import parse_chaos_location
+
+        scheme = scheme[len("chaos+") :]
+        location, chaos_spec = parse_chaos_location(location)
+    if scheme == "mem":
+        if not location:
+            raise ConfigurationError(
+                "event logs need a shareable backend; the anonymous mem:// "
+                "store is private to each opener — use mem://<name> or a "
+                "persistent backend"
+            )
+        return MemoryEventSink.open(location)
+    if scheme == "sqlite":
+        return SQLiteEventSink(location)
+    if scheme == "dir":
+        from repro.backends.objectstore import LocalObjectClient
+
+        client = LocalObjectClient(location)
+    elif scheme in ("obj", "s3", "gs"):
+        from repro.backends.objectstore import blob_client_for
+
+        client = blob_client_for(scheme, location)
+    else:
+        raise ConfigurationError(
+            f"no event log is defined for backend scheme {scheme!r}; "
+            "event tracing supports mem://<name>, dir, sqlite, obj, s3 "
+            "and gs backends (and their chaos+ variants)"
+        )
+    from repro.backends.retry import DEFAULT_RETRY_POLICY, RetryingBlobClient
+
+    policy = DEFAULT_RETRY_POLICY
+    if chaos_spec is not None:
+        from repro.backends.chaos import ChaosBlobClient
+
+        client = ChaosBlobClient(client, chaos_spec)
+        policy = chaos_spec.policy()
+    return BlobEventSink(RetryingBlobClient(client, policy=policy))
+
+
+def open_event_log(
+    uri: str,
+    run: str,
+    clock: Callable[[], float] = time.time,
+    flush_every: int = 32,
+) -> EventLog:
+    """An :class:`EventLog` writing beside the results of backend ``uri``."""
+    return EventLog(_open_sink(uri), run, clock=clock, flush_every=flush_every)
+
+
+def open_event_reader(uri: str) -> EventReader:
+    """An incremental reader over every run's events at backend ``uri``."""
+    return EventReader(_open_sink(uri))
+
+
+def read_events(uri: str, run: Optional[str] = None) -> List[Event]:
+    """Every event recorded at backend ``uri``, ordered, optionally
+    filtered to one run."""
+    events = open_event_reader(uri).read_new()
+    if run is not None:
+        events = [event for event in events if event.get("run") == run]
+    return events
+
+
+def tail_events(
+    uri: str,
+    follow: bool = False,
+    poll: float = 0.5,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Event]:
+    """Yield events from backend ``uri`` as they appear.
+
+    Without ``follow`` this drains the current log once and returns.  With
+    ``follow`` it polls every ``poll`` seconds until ``stop()`` (when
+    given) returns true — the engine behind ``repro campaign tail -f``.
+    """
+    reader = open_event_reader(uri)
+    while True:
+        for event in reader.read_new():
+            yield event
+        if not follow:
+            return
+        if stop is not None and stop():
+            return
+        time.sleep(poll)

@@ -1,0 +1,179 @@
+"""A stdlib-only HTTP endpoint for live campaigns.
+
+``repro campaign watch --port N`` serves two routes:
+
+* ``GET /metrics`` — the process metrics registry plus per-scrape campaign
+  gauges (unit totals, lease health) in the Prometheus text exposition
+  format (0.0.4), so a stock Prometheus scrape config works unchanged.
+* ``GET /status`` — the exact ``campaign status --json`` payload as
+  ``application/json`` (the schema is pinned by a golden-keys test).
+
+This is the minimal first slice of the ROADMAP's campaign-service
+dashboard: no daemon framework, no dependency — just
+``http.server.ThreadingHTTPServer`` over the existing status machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.telemetry.metrics import MetricsRegistry, metrics_registry
+
+__all__ = ["CampaignWatchServer"]
+
+logger = logging.getLogger(__name__)
+
+
+def _campaign_gauges(status_payload: dict) -> MetricsRegistry:
+    """A throwaway registry of per-scrape campaign gauges."""
+    registry = MetricsRegistry("campaign")
+    units = registry.gauge(
+        "repro_campaign_units", "Campaign units by state.", labelnames=("state",)
+    )
+    units.set(status_payload.get("total_units", 0), state="total")
+    units.set(status_payload.get("completed_units", 0), state="completed")
+    units.set(status_payload.get("pending_units", 0), state="pending")
+    registry.gauge(
+        "repro_campaign_complete", "1 when every planned unit is stored."
+    ).set(1.0 if status_payload.get("complete") else 0.0)
+    registry.gauge(
+        "repro_campaign_skipped_records", "Malformed records seen by the scan."
+    ).set(status_payload.get("skipped_records", 0))
+    work = status_payload.get("work") or {}
+    if work:
+        leases = registry.gauge(
+            "repro_campaign_leases", "Work-stealing leases by state.",
+            labelnames=("state",),
+        )
+        leases.set(work.get("active_leases", 0), state="active")
+        leases.set(work.get("expired_leases", 0), state="expired")
+        registry.gauge(
+            "repro_campaign_lease_reclaims",
+            "Expired leases taken over from other workers.",
+        ).set(work.get("reclaims", 0))
+        registry.gauge(
+            "repro_campaign_lease_retries", "Retried lease-store operations."
+        ).set(work.get("retries", 0))
+        workers = work.get("workers") or []
+        registry.gauge(
+            "repro_campaign_workers_active", "Workers with a live heartbeat."
+        ).set(sum(1 for row in workers if row.get("active")))
+    return registry
+
+
+class _WatchHandler(BaseHTTPRequestHandler):
+    server_version = "repro-watch/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        watch: "CampaignWatchServer" = self.server.watch  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = watch.render_metrics().encode("utf-8")
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/status":
+                body = json.dumps(watch.status_payload(), indent=2).encode("utf-8")
+                ctype = "application/json"
+            else:
+                self.send_error(404, "unknown route (try /metrics or /status)")
+                return
+        except Exception as exc:  # surface scrape failures as 500s, keep serving
+            logger.warning("watch request %s failed: %s", path, exc)
+            self.send_error(500, str(exc))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("watch: %s", format % args)
+
+
+class CampaignWatchServer:
+    """Serve ``/metrics`` and ``/status`` for one campaign directory.
+
+    ``port=0`` binds an ephemeral port (``.port`` reports the real one),
+    which is how the in-process tests and the CI smoke job scrape it.
+    """
+
+    def __init__(
+        self,
+        directory,
+        backend: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.directory = directory
+        self.backend = backend
+        self.host = host
+        self.registry = registry
+        self._server = ThreadingHTTPServer((host, port), _WatchHandler)
+        self._server.daemon_threads = True
+        self._server.watch = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def status_payload(self) -> dict:
+        from repro.campaign.runner import campaign_status
+
+        return campaign_status(self.directory, backend=self.backend).as_dict()
+
+    def render_metrics(self) -> str:
+        payload = self.status_payload()
+        text = _campaign_gauges(payload).render_prometheus()
+        registry = self.registry if self.registry is not None else metrics_registry()
+        if registry is not None:
+            text += registry.render_prometheus()
+        return text
+
+    def start(self) -> "CampaignWatchServer":
+        thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-watch:{self.port}",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        logger.info(
+            "watching campaign %s on http://%s:%d (/metrics, /status)",
+            self.directory,
+            self.host,
+            self.port,
+        )
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        logger.info(
+            "watching campaign %s on http://%s:%d (/metrics, /status)",
+            self.directory,
+            self.host,
+            self.port,
+        )
+        try:
+            self._server.serve_forever()
+        finally:
+            self._server.server_close()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "CampaignWatchServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,375 @@
+"""Low-overhead metrics registry: counters, gauges and histograms.
+
+The registry follows the same two conventions the rest of the repo already
+uses for cheap opt-in machinery:
+
+* **Zero cost when disabled** — the same pre-check pattern as
+  ``header.trace is None`` from the rerouting traces: instrumented call
+  sites fetch the active registry once (``metrics_registry()``) and skip
+  every telemetry branch when it returns ``None``.  Nothing is allocated,
+  no lock is touched and no dict is probed on the hot path unless the
+  process opted in via :func:`enable_metrics` or ``REPRO_TELEMETRY=1``.
+* **Process-wide named instances** — like ``mem://<name>`` backends and
+  ``MemoryLeaseStore.open``, :meth:`MetricsRegistry.named` hands out one
+  shared registry per name so the CLI, the executor and an embedded HTTP
+  scraper all see the same counters without plumbing a handle through
+  every constructor.
+
+Rendering follows the Prometheus text exposition format (0.0.4) so the
+``repro campaign watch`` endpoint can serve ``/metrics`` directly.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_registry",
+]
+
+#: Upper bounds (seconds) used by duration histograms unless overridden.
+#: Spans blob round-trips (~1 ms local, ~100 ms remote) through whole
+#: simulation units (seconds to minutes).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labelnames: Sequence[str], values: LabelValues, extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label(value)}"' for name, value in zip(labelnames, values)]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+class _Metric:
+    """Shared plumbing for one metric family (a name plus its label sets)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _check_labels(self, labels: Mapping[str, str]) -> LabelValues:
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing value, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._check_labels(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._check_labels(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        if not items:
+            items = [((), 0.0)] if not self.labelnames else []
+        for key, value in items:
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (heartbeat lag, active leases...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._check_labels(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._check_labels(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = self._check_labels(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram in the Prometheus style."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self._counts: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._check_labels(labels)
+        value = float(value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] += value
+
+    def count(self, **labels: str) -> int:
+        key = self._check_labels(labels)
+        with self._lock:
+            return sum(self._counts.get(key, ()))
+
+    def sum(self, **labels: str) -> float:
+        key = self._check_labels(labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted((k, list(v), self._sums[k]) for k, v in self._counts.items())
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
+        for key, counts, total in items:
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                labels = _render_labels(
+                    self.labelnames, key, f'le="{_format_value(bound)}"'
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            cumulative += counts[-1]
+            labels = _render_labels(self.labelnames, key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(total)}")
+            lines.append(f"{self.name}_count{plain} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: layers that
+    share a registry share the family, and re-registering with a
+    conflicting kind raises instead of silently shadowing.
+    """
+
+    _named: Dict[str, "MetricsRegistry"] = {}
+    _named_lock = threading.Lock()
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- named process-wide instances (the mem://<name> pattern) ----------
+    @classmethod
+    def named(cls, name: str = "default") -> "MetricsRegistry":
+        with cls._named_lock:
+            registry = cls._named.get(name)
+            if registry is None:
+                registry = cls(name)
+                cls._named[name] = registry
+            return registry
+
+    @classmethod
+    def discard(cls, name: str) -> None:
+        """Drop a named instance (test hygiene, like MemoryLeaseStore)."""
+        with cls._named_lock:
+            cls._named.pop(name, None)
+
+    def _get_or_create(self, kind: type, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, help, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {kind.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames=labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames=labelnames, buckets=buckets
+        )
+
+    def metrics(self) -> Iterable[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def render_prometheus(self) -> str:
+        lines: List[str] = []
+        for metric in sorted(self.metrics(), key=lambda m: m.name):
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Flat {metric: {labelrepr: value}} view for tests and JSON dumps."""
+        out: Dict[str, Dict[str, float]] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    out[metric.name] = {
+                        _render_labels(metric.labelnames, key) or "": float(sum(counts))
+                        for key, counts in metric._counts.items()
+                    }
+            else:
+                with metric._lock:
+                    out[metric.name] = {
+                        _render_labels(metric.labelnames, key) or "": float(value)
+                        for key, value in metric._values.items()
+                    }
+        return out
+
+
+# -- global on/off switch -------------------------------------------------
+#
+# ``metrics_registry()`` is the single gate every instrumented call site
+# checks.  It returns ``None`` unless telemetry was switched on, so the
+# disabled cost is one function call + one identity check per *run* (never
+# per cycle).  ``REPRO_TELEMETRY=1`` in the environment enables it lazily,
+# which also covers forked pool workers.
+
+_active: Optional[MetricsRegistry] = None
+_env_checked = False
+_switch_lock = threading.Lock()
+
+ENV_TELEMETRY = "REPRO_TELEMETRY"
+
+
+def enable_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Switch metrics on, optionally routing into an explicit registry."""
+    global _active, _env_checked
+    with _switch_lock:
+        _active = registry if registry is not None else MetricsRegistry.named()
+        _env_checked = True
+        return _active
+
+
+def disable_metrics() -> None:
+    global _active, _env_checked
+    with _switch_lock:
+        _active = None
+        _env_checked = True
+
+
+def metrics_registry() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when telemetry is off (the default)."""
+    global _env_checked, _active
+    if not _env_checked:
+        with _switch_lock:
+            if not _env_checked:
+                if os.environ.get(ENV_TELEMETRY, "").strip() not in ("", "0", "false"):
+                    _active = MetricsRegistry.named()
+                _env_checked = True
+    return _active

@@ -1,0 +1,115 @@
+"""Engine stage profiling and a cProfile convenience wrapper.
+
+The :class:`StageProfiler` is the opt-in half of the engine's stage
+instrumentation: when a profiler is passed to ``SimulationEngine`` (or
+threaded through ``run_simulation``), the engine swaps in a timed
+``step`` that wraps each pipeline stage (``generate``/``inject``/
+``route_allocate``/``transfer``/``drain``) in a pair of
+``perf_counter`` reads.  When no profiler is attached the engine's hot
+loop is byte-for-byte the untimed one — the swap happens once in
+``__init__``, so disabled cost is zero (the ``header.trace is None``
+pattern applied to methods).
+
+The stage breakdown is what scopes the ROADMAP's array-native-kernel
+item: it answers "which stage burns the cycles" with real numbers per
+topology/load instead of folklore.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple, TypeVar
+
+__all__ = ["StageProfiler", "StageStat", "profile_call"]
+
+T = TypeVar("T")
+
+#: Engine pipeline stages in execution order, as reported by the engine.
+ENGINE_STAGES: Tuple[str, ...] = (
+    "generate",
+    "inject",
+    "route_allocate",
+    "transfer",
+    "drain",
+)
+
+
+@dataclass
+class StageStat:
+    """Accumulated wall time for one named stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class StageProfiler:
+    """Accumulates per-stage call counts and wall-clock seconds."""
+
+    stages: Dict[str, StageStat] = field(default_factory=dict)
+
+    def record(self, stage: str, seconds: float) -> None:
+        stat = self.stages.get(stage)
+        if stat is None:
+            stat = StageStat()
+            self.stages[stage] = stat
+        stat.calls += 1
+        stat.seconds += seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.stages.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"calls": stat.calls, "seconds": stat.seconds}
+            for name, stat in self.stages.items()
+        }
+
+    def describe(self) -> str:
+        """A human-readable stage-time breakdown table."""
+        total = self.total_seconds
+        if not self.stages:
+            return "stage profile: no stages recorded"
+        order = [name for name in ENGINE_STAGES if name in self.stages]
+        order += [name for name in self.stages if name not in ENGINE_STAGES]
+        width = max(len(name) for name in order)
+        lines = ["stage profile (wall time per engine stage):"]
+        for name in order:
+            stat = self.stages[name]
+            share = (stat.seconds / total * 100.0) if total > 0 else 0.0
+            lines.append(
+                f"  {name:<{width}}  {stat.seconds:9.4f}s  {share:5.1f}%  "
+                f"{stat.calls:>9} calls"
+            )
+        lines.append(f"  {'total':<{width}}  {total:9.4f}s")
+        return "\n".join(lines)
+
+
+def profile_call(
+    fn: Callable[[], T], top: int = 25, sort: str = "cumulative"
+) -> Tuple[T, str]:
+    """Run ``fn`` under :mod:`cProfile`; returns ``(result, report)``.
+
+    ``report`` is the top-``top`` entries of the profile sorted by
+    ``sort`` — what ``repro simulate --profile`` prints to stderr while
+    the result table still goes to stdout.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return result, buffer.getvalue()
+
+
+def render_profile_lines(report: str) -> List[str]:
+    """Split a profile report into trimmed, non-empty lines (logging aid)."""
+    return [line.rstrip() for line in report.splitlines() if line.strip()]

@@ -1,0 +1,97 @@
+"""Golden-keys pin of the ``campaign status --json`` payload.
+
+The payload is consumed outside this repo — CI dashboards, the
+``campaign watch`` /status route, scrapers people write against it — so
+its key set is a compatibility contract.  Adding keys is fine (extend the
+goldens alongside); renaming or dropping one is a breaking change this
+test is meant to make loud.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignPlan, campaign_status, run_campaign, work_campaign
+from repro.cli import main
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+
+STATUS_KEYS = {
+    "directory",
+    "kind",
+    "backend",
+    "total_units",
+    "completed_units",
+    "pending_units",
+    "complete",
+    "members",
+    "skipped_records",
+    "work",
+}
+
+MEMBER_KEYS = {"member", "records"}
+
+WORK_KEYS = {
+    "active_leases",
+    "expired_leases",
+    "reclaims",
+    "retries",
+    "workers",
+}
+
+
+@pytest.fixture
+def campaign_dir(tmp_path, torus_4x4):
+    config = SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.01,
+        faults=FaultSet.empty(),
+        warmup_messages=5,
+        measure_messages=20,
+        seed=7,
+    )
+    CampaignPlan.from_injection_sweep(config, [0.005, 0.01]).save(tmp_path / "camp")
+    return tmp_path / "camp"
+
+
+class TestStatusSchema:
+    def test_top_level_keys_are_pinned(self, campaign_dir):
+        run_campaign(campaign_dir)
+        payload = campaign_status(campaign_dir).as_dict()
+        assert set(payload) == STATUS_KEYS
+        assert all(set(member) == MEMBER_KEYS for member in payload["members"])
+
+    def test_work_payload_keys_are_pinned(self, campaign_dir):
+        # a work-stealing run leaves lease/worker health behind
+        work_campaign(campaign_dir, worker="w1")
+        payload = campaign_status(campaign_dir).as_dict()
+        assert payload["work"] is not None
+        assert set(payload["work"]) == WORK_KEYS
+        assert payload["work"]["workers"], "the worker heartbeat must be reported"
+        worker_row = payload["work"]["workers"][0]
+        assert {"worker", "updated_at", "active"} <= set(worker_row)
+
+    def test_value_types_are_json_stable(self, campaign_dir):
+        run_campaign(campaign_dir)
+        payload = campaign_status(campaign_dir).as_dict()
+        assert isinstance(payload["directory"], str)
+        assert isinstance(payload["backend"], str)
+        assert payload["backend"].startswith("dir://")
+        for key in ("total_units", "completed_units", "pending_units"):
+            assert isinstance(payload[key], int)
+        assert isinstance(payload["complete"], bool)
+        # the whole payload must survive a JSON roundtrip unchanged
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_cli_json_output_matches_library_payload(self, campaign_dir, capsys):
+        run_campaign(campaign_dir)
+        code = main(["campaign", "status", "--dir", str(campaign_dir), "--json"])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert set(printed) == STATUS_KEYS
+        assert printed == campaign_status(campaign_dir).as_dict()

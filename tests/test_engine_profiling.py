@@ -1,0 +1,65 @@
+"""Engine stage profiling: opt-in timing, zero-cost-off, cProfile wrapper."""
+
+from __future__ import annotations
+
+from repro.sim.runner import build_engine, run_simulation
+from repro.telemetry.profile import (
+    ENGINE_STAGES,
+    StageProfiler,
+    profile_call,
+    render_profile_lines,
+)
+
+
+class TestStageProfiler:
+    def test_run_populates_every_stage(self, small_config):
+        profiler = StageProfiler()
+        result = run_simulation(small_config, stage_profiler=profiler)
+        assert result.metrics.delivered_messages > 0
+        assert set(profiler.stages) == set(ENGINE_STAGES)
+        for stat in profiler.stages.values():
+            assert stat.calls > 0
+            assert stat.seconds >= 0.0
+        assert profiler.total_seconds > 0.0
+
+    def test_profiled_run_matches_untimed_run(self, small_config):
+        plain = run_simulation(small_config)
+        profiled = run_simulation(small_config, stage_profiler=StageProfiler())
+        assert profiled.metrics.mean_latency == plain.metrics.mean_latency
+        assert (
+            profiled.metrics.delivered_messages == plain.metrics.delivered_messages
+        )
+
+    def test_step_only_swapped_when_profiling(self, small_config):
+        untimed = build_engine(small_config)
+        timed = build_engine(small_config, stage_profiler=StageProfiler())
+        # the instance-attribute swap is the zero-cost-off mechanism: the
+        # untimed engine must run the plain class method
+        assert "step" not in vars(untimed)
+        assert "step" in vars(timed)
+
+    def test_describe_renders_stage_table(self):
+        profiler = StageProfiler()
+        profiler.record("transfer", 0.25)
+        profiler.record("transfer", 0.75)
+        profiler.record("drain", 1.0)
+        text = profiler.describe()
+        assert "transfer" in text and "drain" in text
+        assert "50.0%" in text
+        assert "2 calls" in text
+
+    def test_describe_handles_empty_profiler(self):
+        assert "no stages" in StageProfiler().describe()
+
+    def test_as_dict_roundtrips_counts(self):
+        profiler = StageProfiler()
+        profiler.record("inject", 0.5)
+        assert profiler.as_dict() == {"inject": {"calls": 1, "seconds": 0.5}}
+
+
+class TestProfileCall:
+    def test_returns_result_and_report(self):
+        result, report = profile_call(lambda: sum(range(1000)), top=5)
+        assert result == 499500
+        assert "function calls" in report
+        assert render_profile_lines(report)

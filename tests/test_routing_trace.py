@@ -1,0 +1,81 @@
+"""Rerouting trace records: ring-buffer bounds and formatting."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.core.swbased_nd import SoftwareBasedRouting
+from repro.errors import ConfigurationError
+from repro.routing.trace import ReroutingTraceEntry, format_trace
+
+
+def entry(node: int, decision: str = "reverse") -> ReroutingTraceEntry:
+    return ReroutingTraceEntry(
+        node=node,
+        blocked_dimension=0,
+        blocked_direction=1,
+        decision=decision,
+        action="reinject",
+        escape_level=0,
+        target=9,
+        direction_overrides=((0, -1),),
+        reversed_dimensions=(0,),
+        detour_directions=(),
+    )
+
+
+class TestRingBuffer:
+    def test_overflow_keeps_the_most_recent_entries(self, torus_4x4):
+        routing = SoftwareBasedRouting(torus_4x4, trace_rerouting=True, trace_depth=3)
+        header = routing.initial_header(0, 9)
+        for node in range(5):
+            header.record_trace(entry(node))
+        assert isinstance(header.trace, deque)
+        assert header.trace.maxlen == 3
+        assert [e.node for e in header.trace] == [2, 3, 4]
+
+    def test_trace_absent_unless_enabled(self, torus_4x4):
+        routing = SoftwareBasedRouting(torus_4x4)
+        header = routing.initial_header(0, 9)
+        assert header.trace is None
+        header.record_trace(entry(0))  # must be a silent no-op
+        assert header.trace is None
+
+    def test_trace_depth_must_be_positive(self, torus_4x4):
+        with pytest.raises(ConfigurationError):
+            SoftwareBasedRouting(torus_4x4, trace_rerouting=True, trace_depth=0)
+
+
+class TestFormatTrace:
+    def test_empty_trace_renders_empty_string(self):
+        assert format_trace([]) == ""
+
+    def test_renders_header_and_one_line_per_entry(self):
+        text = format_trace([entry(1), entry(2, decision="detour")])
+        lines = text.splitlines()
+        assert lines[0] == "rerouting trace (2 most recent rewrites):"
+        assert lines[1].startswith("  node 1: blocked dim 0+ -> reverse")
+        assert "detour" in lines[2]
+
+    def test_entry_describe_mentions_header_state(self):
+        line = entry(3).describe()
+        assert "target=9" in line
+        assert "overrides={0: -1}" in line
+        assert "escape_level=0" in line
+
+    def test_at_target_rendering(self):
+        at_target = ReroutingTraceEntry(
+            node=4,
+            blocked_dimension=None,
+            blocked_direction=0,
+            decision="resume",
+            action="resume",
+            escape_level=1,
+            target=4,
+            direction_overrides=(),
+            reversed_dimensions=(),
+            detour_directions=(),
+        )
+        assert "blocked at-target" in at_target.describe()

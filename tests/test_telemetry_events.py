@@ -1,0 +1,191 @@
+"""Structured event tracing: sinks, batching, readers, scan invisibility.
+
+Two contracts matter beyond simple roundtrips: the ``.events/`` area must
+be invisible to result scans (exactly like ``.leases/``), and a campaign
+run with events enabled must leave a readable log behind — that pairing is
+what ``repro campaign tail`` is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.registry import scan_backend
+from repro.campaign import CampaignPlan, run_campaign, work_campaign
+from repro.errors import ConfigurationError
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.telemetry.events import (
+    EVENTS_PREFIX,
+    EventLog,
+    MemoryEventSink,
+    open_event_log,
+    open_event_reader,
+    read_events,
+    tail_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _drop_named_sinks():
+    yield
+    MemoryEventSink.discard("test-events")
+
+
+def fake_clock():
+    tick = [0.0]
+
+    def clock() -> float:
+        tick[0] += 1.0
+        return tick[0]
+
+    return clock
+
+
+class TestEventLog:
+    def test_emit_stamps_ts_run_seq(self):
+        log = open_event_log("mem://test-events", run="w1", clock=fake_clock())
+        first = log.emit("run", "started", jobs=2)
+        second = log.emit("unit", "committed", key="abc")
+        assert first == {
+            "kind": "run", "event": "started", "jobs": 2,
+            "ts": 1.0, "run": "w1", "seq": 0,
+        }
+        assert second["seq"] == 1
+
+    def test_buffered_until_flush(self):
+        sink = MemoryEventSink.open("test-events")
+        log = EventLog(sink, run="w1", flush_every=100)
+        log.emit("run", "started")
+        assert sink.read_since(None)[0] == []
+        log.flush()
+        assert len(sink.read_since(None)[0]) == 1
+
+    def test_auto_flush_every_n_events(self):
+        sink = MemoryEventSink.open("test-events")
+        log = EventLog(sink, run="w1", flush_every=3)
+        for i in range(7):
+            log.emit("unit", "committed", index=i)
+        # two full batches flushed, one event still buffered
+        assert len(sink.read_since(None)[0]) == 6
+        log.close()
+        assert len(sink.read_since(None)[0]) == 7
+
+    def test_anonymous_memory_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="mem://<name>"):
+            open_event_log("mem://", run="w1")
+
+
+class TestReaders:
+    def test_reader_is_incremental(self):
+        log = open_event_log("mem://test-events", run="w1", flush_every=1)
+        reader = open_event_reader("mem://test-events")
+        log.emit("run", "started")
+        assert [e["event"] for e in reader.read_new()] == ["started"]
+        assert reader.read_new() == []
+        log.emit("run", "finished")
+        assert [e["event"] for e in reader.read_new()] == ["finished"]
+
+    def test_read_events_merges_runs_in_time_order(self):
+        clock = fake_clock()
+        a = open_event_log("mem://test-events", run="a", clock=clock, flush_every=1)
+        b = open_event_log("mem://test-events", run="b", clock=clock, flush_every=1)
+        a.emit("run", "started")
+        b.emit("run", "started")
+        a.emit("run", "finished")
+        events = read_events("mem://test-events")
+        assert [(e["run"], e["event"]) for e in events] == [
+            ("a", "started"), ("b", "started"), ("a", "finished"),
+        ]
+        assert [e["run"] for e in read_events("mem://test-events", run="b")] == ["b"]
+
+    def test_tail_without_follow_drains_once(self):
+        log = open_event_log("mem://test-events", run="w1", flush_every=1)
+        log.emit("run", "started")
+        assert [e["event"] for e in tail_events("mem://test-events")] == ["started"]
+
+    def test_tail_follow_stops_on_request(self):
+        log = open_event_log("mem://test-events", run="w1", flush_every=1)
+        log.emit("run", "started")
+        seen = []
+        for event in tail_events(
+            "mem://test-events", follow=True, poll=0.01, stop=lambda: True
+        ):
+            seen.append(event["event"])
+        assert seen == ["started"]
+
+
+class TestPersistentSinks:
+    @pytest.mark.parametrize("scheme", ["dir", "sqlite", "chaos"])
+    def test_roundtrip(self, tmp_path, scheme):
+        if scheme == "dir":
+            uri = f"dir://{tmp_path / 'store'}"
+        elif scheme == "sqlite":
+            uri = f"sqlite://{tmp_path / 'store.db'}"
+        else:
+            # deterministic fault injection: the retry policy rides along
+            uri = f"chaos+dir://{tmp_path / 'store'}?fail=0.25&seed=3"
+        with open_event_log(uri, run="w1", clock=fake_clock()) as log:
+            log.emit("run", "started")
+            log.emit("unit", "committed", key="abc", reused=False)
+        events = read_events(uri)
+        assert [e["event"] for e in events] == ["started", "committed"]
+        assert events[1]["key"] == "abc"
+
+    def test_blob_batches_live_under_events_prefix(self, tmp_path):
+        store = tmp_path / "store"
+        with open_event_log(f"dir://{store}", run="w1") as log:
+            log.emit("run", "started")
+        batches = list((store / EVENTS_PREFIX).rglob("*.jsonl"))
+        assert len(batches) == 1
+        assert batches[0].parent.name == "w1"
+
+    def test_events_invisible_to_result_scans(self, tmp_path):
+        uri = f"dir://{tmp_path / 'store'}"
+        with open_event_log(uri, run="w1") as log:
+            log.emit("run", "started")
+        scan = scan_backend(uri)
+        assert not scan.keys
+        assert scan.skipped_records == 0
+
+
+@pytest.fixture
+def tiny_plan(tmp_path, torus_4x4):
+    config = SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.01,
+        faults=FaultSet.empty(),
+        warmup_messages=5,
+        measure_messages=20,
+        seed=7,
+    )
+    plan = CampaignPlan.from_injection_sweep(config, [0.005, 0.01])
+    plan.save(tmp_path / "camp")
+    return tmp_path / "camp"
+
+
+class TestCampaignEventStream:
+    def test_run_campaign_writes_a_run_log(self, tiny_plan):
+        run_campaign(tiny_plan, events=True)
+        events = read_events(f"dir://{tiny_plan}")
+        kinds = [(e["kind"], e["event"]) for e in events]
+        assert kinds[0][1] == "started"
+        assert kinds[-1] == ("run", "finished")
+        committed = [e for e in events if e["event"] == "committed"]
+        assert len(committed) == 2
+        assert all("key" in e and "seconds" in e for e in committed)
+
+    def test_work_campaign_emits_lease_events(self, tiny_plan):
+        work_campaign(tiny_plan, worker="w1", events=True)
+        events = read_events(f"dir://{tiny_plan}")
+        assert {"lease", "unit", "run"} <= {e["kind"] for e in events}
+        claims = [e for e in events if e["kind"] == "lease" and e["event"] == "claimed"]
+        assert claims and all("key" in e for e in claims)
+
+    def test_events_off_by_default(self, tiny_plan, monkeypatch):
+        monkeypatch.delenv("REPRO_EVENTS", raising=False)
+        run_campaign(tiny_plan)
+        assert read_events(f"dir://{tiny_plan}") == []

@@ -1,0 +1,85 @@
+"""The ``campaign watch`` HTTP endpoint: /metrics and /status scrapes.
+
+Binds port 0 (an ephemeral port) and scrapes itself with urllib — the same
+real-socket path the CI telemetry-smoke job exercises against a separate
+process.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro.campaign import CampaignPlan, run_campaign
+from repro.faults.model import FaultSet
+from repro.sim.config import SimulationConfig
+from repro.telemetry.httpd import CampaignWatchServer
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def finished_campaign(tmp_path, torus_4x4):
+    config = SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=0.01,
+        faults=FaultSet.empty(),
+        warmup_messages=5,
+        measure_messages=20,
+        seed=7,
+    )
+    plan = CampaignPlan.from_injection_sweep(config, [0.005, 0.01])
+    directory = tmp_path / "camp"
+    plan.save(directory)
+    run_campaign(directory)
+    return directory
+
+
+def _get(server: CampaignWatchServer, path: str) -> bytes:
+    return urlopen(f"http://127.0.0.1:{server.port}{path}", timeout=10).read()
+
+
+class TestWatchServer:
+    def test_metrics_scrape(self, finished_campaign):
+        with CampaignWatchServer(finished_campaign) as server:
+            body = _get(server, "/metrics").decode()
+        assert 'repro_campaign_units{state="total"} 2' in body
+        assert 'repro_campaign_units{state="completed"} 2' in body
+        assert "repro_campaign_complete 1" in body
+        assert "# TYPE repro_campaign_units gauge" in body
+
+    def test_status_scrape_matches_campaign_status_json(self, finished_campaign):
+        with CampaignWatchServer(finished_campaign) as server:
+            payload = json.loads(_get(server, "/status"))
+        assert payload["complete"] is True
+        assert payload["total_units"] == 2
+        assert payload["directory"].endswith("camp")
+
+    def test_process_registry_rides_along(self, finished_campaign):
+        registry = MetricsRegistry("test")
+        registry.counter("repro_test_scrapes_total", "test counter").inc(4)
+        server = CampaignWatchServer(finished_campaign, registry=registry)
+        with server:
+            body = _get(server, "/metrics").decode()
+        assert "repro_test_scrapes_total 4" in body
+
+    def test_unknown_route_is_404(self, finished_campaign):
+        with CampaignWatchServer(finished_campaign) as server:
+            with pytest.raises(HTTPError) as excinfo:
+                _get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_scrape_failure_is_500_and_server_survives(self, tmp_path):
+        # no campaign.json in an empty directory -> status raises -> 500
+        with CampaignWatchServer(tmp_path) as server:
+            with pytest.raises(HTTPError) as excinfo:
+                _get(server, "/status")
+            assert excinfo.value.code == 500
+            with pytest.raises(HTTPError):
+                _get(server, "/metrics")
+        # the with-block exiting cleanly is the liveness assertion

@@ -1,0 +1,165 @@
+"""The metrics registry: instruments, named instances, gating, rendering.
+
+The load-bearing property pinned here is the off-by-default contract:
+``metrics_registry()`` returns ``None`` unless the process opted in, so
+every instrumented call site in the engine/executor/backends stays a
+single identity check when telemetry is off (the acceptance gate keeps
+``bench_engine_micro`` inside the regression budget with telemetry
+disabled).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import run_simulation
+from repro.telemetry import metrics as metrics_mod
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_after():
+    """Every test leaves the process-wide switch off (the default)."""
+    yield
+    disable_metrics()
+    MetricsRegistry.discard("test-metrics")
+
+
+class TestInstruments:
+    def test_counter_increments_and_reads(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c_total").inc(-1)
+
+    def test_labelled_counter_keeps_series_separate(self):
+        counter = Counter("c_total", labelnames=("kind",))
+        counter.inc(kind="a")
+        counter.inc(3, kind="b")
+        assert counter.value(kind="a") == 1
+        assert counter.value(kind="b") == 3
+
+    def test_wrong_labels_raise(self):
+        counter = Counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(flavour="a")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc(0.5)
+        assert gauge.value() == 3.5
+
+    def test_histogram_counts_and_sums(self):
+        hist = Histogram("h_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count() == 3
+        assert hist.sum() == pytest.approx(5.55)
+
+    def test_histogram_renders_cumulative_buckets(self):
+        hist = Histogram("h_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = "\n".join(hist.render())
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 3' in text
+        assert "h_seconds_count 3" in text
+
+
+class TestRegistry:
+    def test_get_or_create_shares_the_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_named_instances_are_process_wide(self):
+        first = MetricsRegistry.named("test-metrics")
+        first.counter("x_total").inc()
+        again = MetricsRegistry.named("test-metrics")
+        assert again is first
+        assert again.counter("x_total").value() == 1
+        MetricsRegistry.discard("test-metrics")
+        assert MetricsRegistry.named("test-metrics") is not first
+
+    def test_render_prometheus_is_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.gauge("b_gauge", "second").set(2)
+        registry.counter("a_total", "first").inc()
+        text = registry.render_prometheus()
+        assert text.index("a_total") < text.index("b_gauge")
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE b_gauge gauge" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_flattens_series(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("kind",)).inc(2, kind="a")
+        assert registry.snapshot() == {"x_total": {'{kind="a"}': 2.0}}
+
+
+class TestGating:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(metrics_mod.ENV_TELEMETRY, raising=False)
+        monkeypatch.setattr(metrics_mod, "_active", None)
+        monkeypatch.setattr(metrics_mod, "_env_checked", False)
+        assert metrics_registry() is None
+
+    def test_enable_disable_roundtrip(self):
+        registry = enable_metrics(MetricsRegistry("test"))
+        assert metrics_registry() is registry
+        disable_metrics()
+        assert metrics_registry() is None
+
+    def test_environment_enables_lazily(self, monkeypatch):
+        monkeypatch.setenv(metrics_mod.ENV_TELEMETRY, "1")
+        monkeypatch.setattr(metrics_mod, "_active", None)
+        monkeypatch.setattr(metrics_mod, "_env_checked", False)
+        registry = metrics_registry()
+        assert registry is MetricsRegistry.named()
+
+    def test_environment_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv(metrics_mod.ENV_TELEMETRY, "0")
+        monkeypatch.setattr(metrics_mod, "_active", None)
+        monkeypatch.setattr(metrics_mod, "_env_checked", False)
+        assert metrics_registry() is None
+
+
+class TestEngineInstrumentation:
+    def test_run_folds_engine_counters(self, small_config):
+        registry = enable_metrics(MetricsRegistry("test"))
+        run_simulation(small_config)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_engine_cycles_total"][""] > 0
+        assert snapshot["repro_engine_flit_transfers_total"][""] > 0
+        assert sum(snapshot["repro_engine_runs_total"].values()) == 1
+        assert "repro_engine_messages_delivered_total" in snapshot
+
+    def test_disabled_run_records_nothing(self, small_config):
+        registry = MetricsRegistry("test")
+        disable_metrics()
+        run_simulation(small_config)
+        assert registry.snapshot() == {}
