@@ -8,13 +8,24 @@ a regression here multiplies the runtime of every figure reproduction.
 
 from __future__ import annotations
 
+import os
+
 from repro.core.swbased_nd import SoftwareBasedRouting
 from repro.faults.injection import random_node_faults
+from repro.faults.model import FaultSet
 from repro.routing.dimension_order import DimensionOrderRouting
 from repro.routing.duato import DuatoRouting
 from repro.sim.config import SimulationConfig
 from repro.sim.runner import build_engine
+from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
+
+#: Engine implementation measured by the large-network engine-cycle
+#: benchmarks below.  The committed baseline records the array kernel (the
+#: configuration these scenarios exist to gate); set
+#: ``REPRO_BENCH_ENGINE=dict`` to reproduce the reference-engine numbers the
+#: BENCH_engine.json before/after comparison was made from.
+_BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "array")
 
 
 def test_micro_dimension_order_route(benchmark):
@@ -82,4 +93,59 @@ def test_micro_engine_cycle_under_load(benchmark):
         engine.step()
 
     benchmark(engine.step)
+    benchmark.extra_info["active_flit_transfers"] = engine.flit_transfers
+
+
+def test_micro_engine_cycle_16x16(benchmark):
+    """One engine cycle on a loaded 16×16 mesh (the array kernel's target).
+
+    Long messages (L=256) at a rate just under saturation keep hundreds of
+    channels busy and a steady population of blocked headers — the operating
+    point where the dict engine's per-channel Python scan is most expensive.
+    """
+    config = SimulationConfig(
+        topology=MeshTopology(radix=16, dimensions=2),
+        routing="swbased-adaptive",
+        faults=FaultSet.from_nodes([34, 35, 50, 51, 120]),
+        num_virtual_channels=6,
+        message_length=256,
+        injection_rate=0.008,
+        traffic_process="bernoulli",
+        warmup_messages=0,
+        measure_messages=1_000_000,
+        max_cycles=10**9,
+        seed=42,
+        engine=_BENCH_ENGINE,
+    )
+    engine = build_engine(config)
+    for _ in range(3000):  # reach the loaded steady state before measuring
+        engine.step()
+
+    benchmark(engine.step)
+    benchmark.extra_info["engine"] = _BENCH_ENGINE
+    benchmark.extra_info["active_flit_transfers"] = engine.flit_transfers
+
+
+def test_micro_engine_cycle_4x4x4(benchmark):
+    """One engine cycle on a loaded 4×4×4 torus (3D variant of the above)."""
+    config = SimulationConfig(
+        topology=TorusTopology(radix=4, dimensions=3),
+        routing="swbased-adaptive",
+        faults=FaultSet.from_nodes([21, 22]),
+        num_virtual_channels=4,
+        message_length=64,
+        injection_rate=0.02,
+        traffic_process="bernoulli",
+        warmup_messages=0,
+        measure_messages=1_000_000,
+        max_cycles=10**9,
+        seed=42,
+        engine=_BENCH_ENGINE,
+    )
+    engine = build_engine(config)
+    for _ in range(2000):  # reach the loaded steady state before measuring
+        engine.step()
+
+    benchmark(engine.step)
+    benchmark.extra_info["engine"] = _BENCH_ENGINE
     benchmark.extra_info["active_flit_transfers"] = engine.flit_transfers

@@ -1,10 +1,19 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``; this file only exists so
-that legacy editable installs (``pip install -e . --no-use-pep517``) work in
-offline environments where the ``wheel`` package is unavailable.
+This file exists so that legacy editable installs
+(``pip install -e . --no-use-pep517``) work in offline environments where the
+``wheel`` package is unavailable.  The runtime dependency list is declared
+here (mirrored in ``requirements-dev.txt``, which CI installs from): the
+library needs only numpy — the engine RNG is ``numpy.random`` and the array
+kernel (``repro.network.kernel``) stores its virtual-channel state in numpy
+arrays.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy"],
+)

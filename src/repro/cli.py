@@ -119,6 +119,16 @@ def _add_network_arguments(
                 "message's rewrite-by-rewrite trace"
             ),
         ),
+        parser.add_argument(
+            "--engine",
+            default="auto",
+            choices=("auto", "dict", "array"),
+            help=(
+                "engine implementation: the dict reference engine or the "
+                "array kernel (bit-identical metrics, faster on large "
+                "networks); auto defers to $REPRO_ENGINE, then dict"
+            ),
+        ),
     ]
     return [action.dest for action in actions]
 
@@ -184,6 +194,7 @@ def _build_config(args: argparse.Namespace, injection_rate: float) -> Simulation
         reinjection_delay=args.reinjection_delay,
         seed=args.seed,
         trace_rerouting=args.trace_rerouting,
+        engine=args.engine,
     )
 
 

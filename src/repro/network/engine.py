@@ -134,6 +134,13 @@ class SimulationEngine:
         until ``max_cycles``.  Checked before the (usually much tighter)
         ``livelock_guard`` bound so it also protects runs that install a
         permissive custom guard.  ``None`` disables the valve.
+    drain_max_cycles:
+        Default cycle budget of :meth:`drain`.  ``None`` scales the historical
+        50 000-cycle budget with the network size
+        (``max(50_000, DRAIN_CYCLES_PER_NODE * num_nodes)``): 50 000 cycles is
+        plenty for the small meshes the tests drive by hand but too small for
+        a loaded 16×16 mesh at saturation, whose backlog alone needs more
+        cycles than that to serialise through the network.
     keep_records:
         Retain every delivered message's :class:`MessageRecord` (tests).
     stage_profiler:
@@ -147,6 +154,14 @@ class SimulationEngine:
     DEADLOCK_WATCHDOG = 10_000
     #: How often (in cycles) the saturation early-stop condition is evaluated.
     SATURATION_CHECK_PERIOD = 200
+    #: Historical (small-mesh) default budget of :meth:`drain`.
+    DRAIN_MAX_CYCLES = 50_000
+    #: Per-node drain budget for networks too large for the historical value:
+    #: at the saturation early-stop point each node may hold ~25 queued
+    #: messages of up to 32 flits, and a drained flit needs a handful of
+    #: cycles of link bandwidth under contention — 400 cycles/node covers that
+    #: with slack while keeping ``50_000`` the default up to 125 nodes.
+    DRAIN_CYCLES_PER_NODE = 400
 
     def __init__(
         self,
@@ -165,6 +180,7 @@ class SimulationEngine:
         livelock_guard: Optional[LivelockGuard] = None,
         saturation_queue_limit: Optional[float] = 25.0,
         max_absorptions_per_message: Optional[int] = None,
+        drain_max_cycles: Optional[int] = None,
         keep_records: bool = False,
         stage_profiler: Optional[StageProfiler] = None,
     ) -> None:
@@ -177,6 +193,10 @@ class SimulationEngine:
         if max_absorptions_per_message is not None and max_absorptions_per_message < 1:
             raise ConfigurationError(
                 "max_absorptions_per_message must be positive (or None to disable)"
+            )
+        if drain_max_cycles is not None and drain_max_cycles < 1:
+            raise ConfigurationError(
+                "drain_max_cycles must be positive (or None for the size-scaled default)"
             )
         self._topology = topology
         self._routing = routing
@@ -191,6 +211,11 @@ class SimulationEngine:
         self._seed = seed
         self._saturation_queue_limit = saturation_queue_limit
         self._max_absorptions_per_message = max_absorptions_per_message
+        self._drain_max_cycles = (
+            drain_max_cycles
+            if drain_max_cycles is not None
+            else max(self.DRAIN_MAX_CYCLES, self.DRAIN_CYCLES_PER_NODE * topology.num_nodes)
+        )
         self._num_vcs = routing.num_virtual_channels
 
         self._rng = np.random.default_rng(seed)
@@ -472,12 +497,22 @@ class SimulationEngine:
             for stage, stat in self._stage_profiler.stages.items():
                 stage_seconds.inc(stat.seconds, stage=stage)
 
-    def drain(self, max_cycles: int = 50_000) -> None:
+    @property
+    def drain_max_cycles(self) -> int:
+        """The resolved default cycle budget of :meth:`drain`."""
+        return self._drain_max_cycles
+
+    def drain(self, max_cycles: Optional[int] = None) -> None:
         """Stop traffic generation and run until the network is empty.
 
         Used by tests and examples that inject a fixed set of messages by hand
-        and want every one of them delivered.
+        and want every one of them delivered.  ``max_cycles`` defaults to the
+        engine's ``drain_max_cycles`` budget — the historical 50 000 cycles on
+        small networks, scaled up with the node count on large ones (a loaded
+        16×16 mesh at saturation needs more than 50 000 cycles to empty).
         """
+        if max_cycles is None:
+            max_cycles = self._drain_max_cycles
         self._stop_generation = True
         deadline = self._cycle + max_cycles
         while not self._idle() and self._cycle < deadline:

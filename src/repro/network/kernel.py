@@ -1,0 +1,1317 @@
+"""Struct-of-arrays engine kernel: the ``engine="array"`` implementation.
+
+The dict engine (:class:`~repro.network.engine.SimulationEngine`) iterates
+Python objects — one :class:`~repro.network.virtual_channel.VirtualChannel`
+per input virtual channel — every cycle.  That representation is the
+reference oracle: simple to inspect, easy to reason about, and pinned by the
+golden-metrics matrix.  But at 16×16-mesh scale the per-cycle cost is
+dominated by interpreter dispatch over those objects, not by the arithmetic
+they perform.
+
+:class:`ArraySimulationEngine` keeps the same facade (it *is* a
+``SimulationEngine``; ``run``/``step``/``drain``/``inject_message`` and the
+metrics surface are inherited) but stores all per-channel state in flat
+numpy arrays indexed by a precomputed id table:
+
+* network input VC ``(node, port, vc)`` → ``vid = (node * P + port) * V + vc``
+* injection channel ``(node, k)``       → ``iid = node * V + k``
+* in the transfer stage's combined request array an injection channel is
+  addressed as ``N*P*V + iid`` so one winner array covers both kinds.
+
+Per-``vid`` arrays hold the occupancy counters (``flits_received`` /
+``flits_removed``), the owning message length, the output assignment
+(``out_port``, downstream ``vid``, switch-request key ``node * P + port``)
+and the ejection ``sink`` state; Python lists keep the per-channel message
+references and cached routing decisions (objects never enter the vectorized
+passes).  The ``transfer`` and ``drain`` stages are vectorized passes over
+*active-id* arrays, and ``route/allocate`` vectorizes its candidate
+selection, falling back to scalar code only where the reference engine
+draws RNG or rewrites routing headers — those paths must replay the dict
+engine's draw order exactly.
+
+Bit-identity
+------------
+The array engine promises the same guarantee the flit-lite refactor made:
+for a given seed, every metric equals the dict engine's bit for bit.  The
+load-bearing details:
+
+* **Active-id order.**  The dict engine's insertion-ordered active dicts
+  become append-ordered id arrays plus membership masks.  Released ids are
+  only unlinked lazily — one vectorized compaction at the end of each cycle
+  — which preserves the dict semantics exactly because within a cycle a
+  released channel can never be re-activated (re-activation earliest happens
+  in the *next* cycle's allocate/transfer stages, after compaction).
+* **Switch allocation RNG.**  Transfer requests are grouped by output
+  physical channel with ``np.unique``; groups are then visited in
+  first-occurrence order (the dict engine's request-table insertion order)
+  and only contended groups draw ``randrange`` — uncontended winners are
+  filled vectorized, consuming no randomness, exactly like the dict engine.
+* **VC allocation RNG.**  ``_allocate_ids`` replays the reference
+  ``_allocate`` draw-for-draw (one shuffle per multi-member priority group,
+  one ``randrange`` per winning candidate); only the free-VC probe reads the
+  flat busy table instead of object attributes.
+* **Scalar fallbacks.**  Header events — routing computation, absorption
+  and re-injection, delivery records, per-message ``hops`` — run scalar in
+  active order.  They are O(messages), not O(flits), so they cost little and
+  keep every RNG draw and every messaging-layer mutation in reference order.
+
+White-box inspection (``engine.routers`` and the channel objects underneath)
+reflects only dict-engine state; the array engine leaves those construction-
+time objects untouched.  Tests that introspect router state should build the
+reference engine.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DeadlockError, RoutingError
+from repro.metrics.collectors import MessageRecord
+from repro.network.engine import SimulationEngine
+from repro.network.message import Message
+from repro.network.virtual_channel import (
+    SINK_FAULT,
+    SINK_FINAL,
+    SINK_INTERMEDIATE,
+    SINK_NONE,
+)
+from repro.routing.base import RoutingDecision
+from repro.topology.channels import opposite_port
+from repro.traffic.generators import _BernoulliStream, _ExponentialStream
+
+__all__ = ["ArraySimulationEngine"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _shuffle_replay_matches() -> bool:
+    """True when ``random.shuffle``'s draws can be replayed with getrandbits.
+
+    The blocked-header fast path consumes the RNG a failed reference attempt
+    would (one shuffle per multi-member priority group) without building or
+    swapping lists, by replaying the documented CPython draw pattern — for
+    each ``i`` from ``len-1`` down to ``1``, rejection-sample ``i+1`` values
+    from ``getrandbits``.  Verified here against the real ``shuffle`` once at
+    import so a hypothetical stdlib change degrades to the (slower, always
+    correct) literal-shuffle fallback instead of silently breaking
+    bit-identity.
+    """
+    import random as _random
+
+    reference, replay = _random.Random(0xC0FFEE), _random.Random(0xC0FFEE)
+    for size in (2, 3, 5, 9):
+        reference.shuffle([None] * size)
+        for i in range(size - 1, 0, -1):
+            n = i + 1
+            k = n.bit_length()
+            r = replay.getrandbits(k)
+            while r >= n:
+                r = replay.getrandbits(k)
+    return reference.getrandbits(64) == replay.getrandbits(64)
+
+
+_FAST_SHUFFLE_REPLAY = _shuffle_replay_matches()
+
+
+def _stream_replay_matches() -> bool:
+    """True when every engine draw can be served from a bulk word stream.
+
+    ``Random.getrandbits(32 * B)`` advances the Mersenne Twister by exactly
+    ``B`` 32-bit words and packs them least-significant-first, so one C call
+    prefetches the generator's raw output as a numpy array.  Every draw the
+    engine makes is a deterministic function of that word stream:
+
+    * ``getrandbits(k <= 32)`` is one word shifted down by ``32 - k``;
+    * ``_randbelow(n)`` (the engine's ``randrange``) rejection-samples those
+      shifted words against ``n``;
+    * ``shuffle`` is a Fisher-Yates walk drawing ``_randbelow(i + 1)``.
+
+    All three identities are verified here against the real ``random.Random``
+    (across a reseed boundary) so a hypothetical CPython change degrades to
+    the slower draw-for-draw paths instead of silently breaking bit-identity.
+    """
+    import random as _random
+
+    reference = _random.Random(0xBEEF)
+    bulk = _random.Random(0xBEEF)
+    batch = 1400  # crosses the MT19937 624-word regeneration boundary
+    raw = bulk.getrandbits(32 * batch)
+    words = np.frombuffer(raw.to_bytes(4 * batch, "little"), dtype="<u4")
+    if any(int(words[i]) != reference.getrandbits(32) for i in range(batch)):
+        return False
+    if reference.getrandbits(64) != bulk.getrandbits(64):
+        return False
+    for k in (1, 2, 3, 7, 13, 31, 32):
+        narrow, wide = _random.Random(k), _random.Random(k)
+        if narrow.getrandbits(k) != wide.getrandbits(32) >> (32 - k):
+            return False
+        if narrow.getrandbits(32) != wide.getrandbits(32):
+            return False
+    shuffled = list(range(9))
+    replayed = list(range(9))
+    shuffler, replayer = _random.Random(3), _random.Random(3)
+    shuffler.shuffle(shuffled)
+    for i in range(len(replayed) - 1, 0, -1):
+        n = i + 1
+        k = n.bit_length()
+        r = replayer.getrandbits(k)
+        while r >= n:
+            r = replayer.getrandbits(k)
+        replayed[i], replayed[r] = replayed[r], replayed[i]
+    return shuffled == replayed and shuffler.getrandbits(32) == replayer.getrandbits(32)
+
+
+_BULK_STREAM = _FAST_SHUFFLE_REPLAY and _stream_replay_matches()
+
+#: Flattened rejection-sampling plans keyed by shuffle-size tuple.  A blocked
+#: header replays the same shuffle sizes every cycle, so the per-draw bound
+#: ``n`` and bit width ``k`` are precomputed once per distinct size profile
+#: and the replay loop degenerates to bound ``getrandbits`` calls.  Each
+#: interned plan also gets a small integer token (``_PLAN_TOKENS`` /
+#: ``_TOKEN_PLANS``) so per-id plan identity lives in a numpy array and runs
+#: of same-plan headers segment vectorized; token 0 means "no plan".
+_REPLAY_PLANS: dict = {}
+_PLAN_TOKENS: dict = {}
+_TOKEN_PLANS: List[Optional[tuple]] = [None]
+
+
+def _replay_plan(sizes: Tuple[int, ...]) -> Tuple[Tuple[int, int], ...]:
+    """The ``(bit_width, bound)`` draw sequence replaying shuffles of ``sizes``."""
+    plan = _REPLAY_PLANS.get(sizes)
+    if plan is None:
+        steps = []
+        for size in sizes:
+            for i in range(size - 1, 0, -1):
+                n = i + 1
+                steps.append((n.bit_length(), n))
+        plan = tuple(steps)
+        _REPLAY_PLANS[sizes] = plan
+        if plan not in _PLAN_TOKENS:
+            _PLAN_TOKENS[plan] = len(_TOKEN_PLANS)
+            _TOKEN_PLANS.append(plan)
+    return plan
+
+
+def _vector_draws_match() -> bool:
+    """True when numpy ``Generator`` array fills equal sequential scalar draws.
+
+    The vectorized traffic stage prefetches each per-node stream's uniform
+    doubles with one ``rng.random(batch)`` call instead of one ``rng.random()``
+    per cycle, which is bit-identical only if the array fill consumes the bit
+    generator exactly like repeated scalar draws.  That holds for numpy's
+    ``Generator`` (both fill the buffer from sequential ``next_double`` calls)
+    and is verified here once at import — including the post-fill state — so a
+    hypothetical numpy change degrades to the scalar reference path instead of
+    silently breaking bit-identity.
+    """
+    for seed in (0xA5A5, 17):
+        scalar = np.random.default_rng(seed)
+        vector = np.random.default_rng(seed)
+        if any(scalar.random() != value for value in vector.random(64).tolist()):
+            return False
+        if scalar.random() != vector.random():
+            return False
+    return True
+
+
+_VECTOR_TRAFFIC = _vector_draws_match()
+
+
+class ArraySimulationEngine(SimulationEngine):
+    """Struct-of-arrays implementation of the simulation engine.
+
+    Construction mirrors :class:`SimulationEngine` (same parameters); the
+    flat state tables are built once on top of the reference initialisation.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        topology = self._topology
+        num_nodes = topology.num_nodes
+        ports = topology.num_network_ports
+        vcs = self._num_vcs
+        self._p = ports
+        self._pv = ports * vcs
+        npv = num_nodes * self._pv
+        num_inj = num_nodes * vcs
+        #: Injection channels live above the network-VC id range in the
+        #: transfer stage's combined channel array.
+        self._inj_offset = npv
+        #: Dense switch-request key space (``node * P + port``).
+        self._num_keys = num_nodes * ports
+
+        # Network input VCs, indexed by vid.
+        self._k_recv = np.zeros(npv, dtype=np.int64)
+        self._k_rem = np.zeros(npv, dtype=np.int64)
+        self._k_len = np.zeros(npv, dtype=np.int64)
+        self._k_sink = np.zeros(npv, dtype=np.int8)
+        self._k_out_port = np.full(npv, -1, dtype=np.int64)
+        self._k_down = np.full(npv, -1, dtype=np.int64)
+        self._k_key = np.full(npv, -1, dtype=np.int64)
+        self._k_active = np.zeros(npv, dtype=bool)
+        # Free-VC mask shared by the scalar allocator probe and the vectorized
+        # blocked-header gate.  One extra always-busy slot at index ``npv``
+        # pads the candidate-key rows below.
+        self._k_free = np.ones(npv + 1, dtype=bool)
+        self._k_free[npv] = False
+        self._k_owner: List[Optional[Message]] = [None] * npv
+        self._k_pending: List[Optional[RoutingDecision]] = [None] * npv
+
+        # Injection channels, indexed by iid.
+        self._j_sent = np.zeros(num_inj, dtype=np.int64)
+        self._j_len = np.zeros(num_inj, dtype=np.int64)
+        self._j_out_port = np.full(num_inj, -1, dtype=np.int64)
+        self._j_down = np.full(num_inj, -1, dtype=np.int64)
+        self._j_key = np.full(num_inj, -1, dtype=np.int64)
+        self._j_active = np.zeros(num_inj, dtype=bool)
+        self._j_owner: List[Optional[Message]] = [None] * num_inj
+        self._j_pending: List[Optional[RoutingDecision]] = [None] * num_inj
+
+        # Active-id arrays in activation order (the dict engine's insertion
+        # order).  Stale entries accumulate only within a cycle (releases mark
+        # the membership mask and set a dirty flag); the end-of-cycle
+        # compaction filters them out, so capacity 2× the id space bounds the
+        # live prefix even in the worst release-heavy cycle.
+        self._va = np.zeros(2 * npv + 1, dtype=np.int64)
+        self._va_n = 0
+        self._va_dirty = False
+        self._ja = np.zeros(2 * num_inj + 1, dtype=np.int64)
+        self._ja_n = 0
+        self._ja_dirty = False
+
+        # Routing-cache tables for blocked headers.  A header whose allocation
+        # failed keeps its decision (same cache as the dict engine); here the
+        # decision's candidate VC ids are additionally flattened into a padded
+        # row of ``_pk_keys`` / ``_pj_keys`` so one vectorized gather per cycle
+        # answers "could this header allocate now?" for every blocked header
+        # at once.  Rows are padded with the always-busy sentinel ``npv``.
+        # A failed dict-engine attempt consumes RNG *only* through the
+        # shuffle of multi-member priority groups (shuffling one element and
+        # the success-only ``randrange`` draw nothing), so:
+        #   * no free candidate VC, single-member groups → skip outright;
+        #   * no free candidate VC, multi-member groups → replay just the
+        #     shuffles on cached dummy groups (``_pk_shuf``);
+        #   * any free candidate VC → full scalar replay.
+        # The gate is computed from start-of-stage state; allocations made
+        # earlier in the same pass only *reserve* VCs, so a stale True runs a
+        # full replay that fails exactly like the reference engine (drawing
+        # the same shuffles), and a False can never be stale.
+        self._pend_width = 4
+        self._pk_keys = np.full((npv, self._pend_width), npv, dtype=np.int64)
+        self._pk_multi = np.zeros(npv, dtype=bool)
+        self._pk_has = np.zeros(npv, dtype=bool)
+        # Per-id replay data: a flattened ``(bit_width, bound)`` draw plan on
+        # the fast path, the raw shuffle-size tuple on the fallback path.
+        self._pk_shuf: List[Optional[tuple]] = [None] * npv
+        self._pk_tok = np.zeros(npv, dtype=np.int64)
+        self._pj_keys = np.full((num_inj, self._pend_width), npv, dtype=np.int64)
+        self._pj_multi = np.zeros(num_inj, dtype=bool)
+        self._pj_has = np.zeros(num_inj, dtype=bool)
+        self._pj_shuf: List[Optional[tuple]] = [None] * num_inj
+        self._pj_tok = np.zeros(num_inj, dtype=np.int64)
+
+        self._node_faulty: List[bool] = [
+            self._faults.is_node_faulty(node) for node in topology.nodes()
+        ]
+        self._opp: List[int] = [opposite_port(port) for port in range(ports)]
+
+        # ``Random.randrange(n)`` delegates straight to ``Random._randbelow(n)``
+        # for a positive int; binding the private method skips the public
+        # wrapper's argument handling on the hot draw paths while consuming
+        # the identical draws (it is the same bound method ``randrange``
+        # calls).  Fall back to the public API if the name ever disappears.
+        self._draw_below = getattr(self._rand, "_randbelow", self._rand.randrange)
+
+        # Bulk RNG word stream (see :func:`_stream_replay_matches`).  When
+        # verified, every draw this engine makes is served from a prefetched
+        # array of raw 32-bit Mersenne Twister words; ``self._rand`` itself is
+        # only touched by the batched ``getrandbits(32 * B)`` refill, so the
+        # consumed value sequence — and therefore every metric — is identical
+        # to the reference engine's draw-by-draw consumption.  The payoff is
+        # in the blocked-header replay: the words a discarded shuffle would
+        # consume are skipped with one table lookup per header instead of a
+        # Python rejection-sampling loop per draw.
+        self._sw = np.empty(0, dtype=np.uint32)
+        self._sw_ptr = 0
+        self._sw_len = 0
+        #: bound -> next-accept position table over the current buffer.
+        self._sw_nxt: dict = {}
+        #: replay plan -> composed pointer-skip table over the current buffer.
+        self._sw_skip: dict = {}
+        #: replay plan -> [skip, skip^2, skip^4, ...] repeated-squaring tables.
+        self._sw_pow: dict = {}
+        if _BULK_STREAM:
+            self._randbelow_fn = self._stream_randbelow
+            self._shuffle_fn = self._stream_shuffle
+        else:
+            self._randbelow_fn = self._draw_below
+            self._shuffle_fn = self._rand.shuffle
+
+        # Vectorized traffic generation.  Per-node arrival streams own
+        # independent RNGs, so their draws can be prefetched (Bernoulli) or
+        # their next-arrival times mirrored in a vector (Poisson) without
+        # perturbing any other consumer; the per-cycle scan over ~N healthy
+        # nodes then collapses to one array comparison.  Mixed or exotic
+        # stream types fall back to the scalar reference loop.
+        self._gen_mode = "scalar"
+        scan = self._generation_scan
+        if self._traffic.rate > 0 and scan:
+            streams = [stream for _, stream, _ in scan]
+            if _VECTOR_TRAFFIC and all(
+                type(stream) is _BernoulliStream for stream in streams
+            ):
+                self._gen_mode = "bernoulli"
+                self._gen_rate = streams[0]._rate
+                self._gen_rngs = [stream._rng for stream in streams]
+                self._gen_buf = np.empty((0, len(streams)))
+                self._gen_pos = 0
+            elif all(type(stream) is _ExponentialStream for stream in streams):
+                self._gen_mode = "poisson"
+                self._gen_next = np.array(
+                    [stream._next_arrival for stream in streams]
+                )
+
+    # ------------------------------------------------------------------ #
+    # bulk RNG word stream
+    # ------------------------------------------------------------------ #
+    def _stream_refill(self, need: int = 0) -> None:
+        """Prefetch another batch of raw 32-bit words from ``self._rand``.
+
+        Unconsumed words are preserved (compacted to the buffer head), so a
+        draw interrupted by exhaustion replays over identical words and
+        resolves identically.  The skip tables are position-relative and are
+        rebuilt lazily against the new buffer.
+        """
+        leftover = self._sw[self._sw_ptr : self._sw_len]
+        batch = 8192
+        while batch < need:
+            batch *= 2
+        raw = self._rand.getrandbits(32 * batch)
+        fresh = np.frombuffer(raw.to_bytes(4 * batch, "little"), dtype="<u4")
+        if leftover.size:
+            self._sw = np.concatenate((leftover, fresh))
+        else:
+            self._sw = fresh
+        self._sw_len = self._sw.size
+        self._sw_ptr = 0
+        self._sw_nxt.clear()
+        self._sw_skip.clear()
+        self._sw_pow.clear()
+
+    def _stream_randbelow(self, n: int) -> int:
+        """``Random._randbelow(n)`` replayed on the prefetched word stream."""
+        shift = 32 - n.bit_length()
+        words = self._sw
+        p = self._sw_ptr
+        limit = self._sw_len
+        while True:
+            if p >= limit:
+                self._stream_refill()
+                words = self._sw
+                p = 0
+                limit = self._sw_len
+            r = int(words[p]) >> shift
+            p += 1
+            if r < n:
+                self._sw_ptr = p
+                return r
+
+    def _stream_shuffle(self, items: List) -> None:
+        """``random.shuffle`` replayed on the word stream (Fisher-Yates).
+
+        The rejection-sampling loop walks the word buffer with locals and
+        commits the pointer once at the end (or just before a refill), which
+        keeps the per-draw cost to one array read on this hot path.
+        """
+        words = self._sw
+        p = self._sw_ptr
+        limit = self._sw_len
+        for i in range(len(items) - 1, 0, -1):
+            n = i + 1
+            shift = 32 - n.bit_length()
+            while True:
+                if p >= limit:
+                    self._sw_ptr = p
+                    self._stream_refill()
+                    words = self._sw
+                    p = 0
+                    limit = self._sw_len
+                r = int(words[p]) >> shift
+                p += 1
+                if r < n:
+                    break
+            items[i], items[r] = items[r], items[i]
+        self._sw_ptr = p
+
+    def _stream_nxt_table(self, k: int, n: int) -> np.ndarray:
+        """Next-accept positions for bound ``n`` over the current buffer.
+
+        ``table[t]`` is the smallest ``t' >= t`` whose word passes the
+        ``_randbelow(n)`` acceptance test ``(word >> (32 - k)) < n``; the
+        buffer length acts as a sticky out-of-words sentinel (``table`` has
+        one extra slot so a sentinel value can be composed safely).
+        """
+        table = self._sw_nxt.get(n)
+        if table is None:
+            length = self._sw_len
+            accept = (self._sw >> np.uint32(32 - k)) < n
+            index = np.where(accept, np.arange(length, dtype=np.int64), length)
+            table = np.empty(length + 1, dtype=np.int64)
+            table[:length] = np.minimum.accumulate(index[::-1])[::-1]
+            table[length] = length
+            self._sw_nxt[n] = table
+        return table
+
+    def _stream_skip_table(self, plan: tuple) -> np.ndarray:
+        """Composed pointer map executing a whole replay plan per lookup.
+
+        ``table[t]`` is the stream position after performing every discarded
+        draw of ``plan`` starting at position ``t``.  Composing the per-bound
+        next-accept tables once per refill turns the per-cycle replay of the
+        (typically few) distinct blocked-header plans into one array lookup
+        per header.  Values at or past the buffer length mean the plan ran
+        out of words — the caller refills and redoes the lookup, which is
+        safe because lookups consume nothing and refills preserve the
+        unconsumed suffix.
+        """
+        table = self._sw_skip.get(plan)
+        if table is None:
+            length = self._sw_len
+            table = np.arange(length + 1, dtype=np.int64)
+            for k, n in plan:
+                nxt = self._stream_nxt_table(k, n)
+                np.minimum(table, length, out=table)
+                table = nxt[table] + 1
+            self._sw_skip[plan] = table
+        return table
+
+    def _stream_skip_run(self, plan: tuple, m: int) -> None:
+        """Advance the stream pointer past ``m`` back-to-back replays of ``plan``.
+
+        Consecutive blocked headers overwhelmingly share one plan, and pointer
+        skips compose (``skip^(a+b) = skip^a ∘ skip^b``), so a run of ``m``
+        identical replays resolves in ``O(log m)`` lookups against
+        repeated-squaring tables instead of ``m`` per-header lookups.  The
+        squared tables stay sticky past the buffer end, so an out-of-words
+        result at any granularity downshifts to smaller powers and finally to
+        a refill, after which the surviving chunk redoes over fresh words.
+        """
+        powers = self._sw_pow.get(plan)
+        if powers is None:
+            powers = [self._stream_skip_table(plan)]
+            self._sw_pow[plan] = powers
+        p = self._sw_ptr
+        length = self._sw_len
+        need = 0
+        while m:
+            k = m.bit_length() - 1
+            if k > 12:
+                k = 12
+            while len(powers) <= k:
+                prev = powers[-1]
+                powers.append(prev[np.minimum(prev, length)])
+            q = int(powers[k][p])
+            while q >= length and k > 0:
+                k -= 1
+                q = int(powers[k][p])
+            if q >= length:
+                # Even one plan cannot finish on the remaining words: commit
+                # the consumed prefix, refill (growing the batch only if a
+                # fresh buffer still cannot finish), and redo from the head.
+                self._sw_ptr = p
+                self._stream_refill(need)
+                need = 2 * self._sw_len
+                powers = [self._stream_skip_table(plan)]
+                self._sw_pow[plan] = powers
+                p = 0
+                length = self._sw_len
+                continue
+            p = q
+            m -= 1 << k
+            need = 0
+        self._sw_ptr = p
+
+    # ------------------------------------------------------------------ #
+    # cycle loop (mirrors SimulationEngine.step with the array idle check
+    # and the end-of-cycle active-id compaction)
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Advance the simulation by one cycle (array-kernel hot loop)."""
+        if (
+            self._skip_idle
+            and not self._stop_generation
+            and not self._va_n
+            and not self._ja_n
+            and not self._pending_nodes
+        ):
+            self._skip_to_next_arrival()
+        self._cycle += 1
+        cycle = self._cycle
+        if not self._stop_generation:
+            self._generate_traffic(cycle)
+        self._inject(cycle)
+        self._route_and_allocate(cycle)
+        self._transfer(cycle)
+        self._drain(cycle)
+        self._compact_active()
+        self._check_watchdog(cycle)
+        if (
+            self._saturation_queue_limit is not None
+            and cycle % self.SATURATION_CHECK_PERIOD == 0
+        ):
+            self._check_saturation()
+
+    def _step_profiled(self) -> None:
+        """``step`` with stage timers around the vectorized passes.
+
+        Installed over ``step`` by the base ``__init__`` when a stage
+        profiler was supplied; because the attribute is bound on ``self``,
+        the timers wrap *this* engine's vectorized stage methods, not the
+        dict engine's.  Must mirror :meth:`step` exactly apart from timing.
+        """
+        profiler = self._stage_profiler
+        record = profiler.record
+        if (
+            self._skip_idle
+            and not self._stop_generation
+            and not self._va_n
+            and not self._ja_n
+            and not self._pending_nodes
+        ):
+            self._skip_to_next_arrival()
+        self._cycle += 1
+        cycle = self._cycle
+        if not self._stop_generation:
+            start = perf_counter()
+            self._generate_traffic(cycle)
+            record("generate", perf_counter() - start)
+        start = perf_counter()
+        self._inject(cycle)
+        record("inject", perf_counter() - start)
+        start = perf_counter()
+        self._route_and_allocate(cycle)
+        record("route_allocate", perf_counter() - start)
+        start = perf_counter()
+        self._transfer(cycle)
+        record("transfer", perf_counter() - start)
+        start = perf_counter()
+        self._drain(cycle)
+        record("drain", perf_counter() - start)
+        self._compact_active()
+        self._check_watchdog(cycle)
+        if (
+            self._saturation_queue_limit is not None
+            and cycle % self.SATURATION_CHECK_PERIOD == 0
+        ):
+            self._check_saturation()
+
+    def _compact_active(self) -> None:
+        """Drop released ids from the active arrays (order-preserving)."""
+        if self._va_dirty:
+            live = self._va[: self._va_n]
+            live = live[self._k_active[live]]
+            self._va[: live.size] = live
+            self._va_n = live.size
+            self._va_dirty = False
+        if self._ja_dirty:
+            live = self._ja[: self._ja_n]
+            live = live[self._j_active[live]]
+            self._ja[: live.size] = live
+            self._ja_n = live.size
+            self._ja_dirty = False
+
+    # ------------------------------------------------------------------ #
+    # termination conditions (array-state views of the base definitions)
+    # ------------------------------------------------------------------ #
+    def _idle(self) -> bool:
+        return not self._va_n and not self._ja_n and not self._pending_nodes
+
+    def _check_watchdog(self, cycle: int) -> None:
+        if self._idle():
+            self._last_progress_cycle = cycle
+            return
+        if cycle - self._last_progress_cycle > self.DEADLOCK_WATCHDOG:
+            in_flight = self._va_n + self._ja_n
+            raise DeadlockError(
+                f"no flit moved for {self.DEADLOCK_WATCHDOG} cycles at cycle {cycle} "
+                f"with {in_flight} channels still occupied; this indicates a protocol "
+                f"bug or an unsupported configuration"
+            )
+
+    # ------------------------------------------------------------------ #
+    # stage 1: traffic generation (vectorized arrival scan)
+    # ------------------------------------------------------------------ #
+    def _generate_traffic(self, cycle: int) -> None:
+        """Reference generation with the per-node scan done in numpy.
+
+        Bernoulli streams draw their own RNG once per cycle; those doubles
+        are prefetched per stream in bulk (verified bit-identical at import,
+        see :func:`_vector_draws_match`) and one vector comparison yields the
+        arrival nodes.  Poisson streams keep a mirrored next-arrival vector
+        so only due streams run the scalar draw loop.  Message creation and
+        destination picks stay scalar in scan order — they consume the shared
+        engine RNG exactly like the reference loop.
+        """
+        mode = self._gen_mode
+        if mode == "bernoulli":
+            pos = self._gen_pos
+            buf = self._gen_buf
+            if pos >= buf.shape[0]:
+                batch = 512
+                rows = np.empty((len(self._gen_rngs), batch))
+                for i, rng in enumerate(self._gen_rngs):
+                    rows[i] = rng.random(batch)
+                buf = self._gen_buf = np.ascontiguousarray(rows.T)
+                pos = 0
+            hits = np.nonzero(buf[pos] < self._gen_rate)[0]
+            self._gen_pos = pos + 1
+            if hits.size:
+                scan = self._generation_scan
+                pending = self._pending_nodes
+                for i in hits.tolist():
+                    node, _stream, layer = scan[i]
+                    destination = self._pattern.pick(node, self._rng)
+                    if destination is not None and not self._faults.is_node_faulty(
+                        destination
+                    ):
+                        layer.enqueue_new(self._new_message(node, destination))
+                    pending.add(node)
+            return
+        if mode == "poisson":
+            nxt = self._gen_next
+            hits = np.nonzero(nxt <= cycle)[0]
+            if hits.size:
+                scan = self._generation_scan
+                pending = self._pending_nodes
+                for i in hits.tolist():
+                    node, stream, layer = scan[i]
+                    arrivals = stream.arrivals_until(cycle)
+                    nxt[i] = stream._next_arrival
+                    if not arrivals:  # pragma: no cover - due streams arrive
+                        continue
+                    for _ in range(arrivals):
+                        destination = self._pattern.pick(node, self._rng)
+                        if destination is None or self._faults.is_node_faulty(
+                            destination
+                        ):
+                            continue
+                        layer.enqueue_new(self._new_message(node, destination))
+                    pending.add(node)
+            return
+        super()._generate_traffic(cycle)
+
+    # ------------------------------------------------------------------ #
+    # stage 2: injection-channel assignment
+    # ------------------------------------------------------------------ #
+    def _inject(self, cycle: int) -> None:
+        if not self._pending_nodes:
+            return
+        vcs = self._num_vcs
+        j_owner = self._j_owner
+        satisfied: List[int] = []
+        # Nodes whose injection channels are all owned cannot accept a
+        # message this cycle; the reference scan would fail without touching
+        # state or RNG, so they are skipped wholesale (the node simply stays
+        # pending, and its owned channels keep the engine out of the idle
+        # state exactly as in the reference engine).  Only worth the
+        # vectorized mask when the pending set is large (saturation).
+        pending = self._pending_nodes
+        if len(pending) > 4:
+            node_full = self._j_active.reshape(-1, vcs).all(axis=1).tolist()
+            pending = [node for node in pending if not node_full[node]]
+        for node in pending:
+            layer = self._layers[node]
+            base = node * vcs
+            while layer.peek_ready(cycle):
+                iid = -1
+                for candidate in range(base, base + vcs):
+                    if j_owner[candidate] is None:
+                        iid = candidate
+                        break
+                if iid < 0:
+                    break
+                message = layer.next_message(cycle)
+                if message is None:  # pragma: no cover - peek_ready guards this
+                    break
+                j_owner[iid] = message
+                self._j_len[iid] = message.length
+                self._j_sent[iid] = 0
+                self._j_out_port[iid] = -1
+                self._j_down[iid] = -1
+                self._j_key[iid] = -1
+                self._j_pending[iid] = None
+                if message.injected < 0:
+                    message.injected = cycle
+                if not self._j_active[iid]:
+                    self._ja[self._ja_n] = iid
+                    self._ja_n += 1
+                    self._j_active[iid] = True
+                self._last_progress_cycle = cycle
+            if not layer.pending_total:
+                satisfied.append(node)
+        for node in satisfied:
+            self._pending_nodes.discard(node)
+
+    # ------------------------------------------------------------------ #
+    # stage 3: routing computation and virtual-channel allocation
+    # ------------------------------------------------------------------ #
+    def _route_and_allocate(self, cycle: int) -> None:
+        # Candidate selection is vectorized (most active channels are
+        # mid-stream and need no routing, and most waiting headers are
+        # blocked on fully-busy candidate VCs); the surviving headers run
+        # the scalar routing/allocation path in active order, preserving
+        # the reference RNG draw sequence.
+        free = self._k_free
+        count = self._ja_n
+        if count:
+            active = self._ja[:count]
+            needs = (
+                (self._j_out_port[active] < 0)
+                & (self._j_sent[active] == 0)
+                & (self._j_len[active] > 0)
+            )
+            waiting = active[needs]
+            if waiting.size:
+                has = self._pj_has[waiting]
+                if has.any():
+                    maybe = free[self._pj_keys[waiting]].any(axis=1)
+                    multi = self._pj_multi[waiting]
+                    blocked = has & ~maybe
+                    shuf_only = blocked & multi
+                    keep = ~blocked | shuf_only
+                    self._walk_waiting(
+                        waiting[keep],
+                        shuf_only[keep],
+                        self._pj_shuf,
+                        self._pj_tok,
+                        self._route_injection_id,
+                        cycle,
+                    )
+                else:
+                    for iid in waiting.tolist():
+                        self._route_injection_id(iid, cycle)
+        count = self._va_n
+        if count:
+            active = self._va[:count]
+            needs = (
+                (self._k_out_port[active] < 0)
+                & (self._k_sink[active] == SINK_NONE)
+                & (self._k_rem[active] == 0)
+                & (self._k_recv[active] > 0)
+            )
+            waiting = active[needs]
+            if waiting.size:
+                has = self._pk_has[waiting]
+                if has.any():
+                    maybe = free[self._pk_keys[waiting]].any(axis=1)
+                    multi = self._pk_multi[waiting]
+                    blocked = has & ~maybe
+                    shuf_only = blocked & multi
+                    keep = ~blocked | shuf_only
+                    self._walk_waiting(
+                        waiting[keep],
+                        shuf_only[keep],
+                        self._pk_shuf,
+                        self._pk_tok,
+                        self._route_network_id,
+                        cycle,
+                    )
+                else:
+                    for vid in waiting.tolist():
+                        self._route_network_id(vid, cycle)
+
+    def _walk_waiting(self, ids, replay_mask, plans, toks, route_one, cycle: int) -> None:
+        """Visit routable and replaying waiting headers in active order.
+
+        ``replay_mask`` marks blocked headers whose only reference-engine
+        effect is the RNG their failed attempt's group shuffles consume; the
+        rest run the full scalar routing path.  On the bulk word stream the
+        replays collapse to skip-table lookups; consecutive same-plan replays
+        are found vectorized via the interned plan tokens (``toks``) and each
+        run resolves in ``O(log run)`` lookups.  Otherwise the draws are
+        replayed one by one with ``getrandbits`` (or, when the import-time
+        verification failed, literal dummy shuffles).
+        """
+        if _BULK_STREAM:
+            count = ids.size
+            if not count:
+                return
+            # Scalar headers get token -1, so a segment boundary falls exactly
+            # where the replay flag or the plan changes.
+            seg_tok = np.where(replay_mask, toks[ids], -1)
+            change = np.empty(count, dtype=bool)
+            change[0] = True
+            np.not_equal(seg_tok[1:], seg_tok[:-1], out=change[1:])
+            bounds = np.append(np.flatnonzero(change), count).tolist()
+            ids_l = ids.tolist()
+            rep_l = replay_mask.tolist()
+            token_plans = _TOKEN_PLANS
+            for si in range(len(bounds) - 1):
+                start, end = bounds[si], bounds[si + 1]
+                if rep_l[start]:
+                    self._stream_skip_run(token_plans[int(seg_tok[start])], end - start)
+                else:
+                    for cid in ids_l[start:end]:
+                        route_one(cid, cycle)
+            return
+        getrandbits = self._rand.getrandbits
+        shuffle = self._rand.shuffle
+        for cid, replay in zip(ids.tolist(), replay_mask.tolist()):
+            if replay:
+                if _FAST_SHUFFLE_REPLAY:
+                    for k, n in plans[cid]:
+                        r = getrandbits(k)
+                        while r >= n:
+                            r = getrandbits(k)
+                else:  # pragma: no cover - stdlib-change fallback
+                    for size in plans[cid]:
+                        shuffle([None] * size)
+            else:
+                route_one(cid, cycle)
+
+    def _route_injection_id(self, iid: int, cycle: int) -> None:
+        """Route one waiting injection channel (scalar reference path)."""
+        message = self._j_owner[iid]
+        assert message is not None
+        header = message.header
+        node = iid // self._num_vcs
+
+        decision = self._j_pending[iid]
+        if decision is None:
+            if node == header.target:
+                if header.is_intermediate:
+                    self._routing.on_intermediate_target_reached(node, header)
+                return
+            decision = self._routing.route(node, header)
+            if decision.deliver:  # pragma: no cover - target check covers this
+                return
+            if decision.absorb:
+                # Immediate software absorption: the message never entered
+                # the network (same accounting as the reference engine).
+                self._j_release(iid)
+                self._register_absorption(message, node, fault=True)
+                self._routing.rewrite_after_absorption(node, header)
+                self._layers[node].enqueue_reinjection(message, cycle)
+                self._pending_nodes.add(node)
+                return
+        allocation = self._allocate_ids(node, decision, message)
+        if allocation is not None:
+            port, down_vid = allocation
+            self._j_out_port[iid] = port
+            self._j_down[iid] = down_vid
+            self._j_key[iid] = node * self._p + port
+            self._j_pending[iid] = None
+            self._pj_has[iid] = False
+        else:
+            self._j_pending[iid] = decision
+            if not self._pj_has[iid]:
+                keys, groups = self._blocked_candidates(node, decision)
+                if len(keys) > self._pend_width:
+                    self._grow_pend(len(keys))
+                row = self._pj_keys[iid]
+                row[: len(keys)] = keys
+                row[len(keys) :] = self._inj_offset
+                self._pj_multi[iid] = bool(groups)
+                plan = _replay_plan(groups) if _FAST_SHUFFLE_REPLAY else groups
+                self._pj_shuf[iid] = plan
+                if _BULK_STREAM and groups:
+                    self._pj_tok[iid] = _PLAN_TOKENS[plan]
+                self._pj_has[iid] = True
+
+    def _route_network_id(self, vid: int, cycle: int) -> None:
+        """Route one waiting network header (scalar reference path)."""
+        message = self._k_owner[vid]
+        assert message is not None
+        header = message.header
+        node = vid // self._pv
+
+        decision = self._k_pending[vid]
+        if decision is None:
+            if node == header.target:
+                self._k_sink[vid] = (
+                    SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
+                )
+                return
+            decision = self._routing.route(node, header)
+            if decision.deliver:  # pragma: no cover - target check covers this
+                self._k_sink[vid] = (
+                    SINK_FINAL if not header.is_intermediate else SINK_INTERMEDIATE
+                )
+                return
+            if decision.absorb:
+                self._k_sink[vid] = SINK_FAULT
+                return
+        allocation = self._allocate_ids(node, decision, message)
+        if allocation is not None:
+            port, down_vid = allocation
+            self._k_out_port[vid] = port
+            self._k_down[vid] = down_vid
+            self._k_key[vid] = node * self._p + port
+            self._k_pending[vid] = None
+            self._pk_has[vid] = False
+        else:
+            self._k_pending[vid] = decision
+            if not self._pk_has[vid]:
+                keys, groups = self._blocked_candidates(node, decision)
+                if len(keys) > self._pend_width:
+                    self._grow_pend(len(keys))
+                row = self._pk_keys[vid]
+                row[: len(keys)] = keys
+                row[len(keys) :] = self._inj_offset
+                self._pk_multi[vid] = bool(groups)
+                plan = _replay_plan(groups) if _FAST_SHUFFLE_REPLAY else groups
+                self._pk_shuf[vid] = plan
+                if _BULK_STREAM and groups:
+                    self._pk_tok[vid] = _PLAN_TOKENS[plan]
+                self._pk_has[vid] = True
+
+    def _grow_pend(self, needed: int) -> None:
+        """Widen the candidate-key tables (rows start narrow; growth is rare)."""
+        width = self._pend_width
+        while width < needed:
+            width *= 2
+        sentinel = self._inj_offset
+        for attr in ("_pk_keys", "_pj_keys"):
+            old = getattr(self, attr)
+            new = np.full((old.shape[0], width), sentinel, dtype=np.int64)
+            new[:, : old.shape[1]] = old
+            setattr(self, attr, new)
+        self._pend_width = width
+
+    def _blocked_candidates(
+        self, node: int, decision: RoutingDecision
+    ) -> Tuple[List[int], Tuple[int, ...]]:
+        """Flattened candidate VC ids and shuffle sizes for a blocked header.
+
+        Walks the decision exactly like :meth:`_allocate_ids` (same priority
+        sort, same group slicing, same unreachable-port skip) but consumes no
+        RNG and touches no state.  Returns the vids whose freedom would let a
+        retry succeed, plus the size of each multi-member priority group —
+        replaying a shuffle of that size consumes the RNG a failed reference
+        attempt draws (single-member groups and the success-only ``randrange``
+        draw nothing on failure).
+        """
+        candidates = decision.candidates
+        if len(candidates) > 1:
+            first_priority = candidates[0].priority
+            if any(c.priority != first_priority for c in candidates[1:]):
+                candidates = sorted(candidates, key=lambda c: c.priority)
+        vcs = self._num_vcs
+        keys: List[int] = []
+        groups: List[int] = []
+        index = 0
+        num_candidates = len(candidates)
+        while index < num_candidates:
+            priority = candidates[index].priority
+            size = 0
+            while index < num_candidates and candidates[index].priority == priority:
+                candidate = candidates[index]
+                down_node = self._topology.neighbor_via_port(node, candidate.port)
+                if down_node is not None:
+                    base = (down_node * self._p + self._opp[candidate.port]) * vcs
+                    for vc in candidate.virtual_channels:
+                        keys.append(base + vc)
+                size += 1
+                index += 1
+            if size > 1:
+                groups.append(size)
+        return keys, tuple(groups)
+
+    def _allocate_ids(
+        self, node: int, decision: RoutingDecision, message: Message
+    ) -> Optional[Tuple[int, int]]:
+        """Acquire a downstream VC for a routed header; ``(port, vid)`` or None.
+
+        Replays ``SimulationEngine._allocate`` draw for draw (priority-group
+        shuffle, one ``randrange`` per winning candidate); only the free-VC
+        probe differs — it reads the flat busy table instead of channel
+        objects.
+        """
+        candidates = decision.candidates
+        if len(candidates) > 1:
+            first_priority = candidates[0].priority
+            if any(c.priority != first_priority for c in candidates[1:]):
+                candidates = sorted(candidates, key=lambda c: c.priority)
+        free = self._k_free
+        vcs = self._num_vcs
+        ports = self._p
+        opp = self._opp
+        neighbor_via_port = self._topology.neighbor_via_port
+        node_faulty = self._node_faulty
+        index = 0
+        num_candidates = len(candidates)
+        while index < num_candidates:
+            priority = candidates[index].priority
+            start = index
+            index += 1
+            while index < num_candidates and candidates[index].priority == priority:
+                index += 1
+            if index - start > 1:
+                group = candidates[start:index]
+                # A one-element shuffle draws nothing; skipping it is
+                # draw-identical to the reference engine.
+                self._shuffle_fn(group)
+            else:
+                group = (candidates[start],)
+            for candidate in group:
+                down_node = neighbor_via_port(node, candidate.port)
+                if down_node is None:
+                    continue
+                if node_faulty[down_node]:
+                    raise RoutingError(
+                        f"routing offered a candidate through faulty node {down_node} "
+                        f"from node {node}"
+                    )
+                base = (down_node * ports + opp[candidate.port]) * vcs
+                free_count = 0
+                for vc in candidate.virtual_channels:
+                    if free[base + vc]:
+                        free_count += 1
+                if not free_count:
+                    continue
+                k = self._randbelow_fn(free_count)
+                for vc in candidate.virtual_channels:
+                    vid = base + vc
+                    if free[vid]:
+                        if k == 0:
+                            free[vid] = False
+                            self._k_owner[vid] = message
+                            self._k_len[vid] = message.length
+                            return candidate.port, vid
+                        k -= 1
+        return None
+
+    # ------------------------------------------------------------------ #
+    # stage 4: switch allocation and flit transfer (vectorized)
+    # ------------------------------------------------------------------ #
+    def _transfer(self, cycle: int) -> None:
+        recv = self._k_recv
+        rem = self._k_rem
+        depth = self._buffer_depth
+
+        # Request collection: all eligibility checks read start-of-cycle
+        # occupancy, exactly like the reference engine's request table.  The
+        # per-id eligibility masks are computed over the full (contiguous)
+        # state arrays — at saturation nearly every id is active, so one
+        # contiguous pass plus a single gather beats gathering each operand.
+        space = (recv - rem) < depth
+        req_inj = _EMPTY_IDS
+        count = self._ja_n
+        if count:
+            active = self._ja[:count]
+            sendable = (self._j_out_port >= 0) & (self._j_sent < self._j_len)
+            sel = active[sendable[active]]
+            if sel.size:
+                req_inj = sel[space[self._j_down[sel]]]
+        req_net = _EMPTY_IDS
+        count = self._va_n
+        if count:
+            active = self._va[:count]
+            sendable = (self._k_out_port >= 0) & (recv > rem)
+            sel = active[sendable[active]]
+            if sel.size:
+                req_net = sel[space[self._k_down[sel]]]
+        if not req_inj.size and not req_net.size:
+            return
+
+        # Group requests by output physical channel.  Injection requests come
+        # first (the reference request-table fill order); only contended
+        # groups draw RNG, in first-occurrence order of their keys — the
+        # order the reference engine's insertion-ordered request table visits
+        # them.  ``bincount`` over the dense key space finds contention
+        # without sorting; the contended subset is then grouped with one
+        # stable sort.
+        offset = self._inj_offset
+        if req_inj.size:
+            keys = np.concatenate((self._j_key[req_inj], self._k_key[req_net]))
+            channels = np.concatenate((req_inj + offset, req_net))
+        else:
+            keys = self._k_key[req_net]
+            channels = req_net
+        multiplicity = np.bincount(keys, minlength=self._num_keys)[keys]
+        single = multiplicity == 1
+        if single.all():
+            # No contention anywhere: every request wins, in request order
+            # (== first-occurrence group order), consuming no randomness.
+            winners = channels
+        else:
+            # Winners must come out in first-occurrence group order: fresh
+            # downstream activations are appended in winner order below, and
+            # the reference engine activates them in request-table order.
+            single_pos = np.nonzero(single)[0]
+            contended_pos = np.nonzero(~single)[0]
+            order = np.argsort(keys[contended_pos], kind="stable")
+            sorted_pos = contended_pos[order]
+            sorted_keys = keys[sorted_pos]
+            starts = np.nonzero(
+                np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+            )[0]
+            counts = np.diff(np.concatenate((starts, [sorted_keys.size])))
+            # The stable sort keeps members in request order, so the first
+            # member of each sorted run is the group's first occurrence.
+            first_pos = sorted_pos[starts]
+            draw_order = np.argsort(first_pos, kind="stable")
+            sorted_channels = channels[sorted_pos]
+            picks = np.empty(draw_order.size, dtype=np.int64)
+            starts_list = starts.tolist()
+            counts_list = counts.tolist()
+            if _BULK_STREAM:
+                # One ``_randbelow`` per contended group, inlined over the
+                # prefetched word buffer (pointer committed once at the end,
+                # or just before a refill).
+                words = self._sw
+                p = self._sw_ptr
+                limit = self._sw_len
+                for rank, g in enumerate(draw_order.tolist()):
+                    n = counts_list[g]
+                    shift = 32 - n.bit_length()
+                    while True:
+                        if p >= limit:
+                            self._sw_ptr = p
+                            self._stream_refill()
+                            words = self._sw
+                            p = 0
+                            limit = self._sw_len
+                        r = int(words[p]) >> shift
+                        p += 1
+                        if r < n:
+                            break
+                    picks[rank] = sorted_channels[starts_list[g] + r]
+                self._sw_ptr = p
+            else:
+                draw_below = self._randbelow_fn
+                for rank, g in enumerate(draw_order.tolist()):
+                    picks[rank] = sorted_channels[
+                        starts_list[g] + draw_below(counts_list[g])
+                    ]
+            merge = np.argsort(
+                np.concatenate((single_pos, first_pos[draw_order])), kind="stable"
+            )
+            winners = np.concatenate((channels[single_pos], picks))[merge]
+
+        # Apply the winning moves in one vectorized pass.  Winner channels
+        # are distinct (one per group) and so are their downstream VCs (each
+        # has exactly one feeding channel), so the fancy-indexed updates
+        # cannot collide; eligibility was checked against start-of-cycle
+        # state above, matching the reference engine's batch semantics.
+        is_inj = winners >= offset
+        win_inj = winners[is_inj] - offset
+        win_net = winners[~is_inj]
+        downs = np.empty(winners.size, dtype=np.int64)
+        index_inj = self._j_sent[win_inj]
+        self._j_sent[win_inj] = index_inj + 1
+        downs[is_inj] = self._j_down[win_inj]
+        index_net = rem[win_net]
+        rem[win_net] = index_net + 1
+        downs[~is_inj] = self._k_down[win_net]
+        recv[downs] += 1
+        active_mask = self._k_active
+        fresh = ~active_mask[downs]
+        if fresh.any():
+            new_ids = downs[fresh]
+            start = self._va_n
+            self._va[start : start + new_ids.size] = new_ids
+            self._va_n = start + new_ids.size
+            active_mask[new_ids] = True
+        # Header and tail events are per-message (1/M of the flit volume):
+        # scalar loops over the few matching winners.
+        if win_inj.size:
+            owners = self._j_owner
+            for iid in win_inj[index_inj == 0].tolist():
+                owners[iid].hops += 1
+            tails = win_inj[index_inj + 1 == self._j_len[win_inj]]
+            for iid in tails.tolist():
+                self._j_release(iid)
+        if win_net.size:
+            owners = self._k_owner
+            for vid in win_net[index_net == 0].tolist():
+                owners[vid].hops += 1
+            tails = win_net[index_net + 1 == self._k_len[win_net]]
+            for vid in tails.tolist():
+                self._k_release(vid)
+        self._flit_transfers += winners.size
+        self._last_progress_cycle = cycle
+
+    # ------------------------------------------------------------------ #
+    # stage 5: ejection / absorption drain (vectorized)
+    # ------------------------------------------------------------------ #
+    def _drain(self, cycle: int) -> None:
+        count = self._va_n
+        if not count:
+            return
+        active = self._va[:count]
+        draining = (self._k_sink != SINK_NONE) & (self._k_recv > self._k_rem)
+        sinking = active[draining[active]]
+        if not sinking.size:
+            return
+        received = self._k_recv[sinking]
+        tail_seen = received == self._k_len[sinking]
+        self._k_rem[sinking] = received
+        self._last_progress_cycle = cycle
+        finished = sinking[tail_seen]
+        if not finished.size:
+            return
+        pv = self._pv
+        for vid in finished.tolist():
+            message = self._k_owner[vid]
+            assert message is not None
+            node = vid // pv
+            sink = int(self._k_sink[vid])
+            self._k_release(vid)
+            if sink == SINK_FINAL:
+                self._collector.message_delivered(
+                    MessageRecord(
+                        message_id=message.message_id,
+                        source=message.source,
+                        destination=message.destination,
+                        length=message.length,
+                        created=message.created,
+                        injected=message.injected,
+                        delivered=cycle,
+                        hops=message.hops,
+                        absorptions=message.absorptions,
+                    )
+                )
+            elif sink == SINK_INTERMEDIATE:
+                self._register_absorption(message, node, fault=False)
+                self._routing.on_intermediate_target_reached(node, message.header)
+                self._layers[node].enqueue_reinjection(message, cycle)
+                self._pending_nodes.add(node)
+            elif sink == SINK_FAULT:
+                self._register_absorption(message, node, fault=True)
+                self._routing.rewrite_after_absorption(node, message.header)
+                self._layers[node].enqueue_reinjection(message, cycle)
+                self._pending_nodes.add(node)
+
+    # ------------------------------------------------------------------ #
+    # channel release helpers
+    # ------------------------------------------------------------------ #
+    def _j_release(self, iid: int) -> None:
+        self._j_owner[iid] = None
+        self._j_len[iid] = 0
+        self._j_sent[iid] = 0
+        self._j_out_port[iid] = -1
+        self._j_down[iid] = -1
+        self._j_key[iid] = -1
+        self._j_pending[iid] = None
+        self._pj_has[iid] = False
+        self._j_active[iid] = False
+        self._ja_dirty = True
+
+    def _k_release(self, vid: int) -> None:
+        self._k_owner[vid] = None
+        self._k_free[vid] = True
+        self._k_len[vid] = 0
+        self._k_recv[vid] = 0
+        self._k_rem[vid] = 0
+        self._k_out_port[vid] = -1
+        self._k_down[vid] = -1
+        self._k_key[vid] = -1
+        self._k_sink[vid] = SINK_NONE
+        self._k_pending[vid] = None
+        self._pk_has[vid] = False
+        self._k_active[vid] = False
+        self._va_dirty = True

@@ -33,6 +33,9 @@ __all__ = [
 
 #: Traffic processes accepted by ``traffic_process``.
 _TRAFFIC_PROCESSES = ("poisson", "bernoulli", "periodic")
+#: Engine implementations accepted by ``engine`` (``"auto"`` defers to the
+#: ``REPRO_ENGINE`` environment variable, then the dict reference engine).
+_ENGINE_CHOICES = ("auto", "dict", "array")
 #: Routing algorithms that implement software re-routing.
 _FAULT_TOLERANT_ROUTINGS = ("swbased-deterministic", "swbased-adaptive")
 
@@ -89,6 +92,23 @@ class SimulationConfig:
         default is far above the livelock bound of any supported fault
         pattern (the :class:`~repro.core.livelock.LivelockGuard` fires first
         on those); ``None`` disables the valve.
+    engine:
+        Engine implementation: ``"dict"`` is the object-per-virtual-channel
+        reference engine, ``"array"`` the struct-of-arrays kernel
+        (:mod:`repro.network.kernel`), and ``"auto"`` (the default) defers to
+        the ``REPRO_ENGINE`` environment variable, falling back to ``"dict"``.
+        Both engines are bit-identical for a given seed (pinned by
+        ``tests/test_engine_golden.py``), so the choice is pure implementation
+        selection and is **excluded** from :func:`config_key` /
+        :func:`config_hash` — the same point simulated by either engine has
+        one content-address.
+    drain_max_cycles:
+        Cycle budget of :meth:`SimulationEngine.drain` (the hand-injection
+        helper used by tests and examples).  ``None`` (the default) scales the
+        historical 50 000-cycle budget with the network size so a loaded
+        16×16 mesh can still empty; small meshes keep the old value.  Never
+        consulted by :meth:`SimulationEngine.run`, hence also excluded from
+        the content-address.
     keep_records:
         Retain per-message records in the result (memory-hungry; tests only).
     trace_rerouting:
@@ -122,6 +142,8 @@ class SimulationConfig:
     seed: int = 1
     saturation_queue_limit: Optional[float] = 25.0
     max_absorptions_per_message: Optional[int] = 10_000
+    engine: str = "auto"
+    drain_max_cycles: Optional[int] = None
     keep_records: bool = False
     trace_rerouting: bool = False
     rerouting_trace_depth: int = 64
@@ -169,6 +191,14 @@ class SimulationConfig:
         if self.max_absorptions_per_message is not None and self.max_absorptions_per_message < 1:
             raise ConfigurationError(
                 "max_absorptions_per_message must be positive (or None to disable the valve)"
+            )
+        if self.engine not in _ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; known: {_ENGINE_CHOICES}"
+            )
+        if self.drain_max_cycles is not None and self.drain_max_cycles < 1:
+            raise ConfigurationError(
+                "drain_max_cycles must be positive (or None for the size-scaled default)"
             )
         if self.rerouting_trace_depth < 1:
             raise ConfigurationError("rerouting_trace_depth must be at least 1")
@@ -223,8 +253,13 @@ class SimulationConfig:
 
 
 #: Fields excluded from the content-address: presentation-only state whose
-#: value never changes the simulated dynamics.
-_KEY_EXCLUDED_FIELDS = frozenset({"metadata"})
+#: value never changes the simulated dynamics.  ``engine`` selects between
+#: bit-identical implementations (the dict reference engine and the array
+#: kernel produce the same metrics for the same seed), and
+#: ``drain_max_cycles`` only budgets the hand-injection ``drain`` helper that
+#: ``run`` never calls — including either would split the content-address of
+#: otherwise identical results.
+_KEY_EXCLUDED_FIELDS = frozenset({"metadata", "engine", "drain_max_cycles"})
 
 
 def config_key(config: "SimulationConfig") -> Tuple:

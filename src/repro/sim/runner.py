@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -9,6 +10,7 @@ from repro.core.livelock import LivelockGuard
 from repro.errors import ConfigurationError
 from repro.metrics.collectors import NetworkMetrics
 from repro.network.engine import SimulationEngine
+from repro.network.kernel import ArraySimulationEngine
 from repro.routing.registry import make_routing
 from repro.sim.config import SimulationConfig
 from repro.telemetry.profile import StageProfiler
@@ -20,7 +22,33 @@ from repro.traffic.generators import (
 )
 from repro.traffic.patterns import make_pattern
 
-__all__ = ["SimulationResult", "build_engine", "run_simulation"]
+__all__ = ["SimulationResult", "build_engine", "resolve_engine", "run_simulation"]
+
+#: Environment variable consulted when ``SimulationConfig.engine`` is "auto".
+ENV_ENGINE = "REPRO_ENGINE"
+
+#: Engine implementations selectable via config / environment.
+_ENGINE_CLASSES = {"dict": SimulationEngine, "array": ArraySimulationEngine}
+
+
+def resolve_engine(config: SimulationConfig) -> str:
+    """The engine implementation name a config resolves to.
+
+    ``config.engine`` wins when explicit; ``"auto"`` defers to the
+    ``REPRO_ENGINE`` environment variable and finally to the ``"dict"``
+    reference engine.  Both implementations are bit-identical (pinned by the
+    golden matrix), so this choice never affects results or content-addresses
+    — only wall-clock speed.
+    """
+    choice = config.engine
+    if choice == "auto":
+        choice = os.environ.get(ENV_ENGINE, "").strip().lower() or "dict"
+    if choice not in _ENGINE_CLASSES:
+        raise ConfigurationError(
+            f"unknown engine {choice!r} (from config.engine or ${ENV_ENGINE}); "
+            f"known: {sorted(_ENGINE_CLASSES)} (or 'auto')"
+        )
+    return choice
 
 
 @dataclass
@@ -84,8 +112,13 @@ def build_engine(
     Useful for tests and examples that want to drive the engine cycle by cycle
     or inject messages by hand.  ``stage_profiler`` opts the engine into
     per-stage wall-time accounting (see :mod:`repro.telemetry.profile`).
+
+    The implementation class is chosen by :func:`resolve_engine`
+    (``config.engine``, then ``REPRO_ENGINE``, then the dict reference
+    engine); both produce bit-identical metrics for a given seed.
     """
     config.validate()
+    engine_cls = _ENGINE_CLASSES[resolve_engine(config)]
     routing_kwargs = {}
     if config.trace_rerouting:
         # Only the fault-tolerant factories accept the trace knobs (validate()
@@ -106,7 +139,7 @@ def build_engine(
     )
     traffic = _make_traffic(config)
     guard = LivelockGuard(topology=config.topology, faults=config.faults)
-    return SimulationEngine(
+    return engine_cls(
         topology=config.topology,
         routing=routing,
         traffic=traffic,
@@ -122,6 +155,7 @@ def build_engine(
         livelock_guard=guard,
         saturation_queue_limit=config.saturation_queue_limit,
         max_absorptions_per_message=config.max_absorptions_per_message,
+        drain_max_cycles=config.drain_max_cycles,
         keep_records=config.keep_records,
         stage_profiler=stage_profiler,
     )

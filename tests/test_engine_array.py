@@ -1,0 +1,118 @@
+"""Dict-vs-array engine equivalence: the array kernel must be bit-identical.
+
+The golden matrix (``tests/test_engine_golden.py``) pins both engines against
+committed values; this suite compares them *directly* against each other on a
+wider sweep — every routing family, both traffic processes, faults, a nonzero
+reinjection delay — down to the retained per-message records.  Any divergence
+in RNG draw order, cycle accounting or delivery order shows up here as a
+record-level diff long before it would move an aggregate metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faults.model import FaultSet
+from repro.network.engine import SimulationEngine
+from repro.network.kernel import ArraySimulationEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import ENV_ENGINE, build_engine, resolve_engine
+from repro.topology.mesh import MeshTopology
+from repro.topology.torus import TorusTopology
+
+
+def _mesh6x6():
+    return MeshTopology(radix=6, dimensions=2)
+
+
+def _torus4x4x4():
+    return TorusTopology(radix=4, dimensions=3)
+
+
+def _sweep_cases():
+    """Routing × traffic-process sweep on a mesh and a torus, faults where legal."""
+    fault_free = FaultSet.empty()
+    cases = []
+    seed = 301
+    for topo_name, topo in (("mesh6x6", _mesh6x6), ("torus4x4x4", _torus4x4x4)):
+        for routing, num_vcs, faults in (
+            ("dimension-order", 2, fault_free),
+            ("duato", 3, fault_free),
+            ("fully-adaptive", 3, fault_free),
+            ("negative-first", 2, fault_free),
+            ("swbased-deterministic", 2, FaultSet.from_nodes([9])),
+            ("swbased-adaptive", 4, FaultSet.from_nodes([9, 10])),
+        ):
+            if topo_name == "torus4x4x4" and routing == "negative-first":
+                continue  # turn-model routing is mesh-only
+            for process in ("bernoulli", "poisson"):
+                name = f"{topo_name}-{routing}-{process}"
+                cases.append(
+                    (
+                        name,
+                        SimulationConfig(
+                            topology=topo(),
+                            routing=routing,
+                            num_virtual_channels=num_vcs,
+                            buffer_depth=2,
+                            message_length=8,
+                            injection_rate=0.02,
+                            traffic_process=process,
+                            faults=faults,
+                            reinjection_delay=3,
+                            warmup_messages=10,
+                            measure_messages=120,
+                            max_cycles=100_000,
+                            seed=seed,
+                            keep_records=True,
+                        ),
+                    )
+                )
+                seed += 1
+    return cases
+
+
+_CASES = _sweep_cases()
+
+
+@pytest.mark.parametrize("name,config", _CASES, ids=[name for name, _ in _CASES])
+def test_array_engine_is_bit_identical_to_dict_engine(name, config):
+    dict_engine = build_engine(dataclasses.replace(config, engine="dict"))
+    array_engine = build_engine(dataclasses.replace(config, engine="array"))
+    dict_metrics = dict_engine.run()
+    array_metrics = array_engine.run()
+    assert array_metrics.as_dict() == dict_metrics.as_dict(), name
+    dict_records = dict_engine.collector.records
+    array_records = array_engine.collector.records
+    assert len(array_records) == len(dict_records), name
+    for expected, actual in zip(dict_records, array_records):
+        assert actual == expected, name
+
+
+class TestEngineSelection:
+    def test_explicit_config_choice_wins(self):
+        assert resolve_engine(SimulationConfig(engine="dict")) == "dict"
+        assert resolve_engine(SimulationConfig(engine="array")) == "array"
+
+    def test_auto_defers_to_environment(self, monkeypatch):
+        config = SimulationConfig(engine="auto")
+        monkeypatch.delenv(ENV_ENGINE, raising=False)
+        assert resolve_engine(config) == "dict"
+        monkeypatch.setenv(ENV_ENGINE, "array")
+        assert resolve_engine(config) == "array"
+        # the explicit config field still beats the environment
+        assert resolve_engine(SimulationConfig(engine="dict")) == "dict"
+
+    def test_build_engine_constructs_the_resolved_class(self):
+        assert type(build_engine(SimulationConfig(engine="dict"))) is SimulationEngine
+        assert (
+            type(build_engine(SimulationConfig(engine="array")))
+            is ArraySimulationEngine
+        )
+
+    def test_array_engine_is_a_simulation_engine(self):
+        # the facade contract: everything typed against SimulationEngine
+        # (sweep executor, campaign workers, telemetry) accepts the kernel
+        assert issubclass(ArraySimulationEngine, SimulationEngine)

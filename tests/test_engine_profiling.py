@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
+
+from repro.network.kernel import ArraySimulationEngine
 from repro.sim.runner import build_engine, run_simulation
 from repro.telemetry.profile import (
     ENGINE_STAGES,
@@ -55,6 +58,40 @@ class TestStageProfiler:
         profiler = StageProfiler()
         profiler.record("inject", 0.5)
         assert profiler.as_dict() == {"inject": {"calls": 1, "seconds": 0.5}}
+
+
+class TestArrayEngineProfiling:
+    """--profile-stages composed with the array kernel.
+
+    The base ``__init__`` installs ``self.step = self._step_profiled`` when a
+    profiler is supplied; on an :class:`ArraySimulationEngine` that attribute
+    lookup resolves to the kernel's own override, so the timers wrap the
+    vectorized stage passes, not the dict engine's loops.
+    """
+
+    def test_array_run_populates_every_stage(self, small_config):
+        profiler = StageProfiler()
+        config = dataclasses.replace(small_config, engine="array")
+        result = run_simulation(config, stage_profiler=profiler)
+        assert result.metrics.delivered_messages > 0
+        assert set(profiler.stages) == set(ENGINE_STAGES)
+        for stat in profiler.stages.values():
+            assert stat.calls > 0
+            assert stat.seconds >= 0.0
+
+    def test_array_profiled_step_is_the_kernel_override(self, small_config):
+        config = dataclasses.replace(small_config, engine="array")
+        timed = build_engine(config, stage_profiler=StageProfiler())
+        assert isinstance(timed, ArraySimulationEngine)
+        assert vars(timed)["step"].__func__ is ArraySimulationEngine._step_profiled
+        untimed = build_engine(config)
+        assert "step" not in vars(untimed)
+
+    def test_array_profiled_run_matches_untimed_dict_run(self, small_config):
+        plain = run_simulation(small_config)  # dict reference engine, untimed
+        config = dataclasses.replace(small_config, engine="array")
+        profiled = run_simulation(config, stage_profiler=StageProfiler())
+        assert profiled.metrics.as_dict() == plain.metrics.as_dict()
 
 
 class TestProfileCall:

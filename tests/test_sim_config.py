@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.faults.model import FaultSet
-from repro.sim.config import SimulationConfig
+from repro.network.engine import SimulationEngine
+from repro.sim.config import SimulationConfig, config_hash, config_key
+from repro.sim.runner import build_engine
+from repro.topology.mesh import MeshTopology
 from repro.topology.torus import TorusTopology
 
 
@@ -99,3 +104,69 @@ class TestValidation:
             faults=FaultSet.from_nodes([5, 9]),
         )
         config.validate()
+
+
+class TestEngineField:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(engine="gpu").validate()
+
+    def test_known_engine_choices_pass_validation(self):
+        for engine in ("auto", "dict", "array"):
+            SimulationConfig(engine=engine).validate()
+
+    def test_invalid_drain_max_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(drain_max_cycles=0).validate()
+
+
+class TestConfigKeyStability:
+    """``config_key``/``config_hash`` identify the *simulated point*, not the
+    implementation that runs it.  The pinned digests below were recorded
+    before the ``engine`` and ``drain_max_cycles`` fields existed; they must
+    never change for existing configurations, or every content-addressed
+    campaign store on disk silently orphans its results.
+    """
+
+    PINNED_DEFAULT_HASH = "613bee3d0abf21405948fdf8a6f567bdcdcefc9ce77d89a3d26dad2403248c16"
+    PINNED_FAULTY_HASH = "e01a0bfe848cc32ce07630f392484a15bd26d4277831d798a46cd645b2d117a9"
+
+    def test_default_config_hash_is_pinned(self):
+        assert config_hash(SimulationConfig()) == self.PINNED_DEFAULT_HASH
+
+    def test_faulty_config_hash_is_pinned(self):
+        config = SimulationConfig(
+            topology=MeshTopology(radix=4, dimensions=2),
+            routing="swbased-adaptive",
+            num_virtual_channels=4,
+            faults=FaultSet.from_nodes([5]),
+            seed=7,
+        )
+        assert config_hash(config) == self.PINNED_FAULTY_HASH
+
+    def test_engine_choice_is_excluded_from_the_key(self):
+        base = SimulationConfig()
+        for engine in ("auto", "dict", "array"):
+            variant = dataclasses.replace(base, engine=engine)
+            assert config_key(variant) == config_key(base)
+            assert config_hash(variant) == self.PINNED_DEFAULT_HASH
+
+    def test_drain_budget_is_excluded_from_the_key(self):
+        base = SimulationConfig()
+        variant = dataclasses.replace(base, drain_max_cycles=123_456)
+        assert config_key(variant) == config_key(base)
+        assert config_hash(variant) == self.PINNED_DEFAULT_HASH
+
+
+class TestDrainBudget:
+    def test_default_budget_scales_with_node_count(self):
+        small = build_engine(SimulationConfig(topology=TorusTopology(radix=4, dimensions=2)))
+        assert small.drain_max_cycles == SimulationEngine.DRAIN_MAX_CYCLES
+        large = build_engine(
+            SimulationConfig(topology=MeshTopology(radix=16, dimensions=2))
+        )
+        assert large.drain_max_cycles == SimulationEngine.DRAIN_CYCLES_PER_NODE * 256
+
+    def test_explicit_budget_overrides_the_default(self):
+        config = SimulationConfig(drain_max_cycles=777)
+        assert build_engine(config).drain_max_cycles == 777
