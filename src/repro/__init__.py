@@ -95,7 +95,9 @@ from repro.campaign import (
     campaign_status,
     merge_campaign,
     run_campaign,
+    work_campaign,
 )
+from repro.execution import ExecutionContext
 from repro.topology import MeshTopology, TorusTopology
 from repro.traffic import PoissonTraffic, make_pattern
 
@@ -157,12 +159,15 @@ __all__ = [
     "open_backend",
     "register_backend",
     "scan_backend",
+    # execution context
+    "ExecutionContext",
     # campaigns
     "CampaignPlan",
     "PointStore",
     "campaign_status",
     "merge_campaign",
     "run_campaign",
+    "work_campaign",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -1,0 +1,103 @@
+"""The stable public facade: every blessed entry point in one import.
+
+The library grew layer by layer — simulator, experiments, backends,
+campaigns, telemetry, the serve daemon — and each layer has its own module
+namespace with its own internals.  Scripts and downstream tools should not
+have to know which of those modules an entry point happens to live in (or
+chase it when a refactor moves it).  ``repro.api`` is the compatibility
+surface: the names re-exported here are the ones the README documents, the
+CLI wraps, and future versions keep importable from exactly this module.
+
+    from repro import api
+
+    ctx = api.ExecutionContext.resolve(jobs=4, backend="sqlite://points.db")
+    curves = api.run_experiment("fig3", context=ctx)
+
+    plan = api.CampaignPlan.from_experiment("fig3", replications=2)
+    plan.save("campaigns/fig3")
+    api.work_campaign("campaigns/fig3")
+
+Everything here is a re-export; the implementations live (and are
+documented) in their home modules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends.base import ResultBackend
+from repro.backends.registry import open_backend, scan_backend
+from repro.campaign.plan import SIMULATING_FIGURES, CampaignPlan
+from repro.campaign.runner import (
+    CampaignTransport,
+    campaign_status,
+    merge_campaign,
+    run_campaign,
+    work_campaign,
+)
+from repro.errors import ConfigurationError
+from repro.execution import ExecutionContext
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale
+from repro.serve.client import open_remote_campaign
+from repro.serve.daemon import CampaignServer, CampaignService
+from repro.sim.config import SimulationConfig, config_hash
+from repro.sim.parallel import SweepExecutor
+from repro.sim.runner import SimulationResult, run_simulation
+
+__all__ = [
+    # execution knobs
+    "ExecutionContext",
+    "ExperimentScale",
+    "DEFAULT_SCALE",
+    # one-shot simulation
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "config_hash",
+    "SweepExecutor",
+    # figure experiments
+    "EXPERIMENTS",
+    "SIMULATING_FIGURES",
+    "run_experiment",
+    # result storage
+    "ResultBackend",
+    "open_backend",
+    "scan_backend",
+    # campaign lifecycle
+    "CampaignPlan",
+    "CampaignTransport",
+    "run_campaign",
+    "work_campaign",
+    "merge_campaign",
+    "campaign_status",
+    # the service daemon
+    "CampaignServer",
+    "CampaignService",
+    "open_remote_campaign",
+    # errors
+    "ConfigurationError",
+]
+
+
+def run_experiment(
+    figure: str, context: Optional[ExecutionContext] = None, **kwargs
+):
+    """Run one figure experiment by id under an execution context.
+
+    The programmatic twin of ``python -m repro experiment <figure>``:
+    ``figure`` is a key of :data:`EXPERIMENTS` (``"fig1"``, ``"fig3"`` …
+    ``"fig7"``), ``context`` carries the jobs/replications/backend/scale
+    decisions (default: resolve from the environment), and any extra
+    keyword arguments go to the figure's ``run()`` unchanged.
+    """
+    try:
+        module = EXPERIMENTS[figure]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown figure {figure!r}: expected one of "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    if context is None:
+        context = ExecutionContext.resolve()
+    return module.run(context=context, **kwargs)

@@ -127,6 +127,17 @@ class ResultBackend(ABC):
         """Key lookup that, unlike :meth:`get`, touches no hit/miss counter."""
         return self.key_of(config) in self
 
+    def metrics_for(self, key) -> Optional[NetworkMetrics]:
+        """The stored metrics for ``key``, or ``None`` — no counter updates.
+
+        The read the serve daemon's series assembly and record endpoint use:
+        they address by *plan key* (the campaign manifest already carries
+        every configuration), so rebuilding a config just to hash it again
+        would be wasted work, and an assembly pass must not skew the
+        hit/miss accounting that reports cache effectiveness.
+        """
+        return self._lookup(key)
+
     # ------------------------------------------------------------------ #
     # storage primitives
     # ------------------------------------------------------------------ #

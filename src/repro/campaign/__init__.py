@@ -51,6 +51,7 @@ from repro.campaign.runner import (
     CampaignMerge,
     CampaignRunReport,
     CampaignStatus,
+    CampaignTransport,
     CampaignWorkReport,
     campaign_status,
     events_enabled,
@@ -76,6 +77,7 @@ __all__ = [
     "CampaignPlan",
     "CampaignRunReport",
     "CampaignStatus",
+    "CampaignTransport",
     "CampaignUnit",
     "CampaignWorkReport",
     "LeaseHealth",

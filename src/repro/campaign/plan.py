@@ -275,12 +275,16 @@ class CampaignPlan:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, directory) -> Path:
-        """Write the manifest to ``<directory>/campaign.json`` and return its path."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / MANIFEST_NAME
-        payload = {
+    def to_payload(self) -> dict:
+        """The manifest as a JSON-ready payload.
+
+        One serialisation for both carriers: :meth:`save` writes it to
+        ``campaign.json`` and the serve daemon's ``GET /campaigns/<id>/plan``
+        ships it to remote workers, who rebuild through
+        :meth:`from_payload` with the same integrity checks a local load
+        performs.
+        """
+        return {
             "version": _MANIFEST_VERSION,
             "kind": self.kind,
             "backend": self.backend,
@@ -290,10 +294,16 @@ class CampaignPlan:
                 for u in self.units
             ],
         }
+
+    def save(self, directory) -> Path:
+        """Write the manifest to ``<directory>/campaign.json`` and return its path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_NAME
         # Atomic publish: everything else in the lifecycle depends on this one
         # file, so a killed plan must leave either no manifest or a whole one.
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+        tmp.write_text(json.dumps(self.to_payload(), indent=1) + "\n", encoding="utf-8")
         os.replace(tmp, path)
         return path
 
@@ -341,9 +351,20 @@ class CampaignPlan:
         )
 
     @classmethod
-    def load(cls, directory) -> "CampaignPlan":
-        """Load and integrity-check the manifest of a campaign directory."""
-        path, payload = cls._read_manifest(directory)
+    def from_payload(cls, payload: object, where: str = "(payload)") -> "CampaignPlan":
+        """Rebuild and integrity-check a plan from its manifest payload.
+
+        ``where`` names the payload's origin (a manifest path, a daemon URL)
+        so every error is actionable.  The checks are the same wherever the
+        payload came from: a disk manifest and a plan fetched over HTTP are
+        equally untrusted inputs.
+        """
+        if not isinstance(payload, dict) or payload.get("version") != _MANIFEST_VERSION:
+            version = payload.get("version") if isinstance(payload, dict) else payload
+            raise ConfigurationError(
+                f"unsupported campaign manifest version {version!r} "
+                f"in {where} (this library reads version {_MANIFEST_VERSION})"
+            )
         units = []
         for position, entry in enumerate(payload["units"]):
             # Shard ownership is defined by list position (unit.index doubles
@@ -351,7 +372,7 @@ class CampaignPlan:
             # rather than let two views of ownership disagree.
             if int(entry["index"]) != position:
                 raise ConfigurationError(
-                    f"campaign unit at position {position} in {path} records "
+                    f"campaign unit at position {position} in {where} records "
                     f"index {entry['index']}; unit indices must equal their "
                     "list position — the manifest was reordered or hand-edited; "
                     "re-plan the campaign"
@@ -360,7 +381,7 @@ class CampaignPlan:
                 config = config_from_dict(entry["config"])
             except (KeyError, TypeError, ValueError) as exc:
                 raise ConfigurationError(
-                    f"campaign unit {entry.get('index')} in {path} does not "
+                    f"campaign unit {entry.get('index')} in {where} does not "
                     f"reconstruct ({exc}); the manifest was hand-edited or "
                     "written by an incompatible library version — re-plan the "
                     "campaign"
@@ -371,7 +392,7 @@ class CampaignPlan:
             key = config_hash(config)
             if key != entry["key"]:
                 raise ConfigurationError(
-                    f"campaign unit {entry['index']} in {path} hashes to {key[:12]}… "
+                    f"campaign unit {entry['index']} in {where} hashes to {key[:12]}… "
                     f"but the manifest records {entry['key'][:12]}…; the manifest "
                     "was written by an incompatible library version — re-plan the "
                     "campaign"
@@ -383,6 +404,12 @@ class CampaignPlan:
             units=units,
             backend=payload.get("backend"),
         )
+
+    @classmethod
+    def load(cls, directory) -> "CampaignPlan":
+        """Load and integrity-check the manifest of a campaign directory."""
+        path, payload = cls._read_manifest(directory)
+        return cls.from_payload(payload, where=str(path))
 
     # ------------------------------------------------------------------ #
     # shard views

@@ -107,6 +107,7 @@ __all__ = [
     "CampaignMerge",
     "CampaignRunReport",
     "CampaignStatus",
+    "CampaignTransport",
     "CampaignWorkReport",
     "campaign_status",
     "events_enabled",
@@ -125,20 +126,26 @@ def resolve_campaign_backend(
 ) -> str:
     """The backend URI a campaign invocation should use.
 
-    Precedence: the explicit ``backend`` argument (the CLI's ``--backend``
-    escape hatch), then the URI ``recorded`` in the manifest at plan time
-    (pinned like the experiment scale, so all lifecycle invocations land on
-    one store), then ``REPRO_BACKEND``, then the campaign directory itself
-    as a ``dir://`` store — the historical default layout.
+    One instance of the documented knob precedence
+    (:func:`repro.execution.resolve_backend_uri`): the explicit ``backend``
+    argument (the CLI's ``--backend`` escape hatch), then the URI
+    ``recorded`` in the manifest at plan time (pinned like the experiment
+    scale, so all lifecycle invocations land on one store), then
+    ``REPRO_BACKEND``, then the campaign directory itself as a ``dir://``
+    store — the historical default layout.  ``REPRO_CACHE_DIR`` is
+    deliberately *not* on this ladder (``cache_dir_env=False``): a cache
+    directory in the environment must not silently redirect a campaign away
+    from its recorded store.
     """
-    if backend:
-        return check_campaign_backend(backend)
-    if recorded:
-        return check_campaign_backend(recorded)
-    env = os.environ.get("REPRO_BACKEND")
-    if env:
-        return check_campaign_backend(env)
-    return f"dir://{directory}"
+    from repro.execution import resolve_backend_uri
+
+    uri = resolve_backend_uri(
+        backend,
+        manifest=recorded,
+        default=f"dir://{directory}",
+        cache_dir_env=False,
+    )
+    return check_campaign_backend(uri)
 
 
 @dataclass(frozen=True)
@@ -219,8 +226,51 @@ def _retry_count(*stores) -> int:
     return total
 
 
+@dataclass
+class CampaignTransport:
+    """Everything one worker needs from a campaign, transport-agnostic.
+
+    The work loop (:func:`work_campaign`) only ever touches a campaign
+    through this face: the integrity-checked plan, a result store the
+    executor caches against, a lease store, and a way to observe peers'
+    commits.  A *local* transport binds those to a backend URI (store scan,
+    filesystem/SQLite/object leases); a *remote* one
+    (:func:`repro.serve.client.open_remote_campaign`) binds every member to
+    the serve daemon's HTTP API — the loop is byte-for-byte the same.
+    """
+
+    plan: CampaignPlan
+    #: Human-readable origin: a backend URI, or the daemon campaign URL.
+    uri: str
+    store: object
+    leases: object
+    #: Zero-argument scan: the campaign's currently stored unit keys.
+    completed_keys: Callable[[], frozenset]
+    event_log: Optional[EventLog] = None
+
+
+def _local_transport(
+    directory, worker: str, backend: Optional[str], events: Optional[bool]
+) -> CampaignTransport:
+    """The historical shared-backend transport for one worker."""
+    plan = CampaignPlan.load(directory)
+    uri = resolve_campaign_backend(directory, backend, plan.backend)
+    return CampaignTransport(
+        plan=plan,
+        uri=uri,
+        store=open_backend(uri, member=worker_member_name(worker)),
+        leases=open_lease_store(uri),
+        # A fresh scan each round is how peers' commits are observed — an
+        # open store handle indexed the backend at open time.
+        completed_keys=lambda: scan_backend(uri).keys,
+        event_log=(
+            _open_campaign_events(uri, worker) if events_enabled(events) else None
+        ),
+    )
+
+
 def work_campaign(
-    directory,
+    directory=None,
     worker: Optional[str] = None,
     ttl: float = 60.0,
     jobs: int = 1,
@@ -231,6 +281,7 @@ def work_campaign(
     events: Optional[bool] = None,
     clock: Callable[[], float] = time.time,
     sleep: Callable[[float], None] = time.sleep,
+    server: Optional[str] = None,
 ) -> CampaignWorkReport:
     """One work-stealing worker: claim, simulate, commit, release, repeat.
 
@@ -249,6 +300,14 @@ def work_campaign(
     records.  The worker exits when the campaign is complete (for this
     plan's unit set) or its ``max_units`` simulation budget is spent.
 
+    With ``server`` (the CLI's ``campaign work --server URL``) the worker
+    binds to a ``repro serve`` daemon instead of a directory: the plan is
+    fetched from ``GET /campaigns/<id>/plan`` and leases, peer observation
+    and result commits all go over the daemon's HTTP API — no shared
+    filesystem, same loop, and the merged campaign is still bit-identical
+    to a single-shot run because the commits land in the daemon's
+    content-addressed backend.
+
     A heartbeat thread renews held leases at ``ttl / 3`` and publishes the
     worker's counters for ``campaign status --json``; ``ttl`` should
     comfortably exceed the longest single simulation so a *healthy*
@@ -259,7 +318,9 @@ def work_campaign(
     JSONL event log beside the results (:mod:`repro.telemetry.events`):
     run start/finish, lease claims/reclaims/releases/waits, per-unit
     commits with wall time, and blob retry/giveup faults — what ``repro
-    campaign tail`` follows.
+    campaign tail`` follows.  Event logs live beside the backend, which a
+    remote worker cannot reach, so ``--server`` runs log a warning and
+    disable them.
     """
     if ttl <= 0:
         raise ConfigurationError(
@@ -272,13 +333,58 @@ def work_campaign(
             f"(got {max_units}); omit it to run every pending unit"
         )
     worker = worker if worker else default_worker_id()
-    plan = CampaignPlan.load(directory)
-    uri = resolve_campaign_backend(directory, backend, plan.backend)
-    store = open_backend(uri, member=worker_member_name(worker))
-    leases = open_lease_store(uri)
-    event_log = (
-        _open_campaign_events(uri, worker) if events_enabled(events) else None
+    if server is not None:
+        if directory is not None or backend is not None:
+            raise ConfigurationError(
+                "--server replaces the campaign directory and --backend: the "
+                "daemon owns the manifest and the store — drop them, or drop "
+                "--server to work a local campaign"
+            )
+        if events_enabled(events):
+            logger.warning(
+                "event tracing is backend-side and unavailable over --server; "
+                "events disabled for this worker"
+            )
+        # Imported lazily: the serve package is HTTP-face machinery a
+        # filesystem worker never needs.
+        from repro.serve.client import open_remote_campaign
+
+        transport = open_remote_campaign(server, worker)
+    elif directory is not None:
+        transport = _local_transport(directory, worker, backend, events)
+    else:
+        raise ConfigurationError(
+            "work_campaign needs a campaign directory or a --server URL "
+            "(http://host:port/campaigns/<id> on a 'repro serve' daemon)"
+        )
+    return _work_transport(
+        transport,
+        worker,
+        ttl=ttl,
+        jobs=jobs,
+        max_units=max_units,
+        poll_interval=poll_interval,
+        progress=progress,
+        clock=clock,
+        sleep=sleep,
     )
+
+
+def _work_transport(
+    transport: CampaignTransport,
+    worker: str,
+    ttl: float,
+    jobs: int,
+    max_units: Optional[int],
+    poll_interval: Optional[float],
+    progress: Optional[Callable[[SimulationResult], None]],
+    clock: Callable[[], float],
+    sleep: Callable[[float], None],
+) -> CampaignWorkReport:
+    """The claim → simulate → commit → release loop over any transport."""
+    plan, uri = transport.plan, transport.uri
+    store, leases = transport.store, transport.leases
+    event_log = transport.event_log
     hooked_stats: List[object] = []
     if event_log is not None:
         hooked_stats = _attach_retry_listener(event_log, store, leases)
@@ -294,11 +400,10 @@ def work_campaign(
     counters = {"claimed": 0, "simulated": 0, "reused": 0, "conflicts": 0, "waits": 0}
     held: set = set()
     logger.info(
-        "worker %s starting on campaign %s (%d units, backend %s)",
+        "worker %s starting on campaign %s (%d units)",
         worker,
-        directory,
-        len(plan.units),
         uri,
+        len(plan.units),
     )
 
     def status_payload() -> dict:
@@ -323,9 +428,9 @@ def work_campaign(
         while True:
             if max_units is not None and counters["simulated"] >= max_units:
                 break
-            # A fresh scan each round is how peers' commits are observed —
-            # the open store handle indexed the backend at open time.
-            done = scan_backend(uri).keys
+            # A fresh scan each round is how peers' commits are observed
+            # (over HTTP this is the daemon's keys endpoint).
+            done = transport.completed_keys()
             pending = [unit for unit in queue if unit.key not in done]
             if not pending:
                 break

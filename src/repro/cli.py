@@ -9,7 +9,11 @@ Exposes the most common workflows without writing Python:
 * ``python -m repro campaign`` — plan / run / merge / status / push / pull /
   gc of backend-stored, shardable, resumable (and cross-host) experiment
   campaigns, plus ``tail`` (follow the structured event log of a live
-  campaign) and ``watch`` (serve ``/metrics`` + ``/status`` over HTTP).
+  campaign) and ``watch`` (serve ``/metrics`` + ``/status`` over HTTP);
+* ``python -m repro serve`` — the campaign service daemon: submit plans,
+  claim leases and commit results over a JSON HTTP API (``campaign work
+  --server URL`` workers need no shared filesystem), with a live HTML
+  dashboard at ``/`` and Prometheus gauges at ``/metrics``.
 
 The CLI is a thin veneer over the public library API (``repro.SimulationConfig``
 / ``repro.run_simulation`` / ``repro.experiments`` / ``repro.campaign``);
@@ -42,9 +46,10 @@ from repro.campaign import (
     work_campaign,
 )
 from repro.errors import ConfigurationError
+from repro.execution import ExecutionContext
 from repro.experiments import EXPERIMENTS
 from repro.experiments import fig1_regions
-from repro.experiments.common import get_jobs, resolve_executor
+from repro.experiments.common import get_jobs
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.faults.regions import REGION_SHAPES, make_fault_region
@@ -262,6 +267,48 @@ def build_parser() -> argparse.ArgumentParser:
     regions = sub.add_parser("regions", help="render the Fig. 1 fault-region shapes")
     regions.add_argument("--radix", type=int, default=8, help="radix of the 2-D torus to draw")
 
+    serve = sub.add_parser(
+        "serve",
+        help="campaign service daemon: JSON API + live dashboard over HTTP",
+        description=(
+            "Host campaigns behind one stdlib HTTP daemon: POST /campaigns "
+            "submits a plan (idempotent — the id is the content-address of "
+            "the plan), GET /campaigns/<id>/status reports completion, "
+            "workers claim leases and commit results over the API ('campaign "
+            "work --server URL' needs no shared filesystem), "
+            "GET /campaigns/<id>/series returns the merged replicated series "
+            "(cached by content-address, invalidated by the store's "
+            "completed-unit count), GET / renders a live HTML dashboard and "
+            "GET /metrics exposes per-campaign Prometheus gauges.  Runs in "
+            "the foreground until interrupted."
+        ),
+    )
+    serve.add_argument(
+        "--backend", required=True,
+        help=(
+            "result backend URI every hosted campaign stores into — "
+            "dir://PATH, sqlite://PATH, obj://PATH or s3://BUCKET/PREFIX "
+            "(anonymous mem:// is rejected: workers in other processes could "
+            "never see it)"
+        ),
+    )
+    serve.add_argument(
+        "--dir", default="./.repro-serve",
+        help=(
+            "state directory for hosted campaign manifests (default "
+            "./.repro-serve); campaigns submitted before a restart are "
+            "re-hosted from it"
+        ),
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port to bind (default 8080; 0 = an ephemeral port, printed at start)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 to expose)",
+    )
+
     campaign = sub.add_parser(
         "campaign",
         help="disk-backed, shardable, resumable experiment campaigns",
@@ -380,7 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
             "content-addressed."
         ),
     )
-    work.add_argument("--dir", required=True, help="campaign directory")
+    work.add_argument(
+        "--dir", default=None,
+        help="campaign directory (or use --server to work a hosted campaign)",
+    )
+    work.add_argument(
+        "--server", default=None,
+        help=(
+            "work a campaign hosted by 'repro serve' instead of a local "
+            "directory: the campaign URL the daemon printed at submit time, "
+            "e.g. http://HOST:PORT/campaigns/ID; leases and results travel "
+            "over the API, so no shared filesystem is needed"
+        ),
+    )
     work.add_argument(
         "--worker", default=None, help="worker id (default: <hostname>-<pid>)"
     )
@@ -566,12 +625,13 @@ def _sweep_rates(max_rate: float, points: int) -> List[float]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    executor = resolve_executor(
+    context = ExecutionContext.resolve(
         jobs=args.jobs,
         replications=args.replications,
         cache_dir=args.cache_dir,
         backend=args.backend,
     )
+    executor = context.make_executor()
     config = _build_config(args, args.max_rate)
     rates = _sweep_rates(args.max_rate, args.points)
     sweep = executor.run_injection_rate_sweep(
@@ -614,24 +674,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    # Building the executor up front validates the flags (raises
+    # Resolving the context up front validates the flags (raises
     # ConfigurationError) even for figures that do not simulate (fig1 builds
-    # regions only).  Every experiment's run() accepts executor= (fig1
+    # regions only).  Every experiment's run() accepts context= (fig1
     # ignores it); forwarding unconditionally means a module that drops the
     # parameter fails loudly instead of silently building its own executor.
-    executor = resolve_executor(
+    context = ExecutionContext.resolve(
         jobs=args.jobs,
         replications=args.replications,
         cache_dir=args.cache_dir,
         backend=args.backend,
     )
-    results = EXPERIMENTS[args.figure].run(executor=executor)
+    results = EXPERIMENTS[args.figure].run(context=context)
     print(EXPERIMENTS[args.figure].summarize(results))
     return 0
 
 
 def _cmd_regions(args: argparse.Namespace) -> int:
     print(fig1_regions.summarize(fig1_regions.run(radix=args.radix)))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serve daemon pulls the whole campaign stack in,
+    # which every other subcommand should not pay for.
+    from repro.serve.daemon import CampaignServer
+
+    try:
+        server = CampaignServer(
+            args.dir, args.backend, host=args.host, port=args.port
+        )
+    except ConfigurationError as exc:
+        # Same contract as the campaign commands: misuse (port in use, an
+        # anonymous mem:// backend, …) gets the actionable message on
+        # stderr, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The bound URL is the command's output contract (scripts scrape it to
+    # find the ephemeral port), so it goes to stdout.
+    print(
+        f"serving campaign API on http://{args.host}:{server.port}/ "
+        "(dashboard at /, API under /campaigns, gauges at /metrics)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -695,7 +784,7 @@ def _cmd_campaign_work(args: argparse.Namespace) -> int:
     report = work_campaign(
         args.dir, worker=args.worker, ttl=args.ttl, jobs=get_jobs(args.jobs),
         max_units=args.max_units, poll_interval=args.poll_interval,
-        backend=args.backend, events=args.events,
+        backend=args.backend, events=args.events, server=args.server,
     )
     print(report.describe())
     return 0
@@ -816,6 +905,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "regions": _cmd_regions,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,0 +1,211 @@
+"""The unified execution context: one precedence implementation for every knob.
+
+Every entry point into the simulator — the figure ``run()`` functions, the
+CLI subcommands, the campaign runner and the serve daemon — needs the same
+four decisions made: how many worker processes, how many replications, which
+result backend (if any), and what experiment scale.  Historically each of
+them re-implemented the argument-vs-environment precedence
+(``experiments/common.py``, ``cli.py`` and ``campaign/runner.py`` each had a
+copy); :class:`ExecutionContext` is the one place those rules live now.
+
+The documented precedence, applied knob by knob::
+
+    explicit argument  >  manifest-recorded value  >  environment  >  default
+
+* ``jobs``: the ``jobs=`` argument, then ``REPRO_JOBS``, then 1 (serial —
+  plain test runs never fork).
+* ``backend``: the ``backend=`` URI argument, then the ``cache_dir=``
+  argument (shorthand for ``dir://<cache_dir>``), then the URI recorded in a
+  campaign manifest at plan time, then ``REPRO_BACKEND``, then
+  ``REPRO_CACHE_DIR`` (same ``dir://`` shorthand), then the caller's
+  default.  Campaign resolution passes ``cache_dir_env=False``: a cache
+  *directory* in the environment must not silently redirect a campaign away
+  from its manifest-adjacent store.
+* ``scale``: the ``scale=`` argument, then ``REPRO_SCALE`` (a factor applied
+  to the default scale), then the default scale.
+* a pre-built ``executor=`` overrides everything: the campaign subsystem
+  uses it to thread planning, store-backed and sharded executors through the
+  unmodified experiment code.
+
+``experiments.common.get_scale`` / ``get_jobs`` / ``get_backend_uri`` /
+``resolve_executor`` remain as thin shims over these helpers, so no caller
+breaks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.experiments.common import ExperimentScale
+    from repro.sim.parallel import SweepExecutor
+
+__all__ = [
+    "ENV_BACKEND",
+    "ENV_CACHE_DIR",
+    "ENV_JOBS",
+    "ENV_SCALE",
+    "ExecutionContext",
+    "resolve_backend_uri",
+    "resolve_jobs",
+    "resolve_scale",
+]
+
+#: Environment knobs this module owns the interpretation of.
+ENV_JOBS = "REPRO_JOBS"
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_SCALE = "REPRO_SCALE"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-process count: the argument, then ``REPRO_JOBS``, then 1.
+
+    Validated here (same contract and message as ``SweepExecutor``) so
+    resolving a context rejects a bad count eagerly — even for entry points,
+    like the non-simulating Fig. 1, that never build the executor.
+    """
+    if jobs is None:
+        env = os.environ.get(ENV_JOBS)
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid {ENV_JOBS} value {env!r}") from exc
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ConfigurationError(
+            f"jobs must be a positive integer (got {jobs!r}); "
+            "use jobs=1 for serial execution"
+        )
+    return jobs
+
+
+def resolve_backend_uri(
+    backend: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    manifest: Optional[str] = None,
+    default: Optional[str] = None,
+    cache_dir_env: bool = True,
+) -> Optional[str]:
+    """Result-backend URI by the documented precedence.
+
+    ``manifest`` is a URI recorded at plan time (campaign manifests pin
+    their store the way they pin their scale); ``default`` is the caller's
+    fallback (the campaign directory's own ``dir://`` store, or ``None`` for
+    uncached experiment runs).  ``cache_dir_env=False`` drops the
+    ``REPRO_CACHE_DIR`` rung — campaigns honour an explicit backend wherever
+    it comes from, but a cache *directory* in the environment must not
+    silently redirect one away from its recorded store.
+    """
+    if backend:
+        return backend
+    if cache_dir:
+        return f"dir://{cache_dir}"
+    if manifest:
+        return manifest
+    env = os.environ.get(ENV_BACKEND)
+    if env:
+        return env
+    if cache_dir_env:
+        env = os.environ.get(ENV_CACHE_DIR)
+        if env:
+            return f"dir://{env}"
+    return default
+
+
+def resolve_scale(scale: Optional["ExperimentScale"] = None) -> "ExperimentScale":
+    """Experiment scale: the argument, then ``REPRO_SCALE``, then the default."""
+    if scale is not None:
+        return scale
+    # Imported lazily: the experiments package pulls in every figure module,
+    # and those import this module back — at call time both are complete.
+    from repro.experiments.common import DEFAULT_SCALE
+
+    factor = os.environ.get(ENV_SCALE)
+    if factor:
+        try:
+            return DEFAULT_SCALE.scaled(float(factor))
+        except ValueError as exc:
+            raise ValueError(f"invalid {ENV_SCALE} value {factor!r}") from exc
+    return DEFAULT_SCALE
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Fully-resolved execution knobs, shared by every entry point.
+
+    Build one with :meth:`resolve` (which applies the documented
+    argument/manifest/environment precedence once) and pass it to the figure
+    ``run(context=...)`` functions, the campaign runner or the serve daemon;
+    :meth:`make_executor` turns it into the
+    :class:`~repro.sim.parallel.SweepExecutor` the run executes on.
+    """
+
+    jobs: int = 1
+    replications: int = 1
+    #: Result-backend URI backing the run, or ``None`` for no shared store.
+    backend: Optional[str] = None
+    #: Resolved experiment scale; ``None`` only on hand-built contexts
+    #: (:attr:`resolved_scale` falls back to the default).
+    scale: Optional["ExperimentScale"] = None
+    #: A pre-built executor that overrides everything else.
+    executor: Optional["SweepExecutor"] = None
+
+    @classmethod
+    def resolve(
+        cls,
+        executor: Optional["SweepExecutor"] = None,
+        jobs: Optional[int] = None,
+        replications: Optional[int] = None,
+        backend: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        scale: Optional["ExperimentScale"] = None,
+        manifest_backend: Optional[str] = None,
+        default_backend: Optional[str] = None,
+        cache_dir_env: bool = True,
+    ) -> "ExecutionContext":
+        """Apply the documented precedence once and freeze the result."""
+        return cls(
+            jobs=resolve_jobs(jobs),
+            replications=replications if replications is not None else 1,
+            backend=resolve_backend_uri(
+                backend,
+                cache_dir,
+                manifest=manifest_backend,
+                default=default_backend,
+                cache_dir_env=cache_dir_env,
+            ),
+            scale=resolve_scale(scale),
+            executor=executor,
+        )
+
+    @property
+    def resolved_scale(self) -> "ExperimentScale":
+        """The scale to run at (the default when none was resolved in)."""
+        if self.scale is not None:
+            return self.scale
+        from repro.experiments.common import DEFAULT_SCALE
+
+        return DEFAULT_SCALE
+
+    def make_executor(self) -> "SweepExecutor":
+        """The executor this context describes (a pre-built one wins)."""
+        if self.executor is not None:
+            return self.executor
+        from repro.sim.parallel import SweepExecutor
+
+        cache = None
+        if self.backend:
+            # Imported lazily: the backend registry is storage-layer
+            # machinery most experiment runs never touch.
+            from repro.backends.registry import open_backend
+
+            cache = open_backend(self.backend)
+        return SweepExecutor(
+            jobs=self.jobs, replications=self.replications, cache=cache
+        )

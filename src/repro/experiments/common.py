@@ -38,7 +38,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.execution import (
+    ENV_CACHE_DIR,
+    ExecutionContext,
+    resolve_backend_uri,
+    resolve_jobs,
+    resolve_scale,
+)
 from repro.sim.parallel import SweepExecutor
 
 __all__ = [
@@ -96,34 +102,23 @@ DEFAULT_SCALE = ExperimentScale()
 
 
 def get_scale(scale: Optional[ExperimentScale] = None) -> ExperimentScale:
-    """Resolve the experiment scale from an argument or the environment."""
-    if scale is not None:
-        return scale
-    factor = os.environ.get("REPRO_SCALE")
-    if factor:
-        try:
-            return DEFAULT_SCALE.scaled(float(factor))
-        except ValueError as exc:
-            raise ValueError(f"invalid REPRO_SCALE value {factor!r}") from exc
-    return DEFAULT_SCALE
+    """Resolve the experiment scale from an argument or the environment.
+
+    A shim over :func:`repro.execution.resolve_scale` — the single
+    precedence implementation every entry point shares.
+    """
+    return resolve_scale(scale)
 
 
 def get_jobs(jobs: Optional[int] = None) -> int:
     """Resolve the sweep worker count from an argument or ``REPRO_JOBS``.
 
-    Defaults to 1 (serial) so that plain test runs never fork.  The resolved
-    value is validated (``jobs >= 1``) by ``SweepExecutor``; to use every CPU
-    pass :func:`repro.sim.parallel.default_jobs`.
+    A shim over :func:`repro.execution.resolve_jobs`.  Defaults to 1
+    (serial) so that plain test runs never fork.  The resolved value is
+    validated (``jobs >= 1``) by ``SweepExecutor``; to use every CPU pass
+    :func:`repro.sim.parallel.default_jobs`.
     """
-    if jobs is not None:
-        return jobs
-    env = os.environ.get("REPRO_JOBS")
-    if not env:
-        return 1
-    try:
-        return int(env)
-    except ValueError as exc:
-        raise ConfigurationError(f"invalid REPRO_JOBS value {env!r}") from exc
+    return resolve_jobs(jobs)
 
 
 def get_cache_dir(cache_dir: Optional[str] = None) -> Optional[str]:
@@ -134,7 +129,7 @@ def get_cache_dir(cache_dir: Optional[str] = None) -> Optional[str]:
     """
     if cache_dir is not None:
         return cache_dir
-    return os.environ.get("REPRO_CACHE_DIR") or None
+    return os.environ.get(ENV_CACHE_DIR) or None
 
 
 def get_backend_uri(
@@ -142,23 +137,14 @@ def get_backend_uri(
 ) -> Optional[str]:
     """Resolve the result-backend URI from arguments or the environment.
 
-    Precedence (arguments beat the environment, and the explicit backend
-    beats the directory shorthand at each level): the ``backend`` URI
-    argument, then the ``cache_dir`` argument (shorthand for
-    ``dir://<cache_dir>``), then ``REPRO_BACKEND``, then ``REPRO_CACHE_DIR``
-    (same shorthand), else ``None`` — no shared backend.
+    A shim over :func:`repro.execution.resolve_backend_uri`.  Precedence
+    (arguments beat the environment, and the explicit backend beats the
+    directory shorthand at each level): the ``backend`` URI argument, then
+    the ``cache_dir`` argument (shorthand for ``dir://<cache_dir>``), then
+    ``REPRO_BACKEND``, then ``REPRO_CACHE_DIR`` (same shorthand), else
+    ``None`` — no shared backend.
     """
-    if backend:
-        return backend
-    if cache_dir:
-        return f"dir://{cache_dir}"
-    env = os.environ.get("REPRO_BACKEND")
-    if env:
-        return env
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return f"dir://{env}"
-    return None
+    return resolve_backend_uri(backend, cache_dir)
 
 
 def resolve_executor(
@@ -170,24 +156,26 @@ def resolve_executor(
 ) -> SweepExecutor:
     """The sweep executor an experiment (or the CLI) should run on.
 
-    A pre-built ``executor`` wins outright — that is how the campaign
-    subsystem substitutes planning, store-backed and sharded executors.
-    Otherwise one is built from ``jobs``/``replications`` (with the usual
-    ``REPRO_JOBS`` fallback), backed by the result backend whose URI is
-    resolved by :func:`get_backend_uri` from ``backend`` / ``cache_dir`` /
-    ``REPRO_BACKEND`` / ``REPRO_CACHE_DIR``.
+    A shim over :meth:`repro.execution.ExecutionContext.resolve` +
+    :meth:`~repro.execution.ExecutionContext.make_executor`.  A pre-built
+    ``executor`` wins outright — that is how the campaign subsystem
+    substitutes planning, store-backed and sharded executors.  Otherwise one
+    is built from ``jobs``/``replications`` (with the usual ``REPRO_JOBS``
+    fallback), backed by the result backend whose URI is resolved from
+    ``backend`` / ``cache_dir`` / ``REPRO_BACKEND`` / ``REPRO_CACHE_DIR``.
     """
-    if executor is not None:
-        return executor
-    cache = None
-    uri = get_backend_uri(backend, cache_dir)
-    if uri:
-        # Imported lazily: the backend registry is storage-layer machinery
-        # most experiment runs never touch.
-        from repro.backends.registry import open_backend
-
-        cache = open_backend(uri)
-    return SweepExecutor(jobs=get_jobs(jobs), replications=replications, cache=cache)
+    context = ExecutionContext.resolve(
+        executor=executor,
+        jobs=jobs,
+        replications=replications,
+        cache_dir=cache_dir,
+        backend=backend,
+        # The figure run() signatures resolve their scale separately; skip
+        # the env read here so a malformed REPRO_SCALE cannot fail a caller
+        # that never uses the scale.
+        scale=DEFAULT_SCALE,
+    )
+    return context.make_executor()
 
 
 def rate_grid(max_rate: float, points: int, min_rate: Optional[float] = None) -> List[float]:

@@ -44,12 +44,14 @@ def run(
     replications: int = 1,
     executor: Optional[object] = None,
     cache_dir: Optional[str] = None,
+    context: Optional[object] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Regenerate the Fig. 1 data: each region's nodes, size and convexity.
 
-    The executor-selection arguments are accepted for CLI uniformity with
-    the other experiments and ignored: Fig. 1 builds regions without
-    simulating.
+    The executor-selection arguments (including an
+    :class:`~repro.execution.ExecutionContext`) are accepted for CLI
+    uniformity with the other experiments and ignored: Fig. 1 builds
+    regions without simulating.
     """
     topology = TorusTopology(radix=radix, dimensions=2)
     regions = build_regions(radix)

@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Union
 
 from repro.analysis.tables import series_table
-from repro.experiments.common import ExperimentScale, get_scale, rate_grid, resolve_executor
+from repro.execution import ExecutionContext
+from repro.experiments.common import ExperimentScale, rate_grid
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
@@ -69,6 +70,7 @@ def run(
     executor: Optional[SweepExecutor] = None,
     cache_dir: Optional[str] = None,
     backend: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 3 latency curves.
 
@@ -85,8 +87,17 @@ def run(
     is shared by every series, so a configured result backend serves all of
     them.
     """
-    scale = get_scale(scale)
-    executor = resolve_executor(executor, jobs, replications, cache_dir, backend)
+    if context is None:
+        context = ExecutionContext.resolve(
+            executor=executor,
+            jobs=jobs,
+            replications=replications,
+            cache_dir=cache_dir,
+            backend=backend,
+            scale=scale,
+        )
+    scale = context.resolved_scale
+    executor = context.make_executor()
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:

@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.analysis.tables import series_table
-from repro.experiments.common import ExperimentScale, get_scale, rate_grid, resolve_executor
+from repro.execution import ExecutionContext
+from repro.experiments.common import ExperimentScale, rate_grid
 from repro.faults.injection import random_node_faults
 from repro.faults.model import FaultSet
 from repro.sim.config import SimulationConfig
@@ -65,14 +66,24 @@ def run(
     executor: Optional[SweepExecutor] = None,
     cache_dir: Optional[str] = None,
     backend: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Dict[str, SweepOutput]:
     """Regenerate (a subset of) the Fig. 4 latency curves on the 8-ary 3-cube.
 
     ``jobs``/``replications``/``executor``/``cache_dir`` select the (shared)
     sweep executor; see :func:`repro.experiments.fig3_latency_2d.run`.
     """
-    scale = get_scale(scale)
-    executor = resolve_executor(executor, jobs, replications, cache_dir, backend)
+    if context is None:
+        context = ExecutionContext.resolve(
+            executor=executor,
+            jobs=jobs,
+            replications=replications,
+            cache_dir=cache_dir,
+            backend=backend,
+            scale=scale,
+        )
+    scale = context.resolved_scale
+    executor = context.make_executor()
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     fault_sets: Dict[int, FaultSet] = {}
     for count in fault_counts:

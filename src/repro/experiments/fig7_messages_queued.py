@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.saturation import theoretical_capacity
 from repro.analysis.tables import format_table
-from repro.experiments.common import ExperimentScale, get_scale, resolve_executor
+from repro.execution import ExecutionContext
+from repro.experiments.common import ExperimentScale
 from repro.sim.config import SimulationConfig
 from repro.sim.parallel import SweepExecutor
 from repro.sim.runner import SimulationResult
@@ -60,6 +61,7 @@ def run(
     executor: Optional[SweepExecutor] = None,
     cache_dir: Optional[str] = None,
     backend: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Dict[str, List[SimulationResult]]:
     """Regenerate the Fig. 7 messages-queued series.
 
@@ -67,8 +69,17 @@ def run(
     list of per-fault-count simulation results.  ``jobs``/``replications``/
     ``executor``/``cache_dir`` select the (shared) sweep executor.
     """
-    scale = get_scale(scale)
-    executor = resolve_executor(executor, jobs, replications, cache_dir, backend)
+    if context is None:
+        context = ExecutionContext.resolve(
+            executor=executor,
+            jobs=jobs,
+            replications=replications,
+            cache_dir=cache_dir,
+            backend=backend,
+            scale=scale,
+        )
+    scale = context.resolved_scale
+    executor = context.make_executor()
     topology = TorusTopology(radix=RADIX, dimensions=DIMENSIONS)
     results: Dict[str, List[SimulationResult]] = {}
     for routing in routings:

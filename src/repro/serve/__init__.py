@@ -1,0 +1,45 @@
+"""``repro.serve``: the campaign service daemon and its HTTP building blocks.
+
+* :mod:`repro.serve.app` — the shared stdlib-HTTP application layer
+  (:class:`ServeApp` routing + :class:`AppServer` lifecycle); ``campaign
+  watch`` runs on the same plumbing.
+* :mod:`repro.serve.daemon` — :class:`CampaignService` /
+  :class:`CampaignServer`: the ``repro serve`` daemon hosting campaigns over
+  one result backend (submit, status, leases, results, series, dashboard).
+* :mod:`repro.serve.series` — merged-series assembly and the
+  content-address series cache.
+* :mod:`repro.serve.client` — the worker-side HTTP client behind
+  ``campaign work --server URL``.
+"""
+
+from repro.serve.app import AppServer, HttpError, Response, ServeApp
+from repro.serve.client import (
+    RemoteLeaseStore,
+    RemoteResultStore,
+    ServeClient,
+    open_remote_campaign,
+)
+from repro.serve.daemon import (
+    CampaignServer,
+    CampaignService,
+    build_app,
+    campaign_content_id,
+)
+from repro.serve.series import SeriesCache, assemble_series
+
+__all__ = [
+    "AppServer",
+    "CampaignServer",
+    "CampaignService",
+    "HttpError",
+    "RemoteLeaseStore",
+    "RemoteResultStore",
+    "Response",
+    "ServeApp",
+    "ServeClient",
+    "SeriesCache",
+    "assemble_series",
+    "build_app",
+    "campaign_content_id",
+    "open_remote_campaign",
+]

@@ -1,0 +1,260 @@
+"""The shared stdlib-HTTP application layer for ``repro serve`` and ``watch``.
+
+``http.server`` gives us a threading socket server and nothing else; this
+module adds the three things every repro HTTP face needs and nothing more:
+
+* :class:`ServeApp` — a method+pattern route table (``/campaigns/<cid>/series``
+  style placeholders) whose dispatch turns handler return values and
+  exceptions into uniform JSON responses: :class:`HttpError` keeps its
+  status, :class:`~repro.errors.ConfigurationError` is a 400 (the caller
+  sent something invalid), anything else is a 500 that is logged and *does
+  not* kill the server.  Unknown paths are 404s; a path that exists under a
+  different method is a 405.
+* :class:`AppServer` — a :class:`~http.server.ThreadingHTTPServer` wrapper
+  with the start/stop/serve_forever/context-manager lifecycle
+  ``CampaignWatchServer`` established, reading JSON request bodies and
+  writing :class:`Response` objects.  A failure to *bind* (port already in
+  use) is re-raised as an actionable :class:`ConfigurationError` instead of
+  a raw ``OSError`` traceback.
+
+No new dependencies: the daemon must run anywhere the simulator does.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AppServer",
+    "HttpError",
+    "Response",
+    "ServeApp",
+    "html_response",
+    "json_response",
+    "text_response",
+]
+
+logger = logging.getLogger(__name__)
+
+JSON_CONTENT_TYPE = "application/json"
+
+
+class HttpError(Exception):
+    """A handler-raised error with an explicit HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Response:
+    """One HTTP response: status, body bytes and content type."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = JSON_CONTENT_TYPE
+
+
+def json_response(payload: object, status: int = 200) -> Response:
+    """``payload`` rendered as indented JSON (the API's uniform shape)."""
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    return Response(status=status, body=body, content_type=JSON_CONTENT_TYPE)
+
+
+def text_response(
+    text: str, content_type: str = "text/plain; charset=utf-8", status: int = 200
+) -> Response:
+    return Response(status=status, body=text.encode("utf-8"), content_type=content_type)
+
+
+def html_response(text: str, status: int = 200) -> Response:
+    return text_response(text, content_type="text/html; charset=utf-8", status=status)
+
+
+#: A route handler: called with the parsed JSON request body (or ``None``)
+#: plus the pattern's named path parameters; returns a :class:`Response` or
+#: any JSON-serialisable object (wrapped in a 200 ``json_response``).
+Handler = Callable[..., object]
+
+_PLACEHOLDER = re.compile(r"<([a-z_]+)>")
+
+
+def _compile(pattern: str) -> "re.Pattern[str]":
+    """``/campaigns/<cid>/leases/<key>`` → an anchored regex with named groups."""
+    regex = _PLACEHOLDER.sub(lambda m: f"(?P<{m.group(1)}>[^/]+)", re.escape(pattern).replace(r"\<", "<").replace(r"\>", ">"))
+    return re.compile("^" + regex + "$")
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str
+    regex: "re.Pattern[str]" = field(compare=False)
+    handler: Handler = field(compare=False)
+
+
+class ServeApp:
+    """A method+pattern route table with uniform JSON error handling."""
+
+    def __init__(self, name: str = "repro-serve/1") -> None:
+        self.name = name
+        self._routes: List[Route] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(
+            Route(method=method.upper(), pattern=pattern, regex=_compile(pattern), handler=handler)
+        )
+
+    def routes(self) -> List[str]:
+        return [f"{route.method} {route.pattern}" for route in self._routes]
+
+    def dispatch(self, method: str, path: str, body: object = None) -> Response:
+        """Route one request; every outcome (including bugs) is a Response."""
+        path = path.rstrip("/") or "/"
+        allowed: List[str] = []
+        for route in self._routes:
+            match = route.regex.match(path)
+            if match is None:
+                continue
+            if route.method != method:
+                if route.method not in allowed:
+                    allowed.append(route.method)
+                continue
+            try:
+                result = route.handler(body=body, **match.groupdict())
+            except HttpError as exc:
+                return json_response({"error": exc.message}, status=exc.status)
+            except ConfigurationError as exc:
+                return json_response({"error": str(exc)}, status=400)
+            except Exception as exc:  # a handler bug must not kill the server
+                logger.warning("%s %s failed: %s", method, path, exc, exc_info=True)
+                return json_response(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                )
+            if isinstance(result, Response):
+                return result
+            return json_response(result)
+        if allowed:
+            return json_response(
+                {"error": f"method {method} not allowed for {path} (try {', '.join(sorted(allowed))})"},
+                status=405,
+            )
+        return json_response(
+            {"error": f"unknown route {path}", "routes": self.routes()}, status=404
+        )
+
+
+class _AppHandler(BaseHTTPRequestHandler):
+    """One connection: parse the JSON body, dispatch, write the Response."""
+
+    server_version = "repro-serve/1"
+
+    def _handle(self, method: str) -> None:
+        app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        body: object = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                self._write(
+                    json_response({"error": "request body is not valid JSON"}, status=400)
+                )
+                return
+        self._write(app.dispatch(method, path, body=body))
+
+    def _write(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("http: %s", format % args)
+
+
+class AppServer:
+    """A :class:`ServeApp` bound to a socket, with the watch lifecycle.
+
+    ``port=0`` binds an ephemeral port (``.port`` reports the real one) —
+    how the in-process tests and the CI smoke jobs scrape it.  Binding a
+    port something else holds raises an actionable
+    :class:`ConfigurationError` instead of leaking the ``OSError``.
+    """
+
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self.host = host
+        handler = type("_BoundHandler", (_AppHandler,), {"server_version": app.name})
+        try:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot serve on http://{host}:{port} ({exc}); the port is "
+                "already in use — stop the other listener, pick a different "
+                "--port, or use --port 0 for an ephemeral one"
+            ) from exc
+        self._server.daemon_threads = True
+        self._server.app = app  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "AppServer":
+        thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"{self.app.name}:{self.port}",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self._server.serve_forever()
+        finally:
+            self._server.server_close()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "AppServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,288 @@
+"""The worker-side HTTP client for ``campaign work --server URL``.
+
+A remote worker needs exactly four capabilities, each mapped onto the serve
+daemon's JSON API so no shared filesystem is involved:
+
+* fetch the plan (``GET /campaigns/<id>/plan`` →
+  :meth:`~repro.campaign.plan.CampaignPlan.from_payload`, with the same
+  integrity checks a local manifest load performs);
+* claim/renew/release TTL leases and publish heartbeats
+  (:class:`RemoteLeaseStore`, a :class:`~repro.campaign.leases.LeaseStore`
+  whose public operations are HTTP calls — the daemon holds the lock);
+* read and commit framed result records (:class:`RemoteResultStore`, a
+  :class:`~repro.backends.base.ResultBackend` whose lookups and commits are
+  HTTP calls; the daemon re-verifies every committed record's
+  content-address, so the wire adds no trust);
+* observe peers' commits (``GET /campaigns/<id>/keys`` — the HTTP analogue
+  of a backend scan).
+
+:func:`open_remote_campaign` bundles all four into the
+:class:`~repro.campaign.runner.CampaignTransport` the work loop runs
+against, so ``work_campaign`` is byte-for-byte the same claim → simulate →
+commit → release loop either way.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import urllib.error
+import urllib.request
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.backends.base import ResultBackend
+from repro.backends.serialize import frame_record, metrics_from_dict, parse_record
+from repro.campaign.leases import LeaseRecord, LeaseStore
+from repro.campaign.plan import CampaignPlan
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RemoteLeaseStore",
+    "RemoteResultStore",
+    "ServeClient",
+    "open_remote_campaign",
+    "split_campaign_url",
+]
+
+logger = logging.getLogger(__name__)
+
+_CAMPAIGN_URL = re.compile(
+    r"^(?P<base>https?://[^/]+)/campaigns/(?P<cid>[A-Za-z0-9_.-]+)/?$"
+)
+
+
+def split_campaign_url(url: str) -> Tuple[str, str]:
+    """``http://host:port/campaigns/<id>`` → ``(base URL, campaign id)``."""
+    match = _CAMPAIGN_URL.match(url.strip())
+    if match is None:
+        raise ConfigurationError(
+            f"--server must be a campaign URL of the form "
+            f"http://host:port/campaigns/<id> (got {url!r}); list the ids "
+            "with GET /campaigns on the daemon"
+        )
+    return match.group("base"), match.group("cid")
+
+
+class ServeClient:
+    """A minimal JSON-over-HTTP client (urllib, stdlib only)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        ok_missing: bool = False,
+    ) -> Optional[dict]:
+        """One API call; HTTP 404 returns ``None`` when ``ok_missing``.
+
+        Transport failures and error statuses become
+        :class:`ConfigurationError` with the daemon's own error message, so
+        a worker pointed at a dead or wrong server fails actionably.
+        """
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404 and ok_missing:
+                return None
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                pass
+            raise ConfigurationError(
+                f"{method} {url} failed: HTTP {exc.code}"
+                + (f" — {detail}" if detail else "")
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ConfigurationError(
+                f"cannot reach the campaign server at {url} ({exc.reason}); "
+                "is 'repro serve' running and the URL correct?"
+            ) from exc
+        if not body:
+            return None
+        return json.loads(body.decode("utf-8"))
+
+
+class RemoteLeaseStore(LeaseStore):
+    """TTL leases held by the daemon, operated over HTTP.
+
+    The base class's concrete operations assume local storage primitives
+    under a local lock; here every public operation *is* one HTTP call and
+    the daemon's lease store provides the atomicity, so the public methods
+    are overridden wholesale and the storage primitives are unreachable.
+    ``reclaims`` counts takeovers this client performed, mirroring the
+    local accounting the work loop reports.
+    """
+
+    def __init__(self, client: ServeClient, campaign_id: str) -> None:
+        super().__init__()
+        self._client = client
+        self._path = f"/campaigns/{campaign_id}"
+
+    def acquire(self, key: str, worker: str, ttl: float, now: Optional[float] = None):
+        if ttl <= 0:
+            raise ConfigurationError(
+                f"lease ttl must be positive seconds (got {ttl})"
+            )
+        response = self._client.request(
+            "POST", f"{self._path}/leases", {"key": key, "worker": worker, "ttl": ttl}
+        )
+        if not response or not response.get("granted"):
+            return None
+        if response.get("reclaimed"):
+            with self._lock:
+                self.reclaims += 1
+        return LeaseRecord.from_dict(response["lease"])
+
+    def renew(self, key: str, worker: str, ttl: float, now: Optional[float] = None) -> bool:
+        response = self._client.request(
+            "PUT", f"{self._path}/leases/{key}", {"worker": worker, "ttl": ttl}
+        )
+        return bool(response and response.get("renewed"))
+
+    def release(self, key: str, worker: str) -> bool:
+        response = self._client.request(
+            "DELETE", f"{self._path}/leases/{key}", {"worker": worker}
+        )
+        return bool(response and response.get("released"))
+
+    def heartbeat(self, worker: str, payload: dict, now: Optional[float] = None) -> None:
+        self._client.request("POST", f"{self._path}/workers/{worker}", dict(payload))
+
+    def close(self) -> None:
+        pass
+
+    # The local-storage primitives never run remotely: the daemon owns them.
+    def _read(self, key):  # pragma: no cover - contract guard
+        raise NotImplementedError("remote lease state lives on the daemon")
+
+    def _write(self, record):  # pragma: no cover - contract guard
+        raise NotImplementedError("remote lease state lives on the daemon")
+
+    def _delete(self, key):  # pragma: no cover - contract guard
+        raise NotImplementedError("remote lease state lives on the daemon")
+
+    def lease_keys(self):  # pragma: no cover - contract guard
+        raise NotImplementedError("remote lease state lives on the daemon")
+
+    def _write_worker(self, record):  # pragma: no cover - contract guard
+        raise NotImplementedError("remote lease state lives on the daemon")
+
+    def _read_workers(self):  # pragma: no cover - contract guard
+        raise NotImplementedError("remote lease state lives on the daemon")
+
+
+class RemoteResultStore(ResultBackend):
+    """The daemon's result store as seen by one remote worker.
+
+    ``get``/``contains`` resolve through ``GET .../records/<key>`` and the
+    keys endpoint; ``commit`` POSTs the framed record (the daemon re-frames
+    and re-verifies it).  Key knowledge is cached grow-only: completed keys
+    never un-complete (commits are idempotent), so a stale negative only
+    costs a harmless duplicate simulation, never a wrong result.
+    """
+
+    scheme = "http"
+
+    def __init__(self, client: ServeClient, campaign_id: str, worker: str) -> None:
+        super().__init__()
+        self._client = client
+        self._path = f"/campaigns/{campaign_id}"
+        self._worker = worker
+        self._known: Optional[Set[str]] = None
+        self._total_units = 0
+
+    # -- the scan face the work loop polls ----------------------------- #
+    def completed_keys(self) -> FrozenSet[str]:
+        response = self._client.request("GET", f"{self._path}/keys") or {}
+        keys = frozenset(response.get("keys", ()))
+        self._total_units = int(response.get("total_units", len(keys)))
+        self._known = set(keys)
+        return keys
+
+    # -- ResultBackend storage hooks ----------------------------------- #
+    def _lookup(self, key):
+        response = self._client.request(
+            "GET", f"{self._path}/records/{key}", ok_missing=True
+        )
+        if response is None:
+            return None
+        _, _, metrics = parse_record(
+            response.get("record"), where=f"(served by {self._client.base_url})"
+        )
+        if self._known is not None:
+            self._known.add(key)
+        return metrics_from_dict(metrics)
+
+    def _commit(self, key, config, metrics) -> None:
+        self._client.request(
+            "POST",
+            f"{self._path}/results",
+            {"worker": self._worker, "record": frame_record(key, config, metrics)},
+        )
+        if self._known is not None:
+            self._known.add(key)
+
+    def __contains__(self, key) -> bool:
+        if self._known is None:
+            self.completed_keys()
+        return key in self._known  # type: ignore[operator]
+
+    def __len__(self) -> int:
+        return len(self.completed_keys())
+
+    def keys(self) -> FrozenSet[str]:
+        return self.completed_keys()
+
+    def members(self) -> List[Tuple[str, int]]:
+        return [("remote", len(self.completed_keys()))]
+
+    def records(self) -> Iterator[Tuple[str, dict]]:  # pragma: no cover
+        raise NotImplementedError(
+            "remote stores are not record-enumerable; sync against the "
+            "daemon's backend URI directly"
+        )
+
+    def _discard(self, keys) -> None:  # pragma: no cover - contract guard
+        raise NotImplementedError("remote workers cannot delete records")
+
+
+def open_remote_campaign(server: str, worker: str):
+    """A :class:`~repro.campaign.runner.CampaignTransport` over the HTTP API.
+
+    Fetches and integrity-checks the plan, then binds the lease and result
+    stores to the daemon.  Event logs are a backend-side feature the HTTP
+    face does not carry, so the transport has none.
+    """
+    # Imported here, not at module level: the runner imports this module
+    # lazily for --server workers, and this module needs its transport type.
+    from repro.campaign.runner import CampaignTransport
+
+    base, campaign_id = split_campaign_url(server)
+    client = ServeClient(base)
+    payload = client.request("GET", f"/campaigns/{campaign_id}/plan")
+    plan = CampaignPlan.from_payload(
+        payload, where=f"{base}/campaigns/{campaign_id}/plan"
+    )
+    store = RemoteResultStore(client, campaign_id, worker=worker)
+    return CampaignTransport(
+        plan=plan,
+        uri=f"{base}/campaigns/{campaign_id}",
+        store=store,
+        leases=RemoteLeaseStore(client, campaign_id),
+        completed_keys=store.completed_keys,
+        event_log=None,
+    )

@@ -1,0 +1,496 @@
+"""The campaign service daemon behind ``repro serve``.
+
+One long-running process hosts any number of campaigns against one result
+backend:
+
+* ``POST /campaigns`` submits a plan (a sweep's base config + rates or a
+  figure name + scale).  The campaign id is the content-address of the
+  planned work — resubmitting the same plan returns the same id with
+  ``created: false`` instead of duplicating it, and the manifest is saved
+  under ``<root>/<id>/`` so a restarted daemon re-hosts everything.
+* ``GET /campaigns`` / ``GET /campaigns/<id>/status`` report progress
+  (the latter is byte-for-byte the ``campaign status --json`` payload).
+* ``POST /campaigns/<id>/leases`` + ``PUT/DELETE .../leases/<key>`` +
+  ``POST .../workers/<worker>`` + ``POST .../results`` +
+  ``GET .../plan|keys|records/<key>`` are the remote-worker face: a
+  ``campaign work --server URL`` worker claims TTL leases, observes peers'
+  commits and stores framed records entirely over HTTP — no shared
+  filesystem.  Committed records pass the usual version check and
+  content-address re-verification, so a corrupt or mislabelled submission
+  is rejected, not stored.
+* ``GET /campaigns/<id>/series`` returns the merged replicated series,
+  cached by campaign content-address and invalidated by the store's
+  completed-unit count (:mod:`repro.serve.series`) — the repeated figure
+  request after a quiet period reads zero backend records.
+* ``GET /`` renders the inline HTML+SVG dashboard; ``GET /metrics`` exposes
+  the watch gauges for every hosted campaign, labelled by campaign id.
+
+Thread-safety: the HTTP server is threading, so result-store handles are
+opened per request (the SQLite backend is connection-per-thread); the one
+shared lease store synchronises internally, and the campaign registry is
+guarded by the service lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from repro.backends.registry import open_backend, scan_backend
+from repro.backends.serialize import frame_record
+from repro.campaign.leases import open_lease_store, worker_member_name
+from repro.campaign.plan import (
+    MANIFEST_NAME,
+    CampaignPlan,
+    CampaignUnit,
+    check_campaign_backend,
+)
+from repro.campaign.runner import campaign_status
+from repro.campaign.serialize import config_from_dict
+from repro.errors import ConfigurationError
+from repro.serve.app import AppServer, HttpError, ServeApp, html_response, text_response
+from repro.serve.dashboard import render_dashboard
+from repro.serve.series import SeriesCache, assemble_series
+
+__all__ = ["CampaignServer", "CampaignService", "build_app", "campaign_content_id"]
+
+logger = logging.getLogger(__name__)
+
+
+def campaign_content_id(plan: CampaignPlan) -> str:
+    """The campaign's content-address: a digest of what it plans to run.
+
+    Covers the kind, the spec and every unit key — two submissions hash the
+    same iff they would execute the same work, which is what makes
+    ``POST /campaigns`` idempotent.  The hosting backend is deliberately
+    excluded: the service decides storage, the plan decides work.
+    """
+    canonical = json.dumps(
+        {"kind": plan.kind, "spec": plan.spec, "keys": [u.key for u in plan.units]},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class HostedCampaign:
+    """One campaign the daemon serves: its id, manifest directory and plan."""
+
+    id: str
+    directory: Path
+    plan: CampaignPlan
+
+    @property
+    def by_key(self) -> Dict[str, CampaignUnit]:
+        # Built lazily and cached on the plan object (units never change).
+        cached = getattr(self.plan, "_units_by_key", None)
+        if cached is None:
+            cached = {unit.key: unit for unit in self.plan.units}
+            object.__setattr__(self.plan, "_units_by_key", cached)  # type: ignore[misc]
+        return cached
+
+    @property
+    def unit_keys(self) -> List[str]:
+        return [unit.key for unit in self.plan.units]
+
+
+class CampaignService:
+    """The daemon's state and request logic, independent of HTTP plumbing."""
+
+    def __init__(self, root, backend: str, registry=None) -> None:
+        self.root = Path(root)
+        self.backend = check_campaign_backend(backend)
+        self.registry = registry
+        self._lock = threading.RLock()
+        self._campaigns: "Dict[str, HostedCampaign]" = {}
+        self._series_cache = SeriesCache()
+        self._leases = open_lease_store(self.backend)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._rescan()
+
+    # ------------------------------------------------------------------ #
+    # campaign registry
+    # ------------------------------------------------------------------ #
+    def _rescan(self) -> None:
+        """Re-host every manifest under the state root (daemon restart)."""
+        for manifest in sorted(self.root.glob(f"*/{MANIFEST_NAME}")):
+            directory = manifest.parent
+            try:
+                plan = CampaignPlan.load(directory)
+            except ConfigurationError as exc:
+                logger.warning("skipping unloadable campaign %s: %s", directory, exc)
+                continue
+            cid = campaign_content_id(plan)
+            if directory.name != cid:
+                logger.warning(
+                    "campaign directory %s does not match its content id %s; "
+                    "hosting it under the recomputed id",
+                    directory,
+                    cid,
+                )
+            self._campaigns[cid] = HostedCampaign(id=cid, directory=directory, plan=plan)
+        if self._campaigns:
+            logger.info(
+                "re-hosting %d campaign(s) from %s", len(self._campaigns), self.root
+            )
+
+    def campaigns(self) -> List[HostedCampaign]:
+        with self._lock:
+            return list(self._campaigns.values())
+
+    def _get(self, cid: str) -> HostedCampaign:
+        with self._lock:
+            hosted = self._campaigns.get(cid)
+        if hosted is None:
+            raise HttpError(404, f"no campaign {cid!r} (list them at GET /campaigns)")
+        return hosted
+
+    def _plan_from_payload(self, payload: object) -> CampaignPlan:
+        if not isinstance(payload, dict):
+            raise HttpError(400, "POST /campaigns needs a JSON object body")
+        kind = payload.get("kind")
+        try:
+            replications = int(payload.get("replications", 1) or 1)
+            if kind == "sweep":
+                base = config_from_dict(payload["config"])
+                rates = [float(r) for r in payload["rates"]]
+                return CampaignPlan.from_injection_sweep(
+                    base,
+                    rates,
+                    replications=replications,
+                    label=payload.get("label"),
+                    backend=self.backend,
+                )
+            if kind == "experiment":
+                scale_spec = payload.get("scale")
+                scale = None
+                if scale_spec is not None:
+                    from repro.experiments.common import ExperimentScale
+
+                    scale = ExperimentScale(**scale_spec)
+                return CampaignPlan.from_experiment(
+                    str(payload["figure"]),
+                    replications=replications,
+                    scale=scale,
+                    seed=payload.get("seed"),
+                    backend=self.backend,
+                )
+        except HttpError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid campaign payload: {exc}") from exc
+        raise HttpError(
+            400,
+            "campaign payload needs kind 'sweep' (config + rates [+ label, "
+            "replications]) or 'experiment' (figure [+ scale, seed, replications])",
+        )
+
+    def submit(self, payload: object) -> dict:
+        plan = self._plan_from_payload(payload)
+        cid = campaign_content_id(plan)
+        with self._lock:
+            hosted = self._campaigns.get(cid)
+            created = hosted is None
+            if created:
+                directory = self.root / cid
+                plan.save(directory)
+                hosted = HostedCampaign(id=cid, directory=directory, plan=plan)
+                self._campaigns[cid] = hosted
+                logger.info(
+                    "hosting new campaign %s (%s, %d units)",
+                    cid,
+                    plan.kind,
+                    len(plan.units),
+                )
+        return {**self.summary(hosted), "created": created}
+
+    # ------------------------------------------------------------------ #
+    # read-side payloads
+    # ------------------------------------------------------------------ #
+    def summary(self, hosted: HostedCampaign) -> dict:
+        status = campaign_status(hosted.directory, backend=self.backend)
+        return {
+            "id": hosted.id,
+            "url": f"/campaigns/{hosted.id}",
+            "kind": hosted.plan.kind,
+            "backend": self.backend,
+            "total_units": status.total_units,
+            "completed_units": status.completed_units,
+            "pending_units": status.pending_units,
+            "complete": status.complete,
+        }
+
+    def list_payload(self) -> dict:
+        return {
+            "backend": self.backend,
+            "campaigns": [self.summary(hosted) for hosted in self.campaigns()],
+        }
+
+    def status_payload(self, cid: str) -> dict:
+        hosted = self._get(cid)
+        return campaign_status(hosted.directory, backend=self.backend).as_dict()
+
+    def plan_payload(self, cid: str) -> dict:
+        return self._get(cid).plan.to_payload()
+
+    def keys_payload(self, cid: str) -> dict:
+        """The campaign's stored unit keys — how remote workers observe
+        their peers' commits (the HTTP analogue of a backend scan)."""
+        hosted = self._get(cid)
+        scan = scan_backend(self.backend)
+        stored = sorted(set(hosted.unit_keys) & scan.keys)
+        return {"keys": stored, "total_units": len(hosted.unit_keys)}
+
+    def _completed_units(self, hosted: HostedCampaign) -> int:
+        scan = scan_backend(self.backend)
+        return sum(1 for key in hosted.unit_keys if key in scan.keys)
+
+    def series_payload(self, cid: str) -> dict:
+        """The merged replicated series, cached by content-address.
+
+        The cache token is the completed-unit count from a keys-only scan:
+        on a hit not a single backend *record* is read (pinned by tests);
+        any new commit changes the count and rebuilds the payload.
+        """
+        hosted = self._get(cid)
+        completed = self._completed_units(hosted)
+        cached = self._series_cache.get(hosted.id, completed)
+        if cached is not None:
+            return {**cached, "cached": True}
+        store = open_backend(self.backend)
+        try:
+            assembled = assemble_series(hosted.plan, store)
+        finally:
+            store.close()
+        payload = {
+            "id": hosted.id,
+            "kind": hosted.plan.kind,
+            "backend": self.backend,
+            "total_units": len(hosted.unit_keys),
+            "completed_units": completed,
+            "complete": completed == len(hosted.unit_keys),
+            **assembled,
+        }
+        self._series_cache.put(hosted.id, completed, payload)
+        return {**payload, "cached": False}
+
+    def record_payload(self, cid: str, key: str) -> dict:
+        hosted = self._get(cid)
+        unit = hosted.by_key.get(key)
+        if unit is None:
+            raise HttpError(404, f"unit {key!r} is not part of campaign {hosted.id}")
+        store = open_backend(self.backend)
+        try:
+            metrics = store.metrics_for(key)
+        finally:
+            store.close()
+        if metrics is None:
+            raise HttpError(404, f"unit {key!r} has no stored result yet")
+        return {"key": key, "record": frame_record(key, unit.config, metrics)}
+
+    # ------------------------------------------------------------------ #
+    # the remote-worker face
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _required(body: object, field: str) -> object:
+        if not isinstance(body, dict) or not body.get(field):
+            raise HttpError(400, f"request body needs a non-empty {field!r} field")
+        return body[field]
+
+    def lease_acquire(self, cid: str, body: object) -> dict:
+        hosted = self._get(cid)
+        worker = str(self._required(body, "worker"))
+        key = str(self._required(body, "key"))
+        ttl = float(self._required(body, "ttl"))
+        if key not in hosted.by_key:
+            raise HttpError(404, f"unit {key!r} is not part of campaign {hosted.id}")
+        # A refused claim (live foreign lease) is a normal outcome for a
+        # work-stealing worker, so it is a 200 with granted=false — errors
+        # are reserved for malformed requests.
+        before = self._leases.reclaims
+        record = self._leases.acquire(key, worker, ttl)
+        granted = record is not None
+        return {
+            "granted": granted,
+            "reclaimed": granted and self._leases.reclaims > before,
+            "lease": record.to_dict() if granted else None,
+        }
+
+    def lease_renew(self, cid: str, key: str, body: object) -> dict:
+        self._get(cid)
+        worker = str(self._required(body, "worker"))
+        ttl = float(self._required(body, "ttl"))
+        return {"renewed": self._leases.renew(key, worker, ttl)}
+
+    def lease_release(self, cid: str, key: str, body: object) -> dict:
+        self._get(cid)
+        worker = str(self._required(body, "worker"))
+        return {"released": self._leases.release(key, worker)}
+
+    def worker_heartbeat(self, cid: str, worker: str, body: object) -> dict:
+        self._get(cid)
+        payload = body if isinstance(body, dict) else {}
+        self._leases.heartbeat(worker, payload)
+        return {"ok": True}
+
+    def commit_result(self, cid: str, body: object) -> dict:
+        hosted = self._get(cid)
+        record = self._required(body, "record")
+        if not isinstance(record, dict):
+            raise HttpError(400, "the 'record' field must be a framed record object")
+        key = record.get("key")
+        if key not in hosted.by_key:
+            raise HttpError(
+                400, f"record key {key!r} is not a unit of campaign {hosted.id}"
+            )
+        worker = str(body.get("worker") or "remote") if isinstance(body, dict) else "remote"
+        store = open_backend(self.backend, member=worker_member_name(worker))
+        try:
+            # put_record version-checks and re-verifies the content address,
+            # so a corrupt or mislabelled submission raises (→ 400) here.
+            store.put_record(record)
+        finally:
+            store.close()
+        return {"stored": True, "key": key}
+
+    # ------------------------------------------------------------------ #
+    # dashboard + metrics
+    # ------------------------------------------------------------------ #
+    def dashboard_html(self) -> str:
+        views = []
+        for hosted in self.campaigns():
+            views.append(
+                {
+                    "id": hosted.id,
+                    "status": self.status_payload(hosted.id),
+                    "series": self.series_payload(hosted.id),
+                }
+            )
+        return render_dashboard(self.backend, views)
+
+    def render_metrics(self) -> str:
+        # Imported lazily to keep the telemetry module's own import of the
+        # serve app one-directional at module-load time.
+        from repro.telemetry.httpd import campaign_gauges
+        from repro.telemetry.metrics import MetricsRegistry, metrics_registry
+
+        registry = MetricsRegistry("serve")
+        for hosted in self.campaigns():
+            payload = self.status_payload(hosted.id)
+            campaign_gauges(payload, registry=registry, campaign=hosted.id)
+        text = registry.render_prometheus()
+        extra = self.registry if self.registry is not None else metrics_registry()
+        if extra is not None:
+            text += extra.render_prometheus()
+        return text
+
+    def close(self) -> None:
+        self._leases.close()
+
+
+def build_app(service: CampaignService) -> ServeApp:
+    """Wire the service's methods into the route table."""
+    app = ServeApp("repro-serve/1")
+    app.add("GET", "/", lambda body: html_response(service.dashboard_html()))
+    app.add(
+        "GET",
+        "/metrics",
+        lambda body: text_response(
+            service.render_metrics(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        ),
+    )
+    app.add("GET", "/campaigns", lambda body: service.list_payload())
+    app.add("POST", "/campaigns", lambda body: service.submit(body))
+    app.add("GET", "/campaigns/<cid>", lambda body, cid: service.summary(service._get(cid)))
+    app.add("GET", "/campaigns/<cid>/status", lambda body, cid: service.status_payload(cid))
+    app.add("GET", "/campaigns/<cid>/plan", lambda body, cid: service.plan_payload(cid))
+    app.add("GET", "/campaigns/<cid>/keys", lambda body, cid: service.keys_payload(cid))
+    app.add("GET", "/campaigns/<cid>/series", lambda body, cid: service.series_payload(cid))
+    app.add(
+        "GET",
+        "/campaigns/<cid>/records/<key>",
+        lambda body, cid, key: service.record_payload(cid, key),
+    )
+    app.add(
+        "POST", "/campaigns/<cid>/leases", lambda body, cid: service.lease_acquire(cid, body)
+    )
+    app.add(
+        "PUT",
+        "/campaigns/<cid>/leases/<key>",
+        lambda body, cid, key: service.lease_renew(cid, key, body),
+    )
+    app.add(
+        "DELETE",
+        "/campaigns/<cid>/leases/<key>",
+        lambda body, cid, key: service.lease_release(cid, key, body),
+    )
+    app.add(
+        "POST",
+        "/campaigns/<cid>/workers/<worker>",
+        lambda body, cid, worker: service.worker_heartbeat(cid, worker, body),
+    )
+    app.add(
+        "POST", "/campaigns/<cid>/results", lambda body, cid: service.commit_result(cid, body)
+    )
+    return app
+
+
+class CampaignServer:
+    """The bound daemon: a :class:`CampaignService` behind an :class:`AppServer`."""
+
+    def __init__(
+        self,
+        root,
+        backend: str,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        registry=None,
+    ) -> None:
+        self.service = CampaignService(root, backend, registry=registry)
+        self._server = AppServer(build_app(self.service), host=host, port=port)
+        self.host = host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    def start(self) -> "CampaignServer":
+        self._server.start()
+        logger.info(
+            "serving campaigns on http://%s:%d/ (backend %s, state %s)",
+            self.host,
+            self.port,
+            self.service.backend,
+            self.service.root,
+        )
+        return self
+
+    def serve_forever(self) -> None:
+        logger.info(
+            "serving campaigns on http://%s:%d/ (backend %s, state %s)",
+            self.host,
+            self.port,
+            self.service.backend,
+            self.service.root,
+        )
+        try:
+            self._server.serve_forever()
+        finally:
+            self.service.close()
+
+    def stop(self) -> None:
+        self._server.stop()
+        self.service.close()
+
+    def __enter__(self) -> "CampaignServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,148 @@
+"""The ``GET /`` dashboard: inline HTML + SVG, rendered server-side.
+
+No template engine, no JavaScript framework, no dependency: the page is a
+meta-refreshing snapshot built from the same ``status`` and ``series``
+payloads the JSON API serves (so the curves come through the series cache
+and rendering the dashboard costs no extra backend reads on a quiet
+campaign).  Each campaign gets a progress bar fed by the unit counters and
+an SVG plot of its series — latency vs injection rate for the sweep figures,
+the y-metric vs fault count for figs 6/7 — with saturated points marked.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Sequence, Tuple
+
+__all__ = ["render_dashboard"]
+
+#: Stroke colours cycled across a campaign's series (dark-on-light safe).
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+           "#17becf", "#e377c2")
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.05rem; margin-bottom: 0.2rem; }
+.campaign { border: 1px solid #d8d8e0; border-radius: 8px; padding: 1rem;
+            margin-bottom: 1.5rem; max-width: 64rem; }
+.meta { color: #555; font-size: 0.85rem; margin: 0.2rem 0 0.6rem 0; }
+.bar { background: #eceff4; border-radius: 4px; height: 14px; width: 100%;
+       overflow: hidden; }
+.bar span { display: block; height: 100%; background: #2ca02c; }
+.bar.partial span { background: #1f77b4; }
+.legend { font-size: 0.8rem; margin-top: 0.4rem; }
+.legend b { font-weight: 600; }
+.empty { color: #777; font-style: italic; }
+"""
+
+
+def _scaled(values: Sequence[float], lo: float, hi: float, size: float, pad: float) -> List[float]:
+    span = (hi - lo) or 1.0
+    return [pad + (v - lo) / span * (size - 2 * pad) for v in values]
+
+
+def _svg_plot(series_payload: dict, width: int = 520, height: int = 240) -> str:
+    """One campaign's series as an inline SVG latency/metric plot."""
+    drawable = [s for s in series_payload.get("series", ()) if s.get("points")]
+    if not drawable:
+        return '<p class="empty">no completed points yet — curves appear as replications land</p>'
+    xs = [p["x"] for s in drawable for p in s["points"]]
+    ys = [p["latency_mean"] for s in drawable for p in s["points"]]
+    x_lo, x_hi, y_lo, y_hi = min(xs), max(xs), min(ys), max(ys)
+    pad = 34.0
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        'role="img" style="background:#fbfbfd;border:1px solid #e4e4ec">',
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad / 2}" y2="{height - pad}" stroke="#888"/>',
+        f'<line x1="{pad}" y1="{pad / 2}" x2="{pad}" y2="{height - pad}" stroke="#888"/>',
+        f'<text x="{pad}" y="{height - 8}" font-size="10" fill="#555">{x_lo:.4g}</text>',
+        f'<text x="{width - pad}" y="{height - 8}" font-size="10" fill="#555" text-anchor="end">{x_hi:.4g}</text>',
+        f'<text x="4" y="{height - pad}" font-size="10" fill="#555">{y_lo:.4g}</text>',
+        f'<text x="4" y="{pad / 2 + 8}" font-size="10" fill="#555">{y_hi:.4g}</text>',
+    ]
+    legend: List[Tuple[str, str]] = []
+    for i, entry in enumerate(drawable):
+        colour = PALETTE[i % len(PALETTE)]
+        points = entry["points"]
+        px = _scaled([p["x"] for p in points], x_lo, x_hi, width, pad)
+        # SVG y grows downward; flip so larger latency plots higher.
+        py = [
+            height - v
+            for v in _scaled([p["latency_mean"] for p in points], y_lo, y_hi, height, pad)
+        ]
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(px, py))
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{colour}" stroke-width="1.6"/>'
+        )
+        for (x, y), point in zip(zip(px, py), points):
+            radius = 3.4 if point.get("saturated") else 2.2
+            fill = "#fff" if point.get("saturated") else colour
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" fill="{fill}" '
+                f'stroke="{colour}" stroke-width="1.2"/>'
+            )
+        legend.append((colour, entry["label"]))
+    parts.append("</svg>")
+    axis = html.escape(str(drawable[0].get("axis", "injection_rate")))
+    swatches = " &nbsp; ".join(
+        f'<b style="color:{colour}">—</b> {html.escape(label)}'
+        for colour, label in legend
+    )
+    parts.append(
+        f'<div class="legend">latency (cycles) vs {axis}; hollow markers are '
+        f"saturated points.<br>{swatches}</div>"
+    )
+    return "\n".join(parts)
+
+
+def _campaign_section(view: dict) -> str:
+    status = view["status"]
+    total = int(status.get("total_units", 0))
+    done = int(status.get("completed_units", 0))
+    percent = 100.0 * done / total if total else 0.0
+    bar_class = "bar" if status.get("complete") else "bar partial"
+    work = status.get("work") or {}
+    workers = work.get("workers") or []
+    active = sum(1 for row in workers if row.get("active"))
+    return "\n".join(
+        [
+            '<section class="campaign">',
+            f'<h2><a href="/campaigns/{html.escape(view["id"])}/status">{html.escape(view["id"])}</a>'
+            f' <small>({html.escape(str(status.get("kind", "?")))})</small></h2>',
+            f'<div class="meta">{done}/{total} units ({percent:.0f}%) · '
+            f'{active} active worker{"" if active == 1 else "s"} · '
+            f'{work.get("active_leases", 0)} leases · backend {html.escape(str(status.get("backend", "")))}</div>',
+            f'<div class="{bar_class}"><span style="width:{percent:.1f}%"></span></div>',
+            _svg_plot(view["series"]),
+            "</section>",
+        ]
+    )
+
+
+def render_dashboard(backend: str, views: List[dict], refresh_seconds: int = 3) -> str:
+    """The whole dashboard page for the hosted campaigns.
+
+    ``views`` is one dict per campaign: ``{"id", "status": <status --json
+    payload>, "series": <series payload>}``, in submission order.
+    """
+    sections = (
+        "\n".join(_campaign_section(view) for view in views)
+        if views
+        else '<p class="empty">no campaigns yet — POST a plan to /campaigns</p>'
+    )
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{refresh_seconds}">
+<title>repro serve — campaign dashboard</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>repro serve</h1>
+<p class="meta">backend {html.escape(backend)} · {len(views)} campaign{"" if len(views) == 1 else "s"} ·
+API: POST /campaigns · GET /campaigns · GET /campaigns/&lt;id&gt;/status · GET /campaigns/&lt;id&gt;/series · GET /metrics</p>
+{sections}
+</body>
+</html>
+"""

@@ -1,0 +1,145 @@
+"""Merged replicated series for the serve daemon, cached by content-address.
+
+:func:`assemble_series` turns a campaign's stored records into the published
+curves *without simulating anything*: the plan's units already carry the
+per-(point, replication) metadata (``series`` label, ``sweep_point`` /
+``fault_count`` position, ``replication`` index) that
+:meth:`~repro.sim.parallel.SweepExecutor.run_injection_rate_sweep` stamped at
+enumeration time, so grouping by label, ordering replications by index and
+folding each point through
+:func:`~repro.sim.parallel.aggregate_replications` reproduces the exact
+aggregation a single-shot run performs — the returned means and confidence
+intervals are bit-identical floats (stored metrics round-trip losslessly and
+the fold order is the same).  Points whose replications are not all stored
+yet are simply absent, which is what lets the dashboard render curves while
+results stream in.
+
+:class:`SeriesCache` makes the repeated-figure request O(1): the cache key is
+the campaign's content-address and the validity token is the store's
+completed-unit count for that campaign — never wall clock.  A hit returns
+the previously assembled payload without touching a single backend record; a
+new commit changes the count and invalidates exactly that campaign.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.backends.base import ResultBackend
+from repro.sim.parallel import aggregate_replications
+
+__all__ = ["SeriesCache", "assemble_series"]
+
+#: The per-point fields of a series payload (pinned by the schema tests).
+POINT_FIELDS = (
+    "latency_mean",
+    "latency_ci",
+    "throughput_mean",
+    "throughput_ci",
+    "queued_mean",
+    "queued_ci",
+    "saturated",
+    "replications",
+)
+
+
+def assemble_series(plan, store) -> dict:
+    """The merged replicated series of ``plan`` from ``store``'s records.
+
+    Returns ``{"series": [...], "total_points": N, "completed_points": M}``
+    where each series is ``{"label", "axis", "points"}`` and each point
+    carries the ``x`` position plus the :data:`POINT_FIELDS` of its
+    :class:`~repro.sim.parallel.PointAggregate`.  Only points with *every*
+    replication stored appear — a partially-replicated point would publish
+    different floats than the finished campaign.
+    """
+    replications = int(plan.spec.get("replications", 1) or 1)
+    # label -> point key -> {"x": float, "results": {replication: result}};
+    # plain dicts keep enumeration (= submission) order for labels and
+    # points, so the output is ordered like the single-shot run.
+    groups: Dict[str, Dict[Tuple, dict]] = {}
+    axis_by_label: Dict[str, str] = {}
+    for unit in plan.units:
+        metadata = unit.config.metadata or {}
+        label = str(
+            metadata.get("series")
+            or plan.spec.get("label")
+            or plan.spec.get("figure")
+            or "series"
+        )
+        if "fault_count" in metadata:
+            axis = "fault_count"
+            x = float(metadata["fault_count"])
+            point_key: Tuple = (x, int(metadata.get("fault_trial", 0)))
+        elif "sweep_point" in metadata:
+            axis = "injection_rate"
+            x = float(unit.config.injection_rate)
+            point_key = (int(metadata["sweep_point"]),)
+        else:
+            axis = "injection_rate"
+            x = float(unit.config.injection_rate)
+            point_key = ("unit", unit.index)
+        axis_by_label[label] = axis
+        point = groups.setdefault(label, {}).setdefault(
+            point_key, {"x": x, "results": {}}
+        )
+        metrics = store.metrics_for(unit.key)
+        if metrics is not None:
+            replication = int(metadata.get("replication", 0))
+            point["results"][replication] = ResultBackend.serve(unit.config, metrics)
+
+    series: List[dict] = []
+    total_points = completed_points = 0
+    for label, points in groups.items():
+        rows: List[dict] = []
+        for point_key in sorted(points):
+            point = points[point_key]
+            total_points += 1
+            if len(point["results"]) < replications:
+                continue
+            # Replication-index order is the fold order of a single-shot
+            # run_injection_rate_sweep — the bit-identity guarantee.
+            ordered = [point["results"][j] for j in sorted(point["results"])]
+            aggregate = aggregate_replications(ordered)
+            completed_points += 1
+            row = {"x": point["x"]}
+            for name in POINT_FIELDS:
+                row[name] = getattr(aggregate, name)
+            rows.append(row)
+        series.append({"label": label, "axis": axis_by_label[label], "points": rows})
+    return {
+        "series": series,
+        "total_points": total_points,
+        "completed_points": completed_points,
+    }
+
+
+class SeriesCache:
+    """Assembled-series payloads keyed by campaign content-address.
+
+    The validity token is the completed-unit count the caller observed with
+    a keys-only scan immediately before asking: counts only grow (commits
+    are idempotent and content-addressed), so an equal count proves the
+    records the cached payload was assembled from are still exactly the
+    stored set — no TTLs, no wall clock, no record reads on a hit.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Tuple[int, dict]] = {}
+
+    def get(self, campaign_id: str, completed_units: int) -> Optional[dict]:
+        with self._lock:
+            entry = self._entries.get(campaign_id)
+        if entry is None or entry[0] != completed_units:
+            return None
+        return entry[1]
+
+    def put(self, campaign_id: str, completed_units: int, payload: dict) -> None:
+        with self._lock:
+            self._entries[campaign_id] = (completed_units, payload)
+
+    def invalidate(self, campaign_id: str) -> None:
+        with self._lock:
+            self._entries.pop(campaign_id, None)

@@ -8,91 +8,90 @@
 * ``GET /status`` — the exact ``campaign status --json`` payload as
   ``application/json`` (the schema is pinned by a golden-keys test).
 
-This is the minimal first slice of the ROADMAP's campaign-service
-dashboard: no daemon framework, no dependency — just
-``http.server.ThreadingHTTPServer`` over the existing status machinery.
+Since the serve daemon landed this is a thin alias over the shared
+application layer (:mod:`repro.serve.app`): same routing, same threading
+server, same actionable port-in-use error.  ``repro serve`` is the
+multi-campaign superset — its ``/metrics`` reuses :func:`campaign_gauges`
+with a ``campaign`` label per hosted campaign.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.telemetry.metrics import MetricsRegistry, metrics_registry
 
-__all__ = ["CampaignWatchServer"]
+__all__ = ["CampaignWatchServer", "campaign_gauges"]
 
 logger = logging.getLogger(__name__)
 
 
-def _campaign_gauges(status_payload: dict) -> MetricsRegistry:
-    """A throwaway registry of per-scrape campaign gauges."""
-    registry = MetricsRegistry("campaign")
+def campaign_gauges(
+    status_payload: dict,
+    registry: Optional[MetricsRegistry] = None,
+    campaign: Optional[str] = None,
+) -> MetricsRegistry:
+    """Per-scrape campaign gauges from one ``status --json`` payload.
+
+    With no arguments this is the ``campaign watch`` form: a throwaway
+    registry, unlabelled gauges (the exact text the CI telemetry-smoke job
+    greps).  The serve daemon passes its own ``registry`` and a ``campaign``
+    id, which adds a ``campaign`` label to every gauge so one scrape covers
+    every hosted campaign.
+    """
+    registry = MetricsRegistry("campaign") if registry is None else registry
+    label_names = ("campaign",) if campaign else ()
+    labels = {"campaign": campaign} if campaign else {}
     units = registry.gauge(
-        "repro_campaign_units", "Campaign units by state.", labelnames=("state",)
+        "repro_campaign_units",
+        "Campaign units by state.",
+        labelnames=("state",) + label_names,
     )
-    units.set(status_payload.get("total_units", 0), state="total")
-    units.set(status_payload.get("completed_units", 0), state="completed")
-    units.set(status_payload.get("pending_units", 0), state="pending")
+    units.set(status_payload.get("total_units", 0), state="total", **labels)
+    units.set(status_payload.get("completed_units", 0), state="completed", **labels)
+    units.set(status_payload.get("pending_units", 0), state="pending", **labels)
     registry.gauge(
-        "repro_campaign_complete", "1 when every planned unit is stored."
-    ).set(1.0 if status_payload.get("complete") else 0.0)
+        "repro_campaign_complete",
+        "1 when every planned unit is stored.",
+        labelnames=label_names,
+    ).set(1.0 if status_payload.get("complete") else 0.0, **labels)
     registry.gauge(
-        "repro_campaign_skipped_records", "Malformed records seen by the scan."
-    ).set(status_payload.get("skipped_records", 0))
+        "repro_campaign_skipped_records",
+        "Malformed records seen by the scan.",
+        labelnames=label_names,
+    ).set(status_payload.get("skipped_records", 0), **labels)
     work = status_payload.get("work") or {}
     if work:
         leases = registry.gauge(
-            "repro_campaign_leases", "Work-stealing leases by state.",
-            labelnames=("state",),
+            "repro_campaign_leases",
+            "Work-stealing leases by state.",
+            labelnames=("state",) + label_names,
         )
-        leases.set(work.get("active_leases", 0), state="active")
-        leases.set(work.get("expired_leases", 0), state="expired")
+        leases.set(work.get("active_leases", 0), state="active", **labels)
+        leases.set(work.get("expired_leases", 0), state="expired", **labels)
         registry.gauge(
             "repro_campaign_lease_reclaims",
             "Expired leases taken over from other workers.",
-        ).set(work.get("reclaims", 0))
+            labelnames=label_names,
+        ).set(work.get("reclaims", 0), **labels)
         registry.gauge(
-            "repro_campaign_lease_retries", "Retried lease-store operations."
-        ).set(work.get("retries", 0))
+            "repro_campaign_lease_retries",
+            "Retried lease-store operations.",
+            labelnames=label_names,
+        ).set(work.get("retries", 0), **labels)
         workers = work.get("workers") or []
         registry.gauge(
-            "repro_campaign_workers_active", "Workers with a live heartbeat."
-        ).set(sum(1 for row in workers if row.get("active")))
+            "repro_campaign_workers_active",
+            "Workers with a live heartbeat.",
+            labelnames=label_names,
+        ).set(sum(1 for row in workers if row.get("active")), **labels)
     return registry
 
 
-class _WatchHandler(BaseHTTPRequestHandler):
-    server_version = "repro-watch/1"
-
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        watch: "CampaignWatchServer" = self.server.watch  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        try:
-            if path == "/metrics":
-                body = watch.render_metrics().encode("utf-8")
-                ctype = "text/plain; version=0.0.4; charset=utf-8"
-            elif path == "/status":
-                body = json.dumps(watch.status_payload(), indent=2).encode("utf-8")
-                ctype = "application/json"
-            else:
-                self.send_error(404, "unknown route (try /metrics or /status)")
-                return
-        except Exception as exc:  # surface scrape failures as 500s, keep serving
-            logger.warning("watch request %s failed: %s", path, exc)
-            self.send_error(500, str(exc))
-            return
-        self.send_response(200)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def log_message(self, format: str, *args) -> None:
-        logger.debug("watch: %s", format % args)
+#: Backwards-compatible alias (pre-serve name).
+_campaign_gauges = campaign_gauges
 
 
 class CampaignWatchServer:
@@ -100,6 +99,8 @@ class CampaignWatchServer:
 
     ``port=0`` binds an ephemeral port (``.port`` reports the real one),
     which is how the in-process tests and the CI smoke job scrape it.
+    A port something else holds raises a
+    :class:`~repro.errors.ConfigurationError` at construction.
     """
 
     def __init__(
@@ -110,18 +111,46 @@ class CampaignWatchServer:
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        # Imported lazily so importing the telemetry package never drags the
+        # whole serve/campaign stack in (and vice versa at module load).
+        from repro.serve.app import AppServer, HttpError, Response, ServeApp
+
         self.directory = directory
         self.backend = backend
         self.host = host
         self.registry = registry
-        self._server = ThreadingHTTPServer((host, port), _WatchHandler)
-        self._server.daemon_threads = True
-        self._server.watch = self  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
+
+        def scraped(render):
+            # Any scrape failure (including a ConfigurationError from a
+            # missing manifest) is a *server-side* 500 here, not the 400 the
+            # serve API uses for bad client payloads — watch requests carry
+            # nothing the client could fix.
+            try:
+                return render()
+            except Exception as exc:
+                raise HttpError(500, str(exc)) from exc
+
+        def metrics_route(body=None):
+            return Response(
+                body=scraped(self.render_metrics).encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+
+        def status_route(body=None):
+            payload = scraped(self.status_payload)
+            return Response(
+                body=(json.dumps(payload, indent=2) + "\n").encode("utf-8"),
+                content_type="application/json",
+            )
+
+        app = ServeApp("repro-watch/1")
+        app.add("GET", "/metrics", metrics_route)
+        app.add("GET", "/status", status_route)
+        self._server = AppServer(app, host=host, port=port)
 
     @property
     def port(self) -> int:
-        return self._server.server_address[1]
+        return self._server.port
 
     def status_payload(self) -> dict:
         from repro.campaign.runner import campaign_status
@@ -130,47 +159,32 @@ class CampaignWatchServer:
 
     def render_metrics(self) -> str:
         payload = self.status_payload()
-        text = _campaign_gauges(payload).render_prometheus()
+        text = campaign_gauges(payload).render_prometheus()
         registry = self.registry if self.registry is not None else metrics_registry()
         if registry is not None:
             text += registry.render_prometheus()
         return text
 
-    def start(self) -> "CampaignWatchServer":
-        thread = threading.Thread(
-            target=self._server.serve_forever,
-            name=f"repro-watch:{self.port}",
-            daemon=True,
-        )
-        thread.start()
-        self._thread = thread
+    def _log_serving(self) -> None:
         logger.info(
             "watching campaign %s on http://%s:%d (/metrics, /status)",
             self.directory,
             self.host,
             self.port,
         )
+
+    def start(self) -> "CampaignWatchServer":
+        self._server.start()
+        self._log_serving()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (the CLI path)."""
-        logger.info(
-            "watching campaign %s on http://%s:%d (/metrics, /status)",
-            self.directory,
-            self.host,
-            self.port,
-        )
-        try:
-            self._server.serve_forever()
-        finally:
-            self._server.server_close()
+        self._log_serving()
+        self._server.serve_forever()
 
     def stop(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        self._server.stop()
 
     def __enter__(self) -> "CampaignWatchServer":
         return self.start()

@@ -1,0 +1,210 @@
+"""The unified execution context: one precedence implementation per knob.
+
+Pins the documented resolution order — explicit argument > manifest-recorded
+value > environment > default — plus the legacy shims in
+``experiments.common`` and the campaign-specific resolution rules, so the
+consolidation can never silently drift back into per-module copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.execution import (
+    ENV_BACKEND,
+    ENV_CACHE_DIR,
+    ENV_JOBS,
+    ENV_SCALE,
+    ExecutionContext,
+    resolve_backend_uri,
+    resolve_jobs,
+    resolve_scale,
+)
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    get_backend_uri,
+    get_jobs,
+    get_scale,
+    resolve_executor,
+)
+from repro.sim.parallel import SweepExecutor
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for name in (ENV_JOBS, ENV_BACKEND, ENV_CACHE_DIR, ENV_SCALE):
+        monkeypatch.delenv(name, raising=False)
+
+
+class TestJobsPrecedence:
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "7")
+        assert resolve_jobs() == 7
+
+    def test_default_is_serial(self):
+        assert resolve_jobs() == 1
+
+    def test_invalid_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "many")
+        with pytest.raises(ConfigurationError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+    def test_nonpositive_rejected_eagerly(self):
+        # Same contract as SweepExecutor, but raised at resolution time so
+        # non-simulating entry points (fig1) still validate the flag.
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            resolve_jobs(0)
+
+
+class TestBackendPrecedence:
+    def test_argument_beats_everything(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "mem://env")
+        uri = resolve_backend_uri(
+            "sqlite://arg.db", "argdir", manifest="dir://recorded"
+        )
+        assert uri == "sqlite://arg.db"
+
+    def test_cache_dir_argument_is_dir_shorthand(self):
+        assert resolve_backend_uri(None, "/tmp/points") == "dir:///tmp/points"
+
+    def test_manifest_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "mem://env")
+        assert resolve_backend_uri(manifest="dir://recorded") == "dir://recorded"
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "mem://env")
+        assert resolve_backend_uri(default="dir://fallback") == "mem://env"
+
+    def test_cache_dir_env_is_last_environment_rung(self, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, "/tmp/cached")
+        assert resolve_backend_uri() == "dir:///tmp/cached"
+        monkeypatch.setenv(ENV_BACKEND, "mem://env")
+        assert resolve_backend_uri() == "mem://env"
+
+    def test_cache_dir_env_can_be_disabled(self, monkeypatch):
+        # Campaigns pass cache_dir_env=False: a cache *directory* in the
+        # environment must not redirect one away from its recorded store.
+        monkeypatch.setenv(ENV_CACHE_DIR, "/tmp/cached")
+        uri = resolve_backend_uri(default="dir://campaign", cache_dir_env=False)
+        assert uri == "dir://campaign"
+
+    def test_default_when_nothing_is_set(self):
+        assert resolve_backend_uri() is None
+        assert resolve_backend_uri(default="dir://d") == "dir://d"
+
+
+class TestCampaignBackendResolution:
+    def test_ignores_cache_dir_environment(self, tmp_path, monkeypatch):
+        from repro.campaign import resolve_campaign_backend
+
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "elsewhere"))
+        uri = resolve_campaign_backend(tmp_path / "camp", None, None)
+        assert uri == f"dir://{tmp_path / 'camp'}"
+
+    def test_flag_beats_manifest_beats_env(self, tmp_path, monkeypatch):
+        from repro.campaign import resolve_campaign_backend
+
+        directory = tmp_path / "camp"
+        monkeypatch.setenv(ENV_BACKEND, "mem://env")
+        assert (
+            resolve_campaign_backend(directory, "sqlite://flag.db", "dir://rec")
+            == "sqlite://flag.db"
+        )
+        assert resolve_campaign_backend(directory, None, "dir://rec") == "dir://rec"
+        assert resolve_campaign_backend(directory, None, None) == "mem://env"
+
+
+class TestScalePrecedence:
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_SCALE, "2")
+        explicit = ExperimentScale(measure_messages=99)
+        assert resolve_scale(explicit) is explicit
+
+    def test_environment_scales_the_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_SCALE, "2")
+        assert resolve_scale() == DEFAULT_SCALE.scaled(2.0)
+
+    def test_default(self):
+        assert resolve_scale() is DEFAULT_SCALE
+
+
+class TestExecutionContext:
+    def test_resolve_applies_every_knob(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "5")
+        context = ExecutionContext.resolve(backend="mem://x", replications=3)
+        assert context.jobs == 5
+        assert context.replications == 3
+        assert context.backend == "mem://x"
+        assert context.scale is DEFAULT_SCALE
+
+    def test_is_frozen(self):
+        context = ExecutionContext.resolve()
+        with pytest.raises(Exception):
+            context.jobs = 9  # type: ignore[misc]
+
+    def test_make_executor_builds_from_knobs(self):
+        context = ExecutionContext.resolve(jobs=2, replications=3)
+        executor = context.make_executor()
+        assert isinstance(executor, SweepExecutor)
+        assert executor.jobs == 2
+        assert executor.replications == 3
+
+    def test_prebuilt_executor_wins(self):
+        prebuilt = SweepExecutor(jobs=1)
+        context = ExecutionContext.resolve(executor=prebuilt, jobs=4)
+        assert context.make_executor() is prebuilt
+
+    def test_make_executor_opens_the_backend(self):
+        context = ExecutionContext.resolve(backend="mem://ctx-test")
+        executor = context.make_executor()
+        assert executor.cache is not None
+
+    def test_resolved_scale_falls_back_to_default(self):
+        assert ExecutionContext().resolved_scale is DEFAULT_SCALE
+
+
+class TestLegacyShims:
+    """The pre-context helpers keep working, now routed through execution."""
+
+    def test_get_jobs(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "4")
+        assert get_jobs() == 4
+        assert get_jobs(2) == 2
+
+    def test_get_scale(self, monkeypatch):
+        monkeypatch.setenv(ENV_SCALE, "2")
+        assert get_scale() == DEFAULT_SCALE.scaled(2.0)
+
+    def test_get_backend_uri(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "mem://env")
+        assert get_backend_uri() == "mem://env"
+        assert get_backend_uri("sqlite://a.db", "dir") == "sqlite://a.db"
+
+    def test_resolve_executor(self):
+        executor = resolve_executor(jobs=2, replications=3)
+        assert executor.jobs == 2
+        assert executor.replications == 3
+        prebuilt = SweepExecutor(jobs=1)
+        assert resolve_executor(executor=prebuilt, jobs=9) is prebuilt
+
+
+class TestRunSignatures:
+    def test_figures_accept_a_context(self):
+        from repro.experiments import EXPERIMENTS
+        import inspect
+
+        for figure, module in sorted(EXPERIMENTS.items()):
+            params = inspect.signature(module.run).parameters
+            assert "context" in params, f"{figure}.run() lost the context kwarg"
+
+    def test_fig1_ignores_the_context(self):
+        from repro.experiments import fig1_regions
+
+        out = fig1_regions.run(radix=4, context=ExecutionContext.resolve(jobs=2))
+        assert set(out)  # regions were built; the context changed nothing

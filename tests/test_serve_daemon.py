@@ -1,0 +1,403 @@
+"""The ``repro serve`` campaign service daemon, scraped over real sockets.
+
+Every JSON payload the daemon serves has a golden-keys schema test here (the
+serve-smoke CI job and any external dashboard depend on those exact keys),
+plus the two load-bearing guarantees of the design:
+
+* a campaign worked entirely over HTTP by two lease-based workers merges
+  **bit-identically** to a single-shot ``SweepExecutor`` run — the daemon is
+  a transport, never a rounding step;
+* a repeated ``/series`` request is served from the content-address cache
+  without reading a single backend record (only the cheap keys-only scan
+  runs), pinned by poisoning the record-opening path after completion.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign.runner import work_campaign
+from repro.campaign.serialize import config_to_dict
+from repro.errors import ConfigurationError
+from repro.serve import daemon as daemon_module
+from repro.serve.app import AppServer, ServeApp
+from repro.serve.client import split_campaign_url
+from repro.serve.daemon import CampaignServer, campaign_content_id
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import SweepExecutor
+
+RATES = [0.01, 0.02]
+REPLICATIONS = 2
+
+
+@pytest.fixture
+def base_config(torus_4x4):
+    return SimulationConfig(
+        topology=torus_4x4,
+        routing="swbased-deterministic",
+        num_virtual_channels=2,
+        message_length=4,
+        injection_rate=max(RATES),
+        warmup_messages=5,
+        measure_messages=40,
+        seed=1,
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    backend = f"sqlite://{tmp_path}/points.sqlite"
+    with CampaignServer(tmp_path / "state", backend, port=0) as srv:
+        yield srv
+
+
+def _request(server, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _sweep_payload(base_config, label="serve-test"):
+    return {
+        "kind": "sweep",
+        "config": config_to_dict(base_config),
+        "rates": RATES,
+        "replications": REPLICATIONS,
+        "label": label,
+    }
+
+
+def _submit(server, base_config):
+    return _request(server, "POST", "/campaigns", _sweep_payload(base_config))
+
+
+def _work_to_completion(server, cid, workers=2):
+    url = f"http://127.0.0.1:{server.port}/campaigns/{cid}"
+    reports = [None] * workers
+    def drain(i):
+        reports[i] = work_campaign(server=url, worker=f"test-w{i}", ttl=30.0)
+    threads = [threading.Thread(target=drain, args=(i,)) for i in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return reports
+
+
+class TestSubmit:
+    def test_submit_payload_golden_keys(self, server, base_config):
+        payload = _submit(server, base_config)
+        assert set(payload) == {
+            "id", "url", "kind", "backend", "total_units", "completed_units",
+            "pending_units", "complete", "created",
+        }
+        assert payload["created"] is True
+        assert payload["kind"] == "sweep"
+        assert payload["total_units"] == len(RATES) * REPLICATIONS
+        assert payload["url"] == f"/campaigns/{payload['id']}"
+
+    def test_resubmit_is_idempotent(self, server, base_config):
+        first = _submit(server, base_config)
+        second = _submit(server, base_config)
+        assert second["id"] == first["id"]
+        assert second["created"] is False
+
+    def test_id_is_the_plan_content_address(self, server, base_config):
+        payload = _submit(server, base_config)
+        hosted = server.service._get(payload["id"])
+        assert campaign_content_id(hosted.plan) == payload["id"]
+
+    def test_malformed_submission_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(server, "POST", "/campaigns", {"kind": "sweep"})
+        assert err.value.code == 400
+
+    def test_restarted_daemon_rehosts_manifests(self, tmp_path, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        backend = server.service.backend
+        with CampaignServer(server.service.root, backend, port=0) as reborn:
+            listed = _request(reborn, "GET", "/campaigns")
+            assert [c["id"] for c in listed["campaigns"]] == [cid]
+
+
+class TestReadSide:
+    def test_list_payload_golden_keys(self, server, base_config):
+        _submit(server, base_config)
+        payload = _request(server, "GET", "/campaigns")
+        assert set(payload) == {"backend", "campaigns"}
+        assert len(payload["campaigns"]) == 1
+
+    def test_status_matches_campaign_status_json(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        payload = _request(server, "GET", f"/campaigns/{cid}/status")
+        # Byte-for-byte the `campaign status --json` schema.
+        assert set(payload) == {
+            "directory", "kind", "backend", "total_units", "completed_units",
+            "pending_units", "complete", "members", "skipped_records", "work",
+        }
+        assert payload["complete"] is False
+
+    def test_unknown_campaign_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(server, "GET", "/campaigns/deadbeef/status")
+        assert err.value.code == 404
+
+    def test_plan_payload_round_trips(self, server, base_config):
+        from repro.campaign.plan import CampaignPlan
+
+        cid = _submit(server, base_config)["id"]
+        payload = _request(server, "GET", f"/campaigns/{cid}/plan")
+        rebuilt = CampaignPlan.from_payload(payload, where="(test)")
+        assert campaign_content_id(rebuilt) == cid
+
+    def test_keys_payload_tracks_commits(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        empty = _request(server, "GET", f"/campaigns/{cid}/keys")
+        assert set(empty) == {"keys", "total_units"}
+        assert empty["keys"] == []
+        _work_to_completion(server, cid, workers=1)
+        done = _request(server, "GET", f"/campaigns/{cid}/keys")
+        assert len(done["keys"]) == done["total_units"]
+
+
+class TestLeases:
+    def test_lease_lifecycle_golden_keys(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        key = server.service._get(cid).unit_keys[0]
+        grant = _request(
+            server, "POST", f"/campaigns/{cid}/leases",
+            {"worker": "w1", "key": key, "ttl": 30.0},
+        )
+        assert set(grant) == {"granted", "reclaimed", "lease"}
+        assert grant["granted"] is True and grant["reclaimed"] is False
+        assert grant["lease"]["key"] == key
+
+        refused = _request(
+            server, "POST", f"/campaigns/{cid}/leases",
+            {"worker": "w2", "key": key, "ttl": 30.0},
+        )
+        assert refused["granted"] is False and refused["lease"] is None
+
+        renewed = _request(
+            server, "PUT", f"/campaigns/{cid}/leases/{key}",
+            {"worker": "w1", "ttl": 30.0},
+        )
+        assert renewed == {"renewed": True}
+
+        released = _request(
+            server, "DELETE", f"/campaigns/{cid}/leases/{key}",
+            {"worker": "w1"},
+        )
+        assert released == {"released": True}
+
+    def test_lease_on_unplanned_key_is_404(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(
+                server, "POST", f"/campaigns/{cid}/leases",
+                {"worker": "w1", "key": "not-a-unit", "ttl": 30.0},
+            )
+        assert err.value.code == 404
+
+    def test_heartbeat(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        payload = _request(
+            server, "POST", f"/campaigns/{cid}/workers/w1", {"claimed": 1}
+        )
+        assert payload == {"ok": True}
+
+
+class TestRemoteWorkers:
+    def test_two_http_workers_merge_bit_identically(self, server, base_config):
+        """The acceptance criterion: workers that talk only to the daemon
+        produce a series bit-identical to a direct single-shot run."""
+        cid = _submit(server, base_config)["id"]
+        reports = _work_to_completion(server, cid, workers=2)
+        assert sum(r.simulated for r in reports) == len(RATES) * REPLICATIONS
+        status = _request(server, "GET", f"/campaigns/{cid}/status")
+        assert status["complete"] is True
+
+        series = _request(server, "GET", f"/campaigns/{cid}/series")
+        direct = SweepExecutor(jobs=1, replications=REPLICATIONS).run_injection_rate_sweep(
+            base_config, RATES, label="serve-test", stop_after_saturation=0
+        )
+        (line,) = series["series"]
+        assert line["label"] == "serve-test"
+        points = line["points"]
+        assert [p["x"] for p in points] == list(direct.rates)
+        assert [p["latency_mean"] for p in points] == list(direct.latency_mean)
+        assert [p["latency_ci"] for p in points] == list(direct.latency_ci)
+        assert [p["throughput_mean"] for p in points] == list(direct.throughput_mean)
+        assert [p["throughput_ci"] for p in points] == list(direct.throughput_ci)
+        assert [p["saturated"] for p in points] == list(direct.saturated)
+        assert all(p["replications"] == REPLICATIONS for p in points)
+
+    def test_record_endpoint_serves_framed_records(self, server, base_config):
+        from repro.backends.serialize import parse_record
+
+        cid = _submit(server, base_config)["id"]
+        _work_to_completion(server, cid, workers=1)
+        key = server.service._get(cid).unit_keys[0]
+        payload = _request(server, "GET", f"/campaigns/{cid}/records/{key}")
+        assert set(payload) == {"key", "record"}
+        parsed_key, _config, _metrics = parse_record(payload["record"], where="(test)")
+        assert parsed_key == key
+
+    def test_commit_rejects_unplanned_records(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(
+                server, "POST", f"/campaigns/{cid}/results",
+                {"worker": "w1", "record": {"v": 1, "key": "bogus"}},
+            )
+        assert err.value.code == 400
+
+    def test_work_campaign_rejects_server_plus_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="server"):
+            work_campaign(tmp_path, server="http://127.0.0.1:1/campaigns/x")
+
+    def test_work_campaign_needs_a_target(self):
+        with pytest.raises(ConfigurationError, match="directory or a --server"):
+            work_campaign()
+
+
+class TestSeriesCache:
+    def test_series_payload_golden_keys(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        _work_to_completion(server, cid, workers=1)
+        payload = _request(server, "GET", f"/campaigns/{cid}/series")
+        assert set(payload) == {
+            "id", "kind", "backend", "total_units", "completed_units",
+            "complete", "series", "total_points", "completed_points", "cached",
+        }
+        point_keys = {
+            "x", "latency_mean", "latency_ci", "throughput_mean",
+            "throughput_ci", "queued_mean", "queued_ci", "saturated",
+            "replications",
+        }
+        for line in payload["series"]:
+            assert set(line) == {"label", "axis", "points"}
+            for point in line["points"]:
+                assert set(point) == point_keys
+
+    def test_second_request_reads_zero_backend_records(
+        self, server, base_config, monkeypatch
+    ):
+        cid = _submit(server, base_config)["id"]
+        _work_to_completion(server, cid, workers=1)
+        first = _request(server, "GET", f"/campaigns/{cid}/series")
+        assert first["cached"] is False
+
+        # Record reads go through daemon.open_backend; the keys-only scan
+        # (the cache token) does not.  Poisoning the former proves the hit
+        # path touches no stored record at all.
+        def forbidden(*args, **kwargs):
+            raise AssertionError("cached /series must not open the record store")
+
+        monkeypatch.setattr(daemon_module, "open_backend", forbidden)
+        second = _request(server, "GET", f"/campaigns/{cid}/series")
+        assert second["cached"] is True
+        assert {k: v for k, v in second.items() if k != "cached"} == {
+            k: v for k, v in first.items() if k != "cached"
+        }
+
+    def test_new_commits_invalidate_the_cache(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        before = _request(server, "GET", f"/campaigns/{cid}/series")
+        assert before["cached"] is False and before["completed_points"] == 0
+        _work_to_completion(server, cid, workers=1)
+        after = _request(server, "GET", f"/campaigns/{cid}/series")
+        assert after["cached"] is False  # the count changed; rebuilt
+        assert after["complete"] is True
+
+
+class TestDashboardAndMetrics:
+    def test_dashboard_renders_every_campaign(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        _work_to_completion(server, cid, workers=1)
+        html = urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/", timeout=30
+        ).read().decode()
+        assert cid in html
+        assert "<svg" in html  # the inline SVG plot, no external assets
+
+    def test_metrics_carry_a_campaign_label(self, server, base_config):
+        cid = _submit(server, base_config)["id"]
+        text = urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/metrics", timeout=30
+        ).read().decode()
+        assert f'campaign="{cid}"' in text
+        assert 'repro_campaign_units{state="total",campaign=' in text
+
+
+class TestServerPlumbing:
+    def test_port_in_use_is_actionable(self, tmp_path):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        _host, port = blocker.getsockname()
+        try:
+            with pytest.raises(ConfigurationError, match="already in use"):
+                CampaignServer(
+                    tmp_path / "state", f"sqlite://{tmp_path}/p.sqlite", port=port
+                )
+        finally:
+            blocker.close()
+
+    def test_watch_server_shares_the_port_error(self, tmp_path):
+        from repro.telemetry.httpd import CampaignWatchServer
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        _host, port = blocker.getsockname()
+        try:
+            with pytest.raises(ConfigurationError, match="already in use"):
+                CampaignWatchServer(tmp_path / "camp", port=port)
+        finally:
+            blocker.close()
+
+    def test_mem_backend_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CampaignServer(tmp_path / "state", "mem://", port=0)
+
+    def test_unknown_route_is_404_with_route_list(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(server, "GET", "/nope")
+        assert err.value.code == 404
+
+    def test_unsupported_method_is_405(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(server, "DELETE", "/campaigns")
+        assert err.value.code == 405
+
+    def test_split_campaign_url(self):
+        base, cid = split_campaign_url("http://h:1234/campaigns/abc123/")
+        assert (base, cid) == ("http://h:1234", "abc123")
+        with pytest.raises(ConfigurationError):
+            split_campaign_url("http://h:1234/not-a-campaign")
+
+    def test_app_server_survives_handler_crashes(self):
+        app = ServeApp("crash-test/1")
+        app.add("GET", "/boom", lambda body: 1 / 0)
+        app.add("GET", "/fine", lambda body: {"ok": True})
+        with AppServer(app) as bound:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{bound.port}/boom", timeout=10
+                )
+            assert err.value.code == 500
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{bound.port}/fine", timeout=10
+            ).read()
+            assert json.loads(body) == {"ok": True}
